@@ -1,0 +1,10 @@
+CREATE TABLE Orders (
+  OrderID INTEGER PRIMARY KEY,
+  ItemID VARCHAR NOT NULL,
+  Quantity INTEGER NOT NULL,
+  Approved BOOLEAN NOT NULL
+);
+INSERT INTO Orders VALUES
+  (1, 'bolt', 10, TRUE), (2, 'bolt', 5, TRUE), (3, 'nut', 7, FALSE),
+  (4, 'nut', 3, TRUE), (5, 'screw', 2, TRUE), (6, 'screw', 9, FALSE);
+CREATE TABLE OrderConfirmations (ItemID VARCHAR, Quantity INTEGER, Confirmation VARCHAR);

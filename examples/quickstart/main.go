@@ -1,0 +1,68 @@
+// Quickstart: open an embedded database, build a three-activity BIS-style
+// process (query → retrieve set → snippet), deploy it on the BPEL engine,
+// and run it.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"wfsql/internal/bis"
+	"wfsql/internal/engine"
+	"wfsql/internal/rowset"
+	"wfsql/internal/sqldb"
+)
+
+func main() {
+	// 1. An embedded relational database with some data.
+	db := sqldb.Open("quickstart")
+	db.MustExec(`CREATE TABLE Orders (
+		OrderID INTEGER PRIMARY KEY, ItemID VARCHAR NOT NULL,
+		Quantity INTEGER NOT NULL, Approved BOOLEAN NOT NULL)`)
+	db.MustExec(`INSERT INTO Orders VALUES
+		(1, 'bolt', 10, TRUE), (2, 'bolt', 5, TRUE),
+		(3, 'nut', 7, FALSE), (4, 'nut', 3, TRUE)`)
+
+	// 2. A workflow engine with the database registered as a data source.
+	e := engine.New(nil)
+	e.RegisterDataSource("quickstart", db)
+
+	// 3. A BIS-style process: SQL activity fills a result set reference
+	//    (data stays in the database), retrieve set materializes it into
+	//    the process space, and a snippet prints the tuples.
+	p := bis.NewProcess("quickstart").
+		DataSourceVariable("DS", "quickstart").
+		InputSetReference("SR_Orders", "Orders").
+		ResultSetReference("SR_Totals").
+		XMLVariable("SV_Totals", "").
+		Body(engine.NewSequence("main",
+			bis.NewSQL("aggregate", "DS",
+				`SELECT ItemID, SUM(Quantity) AS Total FROM #SR_Orders#
+				 WHERE Approved = TRUE GROUP BY ItemID ORDER BY ItemID`).
+				Into("SR_Totals"),
+			bis.NewRetrieveSet("materialize", "DS", "SR_Totals", "SV_Totals"),
+			bis.JavaSnippet("print", func(ctx *engine.Ctx) error {
+				sv, err := ctx.Variable("SV_Totals")
+				if err != nil {
+					return err
+				}
+				for _, row := range rowset.Rows(sv.Node()) {
+					fmt.Printf("approved total: %-6s %s\n",
+						rowset.Field(row, "ItemID"), rowset.Field(row, "Total"))
+				}
+				return nil
+			}),
+		)).
+		Build()
+
+	// 4. Deploy and run.
+	d, err := e.Deploy(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	in, err := d.Run(nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("instance %d finished: %s\n", in.ID, in.State())
+}

@@ -1,0 +1,3 @@
+module wfsql
+
+go 1.22

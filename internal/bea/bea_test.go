@@ -1,0 +1,106 @@
+package bea
+
+import (
+	"strings"
+	"testing"
+
+	"wfsql/internal/engine"
+	"wfsql/internal/sqldb"
+	"wfsql/internal/wsbus"
+	"wfsql/internal/xdm"
+)
+
+func newEnv() (*engine.Engine, *sqldb.DB) {
+	db := sqldb.Open("orderdb")
+	db.MustExec(`CREATE TABLE Orders (
+		OrderID INTEGER PRIMARY KEY, ItemID VARCHAR NOT NULL,
+		Quantity INTEGER NOT NULL, Approved BOOLEAN NOT NULL)`)
+	db.MustExec(`INSERT INTO Orders VALUES
+		(1, 'bolt', 10, TRUE), (2, 'bolt', 5, TRUE), (3, 'nut', 3, TRUE), (4, 'screw', 2, FALSE)`)
+	bus := wsbus.New()
+	wsbus.RegisterSQLAdapter(bus, "SQLAdapter", db)
+	return engine.New(bus), db
+}
+
+// TestAdapterOnlyQuery demonstrates the Figure 1 adapter-technology path:
+// the process sees only a service; the query result arrives as a
+// serialized RowSet message part.
+func TestAdapterOnlyQuery(t *testing.T) {
+	e, _ := newEnv()
+	inv, err := InvokeSQLAdapter("q", "SQLAdapter",
+		"SELECT ItemID, SUM(Quantity) AS Quantity FROM Orders WHERE Approved = TRUE GROUP BY ItemID ORDER BY ItemID",
+		"result", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewProcess("adapterQuery").
+		Variable("result", "").
+		Body(inv).
+		Build()
+	d, err := e.Deploy(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := d.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The result is a *string* in the process space — by value, fully
+	// materialized, exactly the property the paper contrasts with BIS
+	// set references.
+	doc, err := xdm.Parse(in.MustVariable("result").String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.ChildElements()) != 2 {
+		t.Fatalf("rowset rows: %d", len(doc.ChildElements()))
+	}
+}
+
+func TestAdapterOnlyDML(t *testing.T) {
+	e, db := newEnv()
+	inv, err := InvokeSQLAdapter("u", "SQLAdapter",
+		"UPDATE Orders SET Approved = TRUE WHERE ItemID = ?",
+		"", "n", "$item")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewProcess("adapterDML").
+		Variable("item", "screw").
+		Variable("n", "").
+		Body(inv).
+		Build()
+	d, _ := e.Deploy(p)
+	in, err := d.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.MustVariable("n").String() != "1" {
+		t.Fatalf("rowsAffected: %q", in.MustVariable("n").String())
+	}
+	if got := db.MustExec("SELECT COUNT(*) FROM Orders WHERE Approved = TRUE").Rows[0][0].I; got != 4 {
+		t.Fatalf("adapter DML effect: %d", got)
+	}
+}
+
+func TestStatementQuoteRestriction(t *testing.T) {
+	if _, err := InvokeSQLAdapter("q", "SQLAdapter",
+		"SELECT * FROM Orders WHERE ItemID = 'bolt'", "r", ""); err == nil {
+		t.Fatal("quoted literal must be rejected; parameters exist for that")
+	}
+}
+
+// TestNoInlineSupport pins the package's defining property: the builder
+// exposes no SQL-inline surface (this is a compile-time property; the
+// test documents it by exercising the full exported API).
+func TestNoInlineSupport(t *testing.T) {
+	b := NewProcess("x").Variable("v", "").XMLVariable("d", "<a/>").
+		Body(&engine.Empty{ActivityName: "e"})
+	p := b.Build()
+	if len(p.Variables) != 2 || p.Funcs != nil {
+		t.Fatal("unexpected capabilities")
+	}
+	if strings.Contains(strings.ToLower(p.Name), "sql") {
+		t.Fatal("sanity")
+	}
+}

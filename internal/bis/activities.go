@@ -1,0 +1,228 @@
+package bis
+
+import (
+	"fmt"
+	"strings"
+
+	"wfsql/internal/engine"
+	"wfsql/internal/rowset"
+	"wfsql/internal/sqldb"
+)
+
+// SQLActivity embeds a SQL statement that is sent to a database system and
+// processed there. Queries, DML, DDL, and stored procedure calls are
+// supported. A resulting data set is not passed to the process space: it
+// remains in the data source, referenced by a result set reference.
+type SQLActivity struct {
+	ActivityName string
+	DataSource   string // data source variable name
+	SQL          string // statement with #var# / #setref# placeholders
+	ResultRef    string // result set reference receiving a query/CALL result ("" for none)
+}
+
+// NewSQL builds a SQL activity against a data source variable.
+func NewSQL(name, dataSourceVar, sql string) *SQLActivity {
+	return &SQLActivity{ActivityName: name, DataSource: dataSourceVar, SQL: sql}
+}
+
+// Into directs the activity's result set into a result set reference.
+func (a *SQLActivity) Into(resultRef string) *SQLActivity {
+	a.ResultRef = resultRef
+	return a
+}
+
+// Name implements engine.Activity.
+func (a *SQLActivity) Name() string { return a.ActivityName }
+
+// Execute implements engine.Activity.
+func (a *SQLActivity) Execute(ctx *engine.Ctx) error {
+	st, err := getState(ctx)
+	if err != nil {
+		return err
+	}
+	db, err := st.resolveDB(ctx, a.DataSource)
+	if err != nil {
+		return fmt.Errorf("%s: %w", a.ActivityName, err)
+	}
+	sql, params, err := substituteSQL(ctx, st, a.SQL)
+	if err != nil {
+		return fmt.Errorf("%s: %w", a.ActivityName, err)
+	}
+	sess := st.sessionFor(db)
+
+	if a.ResultRef == "" {
+		if _, err := sess.Exec(sql, params...); err != nil {
+			return fmt.Errorf("%s: %w", a.ActivityName, err)
+		}
+		return nil
+	}
+
+	// Result handling: execute, then materialize the result *inside the
+	// data source* as a per-instance table; only the reference enters the
+	// process space.
+	ref, err := SetReference(ctx, a.ResultRef)
+	if err != nil {
+		return fmt.Errorf("%s: %w", a.ActivityName, err)
+	}
+	if ref.Kind != ResultSetRef {
+		return fmt.Errorf("%s: %s is not a result set reference", a.ActivityName, a.ResultRef)
+	}
+	gen := fmt.Sprintf("%s_i%d", ref.Name, ctx.Inst.ID)
+	trimmed := strings.TrimSpace(strings.ToUpper(sql))
+	if strings.HasPrefix(trimmed, "SELECT") {
+		ctas := fmt.Sprintf("CREATE TABLE %s AS %s", gen, sql)
+		if _, err := sess.Exec(ctas, params...); err != nil {
+			return fmt.Errorf("%s: %w", a.ActivityName, err)
+		}
+	} else if strings.HasPrefix(trimmed, "CALL") {
+		res, err := sess.Exec(sql, params...)
+		if err != nil {
+			return fmt.Errorf("%s: %w", a.ActivityName, err)
+		}
+		if err := materializeAsTable(sess, gen, res); err != nil {
+			return fmt.Errorf("%s: %w", a.ActivityName, err)
+		}
+	} else {
+		return fmt.Errorf("%s: only queries and CALLs can fill a result set reference", a.ActivityName)
+	}
+	st.mu.Lock()
+	ref.Table = gen
+	if ref.Cleanup == "" {
+		ref.Cleanup = "DROP TABLE IF EXISTS {TABLE}"
+	}
+	st.mu.Unlock()
+	return nil
+}
+
+// materializeAsTable stores an in-engine result set as a new table in the
+// same database (used for stored procedure results bound to result refs).
+func materializeAsTable(sess *sqldb.Session, table string, res *sqldb.Result) error {
+	if !res.IsQuery() {
+		return fmt.Errorf("bis: statement produced no result set")
+	}
+	var cols []string
+	for i, c := range res.Columns {
+		typ := "VARCHAR"
+		for _, row := range res.Rows {
+			switch row[i].K {
+			case sqldb.KindInt:
+				typ = "INTEGER"
+			case sqldb.KindFloat:
+				typ = "FLOAT"
+			case sqldb.KindBool:
+				typ = "BOOLEAN"
+			case sqldb.KindString:
+				typ = "VARCHAR"
+			default:
+				continue
+			}
+			break
+		}
+		cols = append(cols, fmt.Sprintf("%s %s", c, typ))
+	}
+	if _, err := sess.Exec(fmt.Sprintf("CREATE TABLE %s (%s)", table, strings.Join(cols, ", "))); err != nil {
+		return err
+	}
+	ph := strings.TrimRight(strings.Repeat("?, ", len(res.Columns)), ", ")
+	ins := fmt.Sprintf("INSERT INTO %s VALUES (%s)", table, ph)
+	for _, row := range res.Rows {
+		if _, err := sess.Exec(ins, row...); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RetrieveSetActivity bridges external and internal data processing by
+// loading the table behind a set reference into a set variable in the
+// process space, preserving the relational structure as an XML RowSet
+// (the Set Retrieval Pattern).
+type RetrieveSetActivity struct {
+	ActivityName string
+	DataSource   string
+	SetRefName   string
+	SetVariable  string
+}
+
+// NewRetrieveSet builds a retrieve set activity.
+func NewRetrieveSet(name, dataSourceVar, setRef, setVariable string) *RetrieveSetActivity {
+	return &RetrieveSetActivity{ActivityName: name, DataSource: dataSourceVar, SetRefName: setRef, SetVariable: setVariable}
+}
+
+// Name implements engine.Activity.
+func (a *RetrieveSetActivity) Name() string { return a.ActivityName }
+
+// Execute implements engine.Activity.
+func (a *RetrieveSetActivity) Execute(ctx *engine.Ctx) error {
+	st, err := getState(ctx)
+	if err != nil {
+		return err
+	}
+	db, err := st.resolveDB(ctx, a.DataSource)
+	if err != nil {
+		return fmt.Errorf("%s: %w", a.ActivityName, err)
+	}
+	ref, err := SetReference(ctx, a.SetRefName)
+	if err != nil {
+		return fmt.Errorf("%s: %w", a.ActivityName, err)
+	}
+	if ref.Table == "" {
+		return fmt.Errorf("%s: set reference %s is unbound", a.ActivityName, a.SetRefName)
+	}
+	sess := st.sessionFor(db)
+	res, err := sess.Query(fmt.Sprintf("SELECT * FROM %s", ref.Table))
+	if err != nil {
+		return fmt.Errorf("%s: %w", a.ActivityName, err)
+	}
+	doc, err := rowset.FromResult(res)
+	if err != nil {
+		return fmt.Errorf("%s: %w", a.ActivityName, err)
+	}
+	return ctx.SetNode(a.SetVariable, doc)
+}
+
+// AtomicSQLSequence embeds a sequence of SQL and retrieve set activities.
+// In long-running processes the sequence is processed as a single
+// transaction; in short-running processes all information service
+// activities already share one transaction, so the boundary is a no-op.
+type AtomicSQLSequence struct {
+	ActivityName string
+	Children     []engine.Activity
+}
+
+// NewAtomicSequence builds an atomic SQL sequence.
+func NewAtomicSequence(name string, children ...engine.Activity) *AtomicSQLSequence {
+	return &AtomicSQLSequence{ActivityName: name, Children: children}
+}
+
+// Name implements engine.Activity.
+func (a *AtomicSQLSequence) Name() string { return a.ActivityName }
+
+// Execute implements engine.Activity.
+func (a *AtomicSQLSequence) Execute(ctx *engine.Ctx) error {
+	st, err := getState(ctx)
+	if err != nil {
+		return err
+	}
+	st.enterAtomic()
+	var fault error
+	for _, c := range a.Children {
+		if fault = c.Execute(ctx); fault != nil {
+			break
+		}
+	}
+	if err := st.exitAtomic(fault); err != nil && fault == nil {
+		fault = err
+	}
+	if fault != nil {
+		return fmt.Errorf("%s: %w", a.ActivityName, fault)
+	}
+	return nil
+}
+
+// JavaSnippet is the IBM-specific extension that embeds code directly into
+// the process logic; within it one may access a set variable as an object
+// and update, insert, and delete tuples.
+func JavaSnippet(name string, fn func(ctx *engine.Ctx) error) engine.Activity {
+	return engine.NewSnippet(name, fn)
+}

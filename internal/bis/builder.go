@@ -1,0 +1,238 @@
+package bis
+
+import (
+	"fmt"
+	"strings"
+
+	"wfsql/internal/engine"
+	"wfsql/internal/sqldb"
+)
+
+// ProcessBuilder plays the WebSphere Integration Developer role: it
+// assembles a BPEL process model with BIS-specific artifacts — set
+// reference variables, data source variables, and preparation/cleanup
+// statements — and produces an engine.Process for deployment.
+type ProcessBuilder struct {
+	name        string
+	mode        engine.TransactionMode
+	vars        []engine.VarDecl
+	refs        []*SetRef
+	dsvars      map[string]string
+	preparation []dsStatement
+	cleanup     []dsStatement
+	body        engine.Activity
+}
+
+type dsStatement struct {
+	dsVar string
+	sql   string
+}
+
+// NewProcess starts building a BIS process.
+func NewProcess(name string) *ProcessBuilder {
+	return &ProcessBuilder{name: name, dsvars: map[string]string{}}
+}
+
+// Mode sets the process transaction mode (long-running by default).
+func (b *ProcessBuilder) Mode(m engine.TransactionMode) *ProcessBuilder {
+	b.mode = m
+	return b
+}
+
+// Variable declares a scalar process variable.
+func (b *ProcessBuilder) Variable(name, init string) *ProcessBuilder {
+	b.vars = append(b.vars, engine.VarDecl{Name: name, Kind: engine.ScalarVar, Init: init})
+	return b
+}
+
+// XMLVariable declares an XML process variable (e.g. a set variable).
+func (b *ProcessBuilder) XMLVariable(name, initXML string) *ProcessBuilder {
+	b.vars = append(b.vars, engine.VarDecl{Name: name, Kind: engine.XMLVar, InitXML: initXML})
+	return b
+}
+
+// DataSourceVariable declares a data source variable holding the
+// connection reference; the bound data source can be changed at deploy
+// time or runtime without redeploying the process.
+func (b *ProcessBuilder) DataSourceVariable(name, dataSource string) *ProcessBuilder {
+	b.dsvars[name] = dataSource
+	return b
+}
+
+// InputSetReference declares an input set reference bound to a table.
+func (b *ProcessBuilder) InputSetReference(name, table string) *ProcessBuilder {
+	b.refs = append(b.refs, &SetRef{Name: name, Kind: InputSetRef, Table: table})
+	return b
+}
+
+// ResultSetReference declares a result set reference. Its table is
+// generated per instance when a SQL activity fills it; cleanup drops it at
+// the end of the workflow.
+func (b *ProcessBuilder) ResultSetReference(name string) *ProcessBuilder {
+	b.refs = append(b.refs, &SetRef{Name: name, Kind: ResultSetRef})
+	return b
+}
+
+// SetRefLifecycle attaches preparation and cleanup statements to a set
+// reference ({TABLE} is replaced with the bound table name).
+func (b *ProcessBuilder) SetRefLifecycle(name, preparation, cleanup string) *ProcessBuilder {
+	for _, r := range b.refs {
+		if r.Name == name {
+			r.Preparation = preparation
+			r.Cleanup = cleanup
+		}
+	}
+	return b
+}
+
+// Preparation adds a data source preparation statement run before the
+// process body (DDL for managing database entities).
+func (b *ProcessBuilder) Preparation(dsVar, sql string) *ProcessBuilder {
+	b.preparation = append(b.preparation, dsStatement{dsVar: dsVar, sql: sql})
+	return b
+}
+
+// Cleanup adds a data source cleanup statement run after process
+// completion (also on fault).
+func (b *ProcessBuilder) Cleanup(dsVar, sql string) *ProcessBuilder {
+	b.cleanup = append(b.cleanup, dsStatement{dsVar: dsVar, sql: sql})
+	return b
+}
+
+// Body sets the process body.
+func (b *ProcessBuilder) Body(a engine.Activity) *ProcessBuilder {
+	b.body = a
+	return b
+}
+
+// ProcessName returns the process name.
+func (b *ProcessBuilder) ProcessName() string { return b.name }
+
+// TransactionMode returns the configured mode.
+func (b *ProcessBuilder) TransactionMode() engine.TransactionMode { return b.mode }
+
+// VariableDecls returns the declared process variables.
+func (b *ProcessBuilder) VariableDecls() []engine.VarDecl {
+	return append([]engine.VarDecl(nil), b.vars...)
+}
+
+// SetRefs returns the declared set references.
+func (b *ProcessBuilder) SetRefs() []*SetRef {
+	out := make([]*SetRef, len(b.refs))
+	for i, r := range b.refs {
+		cp := *r
+		out[i] = &cp
+	}
+	return out
+}
+
+// DataSourceVars returns the data source variable bindings.
+func (b *ProcessBuilder) DataSourceVars() map[string]string {
+	out := make(map[string]string, len(b.dsvars))
+	for k, v := range b.dsvars {
+		out[k] = v
+	}
+	return out
+}
+
+// LifecycleStatements returns the process-level preparation and cleanup
+// statements as (dsVar, sql) pairs.
+func (b *ProcessBuilder) LifecycleStatements() (preparation, cleanup [][2]string) {
+	for _, p := range b.preparation {
+		preparation = append(preparation, [2]string{p.dsVar, p.sql})
+	}
+	for _, c := range b.cleanup {
+		cleanup = append(cleanup, [2]string{c.dsVar, c.sql})
+	}
+	return
+}
+
+// BodyActivity returns the configured body.
+func (b *ProcessBuilder) BodyActivity() engine.Activity { return b.body }
+
+// Build produces the deployable process model.
+func (b *ProcessBuilder) Build() *engine.Process {
+	p := &engine.Process{
+		Name:      b.name,
+		Variables: b.vars,
+		Body:      b.body,
+		Mode:      b.mode,
+	}
+	refs := b.refs
+	dsvars := b.dsvars
+	prep, clean := b.preparation, b.cleanup
+	p.OnInstanceStart = append(p.OnInstanceStart, func(ctx *engine.Ctx) error {
+		st := &state{
+			refs:     map[string]*SetRef{},
+			dsvars:   map[string]string{},
+			sessions: map[*sqldb.DB]*sqldb.Session{},
+			inTxn:    map[*sqldb.DB]bool{},
+			mode:     p.Mode,
+		}
+		for _, r := range refs {
+			cp := *r // per-instance copy
+			st.refs[r.Name] = &cp
+		}
+		for k, v := range dsvars {
+			st.dsvars[k] = v
+		}
+		ctx.Inst.SetContext(stateKey, st)
+
+		// Preparation statements run before the body, outside the process
+		// transaction (they manage database entities, not business data).
+		for _, ps := range prep {
+			if err := runLifecycleStatement(ctx, st, ps, nil); err != nil {
+				return fmt.Errorf("bis: preparation: %w", err)
+			}
+		}
+		for _, r := range st.refs {
+			if r.Preparation != "" && r.Table != "" {
+				if err := runLifecycleStatement(ctx, st, dsStatement{dsVar: firstDSVar(st), sql: r.Preparation}, r); err != nil {
+					return fmt.Errorf("bis: set reference %s preparation: %w", r.Name, err)
+				}
+			}
+		}
+
+		// Completion: end process-wide transactions, then run cleanup.
+		ctx.Inst.OnComplete(func(fault error) {
+			st.finish(fault)
+			for _, r := range st.refs {
+				if r.Cleanup != "" && r.Table != "" {
+					runLifecycleStatement(ctx, st, dsStatement{dsVar: firstDSVar(st), sql: r.Cleanup}, r)
+				}
+			}
+			for _, cs := range clean {
+				runLifecycleStatement(ctx, st, cs, nil)
+			}
+		})
+		return nil
+	})
+	return p
+}
+
+// firstDSVar returns an arbitrary data source variable name (set-reference
+// lifecycle statements run against the process's data source; processes
+// in this reproduction use one data source variable per source).
+func firstDSVar(st *state) string {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for k := range st.dsvars {
+		return k
+	}
+	return ""
+}
+
+func runLifecycleStatement(ctx *engine.Ctx, st *state, stmt dsStatement, ref *SetRef) error {
+	db, err := st.resolveDB(ctx, stmt.dsVar)
+	if err != nil {
+		return err
+	}
+	sql := stmt.sql
+	if ref != nil {
+		sql = strings.ReplaceAll(sql, "{TABLE}", ref.Table)
+	}
+	// Lifecycle statements use their own autocommitting session so that
+	// entity management is independent of the process transaction.
+	_, err = db.Session().Exec(sql)
+	return err
+}

@@ -1,0 +1,43 @@
+package bis_test
+
+import (
+	"fmt"
+
+	"wfsql/internal/bis"
+	"wfsql/internal/engine"
+	"wfsql/internal/sqldb"
+)
+
+// Example shows the BIS signature move: a SQL activity whose result stays
+// in the database behind a result set reference, retrieved into the
+// process space only when needed.
+func Example() {
+	db := sqldb.Open("orders")
+	db.MustExec("CREATE TABLE Orders (ItemID VARCHAR, Quantity INTEGER)")
+	db.MustExec("INSERT INTO Orders VALUES ('bolt', 10), ('bolt', 5), ('nut', 3)")
+
+	e := engine.New(nil)
+	e.RegisterDataSource("orders", db)
+
+	p := bis.NewProcess("totals").
+		DataSourceVariable("DS", "orders").
+		InputSetReference("SR_Orders", "Orders").
+		ResultSetReference("SR_Totals").
+		XMLVariable("SV_Totals", "").
+		Body(engine.NewSequence("main",
+			bis.NewSQL("aggregate", "DS",
+				"SELECT ItemID, SUM(Quantity) AS Total FROM #SR_Orders# GROUP BY ItemID ORDER BY ItemID").
+				Into("SR_Totals"),
+			bis.NewRetrieveSet("materialize", "DS", "SR_Totals", "SV_Totals"),
+			bis.JavaSnippet("print", func(ctx *engine.Ctx) error {
+				n, err := bis.TupleCount(ctx, "SV_Totals")
+				fmt.Println("item types:", n)
+				return err
+			}),
+		)).
+		Build()
+
+	d, _ := e.Deploy(p)
+	d.Run(nil)
+	// Output: item types: 2
+}

@@ -1,0 +1,261 @@
+// Package bis reimplements the SQL inline support of IBM's Business
+// Integration Suite as surveyed by the paper: the Information Server
+// plugin's *information service activities* (SQL activity, retrieve set
+// activity, atomic SQL sequence), set reference variables that pass
+// external data sets by reference, data source variables with dynamic
+// binding, and preparation/cleanup statement lifecycle management for
+// database entities.
+//
+// Process models are built with ProcessBuilder (the WebSphere Integration
+// Developer role) and executed on the shared BPEL engine in
+// internal/engine (the WebSphere Process Server role).
+package bis
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+
+	"wfsql/internal/engine"
+	"wfsql/internal/sqldb"
+)
+
+// stateKey is the instance-context key of the BIS runtime state.
+const stateKey = "bis.state"
+
+// SetRefKind distinguishes input and result set references.
+type SetRefKind int
+
+// Set reference kinds: an input set reference refers to an existing table;
+// a result set reference refers to a (typically generated) table holding a
+// query or stored-procedure result.
+const (
+	InputSetRef SetRefKind = iota
+	ResultSetRef
+)
+
+// SetRef is a set reference variable: a handle to an external table used
+// in place of a static table name, so external data sets are passed across
+// activities and processes by reference instead of by value.
+type SetRef struct {
+	Name  string
+	Kind  SetRefKind
+	Table string // bound table name; for result refs, generated per instance
+
+	// Preparation and Cleanup are DDL statements bound to this set
+	// reference; {TABLE} inside them is substituted with the bound table
+	// name. Cleanup runs at the end of the workflow.
+	Preparation string
+	Cleanup     string
+}
+
+// state is the per-instance BIS runtime state.
+type state struct {
+	mu       sync.Mutex
+	refs     map[string]*SetRef
+	dsvars   map[string]string // data source variable -> data source name
+	sessions map[*sqldb.DB]*sqldb.Session
+	inTxn    map[*sqldb.DB]bool
+	atomic   int // depth of atomic SQL sequences
+	mode     engine.TransactionMode
+}
+
+func getState(ctx *engine.Ctx) (*state, error) {
+	v, ok := ctx.Inst.Context(stateKey)
+	if !ok {
+		return nil, fmt.Errorf("bis: process was not built with bis.ProcessBuilder")
+	}
+	return v.(*state), nil
+}
+
+// SetReference returns the named set reference of a running instance.
+func SetReference(ctx *engine.Ctx, name string) (*SetRef, error) {
+	st, err := getState(ctx)
+	if err != nil {
+		return nil, err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	r, ok := st.refs[name]
+	if !ok {
+		return nil, fmt.Errorf("bis: no set reference %s", name)
+	}
+	return r, nil
+}
+
+// BindSetReference redefines a set reference to point at another table at
+// runtime (dynamic binding of external data sets).
+func BindSetReference(ctx *engine.Ctx, name, table string) error {
+	r, err := SetReference(ctx, name)
+	if err != nil {
+		return err
+	}
+	st, _ := getState(ctx)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	r.Table = table
+	return nil
+}
+
+// RebindDataSource redirects a data source variable to another registered
+// data source at runtime — the paper's example of switching between a test
+// and a production environment without redeploying the process.
+func RebindDataSource(ctx *engine.Ctx, dsVar, dataSource string) error {
+	st, err := getState(ctx)
+	if err != nil {
+		return err
+	}
+	if _, err := ctx.Engine.DataSource(dataSource); err != nil {
+		return err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, ok := st.dsvars[dsVar]; !ok {
+		return fmt.Errorf("bis: no data source variable %s", dsVar)
+	}
+	st.dsvars[dsVar] = dataSource
+	return nil
+}
+
+// resolveDB resolves a data source variable to its database.
+func (st *state) resolveDB(ctx *engine.Ctx, dsVar string) (*sqldb.DB, error) {
+	st.mu.Lock()
+	dsName, ok := st.dsvars[dsVar]
+	st.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("bis: no data source variable %s", dsVar)
+	}
+	return ctx.Engine.DataSource(dsName)
+}
+
+// sessionFor returns the session to use for db under the current
+// transaction policy:
+//
+//   - short-running process: all SQL and retrieve-set activities share one
+//     transaction per data source, opened on first use and ended when the
+//     process completes;
+//   - long-running process: autocommit per activity, unless inside an
+//     atomic SQL sequence, which opens a transaction that the sequence
+//     commits (or rolls back on fault).
+func (st *state) sessionFor(db *sqldb.DB) *sqldb.Session {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	s, ok := st.sessions[db]
+	if !ok {
+		s = db.Session()
+		st.sessions[db] = s
+	}
+	needTxn := st.mode == engine.ShortRunning || st.atomic > 0
+	if needTxn && !st.inTxn[db] {
+		if _, err := s.Exec("BEGIN"); err == nil {
+			st.inTxn[db] = true
+		}
+	}
+	return s
+}
+
+// enterAtomic begins an atomic SQL sequence region.
+func (st *state) enterAtomic() {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.atomic++
+}
+
+// exitAtomic ends an atomic region, committing (or rolling back) every
+// transaction opened inside it. Short-running processes already run in a
+// single process-wide transaction, so nothing is ended early.
+func (st *state) exitAtomic(fault error) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.atomic--
+	if st.mode == engine.ShortRunning || st.atomic > 0 {
+		return nil
+	}
+	var firstErr error
+	for db, s := range st.sessions {
+		if !st.inTxn[db] {
+			continue
+		}
+		if fault != nil {
+			s.Rollback()
+		} else if _, err := s.Exec("COMMIT"); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		st.inTxn[db] = false
+	}
+	return firstErr
+}
+
+// finish ends all open process-wide transactions at instance completion.
+func (st *state) finish(fault error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for db, s := range st.sessions {
+		if !st.inTxn[db] {
+			continue
+		}
+		if fault != nil {
+			s.Rollback()
+		} else {
+			s.Exec("COMMIT")
+		}
+		st.inTxn[db] = false
+	}
+}
+
+// substituteSQL rewrites #name# placeholders: set references become their
+// bound table names; scalar process variables become bound parameters.
+func substituteSQL(ctx *engine.Ctx, st *state, sql string) (string, []sqldb.Value, error) {
+	var out strings.Builder
+	var params []sqldb.Value
+	for {
+		i := strings.IndexByte(sql, '#')
+		if i < 0 {
+			out.WriteString(sql)
+			break
+		}
+		j := strings.IndexByte(sql[i+1:], '#')
+		if j < 0 {
+			return "", nil, fmt.Errorf("bis: unterminated #variable# reference in SQL")
+		}
+		name := sql[i+1 : i+1+j]
+		out.WriteString(sql[:i])
+		sql = sql[i+j+2:]
+		st.mu.Lock()
+		ref, isRef := st.refs[name]
+		st.mu.Unlock()
+		if isRef {
+			if ref.Table == "" {
+				return "", nil, fmt.Errorf("bis: set reference %s is not bound to a table", name)
+			}
+			out.WriteString(ref.Table)
+			continue
+		}
+		v, err := ctx.Variable(name)
+		if err != nil {
+			return "", nil, fmt.Errorf("bis: #%s#: %w", name, err)
+		}
+		out.WriteString("?")
+		params = append(params, scalarValue(v.String()))
+	}
+	return out.String(), params, nil
+}
+
+// scalarValue converts a process variable's string to the most specific
+// SQL value so comparisons against numeric columns behave naturally.
+func scalarValue(s string) sqldb.Value {
+	if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return sqldb.Int(i)
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return sqldb.Float(f)
+	}
+	switch s {
+	case "true", "TRUE":
+		return sqldb.Bool(true)
+	case "false", "FALSE":
+		return sqldb.Bool(false)
+	}
+	return sqldb.Str(s)
+}

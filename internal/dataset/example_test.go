@@ -1,0 +1,41 @@
+package dataset_test
+
+import (
+	"fmt"
+
+	"wfsql/internal/dataset"
+	"wfsql/internal/sqldb"
+)
+
+// Example shows the disconnected-cache lifecycle: Fill, local edits with
+// change tracking, and synchronization back to the source.
+func Example() {
+	db := sqldb.Open("src")
+	db.MustExec("CREATE TABLE Items (ItemID VARCHAR PRIMARY KEY, Stock INTEGER)")
+	db.MustExec("INSERT INTO Items VALUES ('bolt', 100), ('nut', 50)")
+
+	adapter := &dataset.DataAdapter{
+		DB:         db,
+		SelectSQL:  "SELECT ItemID, Stock FROM Items ORDER BY ItemID",
+		Table:      "Items",
+		KeyColumns: []string{"ItemID"},
+	}
+	ds := dataset.New()
+	adapter.Fill(ds, "Items")
+
+	tab := ds.Table("Items")
+	row, _ := tab.Find(sqldb.Str("bolt"))
+	row.Set("Stock", sqldb.Int(75))
+	tab.AddRow(sqldb.Str("washer"), sqldb.Int(10))
+
+	n, _ := adapter.Update(ds, "Items")
+	fmt.Println("synchronized rows:", n)
+	fmt.Print(db.MustExec("SELECT ItemID, Stock FROM Items ORDER BY ItemID"))
+	// Output:
+	// synchronized rows: 2
+	// ItemID | Stock
+	// -------+------
+	// bolt   | 75
+	// nut    | 50
+	// washer | 10
+}

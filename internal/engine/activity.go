@@ -1,0 +1,657 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"wfsql/internal/wsbus"
+	"wfsql/internal/xdm"
+	"wfsql/internal/xpath"
+)
+
+// Activity is one node of a process model. Activities abstract from their
+// concrete implementation (the paper's two-level programming model): the
+// engine executes them without knowing whether they are control flow,
+// service invocations, or — in the product layers — SQL operations.
+type Activity interface {
+	Name() string
+	Execute(ctx *Ctx) error
+}
+
+// execChild runs an activity with trace recording.
+func execChild(ctx *Ctx, a Activity) error {
+	ctx.Inst.recordTrace(a.Name(), "start", "")
+	err := a.Execute(ctx)
+	if err != nil {
+		ctx.Inst.recordTrace(a.Name(), "fault", err.Error())
+		return err
+	}
+	ctx.Inst.recordTrace(a.Name(), "end", "")
+	return nil
+}
+
+// --- Sequence ---
+
+// Sequence executes its children in order.
+type Sequence struct {
+	ActivityName string
+	Children     []Activity
+}
+
+// NewSequence builds a sequence activity.
+func NewSequence(name string, children ...Activity) *Sequence {
+	return &Sequence{ActivityName: name, Children: children}
+}
+
+// Name implements Activity.
+func (s *Sequence) Name() string { return s.ActivityName }
+
+// Append adds a child and returns the sequence.
+func (s *Sequence) Append(a ...Activity) *Sequence {
+	s.Children = append(s.Children, a...)
+	return s
+}
+
+// Execute implements Activity.
+func (s *Sequence) Execute(ctx *Ctx) error {
+	for _, c := range s.Children {
+		if err := execChild(ctx, c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// --- Flow ---
+
+// Flow executes its children concurrently and waits for all of them
+// (BPEL's parallel construct). The first fault, if any, is returned after
+// all branches finish.
+type Flow struct {
+	ActivityName string
+	Children     []Activity
+}
+
+// NewFlow builds a flow activity.
+func NewFlow(name string, children ...Activity) *Flow {
+	return &Flow{ActivityName: name, Children: children}
+}
+
+// Name implements Activity.
+func (f *Flow) Name() string { return f.ActivityName }
+
+// Execute implements Activity.
+func (f *Flow) Execute(ctx *Ctx) error {
+	var wg sync.WaitGroup
+	errs := make([]error, len(f.Children))
+	for i, c := range f.Children {
+		wg.Add(1)
+		go func(i int, c Activity) {
+			defer wg.Done()
+			errs[i] = execChild(ctx, c)
+		}(i, c)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// --- Condition ---
+
+// Condition gates while loops and if branches. Either an XPath boolean
+// expression or a Go predicate.
+type Condition interface {
+	Test(ctx *Ctx) (bool, error)
+}
+
+// XPathCondition evaluates a compiled XPath expression as a boolean.
+type XPathCondition struct{ Expr *xpath.Expr }
+
+// Cond compiles an XPath condition, panicking on syntax errors (process
+// models are built at program start).
+func Cond(src string) Condition { return &XPathCondition{Expr: xpath.MustCompile(src)} }
+
+// Test implements Condition.
+func (c *XPathCondition) Test(ctx *Ctx) (bool, error) {
+	v, err := ctx.EvalXPath(c.Expr)
+	if err != nil {
+		return false, err
+	}
+	return v.AsBool(), nil
+}
+
+// FuncCondition adapts a Go predicate to Condition.
+type FuncCondition func(ctx *Ctx) (bool, error)
+
+// Test implements Condition.
+func (f FuncCondition) Test(ctx *Ctx) (bool, error) { return f(ctx) }
+
+// --- While ---
+
+// While repeats its body while the condition holds.
+type While struct {
+	ActivityName string
+	Condition    Condition
+	Body         Activity
+}
+
+// NewWhile builds a while activity.
+func NewWhile(name string, cond Condition, body Activity) *While {
+	return &While{ActivityName: name, Condition: cond, Body: body}
+}
+
+// Name implements Activity.
+func (w *While) Name() string { return w.ActivityName }
+
+// Execute implements Activity.
+func (w *While) Execute(ctx *Ctx) error {
+	for {
+		ok, err := w.Condition.Test(ctx)
+		if err != nil {
+			return fmt.Errorf("%s: condition: %w", w.ActivityName, err)
+		}
+		if !ok {
+			return nil
+		}
+		if err := execChild(ctx, w.Body); err != nil {
+			return err
+		}
+	}
+}
+
+// --- If ---
+
+// IfBranch is one condition/body arm of an If activity.
+type IfBranch struct {
+	Condition Condition
+	Body      Activity
+}
+
+// If selects the first branch whose condition holds; Else (optional) runs
+// when none do.
+type If struct {
+	ActivityName string
+	Branches     []IfBranch
+	Else         Activity
+}
+
+// NewIf builds an if activity with one branch.
+func NewIf(name string, cond Condition, then Activity) *If {
+	return &If{ActivityName: name, Branches: []IfBranch{{Condition: cond, Body: then}}}
+}
+
+// ElseIf appends a branch.
+func (i *If) ElseIf(cond Condition, body Activity) *If {
+	i.Branches = append(i.Branches, IfBranch{Condition: cond, Body: body})
+	return i
+}
+
+// SetElse sets the else body.
+func (i *If) SetElse(body Activity) *If {
+	i.Else = body
+	return i
+}
+
+// Name implements Activity.
+func (i *If) Name() string { return i.ActivityName }
+
+// Execute implements Activity.
+func (i *If) Execute(ctx *Ctx) error {
+	for _, b := range i.Branches {
+		ok, err := b.Condition.Test(ctx)
+		if err != nil {
+			return fmt.Errorf("%s: condition: %w", i.ActivityName, err)
+		}
+		if ok {
+			return execChild(ctx, b.Body)
+		}
+	}
+	if i.Else != nil {
+		return execChild(ctx, i.Else)
+	}
+	return nil
+}
+
+// --- Empty ---
+
+// Empty does nothing (BPEL empty activity).
+type Empty struct{ ActivityName string }
+
+// Name implements Activity.
+func (e *Empty) Name() string { return e.ActivityName }
+
+// Execute implements Activity.
+func (e *Empty) Execute(ctx *Ctx) error { return nil }
+
+// --- Assign ---
+
+// CopySpec is one from/to copy of an assign activity. From is an XPath
+// expression over the process variables; To names a target variable and an
+// optional XPath location within it.
+type CopySpec struct {
+	From   *xpath.Expr
+	ToVar  string
+	ToPath *xpath.Expr // nil: replace whole variable
+}
+
+// Assign copies data between variables. The BPEL specification
+// predetermines XPath as the expression language over source and target.
+type Assign struct {
+	ActivityName string
+	Copies       []CopySpec
+}
+
+// NewAssign builds an assign activity.
+func NewAssign(name string) *Assign { return &Assign{ActivityName: name} }
+
+// Copy adds a from-expression → to-variable copy (whole variable).
+func (a *Assign) Copy(fromExpr, toVar string) *Assign {
+	a.Copies = append(a.Copies, CopySpec{From: xpath.MustCompile(fromExpr), ToVar: toVar})
+	return a
+}
+
+// CopyTo adds a from-expression → to-variable-path copy.
+func (a *Assign) CopyTo(fromExpr, toVar, toPath string) *Assign {
+	a.Copies = append(a.Copies, CopySpec{
+		From:   xpath.MustCompile(fromExpr),
+		ToVar:  toVar,
+		ToPath: xpath.MustCompile(toPath),
+	})
+	return a
+}
+
+// Name implements Activity.
+func (a *Assign) Name() string { return a.ActivityName }
+
+// Execute implements Activity.
+func (a *Assign) Execute(ctx *Ctx) error {
+	for i, cp := range a.Copies {
+		if err := a.execCopy(ctx, cp); err != nil {
+			return fmt.Errorf("%s: copy %d: %w", a.ActivityName, i+1, err)
+		}
+	}
+	return nil
+}
+
+func (a *Assign) execCopy(ctx *Ctx, cp CopySpec) error {
+	fromVal, err := ctx.EvalXPath(cp.From)
+	if err != nil {
+		return err
+	}
+	target, err := ctx.Variable(cp.ToVar)
+	if err != nil {
+		return err
+	}
+	if cp.ToPath == nil {
+		// Replace the whole variable.
+		if n := fromVal.FirstNode(); n != nil && fromVal.Kind == xpath.KindNodeSet {
+			target.SetNode(n.Clone())
+		} else {
+			target.SetString(fromVal.AsString())
+		}
+		return nil
+	}
+	if target.Kind != XMLVar || target.Node() == nil {
+		return fmt.Errorf("assign: target %s is not an XML variable", cp.ToVar)
+	}
+	// Evaluate the to-path relative to the target variable's document.
+	tctx := ctx.XPathContext()
+	tctx.Node = target.Node()
+	tv, err := cp.ToPath.Eval(tctx)
+	if err != nil {
+		return err
+	}
+	tn := tv.FirstNode()
+	if tn == nil {
+		return fmt.Errorf("assign: to-path %q selected no node in %s", cp.ToPath.Source(), cp.ToVar)
+	}
+	replaceContent(tn, fromVal)
+	return nil
+}
+
+// replaceContent implements BPEL copy semantics: the target node's content
+// is replaced by the source value (element content for node sources,
+// string content otherwise).
+func replaceContent(target *xdm.Node, from xpath.Value) {
+	if n := from.FirstNode(); n != nil && from.Kind == xpath.KindNodeSet && n.Kind == xdm.ElementNode {
+		clone := n.Clone()
+		target.Children = nil
+		target.Attrs = append([]xdm.Attr(nil), clone.Attrs...)
+		for _, c := range clone.Children {
+			target.AppendChild(c)
+		}
+		return
+	}
+	target.SetText(from.AsString())
+}
+
+// --- Invoke ---
+
+// Invoke calls a service on the engine's bus. Input parts are XPath
+// expressions over the process variables; output parts map response parts
+// to variables.
+type Invoke struct {
+	ActivityName string
+	Service      string
+	Inputs       map[string]*xpath.Expr // part name -> expression
+	Outputs      map[string]string      // part name -> variable name
+}
+
+// NewInvoke builds an invoke activity.
+func NewInvoke(name, service string) *Invoke {
+	return &Invoke{ActivityName: name, Service: service,
+		Inputs: map[string]*xpath.Expr{}, Outputs: map[string]string{}}
+}
+
+// In maps an input part to an XPath expression.
+func (iv *Invoke) In(part, expr string) *Invoke {
+	iv.Inputs[part] = xpath.MustCompile(expr)
+	return iv
+}
+
+// Out maps a response part to a variable.
+func (iv *Invoke) Out(part, variable string) *Invoke {
+	iv.Outputs[part] = variable
+	return iv
+}
+
+// Name implements Activity.
+func (iv *Invoke) Name() string { return iv.ActivityName }
+
+// Execute implements Activity.
+func (iv *Invoke) Execute(ctx *Ctx) error {
+	if ctx.Engine.Bus == nil {
+		return fmt.Errorf("%s: engine has no service bus", iv.ActivityName)
+	}
+	req := wsbus.Message{}
+	for part, e := range iv.Inputs {
+		v, err := ctx.EvalXPath(e)
+		if err != nil {
+			return fmt.Errorf("%s: input %s: %w", iv.ActivityName, part, err)
+		}
+		req[part] = v.AsString()
+	}
+	resp, err := ctx.Engine.Bus.Invoke(iv.Service, req)
+	if err != nil {
+		return fmt.Errorf("%s: %w", iv.ActivityName, err)
+	}
+	for part, varName := range iv.Outputs {
+		pv, ok := resp[part]
+		if !ok {
+			return fmt.Errorf("%s: response missing part %s", iv.ActivityName, part)
+		}
+		if err := ctx.SetScalar(varName, pv); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// --- Snippet ---
+
+// Snippet embeds code directly into the process logic — the analog of
+// IBM's Java-Snippets (and of Oracle's Java embedding). The paper's
+// workaround realizations of the Sequential Set Access, Tuple IUD, and
+// Synchronization patterns are built from these.
+type Snippet struct {
+	ActivityName string
+	Fn           func(ctx *Ctx) error
+}
+
+// NewSnippet builds a code snippet activity.
+func NewSnippet(name string, fn func(ctx *Ctx) error) *Snippet {
+	return &Snippet{ActivityName: name, Fn: fn}
+}
+
+// Name implements Activity.
+func (s *Snippet) Name() string { return s.ActivityName }
+
+// Execute implements Activity.
+func (s *Snippet) Execute(ctx *Ctx) error { return s.Fn(ctx) }
+
+// --- Throw ---
+
+// Throw raises a named fault.
+type Throw struct {
+	ActivityName string
+	FaultName    string
+}
+
+// Name implements Activity.
+func (t *Throw) Name() string { return t.ActivityName }
+
+// Execute implements Activity.
+func (t *Throw) Execute(ctx *Ctx) error {
+	return &Fault{Name: t.FaultName, Activity: t.ActivityName}
+}
+
+// Fault is a named process fault.
+type Fault struct {
+	Name     string
+	Activity string
+	Wrapped  error
+}
+
+// Error implements error.
+func (f *Fault) Error() string {
+	msg := fmt.Sprintf("fault %s (at %s)", f.Name, f.Activity)
+	if f.Wrapped != nil {
+		msg += ": " + f.Wrapped.Error()
+	}
+	return msg
+}
+
+// Unwrap exposes the wrapped cause.
+func (f *Fault) Unwrap() error { return f.Wrapped }
+
+// --- Scope ---
+
+// Scope groups a body with an optional fault handler, an optional
+// compensation handler (registered when the scope completes successfully,
+// runnable later via a Compensate activity), and an optional finally
+// activity that always runs (the hook the BIS layer uses for cleanup
+// statements).
+type Scope struct {
+	ActivityName string
+	Body         Activity
+	FaultHandler Activity // runs if Body faults; fault is absorbed unless the handler faults
+	Compensation Activity // registered on successful completion
+	Finally      Activity // always runs after body/handler
+}
+
+// Name implements Activity.
+func (s *Scope) Name() string { return s.ActivityName }
+
+// Execute implements Activity.
+func (s *Scope) Execute(ctx *Ctx) error {
+	sub := &Ctx{Inst: ctx.Inst, Engine: ctx.Engine, scope: &scopeFrame{parent: ctx.scope, name: s.ActivityName}}
+	err := execChild(sub, s.Body)
+	faulted := err != nil
+	if err != nil && s.FaultHandler != nil {
+		ctx.Inst.recordTrace(s.ActivityName, "fault-handled", err.Error())
+		err = execChild(sub, s.FaultHandler)
+	}
+	if s.Finally != nil {
+		if ferr := execChild(sub, s.Finally); ferr != nil && err == nil {
+			err = ferr
+		}
+	}
+	// Only scopes that completed without faulting install their
+	// compensation handler; a handled fault still counts as not
+	// successfully completed (BPEL compensation semantics).
+	if err == nil && !faulted && s.Compensation != nil {
+		ctx.Inst.pushCompensation(s.ActivityName, s.Compensation)
+	}
+	return err
+}
+
+// Compensate runs the compensation handlers of all successfully completed
+// scopes in reverse completion order (BPEL's compensate activity).
+// Handlers run at most once; a handler fault aborts the remaining
+// compensations.
+type Compensate struct{ ActivityName string }
+
+// Name implements Activity.
+func (c *Compensate) Name() string { return c.ActivityName }
+
+// Execute implements Activity.
+func (c *Compensate) Execute(ctx *Ctx) error {
+	for {
+		scopeName, handler, ok := ctx.Inst.popCompensation()
+		if !ok {
+			return nil
+		}
+		ctx.Inst.recordTrace(c.ActivityName, "compensating", scopeName)
+		if err := execChild(ctx, handler); err != nil {
+			return fmt.Errorf("%s: compensating %s: %w", c.ActivityName, scopeName, err)
+		}
+	}
+}
+
+// Receive binds parts of the instance's input message to process
+// variables (BPEL's instantiating receive). Parts not present in the
+// input are an error unless marked optional.
+type Receive struct {
+	ActivityName string
+	Parts        map[string]string // message part -> variable name
+	Optional     map[string]bool   // parts that may be absent
+}
+
+// NewReceive builds a receive activity.
+func NewReceive(name string) *Receive {
+	return &Receive{ActivityName: name, Parts: map[string]string{}, Optional: map[string]bool{}}
+}
+
+// Part maps an input message part to a variable.
+func (r *Receive) Part(part, variable string) *Receive {
+	r.Parts[part] = variable
+	return r
+}
+
+// OptionalPart maps a part that may be absent from the input.
+func (r *Receive) OptionalPart(part, variable string) *Receive {
+	r.Parts[part] = variable
+	r.Optional[part] = true
+	return r
+}
+
+// Name implements Activity.
+func (r *Receive) Name() string { return r.ActivityName }
+
+// Execute implements Activity.
+func (r *Receive) Execute(ctx *Ctx) error {
+	msg := ctx.Inst.InputMessage()
+	for part, varName := range r.Parts {
+		v, ok := msg[part]
+		if !ok {
+			if r.Optional[part] {
+				continue
+			}
+			return fmt.Errorf("%s: input message missing part %s", r.ActivityName, part)
+		}
+		if err := ctx.SetScalar(varName, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Reply assembles the instance's output message from XPath expressions
+// over the process variables (BPEL's reply).
+type Reply struct {
+	ActivityName string
+	Parts        map[string]*xpath.Expr
+}
+
+// NewReply builds a reply activity.
+func NewReply(name string) *Reply {
+	return &Reply{ActivityName: name, Parts: map[string]*xpath.Expr{}}
+}
+
+// Part maps an output message part to an expression.
+func (r *Reply) Part(part, expr string) *Reply {
+	r.Parts[part] = xpath.MustCompile(expr)
+	return r
+}
+
+// Name implements Activity.
+func (r *Reply) Name() string { return r.ActivityName }
+
+// Execute implements Activity.
+func (r *Reply) Execute(ctx *Ctx) error {
+	out := map[string]string{}
+	for part, e := range r.Parts {
+		v, err := ctx.EvalXPath(e)
+		if err != nil {
+			return fmt.Errorf("%s: part %s: %w", r.ActivityName, part, err)
+		}
+		out[part] = v.AsString()
+	}
+	ctx.Inst.setOutputMessage(out)
+	return nil
+}
+
+// Wait pauses the process for a fixed duration (BPEL's wait activity with
+// a "for" duration).
+type Wait struct {
+	ActivityName string
+	Duration     time.Duration
+}
+
+// Name implements Activity.
+func (w *Wait) Name() string { return w.ActivityName }
+
+// Execute implements Activity.
+func (w *Wait) Execute(ctx *Ctx) error {
+	time.Sleep(w.Duration)
+	return nil
+}
+
+// ActivityNames flattens the structural activity names of a tree (used by
+// deployment validation and tests).
+func ActivityNames(a Activity) []string {
+	var out []string
+	var walk func(Activity)
+	walk = func(x Activity) {
+		if x == nil {
+			return
+		}
+		out = append(out, x.Name())
+		switch t := x.(type) {
+		case *Sequence:
+			for _, c := range t.Children {
+				walk(c)
+			}
+		case *Flow:
+			for _, c := range t.Children {
+				walk(c)
+			}
+		case *While:
+			walk(t.Body)
+		case *If:
+			for _, b := range t.Branches {
+				walk(b.Body)
+			}
+			walk(t.Else)
+		case *Scope:
+			walk(t.Body)
+			walk(t.FaultHandler)
+			walk(t.Compensation)
+			walk(t.Finally)
+		}
+	}
+	walk(a)
+	return out
+}
+
+// describeActivity returns a short structural description for monitoring.
+func describeActivity(a Activity) string {
+	names := ActivityNames(a)
+	return strings.Join(names, " > ")
+}

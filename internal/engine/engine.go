@@ -1,0 +1,286 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"wfsql/internal/sqldb"
+	"wfsql/internal/wsbus"
+	"wfsql/internal/xdm"
+	"wfsql/internal/xpath"
+)
+
+// TransactionMode distinguishes the process kinds the paper's transaction
+// discussion depends on: in *short-running* processes all SQL and
+// retrieve-set activities execute in a single transaction; in
+// *long-running* processes each executes in its own transaction unless
+// bundled by an atomic SQL sequence.
+type TransactionMode int
+
+// Process transaction modes.
+const (
+	LongRunning TransactionMode = iota
+	ShortRunning
+)
+
+// String returns the mode name.
+func (m TransactionMode) String() string {
+	if m == ShortRunning {
+		return "short-running"
+	}
+	return "long-running"
+}
+
+// Process is a deployable process model (the output of the design step in
+// all three product architectures).
+type Process struct {
+	Name      string
+	Variables []VarDecl
+	Body      Activity
+	Funcs     xpath.FunctionResolver // extension functions (e.g. ora:*)
+	Mode      TransactionMode
+
+	// OnInstanceStart hooks run before the body (the BIS layer installs
+	// preparation statements and transaction setup here).
+	OnInstanceStart []func(ctx *Ctx) error
+}
+
+// Engine executes deployed processes. It owns the service bus and the
+// registry of named data sources the product layers resolve against.
+type Engine struct {
+	Bus *wsbus.Bus
+
+	mu          sync.RWMutex
+	dataSources map[string]*sqldb.DB
+	nextID      atomic.Int64
+	listeners   []func(instanceID int64, ev TraceEvent)
+}
+
+// AddTraceListener registers a monitoring callback invoked for every
+// activity trace event of every instance (the monitoring surface the
+// product architectures expose). Listeners must be fast and must not
+// re-enter the engine.
+func (e *Engine) AddTraceListener(fn func(instanceID int64, ev TraceEvent)) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.listeners = append(e.listeners, fn)
+}
+
+func (e *Engine) notifyTrace(instanceID int64, ev TraceEvent) {
+	e.mu.RLock()
+	ls := e.listeners
+	e.mu.RUnlock()
+	for _, fn := range ls {
+		fn(instanceID, ev)
+	}
+}
+
+// New creates an engine with the given bus (nil is allowed for processes
+// that never invoke services).
+func New(bus *wsbus.Bus) *Engine {
+	return &Engine{Bus: bus, dataSources: map[string]*sqldb.DB{}}
+}
+
+// RegisterDataSource makes a database available under a JNDI-like name.
+func (e *Engine) RegisterDataSource(name string, db *sqldb.DB) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.dataSources[name] = db
+}
+
+// DataSource resolves a registered database.
+func (e *Engine) DataSource(name string) (*sqldb.DB, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	db, ok := e.dataSources[name]
+	if !ok {
+		return nil, fmt.Errorf("engine: no data source %q registered", name)
+	}
+	return db, nil
+}
+
+// DataSourceNames lists registered data source names.
+func (e *Engine) DataSourceNames() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	names := make([]string, 0, len(e.dataSources))
+	for n := range e.dataSources {
+		names = append(names, n)
+	}
+	return names
+}
+
+// Deployment is a validated process installed on the engine.
+type Deployment struct {
+	Process *Process
+	Engine  *Engine
+}
+
+// Deploy validates a process model and installs it. Validation mirrors
+// what the products' deployment steps check: a body exists, variable
+// declarations are unique, and activity names are non-empty.
+func (e *Engine) Deploy(p *Process) (*Deployment, error) {
+	if p.Name == "" {
+		return nil, fmt.Errorf("engine: process must have a name")
+	}
+	if p.Body == nil {
+		return nil, fmt.Errorf("engine: process %s has no body", p.Name)
+	}
+	seen := map[string]bool{}
+	for _, vd := range p.Variables {
+		if vd.Name == "" {
+			return nil, fmt.Errorf("engine: process %s declares an unnamed variable", p.Name)
+		}
+		if seen[vd.Name] {
+			return nil, fmt.Errorf("engine: process %s declares variable %s twice", p.Name, vd.Name)
+		}
+		seen[vd.Name] = true
+	}
+	for _, n := range ActivityNames(p.Body) {
+		if n == "" {
+			return nil, fmt.Errorf("engine: process %s contains an unnamed activity", p.Name)
+		}
+	}
+	return &Deployment{Process: p, Engine: e}, nil
+}
+
+// NewInstance instantiates the deployment, initializing declared
+// variables and binding input values to scalar variables.
+func (d *Deployment) NewInstance(input map[string]string) (*Instance, error) {
+	in := &Instance{
+		ID:      d.Engine.nextID.Add(1),
+		Process: d.Process,
+		Engine:  d.Engine,
+		vars:    map[string]*Variable{},
+		context: map[string]any{},
+		state:   StateReady,
+	}
+	for _, vd := range d.Process.Variables {
+		switch vd.Kind {
+		case XMLVar:
+			var n *xdm.Node
+			if vd.InitXML != "" {
+				parsed, err := xdm.Parse(vd.InitXML)
+				if err != nil {
+					return nil, fmt.Errorf("engine: variable %s init: %w", vd.Name, err)
+				}
+				n = parsed
+			}
+			in.vars[vd.Name] = NewXMLVariable(vd.Name, n)
+		default:
+			in.vars[vd.Name] = NewScalarVariable(vd.Name, vd.Init)
+		}
+	}
+	in.input = make(map[string]string, len(input))
+	for k, v := range input {
+		in.input[k] = v
+	}
+	// When the process starts with an explicit Receive, binding is the
+	// Receive's job; otherwise inputs bind directly to declared scalar
+	// variables (the convenience mode most tests and examples use).
+	if !containsReceive(d.Process.Body) {
+		for k, v := range input {
+			pv, ok := in.vars[k]
+			if !ok {
+				return nil, fmt.Errorf("engine: input %s does not match a declared variable", k)
+			}
+			pv.SetString(v)
+		}
+	}
+	return in, nil
+}
+
+// containsReceive reports whether the activity tree contains a Receive.
+func containsReceive(a Activity) bool {
+	found := false
+	var walk func(Activity)
+	walk = func(x Activity) {
+		if found || x == nil {
+			return
+		}
+		if _, ok := x.(*Receive); ok {
+			found = true
+			return
+		}
+		switch t := x.(type) {
+		case *Sequence:
+			for _, c := range t.Children {
+				walk(c)
+			}
+		case *Flow:
+			for _, c := range t.Children {
+				walk(c)
+			}
+		case *While:
+			walk(t.Body)
+		case *If:
+			for _, b := range t.Branches {
+				walk(b.Body)
+			}
+			walk(t.Else)
+		case *Scope:
+			walk(t.Body)
+			walk(t.FaultHandler)
+			walk(t.Compensation)
+			walk(t.Finally)
+		}
+	}
+	walk(a)
+	return found
+}
+
+// Run instantiates and executes the process to completion.
+func (d *Deployment) Run(input map[string]string) (*Instance, error) {
+	in, err := d.NewInstance(input)
+	if err != nil {
+		return nil, err
+	}
+	return in, d.Engine.execute(in)
+}
+
+// execute runs an instance's body, firing start hooks and completion
+// callbacks.
+func (e *Engine) execute(in *Instance) error {
+	in.mu.Lock()
+	if in.state != StateReady {
+		in.mu.Unlock()
+		return fmt.Errorf("engine: instance %d already %s", in.ID, in.state)
+	}
+	in.state = StateRunning
+	in.mu.Unlock()
+
+	ctx := &Ctx{Inst: in, Engine: e}
+	var err error
+	for _, hook := range in.Process.OnInstanceStart {
+		if err = hook(ctx); err != nil {
+			break
+		}
+	}
+	if err == nil {
+		err = execChild(ctx, in.Process.Body)
+	}
+
+	in.mu.Lock()
+	callbacks := append([]func(error){}, in.done...)
+	in.mu.Unlock()
+	for i := len(callbacks) - 1; i >= 0; i-- {
+		callbacks[i](err)
+	}
+
+	in.mu.Lock()
+	if err != nil {
+		in.state = StateFaulted
+		in.fault = err
+	} else {
+		in.state = StateCompleted
+	}
+	in.mu.Unlock()
+	return err
+}
+
+// Describe returns a structural one-line description of the process body
+// (monitoring/tooling support).
+func (d *Deployment) Describe() string {
+	return fmt.Sprintf("%s [%s]: %s", d.Process.Name, d.Process.Mode, describeActivity(d.Process.Body))
+}

@@ -1,0 +1,391 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"wfsql/internal/wsbus"
+	"wfsql/internal/xdm"
+)
+
+func deployAndRun(t *testing.T, e *Engine, p *Process, input map[string]string) *Instance {
+	t.Helper()
+	d, err := e.Deploy(p)
+	if err != nil {
+		t.Fatalf("deploy: %v", err)
+	}
+	in, err := d.Run(input)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return in
+}
+
+func TestSequenceOrder(t *testing.T) {
+	var order []string
+	mk := func(n string) Activity {
+		return NewSnippet(n, func(ctx *Ctx) error {
+			order = append(order, n)
+			return nil
+		})
+	}
+	p := &Process{Name: "seq", Body: NewSequence("main", mk("a"), mk("b"), mk("c"))}
+	deployAndRun(t, New(nil), p, nil)
+	if strings.Join(order, ",") != "a,b,c" {
+		t.Fatalf("order: %v", order)
+	}
+}
+
+func TestFlowRunsAllBranches(t *testing.T) {
+	var n atomic.Int64
+	mk := func(name string) Activity {
+		return NewSnippet(name, func(ctx *Ctx) error {
+			n.Add(1)
+			return nil
+		})
+	}
+	p := &Process{Name: "flow", Body: NewFlow("par", mk("a"), mk("b"), mk("c"), mk("d"))}
+	deployAndRun(t, New(nil), p, nil)
+	if n.Load() != 4 {
+		t.Fatalf("branches run: %d", n.Load())
+	}
+}
+
+func TestWhileWithXPathCondition(t *testing.T) {
+	p := &Process{
+		Name: "loop",
+		Variables: []VarDecl{
+			{Name: "i", Kind: ScalarVar, Init: "0"},
+			{Name: "total", Kind: ScalarVar, Init: "0"},
+		},
+		Body: NewWhile("w", Cond("$i < 5"), NewSnippet("inc", func(ctx *Ctx) error {
+			i, _ := ctx.Inst.MustVariable("i").Int()
+			tot, _ := ctx.Inst.MustVariable("total").Int()
+			ctx.SetScalar("i", fmt.Sprint(i+1))
+			return ctx.SetScalar("total", fmt.Sprint(tot+i))
+		})),
+	}
+	in := deployAndRun(t, New(nil), p, nil)
+	if got := in.MustVariable("total").String(); got != "10" {
+		t.Fatalf("total: %s", got)
+	}
+}
+
+func TestIfElse(t *testing.T) {
+	run := func(x string) string {
+		p := &Process{
+			Name:      "cond",
+			Variables: []VarDecl{{Name: "x", Kind: ScalarVar}, {Name: "out", Kind: ScalarVar}},
+			Body: NewIf("if", Cond("$x = 'a'"),
+				NewSnippet("then", func(ctx *Ctx) error { return ctx.SetScalar("out", "A") })).
+				ElseIf(Cond("$x = 'b'"),
+					NewSnippet("elseif", func(ctx *Ctx) error { return ctx.SetScalar("out", "B") })).
+				SetElse(NewSnippet("else", func(ctx *Ctx) error { return ctx.SetScalar("out", "other") })),
+		}
+		in := deployAndRun(t, New(nil), p, map[string]string{"x": x})
+		return in.MustVariable("out").String()
+	}
+	if run("a") != "A" || run("b") != "B" || run("z") != "other" {
+		t.Fatal("if/elseif/else selection wrong")
+	}
+}
+
+func TestAssignWholeVariable(t *testing.T) {
+	p := &Process{
+		Name: "assign",
+		Variables: []VarDecl{
+			{Name: "src", Kind: ScalarVar, Init: "hello"},
+			{Name: "dst", Kind: ScalarVar},
+		},
+		Body: NewAssign("a").Copy("$src", "dst"),
+	}
+	in := deployAndRun(t, New(nil), p, nil)
+	if in.MustVariable("dst").String() != "hello" {
+		t.Fatalf("dst: %s", in.MustVariable("dst").String())
+	}
+}
+
+func TestAssignXPathIntoDocument(t *testing.T) {
+	p := &Process{
+		Name: "assign2",
+		Variables: []VarDecl{
+			{Name: "doc", Kind: XMLVar, InitXML: "<order><item>bolt</item><qty>1</qty></order>"},
+			{Name: "item", Kind: ScalarVar},
+		},
+		Body: NewSequence("s",
+			// Extract with a path.
+			NewAssign("get").Copy("$doc/item", "item"),
+			// Update a node in place (Random Set Access + Tuple update).
+			NewAssign("set").CopyTo("'99'", "doc", "qty"),
+		),
+	}
+	in := deployAndRun(t, New(nil), p, nil)
+	if in.MustVariable("item").String() != "bolt" {
+		t.Fatalf("item: %q", in.MustVariable("item").String())
+	}
+	if got := in.MustVariable("doc").Node().ChildText("qty"); got != "99" {
+		t.Fatalf("qty: %q", got)
+	}
+}
+
+func TestAssignElementCopy(t *testing.T) {
+	p := &Process{
+		Name: "assign3",
+		Variables: []VarDecl{
+			{Name: "a", Kind: XMLVar, InitXML: "<x><v>1</v></x>"},
+			{Name: "b", Kind: XMLVar, InitXML: "<y><v>0</v></y>"},
+		},
+		Body: NewAssign("cp").CopyTo("$a/v", "b", "v"),
+	}
+	in := deployAndRun(t, New(nil), p, nil)
+	if got := in.MustVariable("b").Node().ChildText("v"); got != "1" {
+		t.Fatalf("copied element content: %q", got)
+	}
+}
+
+func TestAssignToMissingNodeFails(t *testing.T) {
+	p := &Process{
+		Name:      "assign4",
+		Variables: []VarDecl{{Name: "doc", Kind: XMLVar, InitXML: "<a/>"}},
+		Body:      NewAssign("bad").CopyTo("'x'", "doc", "nope"),
+	}
+	d, _ := New(nil).Deploy(p)
+	if _, err := d.Run(nil); err == nil {
+		t.Fatal("expected error for missing to-path node")
+	}
+}
+
+func TestInvoke(t *testing.T) {
+	bus := wsbus.New()
+	svc := wsbus.NewOrderFromSupplier(0)
+	bus.Register("OrderFromSupplier", svc.Handle)
+	e := New(bus)
+	p := &Process{
+		Name: "call",
+		Variables: []VarDecl{
+			{Name: "item", Kind: ScalarVar, Init: "bolt"},
+			{Name: "qty", Kind: ScalarVar, Init: "7"},
+			{Name: "conf", Kind: ScalarVar},
+		},
+		Body: NewInvoke("inv", "OrderFromSupplier").
+			In("ItemID", "$item").In("Quantity", "$qty").
+			Out("OrderConfirmation", "conf"),
+	}
+	in := deployAndRun(t, e, p, nil)
+	if got := in.MustVariable("conf").String(); got != "CONFIRMED:bolt:7" {
+		t.Fatalf("confirmation: %q", got)
+	}
+	if svc.Ordered("bolt") != 7 {
+		t.Fatalf("service state: %d", svc.Ordered("bolt"))
+	}
+}
+
+func TestInvokeUnknownService(t *testing.T) {
+	e := New(wsbus.New())
+	p := &Process{Name: "bad", Body: NewInvoke("inv", "NoSuch")}
+	d, _ := e.Deploy(p)
+	if _, err := d.Run(nil); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestScopeFaultHandler(t *testing.T) {
+	handled := false
+	p := &Process{
+		Name: "faulty",
+		Body: &Scope{
+			ActivityName: "scope",
+			Body:         &Throw{ActivityName: "boom", FaultName: "badThing"},
+			FaultHandler: NewSnippet("handler", func(ctx *Ctx) error {
+				handled = true
+				return nil
+			}),
+		},
+	}
+	in := deployAndRun(t, New(nil), p, nil)
+	if !handled {
+		t.Fatal("fault handler did not run")
+	}
+	if in.State() != StateCompleted {
+		t.Fatalf("state: %s", in.State())
+	}
+}
+
+func TestScopeFinallyRunsOnFault(t *testing.T) {
+	cleaned := false
+	p := &Process{
+		Name: "faulty2",
+		Body: &Scope{
+			ActivityName: "scope",
+			Body:         &Throw{ActivityName: "boom", FaultName: "badThing"},
+			Finally: NewSnippet("cleanup", func(ctx *Ctx) error {
+				cleaned = true
+				return nil
+			}),
+		},
+	}
+	d, _ := New(nil).Deploy(p)
+	_, err := d.Run(nil)
+	if err == nil {
+		t.Fatal("fault should propagate without a handler")
+	}
+	var f *Fault
+	if !errors.As(err, &f) || f.Name != "badThing" {
+		t.Fatalf("fault identity: %v", err)
+	}
+	if !cleaned {
+		t.Fatal("finally did not run")
+	}
+}
+
+func TestInstanceStateAndTrace(t *testing.T) {
+	p := &Process{
+		Name: "traced",
+		Body: NewSequence("main",
+			&Empty{ActivityName: "e1"},
+			&Empty{ActivityName: "e2"},
+		),
+	}
+	in := deployAndRun(t, New(nil), p, nil)
+	if in.State() != StateCompleted {
+		t.Fatalf("state: %s", in.State())
+	}
+	tr := in.Trace()
+	var names []string
+	for _, ev := range tr {
+		names = append(names, ev.Activity+":"+ev.Kind)
+	}
+	joined := strings.Join(names, " ")
+	if !strings.Contains(joined, "e1:start") || !strings.Contains(joined, "e2:end") {
+		t.Fatalf("trace: %s", joined)
+	}
+}
+
+func TestFaultedState(t *testing.T) {
+	p := &Process{Name: "f", Body: &Throw{ActivityName: "t", FaultName: "x"}}
+	d, _ := New(nil).Deploy(p)
+	in, err := d.Run(nil)
+	if err == nil {
+		t.Fatal("expected fault")
+	}
+	if in.State() != StateFaulted || in.Fault() == nil {
+		t.Fatalf("state=%s fault=%v", in.State(), in.Fault())
+	}
+}
+
+func TestOnCompleteCallbacks(t *testing.T) {
+	var got []string
+	p := &Process{Name: "cb", Body: NewSnippet("register", func(ctx *Ctx) error {
+		ctx.Inst.OnComplete(func(err error) { got = append(got, "first") })
+		ctx.Inst.OnComplete(func(err error) { got = append(got, "second") })
+		return nil
+	})}
+	deployAndRun(t, New(nil), p, nil)
+	// LIFO, like defers: later registrations run first.
+	if strings.Join(got, ",") != "second,first" {
+		t.Fatalf("callback order: %v", got)
+	}
+}
+
+func TestDeployValidation(t *testing.T) {
+	e := New(nil)
+	cases := []*Process{
+		{Name: "", Body: &Empty{ActivityName: "e"}},
+		{Name: "nobody"},
+		{Name: "dupvars", Body: &Empty{ActivityName: "e"},
+			Variables: []VarDecl{{Name: "v"}, {Name: "v"}}},
+		{Name: "unnamed", Body: &Empty{}},
+	}
+	for i, p := range cases {
+		if _, err := e.Deploy(p); err == nil {
+			t.Errorf("case %d: expected deploy error", i)
+		}
+	}
+}
+
+func TestInputBinding(t *testing.T) {
+	p := &Process{
+		Name:      "in",
+		Variables: []VarDecl{{Name: "x", Kind: ScalarVar}},
+		Body:      &Empty{ActivityName: "e"},
+	}
+	d, _ := New(nil).Deploy(p)
+	in, err := d.Run(map[string]string{"x": "42"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.MustVariable("x").String() != "42" {
+		t.Fatal("input not bound")
+	}
+	if _, err := d.Run(map[string]string{"nope": "1"}); err == nil {
+		t.Fatal("expected error for unknown input")
+	}
+}
+
+func TestInstanceRunTwiceFails(t *testing.T) {
+	p := &Process{Name: "once", Body: &Empty{ActivityName: "e"}}
+	d, _ := New(nil).Deploy(p)
+	in, _ := d.NewInstance(nil)
+	if err := d.Engine.execute(in); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Engine.execute(in); err == nil {
+		t.Fatal("expected error on re-execution")
+	}
+}
+
+func TestDataSourceRegistry(t *testing.T) {
+	e := New(nil)
+	if _, err := e.DataSource("missing"); err == nil {
+		t.Fatal("expected error for unknown data source")
+	}
+}
+
+func TestVariableDeclarationAtRuntime(t *testing.T) {
+	p := &Process{Name: "dyn", Body: NewSnippet("declare", func(ctx *Ctx) error {
+		ctx.Inst.DeclareVariable(NewXMLVariable("generated", xdm.NewElement("r")))
+		return nil
+	})}
+	in := deployAndRun(t, New(nil), p, nil)
+	v, err := in.Variable("generated")
+	if err != nil || v.Node() == nil {
+		t.Fatalf("runtime variable: %v %v", v, err)
+	}
+}
+
+func TestTraceListener(t *testing.T) {
+	e := New(nil)
+	var events []string
+	e.AddTraceListener(func(id int64, ev TraceEvent) {
+		events = append(events, fmt.Sprintf("%d:%s:%s", id, ev.Activity, ev.Kind))
+	})
+	p := &Process{Name: "mon", Body: &Empty{ActivityName: "x"}}
+	d, _ := e.Deploy(p)
+	in, err := d.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fmt.Sprintf("%d:x:start", in.ID)
+	found := false
+	for _, ev := range events {
+		if ev == want {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("listener missed %q in %v", want, events)
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	p := &Process{Name: "d", Mode: ShortRunning,
+		Body: NewSequence("main", &Empty{ActivityName: "x"})}
+	d, _ := New(nil).Deploy(p)
+	s := d.Describe()
+	if !strings.Contains(s, "short-running") || !strings.Contains(s, "main") {
+		t.Fatalf("describe: %s", s)
+	}
+}

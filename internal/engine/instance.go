@@ -1,0 +1,317 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"wfsql/internal/xdm"
+	"wfsql/internal/xpath"
+)
+
+// InstanceState is the lifecycle state of a process instance.
+type InstanceState int
+
+// Instance lifecycle states.
+const (
+	StateReady InstanceState = iota
+	StateRunning
+	StateCompleted
+	StateFaulted
+)
+
+// String returns the state name.
+func (s InstanceState) String() string {
+	switch s {
+	case StateReady:
+		return "ready"
+	case StateRunning:
+		return "running"
+	case StateCompleted:
+		return "completed"
+	case StateFaulted:
+		return "faulted"
+	}
+	return "unknown"
+}
+
+// TraceEvent records one activity execution for monitoring.
+type TraceEvent struct {
+	Activity string
+	Kind     string // "start", "end", "fault"
+	Detail   string
+	Seq      int
+}
+
+// Instance is one execution of a deployed process.
+type Instance struct {
+	ID      int64
+	Process *Process
+	Engine  *Engine
+
+	mu      sync.Mutex
+	vars    map[string]*Variable
+	state   InstanceState
+	fault   error
+	trace   []TraceEvent
+	seq     int
+	context map[string]any // product-layer state (set references, sessions, ...)
+	done    []func(err error)
+	comp    []compensation // completed scopes' compensation handlers (LIFO)
+	input   map[string]string
+	output  map[string]string
+}
+
+// InputMessage returns the message the instance was started with.
+func (in *Instance) InputMessage() map[string]string {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make(map[string]string, len(in.input))
+	for k, v := range in.input {
+		out[k] = v
+	}
+	return out
+}
+
+// Output returns the message assembled by a Reply activity (nil if the
+// process never replied).
+func (in *Instance) Output() map[string]string {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.output == nil {
+		return nil
+	}
+	out := make(map[string]string, len(in.output))
+	for k, v := range in.output {
+		out[k] = v
+	}
+	return out
+}
+
+func (in *Instance) setOutputMessage(m map[string]string) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.output = m
+}
+
+type compensation struct {
+	scope   string
+	handler Activity
+}
+
+// pushCompensation registers a completed scope's compensation handler.
+func (in *Instance) pushCompensation(scope string, handler Activity) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.comp = append(in.comp, compensation{scope: scope, handler: handler})
+}
+
+// popCompensation removes and returns the most recently registered
+// compensation handler.
+func (in *Instance) popCompensation() (string, Activity, bool) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if len(in.comp) == 0 {
+		return "", nil, false
+	}
+	c := in.comp[len(in.comp)-1]
+	in.comp = in.comp[:len(in.comp)-1]
+	return c.scope, c.handler, true
+}
+
+// State returns the instance state.
+func (in *Instance) State() InstanceState {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.state
+}
+
+// Fault returns the fault that terminated the instance, if any.
+func (in *Instance) Fault() error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.fault
+}
+
+// Variable returns the named process variable.
+func (in *Instance) Variable(name string) (*Variable, error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	v, ok := in.vars[name]
+	if !ok {
+		return nil, fmt.Errorf("engine: undeclared variable %s", name)
+	}
+	return v, nil
+}
+
+// MustVariable returns the named variable or panics (test helper).
+func (in *Instance) MustVariable(name string) *Variable {
+	v, err := in.Variable(name)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// DeclareVariable adds a variable at runtime (used by product layers for
+// generated variables such as result-set references).
+func (in *Instance) DeclareVariable(v *Variable) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.vars[v.Name] = v
+}
+
+// SetContext stores product-layer state under a key.
+func (in *Instance) SetContext(key string, value any) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.context[key] = value
+}
+
+// Context retrieves product-layer state.
+func (in *Instance) Context(key string) (any, bool) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	v, ok := in.context[key]
+	return v, ok
+}
+
+// OnComplete registers a callback invoked when the instance finishes
+// (err is the fault, or nil). Product layers use this for end-of-process
+// transaction handling and cleanup statements.
+func (in *Instance) OnComplete(fn func(err error)) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.done = append(in.done, fn)
+}
+
+// Trace returns a copy of the recorded trace events.
+func (in *Instance) Trace() []TraceEvent {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make([]TraceEvent, len(in.trace))
+	copy(out, in.trace)
+	return out
+}
+
+func (in *Instance) recordTrace(activity, kind, detail string) {
+	in.mu.Lock()
+	in.seq++
+	ev := TraceEvent{Activity: activity, Kind: kind, Detail: detail, Seq: in.seq}
+	in.trace = append(in.trace, ev)
+	in.mu.Unlock()
+	in.Engine.notifyTrace(in.ID, ev)
+}
+
+// Ctx is the execution context passed to activities.
+type Ctx struct {
+	Inst   *Instance
+	Engine *Engine
+	scope  *scopeFrame
+}
+
+type scopeFrame struct {
+	parent *scopeFrame
+	name   string
+}
+
+// Variable resolves a process variable.
+func (c *Ctx) Variable(name string) (*Variable, error) { return c.Inst.Variable(name) }
+
+// SetScalar sets a scalar variable (declaring it if necessary is an error;
+// BPEL requires declaration).
+func (c *Ctx) SetScalar(name, value string) error {
+	v, err := c.Inst.Variable(name)
+	if err != nil {
+		return err
+	}
+	v.SetString(value)
+	return nil
+}
+
+// SetNode sets an XML variable's document.
+func (c *Ctx) SetNode(name string, n *xdm.Node) error {
+	v, err := c.Inst.Variable(name)
+	if err != nil {
+		return err
+	}
+	v.SetNode(n)
+	return nil
+}
+
+// XPathContext builds an XPath evaluation context over the instance's
+// variables, with the BPEL built-in functions (bpel:getVariableData) and
+// the process's extension functions installed.
+func (c *Ctx) XPathContext() *xpath.Context {
+	return &xpath.Context{
+		Node:     nil,
+		Position: 1,
+		Size:     1,
+		Vars:     instanceVars{c.Inst},
+		Funcs:    &instanceFuncs{inst: c.Inst, next: c.Inst.Process.Funcs},
+	}
+}
+
+// instanceFuncs provides BPEL built-in extension functions that need
+// instance access, chaining to the process's own extension functions.
+type instanceFuncs struct {
+	inst *Instance
+	next xpath.FunctionResolver
+}
+
+// CallFunction implements xpath.FunctionResolver. bpel:getVariableData
+// (also reachable as ora:getVariableData, which Oracle exposes both as an
+// extension function and a Java method) extracts an entire variable or a
+// path within it.
+func (f *instanceFuncs) CallFunction(name string, args []xpath.Value) (xpath.Value, error) {
+	local := name
+	if i := strings.LastIndex(name, ":"); i >= 0 {
+		local = name[i+1:]
+	}
+	if local == "getVariableData" {
+		if len(args) < 1 || len(args) > 2 {
+			return xpath.Value{}, fmt.Errorf("engine: getVariableData expects 1 or 2 arguments")
+		}
+		v, err := f.inst.Variable(args[0].AsString())
+		if err != nil {
+			return xpath.Value{}, err
+		}
+		val := v.XPathValue()
+		if len(args) == 1 {
+			return val, nil
+		}
+		if v.Kind != XMLVar || v.Node() == nil {
+			return xpath.Value{}, fmt.Errorf("engine: getVariableData path on non-XML variable %s", v.Name)
+		}
+		sub, err := xpath.Compile(args[1].AsString())
+		if err != nil {
+			return xpath.Value{}, err
+		}
+		return sub.Eval(&xpath.Context{Node: v.Node(), Position: 1, Size: 1, Vars: instanceVars{f.inst}, Funcs: f})
+	}
+	if f.next == nil {
+		return xpath.Value{}, fmt.Errorf("engine: unknown extension function %s()", name)
+	}
+	return f.next.CallFunction(name, args)
+}
+
+// EvalXPath evaluates a compiled XPath expression against the instance.
+func (c *Ctx) EvalXPath(e *xpath.Expr) (xpath.Value, error) {
+	return e.Eval(c.XPathContext())
+}
+
+// instanceVars adapts instance variables to xpath.VariableResolver.
+type instanceVars struct{ in *Instance }
+
+// ResolveVariable implements xpath.VariableResolver.
+func (r instanceVars) ResolveVariable(name string) (xpath.Value, error) {
+	v, err := r.in.Variable(name)
+	if err != nil {
+		return xpath.Value{}, err
+	}
+	return v.XPathValue(), nil
+}
+
+// Sleep is a convenience for snippets that model waiting.
+func (c *Ctx) Sleep(d time.Duration) { time.Sleep(d) }

@@ -1,0 +1,182 @@
+package mswf
+
+import (
+	"fmt"
+	"strings"
+
+	"wfsql/internal/dataset"
+	"wfsql/internal/sqldb"
+)
+
+// This file is the Custom Activity Library (CAL): the customized SQL
+// database activity type the paper describes, built on the ADO.NET-style
+// dataset package. It provides SQL inline support on a higher level of
+// abstraction than raw code activities.
+
+// SQLParameter binds one @name host variable of a statement: either from
+// a host variable (Variable) or a fixed value (Value).
+type SQLParameter struct {
+	Name     string // parameter name as written in the SQL, e.g. "@item"
+	Variable string // host variable supplying the value
+	Value    *sqldb.Value
+}
+
+// SQLDatabaseActivity executes one SQL statement — queries, DML, DDL, and
+// stored procedure calls — against a statically configured connection.
+// Table names are a static part of the statement (no reference mechanism,
+// unlike BIS set references). Query and CALL results are always
+// materialized into a DataSet object stored in a host variable: execution
+// is aligned with a consecutive materialization step.
+type SQLDatabaseActivity struct {
+	ActivityName     string
+	ConnectionString string // static; opened per execution, closed after
+	Statement        string // SQL text with @name parameters
+	Parameters       []SQLParameter
+	ResultSetVar     string // host variable receiving the *dataset.DataSet
+	ResultTable      string // table name inside the DataSet (default "Result")
+	KeyColumns       []string
+
+	// Event handlers, executable before/after the SQL statement (e.g. to
+	// initialize parameter values or process result data directly).
+	BeforeExecute func(c *Context) error
+	AfterExecute  func(c *Context) error
+
+	// RowsAffectedVar optionally receives the DML row count.
+	RowsAffectedVar string
+}
+
+// NewSQLDatabase builds a SQL database activity.
+func NewSQLDatabase(name, connectionString, statement string) *SQLDatabaseActivity {
+	return &SQLDatabaseActivity{ActivityName: name, ConnectionString: connectionString, Statement: statement}
+}
+
+// Param binds a @name parameter to a host variable.
+func (a *SQLDatabaseActivity) Param(name, hostVariable string) *SQLDatabaseActivity {
+	a.Parameters = append(a.Parameters, SQLParameter{Name: name, Variable: hostVariable})
+	return a
+}
+
+// Into names the host variable receiving the materialized DataSet.
+func (a *SQLDatabaseActivity) Into(hostVariable string) *SQLDatabaseActivity {
+	a.ResultSetVar = hostVariable
+	return a
+}
+
+// Keys configures the key columns recorded on the materialized table
+// (enables Find and later synchronization).
+func (a *SQLDatabaseActivity) Keys(cols ...string) *SQLDatabaseActivity {
+	a.KeyColumns = cols
+	return a
+}
+
+// Name implements Activity.
+func (a *SQLDatabaseActivity) Name() string { return a.ActivityName }
+
+// Execute implements Activity.
+func (a *SQLDatabaseActivity) Execute(c *Context) error {
+	if a.BeforeExecute != nil {
+		if err := a.BeforeExecute(c); err != nil {
+			return fmt.Errorf("%s: before-execute: %w", a.ActivityName, err)
+		}
+	}
+	db, err := c.Runtime.openConnection(a.ConnectionString)
+	if err != nil {
+		return fmt.Errorf("%s: %w", a.ActivityName, err)
+	}
+	sql, named, err := a.bindParameters(c)
+	if err != nil {
+		return fmt.Errorf("%s: %w", a.ActivityName, err)
+	}
+	sess := db.Session()
+	res, err := sess.ExecNamed(sql, named)
+	if err != nil {
+		return fmt.Errorf("%s: %w", a.ActivityName, err)
+	}
+	// (The connection closes here: each activity opens and closes its own.)
+
+	if res.IsQuery() {
+		if a.ResultSetVar == "" {
+			return fmt.Errorf("%s: query result requires a result host variable", a.ActivityName)
+		}
+		tableName := a.ResultTable
+		if tableName == "" {
+			tableName = "Result"
+		}
+		ds := dataset.New()
+		t := dataset.NewDataTable(tableName, res.Columns...)
+		t.PrimaryKey = append([]string(nil), a.KeyColumns...)
+		ds.AddTable(t)
+		for _, row := range res.Rows {
+			vals := append([]sqldb.Value(nil), row...)
+			if _, err := t.AddRow(vals...); err != nil {
+				return fmt.Errorf("%s: %w", a.ActivityName, err)
+			}
+		}
+		t.AcceptChanges() // materialized rows are Unchanged
+		c.Set(a.ResultSetVar, ds)
+	} else if a.RowsAffectedVar != "" {
+		c.Set(a.RowsAffectedVar, int64(res.RowsAffected))
+	}
+
+	if a.AfterExecute != nil {
+		if err := a.AfterExecute(c); err != nil {
+			return fmt.Errorf("%s: after-execute: %w", a.ActivityName, err)
+		}
+	}
+	return nil
+}
+
+// bindParameters rewrites @name parameters to the engine's :name form and
+// collects their values from host variables.
+func (a *SQLDatabaseActivity) bindParameters(c *Context) (string, map[string]sqldb.Value, error) {
+	sql := a.Statement
+	named := map[string]sqldb.Value{}
+	for _, p := range a.Parameters {
+		bare := strings.TrimPrefix(p.Name, "@")
+		if !strings.Contains(sql, "@"+bare) {
+			return "", nil, fmt.Errorf("parameter %s not present in statement", p.Name)
+		}
+		sql = strings.ReplaceAll(sql, "@"+bare, ":"+bare)
+		if p.Value != nil {
+			named[bare] = *p.Value
+			continue
+		}
+		v, ok := c.Get(p.Variable)
+		if !ok {
+			return "", nil, fmt.Errorf("parameter %s: no host variable %s", p.Name, p.Variable)
+		}
+		named[bare] = toSQLValue(v)
+	}
+	return sql, named, nil
+}
+
+// toSQLValue converts a host variable to a SQL value.
+func toSQLValue(v any) sqldb.Value {
+	switch t := v.(type) {
+	case nil:
+		return sqldb.Null()
+	case sqldb.Value:
+		return t
+	case int:
+		return sqldb.Int(int64(t))
+	case int64:
+		return sqldb.Int(t)
+	case float64:
+		return sqldb.Float(t)
+	case bool:
+		return sqldb.Bool(t)
+	case string:
+		return sqldb.Str(t)
+	}
+	return sqldb.Str(fmt.Sprint(v))
+}
+
+// NewDataAdapter builds a dataset adapter over a WF connection string —
+// the ADO.NET surface code activities use for the Synchronization Pattern.
+func NewDataAdapter(c *Context, connectionString, selectSQL, table string, keys ...string) (*dataset.DataAdapter, error) {
+	db, err := c.Runtime.openConnection(connectionString)
+	if err != nil {
+		return nil, err
+	}
+	return &dataset.DataAdapter{DB: db, SelectSQL: selectSQL, Table: table, KeyColumns: keys}, nil
+}

@@ -1,0 +1,64 @@
+package mswf_test
+
+import (
+	"fmt"
+
+	"wfsql/internal/dataset"
+	"wfsql/internal/mswf"
+	"wfsql/internal/sqldb"
+)
+
+// Example shows the WF style: a customized SQL database activity against
+// a static connection string, with the query result automatically
+// materialized into a DataSet host variable.
+func Example() {
+	db := sqldb.Open("orders")
+	db.MustExec("CREATE TABLE Orders (ItemID VARCHAR, Quantity INTEGER)")
+	db.MustExec("INSERT INTO Orders VALUES ('bolt', 10), ('nut', 3)")
+
+	rt := mswf.NewRuntime()
+	rt.RegisterDatabase("orders", mswf.SQLServer, db)
+
+	wf := mswf.NewSequence("main",
+		mswf.NewSQLDatabase("query", "Provider=SqlServer;Data Source=orders",
+			"SELECT ItemID, Quantity FROM Orders WHERE Quantity >= @min ORDER BY ItemID").
+			Param("@min", "minQty").
+			Into("result"),
+		mswf.NewCode("print", func(c *mswf.Context) error {
+			v, _ := c.Get("result")
+			tab := v.(*dataset.DataSet).Table("Result")
+			for _, row := range tab.Rows() {
+				fmt.Printf("%s=%s\n", row.MustGet("ItemID"), row.MustGet("Quantity"))
+			}
+			return nil
+		}),
+	)
+	rt.Run(wf, map[string]any{"minQty": 5})
+	// Output: bolt=10
+}
+
+// Example_markup loads the same structure from XOML markup — the
+// markup-only authoring mode.
+func Example_markup() {
+	db := sqldb.Open("orders")
+	db.MustExec("CREATE TABLE Orders (ItemID VARCHAR)")
+	db.MustExec("INSERT INTO Orders VALUES ('bolt')")
+
+	rt := mswf.NewRuntime()
+	rt.RegisterDatabase("orders", mswf.SQLServer, db)
+	rt.RegisterHandler("Print", func(c *mswf.Context) error {
+		v, _ := c.Get("out")
+		fmt.Println("rows:", v.(*dataset.DataSet).Table("Result").Count())
+		return nil
+	})
+
+	wf := mswf.MustLoadXOML(`
+		<SequenceActivity x:Name="main">
+		  <SQLDatabaseActivity x:Name="q"
+		      ConnectionString="Provider=SqlServer;Data Source=orders"
+		      Statement="SELECT ItemID FROM Orders" ResultSet="out"/>
+		  <CodeActivity x:Name="print" Handler="Print"/>
+		</SequenceActivity>`)
+	rt.Run(wf, nil)
+	// Output: rows: 1
+}

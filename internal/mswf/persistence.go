@@ -1,0 +1,220 @@
+package mswf
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"wfsql/internal/dataset"
+	"wfsql/internal/sqldb"
+	"wfsql/internal/xdm"
+)
+
+// This file implements the persistence runtime service of Figure 5: the
+// WF runtime "relies on a group of Runtime Services for, e.g., persisting
+// a workflow's state". The service serializes the host-variable state of
+// a workflow instance to XML and restores it, so a long-running workflow
+// can be dehydrated between episodes. Supported variable types are the
+// ones WF workflows in this reproduction use: strings, integers, floats,
+// booleans, and DataSet objects (persisted with their change tracking).
+
+// SaveState serializes the context's host variables to an XML document.
+func SaveState(c *Context) string {
+	root := xdm.NewElement("workflowState")
+	for _, name := range c.VarNames() {
+		v, _ := c.Get(name)
+		el := root.Element("variable")
+		el.SetAttr("name", name)
+		switch t := v.(type) {
+		case nil:
+			el.SetAttr("type", "null")
+		case string:
+			el.SetAttr("type", "string")
+			el.SetText(t)
+		case int:
+			el.SetAttr("type", "int")
+			el.SetText(strconv.Itoa(t))
+		case int64:
+			el.SetAttr("type", "int")
+			el.SetText(strconv.FormatInt(t, 10))
+		case float64:
+			el.SetAttr("type", "float")
+			el.SetText(strconv.FormatFloat(t, 'g', -1, 64))
+		case bool:
+			el.SetAttr("type", "bool")
+			el.SetText(strconv.FormatBool(t))
+		case sqldb.Value:
+			el.SetAttr("type", "sql:"+strings.ToLower(t.K.String()))
+			el.SetText(t.String())
+		case *dataset.DataSet:
+			el.SetAttr("type", "dataset")
+			el.AppendChild(persistDataSet(t))
+		default:
+			el.SetAttr("type", "string")
+			el.SetText(fmt.Sprint(t))
+		}
+	}
+	return root.String()
+}
+
+// LoadState restores host variables from a SaveState document into a
+// fresh context on the runtime.
+func (rt *Runtime) LoadState(state string) (*Context, error) {
+	root, err := xdm.Parse(state)
+	if err != nil {
+		return nil, fmt.Errorf("mswf: persistence: %w", err)
+	}
+	if root.Name != "workflowState" {
+		return nil, fmt.Errorf("mswf: persistence: unexpected root %s", root.Name)
+	}
+	c := &Context{Runtime: rt, vars: map[string]any{}}
+	for _, el := range root.ChildElements() {
+		name, _ := el.Attr("name")
+		typ, _ := el.Attr("type")
+		text := el.TextContent()
+		switch {
+		case typ == "null":
+			c.vars[name] = nil
+		case typ == "string":
+			c.vars[name] = text
+		case typ == "int":
+			i, err := strconv.ParseInt(text, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("mswf: persistence: variable %s: %w", name, err)
+			}
+			c.vars[name] = i
+		case typ == "float":
+			f, err := strconv.ParseFloat(text, 64)
+			if err != nil {
+				return nil, fmt.Errorf("mswf: persistence: variable %s: %w", name, err)
+			}
+			c.vars[name] = f
+		case typ == "bool":
+			b, err := strconv.ParseBool(text)
+			if err != nil {
+				return nil, fmt.Errorf("mswf: persistence: variable %s: %w", name, err)
+			}
+			c.vars[name] = b
+		case strings.HasPrefix(typ, "sql:"):
+			c.vars[name] = parseSQLValue(strings.TrimPrefix(typ, "sql:"), text)
+		case typ == "dataset":
+			inner := el.FirstChildElement("dataSet")
+			if inner == nil {
+				return nil, fmt.Errorf("mswf: persistence: variable %s: missing dataSet element", name)
+			}
+			ds, err := restoreDataSet(inner)
+			if err != nil {
+				return nil, fmt.Errorf("mswf: persistence: variable %s: %w", name, err)
+			}
+			c.vars[name] = ds
+		default:
+			return nil, fmt.Errorf("mswf: persistence: variable %s has unknown type %q", name, typ)
+		}
+	}
+	return c, nil
+}
+
+func parseSQLValue(kind, text string) sqldb.Value {
+	switch kind {
+	case "null":
+		return sqldb.Null()
+	case "integer":
+		i, _ := strconv.ParseInt(text, 10, 64)
+		return sqldb.Int(i)
+	case "float":
+		f, _ := strconv.ParseFloat(text, 64)
+		return sqldb.Float(f)
+	case "boolean":
+		return sqldb.Bool(strings.EqualFold(text, "true"))
+	}
+	return sqldb.Str(text)
+}
+
+func persistDataSet(ds *dataset.DataSet) *xdm.Node {
+	root := xdm.NewElement("dataSet")
+	for _, tn := range ds.TableNames() {
+		t := ds.Table(tn)
+		te := root.Element("table")
+		te.SetAttr("name", t.Name)
+		te.SetAttr("columns", strings.Join(t.Columns, ","))
+		if len(t.PrimaryKey) > 0 {
+			te.SetAttr("keys", strings.Join(t.PrimaryKey, ","))
+		}
+		for _, r := range t.AllRows() {
+			re := te.Element("row")
+			re.SetAttr("state", r.State().String())
+			for _, v := range r.Values() {
+				ce := re.Element("c")
+				ce.SetAttr("type", strings.ToLower(v.K.String()))
+				if !v.IsNull() {
+					ce.SetText(v.String())
+				}
+			}
+		}
+	}
+	return root
+}
+
+func restoreDataSet(el *xdm.Node) (*dataset.DataSet, error) {
+	ds := dataset.New()
+	for _, te := range el.ChildElements() {
+		name, _ := te.Attr("name")
+		colsAttr, _ := te.Attr("columns")
+		cols := strings.Split(colsAttr, ",")
+		t := dataset.NewDataTable(name, cols...)
+		if keys, ok := te.Attr("keys"); ok {
+			t.PrimaryKey = strings.Split(keys, ",")
+		}
+		ds.AddTable(t)
+		for _, re := range te.ChildElements() {
+			var vals []sqldb.Value
+			for _, ce := range re.ChildElements() {
+				typ, _ := ce.Attr("type")
+				vals = append(vals, parseSQLValue(typ, ce.TextContent()))
+			}
+			if len(vals) != len(cols) {
+				return nil, fmt.Errorf("row has %d cells for %d columns", len(vals), len(cols))
+			}
+			row, err := t.AddRow(vals...)
+			if err != nil {
+				return nil, err
+			}
+			state, _ := re.Attr("state")
+			if err := applyRowState(t, row, state); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return ds, nil
+}
+
+// applyRowState replays a persisted row state onto a freshly added row.
+// Added rows stay Added; everything else is first accepted to Unchanged,
+// then re-modified or re-deleted. (Original pre-modification values are
+// not persisted — the adapter keys on the current values after restore,
+// which is the documented limitation of this snapshot format.)
+func applyRowState(t *dataset.DataTable, row *dataset.DataRow, state string) error {
+	switch state {
+	case dataset.Added.String():
+		return nil
+	case dataset.Unchanged.String(), "":
+		acceptSingle(row)
+		return nil
+	case dataset.Modified.String():
+		acceptSingle(row)
+		// Re-mark as modified by rewriting the first column with itself.
+		if len(t.Columns) > 0 {
+			return row.Set(t.Columns[0], row.Values()[0])
+		}
+		return nil
+	case dataset.Deleted.String():
+		acceptSingle(row)
+		row.Delete()
+		return nil
+	}
+	return fmt.Errorf("unknown row state %q", state)
+}
+
+// acceptSingle flips one Added row to Unchanged without touching the rest
+// of the table (AcceptChanges is table-wide; AcceptRow is per-row).
+func acceptSingle(row *dataset.DataRow) { row.AcceptRow() }

@@ -1,0 +1,34 @@
+package orasoa_test
+
+import (
+	"fmt"
+
+	"wfsql/internal/engine"
+	"wfsql/internal/orasoa"
+	"wfsql/internal/sqldb"
+)
+
+// Example shows Oracle's SQL inline style: no SQL activity types — the
+// ora:query-database XPath extension function is called from a plain BPEL
+// assign activity.
+func Example() {
+	db := sqldb.Open("orders")
+	db.MustExec("CREATE TABLE Orders (ItemID VARCHAR, Quantity INTEGER)")
+	db.MustExec("INSERT INTO Orders VALUES ('bolt', 10), ('nut', 3)")
+
+	funcs := orasoa.NewFunctions(db)
+	p := orasoa.NewProcess("q", funcs).
+		XMLVariable("rs", "").
+		Variable("first", "").
+		Body(engine.NewSequence("main",
+			engine.NewAssign("query").Copy(
+				`ora:query-database("SELECT ItemID FROM Orders ORDER BY Quantity DESC")`, "rs"),
+			engine.NewAssign("pick").Copy("$rs/Row[1]/ItemID", "first"),
+		)).
+		Build()
+
+	d, _ := engine.New(nil).Deploy(p)
+	in, _ := d.Run(nil)
+	fmt.Println(in.MustVariable("first").String())
+	// Output: bolt
+}

@@ -1,0 +1,310 @@
+// Package orasoa reimplements the SQL inline support of Oracle's SOA Suite
+// as surveyed by the paper. Unlike IBM and Microsoft, Oracle does not add
+// SQL-specific activity types: it provides proprietary *XPath extension
+// functions* (namespaces ora and orcl) callable from BPEL assign
+// activities — query-database, sequence-next-val, lookup-table, and
+// processXSQL — plus bpelx-prefixed assign operations for updating,
+// inserting, and deleting local XML data, and the XSQL framework that
+// processXSQL executes pages in.
+//
+// Processes run on the shared BPEL engine in internal/engine (the Oracle
+// BPEL Process Manager role); the extension functions are installed as the
+// process's function resolver.
+package orasoa
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"wfsql/internal/rowset"
+	"wfsql/internal/sqldb"
+	"wfsql/internal/xdm"
+	"wfsql/internal/xpath"
+)
+
+// Functions implements xpath.FunctionResolver with Oracle's extension
+// functions. The database connection is static (fixed at construction),
+// matching the paper's comparison: "one has to provide a static connection
+// string for each XPath Extension Function".
+type Functions struct {
+	db    *sqldb.DB
+	xsql  *XSQLFramework
+	mu    sync.Mutex
+	calls map[string]int // per-function call counters (monitoring)
+}
+
+// NewFunctions creates the extension function library over a statically
+// bound database, with an XSQL framework for processXSQL.
+func NewFunctions(db *sqldb.DB) *Functions {
+	return &Functions{db: db, xsql: NewXSQLFramework(db), calls: map[string]int{}}
+}
+
+// XSQL exposes the framework for page registration.
+func (f *Functions) XSQL() *XSQLFramework { return f.xsql }
+
+// Calls returns how many times the named function was invoked.
+func (f *Functions) Calls(name string) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.calls[name]
+}
+
+// CallFunction implements xpath.FunctionResolver. Functions are accepted
+// under both the ora and orcl prefixes.
+func (f *Functions) CallFunction(name string, args []xpath.Value) (xpath.Value, error) {
+	prefix, local := "", name
+	if i := strings.LastIndex(name, ":"); i >= 0 {
+		prefix, local = name[:i], name[i+1:]
+	}
+	if prefix != "ora" && prefix != "orcl" {
+		return xpath.Value{}, fmt.Errorf("orasoa: unknown function namespace %q in %s()", prefix, name)
+	}
+	f.mu.Lock()
+	f.calls[local]++
+	f.mu.Unlock()
+	switch local {
+	case "query-database":
+		return f.queryDatabase(args)
+	case "sequence-next-val":
+		return f.sequenceNextVal(args)
+	case "lookup-table":
+		return f.lookupTable(args)
+	case "processXSQL":
+		return f.processXSQL(args)
+	}
+	return xpath.Value{}, fmt.Errorf("orasoa: unknown extension function %s()", name)
+}
+
+// queryDatabase executes any valid SQL query provided as a string
+// parameter and returns its result set as an XML RowSet node-set.
+func (f *Functions) queryDatabase(args []xpath.Value) (xpath.Value, error) {
+	if len(args) != 1 {
+		return xpath.Value{}, fmt.Errorf("orasoa: query-database expects 1 argument")
+	}
+	res, err := f.db.Session().Query(args[0].AsString())
+	if err != nil {
+		return xpath.Value{}, fmt.Errorf("orasoa: query-database: %w", err)
+	}
+	doc, err := rowset.FromResult(res)
+	if err != nil {
+		return xpath.Value{}, err
+	}
+	return xpath.NodeSet(doc), nil
+}
+
+// sequenceNextVal returns the next value of a predefined sequence of
+// integers (useful e.g. when creating a unique number as a primary key).
+func (f *Functions) sequenceNextVal(args []xpath.Value) (xpath.Value, error) {
+	if len(args) != 1 {
+		return xpath.Value{}, fmt.Errorf("orasoa: sequence-next-val expects 1 argument")
+	}
+	res, err := f.db.Session().Query("SELECT NEXTVAL(?)", sqldb.Str(args[0].AsString()))
+	if err != nil {
+		return xpath.Value{}, fmt.Errorf("orasoa: sequence-next-val: %w", err)
+	}
+	v, err := res.ScalarValue()
+	if err != nil {
+		return xpath.Value{}, err
+	}
+	return xpath.Number(float64(v.I)), nil
+}
+
+// lookupTable executes SELECT outputColumn FROM table WHERE inputColumn =
+// key, generated from its parameters (outputColumn, table, inputColumn,
+// key), and returns exactly one column value of the tuple identified by
+// its key.
+func (f *Functions) lookupTable(args []xpath.Value) (xpath.Value, error) {
+	if len(args) != 4 {
+		return xpath.Value{}, fmt.Errorf("orasoa: lookup-table expects 4 arguments (outputColumn, table, inputColumn, key)")
+	}
+	outCol, table, inCol := args[0].AsString(), args[1].AsString(), args[2].AsString()
+	if !validIdent(outCol) || !validIdent(table) || !validIdent(inCol) {
+		return xpath.Value{}, fmt.Errorf("orasoa: lookup-table: invalid identifier")
+	}
+	sql := fmt.Sprintf("SELECT %s FROM %s WHERE %s = ?", outCol, table, inCol)
+	res, err := f.db.Session().Query(sql, xpathToSQL(args[3]))
+	if err != nil {
+		return xpath.Value{}, fmt.Errorf("orasoa: lookup-table: %w", err)
+	}
+	if len(res.Rows) == 0 {
+		return xpath.String(""), nil
+	}
+	if len(res.Rows) > 1 {
+		return xpath.Value{}, fmt.Errorf("orasoa: lookup-table: key %q is not unique in %s", args[3].AsString(), table)
+	}
+	return xpath.String(res.Rows[0][0].String()), nil
+}
+
+// processXSQL accesses a registered XSQL page, executes it in the XSQL
+// framework, and returns its result in XML. Arguments after the page name
+// are name/value pairs bound to the page's {@name} parameters.
+func (f *Functions) processXSQL(args []xpath.Value) (xpath.Value, error) {
+	if len(args) == 0 {
+		return xpath.Value{}, fmt.Errorf("orasoa: processXSQL expects a page name")
+	}
+	if (len(args)-1)%2 != 0 {
+		return xpath.Value{}, fmt.Errorf("orasoa: processXSQL parameters must be name/value pairs")
+	}
+	params := map[string]string{}
+	for i := 1; i < len(args); i += 2 {
+		params[args[i].AsString()] = args[i+1].AsString()
+	}
+	doc, err := f.xsql.Execute(args[0].AsString(), params)
+	if err != nil {
+		return xpath.Value{}, err
+	}
+	return xpath.NodeSet(doc), nil
+}
+
+func validIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		ok := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// xpathToSQL converts an XPath value to the most specific SQL value.
+func xpathToSQL(v xpath.Value) sqldb.Value {
+	if v.Kind == xpath.KindNumber {
+		if v.Num == float64(int64(v.Num)) {
+			return sqldb.Int(int64(v.Num))
+		}
+		return sqldb.Float(v.Num)
+	}
+	if v.Kind == xpath.KindBoolean {
+		return sqldb.Bool(v.Bool)
+	}
+	s := v.AsString()
+	var i int64
+	if _, err := fmt.Sscanf(s, "%d", &i); err == nil && fmt.Sprint(i) == s {
+		return sqldb.Int(i)
+	}
+	return sqldb.Str(s)
+}
+
+// XSQLFramework combines XML, XSLT, and SQL: it generates XML results from
+// parameterized SQL queries and supports DML and DDL operations as well as
+// stored procedures. Pages are XML documents of xsql:query and xsql:dml
+// elements with {@param} placeholders.
+type XSQLFramework struct {
+	db    *sqldb.DB
+	mu    sync.RWMutex
+	pages map[string]*xdm.Node
+}
+
+// NewXSQLFramework creates an empty framework bound to a database.
+func NewXSQLFramework(db *sqldb.DB) *XSQLFramework {
+	return &XSQLFramework{db: db, pages: map[string]*xdm.Node{}}
+}
+
+// RegisterPage parses and installs a page under a name (the "XML file"
+// processXSQL accesses).
+func (x *XSQLFramework) RegisterPage(name, pageXML string) error {
+	doc, err := xdm.Parse(pageXML)
+	if err != nil {
+		return fmt.Errorf("orasoa: xsql page %s: %w", name, err)
+	}
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	x.pages[name] = doc
+	return nil
+}
+
+// Execute runs a page with the given parameters and returns the XML
+// result document: one child element per xsql:query (an XML RowSet) or
+// xsql:dml (a rowsAffected element).
+func (x *XSQLFramework) Execute(page string, params map[string]string) (*xdm.Node, error) {
+	x.mu.RLock()
+	doc, ok := x.pages[page]
+	x.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("orasoa: no XSQL page %q", page)
+	}
+	out := xdm.NewElement("xsql-result")
+	out.SetAttr("page", page)
+	sess := x.db.Session()
+	for _, el := range doc.ChildElements() {
+		sql, err := substitutePageParams(el.TextContent(), params)
+		if err != nil {
+			return nil, fmt.Errorf("orasoa: xsql page %s: %w", page, err)
+		}
+		switch localName(el.Name) {
+		case "query":
+			res, err := sess.Query(sql)
+			if err != nil {
+				return nil, fmt.Errorf("orasoa: xsql page %s: %w", page, err)
+			}
+			rs, err := rowset.FromResult(res)
+			if err != nil {
+				return nil, err
+			}
+			wrapper := out.Element(queryResultName(el))
+			wrapper.AppendChild(rs)
+		case "dml":
+			res, err := sess.Exec(sql)
+			if err != nil {
+				return nil, fmt.Errorf("orasoa: xsql page %s: %w", page, err)
+			}
+			out.ElementWithText("rowsAffected", fmt.Sprint(res.RowsAffected))
+		default:
+			return nil, fmt.Errorf("orasoa: xsql page %s: unknown element %s", page, el.Name)
+		}
+	}
+	return out, nil
+}
+
+func queryResultName(el *xdm.Node) string {
+	if v, ok := el.Attr("name"); ok {
+		return v
+	}
+	return "result"
+}
+
+// substitutePageParams replaces {@name} placeholders with SQL-quoted
+// parameter values.
+func substitutePageParams(sql string, params map[string]string) (string, error) {
+	var b strings.Builder
+	for {
+		i := strings.Index(sql, "{@")
+		if i < 0 {
+			b.WriteString(sql)
+			return b.String(), nil
+		}
+		j := strings.Index(sql[i:], "}")
+		if j < 0 {
+			return "", fmt.Errorf("unterminated {@param}")
+		}
+		name := sql[i+2 : i+j]
+		v, ok := params[name]
+		if !ok {
+			return "", fmt.Errorf("unbound page parameter %q", name)
+		}
+		b.WriteString(sql[:i])
+		// Numeric-looking parameters are substituted unquoted so they
+		// compare naturally against numeric columns.
+		var iv int64
+		var fv float64
+		if _, err := fmt.Sscanf(v, "%d", &iv); err == nil && fmt.Sprint(iv) == v {
+			b.WriteString(v)
+		} else if _, err := fmt.Sscanf(v, "%g", &fv); err == nil && strings.TrimSpace(v) != "" && fmt.Sprint(fv) == v {
+			b.WriteString(v)
+		} else {
+			b.WriteString(sqldb.Str(v).SQLLiteral())
+		}
+		sql = sql[i+j+1:]
+	}
+}
+
+func localName(n string) string {
+	if i := strings.LastIndex(n, ":"); i >= 0 {
+		return n[i+1:]
+	}
+	return n
+}

@@ -1,0 +1,75 @@
+package patterns
+
+import (
+	"fmt"
+	"strings"
+)
+
+// IntegrationStyle distinguishes the two approaches of the paper's
+// Figure 1 for adding SQL support to workflow languages.
+type IntegrationStyle int
+
+// Integration styles.
+const (
+	// AdapterTechnology masks data management operations as Web services
+	// outside the process logic (proven, provided similarly by all
+	// vendors).
+	AdapterTechnology IntegrationStyle = iota
+	// SQLInlineSupport augments the workflow language's activity types
+	// with SQL-specific functionality inside the process logic.
+	SQLInlineSupport
+)
+
+// Figure1Entry describes one product's position in the taxonomy.
+type Figure1Entry struct {
+	Vendor  string
+	Product string
+	Styles  map[IntegrationStyle]string // style -> mechanism description
+}
+
+// Figure1 returns the taxonomy of Figure 1: every surveyed product offers
+// the adapter technology; the three compared products additionally offer
+// SQL inline support through different mechanisms; BEA's AquaLogic BPM
+// Suite appears with adapter support only, which is why the paper's
+// detailed comparison excludes it.
+func Figure1() []Figure1Entry {
+	entries := []Figure1Entry{}
+	for _, p := range Products() {
+		info := p.Info()
+		entries = append(entries, Figure1Entry{
+			Vendor:  info.Vendor,
+			Product: info.ProductName,
+			Styles: map[IntegrationStyle]string{
+				AdapterTechnology: "DB adapter service",
+				SQLInlineSupport:  strings.Join(info.SQLInlineSupport, ", "),
+			},
+		})
+	}
+	entries = append(entries, Figure1Entry{
+		Vendor:  "BEA",
+		Product: "AquaLogic BPM Suite",
+		Styles: map[IntegrationStyle]string{
+			AdapterTechnology: "DB adapter service",
+		},
+	})
+	return entries
+}
+
+// RenderFigure1 renders the taxonomy as text.
+func RenderFigure1() string {
+	var b strings.Builder
+	b.WriteString("FIGURE 1 — SQL SUPPORT IN SELECTED WORKFLOW PRODUCTS\n\n")
+	b.WriteString("Adapter technology (data management outside the process logic):\n")
+	for _, e := range Figure1() {
+		if m, ok := e.Styles[AdapterTechnology]; ok {
+			fmt.Fprintf(&b, "  %-9s %-33s %s\n", e.Vendor, e.Product, m)
+		}
+	}
+	b.WriteString("\nSQL inline support (data management inside the process logic):\n")
+	for _, e := range Figure1() {
+		if m, ok := e.Styles[SQLInlineSupport]; ok {
+			fmt.Fprintf(&b, "  %-9s %-33s %s\n", e.Vendor, e.Product, m)
+		}
+	}
+	return b.String()
+}

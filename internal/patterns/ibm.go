@@ -1,0 +1,248 @@
+package patterns
+
+import (
+	"fmt"
+
+	"wfsql/internal/bis"
+	"wfsql/internal/engine"
+	"wfsql/internal/rowset"
+)
+
+// IBMBIS is the IBM Business Integration Suite reproduction adapter.
+type IBMBIS struct{}
+
+// NewIBMBIS creates the adapter.
+func NewIBMBIS() *IBMBIS { return &IBMBIS{} }
+
+// Table II row labels for BIS.
+const (
+	mechSQL         Mechanism = "SQL"
+	mechRetrieveSet Mechanism = "Retrieve Set"
+	mechAssignBPEL  Mechanism = "Assign (BPEL-specific XPath)"
+)
+
+// Info implements Product (the paper's Table I, IBM column).
+func (p *IBMBIS) Info() GeneralInfo {
+	return GeneralInfo{
+		Vendor:            "IBM",
+		ProductName:       "Business Integration Suite (BIS)",
+		ShortName:         "IBM BIS",
+		WorkflowLanguage:  "BPEL",
+		ModelingLevel:     "graphical, (markup)",
+		DesignTool:        "WebSphere Integration Developer",
+		SQLInlineSupport:  []string{"SQL Activity", "Retrieve Set Activity", "Atomic SQL Sequence"},
+		ExternalDataSet:   "Set Reference, static text",
+		MaterializedSet:   "proprietary XML RowSet",
+		ExternalSource:    "dynamic, static",
+		AdditionalFeature: "Lifecycle Management for DB Entities",
+	}
+}
+
+// Cells implements Product (the paper's Table II, IBM block).
+func (p *IBMBIS) Cells() []Cell {
+	return []Cell{
+		{mechSQL, Query, Abstract, ""},
+		{mechSQL, SetIUD, Abstract, ""},
+		{mechSQL, DataSetup, Abstract, ""},
+		{mechSQL, StoredProcedure, Abstract, ""},
+		{mechRetrieveSet, SetRetrieval, Abstract, ""},
+		{mechAssignBPEL, RandomSetAccess, Abstract, ""},
+		{mechAssignBPEL, TupleIUD, Partial, "only UPDATE"},
+		{WorkaroundRow, SeqSetAccess, WorkaroundOnly, ""},
+		{WorkaroundRow, TupleIUD, WorkaroundOnly, "only DELETE and INSERT"},
+		{WorkaroundRow, Synchronization, WorkaroundOnly, ""},
+	}
+}
+
+// run deploys and executes a built BIS process.
+func runBIS(env *Env, b *bis.ProcessBuilder) error {
+	d, err := env.Engine.Deploy(b.Build())
+	if err != nil {
+		return err
+	}
+	_, err = d.Run(nil)
+	return err
+}
+
+// base returns a builder preconfigured with the conformance data source.
+func bisBase(name string) *bis.ProcessBuilder {
+	return bis.NewProcess(name).
+		DataSourceVariable("DS", DataSourceName).
+		InputSetReference("SR_Orders", "Orders")
+}
+
+// Conformance implements Product.
+func (p *IBMBIS) Conformance() []ConformanceCase {
+	return []ConformanceCase{
+		{Query, mechSQL, Abstract, "", func(env *Env) error {
+			b := bisBase("q").ResultSetReference("SR_R").
+				Body(engine.NewSequence("m",
+					bis.NewSQL("SQL1", "DS",
+						"SELECT ItemID, SUM(Quantity) AS Quantity FROM #SR_Orders# WHERE Approved = TRUE GROUP BY ItemID").
+						Into("SR_R"),
+					bis.JavaSnippet("check", func(ctx *engine.Ctx) error {
+						ref, err := bis.SetReference(ctx, "SR_R")
+						if err != nil {
+							return err
+						}
+						return env.expectInt("SELECT COUNT(*) FROM "+ref.Table, 3)
+					})))
+			return runBIS(env, b)
+		}},
+		{SetIUD, mechSQL, Abstract, "", func(env *Env) error {
+			b := bisBase("iud").Body(engine.NewSequence("m",
+				bis.NewSQL("u", "DS", "UPDATE #SR_Orders# SET Approved = TRUE WHERE Approved = FALSE"),
+				bis.NewSQL("i", "DS", "INSERT INTO #SR_Orders# VALUES (7, 'washer', 4, TRUE)"),
+				bis.NewSQL("d", "DS", "DELETE FROM #SR_Orders# WHERE ItemID = 'screw'"),
+			))
+			if err := runBIS(env, b); err != nil {
+				return err
+			}
+			return env.expectInt("SELECT COUNT(*) FROM Orders WHERE Approved = TRUE", 5)
+		}},
+		{DataSetup, mechSQL, Abstract, "", func(env *Env) error {
+			b := bisBase("ddl").Body(bis.NewSQL("c", "DS",
+				"CREATE TABLE Configured (k VARCHAR, v VARCHAR)"))
+			if err := runBIS(env, b); err != nil {
+				return err
+			}
+			if !env.DB.HasTable("Configured") {
+				return fmt.Errorf("DDL did not take effect")
+			}
+			return nil
+		}},
+		{StoredProcedure, mechSQL, Abstract, "", func(env *Env) error {
+			b := bisBase("sp").ResultSetReference("SR_R").
+				Body(engine.NewSequence("m",
+					bis.NewSQL("call", "DS", "CALL approved_totals()").Into("SR_R"),
+					bis.JavaSnippet("check", func(ctx *engine.Ctx) error {
+						ref, err := bis.SetReference(ctx, "SR_R")
+						if err != nil {
+							return err
+						}
+						return env.expectInt("SELECT COUNT(*) FROM "+ref.Table, 3)
+					})))
+			return runBIS(env, b)
+		}},
+		{SetRetrieval, mechRetrieveSet, Abstract, "", func(env *Env) error {
+			var n int
+			b := bisBase("ret").ResultSetReference("SR_R").XMLVariable("SV", "").
+				Body(engine.NewSequence("m",
+					bis.NewSQL("q", "DS", "SELECT * FROM #SR_Orders#").Into("SR_R"),
+					bis.NewRetrieveSet("r", "DS", "SR_R", "SV"),
+					bis.JavaSnippet("count", func(ctx *engine.Ctx) error {
+						var err error
+						n, err = bis.TupleCount(ctx, "SV")
+						return err
+					})))
+			if err := runBIS(env, b); err != nil {
+				return err
+			}
+			if n != 6 {
+				return fmt.Errorf("materialized %d tuples, want 6", n)
+			}
+			return nil
+		}},
+		{RandomSetAccess, mechAssignBPEL, Abstract, "", func(env *Env) error {
+			var got string
+			b := bisBase("rand").
+				XMLVariable("SV", `<RowSet><Row><ItemID>a</ItemID></Row><Row><ItemID>b</ItemID></Row><Row><ItemID>c</ItemID></Row></RowSet>`).
+				Variable("out", "").
+				Body(engine.NewSequence("m",
+					engine.NewAssign("pick").Copy("$SV/Row[2]/ItemID", "out"),
+					bis.JavaSnippet("read", func(ctx *engine.Ctx) error {
+						got = ctx.Inst.MustVariable("out").String()
+						return nil
+					})))
+			if err := runBIS(env, b); err != nil {
+				return err
+			}
+			if got != "b" {
+				return fmt.Errorf("random access got %q", got)
+			}
+			return nil
+		}},
+		{TupleIUD, mechAssignBPEL, Partial, "only UPDATE", func(env *Env) error {
+			var got string
+			b := bisBase("tu").
+				XMLVariable("SV", `<RowSet><Row><Quantity>1</Quantity></Row></RowSet>`).
+				Body(engine.NewSequence("m",
+					engine.NewAssign("upd").CopyTo("'42'", "SV", "Row[1]/Quantity"),
+					bis.JavaSnippet("read", func(ctx *engine.Ctx) error {
+						sv, _ := ctx.Variable("SV")
+						got = rowset.Field(rowset.Row(sv.Node(), 0), "Quantity")
+						return nil
+					})))
+			if err := runBIS(env, b); err != nil {
+				return err
+			}
+			if got != "42" {
+				return fmt.Errorf("assign update got %q", got)
+			}
+			return nil
+		}},
+		{SeqSetAccess, WorkaroundRow, WorkaroundOnly, "", func(env *Env) error {
+			var visited []string
+			b := bisBase("seq").ResultSetReference("SR_R").
+				XMLVariable("SV", "").XMLVariable("Cur", "").Variable("pos", "1").
+				Body(engine.NewSequence("m",
+					bis.NewSQL("q", "DS", "SELECT ItemID FROM #SR_Orders# WHERE Approved = TRUE ORDER BY OrderID").Into("SR_R"),
+					bis.NewRetrieveSet("r", "DS", "SR_R", "SV"),
+					bis.CursorLoop("cursor", "SV", "Cur", "pos",
+						bis.JavaSnippet("visit", func(ctx *engine.Ctx) error {
+							cur, _ := ctx.Variable("Cur")
+							visited = append(visited, cur.Node().ChildText("ItemID"))
+							return nil
+						}))))
+			if err := runBIS(env, b); err != nil {
+				return err
+			}
+			if len(visited) != 4 || visited[0] != "bolt" {
+				return fmt.Errorf("cursor visited %v", visited)
+			}
+			return nil
+		}},
+		{TupleIUD, WorkaroundRow, WorkaroundOnly, "only DELETE and INSERT", func(env *Env) error {
+			var n int
+			b := bisBase("tiud").
+				XMLVariable("SV", `<RowSet><Row><ItemID>x</ItemID></Row></RowSet>`).
+				Body(engine.NewSequence("m",
+					bis.JavaSnippet("ins", func(ctx *engine.Ctx) error {
+						return bis.InsertTuple(ctx, "SV", []string{"ItemID"}, []string{"y"})
+					}),
+					bis.JavaSnippet("del", func(ctx *engine.Ctx) error {
+						return bis.DeleteTuple(ctx, "SV", 0)
+					}),
+					bis.JavaSnippet("count", func(ctx *engine.Ctx) error {
+						var err error
+						n, err = bis.TupleCount(ctx, "SV")
+						return err
+					})))
+			if err := runBIS(env, b); err != nil {
+				return err
+			}
+			if n != 1 {
+				return fmt.Errorf("tuple count %d, want 1", n)
+			}
+			return nil
+		}},
+		{Synchronization, WorkaroundRow, WorkaroundOnly, "", func(env *Env) error {
+			b := bisBase("sync").ResultSetReference("SR_R").
+				XMLVariable("SV", "").Variable("newQty", "").
+				Body(engine.NewSequence("m",
+					bis.NewSQL("q", "DS", "SELECT Quantity FROM #SR_Orders# WHERE OrderID = 1").Into("SR_R"),
+					bis.NewRetrieveSet("r", "DS", "SR_R", "SV"),
+					bis.JavaSnippet("local", func(ctx *engine.Ctx) error {
+						sv, _ := ctx.Variable("SV")
+						rowset.SetField(rowset.Row(sv.Node(), 0), "Quantity", "77")
+						return ctx.SetScalar("newQty", "77")
+					}),
+					bis.NewSQL("push", "DS",
+						"UPDATE #SR_Orders# SET Quantity = #newQty# WHERE OrderID = 1")))
+			if err := runBIS(env, b); err != nil {
+				return err
+			}
+			return env.expectInt("SELECT Quantity FROM Orders WHERE OrderID = 1", 77)
+		}},
+	}
+}

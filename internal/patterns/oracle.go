@@ -1,0 +1,229 @@
+package patterns
+
+import (
+	"fmt"
+
+	"wfsql/internal/engine"
+	"wfsql/internal/orasoa"
+	"wfsql/internal/rowset"
+)
+
+// OracleSOA is the Oracle SOA Suite reproduction adapter.
+type OracleSOA struct{}
+
+// NewOracleSOA creates the adapter.
+func NewOracleSOA() *OracleSOA { return &OracleSOA{} }
+
+// mechAssignExt is Oracle's XPath-extension-function row label.
+const mechAssignExt Mechanism = "Assign (XPath Ext. Functions)"
+
+// Info implements Product (the paper's Table I, Oracle column).
+func (p *OracleSOA) Info() GeneralInfo {
+	return GeneralInfo{
+		Vendor:            "Oracle",
+		ProductName:       "SOA Suite",
+		ShortName:         "Oracle SOA Suite",
+		WorkflowLanguage:  "BPEL",
+		ModelingLevel:     "graphical, (markup)",
+		DesignTool:        "Process Designer",
+		SQLInlineSupport:  []string{"XPath Extension Functions"},
+		ExternalDataSet:   "static text",
+		MaterializedSet:   "proprietary XML RowSet",
+		ExternalSource:    "static",
+		AdditionalFeature: "-",
+	}
+}
+
+// Cells implements Product (the paper's Table II, Oracle block).
+func (p *OracleSOA) Cells() []Cell {
+	return []Cell{
+		{mechAssignExt, Query, Abstract, ""},
+		{mechAssignExt, SetIUD, Abstract, ""},
+		{mechAssignExt, DataSetup, Abstract, ""},
+		{mechAssignExt, StoredProcedure, Abstract, ""},
+		{mechAssignExt, SetRetrieval, Abstract, ""},
+		{mechAssignExt, TupleIUD, Abstract, ""},
+		{mechAssignBPEL, RandomSetAccess, Abstract, ""},
+		{mechAssignBPEL, TupleIUD, Partial, "only UPDATE"},
+		{WorkaroundRow, SeqSetAccess, WorkaroundOnly, ""},
+		{WorkaroundRow, Synchronization, WorkaroundOnly, ""},
+	}
+}
+
+// runOra builds, deploys, and runs an Oracle SOA process.
+func runOra(env *Env, b *orasoa.ProcessBuilder) (*engine.Instance, error) {
+	d, err := env.Engine.Deploy(b.Build())
+	if err != nil {
+		return nil, err
+	}
+	return d.Run(nil)
+}
+
+// Conformance implements Product.
+func (p *OracleSOA) Conformance() []ConformanceCase {
+	return []ConformanceCase{
+		{Query, mechAssignExt, Abstract, "", func(env *Env) error {
+			b := orasoa.NewProcess("q", env.Funcs).XMLVariable("rs", "").
+				Body(engine.NewAssign("a").Copy(
+					`ora:query-database("SELECT ItemID FROM Orders WHERE Approved = TRUE")`, "rs"))
+			in, err := runOra(env, b)
+			if err != nil {
+				return err
+			}
+			if n := rowset.Count(in.MustVariable("rs").Node()); n != 4 {
+				return fmt.Errorf("query rows %d, want 4", n)
+			}
+			return nil
+		}},
+		{SetIUD, mechAssignExt, Abstract, "", func(env *Env) error {
+			env.Funcs.XSQL().RegisterPage("iud", `
+				<xsql:page>
+					<xsql:dml>UPDATE Orders SET Approved = TRUE WHERE Approved = FALSE</xsql:dml>
+					<xsql:dml>INSERT INTO Orders VALUES (7, 'washer', 4, TRUE)</xsql:dml>
+					<xsql:dml>DELETE FROM Orders WHERE ItemID = 'screw'</xsql:dml>
+				</xsql:page>`)
+			b := orasoa.NewProcess("iud", env.Funcs).XMLVariable("st", "").
+				Body(engine.NewAssign("a").Copy(`ora:processXSQL('iud')`, "st"))
+			if _, err := runOra(env, b); err != nil {
+				return err
+			}
+			return env.expectInt("SELECT COUNT(*) FROM Orders WHERE Approved = TRUE", 5)
+		}},
+		{DataSetup, mechAssignExt, Abstract, "", func(env *Env) error {
+			env.Funcs.XSQL().RegisterPage("setup", `
+				<xsql:page><xsql:dml>CREATE TABLE Configured (k VARCHAR)</xsql:dml></xsql:page>`)
+			b := orasoa.NewProcess("ddl", env.Funcs).XMLVariable("st", "").
+				Body(engine.NewAssign("a").Copy(`ora:processXSQL('setup')`, "st"))
+			if _, err := runOra(env, b); err != nil {
+				return err
+			}
+			if !env.DB.HasTable("Configured") {
+				return fmt.Errorf("DDL did not take effect")
+			}
+			return nil
+		}},
+		{StoredProcedure, mechAssignExt, Abstract, "", func(env *Env) error {
+			env.Funcs.XSQL().RegisterPage("sp", `
+				<xsql:page><xsql:query name="totals">CALL approved_totals()</xsql:query></xsql:page>`)
+			b := orasoa.NewProcess("sp", env.Funcs).XMLVariable("out", "").
+				Body(engine.NewAssign("a").Copy(
+					`ora:processXSQL('sp')/totals/RowSet`, "out"))
+			in, err := runOra(env, b)
+			if err != nil {
+				return err
+			}
+			if n := rowset.Count(in.MustVariable("out").Node()); n != 3 {
+				return fmt.Errorf("procedure rows %d, want 3", n)
+			}
+			return nil
+		}},
+		{SetRetrieval, mechAssignExt, Abstract, "", func(env *Env) error {
+			// Materialization is automatic: query-database returns the
+			// XML RowSet directly; the variable is a disconnected cache.
+			b := orasoa.NewProcess("ret", env.Funcs).XMLVariable("rs", "").
+				Body(engine.NewAssign("a").Copy(
+					`ora:query-database("SELECT * FROM Orders")`, "rs"))
+			in, err := runOra(env, b)
+			if err != nil {
+				return err
+			}
+			rs := in.MustVariable("rs").Node()
+			if rowset.Count(rs) != 6 {
+				return fmt.Errorf("cache rows %d, want 6", rowset.Count(rs))
+			}
+			env.DB.MustExec("DELETE FROM Orders")
+			if rowset.Count(rs) != 6 {
+				return fmt.Errorf("cache must be disconnected from the source")
+			}
+			return nil
+		}},
+		{TupleIUD, mechAssignExt, Abstract, "", func(env *Env) error {
+			// bpelx operations cover update, insert, and delete on local
+			// XML data at the abstract level.
+			b := orasoa.NewProcess("tiud", env.Funcs).
+				XMLVariable("rs", `<RowSet><Row><ItemID>a</ItemID></Row><Row><ItemID>b</ItemID></Row></RowSet>`).
+				XMLVariable("newRow", `<Row><ItemID>c</ItemID></Row>`).
+				Body(engine.NewSequence("m",
+					orasoa.NewBpelxAssign("upd").Copy("'z'", "rs", "Row[1]/ItemID"),
+					orasoa.NewBpelxAssign("ins").InsertAfter("$newRow", "rs", "Row[2]"),
+					orasoa.NewBpelxAssign("del").Remove("rs", "Row[ItemID = 'b']"),
+				))
+			in, err := runOra(env, b)
+			if err != nil {
+				return err
+			}
+			rows := rowset.Rows(in.MustVariable("rs").Node())
+			if len(rows) != 2 || rowset.Field(rows[0], "ItemID") != "z" || rowset.Field(rows[1], "ItemID") != "c" {
+				return fmt.Errorf("tuple IUD result wrong: %d rows", len(rows))
+			}
+			return nil
+		}},
+		{RandomSetAccess, mechAssignBPEL, Abstract, "", func(env *Env) error {
+			b := orasoa.NewProcess("rand", env.Funcs).
+				XMLVariable("rs", "").Variable("out", "").
+				Body(engine.NewSequence("m",
+					engine.NewAssign("q").Copy(
+						`ora:query-database("SELECT OrderID, ItemID FROM Orders ORDER BY OrderID")`, "rs"),
+					engine.NewAssign("pick").Copy(
+						`bpel:getVariableData('rs', 'Row[4]/ItemID')`, "out")))
+			in, err := runOra(env, b)
+			if err != nil {
+				return err
+			}
+			if got := in.MustVariable("out").String(); got != "nut" {
+				return fmt.Errorf("random access got %q", got)
+			}
+			return nil
+		}},
+		{TupleIUD, mechAssignBPEL, Partial, "only UPDATE", func(env *Env) error {
+			b := orasoa.NewProcess("tu", env.Funcs).
+				XMLVariable("rs", `<RowSet><Row><Quantity>1</Quantity></Row></RowSet>`).
+				Body(engine.NewAssign("upd").CopyTo("'9'", "rs", "Row[1]/Quantity"))
+			in, err := runOra(env, b)
+			if err != nil {
+				return err
+			}
+			if got := rowset.Field(rowset.Row(in.MustVariable("rs").Node(), 0), "Quantity"); got != "9" {
+				return fmt.Errorf("assign update got %q", got)
+			}
+			return nil
+		}},
+		{SeqSetAccess, WorkaroundRow, WorkaroundOnly, "", func(env *Env) error {
+			var visited []string
+			b := orasoa.NewProcess("seq", env.Funcs).
+				XMLVariable("rs", "").XMLVariable("Cur", "").Variable("pos", "1").
+				Body(engine.NewSequence("m",
+					engine.NewAssign("q").Copy(
+						`ora:query-database("SELECT ItemID FROM Orders WHERE Approved = TRUE ORDER BY OrderID")`, "rs"),
+					orasoa.CursorLoop("cursor", "rs", "Cur", "pos",
+						orasoa.JavaSnippet("visit", func(ctx *engine.Ctx) error {
+							cur, _ := ctx.Variable("Cur")
+							visited = append(visited, cur.Node().ChildText("ItemID"))
+							return nil
+						}))))
+			if _, err := runOra(env, b); err != nil {
+				return err
+			}
+			if len(visited) != 4 || visited[0] != "bolt" {
+				return fmt.Errorf("cursor visited %v", visited)
+			}
+			return nil
+		}},
+		{Synchronization, WorkaroundRow, WorkaroundOnly, "", func(env *Env) error {
+			env.Funcs.XSQL().RegisterPage("push", `
+				<xsql:page><xsql:dml>UPDATE Orders SET Quantity = {@q} WHERE OrderID = {@id}</xsql:dml></xsql:page>`)
+			b := orasoa.NewProcess("sync", env.Funcs).
+				XMLVariable("rs", "").Variable("st", "").
+				Body(engine.NewSequence("m",
+					engine.NewAssign("q").Copy(
+						`ora:query-database("SELECT OrderID, Quantity FROM Orders WHERE OrderID = 1")`, "rs"),
+					orasoa.NewBpelxAssign("local").Copy("'55'", "rs", "Row[1]/Quantity"),
+					engine.NewAssign("push").Copy(
+						`ora:processXSQL('push', 'q', $rs/Row[1]/Quantity, 'id', $rs/Row[1]/OrderID)/rowsAffected`, "st")))
+			if _, err := runOra(env, b); err != nil {
+				return err
+			}
+			return env.expectInt("SELECT Quantity FROM Orders WHERE OrderID = 1", 55)
+		}},
+	}
+}

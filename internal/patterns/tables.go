@@ -1,0 +1,170 @@
+package patterns
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file renders the paper's Table I and Table II from the product
+// adapters, which are in turn backed by executable conformance cases.
+
+// TableI renders "General Information and Data Management Capabilities"
+// as an aligned text table, one column per product.
+func TableI(products []Product) string {
+	infos := make([]GeneralInfo, len(products))
+	for i, p := range products {
+		infos[i] = p.Info()
+	}
+	var b strings.Builder
+
+	header := make([]string, 0, len(infos)+1)
+	header = append(header, "")
+	for _, g := range infos {
+		header = append(header, g.Vendor+" "+g.ProductName)
+	}
+
+	line := func(label string, f func(GeneralInfo) string) []string {
+		row := []string{label}
+		for _, g := range infos {
+			row = append(row, f(g))
+		}
+		return row
+	}
+
+	table := [][]string{
+		header,
+		{"-- General Information --"},
+		line("Workflow Language", func(g GeneralInfo) string { return g.WorkflowLanguage }),
+		line("Level of Process Modeling", func(g GeneralInfo) string { return g.ModelingLevel }),
+		line("Workflow Design Tool", func(g GeneralInfo) string { return g.DesignTool }),
+		{"-- Data Management Capabilities --"},
+		line("SQL Inline Support", func(g GeneralInfo) string { return strings.Join(g.SQLInlineSupport, ", ") }),
+		line("Reference to External Data Set", func(g GeneralInfo) string { return g.ExternalDataSet }),
+		line("Materialized Set Representation", func(g GeneralInfo) string { return g.MaterializedSet }),
+		line("Reference to External Data Source", func(g GeneralInfo) string { return g.ExternalSource }),
+		line("Additional Features", func(g GeneralInfo) string { return g.AdditionalFeature }),
+	}
+
+	widths := make([]int, len(header))
+	for _, row := range table {
+		if len(row) == 1 {
+			continue
+		}
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	b.WriteString("TABLE I — GENERAL INFORMATION AND DATA MANAGEMENT CAPABILITIES\n\n")
+	for _, row := range table {
+		if len(row) == 1 {
+			fmt.Fprintf(&b, "%s\n", row[0])
+			continue
+		}
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString(" | ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// TableII renders "Data Management Pattern Support": per product, one row
+// per mechanism with an x (or footnoted x) in each supported pattern
+// column, plus the "Only workarounds possible" row.
+func TableII(products []Product) string {
+	var b strings.Builder
+	b.WriteString("TABLE II — DATA MANAGEMENT PATTERN SUPPORT\n\n")
+
+	labelWidth := len(string(WorkaroundRow))
+	for _, p := range products {
+		for _, c := range p.Cells() {
+			if len(string(c.Mechanism)) > labelWidth {
+				labelWidth = len(string(c.Mechanism))
+			}
+		}
+	}
+	colWidths := make([]int, len(AllPatterns))
+	for i, pat := range AllPatterns {
+		colWidths[i] = len(pat.String())
+	}
+
+	// Header.
+	fmt.Fprintf(&b, "%-*s", labelWidth, "")
+	for i, pat := range AllPatterns {
+		fmt.Fprintf(&b, " | %-*s", colWidths[i], pat.String())
+	}
+	b.WriteString("\n")
+
+	footnotes := map[string]int{}
+	var footnoteOrder []string
+	mark := func(c Cell) string {
+		m := ""
+		switch c.Support {
+		case Abstract:
+			m = "x"
+		case Partial, WorkaroundOnly:
+			m = "x"
+			if c.Mechanism == WorkaroundRow && c.Footnote == "" {
+				return "x"
+			}
+		default:
+			return ""
+		}
+		if c.Footnote != "" {
+			n, ok := footnotes[c.Footnote]
+			if !ok {
+				n = len(footnotes) + 1
+				footnotes[c.Footnote] = n
+				footnoteOrder = append(footnoteOrder, c.Footnote)
+			}
+			m = fmt.Sprintf("x%d", n)
+		}
+		return m
+	}
+
+	for _, p := range products {
+		info := p.Info()
+		fmt.Fprintf(&b, "%s\n", strings.ToUpper(info.Vendor+" "+info.ProductName))
+		// Group cells by mechanism, preserving first-seen order.
+		var mechOrder []Mechanism
+		byMech := map[Mechanism]map[Pattern]Cell{}
+		for _, c := range p.Cells() {
+			if _, ok := byMech[c.Mechanism]; !ok {
+				byMech[c.Mechanism] = map[Pattern]Cell{}
+				mechOrder = append(mechOrder, c.Mechanism)
+			}
+			byMech[c.Mechanism][c.Pattern] = c
+		}
+		for _, m := range mechOrder {
+			fmt.Fprintf(&b, "%-*s", labelWidth, string(m))
+			for i, pat := range AllPatterns {
+				cell := ""
+				if c, ok := byMech[m][pat]; ok {
+					cell = mark(c)
+				}
+				fmt.Fprintf(&b, " | %-*s", colWidths[i], cell)
+			}
+			b.WriteString("\n")
+		}
+	}
+	if len(footnoteOrder) > 0 {
+		b.WriteString("\n")
+		for _, fn := range footnoteOrder {
+			fmt.Fprintf(&b, "%d: %s  ", footnotes[fn], fn)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// VerifiedTableII runs the full conformance suite and renders Table II
+// only from cells whose executable case passed; any failure is reported.
+func VerifiedTableII(products []Product) (string, []CaseResult) {
+	results := RunConformance(products)
+	return TableII(products), Failures(results)
+}

@@ -1,0 +1,162 @@
+package sqldb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// DB is an embeddable in-memory relational database. All operations are
+// safe for concurrent use; statement execution is serialized by an internal
+// lock (single-writer engine).
+type DB struct {
+	mu         sync.Mutex
+	name       string
+	tables     map[string]*Table
+	views      map[string]*view
+	sequences  map[string]*Sequence
+	procs      map[string]*Procedure
+	indexOwner map[string]*Table // index name -> owning table
+
+	// stats counters (observable via Stats) used by benchmarks and the
+	// reproduction's data-volume measurements.
+	stmtCount     int64
+	rowsRead      int64
+	rowsWritten   int64
+	bytesReturned int64
+}
+
+// Stats is a snapshot of the engine's activity counters.
+type Stats struct {
+	Statements    int64
+	RowsRead      int64
+	RowsWritten   int64
+	BytesReturned int64
+}
+
+// Open creates a new, empty database with the given name. The name is used
+// by data-source references in the workflow layers (e.g. dynamic binding in
+// the BIS reproduction).
+func Open(name string) *DB {
+	return &DB{
+		name:       name,
+		tables:     map[string]*Table{},
+		views:      map[string]*view{},
+		sequences:  map[string]*Sequence{},
+		procs:      map[string]*Procedure{},
+		indexOwner: map[string]*Table{},
+	}
+}
+
+// Name returns the database name given to Open.
+func (db *DB) Name() string { return db.name }
+
+// Stats returns a snapshot of the engine's activity counters.
+func (db *DB) Stats() Stats {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return Stats{
+		Statements:    db.stmtCount,
+		RowsRead:      db.rowsRead,
+		RowsWritten:   db.rowsWritten,
+		BytesReturned: db.bytesReturned,
+	}
+}
+
+// ResetStats zeroes the activity counters.
+func (db *DB) ResetStats() {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.stmtCount, db.rowsRead, db.rowsWritten, db.bytesReturned = 0, 0, 0, 0
+}
+
+// TableNames returns the names of all tables, sorted.
+func (db *DB) TableNames() []string {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	names := make([]string, 0, len(db.tables))
+	for _, t := range db.tables {
+		names = append(names, t.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// HasTable reports whether the named table exists.
+func (db *DB) HasTable(name string) bool {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	_, ok := db.tables[strings.ToLower(name)]
+	return ok
+}
+
+// Schema returns the column definitions of the named table.
+func (db *DB) Schema(table string) ([]Column, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[strings.ToLower(table)]
+	if !ok {
+		return nil, fmt.Errorf("sqldb: no such table %s", table)
+	}
+	cols := make([]Column, len(t.Columns))
+	copy(cols, t.Columns)
+	return cols, nil
+}
+
+func (db *DB) table(name string) (*Table, error) {
+	t, ok := db.tables[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("sqldb: no such table %s", name)
+	}
+	return t, nil
+}
+
+// RegisterProcedure installs a native (Go-implemented) stored procedure.
+// Native procedures model vendor-supplied database logic; SQL-bodied
+// procedures are created with CREATE PROCEDURE.
+func (db *DB) RegisterProcedure(name string, fn NativeProc) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.procs[strings.ToLower(name)] = &Procedure{Name: name, Native: fn}
+}
+
+// Session opens a new session on the database. Sessions are cheap; each
+// workflow activity execution typically uses its own.
+func (db *DB) Session() *Session {
+	return &Session{db: db}
+}
+
+// Exec is a convenience that runs a statement on a throwaway session.
+func (db *DB) Exec(sql string, params ...Value) (*Result, error) {
+	return db.Session().Exec(sql, params...)
+}
+
+// MustExec runs a statement and panics on error; intended for tests and
+// example setup code.
+func (db *DB) MustExec(sql string, params ...Value) *Result {
+	r, err := db.Exec(sql, params...)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// ExecScript executes a semicolon-separated script atomically with respect
+// to each statement (no surrounding transaction). It returns the result of
+// the last statement.
+func (db *DB) ExecScript(script string) (*Result, error) {
+	stmts, err := ParseScript(script)
+	if err != nil {
+		return nil, err
+	}
+	s := db.Session()
+	var last *Result
+	for _, st := range stmts {
+		last, err = s.ExecStmt(st, nil, nil)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return last, nil
+}

@@ -1,0 +1,107 @@
+package sqldb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Dump serializes the database — schemas, rows, secondary indexes,
+// sequences, and SQL-bodied procedures — as a SQL script that, executed
+// against an empty database (DB.ExecScript), reproduces its state.
+// Native (Go-registered) procedures cannot be dumped and are emitted as
+// comments.
+func (db *DB) Dump() string {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	var b strings.Builder
+
+	tableNames := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		tableNames = append(tableNames, n)
+	}
+	sort.Strings(tableNames)
+	for _, tn := range tableNames {
+		t := db.tables[tn]
+		var cols []string
+		for _, c := range t.Columns {
+			col := fmt.Sprintf("%s %s", c.Name, c.Type)
+			if c.PrimaryKey {
+				col += " PRIMARY KEY"
+			} else if c.NotNull {
+				col += " NOT NULL"
+			}
+			cols = append(cols, col)
+		}
+		fmt.Fprintf(&b, "CREATE TABLE %s (%s);\n", t.Name, strings.Join(cols, ", "))
+		for _, r := range t.rows {
+			vals := make([]string, len(r.Values))
+			for i, v := range r.Values {
+				vals[i] = v.SQLLiteral()
+			}
+			fmt.Fprintf(&b, "INSERT INTO %s VALUES (%s);\n", t.Name, strings.Join(vals, ", "))
+		}
+		idxNames := make([]string, 0, len(t.indexes))
+		for n := range t.indexes {
+			idxNames = append(idxNames, n)
+		}
+		sort.Strings(idxNames)
+		for _, in := range idxNames {
+			idx := t.indexes[in]
+			if idx == t.pkIndex {
+				continue // implied by PRIMARY KEY
+			}
+			unique := ""
+			if idx.Unique {
+				unique = "UNIQUE "
+			}
+			fmt.Fprintf(&b, "CREATE %sINDEX %s ON %s (%s);\n",
+				unique, idx.Name, t.Name, strings.Join(idx.Columns, ", "))
+		}
+	}
+
+	viewNames := make([]string, 0, len(db.views))
+	for n := range db.views {
+		viewNames = append(viewNames, n)
+	}
+	sort.Strings(viewNames)
+	for _, vn := range viewNames {
+		v := db.views[vn]
+		if v.src == "" {
+			fmt.Fprintf(&b, "-- view %s has no recorded definition\n", v.Name)
+			continue
+		}
+		fmt.Fprintf(&b, "CREATE VIEW %s AS %s;\n", v.Name, v.src)
+	}
+
+	seqNames := make([]string, 0, len(db.sequences))
+	for n := range db.sequences {
+		seqNames = append(seqNames, n)
+	}
+	sort.Strings(seqNames)
+	for _, sn := range seqNames {
+		s := db.sequences[sn]
+		fmt.Fprintf(&b, "CREATE SEQUENCE %s START WITH %d INCREMENT BY %d;\n",
+			s.Name, s.next, s.increment)
+	}
+
+	procNames := make([]string, 0, len(db.procs))
+	for n := range db.procs {
+		procNames = append(procNames, n)
+	}
+	sort.Strings(procNames)
+	for _, pn := range procNames {
+		p := db.procs[pn]
+		if p.Native != nil {
+			fmt.Fprintf(&b, "-- native procedure %s cannot be dumped\n", p.Name)
+			continue
+		}
+		if p.src == "" {
+			continue
+		}
+		params := strings.Join(p.Params, ", ")
+		fmt.Fprintf(&b, "CREATE PROCEDURE %s (%s) AS '%s';\n",
+			p.Name, params, strings.ReplaceAll(p.src, "'", "''"))
+	}
+	return b.String()
+}

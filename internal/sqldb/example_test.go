@@ -1,0 +1,59 @@
+package sqldb_test
+
+import (
+	"fmt"
+
+	"wfsql/internal/sqldb"
+)
+
+func Example() {
+	db := sqldb.Open("demo")
+	db.MustExec("CREATE TABLE Orders (OrderID INTEGER PRIMARY KEY, ItemID VARCHAR, Quantity INTEGER)")
+	db.MustExec("INSERT INTO Orders VALUES (1, 'bolt', 10), (2, 'bolt', 5), (3, 'nut', 3)")
+
+	res := db.MustExec("SELECT ItemID, SUM(Quantity) AS Total FROM Orders GROUP BY ItemID ORDER BY ItemID")
+	for _, row := range res.Rows {
+		fmt.Printf("%s: %s\n", row[0], row[1])
+	}
+	// Output:
+	// bolt: 15
+	// nut: 3
+}
+
+func ExampleSession_transactions() {
+	db := sqldb.Open("demo")
+	db.MustExec("CREATE TABLE t (x INTEGER)")
+	db.MustExec("INSERT INTO t VALUES (1)")
+
+	s := db.Session()
+	s.Exec("BEGIN")
+	s.Exec("DELETE FROM t")
+	s.Exec("ROLLBACK")
+
+	res := db.MustExec("SELECT COUNT(*) FROM t")
+	fmt.Println(res.Rows[0][0])
+	// Output: 1
+}
+
+func ExampleSession_Prepare() {
+	db := sqldb.Open("demo")
+	db.MustExec("CREATE TABLE t (x INTEGER)")
+	s := db.Session()
+	ins, _ := s.Prepare("INSERT INTO t VALUES (?)")
+	for i := 1; i <= 3; i++ {
+		ins.Exec(sqldb.Int(int64(i)))
+	}
+	res := db.MustExec("SELECT SUM(x) FROM t")
+	fmt.Println(res.Rows[0][0])
+	// Output: 6
+}
+
+func ExampleDB_Dump() {
+	db := sqldb.Open("demo")
+	db.MustExec("CREATE TABLE t (x INTEGER)")
+	db.MustExec("INSERT INTO t VALUES (7)")
+	fmt.Print(db.Dump())
+	// Output:
+	// CREATE TABLE t (x INTEGER);
+	// INSERT INTO t VALUES (7);
+}

@@ -1,0 +1,150 @@
+package sqldb
+
+import (
+	"fmt"
+	"strings"
+)
+
+// execExplain renders the access plan the executor would choose for a
+// SELECT: full scans, index probes (with the chosen index), join
+// strategies, and post-processing steps. It makes the engine's planning
+// observable for tests and the index-vs-scan ablation.
+func (s *Session) execExplain(t *ExplainStmt, params []Value, named map[string]Value) (*Result, error) {
+	base := &env{params: params, named: named, session: s}
+	var lines []string
+	if err := s.explainSelect(t.Query, base, 0, &lines); err != nil {
+		return nil, err
+	}
+	res := &Result{Columns: []string{"plan"}}
+	for _, l := range lines {
+		res.Rows = append(res.Rows, []Value{Str(l)})
+	}
+	return res, nil
+}
+
+func (s *Session) explainSelect(q *SelectStmt, base *env, depth int, lines *[]string) error {
+	pad := strings.Repeat("  ", depth)
+	add := func(format string, args ...any) {
+		*lines = append(*lines, pad+fmt.Sprintf(format, args...))
+	}
+
+	switch {
+	case len(q.From) == 0:
+		add("CONSTANT ROW")
+	case len(q.From) == 1 && len(q.From[0].Joins) == 0 && q.From[0].Subquery != nil:
+		add("DERIVED TABLE %s", q.From[0].Alias)
+		if err := s.explainSelect(q.From[0].Subquery, base, depth+1, lines); err != nil {
+			return err
+		}
+	case len(q.From) == 1 && len(q.From[0].Joins) == 0:
+		tbl, err := s.db.table(q.From[0].Table)
+		if err != nil {
+			if v, ok := s.db.views[strings.ToLower(q.From[0].Table)]; ok {
+				add("VIEW %s (expanded)", v.Name)
+				if verr := s.explainSelect(v.Query, base, depth+1, lines); verr != nil {
+					return verr
+				}
+				goto post
+			}
+			return err
+		}
+		if q.Where != nil {
+			if idx := s.chooseIndex(tbl, q.Where, base); idx != nil {
+				add("INDEX PROBE %s USING %s (%s)", tbl.Name, idx.Name, strings.Join(idx.Columns, ", "))
+				goto post
+			}
+		}
+		add("SCAN %s (%d rows)", tbl.Name, len(tbl.rows))
+	default:
+		describe := func(table string, sub *SelectStmt, alias string) (string, error) {
+			if sub != nil {
+				return fmt.Sprintf("derived table %s", alias), nil
+			}
+			if tbl, err := s.db.table(table); err == nil {
+				return fmt.Sprintf("%s (%d rows)", tbl.Name, len(tbl.rows)), nil
+			}
+			if v, ok := s.db.views[strings.ToLower(table)]; ok {
+				return fmt.Sprintf("view %s", v.Name), nil
+			}
+			return "", fmt.Errorf("sqldb: no such table %s", table)
+		}
+		for i, tr := range q.From {
+			desc, err := describe(tr.Table, tr.Subquery, tr.Alias)
+			if err != nil {
+				return err
+			}
+			if i == 0 {
+				add("SCAN %s", desc)
+			} else {
+				add("CROSS PRODUCT SCAN %s", desc)
+			}
+			for _, jc := range tr.Joins {
+				jdesc, err := describe(jc.Table, jc.Subquery, jc.Alias)
+				if err != nil {
+					return err
+				}
+				kind := "INNER"
+				switch jc.Kind {
+				case JoinLeft:
+					kind = "LEFT OUTER"
+				case JoinCross:
+					kind = "CROSS"
+				}
+				add("NESTED LOOP %s JOIN %s", kind, jdesc)
+			}
+		}
+	}
+
+post:
+	if q.Where != nil {
+		add("FILTER")
+	}
+	if len(q.GroupBy) > 0 {
+		add("GROUP BY (%d keys)", len(q.GroupBy))
+	} else if selectHasAggregate(q) {
+		add("AGGREGATE")
+	}
+	if q.Having != nil {
+		add("HAVING FILTER")
+	}
+	if q.Distinct {
+		add("DISTINCT")
+	}
+	if len(q.OrderBy) > 0 {
+		add("SORT (%d keys)", len(q.OrderBy))
+	}
+	if q.Limit != nil || q.Offset != nil {
+		add("LIMIT/OFFSET")
+	}
+	if q.Union != nil {
+		op := "UNION"
+		if q.UnionAll {
+			op = "UNION ALL"
+		}
+		add(op)
+		return s.explainSelect(q.Union, base, depth+1, lines)
+	}
+	return nil
+}
+
+// chooseIndex returns the index the executor's fast path would probe for
+// this predicate, or nil for a scan.
+func (s *Session) chooseIndex(tbl *Table, where Expr, base *env) *Index {
+	eq := map[string]Value{}
+	if !collectEqualities(where, base, eq) || len(eq) == 0 {
+		return nil
+	}
+	for _, idx := range tbl.indexes {
+		ok := true
+		for _, c := range idx.Columns {
+			if _, found := eq[strings.ToLower(c)]; !found {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return idx
+		}
+	}
+	return nil
+}

@@ -1,0 +1,860 @@
+package sqldb
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// colMeta identifies an output or intermediate column: the (aliased) table
+// qualifier it came from and its name.
+type colMeta struct {
+	table string // qualifier (alias or table name), lowercased; "" if none
+	name  string // column name, original case
+}
+
+// relation is an intermediate row set flowing through the executor.
+type relation struct {
+	cols []colMeta
+	rows [][]Value
+}
+
+// env is the expression evaluation environment: the current row (if any),
+// the group rows (during aggregation), statement parameters, and a link to
+// the outer environment for correlated subqueries.
+type env struct {
+	cols      []colMeta
+	row       []Value
+	groupRows [][]Value // non-nil while evaluating aggregate context
+	params    []Value
+	named     map[string]Value
+	session   *Session
+	outer     *env
+}
+
+func (e *env) child(cols []colMeta, row []Value) *env {
+	return &env{cols: cols, row: row, params: e.params, named: e.named, session: e.session, outer: e.outer}
+}
+
+// lookupColumn resolves a (possibly qualified) column reference against this
+// environment, then outer environments.
+func (e *env) lookupColumn(table, name string) (Value, error) {
+	for scope := e; scope != nil; scope = scope.outer {
+		found := -1
+		for i, c := range scope.cols {
+			if !strings.EqualFold(c.name, name) {
+				continue
+			}
+			if table != "" && !strings.EqualFold(c.table, table) {
+				continue
+			}
+			if found >= 0 {
+				return Null(), fmt.Errorf("sqldb: ambiguous column %s", name)
+			}
+			found = i
+		}
+		if found >= 0 {
+			if scope.row == nil {
+				return Null(), fmt.Errorf("sqldb: column %s referenced outside row context", name)
+			}
+			return scope.row[found], nil
+		}
+	}
+	if table != "" {
+		return Null(), fmt.Errorf("sqldb: unknown column %s.%s", table, name)
+	}
+	return Null(), fmt.Errorf("sqldb: unknown column %s", name)
+}
+
+// aggregateNames are function names treated as aggregates.
+var aggregateNames = map[string]bool{
+	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
+}
+
+// exprHasAggregate reports whether the expression contains an aggregate call.
+func exprHasAggregate(x Expr) bool {
+	switch t := x.(type) {
+	case nil:
+		return false
+	case *Literal, *ColumnRef, *ParamRef, *NextValueExpr:
+		return false
+	case *BinaryExpr:
+		return exprHasAggregate(t.L) || exprHasAggregate(t.R)
+	case *UnaryExpr:
+		return exprHasAggregate(t.X)
+	case *IsNullExpr:
+		return exprHasAggregate(t.X)
+	case *BetweenExpr:
+		return exprHasAggregate(t.X) || exprHasAggregate(t.Lo) || exprHasAggregate(t.Hi)
+	case *InExpr:
+		if exprHasAggregate(t.X) {
+			return true
+		}
+		for _, e := range t.List {
+			if exprHasAggregate(e) {
+				return true
+			}
+		}
+		return false
+	case *ExistsExpr, *SubqueryExpr:
+		return false // aggregates inside a subquery belong to the subquery
+	case *FuncCall:
+		if aggregateNames[t.Name] {
+			return true
+		}
+		for _, a := range t.Args {
+			if exprHasAggregate(a) {
+				return true
+			}
+		}
+		return false
+	case *CaseExpr:
+		if exprHasAggregate(t.Operand) || exprHasAggregate(t.Else) {
+			return true
+		}
+		for _, w := range t.Whens {
+			if exprHasAggregate(w.When) || exprHasAggregate(w.Then) {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// eval evaluates an expression in the given environment.
+func eval(x Expr, e *env) (Value, error) {
+	switch t := x.(type) {
+	case *Literal:
+		return t.Val, nil
+	case *boundCol:
+		if e.row == nil || t.idx >= len(e.row) {
+			return Null(), fmt.Errorf("sqldb: column referenced outside row context")
+		}
+		return e.row[t.idx], nil
+	case *ColumnRef:
+		return e.lookupColumn(t.Table, t.Column)
+	case *ParamRef:
+		if t.Name != "" {
+			if e.named != nil {
+				if v, ok := e.named[strings.ToLower(t.Name)]; ok {
+					return v, nil
+				}
+			}
+			return Null(), fmt.Errorf("sqldb: unbound named parameter :%s", t.Name)
+		}
+		if t.Index < 0 || t.Index >= len(e.params) {
+			return Null(), fmt.Errorf("sqldb: missing value for parameter %d", t.Index+1)
+		}
+		return e.params[t.Index], nil
+	case *BinaryExpr:
+		return evalBinary(t, e)
+	case *UnaryExpr:
+		v, err := eval(t.X, e)
+		if err != nil {
+			return Null(), err
+		}
+		switch t.Op {
+		case "-":
+			switch v.K {
+			case KindInt:
+				return Int(-v.I), nil
+			case KindFloat:
+				return Float(-v.F), nil
+			case KindNull:
+				return Null(), nil
+			}
+			return Null(), fmt.Errorf("sqldb: cannot negate %s", v.K)
+		case "NOT":
+			if v.IsNull() {
+				return Null(), nil
+			}
+			if v.K != KindBool {
+				return Null(), fmt.Errorf("sqldb: NOT requires a boolean")
+			}
+			return Bool(!v.B), nil
+		}
+		return Null(), fmt.Errorf("sqldb: unknown unary operator %s", t.Op)
+	case *IsNullExpr:
+		v, err := eval(t.X, e)
+		if err != nil {
+			return Null(), err
+		}
+		return Bool(v.IsNull() != t.Not), nil
+	case *BetweenExpr:
+		v, err := eval(t.X, e)
+		if err != nil {
+			return Null(), err
+		}
+		lo, err := eval(t.Lo, e)
+		if err != nil {
+			return Null(), err
+		}
+		hi, err := eval(t.Hi, e)
+		if err != nil {
+			return Null(), err
+		}
+		c1, ok1 := compareValues(v, lo)
+		c2, ok2 := compareValues(v, hi)
+		if !ok1 || !ok2 {
+			return Null(), nil
+		}
+		return Bool((c1 >= 0 && c2 <= 0) != t.Not), nil
+	case *InExpr:
+		return evalIn(t, e)
+	case *ExistsExpr:
+		res, err := e.session.execSelect(t.Query, e)
+		if err != nil {
+			return Null(), err
+		}
+		return Bool((len(res.Rows) > 0) != t.Not), nil
+	case *SubqueryExpr:
+		res, err := e.session.execSelect(t.Query, e)
+		if err != nil {
+			return Null(), err
+		}
+		if len(res.Rows) == 0 {
+			return Null(), nil
+		}
+		if len(res.Rows) > 1 {
+			return Null(), fmt.Errorf("sqldb: scalar subquery returned %d rows", len(res.Rows))
+		}
+		if len(res.Columns) != 1 {
+			return Null(), fmt.Errorf("sqldb: scalar subquery returned %d columns", len(res.Columns))
+		}
+		return res.Rows[0][0], nil
+	case *FuncCall:
+		if aggregateNames[t.Name] {
+			return evalAggregate(t, e)
+		}
+		return evalScalarFunc(t, e)
+	case *CaseExpr:
+		return evalCase(t, e)
+	case *NextValueExpr:
+		return e.session.nextSequenceValue(t.Sequence)
+	}
+	return Null(), fmt.Errorf("sqldb: cannot evaluate %T", x)
+}
+
+func evalBinary(t *BinaryExpr, e *env) (Value, error) {
+	// AND/OR use SQL three-valued logic with short-circuiting where sound.
+	switch t.Op {
+	case "AND":
+		l, err := eval(t.L, e)
+		if err != nil {
+			return Null(), err
+		}
+		if l.K == KindBool && !l.B {
+			return Bool(false), nil
+		}
+		r, err := eval(t.R, e)
+		if err != nil {
+			return Null(), err
+		}
+		if r.K == KindBool && !r.B {
+			return Bool(false), nil
+		}
+		if l.IsNull() || r.IsNull() {
+			return Null(), nil
+		}
+		return Bool(l.Truth() && r.Truth()), nil
+	case "OR":
+		l, err := eval(t.L, e)
+		if err != nil {
+			return Null(), err
+		}
+		if l.Truth() {
+			return Bool(true), nil
+		}
+		r, err := eval(t.R, e)
+		if err != nil {
+			return Null(), err
+		}
+		if r.Truth() {
+			return Bool(true), nil
+		}
+		if l.IsNull() || r.IsNull() {
+			return Null(), nil
+		}
+		return Bool(false), nil
+	}
+	l, err := eval(t.L, e)
+	if err != nil {
+		return Null(), err
+	}
+	r, err := eval(t.R, e)
+	if err != nil {
+		return Null(), err
+	}
+	switch t.Op {
+	case "=", "<>", "<", "<=", ">", ">=":
+		c, ok := compareValues(l, r)
+		if !ok {
+			return Null(), nil
+		}
+		switch t.Op {
+		case "=":
+			return Bool(c == 0), nil
+		case "<>":
+			return Bool(c != 0), nil
+		case "<":
+			return Bool(c < 0), nil
+		case "<=":
+			return Bool(c <= 0), nil
+		case ">":
+			return Bool(c > 0), nil
+		case ">=":
+			return Bool(c >= 0), nil
+		}
+	case "||":
+		if l.IsNull() || r.IsNull() {
+			return Null(), nil
+		}
+		return Str(l.String() + r.String()), nil
+	case "LIKE":
+		if l.IsNull() || r.IsNull() {
+			return Null(), nil
+		}
+		return Bool(likeMatch(l.String(), r.String())), nil
+	case "+", "-", "*", "/", "%":
+		return evalArith(t.Op, l, r)
+	}
+	return Null(), fmt.Errorf("sqldb: unknown operator %s", t.Op)
+}
+
+func evalArith(op string, l, r Value) (Value, error) {
+	if l.IsNull() || r.IsNull() {
+		return Null(), nil
+	}
+	if op == "+" && (l.K == KindString || r.K == KindString) {
+		return Str(l.String() + r.String()), nil
+	}
+	if l.K == KindInt && r.K == KindInt {
+		switch op {
+		case "+":
+			return Int(l.I + r.I), nil
+		case "-":
+			return Int(l.I - r.I), nil
+		case "*":
+			return Int(l.I * r.I), nil
+		case "/":
+			if r.I == 0 {
+				return Null(), fmt.Errorf("sqldb: division by zero")
+			}
+			return Int(l.I / r.I), nil
+		case "%":
+			if r.I == 0 {
+				return Null(), fmt.Errorf("sqldb: division by zero")
+			}
+			return Int(l.I % r.I), nil
+		}
+	}
+	lf, ok1 := l.AsFloat()
+	rf, ok2 := r.AsFloat()
+	if !ok1 || !ok2 {
+		return Null(), fmt.Errorf("sqldb: arithmetic on non-numeric values (%s %s %s)", l.K, op, r.K)
+	}
+	switch op {
+	case "+":
+		return Float(lf + rf), nil
+	case "-":
+		return Float(lf - rf), nil
+	case "*":
+		return Float(lf * rf), nil
+	case "/":
+		if rf == 0 {
+			return Null(), fmt.Errorf("sqldb: division by zero")
+		}
+		return Float(lf / rf), nil
+	case "%":
+		if rf == 0 {
+			return Null(), fmt.Errorf("sqldb: division by zero")
+		}
+		return Float(math.Mod(lf, rf)), nil
+	}
+	return Null(), fmt.Errorf("sqldb: unknown arithmetic operator %s", op)
+}
+
+// likeMatch implements SQL LIKE with % (any run) and _ (any single char).
+func likeMatch(s, pattern string) bool {
+	return likeRec(s, pattern)
+}
+
+func likeRec(s, p string) bool {
+	for len(p) > 0 {
+		switch p[0] {
+		case '%':
+			// Collapse consecutive %.
+			for len(p) > 0 && p[0] == '%' {
+				p = p[1:]
+			}
+			if len(p) == 0 {
+				return true
+			}
+			for i := 0; i <= len(s); i++ {
+				if likeRec(s[i:], p) {
+					return true
+				}
+			}
+			return false
+		case '_':
+			if len(s) == 0 {
+				return false
+			}
+			s, p = s[1:], p[1:]
+		default:
+			if len(s) == 0 || !strings.EqualFold(string(s[0]), string(p[0])) {
+				return false
+			}
+			s, p = s[1:], p[1:]
+		}
+	}
+	return len(s) == 0
+}
+
+func evalIn(t *InExpr, e *env) (Value, error) {
+	v, err := eval(t.X, e)
+	if err != nil {
+		return Null(), err
+	}
+	var candidates []Value
+	if t.Query != nil {
+		res, err := e.session.execSelect(t.Query, e)
+		if err != nil {
+			return Null(), err
+		}
+		if len(res.Columns) != 1 {
+			return Null(), fmt.Errorf("sqldb: IN subquery must return one column")
+		}
+		for _, row := range res.Rows {
+			candidates = append(candidates, row[0])
+		}
+	} else {
+		for _, le := range t.List {
+			lv, err := eval(le, e)
+			if err != nil {
+				return Null(), err
+			}
+			candidates = append(candidates, lv)
+		}
+	}
+	if v.IsNull() {
+		return Null(), nil
+	}
+	sawNull := false
+	for _, c := range candidates {
+		if c.IsNull() {
+			sawNull = true
+			continue
+		}
+		if cmp, ok := compareValues(v, c); ok && cmp == 0 {
+			return Bool(!t.Not), nil
+		}
+	}
+	if sawNull {
+		return Null(), nil
+	}
+	return Bool(t.Not), nil
+}
+
+func evalCase(t *CaseExpr, e *env) (Value, error) {
+	if t.Operand != nil {
+		op, err := eval(t.Operand, e)
+		if err != nil {
+			return Null(), err
+		}
+		for _, w := range t.Whens {
+			wv, err := eval(w.When, e)
+			if err != nil {
+				return Null(), err
+			}
+			if c, ok := compareValues(op, wv); ok && c == 0 {
+				return eval(w.Then, e)
+			}
+		}
+	} else {
+		for _, w := range t.Whens {
+			wv, err := eval(w.When, e)
+			if err != nil {
+				return Null(), err
+			}
+			if wv.Truth() {
+				return eval(w.Then, e)
+			}
+		}
+	}
+	if t.Else != nil {
+		return eval(t.Else, e)
+	}
+	return Null(), nil
+}
+
+func evalAggregate(t *FuncCall, e *env) (Value, error) {
+	if e.groupRows == nil {
+		return Null(), fmt.Errorf("sqldb: aggregate %s used outside GROUP BY/aggregate context", t.Name)
+	}
+	if t.Name == "COUNT" && t.Star {
+		return Int(int64(len(e.groupRows))), nil
+	}
+	if len(t.Args) != 1 {
+		return Null(), fmt.Errorf("sqldb: aggregate %s requires one argument", t.Name)
+	}
+	var vals []Value
+	seen := map[string]bool{}
+	for _, row := range e.groupRows {
+		rowEnv := e.child(e.cols, row)
+		v, err := eval(t.Args[0], rowEnv)
+		if err != nil {
+			return Null(), err
+		}
+		if v.IsNull() {
+			continue
+		}
+		if t.Distinct {
+			k := fmt.Sprintf("%d:%s", int(v.K), v.String())
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+		}
+		vals = append(vals, v)
+	}
+	switch t.Name {
+	case "COUNT":
+		return Int(int64(len(vals))), nil
+	case "SUM", "AVG":
+		if len(vals) == 0 {
+			return Null(), nil
+		}
+		allInt := true
+		var fi int64
+		var ff float64
+		for _, v := range vals {
+			if v.K != KindInt {
+				allInt = false
+			}
+			f, ok := v.AsFloat()
+			if !ok {
+				return Null(), fmt.Errorf("sqldb: %s over non-numeric value", t.Name)
+			}
+			ff += f
+			if v.K == KindInt {
+				fi += v.I
+			}
+		}
+		if t.Name == "AVG" {
+			return Float(ff / float64(len(vals))), nil
+		}
+		if allInt {
+			return Int(fi), nil
+		}
+		return Float(ff), nil
+	case "MIN", "MAX":
+		if len(vals) == 0 {
+			return Null(), nil
+		}
+		best := vals[0]
+		for _, v := range vals[1:] {
+			c, ok := compareValues(v, best)
+			if !ok {
+				return Null(), fmt.Errorf("sqldb: %s over incomparable values", t.Name)
+			}
+			if (t.Name == "MIN" && c < 0) || (t.Name == "MAX" && c > 0) {
+				best = v
+			}
+		}
+		return best, nil
+	}
+	return Null(), fmt.Errorf("sqldb: unknown aggregate %s", t.Name)
+}
+
+func evalScalarFunc(t *FuncCall, e *env) (Value, error) {
+	args := make([]Value, len(t.Args))
+	for i, a := range t.Args {
+		v, err := eval(a, e)
+		if err != nil {
+			return Null(), err
+		}
+		args[i] = v
+	}
+	arity := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("sqldb: %s expects %d argument(s), got %d", t.Name, n, len(args))
+		}
+		return nil
+	}
+	switch t.Name {
+	case "UPPER":
+		if err := arity(1); err != nil {
+			return Null(), err
+		}
+		if args[0].IsNull() {
+			return Null(), nil
+		}
+		return Str(strings.ToUpper(args[0].String())), nil
+	case "LOWER":
+		if err := arity(1); err != nil {
+			return Null(), err
+		}
+		if args[0].IsNull() {
+			return Null(), nil
+		}
+		return Str(strings.ToLower(args[0].String())), nil
+	case "LENGTH":
+		if err := arity(1); err != nil {
+			return Null(), err
+		}
+		if args[0].IsNull() {
+			return Null(), nil
+		}
+		return Int(int64(len(args[0].String()))), nil
+	case "TRIM":
+		if err := arity(1); err != nil {
+			return Null(), err
+		}
+		if args[0].IsNull() {
+			return Null(), nil
+		}
+		return Str(strings.TrimSpace(args[0].String())), nil
+	case "ABS":
+		if err := arity(1); err != nil {
+			return Null(), err
+		}
+		switch args[0].K {
+		case KindNull:
+			return Null(), nil
+		case KindInt:
+			if args[0].I < 0 {
+				return Int(-args[0].I), nil
+			}
+			return args[0], nil
+		case KindFloat:
+			return Float(math.Abs(args[0].F)), nil
+		}
+		return Null(), fmt.Errorf("sqldb: ABS of non-numeric value")
+	case "ROUND":
+		if len(args) == 1 {
+			f, ok := args[0].AsFloat()
+			if !ok {
+				if args[0].IsNull() {
+					return Null(), nil
+				}
+				return Null(), fmt.Errorf("sqldb: ROUND of non-numeric value")
+			}
+			return Float(math.Round(f)), nil
+		}
+		if err := arity(2); err != nil {
+			return Null(), err
+		}
+		f, ok1 := args[0].AsFloat()
+		d, ok2 := args[1].AsInt()
+		if !ok1 || !ok2 {
+			if args[0].IsNull() || args[1].IsNull() {
+				return Null(), nil
+			}
+			return Null(), fmt.Errorf("sqldb: ROUND of non-numeric value")
+		}
+		p := math.Pow(10, float64(d))
+		return Float(math.Round(f*p) / p), nil
+	case "MOD":
+		if err := arity(2); err != nil {
+			return Null(), err
+		}
+		return evalArith("%", args[0], args[1])
+	case "COALESCE":
+		for _, a := range args {
+			if !a.IsNull() {
+				return a, nil
+			}
+		}
+		return Null(), nil
+	case "NULLIF":
+		if err := arity(2); err != nil {
+			return Null(), err
+		}
+		if c, ok := compareValues(args[0], args[1]); ok && c == 0 {
+			return Null(), nil
+		}
+		return args[0], nil
+	case "CONCAT":
+		var b strings.Builder
+		for _, a := range args {
+			if !a.IsNull() {
+				b.WriteString(a.String())
+			}
+		}
+		return Str(b.String()), nil
+	case "SUBSTR", "SUBSTRING":
+		if len(args) != 2 && len(args) != 3 {
+			return Null(), fmt.Errorf("sqldb: SUBSTR expects 2 or 3 arguments")
+		}
+		if args[0].IsNull() || args[1].IsNull() {
+			return Null(), nil
+		}
+		s := args[0].String()
+		start, _ := args[1].AsInt()
+		if start < 1 {
+			start = 1
+		}
+		if int(start) > len(s) {
+			return Str(""), nil
+		}
+		out := s[start-1:]
+		if len(args) == 3 {
+			if args[2].IsNull() {
+				return Null(), nil
+			}
+			n, _ := args[2].AsInt()
+			if n < 0 {
+				n = 0
+			}
+			if int(n) < len(out) {
+				out = out[:n]
+			}
+		}
+		return Str(out), nil
+	case "REPLACE":
+		if err := arity(3); err != nil {
+			return Null(), err
+		}
+		if args[0].IsNull() || args[1].IsNull() || args[2].IsNull() {
+			return Null(), nil
+		}
+		return Str(strings.ReplaceAll(args[0].String(), args[1].String(), args[2].String())), nil
+	case "POSITION", "INSTR":
+		if err := arity(2); err != nil {
+			return Null(), err
+		}
+		if args[0].IsNull() || args[1].IsNull() {
+			return Null(), nil
+		}
+		// POSITION(needle, haystack): 1-based, 0 when absent.
+		return Int(int64(strings.Index(args[1].String(), args[0].String()) + 1)), nil
+	case "LEFT":
+		if err := arity(2); err != nil {
+			return Null(), err
+		}
+		if args[0].IsNull() || args[1].IsNull() {
+			return Null(), nil
+		}
+		s := args[0].String()
+		n, _ := args[1].AsInt()
+		if n < 0 {
+			n = 0
+		}
+		if int(n) < len(s) {
+			s = s[:n]
+		}
+		return Str(s), nil
+	case "RIGHT":
+		if err := arity(2); err != nil {
+			return Null(), err
+		}
+		if args[0].IsNull() || args[1].IsNull() {
+			return Null(), nil
+		}
+		s := args[0].String()
+		n, _ := args[1].AsInt()
+		if n < 0 {
+			n = 0
+		}
+		if int(n) < len(s) {
+			s = s[len(s)-int(n):]
+		}
+		return Str(s), nil
+	case "GREATEST", "LEAST":
+		if len(args) == 0 {
+			return Null(), fmt.Errorf("sqldb: %s expects at least one argument", t.Name)
+		}
+		best := args[0]
+		for _, v := range args[1:] {
+			if v.IsNull() || best.IsNull() {
+				return Null(), nil
+			}
+			c, ok := compareValues(v, best)
+			if !ok {
+				return Null(), fmt.Errorf("sqldb: %s over incomparable values", t.Name)
+			}
+			if (t.Name == "GREATEST" && c > 0) || (t.Name == "LEAST" && c < 0) {
+				best = v
+			}
+		}
+		return best, nil
+	case "SIGN":
+		if err := arity(1); err != nil {
+			return Null(), err
+		}
+		if args[0].IsNull() {
+			return Null(), nil
+		}
+		f, ok := args[0].AsFloat()
+		if !ok {
+			return Null(), fmt.Errorf("sqldb: SIGN of non-numeric value")
+		}
+		switch {
+		case f > 0:
+			return Int(1), nil
+		case f < 0:
+			return Int(-1), nil
+		}
+		return Int(0), nil
+	case "POWER":
+		if err := arity(2); err != nil {
+			return Null(), err
+		}
+		if args[0].IsNull() || args[1].IsNull() {
+			return Null(), nil
+		}
+		a, ok1 := args[0].AsFloat()
+		b, ok2 := args[1].AsFloat()
+		if !ok1 || !ok2 {
+			return Null(), fmt.Errorf("sqldb: POWER of non-numeric value")
+		}
+		return Float(math.Pow(a, b)), nil
+	case "SQRT":
+		if err := arity(1); err != nil {
+			return Null(), err
+		}
+		if args[0].IsNull() {
+			return Null(), nil
+		}
+		f, ok := args[0].AsFloat()
+		if !ok || f < 0 {
+			return Null(), fmt.Errorf("sqldb: SQRT requires a non-negative number")
+		}
+		return Float(math.Sqrt(f)), nil
+	case "FLOOR":
+		if err := arity(1); err != nil {
+			return Null(), err
+		}
+		if args[0].IsNull() {
+			return Null(), nil
+		}
+		f, ok := args[0].AsFloat()
+		if !ok {
+			return Null(), fmt.Errorf("sqldb: FLOOR of non-numeric value")
+		}
+		return Float(math.Floor(f)), nil
+	case "CEIL", "CEILING":
+		if err := arity(1); err != nil {
+			return Null(), err
+		}
+		if args[0].IsNull() {
+			return Null(), nil
+		}
+		f, ok := args[0].AsFloat()
+		if !ok {
+			return Null(), fmt.Errorf("sqldb: CEILING of non-numeric value")
+		}
+		return Float(math.Ceil(f)), nil
+	case "NEXTVAL":
+		if err := arity(1); err != nil {
+			return Null(), err
+		}
+		if args[0].K != KindString {
+			return Null(), fmt.Errorf("sqldb: NEXTVAL expects a sequence name string")
+		}
+		return e.session.nextSequenceValue(args[0].S)
+	}
+	return Null(), fmt.Errorf("sqldb: unknown function %s", t.Name)
+}

@@ -1,0 +1,116 @@
+package sqldb
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Index is a hash index over one or more columns. Unique indexes enforce
+// key uniqueness (NULL keys are exempt, as in standard SQL).
+type Index struct {
+	Name    string
+	Table   *Table
+	Columns []string
+	colIdx  []int
+	Unique  bool
+	buckets map[string][]*Row
+}
+
+func newIndex(name string, t *Table, cols []string, unique bool) (*Index, error) {
+	idx := &Index{Name: name, Table: t, Columns: cols, Unique: unique, buckets: map[string][]*Row{}}
+	for _, c := range cols {
+		ci := t.ColumnIndex(c)
+		if ci < 0 {
+			return nil, fmt.Errorf("sqldb: index %s: unknown column %s on table %s", name, c, t.Name)
+		}
+		idx.colIdx = append(idx.colIdx, ci)
+	}
+	// Build over existing rows.
+	for _, r := range t.rows {
+		if err := idx.checkInsert(r); err != nil {
+			return nil, err
+		}
+		idx.insert(r)
+	}
+	return idx, nil
+}
+
+// key encodes the indexed column values of a row. hasNull reports whether
+// any key column is NULL (such keys never violate uniqueness).
+func (idx *Index) key(vals []Value) (key string, hasNull bool) {
+	var b strings.Builder
+	for _, ci := range idx.colIdx {
+		v := vals[ci]
+		if v.IsNull() {
+			hasNull = true
+		}
+		// Normalize numerics so 1 and 1.0 collide, matching compareValues.
+		if v.K == KindFloat && v.F == float64(int64(v.F)) {
+			v = Int(int64(v.F))
+		}
+		fmt.Fprintf(&b, "%d:%s\x00", int(v.K), v.String())
+	}
+	return b.String(), hasNull
+}
+
+func (idx *Index) checkInsert(r *Row) error {
+	if !idx.Unique {
+		return nil
+	}
+	k, hasNull := idx.key(r.Values)
+	if hasNull {
+		return nil
+	}
+	if len(idx.buckets[k]) > 0 {
+		return fmt.Errorf("sqldb: unique constraint violation on index %s", idx.Name)
+	}
+	return nil
+}
+
+func (idx *Index) checkUpdate(r *Row, newVals []Value) error {
+	if !idx.Unique {
+		return nil
+	}
+	k, hasNull := idx.key(newVals)
+	if hasNull {
+		return nil
+	}
+	for _, other := range idx.buckets[k] {
+		if other != r {
+			return fmt.Errorf("sqldb: unique constraint violation on index %s", idx.Name)
+		}
+	}
+	return nil
+}
+
+func (idx *Index) insert(r *Row) {
+	k, _ := idx.key(r.Values)
+	idx.buckets[k] = append(idx.buckets[k], r)
+}
+
+func (idx *Index) remove(r *Row) {
+	k, _ := idx.key(r.Values)
+	b := idx.buckets[k]
+	for i, rr := range b {
+		if rr == r {
+			idx.buckets[k] = append(b[:i], b[i+1:]...)
+			if len(idx.buckets[k]) == 0 {
+				delete(idx.buckets, k)
+			}
+			return
+		}
+	}
+}
+
+// lookup returns the rows whose indexed columns equal the given values.
+func (idx *Index) lookup(vals []Value) []*Row {
+	probe := make([]Value, len(idx.Table.Columns))
+	for i, ci := range idx.colIdx {
+		probe[ci] = vals[i]
+	}
+	k, hasNull := idx.key(probe)
+	if hasNull {
+		return nil // NULL never equals anything
+	}
+	return idx.buckets[k]
+}

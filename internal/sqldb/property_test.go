@@ -1,0 +1,461 @@
+package sqldb
+
+import (
+	"fmt"
+	"math/rand"
+	"regexp"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestUnion covers the UNION extension.
+func TestUnion(t *testing.T) {
+	db := Open("u")
+	db.MustExec("CREATE TABLE a (x INTEGER)")
+	db.MustExec("CREATE TABLE b (x INTEGER)")
+	db.MustExec("INSERT INTO a VALUES (1), (2), (3)")
+	db.MustExec("INSERT INTO b VALUES (3), (4)")
+	r := db.MustExec("SELECT x FROM a UNION SELECT x FROM b")
+	if len(r.Rows) != 4 {
+		t.Fatalf("UNION rows: %d, want 4", len(r.Rows))
+	}
+	r = db.MustExec("SELECT x FROM a UNION ALL SELECT x FROM b")
+	if len(r.Rows) != 5 {
+		t.Fatalf("UNION ALL rows: %d, want 5", len(r.Rows))
+	}
+	// Three-arm chain.
+	r = db.MustExec("SELECT 1 UNION SELECT 2 UNION SELECT 1")
+	if len(r.Rows) != 2 {
+		t.Fatalf("chained UNION rows: %d, want 2", len(r.Rows))
+	}
+	if _, err := db.Exec("SELECT x FROM a UNION SELECT x, x FROM b"); err == nil {
+		t.Fatal("column count mismatch must error")
+	}
+}
+
+// likeReference translates a LIKE pattern to a regexp — an independent
+// oracle for the hand-written matcher.
+func likeReference(s, pattern string) bool {
+	var re strings.Builder
+	re.WriteString("(?is)^")
+	for _, r := range pattern {
+		switch r {
+		case '%':
+			re.WriteString(".*")
+		case '_':
+			re.WriteString(".")
+		default:
+			re.WriteString(regexp.QuoteMeta(string(r)))
+		}
+	}
+	re.WriteString("$")
+	return regexp.MustCompile(re.String()).MatchString(s)
+}
+
+// TestQuickLikeMatchesReference checks the LIKE matcher against the
+// regexp oracle on random ASCII strings and patterns.
+func TestQuickLikeMatchesReference(t *testing.T) {
+	alphabet := "ab%_c"
+	gen := func(rng *rand.Rand, n int) string {
+		var b strings.Builder
+		for i := 0; i < n; i++ {
+			b.WriteByte(alphabet[rng.Intn(len(alphabet))])
+		}
+		return b.String()
+	}
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 3000; i++ {
+		s := gen(rng, rng.Intn(8))
+		// Patterns must not contain % or _ as literals: draw from all.
+		p := gen(rng, rng.Intn(6))
+		got := likeMatch(s, p)
+		want := likeReference(s, p)
+		if got != want {
+			t.Fatalf("likeMatch(%q, %q) = %v, reference = %v", s, p, got, want)
+		}
+	}
+}
+
+// TestQuickCompareValuesIsAntisymmetric checks compareValues(a,b) ==
+// -compareValues(b,a) and reflexivity for random numeric/string values.
+func TestQuickCompareValuesIsAntisymmetric(t *testing.T) {
+	mk := func(tag uint8, i int64, f float64, s string) Value {
+		switch tag % 4 {
+		case 0:
+			return Int(i)
+		case 1:
+			return Float(f)
+		case 2:
+			return Str(s)
+		default:
+			return Bool(i%2 == 0)
+		}
+	}
+	f := func(t1 uint8, i1 int64, f1 float64, s1 string, t2 uint8, i2 int64, f2 float64, s2 string) bool {
+		a, b := mk(t1, i1, f1, s1), mk(t2, i2, f2, s2)
+		ab, ok1 := compareValues(a, b)
+		ba, ok2 := compareValues(b, a)
+		if ok1 != ok2 {
+			return false
+		}
+		if ok1 && ab != -ba {
+			return false
+		}
+		// Reflexivity (NaN-free constructors above).
+		if aa, ok := compareValues(a, a); ok && aa != 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickRollbackRestoresState applies a random sequence of DML inside
+// a transaction, rolls back, and checks the table content is unchanged.
+func TestQuickRollbackRestoresState(t *testing.T) {
+	snapshot := func(db *DB) string {
+		r := db.MustExec("SELECT k, v FROM t ORDER BY k")
+		var b strings.Builder
+		for _, row := range r.Rows {
+			fmt.Fprintf(&b, "%s=%s;", row[0], row[1])
+		}
+		return b.String()
+	}
+	f := func(ops []uint16) bool {
+		db := Open("p")
+		db.MustExec("CREATE TABLE t (k INTEGER PRIMARY KEY, v INTEGER)")
+		for i := 0; i < 8; i++ {
+			db.MustExec("INSERT INTO t VALUES (?, ?)", Int(int64(i)), Int(int64(i*i)))
+		}
+		before := snapshot(db)
+		s := db.Session()
+		if _, err := s.Exec("BEGIN"); err != nil {
+			return false
+		}
+		nextKey := int64(100)
+		for _, op := range ops {
+			k := int64(op % 8)
+			switch op % 3 {
+			case 0:
+				s.Exec("INSERT INTO t VALUES (?, ?)", Int(nextKey), Int(int64(op)))
+				nextKey++
+			case 1:
+				s.Exec("UPDATE t SET v = v + 1 WHERE k = ?", Int(k))
+			case 2:
+				s.Exec("DELETE FROM t WHERE k = ?", Int(k))
+			}
+		}
+		if _, err := s.Exec("ROLLBACK"); err != nil {
+			return false
+		}
+		return snapshot(db) == before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickIndexEquivalence checks that point queries return identical
+// results with and without an index, across random data and probes.
+func TestQuickIndexEquivalence(t *testing.T) {
+	f := func(keys []int16, probes []int16) bool {
+		plain := Open("plain")
+		indexed := Open("indexed")
+		for _, db := range []*DB{plain, indexed} {
+			db.MustExec("CREATE TABLE t (k INTEGER, v INTEGER)")
+		}
+		for i, k := range keys {
+			for _, db := range []*DB{plain, indexed} {
+				db.MustExec("INSERT INTO t VALUES (?, ?)", Int(int64(k)), Int(int64(i)))
+			}
+		}
+		indexed.MustExec("CREATE INDEX t_k ON t (k)")
+		for _, probe := range probes {
+			a := plain.MustExec("SELECT v FROM t WHERE k = ? ORDER BY v", Int(int64(probe)))
+			b := indexed.MustExec("SELECT v FROM t WHERE k = ? ORDER BY v", Int(int64(probe)))
+			if len(a.Rows) != len(b.Rows) {
+				return false
+			}
+			for i := range a.Rows {
+				if !a.Rows[i][0].Equal(b.Rows[i][0]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickOrderBySorts checks ORDER BY output is sorted per sortCompare.
+func TestQuickOrderBySorts(t *testing.T) {
+	f := func(vals []int32) bool {
+		db := Open("o")
+		db.MustExec("CREATE TABLE t (x INTEGER)")
+		for _, v := range vals {
+			db.MustExec("INSERT INTO t VALUES (?)", Int(int64(v)))
+		}
+		r := db.MustExec("SELECT x FROM t ORDER BY x")
+		for i := 1; i < len(r.Rows); i++ {
+			if sortCompare(r.Rows[i-1][0], r.Rows[i][0]) > 0 {
+				return false
+			}
+		}
+		return len(r.Rows) == len(vals)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickDistinctIsSetLike checks SELECT DISTINCT returns unique rows
+// that are a subset of the input.
+func TestQuickDistinctIsSetLike(t *testing.T) {
+	f := func(vals []uint8) bool {
+		db := Open("d")
+		db.MustExec("CREATE TABLE t (x INTEGER)")
+		in := map[int64]bool{}
+		for _, v := range vals {
+			db.MustExec("INSERT INTO t VALUES (?)", Int(int64(v%10)))
+			in[int64(v%10)] = true
+		}
+		r := db.MustExec("SELECT DISTINCT x FROM t")
+		seen := map[int64]bool{}
+		for _, row := range r.Rows {
+			if seen[row[0].I] {
+				return false // duplicate survived
+			}
+			seen[row[0].I] = true
+			if !in[row[0].I] {
+				return false // invented value
+			}
+		}
+		return len(seen) == len(in)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickAggregatesMatchManualComputation cross-checks SUM/MIN/MAX/
+// COUNT against direct computation for random integer columns.
+func TestQuickAggregatesMatchManualComputation(t *testing.T) {
+	f := func(vals []int16) bool {
+		db := Open("agg")
+		db.MustExec("CREATE TABLE t (x INTEGER)")
+		var sum, minV, maxV int64
+		first := true
+		for _, v := range vals {
+			db.MustExec("INSERT INTO t VALUES (?)", Int(int64(v)))
+			sum += int64(v)
+			if first || int64(v) < minV {
+				minV = int64(v)
+			}
+			if first || int64(v) > maxV {
+				maxV = int64(v)
+			}
+			first = false
+		}
+		r := db.MustExec("SELECT COUNT(*), SUM(x), MIN(x), MAX(x) FROM t")
+		row := r.Rows[0]
+		if row[0].I != int64(len(vals)) {
+			return false
+		}
+		if len(vals) == 0 {
+			return row[1].IsNull() && row[2].IsNull() && row[3].IsNull()
+		}
+		return row[1].I == sum && row[2].I == minV && row[3].I == maxV
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMiscCoverage(t *testing.T) {
+	db := Open("misc")
+	if db.Name() != "misc" {
+		t.Fatal("Name")
+	}
+
+	// Table-level composite PRIMARY KEY.
+	db.MustExec("CREATE TABLE pk2 (a INTEGER, b INTEGER, v VARCHAR, PRIMARY KEY (a, b))")
+	db.MustExec("INSERT INTO pk2 VALUES (1, 1, 'x'), (1, 2, 'y')")
+	if _, err := db.Exec("INSERT INTO pk2 VALUES (1, 1, 'dup')"); err == nil {
+		t.Fatal("composite PK violated")
+	}
+	if names := db.TableNames(); len(names) != 1 || names[0] != "pk2" {
+		t.Fatalf("TableNames: %v", names)
+	}
+
+	// NOT operator, float arithmetic, string + concatenation.
+	r := db.MustExec("SELECT NOT (1 = 2), 1.5 * 2, 'a' + 'b', 2.5 + 1")
+	row := r.Rows[0]
+	if !row[0].B || row[1].F != 3.0 || row[2].S != "ab" || row[3].F != 3.5 {
+		t.Fatalf("expr results: %v", row)
+	}
+
+	// Session helpers.
+	s := db.Session()
+	if s.DB() != db {
+		t.Fatal("Session.DB")
+	}
+	if s.InTransaction() {
+		t.Fatal("fresh session in txn")
+	}
+	s.Exec("BEGIN")
+	if !s.InTransaction() {
+		t.Fatal("BEGIN not reflected")
+	}
+	s.Exec("INSERT INTO pk2 VALUES (9, 9, 'z')")
+	s.Rollback()
+	if s.InTransaction() {
+		t.Fatal("Rollback did not close txn")
+	}
+	if db.MustExec("SELECT COUNT(*) FROM pk2 WHERE a = 9").Rows[0][0].I != 0 {
+		t.Fatal("Rollback did not undo")
+	}
+	s.Rollback() // idempotent outside a transaction
+
+	// ScalarValue success and failure.
+	res := db.MustExec("SELECT 42")
+	if v, err := res.ScalarValue(); err != nil || v.I != 42 {
+		t.Fatalf("ScalarValue: %v %v", v, err)
+	}
+	res = db.MustExec("SELECT a, b FROM pk2")
+	if _, err := res.ScalarValue(); err == nil {
+		t.Fatal("ScalarValue on non-scalar must error")
+	}
+
+	// Value helpers.
+	if Bool(true).String() != "TRUE" || Bool(false).String() != "FALSE" {
+		t.Fatal("bool String")
+	}
+	if Null().String() != "NULL" || Float(2.5).String() != "2.5" {
+		t.Fatal("null/float String")
+	}
+	if !Int(3).Equal(Float(3)) || Int(3).Equal(Str("3")) {
+		t.Fatal("Equal cross-kind rules")
+	}
+	if v, ok := Float(9.9).AsInt(); !ok || v != 9 {
+		t.Fatal("AsInt truncation")
+	}
+	if _, ok := Str("x").AsInt(); ok {
+		t.Fatal("AsInt on string")
+	}
+
+	// sortCompare: NULLs first, cross-kind ordering stable.
+	if sortCompare(Null(), Int(1)) != -1 || sortCompare(Int(1), Null()) != 1 || sortCompare(Null(), Null()) != 0 {
+		t.Fatal("NULL ordering")
+	}
+	if sortCompare(Bool(false), Bool(true)) != -1 {
+		t.Fatal("bool ordering")
+	}
+	if sortCompare(Str("a"), Bool(true)) == 0 {
+		t.Fatal("cross-kind ordering must be total")
+	}
+}
+
+func TestCoercionFailures(t *testing.T) {
+	db := Open("c")
+	db.MustExec("CREATE TABLE c (i INTEGER, f FLOAT, b BOOLEAN)")
+	for _, bad := range []string{
+		"INSERT INTO c (i) VALUES ('abc')",
+		"INSERT INTO c (f) VALUES ('abc')",
+		"INSERT INTO c (b) VALUES ('maybe')",
+		"INSERT INTO c (f) VALUES (TRUE)",
+	} {
+		if _, err := db.Exec(bad); err == nil {
+			t.Errorf("%s: expected coercion error", bad)
+		}
+	}
+	// Boolean string forms.
+	db.MustExec("INSERT INTO c (b) VALUES ('yes'), ('0'), ('T')")
+	r := db.MustExec("SELECT COUNT(*) FROM c WHERE b = TRUE")
+	if r.Rows[0][0].I != 2 {
+		t.Fatalf("boolean coercion: %v", r.Rows[0][0])
+	}
+}
+
+func TestVarcharLengthAndColumnHelpers(t *testing.T) {
+	db := Open("v")
+	db.MustExec("CREATE TABLE v (s VARCHAR(100) NOT NULL, n INTEGER)")
+	cols, _ := db.Schema("v")
+	if len(cols) != 2 || !cols[0].NotNull {
+		t.Fatalf("schema: %+v", cols)
+	}
+	if _, err := db.Schema("nope"); err == nil {
+		t.Fatal("Schema on missing table")
+	}
+}
+
+func TestDerivedTables(t *testing.T) {
+	db := Open("dt")
+	db.MustExec("CREATE TABLE Orders (ItemID VARCHAR, Quantity INTEGER, Approved BOOLEAN)")
+	db.MustExec(`INSERT INTO Orders VALUES
+		('bolt', 10, TRUE), ('bolt', 5, TRUE), ('nut', 3, TRUE), ('nut', 7, FALSE)`)
+
+	// Derived table in FROM.
+	r := db.MustExec(`SELECT t.ItemID, t.Total
+		FROM (SELECT ItemID, SUM(Quantity) AS Total FROM Orders WHERE Approved = TRUE GROUP BY ItemID) t
+		WHERE t.Total > 5 ORDER BY t.ItemID`)
+	if len(r.Rows) != 1 || r.Rows[0][0].S != "bolt" || r.Rows[0][1].I != 15 {
+		t.Fatalf("derived table: %v", r.Rows)
+	}
+
+	// Derived table on the right side of a JOIN: every order row pairs
+	// with its item's total.
+	r = db.MustExec(`SELECT o.ItemID, o.Quantity, t.Total
+		FROM Orders o
+		JOIN (SELECT ItemID, SUM(Quantity) AS Total FROM Orders GROUP BY ItemID) t
+		ON o.ItemID = t.ItemID ORDER BY o.ItemID, o.Quantity`)
+	if len(r.Rows) != 4 {
+		t.Fatalf("join to derived table: %v", r.Rows)
+	}
+	for _, row := range r.Rows {
+		want := int64(15)
+		if row[0].S == "nut" {
+			want = 10
+		}
+		if row[2].I != want {
+			t.Fatalf("total for %s: %v", row[0].S, row[2])
+		}
+	}
+
+	// Aggregation over a derived table.
+	r = db.MustExec(`SELECT COUNT(*), SUM(Total)
+		FROM (SELECT ItemID, SUM(Quantity) AS Total FROM Orders GROUP BY ItemID) x`)
+	if r.Rows[0][0].I != 2 || r.Rows[0][1].I != 25 {
+		t.Fatalf("aggregate over derived: %v", r.Rows[0])
+	}
+
+	// Missing alias is a parse error.
+	if _, err := db.Exec("SELECT * FROM (SELECT 1)"); err == nil {
+		t.Fatal("derived table without alias must fail")
+	}
+	if _, err := db.Exec("SELECT * FROM Orders o JOIN (SELECT 1) ON 1 = 1"); err == nil {
+		t.Fatal("joined derived table without alias must fail")
+	}
+
+	// EXPLAIN renders the derived-table plan.
+	r = db.MustExec("EXPLAIN SELECT * FROM (SELECT ItemID FROM Orders) d WHERE ItemID = 'x'")
+	var plan strings.Builder
+	for _, row := range r.Rows {
+		plan.WriteString(row[0].S + "\n")
+	}
+	if !strings.Contains(plan.String(), "DERIVED TABLE d") {
+		t.Fatalf("derived plan: %s", plan.String())
+	}
+	r = db.MustExec("EXPLAIN SELECT * FROM Orders o JOIN (SELECT ItemID FROM Orders) d ON o.ItemID = d.ItemID")
+	plan.Reset()
+	for _, row := range r.Rows {
+		plan.WriteString(row[0].S + "\n")
+	}
+	if !strings.Contains(plan.String(), "derived table d") {
+		t.Fatalf("derived join plan: %s", plan.String())
+	}
+}

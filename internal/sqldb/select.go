@@ -1,0 +1,490 @@
+package sqldb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// execSelect executes a SELECT (or UNION chain) in the given environment
+// (which supplies parameters and, for correlated subqueries, outer row
+// bindings).
+func (s *Session) execSelect(q *SelectStmt, outer *env) (*Result, error) {
+	res, err := s.execSelectArm(q, outer)
+	if err != nil || q.Union == nil {
+		return res, err
+	}
+	more, err := s.execSelect(q.Union, outer)
+	if err != nil {
+		return nil, err
+	}
+	if len(more.Columns) != len(res.Columns) {
+		return nil, fmt.Errorf("sqldb: UNION arms have %d and %d columns", len(res.Columns), len(more.Columns))
+	}
+	combined := &Result{Columns: res.Columns, Rows: append(res.Rows, more.Rows...)}
+	if !q.UnionAll {
+		seen := map[string]bool{}
+		var rows [][]Value
+		for _, row := range combined.Rows {
+			k := rowKey(row)
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			rows = append(rows, row)
+		}
+		combined.Rows = rows
+	}
+	return combined, nil
+}
+
+// execSelectArm executes one arm of a SELECT without union handling.
+func (s *Session) execSelectArm(q *SelectStmt, outer *env) (*Result, error) {
+	rel, err := s.buildFrom(q, outer)
+	if err != nil {
+		return nil, err
+	}
+
+	// WHERE.
+	if q.Where != nil {
+		filtered := rel.rows[:0:0]
+		for _, row := range rel.rows {
+			e := &env{cols: rel.cols, row: row, params: outer.params, named: outer.named, session: s, outer: outer}
+			v, err := eval(q.Where, e)
+			if err != nil {
+				return nil, err
+			}
+			if v.Truth() {
+				filtered = append(filtered, row)
+			}
+		}
+		rel.rows = filtered
+	}
+
+	grouped := len(q.GroupBy) > 0 || q.Having != nil || selectHasAggregate(q)
+
+	var outRows [][]Value
+	var rowEnvs []*env // parallel to outRows, for ORDER BY over input columns
+
+	makeEnv := func(row []Value, group [][]Value) *env {
+		return &env{cols: rel.cols, row: row, groupRows: group, params: outer.params, named: outer.named, session: s, outer: outer}
+	}
+
+	// Expand projection items, resolving stars.
+	items, colNames, err := expandItems(q, rel)
+	if err != nil {
+		return nil, err
+	}
+
+	if grouped {
+		groups, err := s.groupRows(q, rel, outer)
+		if err != nil {
+			return nil, err
+		}
+		for _, g := range groups {
+			if g == nil {
+				g = [][]Value{}
+			}
+			var first []Value
+			if len(g) > 0 {
+				first = g[0]
+			}
+			e := makeEnv(first, g)
+			if q.Having != nil {
+				hv, err := eval(q.Having, e)
+				if err != nil {
+					return nil, err
+				}
+				if !hv.Truth() {
+					continue
+				}
+			}
+			out := make([]Value, len(items))
+			for i, it := range items {
+				v, err := eval(it, e)
+				if err != nil {
+					return nil, err
+				}
+				out[i] = v
+			}
+			outRows = append(outRows, out)
+			rowEnvs = append(rowEnvs, e)
+		}
+	} else {
+		for _, row := range rel.rows {
+			e := makeEnv(row, nil)
+			out := make([]Value, len(items))
+			for i, it := range items {
+				v, err := eval(it, e)
+				if err != nil {
+					return nil, err
+				}
+				out[i] = v
+			}
+			outRows = append(outRows, out)
+			rowEnvs = append(rowEnvs, e)
+		}
+	}
+
+	// DISTINCT.
+	if q.Distinct {
+		seen := map[string]bool{}
+		var dr [][]Value
+		var de []*env
+		for i, row := range outRows {
+			k := rowKey(row)
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			dr = append(dr, row)
+			de = append(de, rowEnvs[i])
+		}
+		outRows, rowEnvs = dr, de
+	}
+
+	// ORDER BY.
+	if len(q.OrderBy) > 0 {
+		if err := s.orderRows(q, items, colNames, outRows, rowEnvs); err != nil {
+			return nil, err
+		}
+	}
+
+	// OFFSET / LIMIT.
+	if q.Offset != nil {
+		n, err := evalNonNegInt(q.Offset, outer, "OFFSET")
+		if err != nil {
+			return nil, err
+		}
+		if n >= len(outRows) {
+			outRows = nil
+		} else {
+			outRows = outRows[n:]
+		}
+	}
+	if q.Limit != nil {
+		n, err := evalNonNegInt(q.Limit, outer, "LIMIT")
+		if err != nil {
+			return nil, err
+		}
+		if n < len(outRows) {
+			outRows = outRows[:n]
+		}
+	}
+
+	return &Result{Columns: colNames, Rows: outRows}, nil
+}
+
+func evalNonNegInt(x Expr, outer *env, what string) (int, error) {
+	v, err := eval(x, outer)
+	if err != nil {
+		return 0, err
+	}
+	n, ok := v.AsInt()
+	if !ok || n < 0 {
+		return 0, fmt.Errorf("sqldb: %s must be a non-negative integer", what)
+	}
+	return int(n), nil
+}
+
+func selectHasAggregate(q *SelectStmt) bool {
+	for _, it := range q.Items {
+		if !it.Star && exprHasAggregate(it.Expr) {
+			return true
+		}
+	}
+	return exprHasAggregate(q.Having)
+}
+
+// buildFrom assembles the working relation from the FROM clause (cross
+// product of table refs, each with its joins applied). Single-table
+// queries with equality predicates probe a matching index instead of
+// scanning.
+func (s *Session) buildFrom(q *SelectStmt, outer *env) (*relation, error) {
+	if len(q.From) == 0 {
+		return &relation{rows: [][]Value{nil}}, nil
+	}
+	if len(q.From) == 1 && len(q.From[0].Joins) == 0 && q.Where != nil && q.From[0].Subquery == nil {
+		if tbl, err := s.db.table(q.From[0].Table); err == nil {
+			if candidates := s.indexCandidates(tbl, q.Where, outer); candidates != nil {
+				qual := q.From[0].Alias
+				if qual == "" {
+					qual = tbl.Name
+				}
+				rel := &relation{cols: tableColMeta(tbl, qual)}
+				rel.rows = make([][]Value, 0, len(candidates))
+				for _, r := range candidates {
+					rel.rows = append(rel.rows, r.Values)
+				}
+				s.db.rowsRead += int64(len(candidates))
+				return rel, nil
+			}
+		}
+	}
+	var rel *relation
+	for _, tr := range q.From {
+		r, err := s.buildTableRef(tr, outer)
+		if err != nil {
+			return nil, err
+		}
+		if rel == nil {
+			rel = r
+		} else {
+			rel = crossProduct(rel, r)
+		}
+	}
+	return rel, nil
+}
+
+func (s *Session) scanBase(table, alias string, outer *env) (*relation, error) {
+	tbl, err := s.db.table(table)
+	if err != nil {
+		if v, ok := s.db.views[strings.ToLower(table)]; ok {
+			return s.scanView(v, alias, outer)
+		}
+		return nil, err
+	}
+	qual := alias
+	if qual == "" {
+		qual = tbl.Name
+	}
+	rel := &relation{cols: tableColMeta(tbl, qual)}
+	rel.rows = make([][]Value, 0, len(tbl.rows))
+	for _, r := range tbl.rows {
+		rel.rows = append(rel.rows, r.Values)
+	}
+	s.db.rowsRead += int64(len(tbl.rows))
+	return rel, nil
+}
+
+func (s *Session) buildTableRef(tr TableRef, outer *env) (*relation, error) {
+	rel, err := s.scanSource(tr.Table, tr.Subquery, tr.Alias, outer)
+	if err != nil {
+		return nil, err
+	}
+	for _, jc := range tr.Joins {
+		right, err := s.scanSource(jc.Table, jc.Subquery, jc.Alias, outer)
+		if err != nil {
+			return nil, err
+		}
+		rel, err = s.joinRelations(rel, right, jc, outer)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return rel, nil
+}
+
+// scanSource produces the relation for one FROM entry: a base table, a
+// view, or a derived table (subquery).
+func (s *Session) scanSource(table string, sub *SelectStmt, alias string, outer *env) (*relation, error) {
+	if sub == nil {
+		return s.scanBase(table, alias, outer)
+	}
+	res, err := s.execSelect(sub, outer)
+	if err != nil {
+		return nil, err
+	}
+	rel := &relation{}
+	for _, c := range res.Columns {
+		rel.cols = append(rel.cols, colMeta{table: strings.ToLower(alias), name: c})
+	}
+	rel.rows = res.Rows
+	return rel, nil
+}
+
+func crossProduct(l, r *relation) *relation {
+	out := &relation{cols: append(append([]colMeta{}, l.cols...), r.cols...)}
+	for _, lr := range l.rows {
+		for _, rr := range r.rows {
+			row := make([]Value, 0, len(lr)+len(rr))
+			row = append(row, lr...)
+			row = append(row, rr...)
+			out.rows = append(out.rows, row)
+		}
+	}
+	return out
+}
+
+func (s *Session) joinRelations(l, r *relation, jc JoinClause, outer *env) (*relation, error) {
+	out := &relation{cols: append(append([]colMeta{}, l.cols...), r.cols...)}
+	if jc.Kind == JoinCross {
+		return crossProduct(l, r), nil
+	}
+	for _, lr := range l.rows {
+		matched := false
+		for _, rr := range r.rows {
+			row := make([]Value, 0, len(lr)+len(rr))
+			row = append(row, lr...)
+			row = append(row, rr...)
+			e := &env{cols: out.cols, row: row, params: outer.params, named: outer.named, session: s, outer: outer}
+			v, err := eval(jc.On, e)
+			if err != nil {
+				return nil, err
+			}
+			if v.Truth() {
+				out.rows = append(out.rows, row)
+				matched = true
+			}
+		}
+		if jc.Kind == JoinLeft && !matched {
+			row := make([]Value, len(lr)+len(r.cols))
+			copy(row, lr)
+			out.rows = append(out.rows, row)
+		}
+	}
+	return out, nil
+}
+
+// expandItems resolves * and t.* and returns the projection expressions and
+// output column names.
+func expandItems(q *SelectStmt, rel *relation) ([]Expr, []string, error) {
+	var items []Expr
+	var names []string
+	for _, it := range q.Items {
+		if it.Star {
+			qual := strings.ToLower(it.StarTable)
+			matched := false
+			for i, c := range rel.cols {
+				if qual != "" && c.table != qual {
+					continue
+				}
+				matched = true
+				items = append(items, &boundCol{idx: i})
+				names = append(names, c.name)
+			}
+			if !matched {
+				if qual == "" {
+					return nil, nil, fmt.Errorf("sqldb: SELECT * with no FROM clause")
+				}
+				return nil, nil, fmt.Errorf("sqldb: unknown table %s in %s.*", it.StarTable, it.StarTable)
+			}
+			continue
+		}
+		items = append(items, it.Expr)
+		names = append(names, itemName(it))
+	}
+	return items, names, nil
+}
+
+// boundCol is an internal expression that reads a fixed position of the
+// current row; it implements star expansion without name re-resolution.
+type boundCol struct{ idx int }
+
+func (*boundCol) exprNode() {}
+
+func itemName(it SelectItem) string {
+	if it.Alias != "" {
+		return it.Alias
+	}
+	switch e := it.Expr.(type) {
+	case *ColumnRef:
+		return e.Column
+	case *FuncCall:
+		return e.Name
+	}
+	return "expr"
+}
+
+// groupRows partitions the relation rows by the GROUP BY key. With no
+// GROUP BY (pure aggregate query), all rows form one group — including the
+// empty group, so that COUNT(*) over an empty table yields 0.
+func (s *Session) groupRows(q *SelectStmt, rel *relation, outer *env) ([][][]Value, error) {
+	if len(q.GroupBy) == 0 {
+		return [][][]Value{rel.rows}, nil
+	}
+	order := []string{}
+	groups := map[string][][]Value{}
+	for _, row := range rel.rows {
+		e := &env{cols: rel.cols, row: row, params: outer.params, named: outer.named, session: s, outer: outer}
+		var kb strings.Builder
+		for _, g := range q.GroupBy {
+			v, err := eval(g, e)
+			if err != nil {
+				return nil, err
+			}
+			fmt.Fprintf(&kb, "%d:%s\x00", int(v.K), v.String())
+		}
+		k := kb.String()
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], row)
+	}
+	out := make([][][]Value, 0, len(order))
+	for _, k := range order {
+		out = append(out, groups[k])
+	}
+	return out, nil
+}
+
+func rowKey(row []Value) string {
+	var b strings.Builder
+	for _, v := range row {
+		fmt.Fprintf(&b, "%d:%s\x00", int(v.K), v.String())
+	}
+	return b.String()
+}
+
+// orderRows sorts outRows (and keeps rowEnvs aligned) by the ORDER BY keys.
+// A bare column name that matches an output column name sorts by that
+// output column; otherwise the key expression is evaluated in the row's
+// input environment.
+func (s *Session) orderRows(q *SelectStmt, items []Expr, colNames []string, outRows [][]Value, rowEnvs []*env) error {
+	type keyed struct {
+		keys []Value
+		idx  int
+	}
+	ks := make([]keyed, len(outRows))
+	for i := range outRows {
+		ks[i] = keyed{idx: i, keys: make([]Value, len(q.OrderBy))}
+		for j, oi := range q.OrderBy {
+			v, err := evalOrderKey(oi.Expr, colNames, outRows[i], rowEnvs[i])
+			if err != nil {
+				return err
+			}
+			ks[i].keys[j] = v
+		}
+	}
+	sort.SliceStable(ks, func(a, b int) bool {
+		for j, oi := range q.OrderBy {
+			c := sortCompare(ks[a].keys[j], ks[b].keys[j])
+			if c == 0 {
+				continue
+			}
+			if oi.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	tmpRows := make([][]Value, len(outRows))
+	tmpEnvs := make([]*env, len(rowEnvs))
+	for i, k := range ks {
+		tmpRows[i] = outRows[k.idx]
+		tmpEnvs[i] = rowEnvs[k.idx]
+	}
+	copy(outRows, tmpRows)
+	copy(rowEnvs, tmpEnvs)
+	return nil
+}
+
+func evalOrderKey(x Expr, colNames []string, outRow []Value, rowEnv *env) (Value, error) {
+	// ORDER BY <n>: positional reference to the select list.
+	if lit, ok := x.(*Literal); ok && lit.Val.K == KindInt {
+		n := int(lit.Val.I)
+		if n >= 1 && n <= len(outRow) {
+			return outRow[n-1], nil
+		}
+		return Null(), fmt.Errorf("sqldb: ORDER BY position %d out of range", n)
+	}
+	if cr, ok := x.(*ColumnRef); ok && cr.Table == "" {
+		for i, n := range colNames {
+			if strings.EqualFold(n, cr.Column) {
+				return outRow[i], nil
+			}
+		}
+	}
+	return eval(x, rowEnv)
+}

@@ -1,0 +1,18 @@
+package sqldb
+
+// Sequence is a named integer generator (CREATE SEQUENCE). The Oracle SOA
+// reproduction's sequence-next-val XPath extension function is backed by
+// these.
+type Sequence struct {
+	Name      string
+	next      int64
+	increment int64
+}
+
+// Next returns the current value and advances the sequence. Callers must
+// hold the DB lock.
+func (s *Sequence) Next() int64 {
+	v := s.next
+	s.next += s.increment
+	return v
+}

@@ -1,0 +1,630 @@
+package sqldb
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Session is a connection-like handle on a DB. A session may hold an
+// explicit transaction (BEGIN ... COMMIT/ROLLBACK); outside of one, every
+// statement autocommits. Sessions are not safe for concurrent use by
+// multiple goroutines; open one session per goroutine.
+type Session struct {
+	db     *DB
+	txn    *txn
+	locked bool // true while this session holds db.mu (re-entrant execution)
+}
+
+// txn is an in-flight transaction: an undo log replayed in reverse on
+// rollback.
+type txn struct {
+	undo []undoEntry
+}
+
+type undoEntry interface{ undo() }
+
+type undoInsert struct {
+	t *Table
+	r *Row
+}
+
+func (u undoInsert) undo() { u.t.deleteRow(u.r) }
+
+type undoDelete struct {
+	t *Table
+	r *Row
+}
+
+func (u undoDelete) undo() { u.t.reinsertRow(u.r) }
+
+type undoUpdate struct {
+	t   *Table
+	r   *Row
+	old []Value
+}
+
+func (u undoUpdate) undo() { u.t.restoreRowValues(u.r, u.old) }
+
+// InTransaction reports whether an explicit transaction is open.
+func (s *Session) InTransaction() bool { return s.txn != nil }
+
+// DB returns the database this session is attached to.
+func (s *Session) DB() *DB { return s.db }
+
+// Exec parses and executes one SQL statement with positional parameters.
+func (s *Session) Exec(sql string, params ...Value) (*Result, error) {
+	st, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return s.ExecStmt(st, params, nil)
+}
+
+// ExecNamed parses and executes one SQL statement binding :name parameters
+// from the given map (keys are case-insensitive).
+func (s *Session) ExecNamed(sql string, named map[string]Value) (*Result, error) {
+	st, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return s.ExecStmt(st, nil, named)
+}
+
+// PreparedStmt is a parsed statement bound to a session, reusable with
+// different parameters — the host-variable execution path the product
+// layers use for repeated statements.
+type PreparedStmt struct {
+	s    *Session
+	stmt Stmt
+}
+
+// Prepare parses a statement once for repeated execution.
+func (s *Session) Prepare(sql string) (*PreparedStmt, error) {
+	st, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return &PreparedStmt{s: s, stmt: st}, nil
+}
+
+// Exec runs the prepared statement with positional parameters.
+func (p *PreparedStmt) Exec(params ...Value) (*Result, error) {
+	return p.s.ExecStmt(p.stmt, params, nil)
+}
+
+// ExecNamed runs the prepared statement with named parameters.
+func (p *PreparedStmt) ExecNamed(named map[string]Value) (*Result, error) {
+	return p.s.ExecStmt(p.stmt, nil, named)
+}
+
+// Query executes a statement and requires it to produce a result set.
+func (s *Session) Query(sql string, params ...Value) (*Result, error) {
+	r, err := s.Exec(sql, params...)
+	if err != nil {
+		return nil, err
+	}
+	if !r.IsQuery() {
+		return nil, fmt.Errorf("sqldb: statement did not return rows")
+	}
+	return r, nil
+}
+
+// ExecStmt executes a pre-parsed statement.
+func (s *Session) ExecStmt(st Stmt, params []Value, named map[string]Value) (*Result, error) {
+	if !s.locked {
+		s.db.mu.Lock()
+		s.locked = true
+		defer func() {
+			s.locked = false
+			s.db.mu.Unlock()
+		}()
+	}
+	return s.execStmtLocked(st, params, named)
+}
+
+// execStmtLocked executes one statement with the DB lock held. Unless an
+// explicit transaction is open, the statement runs in a statement-local
+// transaction that rolls back on error (statement atomicity).
+func (s *Session) execStmtLocked(st Stmt, params []Value, named map[string]Value) (res *Result, err error) {
+	s.db.stmtCount++
+	lower := func(m map[string]Value) map[string]Value {
+		if m == nil {
+			return nil
+		}
+		out := make(map[string]Value, len(m))
+		for k, v := range m {
+			out[strings.ToLower(k)] = v
+		}
+		return out
+	}
+	named = lower(named)
+
+	switch t := st.(type) {
+	case *BeginStmt:
+		if s.txn != nil {
+			return nil, fmt.Errorf("sqldb: transaction already open")
+		}
+		s.txn = &txn{}
+		return &Result{}, nil
+	case *CommitStmt:
+		if s.txn == nil {
+			return nil, fmt.Errorf("sqldb: no transaction open")
+		}
+		s.txn = nil
+		return &Result{}, nil
+	case *RollbackStmt:
+		if s.txn == nil {
+			return nil, fmt.Errorf("sqldb: no transaction open")
+		}
+		s.rollbackLocked()
+		return &Result{}, nil
+	default:
+		_ = t
+	}
+
+	// Statement-local transaction when none is open.
+	local := false
+	if s.txn == nil {
+		s.txn = &txn{}
+		local = true
+	}
+	defer func() {
+		if local {
+			if err != nil {
+				s.rollbackLocked()
+			} else {
+				s.txn = nil
+			}
+		}
+	}()
+
+	switch t := st.(type) {
+	case *SelectStmt:
+		base := &env{params: params, named: named, session: s}
+		res, err = s.execSelect(t, base)
+		if err == nil {
+			b := res.approxBytes()
+			s.db.bytesReturned += b
+		}
+		return res, err
+	case *InsertStmt:
+		return s.execInsert(t, params, named)
+	case *UpdateStmt:
+		return s.execUpdate(t, params, named)
+	case *DeleteStmt:
+		return s.execDelete(t, params, named)
+	case *CreateTableStmt:
+		return s.execCreateTable(t, params, named)
+	case *DropTableStmt:
+		lc := strings.ToLower(t.Table)
+		tbl, ok := s.db.tables[lc]
+		if !ok {
+			if t.IfExists {
+				return &Result{}, nil
+			}
+			return nil, fmt.Errorf("sqldb: no such table %s", t.Table)
+		}
+		for in := range tbl.indexes {
+			delete(s.db.indexOwner, in)
+		}
+		delete(s.db.tables, lc)
+		return &Result{}, nil
+	case *TruncateStmt:
+		tbl, err := s.db.table(t.Table)
+		if err != nil {
+			return nil, err
+		}
+		n := len(tbl.rows)
+		for len(tbl.rows) > 0 {
+			r := tbl.rows[len(tbl.rows)-1]
+			tbl.deleteRow(r)
+			s.txn.undo = append(s.txn.undo, undoDelete{tbl, r})
+		}
+		s.db.rowsWritten += int64(n)
+		return &Result{RowsAffected: n}, nil
+	case *CreateIndexStmt:
+		tbl, err := s.db.table(t.Table)
+		if err != nil {
+			return nil, err
+		}
+		lc := strings.ToLower(t.Name)
+		if _, exists := s.db.indexOwner[lc]; exists {
+			return nil, fmt.Errorf("sqldb: index %s already exists", t.Name)
+		}
+		idx, err := newIndex(t.Name, tbl, t.Columns, t.Unique)
+		if err != nil {
+			return nil, err
+		}
+		tbl.indexes[lc] = idx
+		s.db.indexOwner[lc] = tbl
+		return &Result{}, nil
+	case *DropIndexStmt:
+		lc := strings.ToLower(t.Name)
+		tbl, ok := s.db.indexOwner[lc]
+		if !ok {
+			if t.IfExists {
+				return &Result{}, nil
+			}
+			return nil, fmt.Errorf("sqldb: no such index %s", t.Name)
+		}
+		delete(tbl.indexes, lc)
+		delete(s.db.indexOwner, lc)
+		return &Result{}, nil
+	case *CreateSequenceStmt:
+		lc := strings.ToLower(t.Name)
+		if _, exists := s.db.sequences[lc]; exists {
+			return nil, fmt.Errorf("sqldb: sequence %s already exists", t.Name)
+		}
+		s.db.sequences[lc] = &Sequence{Name: t.Name, next: t.Start, increment: t.Increment}
+		return &Result{}, nil
+	case *DropSequenceStmt:
+		lc := strings.ToLower(t.Name)
+		if _, ok := s.db.sequences[lc]; !ok {
+			if t.IfExists {
+				return &Result{}, nil
+			}
+			return nil, fmt.Errorf("sqldb: no such sequence %s", t.Name)
+		}
+		delete(s.db.sequences, lc)
+		return &Result{}, nil
+	case *CreateProcedureStmt:
+		body, err := ParseScript(t.Body)
+		if err != nil {
+			return nil, fmt.Errorf("sqldb: procedure %s body: %w", t.Name, err)
+		}
+		lc := strings.ToLower(t.Name)
+		if _, exists := s.db.procs[lc]; exists {
+			return nil, fmt.Errorf("sqldb: procedure %s already exists", t.Name)
+		}
+		s.db.procs[lc] = &Procedure{Name: t.Name, Params: t.Params, Body: body, src: t.Body}
+		return &Result{}, nil
+	case *DropProcedureStmt:
+		lc := strings.ToLower(t.Name)
+		if _, ok := s.db.procs[lc]; !ok {
+			if t.IfExists {
+				return &Result{}, nil
+			}
+			return nil, fmt.Errorf("sqldb: no such procedure %s", t.Name)
+		}
+		delete(s.db.procs, lc)
+		return &Result{}, nil
+	case *CallStmt:
+		return s.execCall(t, params, named)
+	case *ExplainStmt:
+		return s.execExplain(t, params, named)
+	case *AlterTableStmt:
+		return s.execAlterTable(t, params, named)
+	case *CreateViewStmt:
+		return s.execCreateView(t)
+	case *DropViewStmt:
+		return s.execDropView(t)
+	}
+	return nil, fmt.Errorf("sqldb: unsupported statement %T", st)
+}
+
+func (s *Session) rollbackLocked() {
+	if s.txn == nil {
+		return
+	}
+	for i := len(s.txn.undo) - 1; i >= 0; i-- {
+		s.txn.undo[i].undo()
+	}
+	s.txn = nil
+}
+
+// Rollback aborts any open explicit transaction (no-op otherwise). It is
+// used by the workflow layers when a fault aborts an atomic SQL sequence.
+func (s *Session) Rollback() {
+	if !s.locked {
+		s.db.mu.Lock()
+		s.locked = true
+		defer func() {
+			s.locked = false
+			s.db.mu.Unlock()
+		}()
+	}
+	if s.txn != nil {
+		s.rollbackLocked()
+	}
+}
+
+func (s *Session) nextSequenceValue(name string) (Value, error) {
+	seq, ok := s.db.sequences[strings.ToLower(name)]
+	if !ok {
+		return Null(), fmt.Errorf("sqldb: no such sequence %s", name)
+	}
+	return Int(seq.Next()), nil
+}
+
+func (s *Session) execInsert(t *InsertStmt, params []Value, named map[string]Value) (*Result, error) {
+	tbl, err := s.db.table(t.Table)
+	if err != nil {
+		return nil, err
+	}
+	// Determine target column positions.
+	targets := make([]int, 0, len(tbl.Columns))
+	if len(t.Columns) == 0 {
+		for i := range tbl.Columns {
+			targets = append(targets, i)
+		}
+	} else {
+		for _, c := range t.Columns {
+			ci := tbl.ColumnIndex(c)
+			if ci < 0 {
+				return nil, fmt.Errorf("sqldb: no column %s in table %s", c, t.Table)
+			}
+			targets = append(targets, ci)
+		}
+	}
+	base := &env{params: params, named: named, session: s}
+	var sourceRows [][]Value
+	if t.Query != nil {
+		qres, err := s.execSelect(t.Query, base)
+		if err != nil {
+			return nil, err
+		}
+		if len(qres.Columns) != len(targets) {
+			return nil, fmt.Errorf("sqldb: INSERT ... SELECT column count mismatch: %d vs %d", len(targets), len(qres.Columns))
+		}
+		sourceRows = qres.Rows
+	} else {
+		for _, rowExprs := range t.Rows {
+			if len(rowExprs) != len(targets) {
+				return nil, fmt.Errorf("sqldb: INSERT value count mismatch: %d vs %d", len(targets), len(rowExprs))
+			}
+			vals := make([]Value, len(rowExprs))
+			for i, e := range rowExprs {
+				v, err := eval(e, base)
+				if err != nil {
+					return nil, err
+				}
+				vals[i] = v
+			}
+			sourceRows = append(sourceRows, vals)
+		}
+	}
+	n := 0
+	for _, src := range sourceRows {
+		full := make([]Value, len(tbl.Columns))
+		assigned := make([]bool, len(tbl.Columns))
+		for i, ci := range targets {
+			full[ci] = src[i]
+			assigned[ci] = true
+		}
+		for ci, col := range tbl.Columns {
+			if !assigned[ci] && col.Default != nil {
+				v, err := eval(col.Default, base)
+				if err != nil {
+					return nil, err
+				}
+				full[ci] = v
+			}
+		}
+		r := &Row{Values: full}
+		if err := tbl.insertRow(r); err != nil {
+			return nil, err
+		}
+		s.txn.undo = append(s.txn.undo, undoInsert{tbl, r})
+		n++
+	}
+	s.db.rowsWritten += int64(n)
+	return &Result{RowsAffected: n}, nil
+}
+
+func (s *Session) execUpdate(t *UpdateStmt, params []Value, named map[string]Value) (*Result, error) {
+	tbl, err := s.db.table(t.Table)
+	if err != nil {
+		return nil, err
+	}
+	cols := tableColMeta(tbl, "")
+	setIdx := make([]int, len(t.Sets))
+	for i, sc := range t.Sets {
+		ci := tbl.ColumnIndex(sc.Column)
+		if ci < 0 {
+			return nil, fmt.Errorf("sqldb: no column %s in table %s", sc.Column, t.Table)
+		}
+		setIdx[i] = ci
+	}
+	base := &env{params: params, named: named, session: s}
+	// Snapshot matching rows first: predicates must see pre-update state.
+	matched, err := s.filterRows(tbl, cols, t.Where, base)
+	if err != nil {
+		return nil, err
+	}
+	n := 0
+	for _, r := range matched {
+		rowEnv := base.child(cols, r.Values)
+		newVals := make([]Value, len(r.Values))
+		copy(newVals, r.Values)
+		for i, sc := range t.Sets {
+			v, err := eval(sc.Value, rowEnv)
+			if err != nil {
+				return nil, err
+			}
+			newVals[setIdx[i]] = v
+		}
+		old, err := tbl.updateRow(r, newVals)
+		if err != nil {
+			return nil, err
+		}
+		s.txn.undo = append(s.txn.undo, undoUpdate{tbl, r, old})
+		n++
+	}
+	s.db.rowsWritten += int64(n)
+	return &Result{RowsAffected: n}, nil
+}
+
+func (s *Session) execDelete(t *DeleteStmt, params []Value, named map[string]Value) (*Result, error) {
+	tbl, err := s.db.table(t.Table)
+	if err != nil {
+		return nil, err
+	}
+	cols := tableColMeta(tbl, "")
+	base := &env{params: params, named: named, session: s}
+	matched, err := s.filterRows(tbl, cols, t.Where, base)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range matched {
+		tbl.deleteRow(r)
+		s.txn.undo = append(s.txn.undo, undoDelete{tbl, r})
+	}
+	s.db.rowsWritten += int64(len(matched))
+	return &Result{RowsAffected: len(matched)}, nil
+}
+
+// filterRows returns the rows of tbl matching the predicate, using an index
+// for simple equality predicates when one applies.
+func (s *Session) filterRows(tbl *Table, cols []colMeta, where Expr, base *env) ([]*Row, error) {
+	candidates := s.indexCandidates(tbl, where, base)
+	if candidates == nil {
+		candidates = tbl.rows
+	}
+	var matched []*Row
+	for _, r := range candidates {
+		s.db.rowsRead++
+		if where != nil {
+			v, err := eval(where, base.child(cols, r.Values))
+			if err != nil {
+				return nil, err
+			}
+			if !v.Truth() {
+				continue
+			}
+		}
+		matched = append(matched, r)
+	}
+	return matched, nil
+}
+
+// indexCandidates inspects an AND-decomposed predicate for equality
+// comparisons against constants/params and probes a matching index (the
+// same choice EXPLAIN reports). It returns nil when no index applies
+// (meaning: scan all rows).
+func (s *Session) indexCandidates(tbl *Table, where Expr, base *env) []*Row {
+	if where == nil {
+		return nil
+	}
+	eq := map[string]Value{}
+	if !collectEqualities(where, base, eq) || len(eq) == 0 {
+		// Collected equalities are valid necessary conditions only if
+		// the whole predicate is a conjunction.
+		return nil
+	}
+	idx := s.chooseIndex(tbl, where, base)
+	if idx == nil {
+		return nil
+	}
+	vals := make([]Value, 0, len(idx.Columns))
+	for _, c := range idx.Columns {
+		vals = append(vals, eq[strings.ToLower(c)])
+	}
+	return idx.lookup(vals)
+}
+
+// collectEqualities walks a conjunction and records column = constant
+// bindings. It returns false if the expression contains disjunctions or
+// other shapes that make index probing unsound.
+func collectEqualities(x Expr, base *env, out map[string]Value) bool {
+	switch t := x.(type) {
+	case *BinaryExpr:
+		switch t.Op {
+		case "AND":
+			return collectEqualities(t.L, base, out) && collectEqualities(t.R, base, out)
+		case "=":
+			col, val, ok := constEquality(t, base)
+			if ok {
+				out[strings.ToLower(col)] = val
+			}
+			return true
+		case "OR":
+			return false
+		default:
+			return true // other comparisons narrow further; scan handles them
+		}
+	case *UnaryExpr:
+		if t.Op == "NOT" {
+			return false
+		}
+		return true
+	default:
+		return true
+	}
+}
+
+// constEquality matches col = <constant> or <constant> = col where the
+// constant side is a literal or parameter.
+func constEquality(b *BinaryExpr, base *env) (string, Value, bool) {
+	try := func(l, r Expr) (string, Value, bool) {
+		cr, ok := l.(*ColumnRef)
+		if !ok {
+			return "", Value{}, false
+		}
+		switch c := r.(type) {
+		case *Literal:
+			return cr.Column, c.Val, true
+		case *ParamRef:
+			v, err := eval(c, base)
+			if err != nil {
+				return "", Value{}, false
+			}
+			return cr.Column, v, true
+		}
+		return "", Value{}, false
+	}
+	if col, v, ok := try(b.L, b.R); ok {
+		return col, v, true
+	}
+	return try(b.R, b.L)
+}
+
+func (s *Session) execCall(t *CallStmt, params []Value, named map[string]Value) (*Result, error) {
+	proc, ok := s.db.procs[strings.ToLower(t.Name)]
+	if !ok {
+		return nil, fmt.Errorf("sqldb: no such procedure %s", t.Name)
+	}
+	base := &env{params: params, named: named, session: s}
+	args := make([]Value, len(t.Args))
+	for i, a := range t.Args {
+		v, err := eval(a, base)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = v
+	}
+	if proc.Native != nil {
+		return proc.Native(s, args)
+	}
+	if len(args) != len(proc.Params) {
+		return nil, fmt.Errorf("sqldb: procedure %s expects %d argument(s), got %d", proc.Name, len(proc.Params), len(args))
+	}
+	bound := map[string]Value{}
+	for i, p := range proc.Params {
+		bound[strings.ToLower(p)] = args[i]
+	}
+	var last *Result
+	for _, st := range proc.Body {
+		r, err := s.execStmtLocked(st, nil, bound)
+		if err != nil {
+			return nil, fmt.Errorf("sqldb: procedure %s: %w", proc.Name, err)
+		}
+		if r.IsQuery() {
+			last = r
+		}
+	}
+	if last == nil {
+		last = &Result{}
+	}
+	return last, nil
+}
+
+func tableColMeta(tbl *Table, qualifier string) []colMeta {
+	if qualifier == "" {
+		qualifier = tbl.Name
+	}
+	cols := make([]colMeta, len(tbl.Columns))
+	for i, c := range tbl.Columns {
+		cols[i] = colMeta{table: strings.ToLower(qualifier), name: c.Name}
+	}
+	return cols
+}

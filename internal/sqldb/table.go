@@ -1,0 +1,174 @@
+package sqldb
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Column describes one column of a table.
+type Column struct {
+	Name       string
+	Type       ColumnType
+	NotNull    bool
+	PrimaryKey bool
+	Default    Expr // nil if no default
+}
+
+// Row is a stored tuple. Row identity (the pointer) is stable for the life
+// of the row, which the transaction undo log and indexes rely on.
+type Row struct {
+	Values []Value
+}
+
+// Table is an in-memory heap of rows plus its schema and secondary indexes.
+// All access is serialized by the owning DB's lock.
+type Table struct {
+	Name    string
+	Columns []Column
+	rows    []*Row
+	indexes map[string]*Index // by lowercased index name
+	pkIndex *Index            // non-nil if the table has a primary key
+}
+
+func newTable(name string, cols []Column) (*Table, error) {
+	seen := map[string]bool{}
+	for _, c := range cols {
+		lc := strings.ToLower(c.Name)
+		if seen[lc] {
+			return nil, fmt.Errorf("sqldb: duplicate column %s in table %s", c.Name, name)
+		}
+		seen[lc] = true
+	}
+	t := &Table{Name: name, Columns: cols, indexes: map[string]*Index{}}
+	var pkCols []string
+	for _, c := range cols {
+		if c.PrimaryKey {
+			pkCols = append(pkCols, c.Name)
+		}
+	}
+	if len(pkCols) > 0 {
+		idx, err := newIndex(t.Name+"_pk", t, pkCols, true)
+		if err != nil {
+			return nil, err
+		}
+		t.pkIndex = idx
+		t.indexes[strings.ToLower(idx.Name)] = idx
+	}
+	return t, nil
+}
+
+// ColumnIndex returns the position of the named column, or -1.
+func (t *Table) ColumnIndex(name string) int {
+	for i, c := range t.Columns {
+		if strings.EqualFold(c.Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// ColumnNames returns the column names in declaration order.
+func (t *Table) ColumnNames() []string {
+	names := make([]string, len(t.Columns))
+	for i, c := range t.Columns {
+		names[i] = c.Name
+	}
+	return names
+}
+
+// RowCount returns the number of live rows.
+func (t *Table) RowCount() int { return len(t.rows) }
+
+// insertRow validates constraints, appends the row, and maintains indexes.
+func (t *Table) insertRow(r *Row) error {
+	if len(r.Values) != len(t.Columns) {
+		return fmt.Errorf("sqldb: table %s expects %d values, got %d", t.Name, len(t.Columns), len(r.Values))
+	}
+	for i, c := range t.Columns {
+		v, err := coerce(r.Values[i], c.Type)
+		if err != nil {
+			return fmt.Errorf("sqldb: column %s.%s: %w", t.Name, c.Name, err)
+		}
+		if c.NotNull && v.IsNull() {
+			return fmt.Errorf("sqldb: column %s.%s may not be NULL", t.Name, c.Name)
+		}
+		r.Values[i] = v
+	}
+	for _, idx := range t.indexes {
+		if err := idx.checkInsert(r); err != nil {
+			return err
+		}
+	}
+	t.rows = append(t.rows, r)
+	for _, idx := range t.indexes {
+		idx.insert(r)
+	}
+	return nil
+}
+
+// deleteRow removes the row (by identity) and maintains indexes.
+func (t *Table) deleteRow(r *Row) bool {
+	for i, rr := range t.rows {
+		if rr == r {
+			t.rows = append(t.rows[:i], t.rows[i+1:]...)
+			for _, idx := range t.indexes {
+				idx.remove(r)
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// updateRow replaces the row's values in place, revalidating constraints
+// and maintaining indexes. It returns the old values for undo logging.
+func (t *Table) updateRow(r *Row, newVals []Value) ([]Value, error) {
+	if len(newVals) != len(t.Columns) {
+		return nil, fmt.Errorf("sqldb: table %s expects %d values, got %d", t.Name, len(t.Columns), len(newVals))
+	}
+	coerced := make([]Value, len(newVals))
+	for i, c := range t.Columns {
+		v, err := coerce(newVals[i], c.Type)
+		if err != nil {
+			return nil, fmt.Errorf("sqldb: column %s.%s: %w", t.Name, c.Name, err)
+		}
+		if c.NotNull && v.IsNull() {
+			return nil, fmt.Errorf("sqldb: column %s.%s may not be NULL", t.Name, c.Name)
+		}
+		coerced[i] = v
+	}
+	for _, idx := range t.indexes {
+		if err := idx.checkUpdate(r, coerced); err != nil {
+			return nil, err
+		}
+	}
+	old := r.Values
+	for _, idx := range t.indexes {
+		idx.remove(r)
+	}
+	r.Values = coerced
+	for _, idx := range t.indexes {
+		idx.insert(r)
+	}
+	return old, nil
+}
+
+// restoreRowValues puts old values back without constraint checks (used by
+// rollback, which by construction restores a previously valid state).
+func (t *Table) restoreRowValues(r *Row, old []Value) {
+	for _, idx := range t.indexes {
+		idx.remove(r)
+	}
+	r.Values = old
+	for _, idx := range t.indexes {
+		idx.insert(r)
+	}
+}
+
+// reinsertRow re-adds a row removed by deleteRow (used by rollback).
+func (t *Table) reinsertRow(r *Row) {
+	t.rows = append(t.rows, r)
+	for _, idx := range t.indexes {
+		idx.insert(r)
+	}
+}

@@ -1,0 +1,65 @@
+package sqldb
+
+import (
+	"fmt"
+	"strings"
+)
+
+// view is a named stored query re-executed on every reference.
+type view struct {
+	Name  string
+	Query *SelectStmt
+	src   string // original definition text for Dump
+}
+
+// execCreateView installs a view after checking name collisions and that
+// the definition is executable right now (eager validation, like the
+// products' database layers do).
+func (s *Session) execCreateView(t *CreateViewStmt) (*Result, error) {
+	lc := strings.ToLower(t.Name)
+	if _, exists := s.db.tables[lc]; exists {
+		return nil, fmt.Errorf("sqldb: a table named %s already exists", t.Name)
+	}
+	if _, exists := s.db.views[lc]; exists {
+		return nil, fmt.Errorf("sqldb: view %s already exists", t.Name)
+	}
+	base := &env{session: s}
+	if _, err := s.execSelect(t.Query, base); err != nil {
+		return nil, fmt.Errorf("sqldb: view %s definition: %w", t.Name, err)
+	}
+	s.db.views[lc] = &view{Name: t.Name, Query: t.Query, src: t.Src}
+	return &Result{}, nil
+}
+
+func (s *Session) execDropView(t *DropViewStmt) (*Result, error) {
+	lc := strings.ToLower(t.Name)
+	if _, ok := s.db.views[lc]; !ok {
+		if t.IfExists {
+			return &Result{}, nil
+		}
+		return nil, fmt.Errorf("sqldb: no such view %s", t.Name)
+	}
+	delete(s.db.views, lc)
+	return &Result{}, nil
+}
+
+// scanView materializes a view reference as a relation, evaluated fresh
+// on each use.
+func (s *Session) scanView(v *view, alias string, outer *env) (*relation, error) {
+	// Views see the database, not the referencing statement's parameters.
+	base := &env{session: s, params: outer.params, named: outer.named}
+	res, err := s.execSelect(v.Query, base)
+	if err != nil {
+		return nil, fmt.Errorf("sqldb: view %s: %w", v.Name, err)
+	}
+	qual := alias
+	if qual == "" {
+		qual = v.Name
+	}
+	rel := &relation{}
+	for _, c := range res.Columns {
+		rel.cols = append(rel.cols, colMeta{table: strings.ToLower(qual), name: c})
+	}
+	rel.rows = res.Rows
+	return rel, nil
+}

@@ -1,0 +1,100 @@
+package wsbus
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+
+	"wfsql/internal/rowset"
+	"wfsql/internal/sqldb"
+)
+
+// OrderFromSupplierService is the paper's sample Web service: it takes an
+// item type and a required quantity, "orders" the items from a supplier,
+// and returns a confirmation string indicating success. Orders above the
+// configured capacity are rejected, exercising the failure path.
+type OrderFromSupplierService struct {
+	mu       sync.Mutex
+	Capacity int64 // per-call quantity limit; 0 means unlimited
+	ordered  map[string]int64
+}
+
+// NewOrderFromSupplier creates the sample supplier service.
+func NewOrderFromSupplier(capacity int64) *OrderFromSupplierService {
+	return &OrderFromSupplierService{Capacity: capacity, ordered: map[string]int64{}}
+}
+
+// Handle implements the service operation. Request parts: ItemID,
+// Quantity. Response part: OrderConfirmation.
+func (s *OrderFromSupplierService) Handle(req Message) (Message, error) {
+	item := req["ItemID"]
+	if item == "" {
+		return nil, fmt.Errorf("OrderFromSupplier: missing ItemID")
+	}
+	qty, err := strconv.ParseInt(req["Quantity"], 10, 64)
+	if err != nil || qty <= 0 {
+		return nil, fmt.Errorf("OrderFromSupplier: bad Quantity %q", req["Quantity"])
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.Capacity > 0 && qty > s.Capacity {
+		return Message{"OrderConfirmation": fmt.Sprintf("REJECTED:%s:%d", item, qty)}, nil
+	}
+	s.ordered[item] += qty
+	return Message{"OrderConfirmation": fmt.Sprintf("CONFIRMED:%s:%d", item, qty)}, nil
+}
+
+// Ordered returns the total quantity ordered for an item so far.
+func (s *OrderFromSupplierService) Ordered(item string) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ordered[item]
+}
+
+// RegisterSQLAdapter registers the *adapter technology* of the paper's
+// Figure 1: a service that encapsulates SQL-specific functionality and
+// masks data management operations as a Web service. The process logic
+// calling it sees only a service; data management issues stay outside the
+// choreography.
+//
+// Request parts:
+//
+//	statement — the SQL text to execute
+//	p1..pN    — optional positional parameter values (bound as strings)
+//
+// Response parts:
+//
+//	rowsAffected — for DML
+//	rowset       — serialized XML RowSet, for queries
+//	rows         — row count, for queries
+func RegisterSQLAdapter(b *Bus, name string, db *sqldb.DB) {
+	b.Register(name, func(req Message) (Message, error) {
+		stmt := req["statement"]
+		if stmt == "" {
+			return nil, fmt.Errorf("sql adapter: missing statement")
+		}
+		var params []sqldb.Value
+		for i := 1; ; i++ {
+			v, ok := req[fmt.Sprintf("p%d", i)]
+			if !ok {
+				break
+			}
+			params = append(params, sqldb.Str(v))
+		}
+		res, err := db.Exec(stmt, params...)
+		if err != nil {
+			return nil, err
+		}
+		if !res.IsQuery() {
+			return Message{"rowsAffected": strconv.Itoa(res.RowsAffected)}, nil
+		}
+		rs, err := rowset.FromResult(res)
+		if err != nil {
+			return nil, err
+		}
+		return Message{
+			"rowset": rs.String(),
+			"rows":   strconv.Itoa(len(res.Rows)),
+		}, nil
+	})
+}

@@ -1,0 +1,90 @@
+// Package wsbus is an in-process service bus standing in for the Web
+// services the surveyed products invoke from workflows. The paper's
+// running example calls a Web service OrderFromSupplier from an invoke
+// activity; Figure 1 contrasts the *adapter* technology (data management
+// masked as a service on a bus like this one) with *SQL inline support*
+// (data management in the process logic). Both sides of that contrast are
+// implemented here and in the product layers.
+//
+// Requests and responses are flat name/value maps, matching the
+// message-part granularity the paper's examples use. An injectable
+// per-call latency lets benchmarks model remote invocation cost.
+package wsbus
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Message is a flat set of named parts (a simplified WSDL message).
+type Message map[string]string
+
+// Handler implements a service operation.
+type Handler func(req Message) (Message, error)
+
+// Bus is a registry of named services.
+type Bus struct {
+	mu       sync.RWMutex
+	services map[string]Handler
+	latency  time.Duration
+	calls    int64
+}
+
+// New creates an empty bus.
+func New() *Bus {
+	return &Bus{services: map[string]Handler{}}
+}
+
+// Register installs a service under a name. Re-registering replaces the
+// previous handler.
+func (b *Bus) Register(name string, h Handler) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.services[name] = h
+}
+
+// SetLatency injects a synthetic per-call latency, modelling network and
+// SOAP-stack overhead for benchmarks. Zero disables it.
+func (b *Bus) SetLatency(d time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.latency = d
+}
+
+// Calls returns the number of invocations served.
+func (b *Bus) Calls() int64 {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.calls
+}
+
+// Invoke calls the named service.
+func (b *Bus) Invoke(service string, req Message) (Message, error) {
+	b.mu.RLock()
+	h, ok := b.services[service]
+	lat := b.latency
+	b.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("wsbus: no such service %s", service)
+	}
+	if lat > 0 {
+		time.Sleep(lat)
+	}
+	b.mu.Lock()
+	b.calls++
+	b.mu.Unlock()
+	resp, err := h(req)
+	if err != nil {
+		return nil, fmt.Errorf("wsbus: service %s: %w", service, err)
+	}
+	return resp, nil
+}
+
+// Has reports whether a service is registered.
+func (b *Bus) Has(service string) bool {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	_, ok := b.services[service]
+	return ok
+}

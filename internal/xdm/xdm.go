@@ -1,0 +1,418 @@
+// Package xdm implements the XML data model used throughout the workflow
+// reproductions: BPEL process variables, the proprietary XML RowSet
+// representation shared by the IBM and Oracle layers, and the node sets the
+// XPath engine (internal/xpath) evaluates over.
+//
+// The model is deliberately small: element nodes with attributes and
+// children, and text nodes. Namespaces are carried as plain prefixed names
+// ("ora:query-database" style), which matches how the surveyed products'
+// documents are presented in the paper.
+package xdm
+
+import (
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Kind discriminates node kinds.
+type Kind int
+
+// Node kinds.
+const (
+	ElementNode Kind = iota
+	TextNode
+)
+
+// Attr is a single attribute. Attributes are kept in a slice to preserve
+// document order deterministically.
+type Attr struct {
+	Name  string
+	Value string
+}
+
+// Node is an XML element or text node.
+type Node struct {
+	Kind     Kind
+	Name     string // element name; empty for text nodes
+	Text     string // text content; only for text nodes
+	Attrs    []Attr
+	Children []*Node
+	parent   *Node
+}
+
+// NewElement creates an element node.
+func NewElement(name string) *Node { return &Node{Kind: ElementNode, Name: name} }
+
+// NewText creates a text node.
+func NewText(text string) *Node { return &Node{Kind: TextNode, Text: text} }
+
+// Parent returns the node's parent, or nil for a root.
+func (n *Node) Parent() *Node { return n.parent }
+
+// AppendChild adds c as the last child of n and returns n for chaining.
+func (n *Node) AppendChild(c *Node) *Node {
+	c.parent = n
+	n.Children = append(n.Children, c)
+	return n
+}
+
+// RemoveChild removes the child c (by identity). It reports whether c was
+// found.
+func (n *Node) RemoveChild(c *Node) bool {
+	for i, ch := range n.Children {
+		if ch == c {
+			n.Children = append(n.Children[:i], n.Children[i+1:]...)
+			c.parent = nil
+			return true
+		}
+	}
+	return false
+}
+
+// InsertChildAfter inserts newChild immediately after ref (a child of n).
+// If ref is nil, newChild is inserted first.
+func (n *Node) InsertChildAfter(ref, newChild *Node) error {
+	newChild.parent = n
+	if ref == nil {
+		n.Children = append([]*Node{newChild}, n.Children...)
+		return nil
+	}
+	for i, ch := range n.Children {
+		if ch == ref {
+			n.Children = append(n.Children[:i+1], append([]*Node{newChild}, n.Children[i+1:]...)...)
+			return nil
+		}
+	}
+	return fmt.Errorf("xdm: reference node %s is not a child of %s", ref.Name, n.Name)
+}
+
+// SetAttr sets (or replaces) an attribute.
+func (n *Node) SetAttr(name, value string) *Node {
+	for i := range n.Attrs {
+		if n.Attrs[i].Name == name {
+			n.Attrs[i].Value = value
+			return n
+		}
+	}
+	n.Attrs = append(n.Attrs, Attr{Name: name, Value: value})
+	return n
+}
+
+// Attr returns the value of the named attribute and whether it exists.
+func (n *Node) Attr(name string) (string, bool) {
+	for _, a := range n.Attrs {
+		if a.Name == name {
+			return a.Value, true
+		}
+	}
+	return "", false
+}
+
+// SetText replaces the node's children with a single text node.
+func (n *Node) SetText(text string) *Node {
+	for _, c := range n.Children {
+		c.parent = nil
+	}
+	n.Children = n.Children[:0]
+	n.AppendChild(NewText(text))
+	return n
+}
+
+// TextContent returns the concatenated text of the node and its
+// descendants (the XPath string-value of an element).
+func (n *Node) TextContent() string {
+	if n.Kind == TextNode {
+		return n.Text
+	}
+	var b strings.Builder
+	var walk func(*Node)
+	walk = func(m *Node) {
+		if m.Kind == TextNode {
+			b.WriteString(m.Text)
+			return
+		}
+		for _, c := range m.Children {
+			walk(c)
+		}
+	}
+	walk(n)
+	return b.String()
+}
+
+// Element creates, appends, and returns a child element (builder helper).
+func (n *Node) Element(name string) *Node {
+	c := NewElement(name)
+	n.AppendChild(c)
+	return c
+}
+
+// ElementWithText creates and appends a child element containing text and
+// returns n for chaining.
+func (n *Node) ElementWithText(name, text string) *Node {
+	n.Element(name).SetText(text)
+	return n
+}
+
+// ChildElements returns the element children of n (text nodes skipped).
+func (n *Node) ChildElements() []*Node {
+	var out []*Node
+	for _, c := range n.Children {
+		if c.Kind == ElementNode {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// FirstChildElement returns the first child element with the given name
+// (or any element if name is ""), or nil.
+func (n *Node) FirstChildElement(name string) *Node {
+	for _, c := range n.Children {
+		if c.Kind == ElementNode && (name == "" || c.Name == name) {
+			return c
+		}
+	}
+	return nil
+}
+
+// ChildText returns the text content of the first child element with the
+// given name, or "".
+func (n *Node) ChildText(name string) string {
+	if c := n.FirstChildElement(name); c != nil {
+		return c.TextContent()
+	}
+	return ""
+}
+
+// Clone returns a deep copy of the node (detached from any parent).
+func (n *Node) Clone() *Node {
+	out := &Node{Kind: n.Kind, Name: n.Name, Text: n.Text}
+	out.Attrs = append([]Attr(nil), n.Attrs...)
+	for _, c := range n.Children {
+		out.AppendChild(c.Clone())
+	}
+	return out
+}
+
+// Root returns the topmost ancestor of n (n itself if detached).
+func (n *Node) Root() *Node {
+	r := n
+	for r.parent != nil {
+		r = r.parent
+	}
+	return r
+}
+
+// Equal reports deep structural equality (names, attributes as sets,
+// children in order, text).
+func (n *Node) Equal(o *Node) bool {
+	if n.Kind != o.Kind || n.Name != o.Name {
+		return false
+	}
+	if n.Kind == TextNode {
+		return n.Text == o.Text
+	}
+	if len(n.Attrs) != len(o.Attrs) {
+		return false
+	}
+	na := append([]Attr(nil), n.Attrs...)
+	oa := append([]Attr(nil), o.Attrs...)
+	sort.Slice(na, func(i, j int) bool { return na[i].Name < na[j].Name })
+	sort.Slice(oa, func(i, j int) bool { return oa[i].Name < oa[j].Name })
+	for i := range na {
+		if na[i] != oa[i] {
+			return false
+		}
+	}
+	nc, oc := n.significantChildren(), o.significantChildren()
+	if len(nc) != len(oc) {
+		return false
+	}
+	for i := range nc {
+		if !nc[i].Equal(oc[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// significantChildren drops whitespace-only text nodes for comparison.
+func (n *Node) significantChildren() []*Node {
+	var out []*Node
+	for _, c := range n.Children {
+		if c.Kind == TextNode && strings.TrimSpace(c.Text) == "" {
+			continue
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// String serializes the node as compact XML.
+func (n *Node) String() string {
+	var b strings.Builder
+	n.write(&b, -1, 0)
+	return b.String()
+}
+
+// Indent serializes the node as indented XML.
+func (n *Node) Indent() string {
+	var b strings.Builder
+	n.write(&b, 0, 0)
+	b.WriteByte('\n')
+	return b.String()
+}
+
+func (n *Node) write(b *strings.Builder, indent, depth int) {
+	pad := func(d int) {
+		if indent >= 0 {
+			if b.Len() > 0 {
+				b.WriteByte('\n')
+			}
+			b.WriteString(strings.Repeat("  ", d))
+		}
+	}
+	if n.Kind == TextNode {
+		xmlEscape(b, n.Text)
+		return
+	}
+	pad(depth)
+	b.WriteByte('<')
+	b.WriteString(n.Name)
+	for _, a := range n.Attrs {
+		b.WriteByte(' ')
+		b.WriteString(a.Name)
+		b.WriteString(`="`)
+		xmlEscape(b, a.Value)
+		b.WriteByte('"')
+	}
+	if len(n.Children) == 0 {
+		b.WriteString("/>")
+		return
+	}
+	b.WriteByte('>')
+	onlyText := true
+	for _, c := range n.Children {
+		if c.Kind != TextNode {
+			onlyText = false
+		}
+	}
+	for _, c := range n.Children {
+		if onlyText {
+			c.write(b, -1, depth+1)
+		} else {
+			c.write(b, indent, depth+1)
+		}
+	}
+	if !onlyText {
+		pad(depth)
+	}
+	b.WriteString("</")
+	b.WriteString(n.Name)
+	b.WriteByte('>')
+}
+
+func xmlEscape(b *strings.Builder, s string) {
+	for _, r := range s {
+		switch r {
+		case '&':
+			b.WriteString("&amp;")
+		case '<':
+			b.WriteString("&lt;")
+		case '>':
+			b.WriteString("&gt;")
+		case '"':
+			b.WriteString("&quot;")
+		default:
+			b.WriteRune(r)
+		}
+	}
+}
+
+// Parse parses an XML document into a Node tree and returns the root
+// element. Whitespace-only text between elements is dropped.
+func Parse(src string) (*Node, error) {
+	dec := xml.NewDecoder(strings.NewReader(src))
+	var root *Node
+	var stack []*Node
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return nil, fmt.Errorf("xdm: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			name := t.Name.Local
+			if t.Name.Space != "" {
+				// Preserve the raw prefix if one was written; encoding/xml
+				// expands prefixes to URLs, so treat the space as a prefix
+				// only when it contains no scheme separator.
+				if !strings.Contains(t.Name.Space, "/") && !strings.Contains(t.Name.Space, ":") {
+					name = t.Name.Space + ":" + t.Name.Local
+				}
+			}
+			n := NewElement(name)
+			for _, a := range t.Attr {
+				an := a.Name.Local
+				if a.Name.Space != "" && !strings.Contains(a.Name.Space, "/") && !strings.Contains(a.Name.Space, ":") {
+					an = a.Name.Space + ":" + a.Name.Local
+				}
+				n.SetAttr(an, a.Value)
+			}
+			if len(stack) == 0 {
+				if root != nil {
+					return nil, fmt.Errorf("xdm: multiple root elements")
+				}
+				root = n
+			} else {
+				stack[len(stack)-1].AppendChild(n)
+			}
+			stack = append(stack, n)
+		case xml.EndElement:
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("xdm: unbalanced end element")
+			}
+			stack = stack[:len(stack)-1]
+		case xml.CharData:
+			text := string(t)
+			if len(stack) > 0 && strings.TrimSpace(text) != "" {
+				stack[len(stack)-1].AppendChild(NewText(text))
+			}
+		}
+	}
+	if root == nil {
+		return nil, fmt.Errorf("xdm: no root element")
+	}
+	if len(stack) != 0 {
+		return nil, fmt.Errorf("xdm: unclosed elements")
+	}
+	return root, nil
+}
+
+// MustParse parses XML and panics on error (for tests and fixtures).
+func MustParse(src string) *Node {
+	n, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// Number converts the node's text content to a float64 following XPath
+// number() semantics (NaN is reported as an error here for clarity).
+func (n *Node) Number() (float64, error) {
+	s := strings.TrimSpace(n.TextContent())
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("xdm: %q is not a number", s)
+	}
+	return f, nil
+}

@@ -1,0 +1,34 @@
+GO ?= go
+
+.PHONY: all build vet test race short soak ci clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# Full test suite (includes the multi-seed chaos soak).
+test:
+	$(GO) test ./...
+
+# Race-enabled run of everything; the flow/variable concurrency tests and
+# the chaos matrix are only meaningful with the race detector on.
+race:
+	$(GO) test -race ./...
+
+# Quick signal: skips the chaos soak (guarded by testing.Short).
+short:
+	$(GO) test -short ./...
+
+# Just the chaos soak, verbosely.
+soak:
+	$(GO) test -race -run TestChaosSoak -v .
+
+# The gate: build, vet, then the full race-enabled suite (soak included).
+ci: build vet race
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,464 @@
+package wfsql
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"wfsql/internal/bis"
+	"wfsql/internal/chaos"
+	"wfsql/internal/engine"
+	"wfsql/internal/resilience"
+)
+
+// This file is the chaos matrix the resilience layer is proved with: the
+// paper's running example (Figures 4, 6, 8) executed on all three product
+// stacks under injected service faults, SQL faults, and latency, asserting
+// that the OrderConfirmations table converges row-for-row to the fault-free
+// baseline — exactly-once visible effects despite retries.
+
+// quickPolicy is a retry policy with microsecond backoff for tests.
+func quickPolicy(attempts int) *resilience.Policy {
+	return resilience.NewPolicy(attempts, time.Microsecond)
+}
+
+// confirmationRows returns the OrderConfirmations content as sorted
+// "ItemID|Quantity|Confirmation" strings.
+func confirmationRows(t *testing.T, env *Environment) []string {
+	t.Helper()
+	res := env.DB.MustExec("SELECT ItemID, Quantity, Confirmation FROM OrderConfirmations")
+	rows := make([]string, 0, len(res.Rows))
+	for _, r := range res.Rows {
+		rows = append(rows, fmt.Sprintf("%s|%s|%s", r[0].String(), r[1].String(), r[2].String()))
+	}
+	sort.Strings(rows)
+	return rows
+}
+
+// baselineRows runs the given figure on a fresh, fault-free environment
+// with the same workload and returns its confirmation rows.
+func baselineRows(t *testing.T, w Workload, run func(env *Environment) error) []string {
+	t.Helper()
+	env := NewEnvironment(w)
+	if err := run(env); err != nil {
+		t.Fatalf("baseline run: %v", err)
+	}
+	return confirmationRows(t, env)
+}
+
+func sameRows(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// chaosWindow is the transient fault window used by the convergence tests:
+// one panic, one slow-fail, two fast fails — then the dependency heals.
+func chaosWindow() *chaos.FaultPlan {
+	p := chaos.NewFaultPlan(7)
+	p.PanicFirst = 1
+	p.SlowFirst = 1
+	p.Delay = time.Millisecond
+	p.FailFirst = 2
+	return p
+}
+
+// TestChaosTransientServiceFaultsConverge injects a transient fault window
+// into the supplier service and checks that each product stack, with a
+// retry policy on the invoke, produces exactly the fault-free baseline.
+func TestChaosTransientServiceFaultsConverge(t *testing.T) {
+	w := Workload{Orders: 18, Items: 4, ApprovalPercent: 100, Seed: 3}
+	cfg := ResilienceConfig{Invoke: quickPolicy(8)}
+
+	t.Run("BIS", func(t *testing.T) {
+		want := baselineRows(t, w, func(env *Environment) error { return env.RunFigure4BIS() })
+		env := NewEnvironment(w)
+		plan := chaosWindow()
+		if err := chaos.Inject(env.Bus, "OrderFromSupplier", plan); err != nil {
+			t.Fatal(err)
+		}
+		if err := env.RunFigure4BISResilient(cfg); err != nil {
+			t.Fatalf("resilient run under chaos: %v", err)
+		}
+		if got := confirmationRows(t, env); !sameRows(got, want) {
+			t.Fatalf("rows diverged from baseline:\n got %v\nwant %v", got, want)
+		}
+		if plan.Injected() == 0 {
+			t.Fatal("fault plan injected nothing — test proved nothing")
+		}
+		if env.Engine.DeadLetters.Len() != 0 {
+			t.Fatalf("transient window should not dead-letter, got %d", env.Engine.DeadLetters.Len())
+		}
+	})
+
+	t.Run("WF", func(t *testing.T) {
+		want := baselineRows(t, w, func(env *Environment) error { return env.RunFigure6WF() })
+		env := NewEnvironment(w)
+		plan := chaosWindow()
+		env.Runtime.RegisterService("OrderFromSupplier", plan.WrapService(
+			func(req map[string]string) (map[string]string, error) {
+				return env.Supplier.Handle(req)
+			}))
+		if err := env.RunFigure6WFResilient(cfg); err != nil {
+			t.Fatalf("resilient run under chaos: %v", err)
+		}
+		if got := confirmationRows(t, env); !sameRows(got, want) {
+			t.Fatalf("rows diverged from baseline:\n got %v\nwant %v", got, want)
+		}
+		if plan.Injected() == 0 {
+			t.Fatal("fault plan injected nothing")
+		}
+	})
+
+	t.Run("Oracle", func(t *testing.T) {
+		want := baselineRows(t, w, func(env *Environment) error { return env.RunFigure8Oracle() })
+		env := NewEnvironment(w)
+		plan := chaosWindow()
+		if err := chaos.Inject(env.Bus, "OrderFromSupplier", plan); err != nil {
+			t.Fatal(err)
+		}
+		if err := env.RunFigure8OracleResilient(cfg); err != nil {
+			t.Fatalf("resilient run under chaos: %v", err)
+		}
+		if got := confirmationRows(t, env); !sameRows(got, want) {
+			t.Fatalf("rows diverged from baseline:\n got %v\nwant %v", got, want)
+		}
+		if plan.Injected() == 0 {
+			t.Fatal("fault plan injected nothing")
+		}
+	})
+}
+
+// TestChaosSQLFaultLongRunningRetries injects a transient fault into the
+// SQL statement stream. In long-running processes every statement
+// autocommits, so a per-statement retry policy heals the fault and the
+// table still converges to the baseline.
+func TestChaosSQLFaultLongRunningRetries(t *testing.T) {
+	w := Workload{Orders: 18, Items: 4, ApprovalPercent: 100, Seed: 3}
+	cfg := ResilienceConfig{SQL: quickPolicy(4)}
+
+	cases := []struct {
+		name     string
+		baseline func(env *Environment) error
+		run      func(env *Environment) error
+	}{
+		{"BIS",
+			func(env *Environment) error { return env.RunFigure4BIS() },
+			func(env *Environment) error { return env.RunFigure4BISResilient(cfg) }},
+		{"WF",
+			func(env *Environment) error { return env.RunFigure6WF() },
+			func(env *Environment) error { return env.RunFigure6WFResilient(cfg) }},
+		{"Oracle",
+			func(env *Environment) error { return env.RunFigure8Oracle() },
+			func(env *Environment) error { return env.RunFigure8OracleResilient(cfg) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			want := baselineRows(t, w, tc.baseline)
+			env := NewEnvironment(w)
+			plan := &chaos.SQLFaultPlan{Kinds: []string{"INSERT"}, FailNth: []int{1, 3}}
+			chaos.InstallSQL(env.DB, plan)
+			defer chaos.InstallSQL(env.DB, nil)
+			if err := tc.run(env); err != nil {
+				t.Fatalf("resilient run under SQL chaos: %v", err)
+			}
+			if got := confirmationRows(t, env); !sameRows(got, want) {
+				t.Fatalf("rows diverged from baseline:\n got %v\nwant %v", got, want)
+			}
+			if plan.Injected() != 2 {
+				t.Fatalf("injected = %d, want 2", plan.Injected())
+			}
+		})
+	}
+}
+
+// TestChaosSQLFaultShortRunningAllOrNothing is the transaction-mode
+// counterpart: in a short-running process the statements share one
+// transaction, so the retry policy is suppressed (a "retry-suppressed"
+// trace event records the decision), the fault propagates, and the
+// rollback leaves zero confirmations — all-or-nothing.
+func TestChaosSQLFaultShortRunningAllOrNothing(t *testing.T) {
+	env := NewEnvironment(Workload{Orders: 18, Items: 4, ApprovalPercent: 100, Seed: 3})
+	p := env.BuildFigure4BISResilient(ResilienceConfig{SQL: quickPolicy(4)})
+	p.Mode = engine.ShortRunning
+
+	plan := &chaos.SQLFaultPlan{Kinds: []string{"INSERT"}, FailNth: []int{2}, Permanent: true}
+	chaos.InstallSQL(env.DB, plan)
+	defer chaos.InstallSQL(env.DB, nil)
+
+	d, err := env.Engine.Deploy(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := d.Run(nil)
+	if err == nil {
+		t.Fatal("short-running process should fault on the injected SQL error")
+	}
+	if n := env.ConfirmationCount(); n != 0 {
+		t.Fatalf("rollback leaked %d confirmations (first insert committed despite fault)", n)
+	}
+	suppressed := false
+	for _, ev := range inst.Trace() {
+		if ev.Kind == "retry-suppressed" {
+			suppressed = true
+			break
+		}
+	}
+	if !suppressed {
+		t.Fatal("expected a retry-suppressed trace event in short-running mode")
+	}
+}
+
+// TestChaosLatencyPerAttemptTimeout: a hung supplier (slow-fail window) is
+// abandoned by the per-attempt timeout and the retry converges without
+// waiting out the injected delay.
+func TestChaosLatencyPerAttemptTimeout(t *testing.T) {
+	w := Workload{Orders: 12, Items: 3, ApprovalPercent: 100, Seed: 1}
+	want := baselineRows(t, w, func(env *Environment) error { return env.RunFigure4BIS() })
+
+	env := NewEnvironment(w)
+	plan := chaos.NewFaultPlan(1)
+	plan.SlowFirst = 2
+	plan.Delay = 30 * time.Second // would stall the test without a timeout
+	if err := chaos.Inject(env.Bus, "OrderFromSupplier", plan); err != nil {
+		t.Fatal(err)
+	}
+	pol := quickPolicy(5)
+	pol.PerAttemptTimeout = 5 * time.Millisecond
+
+	start := time.Now()
+	if err := env.RunFigure4BISResilient(ResilienceConfig{Invoke: pol}); err != nil {
+		t.Fatalf("resilient run under latency chaos: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("per-attempt timeout did not cut the injected delay (took %v)", elapsed)
+	}
+	if got := confirmationRows(t, env); !sameRows(got, want) {
+		t.Fatalf("rows diverged from baseline:\n got %v\nwant %v", got, want)
+	}
+}
+
+// TestChaosPermanentFaultDeadLettersAndDegrades targets one item type with
+// a permanent fault: the process completes in a degraded state (the
+// confirmation records DEADLETTERED:<item>), every other item confirms
+// normally, and the engine's dead-letter log holds exactly the failed key.
+func TestChaosPermanentFaultDeadLettersAndDegrades(t *testing.T) {
+	env := NewEnvironment(Workload{Orders: 12, Items: 3, ApprovalPercent: 100, Seed: 1})
+	const victim = "item001"
+	plan := chaos.NewFaultPlan(1)
+	plan.FailFirst = 1 << 30
+	plan.Permanent = true
+	plan.Match = func(req map[string]string) bool { return req["ItemID"] == victim }
+	if err := chaos.Inject(env.Bus, "OrderFromSupplier", plan); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := ResilienceConfig{Invoke: quickPolicy(3), DeadLetterAbsorb: true}
+	if err := env.RunFigure4BISResilient(cfg); err != nil {
+		t.Fatalf("degraded completion expected, got fault: %v", err)
+	}
+	if n := env.ConfirmationCount(); n != env.ApprovedItemTypes() {
+		t.Fatalf("confirmations = %d, want %d (degraded rows included)", n, env.ApprovedItemTypes())
+	}
+	res := env.DB.MustExec("SELECT ItemID, Confirmation FROM OrderConfirmations ORDER BY ItemID")
+	for _, row := range res.Rows {
+		item, conf := row[0].S, row[1].S
+		if item == victim {
+			if conf != "DEADLETTERED:"+victim {
+				t.Fatalf("victim row confirmation %q", conf)
+			}
+		} else if !strings.HasPrefix(conf, "CONFIRMED:") {
+			t.Fatalf("healthy item %s has confirmation %q", item, conf)
+		}
+	}
+	if keys := env.Engine.DeadLetters.Keys(); len(keys) != 1 || keys[0] != victim {
+		t.Fatalf("dead-letter keys = %v, want [%s]", keys, victim)
+	}
+	dl := env.Engine.DeadLetters.Entries()[0]
+	if dl.Reason != resilience.ReasonPermanent {
+		t.Fatalf("dead letter reason %q, want %q (permanent faults stop retrying early)", dl.Reason, resilience.ReasonPermanent)
+	}
+	if dl.Attempts != 1 {
+		t.Fatalf("permanent fault burned %d attempts, want 1", dl.Attempts)
+	}
+}
+
+// TestChaosBreakerOpensUnderPersistentFailure: with the supplier down hard,
+// the circuit breaker opens after its failure threshold and subsequent
+// invokes are refused without touching the bus; dead-lettering absorbs the
+// failures so the process still completes (degraded).
+func TestChaosBreakerOpensUnderPersistentFailure(t *testing.T) {
+	env := NewEnvironment(Workload{Orders: 30, Items: 6, ApprovalPercent: 100, Seed: 9})
+	plan := chaos.NewFaultPlan(1)
+	plan.FailFirst = 1 << 30 // never heals
+	if err := chaos.Inject(env.Bus, "OrderFromSupplier", plan); err != nil {
+		t.Fatal(err)
+	}
+
+	br := resilience.NewBreaker(3, time.Hour) // opens after 3 consecutive failures, never half-opens in-test
+	cfg := ResilienceConfig{Invoke: quickPolicy(2), Breaker: br, DeadLetterAbsorb: true}
+	d, err := env.Engine.Deploy(env.BuildFigure4BISResilient(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := d.Run(nil)
+	if err != nil {
+		t.Fatalf("absorbed failures should not fault the process: %v", err)
+	}
+	if br.State() != resilience.Open {
+		t.Fatalf("breaker state %v, want open", br.State())
+	}
+	// Every item dead-lettered, every degraded row recorded.
+	if got, want := env.Engine.DeadLetters.Len(), env.ApprovedItemTypes(); got != want {
+		t.Fatalf("dead letters = %d, want %d", got, want)
+	}
+	if n := env.ConfirmationCount(); n != env.ApprovedItemTypes() {
+		t.Fatalf("confirmations = %d, want %d", n, env.ApprovedItemTypes())
+	}
+	// The breaker cut the call volume: once open, attempts are refused
+	// before reaching the bus.
+	maxAttempts := int64(env.ApprovedItemTypes() * 2)
+	if env.Bus.Attempts() >= maxAttempts {
+		t.Fatalf("bus attempts = %d, want < %d (breaker should refuse calls once open)", env.Bus.Attempts(), maxAttempts)
+	}
+	// The breaker transition surfaced on the monitoring trace.
+	sawBreaker := false
+	for _, ev := range inst.Trace() {
+		if ev.Kind == "breaker" && strings.Contains(ev.Detail, "open") {
+			sawBreaker = true
+			break
+		}
+	}
+	if !sawBreaker {
+		t.Fatal("expected a breaker trace event recording the open transition")
+	}
+}
+
+// TestChaosPanicDoesNotKillEngine: a panicking service handler is recovered
+// into a transient fault; without a retry policy the process faults cleanly
+// (state faulted, fault recorded) instead of crashing the engine.
+func TestChaosPanicDoesNotKillEngine(t *testing.T) {
+	env := NewEnvironment(Workload{Orders: 12, Items: 3, ApprovalPercent: 100, Seed: 1})
+	plan := chaos.NewFaultPlan(1)
+	plan.PanicFirst = 1
+	if err := chaos.Inject(env.Bus, "OrderFromSupplier", plan); err != nil {
+		t.Fatal(err)
+	}
+	d, err := env.Engine.Deploy(env.BuildFigure4BIS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := d.Run(nil)
+	if err == nil {
+		t.Fatal("unretried panic should fault the instance")
+	}
+	if inst.State() != engine.StateFaulted {
+		t.Fatalf("instance state %v, want faulted", inst.State())
+	}
+	if !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("fault should carry the recovered panic: %v", err)
+	}
+	if env.Bus.Panics() != 1 {
+		t.Fatalf("bus panic counter = %d, want 1", env.Bus.Panics())
+	}
+}
+
+// TestChaosSoak runs the three stacks repeatedly under seeded random
+// service fault rates, asserting convergence every time. Skipped with
+// -short; the ci target runs it.
+func TestChaosSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak skipped in -short mode")
+	}
+	w := Workload{Orders: 24, Items: 5, ApprovalPercent: 100, Seed: 11}
+	cfg := ResilienceConfig{Invoke: quickPolicy(10), SQL: quickPolicy(10)}
+
+	baseBIS := baselineRows(t, w, func(env *Environment) error { return env.RunFigure4BIS() })
+	baseWF := baselineRows(t, w, func(env *Environment) error { return env.RunFigure6WF() })
+	baseORA := baselineRows(t, w, func(env *Environment) error { return env.RunFigure8Oracle() })
+
+	for seed := int64(1); seed <= 5; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			// BIS and Oracle share the bus-level injector.
+			for _, tc := range []struct {
+				name string
+				want []string
+				run  func(env *Environment) error
+			}{
+				{"BIS", baseBIS, func(env *Environment) error { return env.RunFigure4BISResilient(cfg) }},
+				{"Oracle", baseORA, func(env *Environment) error { return env.RunFigure8OracleResilient(cfg) }},
+			} {
+				env := NewEnvironment(w)
+				plan := chaos.NewFaultPlan(seed)
+				plan.FailRate = 0.3
+				if err := chaos.Inject(env.Bus, "OrderFromSupplier", plan); err != nil {
+					t.Fatal(err)
+				}
+				if err := tc.run(env); err != nil {
+					t.Fatalf("%s seed %d: %v", tc.name, seed, err)
+				}
+				if got := confirmationRows(t, env); !sameRows(got, tc.want) {
+					t.Fatalf("%s seed %d diverged:\n got %v\nwant %v", tc.name, seed, got, tc.want)
+				}
+			}
+			// WF wraps its registered service directly.
+			env := NewEnvironment(w)
+			plan := chaos.NewFaultPlan(seed)
+			plan.FailRate = 0.3
+			env.Runtime.RegisterService("OrderFromSupplier", plan.WrapService(
+				func(req map[string]string) (map[string]string, error) {
+					return env.Supplier.Handle(req)
+				}))
+			if err := env.RunFigure6WFResilient(cfg); err != nil {
+				t.Fatalf("WF seed %d: %v", seed, err)
+			}
+			if got := confirmationRows(t, env); !sameRows(got, baseWF) {
+				t.Fatalf("WF seed %d diverged:\n got %v\nwant %v", seed, got, baseWF)
+			}
+		})
+	}
+}
+
+// TestAtomicSequenceRetryHealsCommitFault: the unit-of-work retry on an
+// atomic SQL sequence rolls back the failed attempt and replays the whole
+// sequence, leaving exactly one committed copy — the transaction-boundary
+// recovery that per-statement retries defer to.
+func TestAtomicSequenceRetryHealsCommitFault(t *testing.T) {
+	env := NewEnvironment(Workload{Orders: 12, Items: 3, ApprovalPercent: 100, Seed: 1})
+	plan := &chaos.SQLFaultPlan{FailCommits: 1}
+	chaos.InstallSQL(env.DB, plan)
+	defer chaos.InstallSQL(env.DB, nil)
+
+	seq := bis.NewAtomicSequence("unitOfWork",
+		bis.NewSQL("ins1", "DS", `INSERT INTO #SR_OrderConfirmations# (ItemID, Quantity, Confirmation) VALUES ('a', 1, 'x')`),
+		bis.NewSQL("ins2", "DS", `INSERT INTO #SR_OrderConfirmations# (ItemID, Quantity, Confirmation) VALUES ('b', 2, 'y')`),
+	).WithRetry(quickPolicy(3))
+
+	p := bis.NewProcess("AtomicRetry").
+		DataSourceVariable("DS", DataSourceName).
+		InputSetReference("SR_OrderConfirmations", "OrderConfirmations").
+		Body(seq).
+		Build()
+	d, err := env.Engine.Deploy(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Run(nil); err != nil {
+		t.Fatalf("retried unit of work should commit: %v", err)
+	}
+	if n := env.ConfirmationCount(); n != 2 {
+		t.Fatalf("confirmations = %d, want 2 (one committed copy, no replay duplicates)", n)
+	}
+	if plan.Injected() != 1 {
+		t.Fatalf("injected = %d, want 1", plan.Injected())
+	}
+}

@@ -1,10 +1,12 @@
 package wfsql
 
 import (
+	"sort"
 	"strings"
 	"testing"
 
 	"wfsql/internal/bis"
+	"wfsql/internal/chaos"
 	"wfsql/internal/engine"
 	"wfsql/internal/wsbus"
 )
@@ -134,6 +136,72 @@ func TestServiceFaultKeepsCommittedWorkInLongRunningProcess(t *testing.T) {
 	}
 	if n := env.ConfirmationCount(); n != 2 {
 		t.Fatalf("long-running process should keep 2 committed confirmations, has %d", n)
+	}
+}
+
+// TestPermanentSupplierFailureDeadLetters extends the rejection-path story
+// with the resilience layer's degraded-completion mode: a supplier that
+// permanently fails for a subset of item types must not fault the process.
+// The run completes, healthy items confirm normally, the failed items'
+// confirmations record the dead-lettering, and the engine's dead-letter log
+// contains exactly the failed item IDs — no more, no fewer.
+func TestPermanentSupplierFailureDeadLetters(t *testing.T) {
+	env := NewEnvironment(Workload{Orders: 30, Items: 6, ApprovalPercent: 100, Seed: 9})
+	victims := map[string]bool{"item001": true, "item004": true}
+	plan := chaos.NewFaultPlan(1)
+	plan.FailFirst = 1 << 30
+	plan.Permanent = true
+	plan.Match = func(req map[string]string) bool { return victims[req["ItemID"]] }
+	if err := chaos.Inject(env.Bus, "OrderFromSupplier", plan); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := ResilienceConfig{Invoke: quickPolicy(3), DeadLetterAbsorb: true}
+	if err := env.RunFigure4BISResilient(cfg); err != nil {
+		t.Fatalf("process should complete degraded, got fault: %v", err)
+	}
+
+	// Every approved item type produced a row; the victims' rows carry the
+	// dead-letter marker instead of a supplier confirmation.
+	res := env.DB.MustExec("SELECT ItemID, Confirmation FROM OrderConfirmations ORDER BY ItemID")
+	if len(res.Rows) != env.ApprovedItemTypes() {
+		t.Fatalf("confirmations = %d, want %d", len(res.Rows), env.ApprovedItemTypes())
+	}
+	for _, row := range res.Rows {
+		item, conf := row[0].S, row[1].S
+		if victims[item] {
+			if conf != "DEADLETTERED:"+item {
+				t.Fatalf("victim %s confirmation %q, want DEADLETTERED marker", item, conf)
+			}
+		} else if !strings.HasPrefix(conf, "CONFIRMED:") {
+			t.Fatalf("healthy item %s confirmation %q", item, conf)
+		}
+	}
+
+	// The dead-letter log holds exactly the failed item IDs.
+	var wantKeys []string
+	for v := range victims {
+		wantKeys = append(wantKeys, v)
+	}
+	sort.Strings(wantKeys)
+	gotKeys := env.Engine.DeadLetters.Keys()
+	if len(gotKeys) != len(wantKeys) {
+		t.Fatalf("dead-letter keys %v, want %v", gotKeys, wantKeys)
+	}
+	for i := range wantKeys {
+		if gotKeys[i] != wantKeys[i] {
+			t.Fatalf("dead-letter keys %v, want %v", gotKeys, wantKeys)
+		}
+	}
+	// One record per victim (one loop iteration each), each exhausted on
+	// the first attempt because the fault is classified permanent.
+	if env.Engine.DeadLetters.Len() != len(wantKeys) {
+		t.Fatalf("dead-letter records = %d, want %d", env.Engine.DeadLetters.Len(), len(wantKeys))
+	}
+	for _, dl := range env.Engine.DeadLetters.Entries() {
+		if dl.Attempts != 1 || dl.Target != "OrderFromSupplier" {
+			t.Fatalf("dead letter %+v: want 1 attempt against OrderFromSupplier", dl)
+		}
 	}
 }
 

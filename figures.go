@@ -4,10 +4,8 @@ import (
 	"fmt"
 
 	"wfsql/internal/bis"
-	"wfsql/internal/dataset"
 	"wfsql/internal/engine"
 	"wfsql/internal/mswf"
-	"wfsql/internal/orasoa"
 )
 
 // This file builds the paper's running example — Figures 4, 6, and 8 —
@@ -22,40 +20,10 @@ const aggregationSQL = `SELECT ItemID, SUM(Quantity) AS Quantity FROM Orders WHE
 
 // BuildFigure4BIS builds the Figure 4 process on the IBM BIS stack:
 // SQL activity → result set reference → retrieve set → while+snippet
-// cursor → invoke + SQL activity per tuple.
+// cursor → invoke + SQL activity per tuple. It is the zero-config case of
+// BuildFigure4BISResilient (no retries, no breaker, no dead-lettering).
 func (env *Environment) BuildFigure4BIS() *engine.Process {
-	body := engine.NewSequence("main",
-		bis.NewSQL("SQL1", "DS",
-			`SELECT ItemID, SUM(Quantity) AS Quantity FROM #SR_Orders#
-			 WHERE Approved = TRUE GROUP BY ItemID ORDER BY ItemID`).Into("SR_ItemList"),
-		bis.NewRetrieveSet("retrieveSet", "DS", "SR_ItemList", "SV_ItemList"),
-		bis.CursorLoop("cursor", "SV_ItemList", "CurrentItem", "pos",
-			engine.NewSequence("loopBody",
-				engine.NewAssign("extract").
-					Copy("$CurrentItem/ItemID", "CurrentItemID").
-					Copy("$CurrentItem/Quantity", "CurrentQuantity"),
-				engine.NewInvoke("invoke", "OrderFromSupplier").
-					In("ItemID", "$CurrentItem/ItemID").
-					In("Quantity", "$CurrentItem/Quantity").
-					Out("OrderConfirmation", "OrderConfirmation"),
-				bis.NewSQL("SQL2", "DS",
-					`INSERT INTO #SR_OrderConfirmations# (ItemID, Quantity, Confirmation)
-					 VALUES (#CurrentItemID#, #CurrentQuantity#, #OrderConfirmation#)`),
-			)),
-	)
-	return bis.NewProcess("Figure4").
-		DataSourceVariable("DS", DataSourceName).
-		InputSetReference("SR_Orders", "Orders").
-		InputSetReference("SR_OrderConfirmations", "OrderConfirmations").
-		ResultSetReference("SR_ItemList").
-		XMLVariable("SV_ItemList", "").
-		XMLVariable("CurrentItem", "").
-		Variable("CurrentItemID", "").
-		Variable("CurrentQuantity", "").
-		Variable("OrderConfirmation", "").
-		Variable("pos", "1").
-		Body(body).
-		Build()
+	return env.BuildFigure4BISResilient(ResilienceConfig{})
 }
 
 // RunFigure4BIS deploys and executes the Figure 4 process.
@@ -71,56 +39,10 @@ func (env *Environment) RunFigure4BIS() error {
 // BuildFigure6WF builds the Figure 6 workflow on the WF stack:
 // SQLDatabase₁ materializes the aggregation into a DataSet, a while
 // activity iterates it, invoke calls the supplier, SQLDatabase₂ records
-// the confirmation. Initial host variables must include Index=0.
+// the confirmation. Initial host variables must include Index=0. It is the
+// zero-config case of BuildFigure6WFResilient.
 func (env *Environment) BuildFigure6WF() mswf.Activity {
-	sqlDatabase1 := mswf.NewSQLDatabase("SQLDatabase1", ConnString, aggregationSQL).
-		Into("SV_ItemList").Keys("ItemID")
-
-	bindNext := mswf.NewCode("bindNext", func(c *mswf.Context) error {
-		v, _ := c.Get("SV_ItemList")
-		ds := v.(*dataset.DataSet)
-		i, err := c.GetInt("Index")
-		if err != nil {
-			return err
-		}
-		row, err := ds.Table("Result").Row(int(i))
-		if err != nil {
-			return err
-		}
-		c.Set("CurrentItemID", row.MustGet("ItemID").S)
-		c.Set("CurrentItemQuantity", row.MustGet("Quantity").I)
-		c.Set("Index", i+1)
-		return nil
-	})
-
-	invoke := &mswf.InvokeWebServiceActivity{
-		ActivityName: "invoke",
-		ServiceName:  "OrderFromSupplier",
-		Inputs:       map[string]string{"ItemID": "CurrentItemID", "Quantity": "CurrentItemQuantity"},
-		Outputs:      map[string]string{"OrderConfirmation": "OrderConfirmation"},
-	}
-
-	sqlDatabase2 := mswf.NewSQLDatabase("SQLDatabase2", ConnString,
-		`INSERT INTO OrderConfirmations (ItemID, Quantity, Confirmation)
-		 VALUES (@item, @qty, @conf)`).
-		Param("@item", "CurrentItemID").
-		Param("@qty", "CurrentItemQuantity").
-		Param("@conf", "OrderConfirmation")
-
-	hasMore := func(c *mswf.Context) (bool, error) {
-		v, ok := c.Get("SV_ItemList")
-		if !ok {
-			return false, nil
-		}
-		i, _ := c.GetInt("Index")
-		return int(i) < v.(*dataset.DataSet).Table("Result").Count(), nil
-	}
-
-	return mswf.NewSequence("main",
-		sqlDatabase1,
-		mswf.NewWhile("while", hasMore,
-			mswf.NewSequence("loopBody", bindNext, invoke, sqlDatabase2)),
-	)
+	return env.BuildFigure6WFResilient(ResilienceConfig{})
 }
 
 // RunFigure6WF executes the Figure 6 workflow.
@@ -132,45 +54,10 @@ func (env *Environment) RunFigure6WF() error {
 // BuildFigure8Oracle builds the Figure 8 process on the Oracle SOA stack:
 // Assign₁ calls ora:query-database, a while+Java-Snippet cursor iterates
 // the XML RowSet, invoke calls the supplier, Assign₂ calls
-// ora:processXSQL to execute the INSERT.
+// ora:processXSQL to execute the INSERT. It is the zero-config case of
+// BuildFigure8OracleResilient.
 func (env *Environment) BuildFigure8Oracle() (*engine.Process, error) {
-	if err := env.Funcs.XSQL().RegisterPage("insertConfirmation", `
-		<xsql:page>
-			<xsql:dml>INSERT INTO OrderConfirmations (ItemID, Quantity, Confirmation)
-				VALUES ({@item}, {@qty}, {@conf})</xsql:dml>
-		</xsql:page>`); err != nil {
-		return nil, err
-	}
-
-	assign1 := engine.NewAssign("Assign1").Copy(
-		fmt.Sprintf("ora:query-database(%q)", aggregationSQL), "SV_ItemList")
-
-	body := engine.NewSequence("loopBody",
-		engine.NewAssign("extract").
-			Copy("$CurrentItem/ItemID", "CurrentItemID").
-			Copy("$CurrentItem/Quantity", "CurrentQuantity"),
-		engine.NewInvoke("Invoke", "OrderFromSupplier").
-			In("ItemID", "$CurrentItem/ItemID").
-			In("Quantity", "$CurrentItem/Quantity").
-			Out("OrderConfirmation", "OrderConfirmation"),
-		engine.NewAssign("Assign2").Copy(
-			`ora:processXSQL('insertConfirmation', 'item', $CurrentItemID, 'qty', $CurrentQuantity, 'conf', $OrderConfirmation)/rowsAffected`,
-			"Status"),
-	)
-
-	return orasoa.NewProcess("Figure8", env.Funcs).
-		XMLVariable("SV_ItemList", "").
-		XMLVariable("CurrentItem", "").
-		Variable("CurrentItemID", "").
-		Variable("CurrentQuantity", "").
-		Variable("OrderConfirmation", "").
-		Variable("Status", "").
-		Variable("pos", "1").
-		Body(engine.NewSequence("main",
-			assign1,
-			orasoa.CursorLoop("cursor", "SV_ItemList", "CurrentItem", "pos", body),
-		)).
-		Build(), nil
+	return env.BuildFigure8OracleResilient(ResilienceConfig{})
 }
 
 // RunFigure8Oracle deploys and executes the Figure 8 process.

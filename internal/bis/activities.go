@@ -3,8 +3,10 @@ package bis
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"wfsql/internal/engine"
+	"wfsql/internal/resilience"
 	"wfsql/internal/rowset"
 	"wfsql/internal/sqldb"
 )
@@ -18,6 +20,15 @@ type SQLActivity struct {
 	DataSource   string // data source variable name
 	SQL          string // statement with #var# / #setref# placeholders
 	ResultRef    string // result set reference receiving a query/CALL result ("" for none)
+
+	// Retry, when set, re-executes the statement on transient database
+	// errors. Retries only apply while the activity runs in autocommit
+	// mode (long-running process, outside any atomic SQL sequence): once
+	// the statement participates in a surrounding transaction, a failed
+	// statement poisons that transaction and recovery belongs to the
+	// transaction boundary, so the policy is suppressed and a
+	// "retry-suppressed" trace event records the decision.
+	Retry *resilience.Policy
 }
 
 // NewSQL builds a SQL activity against a data source variable.
@@ -28,6 +39,12 @@ func NewSQL(name, dataSourceVar, sql string) *SQLActivity {
 // Into directs the activity's result set into a result set reference.
 func (a *SQLActivity) Into(resultRef string) *SQLActivity {
 	a.ResultRef = resultRef
+	return a
+}
+
+// WithRetry attaches a retry policy for transient database faults.
+func (a *SQLActivity) WithRetry(p *resilience.Policy) *SQLActivity {
+	a.Retry = p
 	return a
 }
 
@@ -50,6 +67,33 @@ func (a *SQLActivity) Execute(ctx *engine.Ctx) error {
 	}
 	sess := st.sessionFor(db)
 
+	run := func() error { return a.runOnce(ctx, st, sess, sql, params) }
+
+	if a.Retry == nil {
+		return run()
+	}
+	if st.transactional() {
+		// Inside a transaction a retry of the single statement is not
+		// legal: the statement's effects (and the fault) belong to the
+		// enclosing unit of work, which must roll back first. Defer to
+		// the transaction boundary (atomic sequence or process end).
+		ctx.Inst.RecordTrace(a.ActivityName, "retry-suppressed",
+			fmt.Sprintf("statement participates in a transaction (%s mode)", st.modeLabel()))
+		return run()
+	}
+	obs := sqlObserver(ctx, a.ActivityName, a.Retry)
+	err = a.Retry.DoErr(obs, func(attempt int) error { return run() })
+	if ab := resilience.Abandoned(err); ab != nil {
+		return &engine.Fault{Name: engine.FaultRetryExhausted, Activity: a.ActivityName, Wrapped: ab}
+	}
+	return err
+}
+
+// runOnce performs one execution attempt of the activity's statement. For
+// result set references the generated table is dropped first, so a retried
+// attempt that failed halfway through materialization starts clean
+// (idempotent re-execution).
+func (a *SQLActivity) runOnce(ctx *engine.Ctx, st *state, sess *sqldb.Session, sql string, params []sqldb.Value) error {
 	if a.ResultRef == "" {
 		if _, err := sess.Exec(sql, params...); err != nil {
 			return fmt.Errorf("%s: %w", a.ActivityName, err)
@@ -68,6 +112,9 @@ func (a *SQLActivity) Execute(ctx *engine.Ctx) error {
 		return fmt.Errorf("%s: %s is not a result set reference", a.ActivityName, a.ResultRef)
 	}
 	gen := fmt.Sprintf("%s_i%d", ref.Name, ctx.Inst.ID)
+	if _, err := sess.Exec(fmt.Sprintf("DROP TABLE IF EXISTS %s", gen)); err != nil {
+		return fmt.Errorf("%s: %w", a.ActivityName, err)
+	}
 	trimmed := strings.TrimSpace(strings.ToUpper(sql))
 	if strings.HasPrefix(trimmed, "SELECT") {
 		ctas := fmt.Sprintf("CREATE TABLE %s AS %s", gen, sql)
@@ -92,6 +139,25 @@ func (a *SQLActivity) Execute(ctx *engine.Ctx) error {
 	}
 	st.mu.Unlock()
 	return nil
+}
+
+// sqlObserver surfaces retry attempts and backoff waits of an information
+// service activity through the instance trace, mirroring what the engine's
+// Invoke does for service calls.
+func sqlObserver(ctx *engine.Ctx, name string, p *resilience.Policy) resilience.Observer {
+	return resilience.Observer{
+		OnAttempt: func(n, max int) {
+			if max > 1 {
+				ctx.Inst.RecordTrace(name, "attempt", fmt.Sprintf("%d/%d", n, max))
+			}
+		},
+		OnFailure: func(n int, err error) {
+			ctx.Inst.RecordTrace(name, "attempt-failed", fmt.Sprintf("attempt %d: %v", n, err))
+		},
+		OnBackoff: func(n int, d time.Duration) {
+			ctx.Inst.RecordTrace(name, "backoff", fmt.Sprintf("after attempt %d, waiting %s", n, d))
+		},
+	}
 }
 
 // materializeAsTable stores an in-engine result set as a new table in the
@@ -188,11 +254,26 @@ func (a *RetrieveSetActivity) Execute(ctx *engine.Ctx) error {
 type AtomicSQLSequence struct {
 	ActivityName string
 	Children     []engine.Activity
+
+	// Retry, when set, re-runs the *entire* unit of work after a fault:
+	// the failed attempt's transaction is rolled back first, so a retry
+	// is legal — it restarts from a clean database state. This is the
+	// transaction-boundary recovery that per-statement retries defer to.
+	// Retries only engage in long-running processes; in a short-running
+	// process the sequence is part of the single process-wide
+	// transaction, and recovery belongs to the process boundary.
+	Retry *resilience.Policy
 }
 
 // NewAtomicSequence builds an atomic SQL sequence.
 func NewAtomicSequence(name string, children ...engine.Activity) *AtomicSQLSequence {
 	return &AtomicSQLSequence{ActivityName: name, Children: children}
+}
+
+// WithRetry attaches a unit-of-work retry policy to the sequence.
+func (a *AtomicSQLSequence) WithRetry(p *resilience.Policy) *AtomicSQLSequence {
+	a.Retry = p
+	return a
 }
 
 // Name implements engine.Activity.
@@ -204,15 +285,36 @@ func (a *AtomicSQLSequence) Execute(ctx *engine.Ctx) error {
 	if err != nil {
 		return err
 	}
-	st.enterAtomic()
-	var fault error
-	for _, c := range a.Children {
-		if fault = c.Execute(ctx); fault != nil {
-			break
+
+	run := func() error {
+		st.enterAtomic()
+		var fault error
+		for _, c := range a.Children {
+			if fault = c.Execute(ctx); fault != nil {
+				break
+			}
 		}
+		// exitAtomic rolls the transaction back on fault, so every
+		// failed attempt leaves the database as if it never ran.
+		if err := st.exitAtomic(fault); err != nil && fault == nil {
+			fault = err
+		}
+		return fault
 	}
-	if err := st.exitAtomic(fault); err != nil && fault == nil {
-		fault = err
+
+	var fault error
+	if a.Retry == nil || st.transactional() {
+		if a.Retry != nil {
+			ctx.Inst.RecordTrace(a.ActivityName, "retry-suppressed",
+				fmt.Sprintf("sequence participates in a wider transaction (%s mode)", st.modeLabel()))
+		}
+		fault = run()
+	} else {
+		obs := sqlObserver(ctx, a.ActivityName, a.Retry)
+		fault = a.Retry.DoErr(obs, func(attempt int) error { return run() })
+		if ab := resilience.Abandoned(fault); ab != nil {
+			return &engine.Fault{Name: engine.FaultRetryExhausted, Activity: a.ActivityName, Wrapped: ab}
+		}
 	}
 	if fault != nil {
 		return fmt.Errorf("%s: %w", a.ActivityName, fault)

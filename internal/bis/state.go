@@ -155,6 +155,28 @@ func (st *state) sessionFor(db *sqldb.DB) *sqldb.Session {
 	return s
 }
 
+// transactional reports whether SQL activities currently participate in a
+// surrounding transaction (short-running process or open atomic region) —
+// the condition under which per-statement retries are suppressed.
+func (st *state) transactional() bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.mode == engine.ShortRunning || st.atomic > 0
+}
+
+// modeLabel describes the reason SQL statements are transactional right now.
+func (st *state) modeLabel() string {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.mode == engine.ShortRunning {
+		return "short-running"
+	}
+	if st.atomic > 0 {
+		return "atomic-sequence"
+	}
+	return "long-running"
+}
+
 // enterAtomic begins an atomic SQL sequence region.
 func (st *state) enterAtomic() {
 	st.mu.Lock()
@@ -179,8 +201,14 @@ func (st *state) exitAtomic(fault error) error {
 		}
 		if fault != nil {
 			s.Rollback()
-		} else if _, err := s.Exec("COMMIT"); err != nil && firstErr == nil {
-			firstErr = err
+		} else if _, err := s.Exec("COMMIT"); err != nil {
+			// A failed commit leaves the transaction in doubt; resolve
+			// it by rolling back so a unit-of-work retry starts from a
+			// clean state instead of replaying on top of live changes.
+			s.Rollback()
+			if firstErr == nil {
+				firstErr = err
+			}
 		}
 		st.inTxn[db] = false
 	}
@@ -197,8 +225,8 @@ func (st *state) finish(fault error) {
 		}
 		if fault != nil {
 			s.Rollback()
-		} else {
-			s.Exec("COMMIT")
+		} else if _, err := s.Exec("COMMIT"); err != nil {
+			s.Rollback() // resolve the in-doubt transaction
 		}
 		st.inTxn[db] = false
 	}

@@ -1,0 +1,173 @@
+package chaos
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"wfsql/internal/sqldb"
+	"wfsql/internal/wsbus"
+)
+
+// SQLFaultPlan injects faults into a sqldb statement stream: it can fail
+// the Nth matching statement, fail the first K commits (the classic
+// "connection died at commit" fault the paper's transaction discussion
+// revolves around), and add per-statement latency. Statements are counted
+// in execution order; Kinds restricts which statement kinds participate.
+type SQLFaultPlan struct {
+	// Kinds restricts counting/injection to these StmtKind labels
+	// (e.g. "INSERT", "COMMIT"). Empty means every statement.
+	Kinds []string
+	// FailNth fails the Nth (1-based) matching statement. Each entry
+	// fires once; the statement is failed before it executes.
+	FailNth []int
+	// FailFirst fails the first N matching statements.
+	FailFirst int
+	// FailCommits fails the first N COMMIT statements (counted
+	// separately from the Kinds filter).
+	FailCommits int
+	// Latency is slept before every matching statement.
+	Latency time.Duration
+	// Permanent marks injected errors non-retryable.
+	Permanent bool
+	// ErrText overrides the injected error text.
+	ErrText string
+
+	mu       sync.Mutex
+	seen     int // matching statements seen
+	commits  int // COMMIT statements seen
+	injected int
+}
+
+// Seen returns how many matching statements the plan observed.
+func (p *SQLFaultPlan) Seen() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.seen
+}
+
+// Injected returns how many statements were failed.
+func (p *SQLFaultPlan) Injected() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.injected
+}
+
+func (p *SQLFaultPlan) matches(kind string) bool {
+	if len(p.Kinds) == 0 {
+		return true
+	}
+	for _, k := range p.Kinds {
+		if k == kind {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *SQLFaultPlan) sqlErr(kind string) error {
+	text := p.ErrText
+	if text == "" {
+		text = "injected SQL fault"
+	}
+	e := fmt.Errorf("chaos: %s on %s", text, kind)
+	if p.Permanent {
+		return wsbus.Permanent(e)
+	}
+	return wsbus.Transient(e)
+}
+
+// Hook returns the plan as a sqldb.ExecHook for DB-wide installation.
+func (p *SQLFaultPlan) Hook() sqldb.ExecHook {
+	return func(kind string) error { return p.check(kind) }
+}
+
+// check consumes one statement observation and decides whether to fail it.
+func (p *SQLFaultPlan) check(kind string) error {
+	if kind == "COMMIT" {
+		p.mu.Lock()
+		p.commits++
+		failCommit := p.commits <= p.FailCommits
+		if failCommit {
+			p.injected++
+		}
+		p.mu.Unlock()
+		if failCommit {
+			return p.sqlErr(kind)
+		}
+	}
+	if !p.matches(kind) {
+		return nil
+	}
+	p.mu.Lock()
+	p.seen++
+	n := p.seen
+	fail := n <= p.FailFirst
+	if !fail {
+		for _, target := range p.FailNth {
+			if n == target {
+				fail = true
+				break
+			}
+		}
+	}
+	if fail {
+		p.injected++
+	}
+	lat := p.Latency
+	p.mu.Unlock()
+	if lat > 0 {
+		time.Sleep(lat)
+	}
+	if fail {
+		return p.sqlErr(kind)
+	}
+	return nil
+}
+
+// InstallSQL installs the plan as the database's exec hook (pass a nil
+// plan to remove injection).
+func InstallSQL(db *sqldb.DB, p *SQLFaultPlan) {
+	if p == nil {
+		db.SetExecHook(nil)
+		return
+	}
+	db.SetExecHook(p.Hook())
+}
+
+// FaultySession wraps a single sqldb session with a plan, for call sites
+// that hold a session directly instead of going through the DB-wide hook.
+// Statements are checked against the plan before they reach the engine.
+type FaultySession struct {
+	S    *sqldb.Session
+	Plan *SQLFaultPlan
+}
+
+// WrapSession builds a fault-injecting session wrapper.
+func WrapSession(s *sqldb.Session, p *SQLFaultPlan) *FaultySession {
+	return &FaultySession{S: s, Plan: p}
+}
+
+// Exec parses and executes one statement through the fault plan.
+func (f *FaultySession) Exec(sql string, params ...sqldb.Value) (*sqldb.Result, error) {
+	st, err := sqldb.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Plan.check(sqldb.StmtKind(st)); err != nil {
+		return nil, err
+	}
+	return f.S.ExecStmt(st, params, nil)
+}
+
+// Query executes a statement through the fault plan and requires rows.
+func (f *FaultySession) Query(sql string, params ...sqldb.Value) (*sqldb.Result, error) {
+	r, err := f.Exec(sql, params...)
+	if err != nil {
+		return nil, err
+	}
+	if !r.IsQuery() {
+		return nil, fmt.Errorf("chaos: statement did not return rows")
+	}
+	return r, nil
+}

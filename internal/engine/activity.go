@@ -1,11 +1,13 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
 	"time"
 
+	"wfsql/internal/resilience"
 	"wfsql/internal/wsbus"
 	"wfsql/internal/xdm"
 	"wfsql/internal/xpath"
@@ -297,7 +299,7 @@ func (a *Assign) execCopy(ctx *Ctx, cp CopySpec) error {
 		}
 		return nil
 	}
-	if target.Kind != XMLVar || target.Node() == nil {
+	if target.Kind() != XMLVar || target.Node() == nil {
 		return fmt.Errorf("assign: target %s is not an XML variable", cp.ToVar)
 	}
 	// Evaluate the to-path relative to the target variable's document.
@@ -333,14 +335,39 @@ func replaceContent(target *xdm.Node, from xpath.Value) {
 
 // --- Invoke ---
 
+// FaultRetryExhausted is the BPEL-style fault name raised when an
+// invoke's retry policy gives up; scope fault handlers can match it, and
+// the dead-letter log records it.
+const FaultRetryExhausted = "retryExhausted"
+
 // Invoke calls a service on the engine's bus. Input parts are XPath
 // expressions over the process variables; output parts map response parts
 // to variables.
+//
+// An optional retry policy, circuit breaker, and dead-letter wiring turn
+// the invoke into the resilient middleware call the surveyed products
+// sell: attempts, backoff waits, and breaker transitions are surfaced as
+// trace events ("attempt", "backoff", "breaker"); exhausted retries raise
+// a retryExhausted fault — or, with AbsorbExhausted, degrade into the
+// engine's dead-letter log and let the process continue.
 type Invoke struct {
 	ActivityName string
 	Service      string
 	Inputs       map[string]*xpath.Expr // part name -> expression
 	Outputs      map[string]string      // part name -> variable name
+
+	// Retry, when set, re-attempts transient failures under the policy.
+	Retry *resilience.Policy
+	// Breaker, when set, gates every attempt; it is typically shared by
+	// all invokes targeting the same service across instances.
+	Breaker *resilience.Breaker
+	// DeadLetterKey evaluates the business key stored in dead-letter
+	// records (nil: the activity name is used).
+	DeadLetterKey *xpath.Expr
+	// AbsorbExhausted makes an exhausted invoke degrade instead of
+	// faulting: a dead letter is recorded, every output variable is set to
+	// "DEADLETTERED:<key>", and the process continues.
+	AbsorbExhausted bool
 }
 
 // NewInvoke builds an invoke activity.
@@ -361,6 +388,26 @@ func (iv *Invoke) Out(part, variable string) *Invoke {
 	return iv
 }
 
+// WithRetry attaches a retry policy.
+func (iv *Invoke) WithRetry(p *resilience.Policy) *Invoke {
+	iv.Retry = p
+	return iv
+}
+
+// WithBreaker attaches a (typically shared) circuit breaker.
+func (iv *Invoke) WithBreaker(b *resilience.Breaker) *Invoke {
+	iv.Breaker = b
+	return iv
+}
+
+// WithDeadLetter configures the dead-letter business key expression and
+// whether exhaustion is absorbed (degrade) or raised (fault).
+func (iv *Invoke) WithDeadLetter(keyExpr string, absorb bool) *Invoke {
+	iv.DeadLetterKey = xpath.MustCompile(keyExpr)
+	iv.AbsorbExhausted = absorb
+	return iv
+}
+
 // Name implements Activity.
 func (iv *Invoke) Name() string { return iv.ActivityName }
 
@@ -377,8 +424,12 @@ func (iv *Invoke) Execute(ctx *Ctx) error {
 		}
 		req[part] = v.AsString()
 	}
-	resp, err := ctx.Engine.Bus.Invoke(iv.Service, req)
+
+	resp, err := iv.call(ctx, req)
 	if err != nil {
+		if ab := resilience.Abandoned(err); ab != nil {
+			return iv.deadLetter(ctx, ab)
+		}
 		return fmt.Errorf("%s: %w", iv.ActivityName, err)
 	}
 	for part, varName := range iv.Outputs {
@@ -391,6 +442,85 @@ func (iv *Invoke) Execute(ctx *Ctx) error {
 		}
 	}
 	return nil
+}
+
+// call performs the bus invocation under the configured policy/breaker.
+func (iv *Invoke) call(ctx *Ctx, req wsbus.Message) (wsbus.Message, error) {
+	attempt := func(n int) (wsbus.Message, error) {
+		if iv.Breaker != nil && !iv.Breaker.Allow() {
+			return nil, resilience.RefusedError(iv.Service)
+		}
+		return ctx.Engine.Bus.Invoke(iv.Service, req)
+	}
+	if iv.Retry == nil && iv.Breaker == nil {
+		return attempt(1)
+	}
+
+	// Breaker accounting and trace recording both run in the observer —
+	// i.e. in this goroutine, never in the abandoned goroutine of a
+	// timed-out attempt.
+	account := func(err error) {
+		if iv.Breaker == nil {
+			return
+		}
+		before := iv.Breaker.State()
+		switch {
+		case err == nil:
+			iv.Breaker.OnSuccess()
+		case errors.Is(err, resilience.ErrOpen):
+			// A refused call is not a service failure.
+		default:
+			iv.Breaker.OnFailure()
+		}
+		if after := iv.Breaker.State(); after != before {
+			ctx.Inst.RecordTrace(iv.ActivityName, "breaker", before.String()+"->"+after.String())
+		}
+	}
+	obs := resilience.Observer{
+		OnAttempt: func(n, max int) {
+			if max > 1 {
+				ctx.Inst.RecordTrace(iv.ActivityName, "attempt", fmt.Sprintf("%d/%d %s", n, max, iv.Service))
+			}
+		},
+		OnSuccess: func(n int) { account(nil) },
+		OnFailure: func(n int, err error) { account(err) },
+		OnBackoff: func(n int, d time.Duration) {
+			ctx.Inst.RecordTrace(iv.ActivityName, "backoff", d.String())
+		},
+	}
+	return resilience.Do(iv.Retry, obs, attempt)
+}
+
+// deadLetter records an abandoned invocation and either absorbs it
+// (degraded completion) or raises the retryExhausted fault.
+func (iv *Invoke) deadLetter(ctx *Ctx, ab *resilience.AbandonedError) error {
+	key := iv.ActivityName
+	if iv.DeadLetterKey != nil {
+		if v, err := ctx.EvalXPath(iv.DeadLetterKey); err == nil {
+			key = v.AsString()
+		}
+	}
+	if ctx.Engine.DeadLetters != nil {
+		ctx.Engine.DeadLetters.Add(resilience.DeadLetter{
+			Activity: iv.ActivityName,
+			Target:   iv.Service,
+			Key:      key,
+			Attempts: ab.Attempts,
+			Reason:   ab.Reason,
+			LastErr:  fmt.Sprint(ab.Err),
+		})
+	}
+	ctx.Inst.RecordTrace(iv.ActivityName, "dead-letter",
+		fmt.Sprintf("%s after %d attempt(s) (%s): %v", key, ab.Attempts, ab.Reason, ab.Err))
+	if iv.AbsorbExhausted {
+		for _, varName := range iv.Outputs {
+			if err := ctx.SetScalar(varName, "DEADLETTERED:"+key); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return &Fault{Name: FaultRetryExhausted, Activity: iv.ActivityName, Wrapped: ab}
 }
 
 // --- Snippet ---

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"wfsql/internal/resilience"
 	"wfsql/internal/sqldb"
 	"wfsql/internal/wsbus"
 	"wfsql/internal/xdm"
@@ -51,6 +52,11 @@ type Process struct {
 type Engine struct {
 	Bus *wsbus.Bus
 
+	// DeadLetters collects invocations whose retries were exhausted and
+	// that no fault handler absorbed — the engine-wide reliability audit
+	// trail complementing the per-instance trace.
+	DeadLetters *resilience.DeadLetterLog
+
 	mu          sync.RWMutex
 	dataSources map[string]*sqldb.DB
 	nextID      atomic.Int64
@@ -79,7 +85,11 @@ func (e *Engine) notifyTrace(instanceID int64, ev TraceEvent) {
 // New creates an engine with the given bus (nil is allowed for processes
 // that never invoke services).
 func New(bus *wsbus.Bus) *Engine {
-	return &Engine{Bus: bus, dataSources: map[string]*sqldb.DB{}}
+	return &Engine{
+		Bus:         bus,
+		DeadLetters: resilience.NewDeadLetterLog(),
+		dataSources: map[string]*sqldb.DB{},
+	}
 }
 
 // RegisterDataSource makes a database available under a JNDI-like name.

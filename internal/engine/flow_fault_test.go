@@ -1,0 +1,115 @@
+package engine
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestFlowFaultPropagation pins down the flow activity's fault semantics
+// under concurrency: BPEL flow has no cancellation, so when one branch
+// faults mid-flight every sibling still runs to completion, the flow
+// returns the first fault (in child order), and the trace stays coherent.
+// The test is meaningful under -race: branches concurrently write process
+// variables and emit trace events.
+func TestFlowFaultPropagation(t *testing.T) {
+	e := New(nil)
+
+	var completed atomic.Int32
+	children := make([]Activity, 0, 9)
+	for i := 0; i < 8; i++ {
+		name := "branch" + string(rune('A'+i))
+		children = append(children, NewSnippet(name, func(ctx *Ctx) error {
+			// Concurrent writes to a shared variable: last-writer-wins,
+			// but never a torn read/write (Variable is mutex-guarded).
+			if err := ctx.SetScalar("shared", name); err != nil {
+				return err
+			}
+			time.Sleep(2 * time.Millisecond) // outlive the faulting branch
+			if _, err := ctx.Variable("shared"); err != nil {
+				return err
+			}
+			completed.Add(1)
+			return nil
+		}))
+	}
+	children = append(children, NewSnippet("badBranch", func(ctx *Ctx) error {
+		time.Sleep(time.Millisecond) // fault while siblings are mid-flight
+		return &Fault{Name: "boom", Activity: "badBranch"}
+	}))
+
+	p := &Process{
+		Name:      "flowFault",
+		Variables: []VarDecl{{Name: "shared", Kind: ScalarVar}},
+		Body:      NewFlow("flow", children...),
+	}
+	d, err := e.Deploy(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := d.Run(nil)
+	if err == nil {
+		t.Fatal("flow should propagate the branch fault")
+	}
+	if !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("propagated error %v, want the boom fault", err)
+	}
+	if inst.State() != StateFaulted {
+		t.Fatalf("instance state %v, want faulted", inst.State())
+	}
+
+	// No cancellation: every sibling ran to completion despite the fault.
+	if n := completed.Load(); n != 8 {
+		t.Fatalf("%d siblings completed, want 8 (flow must not cancel in-flight branches)", n)
+	}
+
+	// Trace integrity: one start per branch, 8 ends, exactly one branch
+	// fault plus the flow's own fault record, and strictly increasing
+	// sequence numbers despite concurrent emission.
+	starts, ends, faults := 0, 0, 0
+	lastSeq := 0
+	for _, ev := range inst.Trace() {
+		if ev.Seq <= lastSeq {
+			t.Fatalf("trace sequence not strictly increasing at %+v", ev)
+		}
+		lastSeq = ev.Seq
+		if strings.HasPrefix(ev.Activity, "branch") || ev.Activity == "badBranch" {
+			switch ev.Kind {
+			case "start":
+				starts++
+			case "end":
+				ends++
+			case "fault":
+				faults++
+			}
+		}
+	}
+	if starts != 9 || ends != 8 || faults != 1 {
+		t.Fatalf("branch trace starts=%d ends=%d faults=%d, want 9/8/1", starts, ends, faults)
+	}
+}
+
+// TestFlowFirstFaultInChildOrder: when several branches fault, the flow
+// reports the first faulting child in declaration order (deterministic
+// despite concurrent execution).
+func TestFlowFirstFaultInChildOrder(t *testing.T) {
+	e := New(nil)
+	body := NewFlow("flow",
+		NewSnippet("c0", func(ctx *Ctx) error {
+			time.Sleep(3 * time.Millisecond)
+			return &Fault{Name: "firstByOrder", Activity: "c0"}
+		}),
+		NewSnippet("c1", func(ctx *Ctx) error {
+			return &Fault{Name: "firstByTime", Activity: "c1"} // faults earlier in time
+		}),
+	)
+	d, err := e.Deploy(&Process{Name: "flowOrder", Body: body})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = d.Run(nil)
+	if err == nil || !strings.Contains(err.Error(), "firstByOrder") {
+		t.Fatalf("flow returned %v, want the first fault in child order", err)
+	}
+}

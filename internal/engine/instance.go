@@ -195,6 +195,15 @@ func (in *Instance) Trace() []TraceEvent {
 	return out
 }
 
+// RecordTrace appends a custom trace event. Product layers and the
+// resilience wiring use it to surface retry attempts, backoff waits,
+// circuit breaker transitions, and dead-letter records through the same
+// monitoring surface the activity lifecycle uses, so a trace listener
+// doubles as a reliability audit trail.
+func (in *Instance) RecordTrace(activity, kind, detail string) {
+	in.recordTrace(activity, kind, detail)
+}
+
 func (in *Instance) recordTrace(activity, kind, detail string) {
 	in.mu.Lock()
 	in.seq++
@@ -281,7 +290,7 @@ func (f *instanceFuncs) CallFunction(name string, args []xpath.Value) (xpath.Val
 		if len(args) == 1 {
 			return val, nil
 		}
-		if v.Kind != XMLVar || v.Node() == nil {
+		if v.Kind() != XMLVar || v.Node() == nil {
 			return xpath.Value{}, fmt.Errorf("engine: getVariableData path on non-XML variable %s", v.Name)
 		}
 		sub, err := xpath.Compile(args[1].AsString())

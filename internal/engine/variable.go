@@ -15,6 +15,7 @@ package engine
 import (
 	"fmt"
 	"strconv"
+	"sync"
 
 	"wfsql/internal/xdm"
 	"wfsql/internal/xpath"
@@ -30,37 +31,57 @@ const (
 	ScalarVar
 )
 
-// Variable is a process variable instance.
+// Variable is a process variable instance. All accessors are safe for
+// concurrent use: BPEL flow activities execute children in parallel, and
+// two branches may read and write the same variable (last-writer-wins,
+// which is all BPEL promises without explicit isolation scopes).
 type Variable struct {
-	Name   string
-	Kind   VarKind
+	Name string
+
+	mu     sync.Mutex
+	kind   VarKind
 	node   *xdm.Node
 	scalar string
 }
 
 // NewXMLVariable creates an XML variable holding the given document.
 func NewXMLVariable(name string, doc *xdm.Node) *Variable {
-	return &Variable{Name: name, Kind: XMLVar, node: doc}
+	return &Variable{Name: name, kind: XMLVar, node: doc}
 }
 
 // NewScalarVariable creates a scalar variable.
 func NewScalarVariable(name, value string) *Variable {
-	return &Variable{Name: name, Kind: ScalarVar, scalar: value}
+	return &Variable{Name: name, kind: ScalarVar, scalar: value}
+}
+
+// Kind returns the variable's current kind.
+func (v *Variable) Kind() VarKind {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.kind
 }
 
 // Node returns the XML document of an XML variable (nil for scalars).
-func (v *Variable) Node() *xdm.Node { return v.node }
+func (v *Variable) Node() *xdm.Node {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.node
+}
 
 // SetNode replaces the variable's content with an XML document.
 func (v *Variable) SetNode(n *xdm.Node) {
-	v.Kind = XMLVar
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.kind = XMLVar
 	v.node = n
 	v.scalar = ""
 }
 
 // String returns the variable's string value (text content for XML).
 func (v *Variable) String() string {
-	if v.Kind == XMLVar {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.kind == XMLVar {
 		if v.node == nil {
 			return ""
 		}
@@ -71,16 +92,19 @@ func (v *Variable) String() string {
 
 // SetString replaces the variable's content with a scalar string.
 func (v *Variable) SetString(s string) {
-	v.Kind = ScalarVar
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.kind = ScalarVar
 	v.scalar = s
 	v.node = nil
 }
 
 // Int returns the variable's value as an integer.
 func (v *Variable) Int() (int64, error) {
-	i, err := strconv.ParseInt(v.String(), 10, 64)
+	s := v.String()
+	i, err := strconv.ParseInt(s, 10, 64)
 	if err != nil {
-		return 0, fmt.Errorf("engine: variable %s is not an integer: %q", v.Name, v.String())
+		return 0, fmt.Errorf("engine: variable %s is not an integer: %q", v.Name, s)
 	}
 	return i, nil
 }
@@ -88,7 +112,9 @@ func (v *Variable) Int() (int64, error) {
 // XPathValue exposes the variable to XPath: XML variables become
 // single-node node-sets, scalars become strings.
 func (v *Variable) XPathValue() xpath.Value {
-	if v.Kind == XMLVar {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.kind == XMLVar {
 		if v.node == nil {
 			return xpath.NodeSet()
 		}

@@ -3,6 +3,10 @@ package mswf
 import (
 	"fmt"
 	"sync"
+	"time"
+
+	"wfsql/internal/resilience"
+	"wfsql/internal/wsbus"
 )
 
 // This file is the Base Activity Library (BAL): proprietary functionality
@@ -178,6 +182,31 @@ type InvokeWebServiceActivity struct {
 	ServiceName  string            // resolved from the runtime when Service is nil
 	Inputs       map[string]string // message part -> host variable name
 	Outputs      map[string]string // message part -> host variable name
+
+	// Retry re-invokes the service on transient errors; attempts and
+	// backoff waits surface as tracking events. A panicking service is
+	// recovered into a transient error instead of tearing down the host.
+	Retry *resilience.Policy
+	// DeadLetterKeyPart names the request message part whose value keys a
+	// dead-letter record when retries are exhausted.
+	DeadLetterKeyPart string
+	// AbsorbExhausted completes the activity in a degraded state instead
+	// of faulting: output host variables receive "DEADLETTERED:<key>" and
+	// the workflow continues (the dead-letter log holds the evidence).
+	AbsorbExhausted bool
+}
+
+// WithRetry attaches a retry policy.
+func (a *InvokeWebServiceActivity) WithRetry(p *resilience.Policy) *InvokeWebServiceActivity {
+	a.Retry = p
+	return a
+}
+
+// WithDeadLetter configures dead-lettering of exhausted invocations.
+func (a *InvokeWebServiceActivity) WithDeadLetter(keyPart string, absorb bool) *InvokeWebServiceActivity {
+	a.DeadLetterKeyPart = keyPart
+	a.AbsorbExhausted = absorb
+	return a
 }
 
 // Name implements Activity.
@@ -199,7 +228,43 @@ func (a *InvokeWebServiceActivity) Execute(c *Context) error {
 	for part, hv := range a.Inputs {
 		req[part] = c.GetString(hv)
 	}
-	resp, err := a.Service(req)
+
+	call := func(int) (map[string]string, error) { return a.safeCall(req) }
+	var resp map[string]string
+	var err error
+	if a.Retry == nil {
+		resp, err = call(0)
+	} else {
+		obs := resilience.Observer{
+			OnAttempt: func(n, max int) {
+				if n > 1 {
+					c.Track(a.ActivityName, fmt.Sprintf("Retrying %d/%d", n, max))
+				}
+			},
+			OnBackoff: func(n int, d time.Duration) {
+				c.Track(a.ActivityName, fmt.Sprintf("Backoff %s after attempt %d", d, n))
+			},
+		}
+		resp, err = resilience.Do(a.Retry, obs, call)
+	}
+	if ab := resilience.Abandoned(err); ab != nil {
+		key := req[a.DeadLetterKeyPart]
+		c.Runtime.DeadLetters.Add(resilience.DeadLetter{
+			Activity: a.ActivityName,
+			Target:   a.serviceLabel(),
+			Key:      key,
+			Attempts: ab.Attempts,
+			Reason:   ab.Reason,
+			LastErr:  ab.Err.Error(),
+		})
+		c.Track(a.ActivityName, fmt.Sprintf("DeadLettered key=%s after %d attempts", key, ab.Attempts))
+		if a.AbsorbExhausted {
+			for _, hv := range a.Outputs {
+				c.Set(hv, "DEADLETTERED:"+key)
+			}
+			return nil
+		}
+	}
 	if err != nil {
 		return fmt.Errorf("%s: %w", a.ActivityName, err)
 	}
@@ -211,6 +276,24 @@ func (a *InvokeWebServiceActivity) Execute(c *Context) error {
 		c.Set(hv, v)
 	}
 	return nil
+}
+
+// safeCall invokes the bound service, converting a panic into a transient
+// error (the WF host must survive a misbehaving proxy).
+func (a *InvokeWebServiceActivity) safeCall(req map[string]string) (resp map[string]string, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			resp, err = nil, wsbus.Transient(fmt.Errorf("service panicked: %v", r))
+		}
+	}()
+	return a.Service(req)
+}
+
+func (a *InvokeWebServiceActivity) serviceLabel() string {
+	if a.ServiceName != "" {
+		return a.ServiceName
+	}
+	return "(bound service)"
 }
 
 // TerminateActivity aborts the workflow with an error.

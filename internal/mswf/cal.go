@@ -3,8 +3,10 @@ package mswf
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"wfsql/internal/dataset"
+	"wfsql/internal/resilience"
 	"wfsql/internal/sqldb"
 )
 
@@ -43,6 +45,12 @@ type SQLDatabaseActivity struct {
 
 	// RowsAffectedVar optionally receives the DML row count.
 	RowsAffectedVar string
+
+	// Retry re-executes the statement on transient database errors. WF's
+	// SQL database activity opens and closes its own connection per
+	// execution (autocommit), so a retried attempt never replays inside a
+	// wider transaction. Attempts surface as "Retrying" tracking events.
+	Retry *resilience.Policy
 }
 
 // NewSQLDatabase builds a SQL database activity.
@@ -69,6 +77,12 @@ func (a *SQLDatabaseActivity) Keys(cols ...string) *SQLDatabaseActivity {
 	return a
 }
 
+// WithRetry attaches a retry policy for transient database faults.
+func (a *SQLDatabaseActivity) WithRetry(p *resilience.Policy) *SQLDatabaseActivity {
+	a.Retry = p
+	return a
+}
+
 // Name implements Activity.
 func (a *SQLDatabaseActivity) Name() string { return a.ActivityName }
 
@@ -87,8 +101,19 @@ func (a *SQLDatabaseActivity) Execute(c *Context) error {
 	if err != nil {
 		return fmt.Errorf("%s: %w", a.ActivityName, err)
 	}
-	sess := db.Session()
-	res, err := sess.ExecNamed(sql, named)
+
+	// Each execution (and each retry attempt) opens its own connection:
+	// statements run in autocommit, so re-execution after a transient
+	// fault never replays work inside a wider transaction.
+	execOnce := func(int) (*sqldb.Result, error) {
+		return db.Session().ExecNamed(sql, named)
+	}
+	var res *sqldb.Result
+	if a.Retry == nil {
+		res, err = execOnce(0)
+	} else {
+		res, err = resilience.Do(a.Retry, a.trackObserver(c), execOnce)
+	}
 	if err != nil {
 		return fmt.Errorf("%s: %w", a.ActivityName, err)
 	}
@@ -124,6 +149,21 @@ func (a *SQLDatabaseActivity) Execute(c *Context) error {
 		}
 	}
 	return nil
+}
+
+// trackObserver surfaces retry attempts and backoff waits through the
+// tracking service, the WF-idiomatic monitoring surface.
+func (a *SQLDatabaseActivity) trackObserver(c *Context) resilience.Observer {
+	return resilience.Observer{
+		OnAttempt: func(n, max int) {
+			if n > 1 {
+				c.Track(a.ActivityName, fmt.Sprintf("Retrying %d/%d", n, max))
+			}
+		},
+		OnBackoff: func(n int, d time.Duration) {
+			c.Track(a.ActivityName, fmt.Sprintf("Backoff %s after attempt %d", d, n))
+		},
+	}
 }
 
 // bindParameters rewrites @name parameters to the engine's :name form and

@@ -18,6 +18,7 @@ import (
 	"strings"
 	"sync"
 
+	"wfsql/internal/resilience"
 	"wfsql/internal/sqldb"
 )
 
@@ -35,6 +36,12 @@ const (
 // Runtime is the workflow runtime engine together with its host-level
 // configuration (registered databases, code handlers, rule conditions).
 type Runtime struct {
+	// DeadLetters collects web-service invocations whose retries were
+	// exhausted and that the workflow absorbed instead of faulting — the
+	// host-level reliability audit trail (WF would use a tracking or
+	// persistence service for this role).
+	DeadLetters *resilience.DeadLetterLog
+
 	mu        sync.RWMutex
 	databases map[string]registeredDB
 	handlers  map[string]func(*Context) error
@@ -51,11 +58,12 @@ type registeredDB struct {
 // NewRuntime creates a workflow runtime.
 func NewRuntime() *Runtime {
 	return &Runtime{
-		databases: map[string]registeredDB{},
-		handlers:  map[string]func(*Context) error{},
-		rules:     map[string]func(*Context) (bool, error){},
-		services:  map[string]func(map[string]string) (map[string]string, error){},
-		tracking:  true,
+		DeadLetters: resilience.NewDeadLetterLog(),
+		databases:   map[string]registeredDB{},
+		handlers:    map[string]func(*Context) error{},
+		rules:       map[string]func(*Context) (bool, error){},
+		services:    map[string]func(map[string]string) (map[string]string, error){},
+		tracking:    true,
 	}
 }
 

@@ -96,7 +96,7 @@ func (a *BpelxAssign) execOp(ctx *engine.Ctx, op BpelxOp) error {
 	if err != nil {
 		return err
 	}
-	if target.Kind != engine.XMLVar || target.Node() == nil {
+	if target.Kind() != engine.XMLVar || target.Node() == nil {
 		return fmt.Errorf("bpelx: target %s is not an XML variable", op.ToVar)
 	}
 	tctx := ctx.XPathContext()

@@ -17,6 +17,7 @@ import (
 	"strings"
 	"sync"
 
+	"wfsql/internal/resilience"
 	"wfsql/internal/rowset"
 	"wfsql/internal/sqldb"
 	"wfsql/internal/xdm"
@@ -28,10 +29,12 @@ import (
 // matching the paper's comparison: "one has to provide a static connection
 // string for each XPath Extension Function".
 type Functions struct {
-	db    *sqldb.DB
-	xsql  *XSQLFramework
-	mu    sync.Mutex
-	calls map[string]int // per-function call counters (monitoring)
+	db      *sqldb.DB
+	xsql    *XSQLFramework
+	mu      sync.Mutex
+	calls   map[string]int // per-function call counters (monitoring)
+	retry   *resilience.Policy
+	retries int // statement re-executions caused by the retry policy
 }
 
 // NewFunctions creates the extension function library over a statically
@@ -48,6 +51,48 @@ func (f *Functions) Calls(name string) int {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return f.calls[name]
+}
+
+// SetRetryPolicy installs a retry policy applied to every database
+// statement the extension functions execute, including statements run by
+// processXSQL pages. Extension functions are evaluated inside assign
+// activities with no transaction bracket of their own — each statement
+// autocommits — so per-statement re-execution after a transient fault is
+// always legal here (query-database and lookup-table are pure reads;
+// sequence-next-val may skip values on retry, which sequences permit).
+func (f *Functions) SetRetryPolicy(p *resilience.Policy) {
+	f.mu.Lock()
+	f.retry = p
+	f.mu.Unlock()
+	f.xsql.SetRetryPolicy(p)
+}
+
+// Retries returns how many statement re-executions the retry policy has
+// performed (monitoring).
+func (f *Functions) Retries() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.retries + f.xsql.Retries()
+}
+
+// query runs one statement through the configured retry policy.
+func (f *Functions) query(sql string, params ...sqldb.Value) (*sqldb.Result, error) {
+	f.mu.Lock()
+	p := f.retry
+	f.mu.Unlock()
+	if p == nil {
+		return f.db.Session().Query(sql, params...)
+	}
+	obs := resilience.Observer{OnAttempt: func(n, _ int) {
+		if n > 1 {
+			f.mu.Lock()
+			f.retries++
+			f.mu.Unlock()
+		}
+	}}
+	return resilience.Do(p, obs, func(int) (*sqldb.Result, error) {
+		return f.db.Session().Query(sql, params...)
+	})
 }
 
 // CallFunction implements xpath.FunctionResolver. Functions are accepted
@@ -82,7 +127,7 @@ func (f *Functions) queryDatabase(args []xpath.Value) (xpath.Value, error) {
 	if len(args) != 1 {
 		return xpath.Value{}, fmt.Errorf("orasoa: query-database expects 1 argument")
 	}
-	res, err := f.db.Session().Query(args[0].AsString())
+	res, err := f.query(args[0].AsString())
 	if err != nil {
 		return xpath.Value{}, fmt.Errorf("orasoa: query-database: %w", err)
 	}
@@ -99,7 +144,7 @@ func (f *Functions) sequenceNextVal(args []xpath.Value) (xpath.Value, error) {
 	if len(args) != 1 {
 		return xpath.Value{}, fmt.Errorf("orasoa: sequence-next-val expects 1 argument")
 	}
-	res, err := f.db.Session().Query("SELECT NEXTVAL(?)", sqldb.Str(args[0].AsString()))
+	res, err := f.query("SELECT NEXTVAL(?)", sqldb.Str(args[0].AsString()))
 	if err != nil {
 		return xpath.Value{}, fmt.Errorf("orasoa: sequence-next-val: %w", err)
 	}
@@ -123,7 +168,7 @@ func (f *Functions) lookupTable(args []xpath.Value) (xpath.Value, error) {
 		return xpath.Value{}, fmt.Errorf("orasoa: lookup-table: invalid identifier")
 	}
 	sql := fmt.Sprintf("SELECT %s FROM %s WHERE %s = ?", outCol, table, inCol)
-	res, err := f.db.Session().Query(sql, xpathToSQL(args[3]))
+	res, err := f.query(sql, xpathToSQL(args[3]))
 	if err != nil {
 		return xpath.Value{}, fmt.Errorf("orasoa: lookup-table: %w", err)
 	}
@@ -194,14 +239,52 @@ func xpathToSQL(v xpath.Value) sqldb.Value {
 // stored procedures. Pages are XML documents of xsql:query and xsql:dml
 // elements with {@param} placeholders.
 type XSQLFramework struct {
-	db    *sqldb.DB
-	mu    sync.RWMutex
-	pages map[string]*xdm.Node
+	db      *sqldb.DB
+	mu      sync.RWMutex
+	pages   map[string]*xdm.Node
+	retry   *resilience.Policy
+	retries int
 }
 
 // NewXSQLFramework creates an empty framework bound to a database.
 func NewXSQLFramework(db *sqldb.DB) *XSQLFramework {
 	return &XSQLFramework{db: db, pages: map[string]*xdm.Node{}}
+}
+
+// SetRetryPolicy applies a retry policy to every statement executed by a
+// page. Pages run statement-by-statement in autocommit mode; a retried
+// statement re-executes alone, never a whole page.
+func (x *XSQLFramework) SetRetryPolicy(p *resilience.Policy) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	x.retry = p
+}
+
+// Retries returns how many statement re-executions the policy performed.
+func (x *XSQLFramework) Retries() int {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	return x.retries
+}
+
+// exec runs one page statement through the configured retry policy.
+func (x *XSQLFramework) exec(sess *sqldb.Session, sql string) (*sqldb.Result, error) {
+	x.mu.RLock()
+	p := x.retry
+	x.mu.RUnlock()
+	if p == nil {
+		return sess.Exec(sql)
+	}
+	obs := resilience.Observer{OnAttempt: func(n, _ int) {
+		if n > 1 {
+			x.mu.Lock()
+			x.retries++
+			x.mu.Unlock()
+		}
+	}}
+	return resilience.Do(p, obs, func(int) (*sqldb.Result, error) {
+		return sess.Exec(sql)
+	})
 }
 
 // RegisterPage parses and installs a page under a name (the "XML file"
@@ -237,9 +320,12 @@ func (x *XSQLFramework) Execute(page string, params map[string]string) (*xdm.Nod
 		}
 		switch localName(el.Name) {
 		case "query":
-			res, err := sess.Query(sql)
+			res, err := x.exec(sess, sql)
 			if err != nil {
 				return nil, fmt.Errorf("orasoa: xsql page %s: %w", page, err)
+			}
+			if !res.IsQuery() {
+				return nil, fmt.Errorf("orasoa: xsql page %s: xsql:query did not return rows", page)
 			}
 			rs, err := rowset.FromResult(res)
 			if err != nil {
@@ -248,7 +334,7 @@ func (x *XSQLFramework) Execute(page string, params map[string]string) (*xdm.Nod
 			wrapper := out.Element(queryResultName(el))
 			wrapper.AppendChild(rs)
 		case "dml":
-			res, err := sess.Exec(sql)
+			res, err := x.exec(sess, sql)
 			if err != nil {
 				return nil, fmt.Errorf("orasoa: xsql page %s: %w", page, err)
 			}

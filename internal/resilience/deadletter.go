@@ -1,0 +1,82 @@
+package resilience
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// DeadLetter is the record kept for one invocation whose retries were
+// exhausted (or classified permanent): the BPEL-style fault that no fault
+// handler absorbed, preserved for offline repair instead of crashing the
+// process.
+type DeadLetter struct {
+	Seq      int       // 1-based sequence within the log
+	Time     time.Time // when the record was written
+	Activity string    // the activity that gave up
+	Target   string    // downstream service or data source
+	Key      string    // business key (e.g. the failed ItemID)
+	Attempts int       // attempts spent before giving up
+	Reason   string    // give-up reason (exhausted / permanent / deadline)
+	LastErr  string    // last attempt's error text
+}
+
+// DeadLetterLog is a thread-safe append-only log of dead letters. One log
+// typically lives on the engine/runtime and is shared by all instances.
+type DeadLetterLog struct {
+	mu      sync.Mutex
+	entries []DeadLetter
+}
+
+// NewDeadLetterLog creates an empty log.
+func NewDeadLetterLog() *DeadLetterLog { return &DeadLetterLog{} }
+
+// Add appends a record, assigning Seq and Time, and returns the completed
+// record.
+func (l *DeadLetterLog) Add(dl DeadLetter) DeadLetter {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	dl.Seq = len(l.entries) + 1
+	if dl.Time.IsZero() {
+		dl.Time = time.Now()
+	}
+	l.entries = append(l.entries, dl)
+	return dl
+}
+
+// Entries returns a copy of the log.
+func (l *DeadLetterLog) Entries() []DeadLetter {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]DeadLetter(nil), l.entries...)
+}
+
+// Len returns the number of records.
+func (l *DeadLetterLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.entries)
+}
+
+// Keys returns the distinct business keys in the log, sorted.
+func (l *DeadLetterLog) Keys() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	seen := map[string]bool{}
+	var keys []string
+	for _, e := range l.entries {
+		if !seen[e.Key] {
+			seen[e.Key] = true
+			keys = append(keys, e.Key)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Reset clears the log (between test runs).
+func (l *DeadLetterLog) Reset() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.entries = nil
+}

@@ -1,0 +1,279 @@
+package resilience
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+type permErr struct{ msg string }
+
+func (e *permErr) Error() string   { return e.msg }
+func (e *permErr) Temporary() bool { return false }
+
+type transErr struct{ msg string }
+
+func (e *transErr) Error() string   { return e.msg }
+func (e *transErr) Temporary() bool { return true }
+
+// TestDoRetriesTransientUntilSuccess: fail-twice-then-succeed converges
+// without real sleeping (Sleep hook records the backoff schedule).
+func TestDoRetriesTransientUntilSuccess(t *testing.T) {
+	var slept []time.Duration
+	p := NewPolicy(5, 10*time.Millisecond)
+	p.Sleep = func(d time.Duration) { slept = append(slept, d) }
+	calls := 0
+	v, err := Do(p, Observer{}, func(n int) (string, error) {
+		calls++
+		if calls <= 2 {
+			return "", &transErr{fmt.Sprintf("boom %d", calls)}
+		}
+		return "ok", nil
+	})
+	if err != nil || v != "ok" {
+		t.Fatalf("Do: %v %q", err, v)
+	}
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond}
+	if len(slept) != len(want) || slept[0] != want[0] || slept[1] != want[1] {
+		t.Fatalf("backoffs = %v, want %v", slept, want)
+	}
+}
+
+// TestDoStopsOnPermanentError: a permanent classification ends the loop at
+// the first failure.
+func TestDoStopsOnPermanentError(t *testing.T) {
+	p := NewPolicy(5, time.Millisecond)
+	p.Sleep = func(time.Duration) {}
+	calls := 0
+	_, err := Do(p, Observer{}, func(n int) (int, error) {
+		calls++
+		return 0, &permErr{"no retry"}
+	})
+	ab := Abandoned(err)
+	if ab == nil || ab.Reason != ReasonPermanent || ab.Attempts != 1 {
+		t.Fatalf("err = %v, want permanent abandonment after 1 attempt", err)
+	}
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1", calls)
+	}
+	var pe *permErr
+	if !errors.As(err, &pe) {
+		t.Fatalf("abandonment should wrap the cause, got %v", err)
+	}
+}
+
+// TestDoExhaustsAttempts: the loop gives up after MaxAttempts and reports
+// the final cause.
+func TestDoExhaustsAttempts(t *testing.T) {
+	p := NewPolicy(3, time.Millisecond)
+	p.Sleep = func(time.Duration) {}
+	calls := 0
+	var events []string
+	obs := Observer{
+		OnAttempt: func(n, max int) { events = append(events, fmt.Sprintf("attempt %d/%d", n, max)) },
+		OnGiveUp:  func(n int, err error, reason string) { events = append(events, "giveup:"+reason) },
+	}
+	_, err := Do(p, obs, func(n int) (int, error) {
+		calls++
+		return 0, &transErr{"still down"}
+	})
+	ab := Abandoned(err)
+	if ab == nil || ab.Reason != ReasonExhausted || ab.Attempts != 3 {
+		t.Fatalf("err = %v, want exhaustion after 3 attempts", err)
+	}
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+	if events[len(events)-1] != "giveup:exhausted" {
+		t.Fatalf("events = %v", events)
+	}
+}
+
+// TestBackoffCapAndJitter: the schedule is capped at MaxBackoff and the
+// jittered delay stays within the configured window, deterministically.
+func TestBackoffCapAndJitter(t *testing.T) {
+	p := &Policy{InitialBackoff: 10 * time.Millisecond, MaxBackoff: 35 * time.Millisecond, Multiplier: 2}
+	ds := []time.Duration{p.BackoffFor(1, nil), p.BackoffFor(2, nil), p.BackoffFor(3, nil), p.BackoffFor(4, nil)}
+	want := []time.Duration{10, 20, 35, 35}
+	for i, d := range ds {
+		if d != want[i]*time.Millisecond {
+			t.Fatalf("backoff %d = %v, want %vms", i+1, d, want[i])
+		}
+	}
+
+	p.Jitter = 0.5
+	rng1 := rand.New(rand.NewSource(7))
+	rng2 := rand.New(rand.NewSource(7))
+	a, b := p.BackoffFor(2, rng1), p.BackoffFor(2, rng2)
+	if a != b {
+		t.Fatalf("jitter is not deterministic per seed: %v vs %v", a, b)
+	}
+	if a < 10*time.Millisecond || a > 20*time.Millisecond {
+		t.Fatalf("jittered backoff %v outside [10ms,20ms]", a)
+	}
+}
+
+// TestOverallDeadline: the loop refuses to sleep past the overall budget.
+func TestOverallDeadline(t *testing.T) {
+	now := time.Unix(0, 0)
+	p := NewPolicy(10, 40*time.Millisecond)
+	p.OverallDeadline = 100 * time.Millisecond
+	p.Now = func() time.Time { return now }
+	p.Sleep = func(d time.Duration) { now = now.Add(d) }
+	calls := 0
+	_, err := Do(p, Observer{}, func(n int) (int, error) {
+		calls++
+		now = now.Add(time.Millisecond) // each attempt costs 1ms
+		return 0, &transErr{"down"}
+	})
+	ab := Abandoned(err)
+	if ab == nil || ab.Reason != ReasonDeadline {
+		t.Fatalf("err = %v, want deadline abandonment", err)
+	}
+	// attempt1(1ms) + sleep40 + attempt2(1ms) + sleep80 would exceed 100ms.
+	if calls != 2 {
+		t.Fatalf("calls = %d, want 2", calls)
+	}
+}
+
+// TestPerAttemptTimeout: a hung attempt is abandoned and counted as a
+// transient failure; its late completion is discarded.
+func TestPerAttemptTimeout(t *testing.T) {
+	p := NewPolicy(3, 0)
+	p.PerAttemptTimeout = 10 * time.Millisecond
+	started := make(chan int, 3)
+	v, err := Do(p, Observer{}, func(n int) (string, error) {
+		started <- n
+		if n == 1 {
+			time.Sleep(200 * time.Millisecond) // hung first attempt
+		}
+		return fmt.Sprintf("resp%d", n), nil
+	})
+	if err != nil || v != "resp2" {
+		t.Fatalf("Do: %v %q (want late resp1 discarded)", err, v)
+	}
+	if len(started) < 1 {
+		t.Fatal("no attempts started")
+	}
+}
+
+// TestBreakerLifecycle walks the closed -> open -> half-open -> closed
+// cycle with a fake clock and checks the transition audit trail.
+func TestBreakerLifecycle(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := NewBreaker(3, 50*time.Millisecond)
+	b.Clock = func() time.Time { return now }
+
+	for i := 0; i < 2; i++ {
+		if !b.Allow() {
+			t.Fatal("closed breaker must allow")
+		}
+		b.OnFailure()
+	}
+	if b.State() != Closed {
+		t.Fatalf("state = %v before threshold", b.State())
+	}
+	b.OnFailure() // third consecutive failure trips it
+	if b.State() != Open {
+		t.Fatalf("state = %v, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker must fail fast during cooldown")
+	}
+
+	now = now.Add(60 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("elapsed cooldown must admit a half-open probe")
+	}
+	if b.State() != HalfOpen {
+		t.Fatalf("state = %v, want half-open", b.State())
+	}
+	b.OnFailure() // failed probe reopens
+	if b.State() != Open {
+		t.Fatalf("state = %v, want reopened", b.State())
+	}
+
+	now = now.Add(60 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("second probe window")
+	}
+	b.OnSuccess()
+	if b.State() != Closed {
+		t.Fatalf("state = %v, want closed after successful probe", b.State())
+	}
+
+	var path []string
+	for _, tr := range b.Transitions() {
+		path = append(path, fmt.Sprintf("%s->%s", tr.From, tr.To))
+	}
+	want := []string{"closed->open", "open->half-open", "half-open->open", "open->half-open", "half-open->closed"}
+	if len(path) != len(want) {
+		t.Fatalf("transitions = %v, want %v", path, want)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("transitions = %v, want %v", path, want)
+		}
+	}
+}
+
+// TestBreakerSuccessResetsFailureStreak: intervening successes keep the
+// consecutive-failure counter from tripping the circuit.
+func TestBreakerSuccessResetsFailureStreak(t *testing.T) {
+	b := NewBreaker(2, time.Second)
+	b.OnFailure()
+	b.OnSuccess()
+	b.OnFailure()
+	if b.State() != Closed {
+		t.Fatalf("state = %v, want closed (streak was broken)", b.State())
+	}
+	b.OnFailure()
+	if b.State() != Open {
+		t.Fatalf("state = %v, want open", b.State())
+	}
+}
+
+// TestDeadLetterLog: sequence numbers, keys, and copies.
+func TestDeadLetterLog(t *testing.T) {
+	l := NewDeadLetterLog()
+	l.Add(DeadLetter{Activity: "invoke", Key: "item002", Attempts: 4, Reason: ReasonExhausted})
+	l.Add(DeadLetter{Activity: "invoke", Key: "item001", Attempts: 1, Reason: ReasonPermanent})
+	l.Add(DeadLetter{Activity: "invoke", Key: "item002", Attempts: 4, Reason: ReasonExhausted})
+	if l.Len() != 3 {
+		t.Fatalf("len = %d", l.Len())
+	}
+	es := l.Entries()
+	if es[0].Seq != 1 || es[2].Seq != 3 {
+		t.Fatalf("sequence numbering broken: %+v", es)
+	}
+	keys := l.Keys()
+	if len(keys) != 2 || keys[0] != "item001" || keys[1] != "item002" {
+		t.Fatalf("keys = %v", keys)
+	}
+	es[0].Key = "mutated"
+	if l.Entries()[0].Key == "mutated" {
+		t.Fatal("Entries must return a copy")
+	}
+}
+
+// TestDefaultClassify: unmarked errors retry; the Temporary marker
+// discriminates.
+func TestDefaultClassify(t *testing.T) {
+	if !DefaultClassify(errors.New("plain")) {
+		t.Fatal("unmarked errors default to retryable")
+	}
+	if DefaultClassify(fmt.Errorf("wrap: %w", &permErr{"p"})) {
+		t.Fatal("wrapped permanent errors must not be retryable")
+	}
+	if !DefaultClassify(fmt.Errorf("wrap: %w", &transErr{"t"})) {
+		t.Fatal("wrapped transient errors must be retryable")
+	}
+	if !DefaultClassify(RefusedError("svc")) {
+		t.Fatal("breaker refusal is retryable (cooldown may elapse)")
+	}
+}

@@ -341,3 +341,53 @@ func (*SubqueryExpr) exprNode()  {}
 func (*FuncCall) exprNode()      {}
 func (*CaseExpr) exprNode()      {}
 func (*NextValueExpr) exprNode() {}
+
+// StmtKind returns a coarse statement-kind label ("SELECT", "INSERT",
+// "COMMIT", ...) used by the exec hook (fault injection) and tooling.
+func StmtKind(st Stmt) string {
+	switch st.(type) {
+	case *SelectStmt:
+		return "SELECT"
+	case *InsertStmt:
+		return "INSERT"
+	case *UpdateStmt:
+		return "UPDATE"
+	case *DeleteStmt:
+		return "DELETE"
+	case *CreateTableStmt:
+		return "CREATE TABLE"
+	case *CreateViewStmt:
+		return "CREATE VIEW"
+	case *DropViewStmt:
+		return "DROP VIEW"
+	case *DropTableStmt:
+		return "DROP TABLE"
+	case *TruncateStmt:
+		return "TRUNCATE"
+	case *AlterTableStmt:
+		return "ALTER TABLE"
+	case *CreateIndexStmt:
+		return "CREATE INDEX"
+	case *DropIndexStmt:
+		return "DROP INDEX"
+	case *CreateSequenceStmt:
+		return "CREATE SEQUENCE"
+	case *DropSequenceStmt:
+		return "DROP SEQUENCE"
+	case *CreateProcedureStmt:
+		return "CREATE PROCEDURE"
+	case *DropProcedureStmt:
+		return "DROP PROCEDURE"
+	case *CallStmt:
+		return "CALL"
+	case *ExplainStmt:
+		return "EXPLAIN"
+	case *BeginStmt:
+		return "BEGIN"
+	case *CommitStmt:
+		return "COMMIT"
+	case *RollbackStmt:
+		return "ROLLBACK"
+	}
+	return "OTHER"
+}

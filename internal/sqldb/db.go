@@ -25,6 +25,34 @@ type DB struct {
 	rowsRead      int64
 	rowsWritten   int64
 	bytesReturned int64
+
+	// hookMu guards execHook separately from mu so the hook can sleep
+	// (latency injection) without serializing against statement execution.
+	hookMu   sync.Mutex
+	execHook ExecHook
+}
+
+// ExecHook intercepts every top-level statement executed against the
+// database, before the engine lock is taken. kind is the statement kind
+// (see StmtKind: "SELECT", "INSERT", "COMMIT", ...). A non-nil return
+// fails the statement without executing it — the chaos layer uses this to
+// model a flaky connection that can fail the Nth statement or commit, and
+// to inject latency by sleeping before returning nil. Re-entrant execution
+// (statements inside stored procedures) does not pass through the hook.
+type ExecHook func(kind string) error
+
+// SetExecHook installs (or, with nil, removes) the statement interceptor.
+func (db *DB) SetExecHook(h ExecHook) {
+	db.hookMu.Lock()
+	defer db.hookMu.Unlock()
+	db.execHook = h
+}
+
+// currentExecHook returns the installed hook (nil if none).
+func (db *DB) currentExecHook() ExecHook {
+	db.hookMu.Lock()
+	defer db.hookMu.Unlock()
+	return db.execHook
 }
 
 // Stats is a snapshot of the engine's activity counters.

@@ -109,9 +109,16 @@ func (s *Session) Query(sql string, params ...Value) (*Result, error) {
 	return r, nil
 }
 
-// ExecStmt executes a pre-parsed statement.
+// ExecStmt executes a pre-parsed statement. Top-level executions (not
+// re-entrant ones) first pass through the database's ExecHook, so fault
+// injection sees the same statement stream every session sends.
 func (s *Session) ExecStmt(st Stmt, params []Value, named map[string]Value) (*Result, error) {
 	if !s.locked {
+		if h := s.db.currentExecHook(); h != nil {
+			if err := h(StmtKind(st)); err != nil {
+				return nil, err
+			}
+		}
 		s.db.mu.Lock()
 		s.locked = true
 		defer func() {

@@ -9,9 +9,27 @@
 // Requests and responses are flat name/value maps, matching the
 // message-part granularity the paper's examples use. An injectable
 // per-call latency lets benchmarks model remote invocation cost.
+//
+// # Fault semantics
+//
+// Invoke never lets a handler panic escape: panics are recovered into
+// transient errors (a crashed service is indistinguishable from a dropped
+// connection to the caller). Services can classify their own failures with
+// Transient and Permanent so retry policies (internal/resilience) can
+// discriminate; unclassified errors default to retryable.
+//
+// # Counter semantics
+//
+// Attempts counts every dispatched invocation — the attempt is counted as
+// soon as the service is resolved, *before* the injected latency elapses
+// and before the handler runs, so a call that then sleeps and fails still
+// counts as one attempt. Successes counts only invocations whose handler
+// returned without error. Retry tests depend on both counters; Calls is a
+// legacy alias for Attempts.
 package wsbus
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -23,12 +41,73 @@ type Message map[string]string
 // Handler implements a service operation.
 type Handler func(req Message) (Message, error)
 
+// classifiedError marks an error transient or permanent for retry
+// policies. It satisfies the Temporary() bool convention that
+// resilience.DefaultClassify inspects.
+type classifiedError struct {
+	err       error
+	transient bool
+}
+
+// Error implements error.
+func (e *classifiedError) Error() string {
+	if e.transient {
+		return "transient: " + e.err.Error()
+	}
+	return "permanent: " + e.err.Error()
+}
+
+// Unwrap exposes the cause.
+func (e *classifiedError) Unwrap() error { return e.err }
+
+// Temporary implements the classification convention.
+func (e *classifiedError) Temporary() bool { return e.transient }
+
+// Transient marks an error as retryable (a fault that may heal: timeout,
+// overload, crash). Returns nil for nil.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &classifiedError{err: err, transient: true}
+}
+
+// Permanent marks an error as non-retryable (a fault retries cannot fix:
+// validation failure, unknown operation). Returns nil for nil.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &classifiedError{err: err, transient: false}
+}
+
+// IsTransient reports whether the error chain is explicitly marked
+// transient. Unmarked errors report false here but are still retried by
+// resilience.DefaultClassify; use Classified to distinguish "unmarked"
+// from "marked permanent".
+func IsTransient(err error) bool {
+	var t interface{ Temporary() bool }
+	return errors.As(err, &t) && t.Temporary()
+}
+
+// Classified reports the classification carried by the error chain and
+// whether one was present at all.
+func Classified(err error) (transient, ok bool) {
+	var t interface{ Temporary() bool }
+	if errors.As(err, &t) {
+		return t.Temporary(), true
+	}
+	return false, false
+}
+
 // Bus is a registry of named services.
 type Bus struct {
-	mu       sync.RWMutex
-	services map[string]Handler
-	latency  time.Duration
-	calls    int64
+	mu        sync.RWMutex
+	services  map[string]Handler
+	latency   time.Duration
+	attempts  int64
+	successes int64
+	panics    int64
 }
 
 // New creates an empty bus.
@@ -44,6 +123,20 @@ func (b *Bus) Register(name string, h Handler) {
 	b.services[name] = h
 }
 
+// Decorate wraps the registered handler of a service with a middleware
+// (used by the chaos layer to inject faults and latency without the
+// service knowing). It fails if the service is not registered.
+func (b *Bus) Decorate(name string, mw func(Handler) Handler) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	h, ok := b.services[name]
+	if !ok {
+		return fmt.Errorf("wsbus: no such service %s", name)
+	}
+	b.services[name] = mw(h)
+	return nil
+}
+
 // SetLatency injects a synthetic per-call latency, modelling network and
 // SOAP-stack overhead for benchmarks. Zero disables it.
 func (b *Bus) SetLatency(d time.Duration) {
@@ -52,33 +145,76 @@ func (b *Bus) SetLatency(d time.Duration) {
 	b.latency = d
 }
 
-// Calls returns the number of invocations served.
-func (b *Bus) Calls() int64 {
+// Attempts returns the number of invocations dispatched (counted before
+// the injected latency and before the handler runs — failed and timed-out
+// calls count).
+func (b *Bus) Attempts() int64 {
 	b.mu.RLock()
 	defer b.mu.RUnlock()
-	return b.calls
+	return b.attempts
 }
 
-// Invoke calls the named service.
+// Successes returns the number of invocations whose handler completed
+// without error.
+func (b *Bus) Successes() int64 {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.successes
+}
+
+// Panics returns the number of handler panics recovered by Invoke.
+func (b *Bus) Panics() int64 {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.panics
+}
+
+// Calls returns the number of invocations served.
+//
+// Deprecated-style alias retained for existing monitoring code: Calls
+// equals Attempts (an invocation is counted even when it then sleeps the
+// injected latency and the handler fails).
+func (b *Bus) Calls() int64 { return b.Attempts() }
+
+// Invoke calls the named service. An unknown service is a permanent error
+// (retries cannot register it); handler panics are recovered into
+// transient errors so one crashing service cannot take down the engine.
 func (b *Bus) Invoke(service string, req Message) (Message, error) {
 	b.mu.RLock()
 	h, ok := b.services[service]
 	lat := b.latency
 	b.mu.RUnlock()
 	if !ok {
-		return nil, fmt.Errorf("wsbus: no such service %s", service)
+		return nil, Permanent(fmt.Errorf("wsbus: no such service %s", service))
 	}
+	b.mu.Lock()
+	b.attempts++ // counted before latency and handler outcome (see package doc)
+	b.mu.Unlock()
 	if lat > 0 {
 		time.Sleep(lat)
 	}
-	b.mu.Lock()
-	b.calls++
-	b.mu.Unlock()
-	resp, err := h(req)
+	resp, err := b.safeCall(h, req)
 	if err != nil {
 		return nil, fmt.Errorf("wsbus: service %s: %w", service, err)
 	}
+	b.mu.Lock()
+	b.successes++
+	b.mu.Unlock()
 	return resp, nil
+}
+
+// safeCall runs a handler, converting panics into transient errors.
+func (b *Bus) safeCall(h Handler, req Message) (resp Message, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			b.mu.Lock()
+			b.panics++
+			b.mu.Unlock()
+			resp = nil
+			err = Transient(fmt.Errorf("handler panicked: %v", r))
+		}
+	}()
+	return h(req)
 }
 
 // Has reports whether a service is registered.

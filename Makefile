@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race short soak ci clean
+.PHONY: all build vet test race short soak cover ci clean
 
 all: build
 
@@ -27,8 +27,17 @@ short:
 soak:
 	$(GO) test -race -run TestChaosSoak -v .
 
+# Coverage: run the suite with per-package profiles and print the
+# summary (total and per-function for the journal/recovery layer).
+cover:
+	$(GO) test -coverprofile=coverage.out -covermode=atomic ./...
+	$(GO) tool cover -func=coverage.out | tail -1
+	@echo "full per-function report: $(GO) tool cover -func=coverage.out"
+	@echo "html report:              $(GO) tool cover -html=coverage.out"
+
 # The gate: build, vet, then the full race-enabled suite (soak included).
 ci: build vet race
 
 clean:
 	$(GO) clean ./...
+	rm -f coverage.out

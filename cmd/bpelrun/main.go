@@ -6,6 +6,12 @@
 // Usage:
 //
 //	bpelrun -bpel process.bpel [-seed seed.sql] [-ds orderdb] [-var k=v]...
+//	        [-journal dir] [-recover]
+//
+// With -journal DIR every effectful activity is written ahead to DIR's
+// write-ahead log; -recover resumes in-flight instances of the loaded
+// process from the journal, replaying completed activities from their
+// memoized results.
 //
 // Data sources referenced by wid:dataSourceVariable artifacts must be
 // registered; -ds names the embedded database (default "orderdb").
@@ -21,6 +27,7 @@ import (
 
 	"wfsql/internal/bpelxml"
 	"wfsql/internal/engine"
+	"wfsql/internal/journal"
 	"wfsql/internal/sqldb"
 	"wfsql/internal/wsbus"
 )
@@ -42,10 +49,17 @@ func main() {
 	bpelPath := flag.String("bpel", "", "BPEL process document (required)")
 	seedPath := flag.String("seed", "", "SQL script to seed the database")
 	dsName := flag.String("ds", "orderdb", "data source name to register")
+	journalDir := flag.String("journal", "", "directory for the durable instance journal")
+	doRecover := flag.Bool("recover", false, "resume in-flight instances from the journal (requires -journal)")
 	vars := varFlags{}
 	flag.Var(vars, "var", "initial process variable name=value (repeatable)")
 	flag.Parse()
 
+	if *doRecover && *journalDir == "" {
+		fmt.Fprintln(os.Stderr, "bpelrun: -recover requires -journal")
+		flag.Usage()
+		os.Exit(2)
+	}
 	if *bpelPath == "" {
 		fmt.Fprintln(os.Stderr, "bpelrun: -bpel is required")
 		flag.Usage()
@@ -78,6 +92,15 @@ func main() {
 
 	e := engine.New(bus)
 	e.RegisterDataSource(*dsName, db)
+	var rec *journal.Recorder
+	if *journalDir != "" {
+		rec, err = journal.Open(*journalDir)
+		if err != nil {
+			fatal(fmt.Errorf("journal: %w", err))
+		}
+		defer rec.Close()
+		e.AttachJournal(rec)
+	}
 	e.AddTraceListener(func(id int64, ev engine.TraceEvent) {
 		fmt.Printf("  [%d] %-30s %s %s\n", id, ev.Activity, ev.Kind, ev.Detail)
 	})
@@ -87,11 +110,34 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("deployed: %s\n", d.Describe())
+	if *doRecover {
+		inflight := rec.InFlight()
+		if len(inflight) == 0 {
+			fmt.Fprintln(os.Stderr, "bpelrun: no in-flight instances to recover; starting fresh")
+		}
+		for _, ij := range inflight {
+			fmt.Printf("recovering instance %d (%d memoized effects)\n", ij.ID, ij.MemoCount())
+			in, err := d.Resume(ij)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("instance %d: %s\n", in.ID, in.State())
+		}
+		if len(inflight) > 0 {
+			report(db)
+			return
+		}
+	}
 	in, err := d.Run(vars)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("instance %d: %s\n", in.ID, in.State())
+	report(db)
+}
+
+// report prints per-table row counts after the run.
+func report(db *sqldb.DB) {
 	for _, t := range db.TableNames() {
 		res := db.MustExec("SELECT COUNT(*) FROM " + t)
 		fmt.Printf("table %s: %s row(s)\n", t, res.Rows[0][0])

@@ -9,9 +9,17 @@
 // -var name=value flags. After the run, tracking events and final host
 // variables are printed.
 //
+// With -journal DIR the run is durable: every effectful activity is
+// written ahead to DIR's write-ahead log, and a run killed mid-flight
+// can be resumed with -recover, which replays completed activities from
+// their journaled results and continues live at the first un-journaled
+// one. -recover with no in-flight instances starts a fresh (journaled)
+// run.
+//
 // Usage:
 //
 //	wfrun -xoml flow.xoml [-seed seed.sql] [-ds db] [-var Index=0] ...
+//	      [-journal dir] [-recover]
 package main
 
 import (
@@ -21,6 +29,7 @@ import (
 	"strconv"
 	"strings"
 
+	"wfsql/internal/journal"
 	"wfsql/internal/mswf"
 	"wfsql/internal/sqldb"
 )
@@ -46,9 +55,17 @@ func main() {
 	xomlPath := flag.String("xoml", "", "workflow markup file (required)")
 	seedPath := flag.String("seed", "", "SQL script to seed the database")
 	dsName := flag.String("ds", "db", "data source name for connection strings")
+	journalDir := flag.String("journal", "", "directory for the durable instance journal")
+	doRecover := flag.Bool("recover", false, "resume in-flight instances from the journal (requires -journal)")
 	vars := varFlags{}
 	flag.Var(vars, "var", "initial host variable name=value (repeatable)")
 	flag.Parse()
+
+	if *doRecover && *journalDir == "" {
+		fmt.Fprintln(os.Stderr, "wfrun: -recover requires -journal")
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	if *xomlPath == "" {
 		fmt.Fprintln(os.Stderr, "wfrun: -xoml is required")
@@ -78,7 +95,37 @@ func main() {
 	rt := mswf.NewRuntime()
 	rt.RegisterDatabase(*dsName, mswf.SQLServer, db)
 
-	ctx, err := rt.Run(wf, vars)
+	var rec *journal.Recorder
+	if *journalDir != "" {
+		rec, err = journal.Open(*journalDir)
+		if err != nil {
+			fatal(fmt.Errorf("journal: %w", err))
+		}
+		defer rec.Close()
+		rt.AttachJournal(rec)
+	}
+
+	var ctx *mswf.Context
+	if *doRecover {
+		inflight := rec.InFlight()
+		if len(inflight) == 0 {
+			fmt.Fprintln(os.Stderr, "wfrun: no in-flight instances to recover; starting fresh")
+			ctx, err = rt.Run(wf, vars)
+		} else {
+			for _, ij := range inflight {
+				fmt.Printf("recovering instance %d (%d memoized effects)\n", ij.ID, ij.MemoCount())
+				ctx, err = rt.Resume(wf, ij)
+				if err != nil {
+					break
+				}
+			}
+		}
+	} else {
+		ctx, err = rt.Run(wf, vars)
+	}
+	if ctx == nil {
+		fatal(err)
+	}
 	fmt.Println("tracking:")
 	for _, ev := range ctx.Events() {
 		fmt.Printf("  %-30s %s\n", ev.Activity, ev.Status)

@@ -1,0 +1,387 @@
+package wfsql
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"wfsql/internal/bis"
+	"wfsql/internal/chaos"
+	"wfsql/internal/engine"
+	"wfsql/internal/journal"
+)
+
+// This file is the crash-recovery chaos matrix: the running example on all
+// three product stacks, killed at each of the journal protocol's crash
+// points mid-loop, then recovered by a freshly built host from the
+// re-opened journal. Convergence is asserted three ways:
+//
+//   - the OrderConfirmations table is row-identical to the fault-free
+//     baseline (exactly-once visible SQL effects);
+//   - the supplier's ordered ledger matches the baseline quantities
+//     (exactly-once invoke side effects — a duplicated invocation would
+//     double an item's total);
+//   - a passive SQL fault plan counts INSERT executions across crash run
+//     plus recovery, proving memoized replay never touched the database.
+
+// openJournal opens a recorder in dir, failing the test on error.
+func openJournal(t *testing.T, dir string) *journal.Recorder {
+	t.Helper()
+	rec, err := journal.Open(dir)
+	if err != nil {
+		t.Fatalf("open journal: %v", err)
+	}
+	return rec
+}
+
+// ledgerMatches checks the supplier's per-item ordered totals against the
+// baseline confirmation rows ("ItemID|Quantity|Confirmation").
+func ledgerMatches(t *testing.T, env *Environment, baseline []string) {
+	t.Helper()
+	for _, row := range baseline {
+		parts := strings.SplitN(row, "|", 3)
+		want, err := strconv.ParseInt(parts[1], 10, 64)
+		if err != nil {
+			t.Fatalf("baseline row %q: %v", row, err)
+		}
+		if got := env.Supplier.Ordered(parts[0]); got != want {
+			t.Errorf("supplier ledger for %s = %d, baseline %d (duplicated or lost invoke)",
+				parts[0], got, want)
+		}
+	}
+}
+
+// crashStack describes one product stack for the matrix: how to run the
+// figure journaled, how to recover it on a rebuilt host, and which
+// activity names are the mid-loop invoke and SQL (insert) effects.
+type crashStack struct {
+	name      string
+	invokeAct string
+	sqlAct    string
+	useBus    bool // supplier invocations go through the wsbus (BPEL stacks)
+	baseline  func(env *Environment) error
+	run       func(env *Environment, rec *journal.Recorder) error
+	recover   func(env *Environment, rec *journal.Recorder) error
+}
+
+func crashStacks() []crashStack {
+	return []crashStack{
+		{
+			name: "BIS_Figure4", invokeAct: "invoke", sqlAct: "SQL2", useBus: true,
+			baseline: func(env *Environment) error { return env.RunFigure4BIS() },
+			run: func(env *Environment, rec *journal.Recorder) error {
+				env.Engine.AttachJournal(rec)
+				return env.RunFigure4BISResilient(ResilienceConfig{})
+			},
+			recover: func(env *Environment, rec *journal.Recorder) error {
+				env.Engine.AttachJournal(rec)
+				d, err := env.Engine.Deploy(env.BuildFigure4BISResilient(ResilienceConfig{}))
+				if err != nil {
+					return err
+				}
+				_, err = engine.Recover(rec, map[string]*engine.Deployment{"Figure4": d})
+				return err
+			},
+		},
+		{
+			name: "WF_Figure6", invokeAct: "invoke", sqlAct: "SQLDatabase2", useBus: false,
+			baseline: func(env *Environment) error { return env.RunFigure6WF() },
+			run: func(env *Environment, rec *journal.Recorder) error {
+				env.Runtime.AttachJournal(rec)
+				return env.RunFigure6WFResilient(ResilienceConfig{})
+			},
+			recover: func(env *Environment, rec *journal.Recorder) error {
+				env.Runtime.AttachJournal(rec)
+				root := env.BuildFigure6WFResilient(ResilienceConfig{})
+				for _, ij := range rec.InFlight() {
+					if _, err := env.Runtime.Resume(root, ij); err != nil {
+						return err
+					}
+				}
+				return nil
+			},
+		},
+		{
+			name: "Oracle_Figure8", invokeAct: "Invoke", sqlAct: "Assign2", useBus: true,
+			baseline: func(env *Environment) error { return env.RunFigure8Oracle() },
+			run: func(env *Environment, rec *journal.Recorder) error {
+				env.Engine.AttachJournal(rec)
+				return env.RunFigure8OracleResilient(ResilienceConfig{})
+			},
+			recover: func(env *Environment, rec *journal.Recorder) error {
+				env.Engine.AttachJournal(rec)
+				p, err := env.BuildFigure8OracleResilient(ResilienceConfig{})
+				if err != nil {
+					return err
+				}
+				d, err := env.Engine.Deploy(p)
+				if err != nil {
+					return err
+				}
+				_, err = engine.Recover(rec, map[string]*engine.Deployment{"Figure8": d})
+				return err
+			},
+		},
+	}
+}
+
+var crashPoints = []journal.CrashPoint{
+	journal.CrashBeforeJournal,
+	journal.CrashAfterJournalBeforeEffect,
+	journal.CrashAfterEffect,
+}
+
+// TestCrashRecoveryMatrix kills each product stack at every crash point —
+// once on the second supplier invocation, once on the second confirmation
+// insert — and proves the recovered run converges to the fault-free
+// baseline with exactly-once visible effects.
+func TestCrashRecoveryMatrix(t *testing.T) {
+	w := Workload{Orders: 18, Items: 4, ApprovalPercent: 100, Seed: 3}
+	for _, stack := range crashStacks() {
+		stack := stack
+		want := baselineRows(t, w, stack.baseline)
+		items := len(want)
+		if items < 3 {
+			t.Fatalf("workload too small for a mid-loop crash: %d item types", items)
+		}
+		for _, point := range crashPoints {
+			for _, target := range []struct{ label, activity string }{
+				{"invoke", stack.invokeAct},
+				{"sql", stack.sqlAct},
+			} {
+				point, target := point, target
+				t.Run(stack.name+"/"+point.String()+"/"+target.label, func(t *testing.T) {
+					env := NewEnvironment(w)
+					inserts := &chaos.SQLFaultPlan{Kinds: []string{"INSERT"}}
+					chaos.InstallSQL(env.DB, inserts)
+					defer chaos.InstallSQL(env.DB, nil)
+
+					dir := t.TempDir()
+					rec := openJournal(t, dir)
+					plan := &chaos.CrashPlan{Point: point, Activity: target.activity, AtEffect: 2}
+					chaos.Crash(rec, plan)
+
+					err := stack.run(env, rec)
+					if !journal.IsCrash(err) {
+						t.Fatalf("crash run: want a crash error, got %v", err)
+					}
+					if !plan.Fired() {
+						t.Fatal("crash plan never fired")
+					}
+					if err := rec.Close(); err != nil {
+						t.Fatalf("close journal: %v", err)
+					}
+
+					// A fresh host recovers from the re-opened journal:
+					// nothing carries over in memory.
+					rec2 := openJournal(t, dir)
+					defer rec2.Close()
+					if n := len(rec2.InFlight()); n != 1 {
+						t.Fatalf("re-opened journal holds %d in-flight instances, want 1", n)
+					}
+					host := env.Rebuild()
+					if err := stack.recover(host, rec2); err != nil {
+						t.Fatalf("recovery: %v", err)
+					}
+
+					if got := confirmationRows(t, host); !sameRows(got, want) {
+						t.Fatalf("recovered confirmations diverge from baseline:\n got %v\nwant %v", got, want)
+					}
+					ledgerMatches(t, host, want)
+					if got := inserts.Seen(); got != items {
+						t.Fatalf("%d INSERT executions across crash+recovery, want %d (memoized replay must not re-run SQL)", got, items)
+					}
+					if stack.useBus {
+						if got := env.Bus.Attempts(); got != int64(items) {
+							t.Fatalf("%d supplier invocations dispatched, want %d (memoized replay must not re-invoke)", got, items)
+						}
+					}
+					if n := len(rec2.InFlight()); n != 0 {
+						t.Fatalf("journal still holds %d in-flight instances after recovery", n)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestCrashRecoveryBISShortRunning covers the transaction-mode row of the
+// recovery matrix: in a short-running BIS process the whole instance is
+// one unit of work, so a crash rolls the open transaction back server-side
+// (nothing visible survives) and the journal drops the un-committed SQL
+// memos — the SQL re-runs as a whole on recovery, while the durable invoke
+// memos still replay (an external service's effects do not roll back).
+func TestCrashRecoveryBISShortRunning(t *testing.T) {
+	w := Workload{Orders: 18, Items: 4, ApprovalPercent: 100, Seed: 3}
+	want := baselineRows(t, w, func(env *Environment) error { return env.RunFigure4BIS() })
+	items := len(want)
+
+	env := NewEnvironment(w)
+	inserts := &chaos.SQLFaultPlan{Kinds: []string{"INSERT"}}
+	chaos.InstallSQL(env.DB, inserts)
+	defer chaos.InstallSQL(env.DB, nil)
+
+	dir := t.TempDir()
+	rec := openJournal(t, dir)
+	env.Engine.AttachJournal(rec)
+	// Crash after the third invoke: two confirmations are already
+	// inserted inside the open transaction.
+	plan := &chaos.CrashPlan{Point: journal.CrashAfterEffect, Activity: "invoke", AtEffect: 3}
+	chaos.Crash(rec, plan)
+
+	p := env.BuildFigure4BISResilient(ResilienceConfig{})
+	p.Mode = engine.ShortRunning
+	d, err := env.Engine.Deploy(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Run(nil); !journal.IsCrash(err) {
+		t.Fatalf("want a crash error, got %v", err)
+	}
+	crashInserts := inserts.Seen()
+	if crashInserts < 2 {
+		t.Fatalf("crash run executed %d inserts before dying, want >= 2", crashInserts)
+	}
+	if n := env.ConfirmationCount(); n != 0 {
+		t.Fatalf("crash leaked %d confirmations (open transaction must roll back server-side)", n)
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rec2 := openJournal(t, dir)
+	defer rec2.Close()
+	inflight := rec2.InFlight()
+	if len(inflight) != 1 {
+		t.Fatalf("want 1 in-flight instance, got %d", len(inflight))
+	}
+	// The un-committed SQL memos are gone; the durable invoke memos stay.
+	for act, memos := range inflight[0].Memos {
+		for _, m := range memos {
+			if m.Kind != journal.EffectInvoke {
+				t.Fatalf("journal kept un-committed %s memo for %s across the crash", m.Kind, act)
+			}
+		}
+	}
+
+	host := env.Rebuild()
+	host.Engine.AttachJournal(rec2)
+	p2 := host.BuildFigure4BISResilient(ResilienceConfig{})
+	p2.Mode = engine.ShortRunning
+	d2, err := host.Engine.Deploy(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := engine.Recover(rec2, map[string]*engine.Deployment{"Figure4": d2}); err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+
+	if got := confirmationRows(t, host); !sameRows(got, want) {
+		t.Fatalf("recovered confirmations diverge:\n got %v\nwant %v", got, want)
+	}
+	ledgerMatches(t, host, want)
+	// The rolled-back inserts re-ran as part of the unit of work; the
+	// invokes did not.
+	if got := inserts.Seen(); got != crashInserts+items {
+		t.Fatalf("%d INSERT executions total, want %d (whole-unit re-run)", got, crashInserts+items)
+	}
+	if got := env.Bus.Attempts(); got != int64(items) {
+		t.Fatalf("%d supplier invocations, want %d (durable invoke memos must replay)", got, items)
+	}
+}
+
+// TestCrashRecoveryBISAtomicSequence crashes inside an atomic SQL
+// sequence: the journaled SQL memo is transaction-scoped and never
+// committed, so recovery discards it and re-runs the whole atomic unit.
+func TestCrashRecoveryBISAtomicSequence(t *testing.T) {
+	w := Workload{Orders: 18, Items: 4, ApprovalPercent: 100, Seed: 3}
+	want := baselineRows(t, w, func(env *Environment) error { return env.RunFigure4BIS() })
+	items := len(want)
+
+	build := func(env *Environment) *engine.Process {
+		sql1 := bis.NewSQL("SQL1", "DS",
+			`SELECT ItemID, SUM(Quantity) AS Quantity FROM #SR_Orders#
+			 WHERE Approved = TRUE GROUP BY ItemID ORDER BY ItemID`).
+			Into("SR_ItemList")
+		invoke := engine.NewInvoke("invoke", "OrderFromSupplier").
+			In("ItemID", "$CurrentItem/ItemID").
+			In("Quantity", "$CurrentItem/Quantity").
+			Out("OrderConfirmation", "OrderConfirmation")
+		sql2 := bis.NewSQL("SQL2", "DS",
+			`INSERT INTO #SR_OrderConfirmations# (ItemID, Quantity, Confirmation)
+			 VALUES (#CurrentItemID#, #CurrentQuantity#, #OrderConfirmation#)`)
+		body := engine.NewSequence("main",
+			bis.NewAtomicSequence("atomicHead",
+				sql1,
+				bis.NewRetrieveSet("retrieveSet", "DS", "SR_ItemList", "SV_ItemList"),
+			),
+			bis.CursorLoop("cursor", "SV_ItemList", "CurrentItem", "pos",
+				engine.NewSequence("loopBody",
+					engine.NewAssign("extract").
+						Copy("$CurrentItem/ItemID", "CurrentItemID").
+						Copy("$CurrentItem/Quantity", "CurrentQuantity"),
+					invoke,
+					sql2,
+				)),
+		)
+		return bis.NewProcess("Figure4Atomic").
+			DataSourceVariable("DS", DataSourceName).
+			InputSetReference("SR_Orders", "Orders").
+			InputSetReference("SR_OrderConfirmations", "OrderConfirmations").
+			ResultSetReference("SR_ItemList").
+			XMLVariable("SV_ItemList", "").
+			XMLVariable("CurrentItem", "").
+			Variable("CurrentItemID", "").
+			Variable("CurrentQuantity", "").
+			Variable("OrderConfirmation", "").
+			Variable("pos", "1").
+			Body(body).
+			Build()
+	}
+
+	env := NewEnvironment(w)
+	dir := t.TempDir()
+	rec := openJournal(t, dir)
+	env.Engine.AttachJournal(rec)
+	// Die right after SQL1's effect, with the atomic transaction open: the
+	// memo was journaled but its transaction never committed.
+	plan := &chaos.CrashPlan{Point: journal.CrashAfterEffect, Activity: "SQL1", AtEffect: 1}
+	chaos.Crash(rec, plan)
+	d, err := env.Engine.Deploy(build(env))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Run(nil); !journal.IsCrash(err) {
+		t.Fatalf("want a crash error, got %v", err)
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rec2 := openJournal(t, dir)
+	defer rec2.Close()
+	inflight := rec2.InFlight()
+	if len(inflight) != 1 {
+		t.Fatalf("want 1 in-flight instance, got %d", len(inflight))
+	}
+	if n := inflight[0].MemoCount(); n != 0 {
+		t.Fatalf("journal kept %d memo(s) from the un-committed atomic unit, want 0", n)
+	}
+
+	host := env.Rebuild()
+	host.Engine.AttachJournal(rec2)
+	d2, err := host.Engine.Deploy(build(host))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := engine.Recover(rec2, map[string]*engine.Deployment{"Figure4Atomic": d2}); err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	if got := confirmationRows(t, host); !sameRows(got, want) {
+		t.Fatalf("recovered confirmations diverge:\n got %v\nwant %v", got, want)
+	}
+	ledgerMatches(t, host, want)
+	if got := env.Bus.Attempts(); got != int64(items) {
+		t.Fatalf("%d supplier invocations, want %d", got, items)
+	}
+}

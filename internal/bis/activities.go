@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"wfsql/internal/engine"
+	"wfsql/internal/journal"
 	"wfsql/internal/resilience"
 	"wfsql/internal/rowset"
 	"wfsql/internal/sqldb"
@@ -51,12 +52,56 @@ func (a *SQLActivity) WithRetry(p *resilience.Policy) *SQLActivity {
 // Name implements engine.Activity.
 func (a *SQLActivity) Name() string { return a.ActivityName }
 
-// Execute implements engine.Activity.
+// Execute implements engine.Activity. The statement (with its retry
+// policy) runs as one journaled SQL effect: the memo records the bound
+// result table (if any), so a recovered instance re-binds the set
+// reference without re-executing the statement. The memo is durable
+// immediately in autocommit mode; inside a transaction it stays pending
+// in the journal until the COMMIT record lands, so un-committed work
+// re-runs as a whole on recovery (unit-of-work semantics).
 func (a *SQLActivity) Execute(ctx *engine.Ctx) error {
 	st, err := getState(ctx)
 	if err != nil {
 		return err
 	}
+	effect := func() (map[string]string, error) {
+		if err := a.executeLive(ctx, st); err != nil {
+			return nil, err
+		}
+		memo := map[string]string{}
+		if a.ResultRef != "" {
+			if ref, err := SetReference(ctx, a.ResultRef); err == nil {
+				st.mu.Lock()
+				memo["table"] = ref.Table
+				st.mu.Unlock()
+			}
+		}
+		return memo, nil
+	}
+	replay := func(memo map[string]string) error {
+		if a.ResultRef == "" || memo["table"] == "" {
+			return nil
+		}
+		// The result table survived the crash (tables are entities, not
+		// transaction-scoped rows): re-bind the reference and restore
+		// the default cleanup so normal completion still drops it.
+		ref, err := SetReference(ctx, a.ResultRef)
+		if err != nil {
+			return err
+		}
+		st.mu.Lock()
+		ref.Table = memo["table"]
+		if ref.Cleanup == "" {
+			ref.Cleanup = "DROP TABLE IF EXISTS {TABLE}"
+		}
+		st.mu.Unlock()
+		return nil
+	}
+	return ctx.RunEffect(a.ActivityName, journal.EffectSQL, effect, replay)
+}
+
+// executeLive performs the statement with retry handling (no journaling).
+func (a *SQLActivity) executeLive(ctx *engine.Ctx, st *state) error {
 	db, err := st.resolveDB(ctx, a.DataSource)
 	if err != nil {
 		return fmt.Errorf("%s: %w", a.ActivityName, err)
@@ -312,9 +357,18 @@ func (a *AtomicSQLSequence) Execute(ctx *engine.Ctx) error {
 	} else {
 		obs := sqlObserver(ctx, a.ActivityName, a.Retry)
 		fault = a.Retry.DoErr(obs, func(attempt int) error { return run() })
+		// A simulated crash classifies as permanent (the process is
+		// dead, not retrying); surface the raw crash error so the
+		// engine treats it as process death rather than a fault.
+		if ce, ok := journal.AsCrash(fault); ok {
+			return ce
+		}
 		if ab := resilience.Abandoned(fault); ab != nil {
 			return &engine.Fault{Name: engine.FaultRetryExhausted, Activity: a.ActivityName, Wrapped: ab}
 		}
+	}
+	if ce, ok := journal.AsCrash(fault); ok {
+		return ce
 	}
 	if fault != nil {
 		return fmt.Errorf("%s: %w", a.ActivityName, fault)

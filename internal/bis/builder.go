@@ -176,7 +176,13 @@ func (b *ProcessBuilder) Build() *engine.Process {
 		for k, v := range dsvars {
 			st.dsvars[k] = v
 		}
+		st.jrec = ctx.Engine.Journal()
+		st.instID = ctx.Inst.ID
 		ctx.Inst.SetContext(stateKey, st)
+		// On simulated process death the database rolls back whatever
+		// transactions the instance still had open (connection loss),
+		// mirroring what recovery assumes about un-journaled COMMITs.
+		ctx.Inst.OnCrash(st.abort)
 
 		// Preparation statements run before the body, outside the process
 		// transaction (they manage database entities, not business data).

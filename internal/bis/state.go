@@ -18,6 +18,7 @@ import (
 	"sync"
 
 	"wfsql/internal/engine"
+	"wfsql/internal/journal"
 	"wfsql/internal/sqldb"
 )
 
@@ -59,6 +60,28 @@ type state struct {
 	inTxn    map[*sqldb.DB]bool
 	atomic   int // depth of atomic SQL sequences
 	mode     engine.TransactionMode
+
+	// Durability wiring: with a journal attached, transaction
+	// boundaries (BEGIN/COMMIT/ROLLBACK) are written ahead so recovery
+	// knows which SQL memos are durable (committed) and which belong
+	// to a unit of work that must re-run as a whole.
+	jrec   *journal.Recorder
+	instID int64
+}
+
+// journalTxn appends a transaction-boundary record (best effort).
+func (st *state) journalTxn(kind journal.Kind, label string) {
+	if st.jrec == nil {
+		return
+	}
+	switch kind {
+	case journal.KindTxnBegin:
+		_ = st.jrec.TxnBegin(st.instID, label)
+	case journal.KindTxnCommit:
+		_ = st.jrec.TxnCommit(st.instID, label)
+	case journal.KindTxnRollback:
+		_ = st.jrec.TxnRollback(st.instID, label)
+	}
 }
 
 func getState(ctx *engine.Ctx) (*state, error) {
@@ -150,6 +173,7 @@ func (st *state) sessionFor(db *sqldb.DB) *sqldb.Session {
 	if needTxn && !st.inTxn[db] {
 		if _, err := s.Exec("BEGIN"); err == nil {
 			st.inTxn[db] = true
+			st.journalTxn(journal.KindTxnBegin, st.modeLabelLocked())
 		}
 	}
 	return s
@@ -168,6 +192,10 @@ func (st *state) transactional() bool {
 func (st *state) modeLabel() string {
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	return st.modeLabelLocked()
+}
+
+func (st *state) modeLabelLocked() string {
 	if st.mode == engine.ShortRunning {
 		return "short-running"
 	}
@@ -186,11 +214,17 @@ func (st *state) enterAtomic() {
 
 // exitAtomic ends an atomic region, committing (or rolling back) every
 // transaction opened inside it. Short-running processes already run in a
-// single process-wide transaction, so nothing is ended early.
+// single process-wide transaction, so nothing is ended early. A
+// simulated crash skips the boundary entirely: a dead process commits
+// nothing, journals nothing, and the crash hook (abort) models the
+// server-side rollback of its dangling connections.
 func (st *state) exitAtomic(fault error) error {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	st.atomic--
+	if journal.IsCrash(fault) {
+		return nil
+	}
 	if st.mode == engine.ShortRunning || st.atomic > 0 {
 		return nil
 	}
@@ -201,14 +235,18 @@ func (st *state) exitAtomic(fault error) error {
 		}
 		if fault != nil {
 			s.Rollback()
+			st.journalTxn(journal.KindTxnRollback, "atomic-sequence")
 		} else if _, err := s.Exec("COMMIT"); err != nil {
 			// A failed commit leaves the transaction in doubt; resolve
 			// it by rolling back so a unit-of-work retry starts from a
 			// clean state instead of replaying on top of live changes.
 			s.Rollback()
+			st.journalTxn(journal.KindTxnRollback, "atomic-sequence")
 			if firstErr == nil {
 				firstErr = err
 			}
+		} else {
+			st.journalTxn(journal.KindTxnCommit, "atomic-sequence")
 		}
 		st.inTxn[db] = false
 	}
@@ -225,10 +263,31 @@ func (st *state) finish(fault error) {
 		}
 		if fault != nil {
 			s.Rollback()
+			st.journalTxn(journal.KindTxnRollback, "short-running")
 		} else if _, err := s.Exec("COMMIT"); err != nil {
 			s.Rollback() // resolve the in-doubt transaction
+			st.journalTxn(journal.KindTxnRollback, "short-running")
+		} else {
+			st.journalTxn(journal.KindTxnCommit, "short-running")
 		}
 		st.inTxn[db] = false
+	}
+}
+
+// abort models what the database does when the process dies: every open
+// transaction's connection is gone, so the server rolls the work back.
+// Nothing is journaled — a crashed process cannot write — which is
+// exactly why the journal scan treats an open transaction at the end of
+// history as rolled back (its pending SQL memos are dropped and the
+// unit of work re-runs on recovery).
+func (st *state) abort() {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for db, s := range st.sessions {
+		if st.inTxn[db] {
+			s.Rollback()
+			st.inTxn[db] = false
+		}
 	}
 }
 

@@ -48,6 +48,11 @@ type FaultPlan struct {
 	// ErrText overrides the injected error text.
 	ErrText string
 
+	// mu guards every mutable field below. rand.Rand is NOT safe for
+	// concurrent use, and a decorated service is routinely invoked from
+	// parallel workflow branches, so rng must only ever be touched with
+	// mu held (decide owns the only access). TestFaultPlanConcurrentUse
+	// pins this invariant under the race detector.
 	mu       sync.Mutex
 	rng      *rand.Rand
 	seed     int64

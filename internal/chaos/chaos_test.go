@@ -2,9 +2,12 @@ package chaos
 
 import (
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
+	"wfsql/internal/journal"
 	"wfsql/internal/resilience"
 	"wfsql/internal/sqldb"
 	"wfsql/internal/wsbus"
@@ -227,5 +230,76 @@ func TestPlanWithRetryPolicy(t *testing.T) {
 	}
 	if bus.Attempts() != 4 || bus.Successes() != 1 {
 		t.Fatalf("attempts=%d successes=%d, want 4/1", bus.Attempts(), bus.Successes())
+	}
+}
+
+// TestFaultPlanConcurrentUse pins the FaultPlan locking invariant: the
+// plan's rand.Rand (and its counters) are only ever touched under the
+// plan mutex, so a decorated service hammered from parallel workflow
+// branches stays race-free. Run under -race, any unguarded rng access
+// fails the build.
+func TestFaultPlanConcurrentUse(t *testing.T) {
+	p := NewFaultPlan(42)
+	p.FailFirst = 5
+	p.FailRate = 0.25 // force the rng path on every later call
+	h := p.WrapHandler(echoHandler)
+
+	const workers, perWorker = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				_, _ = h(wsbus.Message{"x": "y"})
+				_ = p.Calls()
+				_ = p.Injected()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := p.Calls(); got != workers*perWorker {
+		t.Fatalf("calls = %d, want %d (lost updates under concurrency)", got, workers*perWorker)
+	}
+	if p.Injected() < p.FailFirst {
+		t.Fatalf("injected = %d, want >= %d", p.Injected(), p.FailFirst)
+	}
+}
+
+// TestCrashPlanOneShot: a crash plan fires on exactly one matching
+// check — the AtEffect-th — even when checks race from parallel
+// branches.
+func TestCrashPlanOneShot(t *testing.T) {
+	p := &CrashPlan{Point: journal.CrashAfterEffect, Activity: "invoke", AtEffect: 3}
+	inj := p.Injector()
+
+	if inj(1, "invoke", journal.CrashBeforeJournal) {
+		t.Fatal("fired on the wrong crash point")
+	}
+	if inj(1, "SQL2", journal.CrashAfterEffect) {
+		t.Fatal("fired on the wrong activity")
+	}
+	var fired int32
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				if inj(1, "invoke", journal.CrashAfterEffect) {
+					atomic.AddInt32(&fired, 1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if fired != 1 {
+		t.Fatalf("crash plan fired %d times, want exactly 1", fired)
+	}
+	if !p.Fired() {
+		t.Fatal("Fired() = false after firing")
+	}
+	if p.Seen() != 3 {
+		t.Fatalf("Seen() = %d, want 3 (counting stops once fired)", p.Seen())
 	}
 }

@@ -1,0 +1,82 @@
+package chaos
+
+import (
+	"sync"
+
+	"wfsql/internal/journal"
+)
+
+// CrashPlan kills the workflow host at one of the journal protocol's
+// three crash points. Unlike the fault plans in this package — whose
+// injected errors model a *dependency* failing and therefore engage
+// retry and fault-handling semantics — a crash plan models the host
+// process itself dying: the resulting journal.CrashError is permanent,
+// bypasses fault handlers, and leaves the instance to be recovered from
+// its journal by a fresh host.
+//
+// The plan fires exactly once: on the AtEffect-th (1-based) crash-point
+// check that matches Point and (optionally) Activity. Counting is per
+// crash point, so AtEffect numbers effect executions, not protocol
+// steps.
+type CrashPlan struct {
+	// Point selects which protocol step to die at.
+	Point journal.CrashPoint
+	// Activity restricts the plan to one activity name ("" = any).
+	Activity string
+	// AtEffect is the 1-based index of the matching check to crash on
+	// (0 behaves like 1: crash on the first match).
+	AtEffect int
+
+	mu    sync.Mutex
+	seen  int
+	fired bool
+}
+
+// Injector returns the plan as a one-shot journal.CrashInjector.
+func (p *CrashPlan) Injector() journal.CrashInjector {
+	return func(instance int64, activity string, point journal.CrashPoint) bool {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		if p.fired || point != p.Point {
+			return false
+		}
+		if p.Activity != "" && activity != p.Activity {
+			return false
+		}
+		p.seen++
+		at := p.AtEffect
+		if at <= 0 {
+			at = 1
+		}
+		if p.seen < at {
+			return false
+		}
+		p.fired = true
+		return true
+	}
+}
+
+// Fired reports whether the plan's crash has been injected.
+func (p *CrashPlan) Fired() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.fired
+}
+
+// Seen returns how many matching crash-point checks the plan observed
+// (including the one it fired on).
+func (p *CrashPlan) Seen() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.seen
+}
+
+// Crash installs the plan on a journal recorder. Pass a nil plan to
+// remove injection.
+func Crash(rec *journal.Recorder, p *CrashPlan) {
+	if p == nil {
+		rec.SetCrashInjector(nil)
+		return
+	}
+	rec.SetCrashInjector(p.Injector())
+}

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"wfsql/internal/journal"
 	"wfsql/internal/resilience"
 	"wfsql/internal/wsbus"
 	"wfsql/internal/xdm"
@@ -96,6 +97,14 @@ func (f *Flow) Execute(ctx *Ctx) error {
 		}(i, c)
 	}
 	wg.Wait()
+	// A simulated crash in any branch takes precedence over ordinary
+	// branch faults: the whole process died, so fault handling must not
+	// run for the sibling errors.
+	for _, err := range errs {
+		if journal.IsCrash(err) {
+			return err
+		}
+	}
 	for _, err := range errs {
 		if err != nil {
 			return err
@@ -411,8 +420,46 @@ func (iv *Invoke) WithDeadLetter(keyExpr string, absorb bool) *Invoke {
 // Name implements Activity.
 func (iv *Invoke) Name() string { return iv.ActivityName }
 
-// Execute implements Activity.
+// Execute implements Activity. The whole call — input evaluation, bus
+// invocation under the retry policy, dead-letter handling, and output
+// binding — runs as one journaled effect: its memo records the final
+// output variable values (including degraded DEADLETTERED markers), so
+// a recovered instance replays the response without re-invoking the
+// service. Exactly-once for external effects means exactly-once
+// *visible* effects: the memo is written only after the call returned,
+// so a crash between effect and journal re-runs the call on recovery —
+// the same at-least-once window every durable-execution system has —
+// while a crash after journaling replays without touching the bus.
 func (iv *Invoke) Execute(ctx *Ctx) error {
+	effect := func() (map[string]string, error) {
+		if err := iv.executeLive(ctx); err != nil {
+			return nil, err
+		}
+		memo := map[string]string{}
+		for _, varName := range iv.Outputs {
+			v, err := ctx.Variable(varName)
+			if err != nil {
+				return nil, err
+			}
+			memo["out:"+varName] = v.String()
+		}
+		return memo, nil
+	}
+	replay := func(memo map[string]string) error {
+		for k, v := range memo {
+			if strings.HasPrefix(k, "out:") {
+				if err := ctx.SetScalar(strings.TrimPrefix(k, "out:"), v); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	return ctx.RunEffect(iv.ActivityName, journal.EffectInvoke, effect, replay)
+}
+
+// executeLive performs the actual service invocation (no journaling).
+func (iv *Invoke) executeLive(ctx *Ctx) error {
 	if ctx.Engine.Bus == nil {
 		return fmt.Errorf("%s: engine has no service bus", iv.ActivityName)
 	}
@@ -602,6 +649,12 @@ func (s *Scope) Name() string { return s.ActivityName }
 func (s *Scope) Execute(ctx *Ctx) error {
 	sub := &Ctx{Inst: ctx.Inst, Engine: ctx.Engine, scope: &scopeFrame{parent: ctx.scope, name: s.ActivityName}}
 	err := execChild(sub, s.Body)
+	// A simulated crash is process death: a real crashed process runs
+	// neither fault handlers nor finally blocks, so the crash error
+	// propagates untouched and recovery handles the aftermath.
+	if journal.IsCrash(err) {
+		return err
+	}
 	faulted := err != nil
 	if err != nil && s.FaultHandler != nil {
 		ctx.Inst.recordTrace(s.ActivityName, "fault-handled", err.Error())
@@ -639,7 +692,15 @@ func (c *Compensate) Execute(ctx *Ctx) error {
 		}
 		ctx.Inst.recordTrace(c.ActivityName, "compensating", scopeName)
 		if err := execChild(ctx, handler); err != nil {
+			if journal.IsCrash(err) {
+				return err
+			}
 			return fmt.Errorf("%s: compensating %s: %w", c.ActivityName, scopeName, err)
+		}
+		if rec := ctx.Inst.Engine.Journal(); rec != nil {
+			if err := rec.Compensation(ctx.Inst.ID, scopeName); err != nil {
+				return err
+			}
 		}
 	}
 }

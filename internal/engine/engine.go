@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"wfsql/internal/journal"
 	"wfsql/internal/resilience"
 	"wfsql/internal/sqldb"
 	"wfsql/internal/wsbus"
@@ -61,6 +62,7 @@ type Engine struct {
 	dataSources map[string]*sqldb.DB
 	nextID      atomic.Int64
 	listeners   []func(instanceID int64, ev TraceEvent)
+	jrec        *journal.Recorder
 }
 
 // AddTraceListener registers a monitoring callback invoked for every
@@ -152,14 +154,35 @@ func (e *Engine) Deploy(p *Process) (*Deployment, error) {
 			return nil, fmt.Errorf("engine: process %s contains an unnamed activity", p.Name)
 		}
 	}
+	if rec := e.Journal(); rec != nil {
+		if err := rec.Deploy(p.Name); err != nil {
+			return nil, err
+		}
+	}
 	return &Deployment{Process: p, Engine: e}, nil
 }
 
 // NewInstance instantiates the deployment, initializing declared
-// variables and binding input values to scalar variables.
+// variables and binding input values to scalar variables. With a
+// journal attached, the instance ID is allocated durably and an
+// instance-created record (input message + transaction mode) is
+// journaled so a crashed instance can be re-instantiated on recovery.
 func (d *Deployment) NewInstance(input map[string]string) (*Instance, error) {
+	var id int64
+	if rec := d.Engine.Journal(); rec != nil {
+		id = rec.AllocateID()
+	} else {
+		id = d.Engine.nextID.Add(1)
+	}
+	return d.newInstance(id, input, true)
+}
+
+// newInstance builds an instance with a fixed ID; journalCreate
+// controls whether an instance-created record is appended (false when
+// resuming a recovered instance whose creation is already journaled).
+func (d *Deployment) newInstance(id int64, input map[string]string, journalCreate bool) (*Instance, error) {
 	in := &Instance{
-		ID:      d.Engine.nextID.Add(1),
+		ID:      id,
 		Process: d.Process,
 		Engine:  d.Engine,
 		vars:    map[string]*Variable{},
@@ -196,6 +219,13 @@ func (d *Deployment) NewInstance(input map[string]string) (*Instance, error) {
 				return nil, fmt.Errorf("engine: input %s does not match a declared variable", k)
 			}
 			pv.SetString(v)
+		}
+	}
+	if journalCreate {
+		if rec := d.Engine.Journal(); rec != nil {
+			if err := rec.InstanceCreated(in.ID, d.Process.Name, d.Process.Mode.String(), in.input); err != nil {
+				return nil, err
+			}
 		}
 	}
 	return in, nil
@@ -271,6 +301,23 @@ func (e *Engine) execute(in *Instance) error {
 		err = execChild(ctx, in.Process.Body)
 	}
 
+	// A simulated crash is process death, not a fault: no completion
+	// callbacks run (their cleanup would destroy state recovery needs),
+	// nothing more is journaled, and only the OnCrash hooks fire to
+	// model what the *database* does when the process's connections die
+	// (open transactions roll back server-side).
+	if journal.IsCrash(err) {
+		in.mu.Lock()
+		hooks := append([]func(){}, in.crashHooks...)
+		in.state = StateCrashed
+		in.fault = err
+		in.mu.Unlock()
+		for i := len(hooks) - 1; i >= 0; i-- {
+			hooks[i]()
+		}
+		return err
+	}
+
 	in.mu.Lock()
 	callbacks := append([]func(error){}, in.done...)
 	in.mu.Unlock()
@@ -286,6 +333,15 @@ func (e *Engine) execute(in *Instance) error {
 		in.state = StateCompleted
 	}
 	in.mu.Unlock()
+	if rec := e.Journal(); rec != nil {
+		fault := ""
+		if err != nil {
+			fault = err.Error()
+		}
+		if jerr := rec.InstanceComplete(in.ID, fault); jerr != nil && err == nil {
+			err = jerr
+		}
+	}
 	return err
 }
 

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"wfsql/internal/journal"
 	"wfsql/internal/xdm"
 	"wfsql/internal/xpath"
 )
@@ -13,12 +14,15 @@ import (
 // InstanceState is the lifecycle state of a process instance.
 type InstanceState int
 
-// Instance lifecycle states.
+// Instance lifecycle states. StateCrashed marks a simulated process
+// death (chaos crash point): unlike a fault, no handlers or cleanup
+// ran, and the instance is recoverable from the journal.
 const (
 	StateReady InstanceState = iota
 	StateRunning
 	StateCompleted
 	StateFaulted
+	StateCrashed
 )
 
 // String returns the state name.
@@ -32,6 +36,8 @@ func (s InstanceState) String() string {
 		return "completed"
 	case StateFaulted:
 		return "faulted"
+	case StateCrashed:
+		return "crashed"
 	}
 	return "unknown"
 }
@@ -61,6 +67,15 @@ type Instance struct {
 	comp    []compensation // completed scopes' compensation handlers (LIFO)
 	input   map[string]string
 	output  map[string]string
+
+	// Durable-execution state: replay queues (memoized effect results
+	// loaded from the journal on Resume, consumed FIFO per activity),
+	// per-activity occurrence counters, and crash hooks (run on
+	// simulated process death to model server-side rollback of the
+	// instance's open database transactions).
+	replay     map[string][]journal.Memo
+	occs       map[string]int
+	crashHooks []func()
 }
 
 // InputMessage returns the message the instance was started with.
@@ -186,6 +201,59 @@ func (in *Instance) OnComplete(fn func(err error)) {
 	in.done = append(in.done, fn)
 }
 
+// OnCrash registers a hook invoked (in reverse registration order) when
+// the instance dies at a simulated crash point. Unlike OnComplete
+// callbacks, crash hooks must only model what happens server-side when
+// the process vanishes — e.g. the database rolling back transactions
+// whose connections died — never cleanup that a real crashed process
+// could not have performed.
+func (in *Instance) OnCrash(fn func()) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.crashHooks = append(in.crashHooks, fn)
+}
+
+// takeReplay pops the next memoized result for the activity, if the
+// instance is replaying recovered history. Memos are consumed FIFO per
+// activity name so loop iterations line up in execution order.
+func (in *Instance) takeReplay(activity string) (journal.Memo, bool) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	q := in.replay[activity]
+	if len(q) == 0 {
+		return journal.Memo{}, false
+	}
+	m := q[0]
+	in.replay[activity] = q[1:]
+	return m, true
+}
+
+// nextOccurrence increments and returns the per-activity occurrence
+// counter (1-based), used to label journal records across loop
+// iterations.
+func (in *Instance) nextOccurrence(activity string) int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.occs == nil {
+		in.occs = map[string]int{}
+	}
+	in.occs[activity]++
+	return in.occs[activity]
+}
+
+// Replaying reports whether any memoized results remain queued (the
+// instance is still in the replay phase of recovery).
+func (in *Instance) Replaying() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for _, q := range in.replay {
+		if len(q) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
 // Trace returns a copy of the recorded trace events.
 func (in *Instance) Trace() []TraceEvent {
 	in.mu.Lock()
@@ -229,13 +297,15 @@ type scopeFrame struct {
 func (c *Ctx) Variable(name string) (*Variable, error) { return c.Inst.Variable(name) }
 
 // SetScalar sets a scalar variable (declaring it if necessary is an error;
-// BPEL requires declaration).
+// BPEL requires declaration). With a journal attached the write is
+// recorded as a variable-write audit record.
 func (c *Ctx) SetScalar(name, value string) error {
 	v, err := c.Inst.Variable(name)
 	if err != nil {
 		return err
 	}
 	v.SetString(value)
+	c.journalVar("s:"+name, value)
 	return nil
 }
 
@@ -246,7 +316,18 @@ func (c *Ctx) SetNode(name string, n *xdm.Node) error {
 		return err
 	}
 	v.SetNode(n)
+	if n != nil {
+		c.journalVar("x:"+name, n.String())
+	}
 	return nil
+}
+
+// journalVar appends a variable-write record (best effort; the write
+// is an audit trail — replay recomputes variables deterministically).
+func (c *Ctx) journalVar(name, value string) {
+	if rec := c.Inst.Engine.Journal(); rec != nil {
+		_ = rec.VariableWrite(c.Inst.ID, name, value)
+	}
 }
 
 // XPathContext builds an XPath evaluation context over the instance's

@@ -1,0 +1,254 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"wfsql/internal/journal"
+	"wfsql/internal/resilience"
+	"wfsql/internal/xdm"
+)
+
+// This file wires the engine to the durable instance journal
+// (internal/journal): the runtime-database role the paper ascribes to
+// BIS's navigator. With a journal attached, every instance creation,
+// effectful activity result, variable write, compensation, dead letter
+// and completion is written ahead to the WAL, and crashed instances
+// can be resumed by deterministic replay: completed effects are
+// re-applied from their memoized results (no duplicated side effects),
+// and execution picks up live at the first un-journaled activity.
+
+// AttachJournal connects a recorder to the engine. It restores the
+// persisted dead-letter log and installs persistence hooks so future
+// dead letters (and requeues) are journaled.
+func (e *Engine) AttachJournal(rec *journal.Recorder) {
+	e.mu.Lock()
+	e.jrec = rec
+	e.mu.Unlock()
+	if rec == nil || e.DeadLetters == nil {
+		return
+	}
+	restoreDeadLetters(e.DeadLetters, rec)
+}
+
+// Journal returns the attached recorder (nil when running purely in
+// memory).
+func (e *Engine) Journal() *journal.Recorder {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.jrec
+}
+
+// restoreDeadLetters seeds a dead-letter log from the journal's
+// persisted records and installs the persist/remove hooks. Shared by
+// the BPEL engine and the WF runtime.
+func restoreDeadLetters(log *resilience.DeadLetterLog, rec *journal.Recorder) {
+	var entries []resilience.DeadLetter
+	for _, d := range rec.DeadLetters() {
+		entries = append(entries, resilience.DeadLetter{
+			Seq:      int(d.Seq),
+			Activity: d.Activity,
+			Target:   d.Target,
+			Key:      d.Key,
+			Attempts: d.Attempts,
+			Reason:   d.Reason,
+			LastErr:  d.LastErr,
+		})
+	}
+	log.Restore(entries)
+	log.SetPersistence(
+		func(dl resilience.DeadLetter) {
+			_ = rec.DeadLetter(0, journal.DeadLetterRecord{
+				Seq:      int64(dl.Seq),
+				Time:     dl.Time.UTC().Format("2006-01-02T15:04:05.999999999Z"),
+				Activity: dl.Activity,
+				Target:   dl.Target,
+				Key:      dl.Key,
+				Attempts: dl.Attempts,
+				Reason:   dl.Reason,
+				LastErr:  dl.LastErr,
+			})
+		},
+		func(key string) { _ = rec.RequeueDeadLetter(key) },
+	)
+}
+
+// RunEffect is the journal-then-effect protocol every effectful
+// activity (invoke, SQL) routes through.
+//
+// Replay mode: if the instance was resumed from a journal and a memo
+// for this activity is queued, the effect is NOT executed; replay
+// re-applies the memoized result and the activity completes with
+// identical visible state and zero repeated side effects.
+//
+// Live mode: the three chaos crash points bracket the two writes —
+//
+//	crash?(before-journal)
+//	journal activity-start
+//	crash?(after-journal-before-effect)
+//	effect()                      -> memo
+//	journal activity-complete(memo)
+//	crash?(after-effect)
+//
+// so recovery semantics are exercised at every interleaving a real
+// crash can produce. With no journal attached the effect runs bare.
+func (c *Ctx) RunEffect(activity, effectKind string, effect func() (map[string]string, error), replay func(memo map[string]string) error) error {
+	in := c.Inst
+	occ := in.nextOccurrence(activity)
+	if m, ok := in.takeReplay(activity); ok {
+		if err := replay(m.Data); err != nil {
+			return fmt.Errorf("%s: replay: %w", activity, err)
+		}
+		in.recordTrace(activity, "replayed", fmt.Sprintf("occurrence %d from journal", occ))
+		return nil
+	}
+	rec := in.Engine.Journal()
+	if rec == nil {
+		_, err := effect()
+		return err
+	}
+	if ce := rec.ShouldCrash(in.ID, activity, journal.CrashBeforeJournal); ce != nil {
+		return ce
+	}
+	if err := rec.ActivityStart(in.ID, activity, occ, effectKind); err != nil {
+		return err
+	}
+	if ce := rec.ShouldCrash(in.ID, activity, journal.CrashAfterJournalBeforeEffect); ce != nil {
+		return ce
+	}
+	memo, err := effect()
+	if err != nil {
+		return err
+	}
+	if err := rec.ActivityComplete(in.ID, activity, occ, effectKind, memo); err != nil {
+		return err
+	}
+	if ce := rec.ShouldCrash(in.ID, activity, journal.CrashAfterEffect); ce != nil {
+		return ce
+	}
+	return nil
+}
+
+// JournaledActivity wraps an arbitrary activity as a journaled effect:
+// on completion the listed variables are captured into the memo, and on
+// replay they are restored without re-executing the inner activity.
+// This is how effects embedded in otherwise-generic activities (e.g.
+// Oracle's ora:processXSQL inside an Assign) become exactly-once.
+type JournaledActivity struct {
+	Inner      Activity
+	EffectKind string
+	Captures   []string
+}
+
+// Journaled wraps inner as a journaled effect capturing the named
+// variables.
+func Journaled(inner Activity, effectKind string, captures ...string) *JournaledActivity {
+	return &JournaledActivity{Inner: inner, EffectKind: effectKind, Captures: captures}
+}
+
+// Name implements Activity (transparent: the wrapper keeps the inner
+// activity's name so journal records and traces line up).
+func (j *JournaledActivity) Name() string { return j.Inner.Name() }
+
+// Execute implements Activity.
+func (j *JournaledActivity) Execute(ctx *Ctx) error {
+	effect := func() (map[string]string, error) {
+		if err := j.Inner.Execute(ctx); err != nil {
+			return nil, err
+		}
+		memo := map[string]string{}
+		for _, name := range j.Captures {
+			v, err := ctx.Variable(name)
+			if err != nil {
+				return nil, err
+			}
+			if v.Kind() == XMLVar {
+				if n := v.Node(); n != nil {
+					memo["x:"+name] = n.String()
+				} else {
+					memo["x:"+name] = ""
+				}
+			} else {
+				memo["s:"+name] = v.String()
+			}
+		}
+		return memo, nil
+	}
+	replay := func(memo map[string]string) error {
+		for k, val := range memo {
+			switch {
+			case strings.HasPrefix(k, "s:"):
+				if err := ctx.SetScalar(k[2:], val); err != nil {
+					return err
+				}
+			case strings.HasPrefix(k, "x:"):
+				if val == "" {
+					continue
+				}
+				n, err := xdm.Parse(val)
+				if err != nil {
+					return fmt.Errorf("memoized document for %s: %w", k[2:], err)
+				}
+				if err := ctx.SetNode(k[2:], n); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	return ctx.RunEffect(j.Inner.Name(), j.EffectKind, effect, replay)
+}
+
+// Resume rebuilds an instance from its journal and executes it to
+// completion. Completed effects replay from their memos; execution
+// goes live at the first activity without one. The caller must resume
+// on an engine whose journal contains (or is) the journal the instance
+// was recovered from, so newly executed activities append to the same
+// history.
+func (d *Deployment) Resume(ij *journal.InstanceJournal) (*Instance, error) {
+	if ij.Process != d.Process.Name {
+		return nil, fmt.Errorf("engine: instance %d belongs to process %s, not %s", ij.ID, ij.Process, d.Process.Name)
+	}
+	in, err := d.newInstance(ij.ID, ij.Input, false)
+	if err != nil {
+		return nil, err
+	}
+	in.mu.Lock()
+	in.replay = make(map[string][]journal.Memo, len(ij.Memos))
+	total := 0
+	for act, memos := range ij.Memos {
+		in.replay[act] = append([]journal.Memo(nil), memos...)
+		total += len(memos)
+	}
+	in.mu.Unlock()
+	in.recordTrace(d.Process.Name, "recovering", fmt.Sprintf("instance %d: %d memoized effect(s)", ij.ID, total))
+	return in, d.Engine.execute(in)
+}
+
+// Recover resumes every in-flight instance found in the recorder,
+// matching each to its deployment by process name. It returns the
+// resumed instances; instances whose process has no deployment are
+// reported as errors but do not stop recovery of the others.
+func Recover(rec *journal.Recorder, deployments map[string]*Deployment) ([]*Instance, error) {
+	var (
+		out     []*Instance
+		firstEr error
+	)
+	for _, ij := range rec.InFlight() {
+		dep, ok := deployments[ij.Process]
+		if !ok {
+			if firstEr == nil {
+				firstEr = fmt.Errorf("engine: no deployment for recovered process %s (instance %d)", ij.Process, ij.ID)
+			}
+			continue
+		}
+		in, err := dep.Resume(ij)
+		if in != nil {
+			out = append(out, in)
+		}
+		if err != nil && firstEr == nil {
+			firstEr = err
+		}
+	}
+	return out, firstEr
+}

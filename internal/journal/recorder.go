@@ -1,0 +1,369 @@
+package journal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// CrashPoint identifies where in the journal-then-effect protocol a
+// simulated crash fires. The three points bracket the two writes an
+// effectful activity performs (the journal append and the effect
+// itself), covering every interleaving a real crash can produce:
+//
+//	CrashBeforeJournal            -- neither journal nor effect happened;
+//	                                 recovery re-runs the activity.
+//	CrashAfterJournalBeforeEffect -- activity-start journaled, effect not
+//	                                 performed; recovery sees no
+//	                                 activity-complete and re-runs it.
+//	CrashAfterEffect              -- effect performed and its result
+//	                                 journaled (activity-complete);
+//	                                 recovery replays the memo and must
+//	                                 NOT repeat the side effect.
+type CrashPoint int
+
+// Crash points.
+const (
+	CrashNone CrashPoint = iota
+	CrashBeforeJournal
+	CrashAfterJournalBeforeEffect
+	CrashAfterEffect
+)
+
+// String names the crash point.
+func (p CrashPoint) String() string {
+	switch p {
+	case CrashNone:
+		return "none"
+	case CrashBeforeJournal:
+		return "before-journal"
+	case CrashAfterJournalBeforeEffect:
+		return "after-journal-before-effect"
+	case CrashAfterEffect:
+		return "after-effect"
+	}
+	return "unknown"
+}
+
+// CrashError is the simulated process death. It deliberately reports
+// itself as non-temporary so resilience retry loops classify it as
+// permanent and stop immediately: a crashed process does not retry,
+// it dies and is later recovered.
+type CrashError struct {
+	Instance int64
+	Activity string
+	Point    CrashPoint
+}
+
+// Error implements error.
+func (e *CrashError) Error() string {
+	return fmt.Sprintf("journal: simulated crash at %s (instance %d, activity %s)", e.Point, e.Instance, e.Activity)
+}
+
+// Temporary reports false: crashes are not retryable in-process.
+func (e *CrashError) Temporary() bool { return false }
+
+// IsCrash reports whether err is (or wraps) a simulated crash.
+func IsCrash(err error) bool {
+	var ce *CrashError
+	return errors.As(err, &ce)
+}
+
+// AsCrash extracts the crash error if present.
+func AsCrash(err error) (*CrashError, bool) {
+	var ce *CrashError
+	if errors.As(err, &ce) {
+		return ce, true
+	}
+	return nil, false
+}
+
+// CrashInjector decides whether a given (instance, activity,
+// crash-point) check should crash. Installed by the chaos layer.
+type CrashInjector func(instance int64, activity string, point CrashPoint) bool
+
+// WALName is the journal file name inside the journal directory.
+const WALName = "wal.log"
+
+// DefaultCheckpointEvery is how many appended records trigger an
+// automatic checkpoint snapshot.
+const DefaultCheckpointEvery = 512
+
+// Recorder is the durable journal: an open append-only WAL plus the
+// materialized state. It is safe for concurrent use by multiple
+// instance goroutines.
+type Recorder struct {
+	mu              sync.Mutex
+	f               *os.File
+	path            string
+	state           *State
+	appended        int // records since last checkpoint
+	checkpointEvery int
+	injector        CrashInjector
+	closed          bool
+
+	// TornTail reports whether Open found (and truncated) a torn
+	// tail, and why. For diagnostics and tests.
+	TornTail       bool
+	TornTailReason string
+}
+
+// Open opens (creating if needed) the journal in dir, scans it,
+// truncates any torn tail, and materializes the recovered state.
+func Open(dir string) (*Recorder, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("journal: open dir: %w", err)
+	}
+	path := filepath.Join(dir, WALName)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: open wal: %w", err)
+	}
+	res, err := Scan(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if res.Torn {
+		// Drop the torn tail so new appends start on a frame
+		// boundary; everything up to ValidLen is intact.
+		if err := f.Truncate(res.ValidLen); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("journal: truncate torn tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(res.ValidLen, 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("journal: seek: %w", err)
+	}
+	r := &Recorder{
+		f:               f,
+		path:            path,
+		state:           Replay(res.Records),
+		checkpointEvery: DefaultCheckpointEvery,
+		TornTail:        res.Torn,
+		TornTailReason:  res.TornReason,
+	}
+	return r, nil
+}
+
+// SetCheckpointEvery tunes the automatic checkpoint cadence (records
+// between snapshots). Zero disables automatic checkpoints.
+func (r *Recorder) SetCheckpointEvery(n int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.checkpointEvery = n
+}
+
+// SetCrashInjector installs a chaos crash injector. Pass nil to
+// disable.
+func (r *Recorder) SetCrashInjector(fn CrashInjector) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.injector = fn
+}
+
+// ShouldCrash consults the injector for a crash at the given point,
+// returning the CrashError to propagate, or nil.
+func (r *Recorder) ShouldCrash(instance int64, activity string, point CrashPoint) *CrashError {
+	r.mu.Lock()
+	fn := r.injector
+	r.mu.Unlock()
+	if fn != nil && fn(instance, activity, point) {
+		return &CrashError{Instance: instance, Activity: activity, Point: point}
+	}
+	return nil
+}
+
+// Path returns the WAL file path.
+func (r *Recorder) Path() string { return r.path }
+
+// Append writes one record durably and folds it into the state.
+func (r *Recorder) Append(rec *Record) error {
+	if rec.Time.IsZero() {
+		rec.Time = time.Now().UTC()
+	}
+	buf, err := Marshal(rec)
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return fmt.Errorf("journal: append on closed recorder")
+	}
+	if _, err := r.f.Write(buf); err != nil {
+		return fmt.Errorf("journal: append: %w", err)
+	}
+	r.state.apply(rec)
+	r.appended++
+	if r.checkpointEvery > 0 && r.appended >= r.checkpointEvery && rec.Kind != KindCheckpoint {
+		return r.checkpointLocked()
+	}
+	return nil
+}
+
+// Checkpoint appends a full state snapshot record, bounding the replay
+// work of the next Open.
+func (r *Recorder) Checkpoint() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return fmt.Errorf("journal: checkpoint on closed recorder")
+	}
+	return r.checkpointLocked()
+}
+
+func (r *Recorder) checkpointLocked() error {
+	rec := &Record{Kind: KindCheckpoint, Checkpoint: r.state.Clone(), Time: time.Now().UTC()}
+	buf, err := Marshal(rec)
+	if err != nil {
+		return err
+	}
+	if _, err := r.f.Write(buf); err != nil {
+		return fmt.Errorf("journal: checkpoint: %w", err)
+	}
+	r.appended = 0
+	return nil
+}
+
+// Sync flushes the WAL to stable storage.
+func (r *Recorder) Sync() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil
+	}
+	return r.f.Sync()
+}
+
+// Close syncs and closes the WAL.
+func (r *Recorder) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil
+	}
+	r.closed = true
+	if err := r.f.Sync(); err != nil {
+		r.f.Close()
+		return err
+	}
+	return r.f.Close()
+}
+
+// AllocateID hands out the next instance ID, durably advancing past
+// any ID seen in the recovered journal.
+func (r *Recorder) AllocateID() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	id := r.state.NextID
+	if id == 0 {
+		id = 1
+	}
+	r.state.NextID = id + 1
+	return id
+}
+
+// State returns a deep copy of the materialized state.
+func (r *Recorder) State() *State {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.state.Clone()
+}
+
+// InFlight returns the journals of instances needing recovery.
+func (r *Recorder) InFlight() []*InstanceJournal {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.state.InFlight()
+}
+
+// DeadLetters returns the persisted dead-letter records.
+func (r *Recorder) DeadLetters() []DeadLetterRecord {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]DeadLetterRecord(nil), r.state.DeadLetters...)
+}
+
+// --- typed append helpers -------------------------------------------------
+
+// Deploy journals a process deployment (audit trail).
+func (r *Recorder) Deploy(process string) error {
+	return r.Append(&Record{Kind: KindDeploy, Process: process})
+}
+
+// InstanceCreated journals instance birth with its input message and
+// product transaction-mode label.
+func (r *Recorder) InstanceCreated(id int64, process, mode string, input map[string]string) error {
+	return r.Append(&Record{Kind: KindInstanceCreated, Instance: id, Process: process, EffectKind: mode, Data: input})
+}
+
+// ActivityStart journals intent to execute an effectful activity.
+func (r *Recorder) ActivityStart(id int64, activity string, occurrence int, effectKind string) error {
+	return r.Append(&Record{Kind: KindActivityStart, Instance: id, Activity: activity, Occurrence: occurrence, EffectKind: effectKind})
+}
+
+// ActivityComplete journals an effectful activity's memoized result.
+func (r *Recorder) ActivityComplete(id int64, activity string, occurrence int, effectKind string, memo map[string]string) error {
+	return r.Append(&Record{Kind: KindActivityComplete, Instance: id, Activity: activity, Occurrence: occurrence, EffectKind: effectKind, Data: memo})
+}
+
+// VariableWrite journals a variable assignment.
+func (r *Recorder) VariableWrite(id int64, name, value string) error {
+	return r.Append(&Record{Kind: KindVariableWrite, Instance: id, Data: map[string]string{name: value}})
+}
+
+// TxnBegin journals the opening of a product-layer transaction.
+func (r *Recorder) TxnBegin(id int64, label string) error {
+	return r.Append(&Record{Kind: KindTxnBegin, Instance: id, Activity: label})
+}
+
+// TxnCommit journals a successful COMMIT; pending SQL memos become
+// durable.
+func (r *Recorder) TxnCommit(id int64, label string) error {
+	return r.Append(&Record{Kind: KindTxnCommit, Instance: id, Activity: label})
+}
+
+// TxnRollback journals a ROLLBACK; pending SQL memos are discarded.
+func (r *Recorder) TxnRollback(id int64, label string) error {
+	return r.Append(&Record{Kind: KindTxnRollback, Instance: id, Activity: label})
+}
+
+// Compensation journals the execution of a compensation handler.
+func (r *Recorder) Compensation(id int64, scope string) error {
+	return r.Append(&Record{Kind: KindCompensation, Instance: id, Activity: scope})
+}
+
+// DeadLetter journals a dead-lettered unit of work.
+func (r *Recorder) DeadLetter(id int64, rec DeadLetterRecord) error {
+	return r.Append(&Record{Kind: KindDeadLetter, Instance: id, Activity: rec.Activity, Data: map[string]string{
+		"seq":      strconv.FormatInt(rec.Seq, 10),
+		"time":     rec.Time,
+		"activity": rec.Activity,
+		"target":   rec.Target,
+		"key":      rec.Key,
+		"attempts": strconv.Itoa(rec.Attempts),
+		"reason":   rec.Reason,
+		"last_err": rec.LastErr,
+	}})
+}
+
+// RequeueDeadLetter journals removal of a dead letter for re-driving.
+func (r *Recorder) RequeueDeadLetter(key string) error {
+	return r.Append(&Record{Kind: KindDeadLetterRequeue, Data: map[string]string{"key": key}})
+}
+
+// InstanceComplete journals instance termination. fault is empty for
+// successful completion.
+func (r *Recorder) InstanceComplete(id int64, fault string) error {
+	data := map[string]string(nil)
+	if fault != "" {
+		data = map[string]string{"fault": fault}
+	}
+	return r.Append(&Record{Kind: KindInstanceComplete, Instance: id, Data: data})
+}

@@ -2,9 +2,11 @@ package mswf
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
+	"wfsql/internal/journal"
 	"wfsql/internal/resilience"
 	"wfsql/internal/wsbus"
 )
@@ -59,6 +61,13 @@ func (p *ParallelActivity) Execute(c *Context) error {
 		}(i, ch)
 	}
 	wg.Wait()
+	// A simulated crash in any branch wins over ordinary faults: the
+	// whole host died, so fault semantics must not engage.
+	for _, err := range errs {
+		if journal.IsCrash(err) {
+			return err
+		}
+	}
 	for _, err := range errs {
 		if err != nil {
 			return err
@@ -212,8 +221,36 @@ func (a *InvokeWebServiceActivity) WithDeadLetter(keyPart string, absorb bool) *
 // Name implements Activity.
 func (a *InvokeWebServiceActivity) Name() string { return a.ActivityName }
 
-// Execute implements Activity.
+// Execute implements Activity. The call runs as one journaled invoke
+// effect whose memo records the final output host-variable values
+// (including degraded DEADLETTERED markers): a resumed instance
+// replays the response without re-invoking the service. Invoke memos
+// are durable as soon as they are journaled — an external service's
+// side effects do not roll back with any database transaction.
 func (a *InvokeWebServiceActivity) Execute(c *Context) error {
+	effect := func() (map[string]string, error) {
+		if err := a.executeLive(c); err != nil {
+			return nil, err
+		}
+		memo := map[string]string{}
+		for _, hv := range a.Outputs {
+			memo["out:"+hv] = c.GetString(hv)
+		}
+		return memo, nil
+	}
+	replay := func(memo map[string]string) error {
+		for k, v := range memo {
+			if strings.HasPrefix(k, "out:") {
+				c.Set(strings.TrimPrefix(k, "out:"), v)
+			}
+		}
+		return nil
+	}
+	return c.RunEffect(a.ActivityName, journal.EffectInvoke, effect, replay)
+}
+
+// executeLive performs the actual invocation (no journaling).
+func (a *InvokeWebServiceActivity) executeLive(c *Context) error {
 	if a.Service == nil && a.ServiceName != "" {
 		svc, err := c.Runtime.service(a.ServiceName)
 		if err != nil {

@@ -2,12 +2,15 @@ package mswf
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 	"time"
 
 	"wfsql/internal/dataset"
+	"wfsql/internal/journal"
 	"wfsql/internal/resilience"
 	"wfsql/internal/sqldb"
+	"wfsql/internal/xdm"
 )
 
 // This file is the Custom Activity Library (CAL): the customized SQL
@@ -86,20 +89,44 @@ func (a *SQLDatabaseActivity) WithRetry(p *resilience.Policy) *SQLDatabaseActivi
 // Name implements Activity.
 func (a *SQLDatabaseActivity) Name() string { return a.ActivityName }
 
-// Execute implements Activity.
+// Execute implements Activity. The statement execution and result
+// materialization run as one journaled SQL effect: the memo records the
+// materialized DataSet (serialized with the same XML codec the
+// persistence service uses) or the DML row count, so a resumed instance
+// restores the result without touching the database. The activity runs
+// in autocommit (each execution opens and closes its own connection),
+// so its memo is durable the moment it is journaled. The before/after
+// event handlers are plain code — deterministic, so they re-run on
+// replay rather than being memoized.
 func (a *SQLDatabaseActivity) Execute(c *Context) error {
 	if a.BeforeExecute != nil {
 		if err := a.BeforeExecute(c); err != nil {
 			return fmt.Errorf("%s: before-execute: %w", a.ActivityName, err)
 		}
 	}
+	effect := func() (map[string]string, error) { return a.executeLive(c) }
+	replay := func(memo map[string]string) error { return a.applyMemo(c, memo) }
+	if err := c.RunEffect(a.ActivityName, journal.EffectSQL, effect, replay); err != nil {
+		return err
+	}
+	if a.AfterExecute != nil {
+		if err := a.AfterExecute(c); err != nil {
+			return fmt.Errorf("%s: after-execute: %w", a.ActivityName, err)
+		}
+	}
+	return nil
+}
+
+// executeLive runs the statement and materializes its result, returning
+// the memo describing the visible outcome.
+func (a *SQLDatabaseActivity) executeLive(c *Context) (map[string]string, error) {
 	db, err := c.Runtime.openConnection(a.ConnectionString)
 	if err != nil {
-		return fmt.Errorf("%s: %w", a.ActivityName, err)
+		return nil, fmt.Errorf("%s: %w", a.ActivityName, err)
 	}
 	sql, named, err := a.bindParameters(c)
 	if err != nil {
-		return fmt.Errorf("%s: %w", a.ActivityName, err)
+		return nil, fmt.Errorf("%s: %w", a.ActivityName, err)
 	}
 
 	// Each execution (and each retry attempt) opens its own connection:
@@ -115,13 +142,14 @@ func (a *SQLDatabaseActivity) Execute(c *Context) error {
 		res, err = resilience.Do(a.Retry, a.trackObserver(c), execOnce)
 	}
 	if err != nil {
-		return fmt.Errorf("%s: %w", a.ActivityName, err)
+		return nil, fmt.Errorf("%s: %w", a.ActivityName, err)
 	}
 	// (The connection closes here: each activity opens and closes its own.)
 
+	memo := map[string]string{}
 	if res.IsQuery() {
 		if a.ResultSetVar == "" {
-			return fmt.Errorf("%s: query result requires a result host variable", a.ActivityName)
+			return nil, fmt.Errorf("%s: query result requires a result host variable", a.ActivityName)
 		}
 		tableName := a.ResultTable
 		if tableName == "" {
@@ -134,19 +162,39 @@ func (a *SQLDatabaseActivity) Execute(c *Context) error {
 		for _, row := range res.Rows {
 			vals := append([]sqldb.Value(nil), row...)
 			if _, err := t.AddRow(vals...); err != nil {
-				return fmt.Errorf("%s: %w", a.ActivityName, err)
+				return nil, fmt.Errorf("%s: %w", a.ActivityName, err)
 			}
 		}
 		t.AcceptChanges() // materialized rows are Unchanged
 		c.Set(a.ResultSetVar, ds)
+		memo["dataset"] = persistDataSet(ds).String()
 	} else if a.RowsAffectedVar != "" {
 		c.Set(a.RowsAffectedVar, int64(res.RowsAffected))
+		memo["rows"] = strconv.FormatInt(int64(res.RowsAffected), 10)
 	}
+	return memo, nil
+}
 
-	if a.AfterExecute != nil {
-		if err := a.AfterExecute(c); err != nil {
-			return fmt.Errorf("%s: after-execute: %w", a.ActivityName, err)
+// applyMemo restores the activity's visible outcome from a journaled
+// memo (replay path — no database access).
+func (a *SQLDatabaseActivity) applyMemo(c *Context, memo map[string]string) error {
+	if xmlDS, ok := memo["dataset"]; ok && a.ResultSetVar != "" {
+		el, err := xdm.Parse(xmlDS)
+		if err != nil {
+			return fmt.Errorf("%s: memoized dataset: %w", a.ActivityName, err)
 		}
+		ds, err := restoreDataSet(el)
+		if err != nil {
+			return fmt.Errorf("%s: memoized dataset: %w", a.ActivityName, err)
+		}
+		c.Set(a.ResultSetVar, ds)
+	}
+	if rows, ok := memo["rows"]; ok && a.RowsAffectedVar != "" {
+		n, err := strconv.ParseInt(rows, 10, 64)
+		if err != nil {
+			return fmt.Errorf("%s: memoized row count: %w", a.ActivityName, err)
+		}
+		c.Set(a.RowsAffectedVar, n)
 	}
 	return nil
 }

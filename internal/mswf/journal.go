@@ -1,0 +1,175 @@
+package mswf
+
+import (
+	"fmt"
+
+	"wfsql/internal/journal"
+	"wfsql/internal/resilience"
+)
+
+// This file wires the WF runtime to the durable instance journal. WF's
+// real-world counterpart is the SqlWorkflowPersistenceService: workflow
+// state checkpointed to a database so the host can crash and resume.
+// Here the persistence.go XML snapshot of the initial host variables is
+// journaled at instance creation, every effectful activity (SQL
+// database activity, web-service invoke) journals its memoized result,
+// and Resume rebuilds the context from the snapshot and replays the
+// memos in order.
+
+// AttachJournal connects a recorder to the runtime, restoring the
+// persisted dead-letter log and installing persistence hooks for
+// future dead letters and requeues.
+func (rt *Runtime) AttachJournal(rec *journal.Recorder) {
+	rt.mu.Lock()
+	rt.jrec = rec
+	rt.mu.Unlock()
+	if rec == nil || rt.DeadLetters == nil {
+		return
+	}
+	var entries []resilience.DeadLetter
+	for _, d := range rec.DeadLetters() {
+		entries = append(entries, resilience.DeadLetter{
+			Seq:      int(d.Seq),
+			Activity: d.Activity,
+			Target:   d.Target,
+			Key:      d.Key,
+			Attempts: d.Attempts,
+			Reason:   d.Reason,
+			LastErr:  d.LastErr,
+		})
+	}
+	rt.DeadLetters.Restore(entries)
+	rt.DeadLetters.SetPersistence(
+		func(dl resilience.DeadLetter) {
+			_ = rec.DeadLetter(0, journal.DeadLetterRecord{
+				Seq:      int64(dl.Seq),
+				Time:     dl.Time.UTC().Format("2006-01-02T15:04:05.999999999Z"),
+				Activity: dl.Activity,
+				Target:   dl.Target,
+				Key:      dl.Key,
+				Attempts: dl.Attempts,
+				Reason:   dl.Reason,
+				LastErr:  dl.LastErr,
+			})
+		},
+		func(key string) { _ = rec.RequeueDeadLetter(key) },
+	)
+}
+
+// Journal returns the attached recorder (nil when in-memory only).
+func (rt *Runtime) Journal() *journal.Recorder {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return rt.jrec
+}
+
+// InstanceID returns the durable instance ID of a journaled run (0 when
+// running without a journal).
+func (c *Context) InstanceID() int64 { return c.instID }
+
+// takeReplay pops the next memoized result for the activity (FIFO per
+// activity name), if any remain from a Resume.
+func (c *Context) takeReplay(activity string) (journal.Memo, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	q := c.replay[activity]
+	if len(q) == 0 {
+		return journal.Memo{}, false
+	}
+	m := q[0]
+	c.replay[activity] = q[1:]
+	return m, true
+}
+
+func (c *Context) nextOccurrence(activity string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.occs == nil {
+		c.occs = map[string]int{}
+	}
+	c.occs[activity]++
+	return c.occs[activity]
+}
+
+// RunEffect is the WF runtime's journal-then-effect protocol, mirroring
+// engine.Ctx.RunEffect: replay memoized results when resuming, and in
+// live mode bracket the journal append and the effect with the three
+// chaos crash points.
+func (c *Context) RunEffect(activity, effectKind string, effect func() (map[string]string, error), replay func(memo map[string]string) error) error {
+	occ := c.nextOccurrence(activity)
+	if m, ok := c.takeReplay(activity); ok {
+		if err := replay(m.Data); err != nil {
+			return fmt.Errorf("%s: replay: %w", activity, err)
+		}
+		c.Track(activity, "Replayed")
+		return nil
+	}
+	rec := c.jrec
+	if rec == nil {
+		_, err := effect()
+		return err
+	}
+	if ce := rec.ShouldCrash(c.instID, activity, journal.CrashBeforeJournal); ce != nil {
+		return ce
+	}
+	if err := rec.ActivityStart(c.instID, activity, occ, effectKind); err != nil {
+		return err
+	}
+	if ce := rec.ShouldCrash(c.instID, activity, journal.CrashAfterJournalBeforeEffect); ce != nil {
+		return ce
+	}
+	memo, err := effect()
+	if err != nil {
+		return err
+	}
+	if err := rec.ActivityComplete(c.instID, activity, occ, effectKind, memo); err != nil {
+		return err
+	}
+	if ce := rec.ShouldCrash(c.instID, activity, journal.CrashAfterEffect); ce != nil {
+		return ce
+	}
+	return nil
+}
+
+// Resume rebuilds a crashed instance from its journal — host variables
+// from the instance-created snapshot, memoized effect results queued
+// for replay — and executes the workflow to completion.
+func (rt *Runtime) Resume(root Activity, ij *journal.InstanceJournal) (*Context, error) {
+	var c *Context
+	if state := ij.Input["state"]; state != "" {
+		var err error
+		c, err = rt.LoadState(state)
+		if err != nil {
+			return nil, fmt.Errorf("mswf: resume instance %d: %w", ij.ID, err)
+		}
+	} else {
+		c = &Context{Runtime: rt, vars: map[string]any{}}
+	}
+	c.jrec = rt.Journal()
+	c.instID = ij.ID
+	c.mu.Lock()
+	c.replay = make(map[string][]journal.Memo, len(ij.Memos))
+	total := 0
+	for act, memos := range ij.Memos {
+		c.replay[act] = append([]journal.Memo(nil), memos...)
+		total += len(memos)
+	}
+	c.mu.Unlock()
+	c.Track(root.Name(), fmt.Sprintf("Recovering instance %d (%d memoized effects)", ij.ID, total))
+	err := runActivity(c, root)
+	c.finishJournal(err)
+	return c, err
+}
+
+// finishJournal appends the instance-complete record for non-crash
+// terminations.
+func (c *Context) finishJournal(err error) {
+	if c.jrec == nil || journal.IsCrash(err) {
+		return
+	}
+	fault := ""
+	if err != nil {
+		fault = err.Error()
+	}
+	_ = c.jrec.InstanceComplete(c.instID, fault)
+}

@@ -18,6 +18,7 @@ import (
 	"strings"
 	"sync"
 
+	"wfsql/internal/journal"
 	"wfsql/internal/resilience"
 	"wfsql/internal/sqldb"
 )
@@ -48,6 +49,7 @@ type Runtime struct {
 	rules     map[string]func(*Context) (bool, error)
 	services  map[string]func(map[string]string) (map[string]string, error)
 	tracking  bool
+	jrec      *journal.Recorder
 }
 
 type registeredDB struct {
@@ -178,6 +180,14 @@ type Context struct {
 	mu     sync.Mutex
 	vars   map[string]any
 	events []TrackEvent
+
+	// Durable-execution state (see journal.go): the durable instance
+	// ID, the attached recorder, replay queues of memoized effect
+	// results, and per-activity occurrence counters.
+	instID int64
+	jrec   *journal.Recorder
+	replay map[string][]journal.Memo
+	occs   map[string]int
 }
 
 // Get returns a host variable.
@@ -265,13 +275,25 @@ type Activity interface {
 }
 
 // Run executes a workflow with initial host variables and returns the
-// final context.
+// final context. With a journal attached (AttachJournal) the run is
+// durable: the initial host-variable snapshot is journaled at creation
+// so a crashed instance can be rebuilt by Resume, and completion is
+// journaled unless the instance died at a crash point.
 func (rt *Runtime) Run(root Activity, initial map[string]any) (*Context, error) {
 	c := &Context{Runtime: rt, vars: map[string]any{}}
 	for k, v := range initial {
 		c.vars[k] = v
 	}
+	if rec := rt.Journal(); rec != nil {
+		c.jrec = rec
+		c.instID = rec.AllocateID()
+		if err := rec.InstanceCreated(c.instID, root.Name(), "wf",
+			map[string]string{"state": SaveState(c)}); err != nil {
+			return c, err
+		}
+	}
 	err := runActivity(c, root)
+	c.finishJournal(err)
 	return c, err
 }
 

@@ -23,25 +23,85 @@ type DeadLetter struct {
 
 // DeadLetterLog is a thread-safe append-only log of dead letters. One log
 // typically lives on the engine/runtime and is shared by all instances.
+//
+// The log itself is in-memory; durability is delegated through
+// SetPersistence hooks so the journal layer can write every record to
+// the write-ahead log (and remove requeued ones) without this package
+// importing it.
 type DeadLetterLog struct {
 	mu      sync.Mutex
 	entries []DeadLetter
+	nextSeq int
+	persist func(DeadLetter)
+	remove  func(key string)
 }
 
 // NewDeadLetterLog creates an empty log.
 func NewDeadLetterLog() *DeadLetterLog { return &DeadLetterLog{} }
 
+// SetPersistence installs durability hooks: persist is called (outside
+// the log's lock) for every Add, remove for every key dropped by
+// Requeue. Either may be nil.
+func (l *DeadLetterLog) SetPersistence(persist func(DeadLetter), remove func(key string)) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.persist = persist
+	l.remove = remove
+}
+
+// Restore seeds the log with previously persisted records WITHOUT
+// invoking the persist hook (they are already durable). Sequence
+// allocation continues past the highest restored Seq.
+func (l *DeadLetterLog) Restore(entries []DeadLetter) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, dl := range entries {
+		l.entries = append(l.entries, dl)
+		if dl.Seq > l.nextSeq {
+			l.nextSeq = dl.Seq
+		}
+	}
+}
+
 // Add appends a record, assigning Seq and Time, and returns the completed
 // record.
 func (l *DeadLetterLog) Add(dl DeadLetter) DeadLetter {
 	l.mu.Lock()
-	defer l.mu.Unlock()
-	dl.Seq = len(l.entries) + 1
+	l.nextSeq++
+	dl.Seq = l.nextSeq
 	if dl.Time.IsZero() {
 		dl.Time = time.Now()
 	}
 	l.entries = append(l.entries, dl)
+	persist := l.persist
+	l.mu.Unlock()
+	if persist != nil {
+		persist(dl)
+	}
 	return dl
+}
+
+// Requeue removes every record with the given business key and returns
+// them (in log order) so the caller can re-drive the abandoned work.
+// The remove hook is notified so persisted copies are dropped too.
+func (l *DeadLetterLog) Requeue(key string) []DeadLetter {
+	l.mu.Lock()
+	var requeued []DeadLetter
+	kept := l.entries[:0]
+	for _, e := range l.entries {
+		if e.Key == key {
+			requeued = append(requeued, e)
+		} else {
+			kept = append(kept, e)
+		}
+	}
+	l.entries = kept
+	remove := l.remove
+	l.mu.Unlock()
+	if remove != nil && len(requeued) > 0 {
+		remove(key)
+	}
+	return requeued
 }
 
 // Entries returns a copy of the log.
@@ -79,4 +139,5 @@ func (l *DeadLetterLog) Reset() {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.entries = nil
+	l.nextSeq = 0
 }

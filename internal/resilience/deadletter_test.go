@@ -1,0 +1,108 @@
+package resilience
+
+import (
+	"testing"
+)
+
+// TestDeadLetterPersistenceHooks: every Add flows through the persist
+// hook with its assigned Seq/Time, Requeue notifies the remove hook
+// exactly once per key, and hooks fire outside the log's lock (the
+// hooks below call back into the log to prove no self-deadlock).
+func TestDeadLetterPersistenceHooks(t *testing.T) {
+	l := NewDeadLetterLog()
+	var persisted []DeadLetter
+	var removed []string
+	l.SetPersistence(
+		func(dl DeadLetter) {
+			_ = l.Len() // re-entrant read: persist must run unlocked
+			persisted = append(persisted, dl)
+		},
+		func(key string) {
+			_ = l.Keys()
+			removed = append(removed, key)
+		},
+	)
+
+	l.Add(DeadLetter{Activity: "invoke", Key: "item001", Reason: "exhausted"})
+	l.Add(DeadLetter{Activity: "invoke", Key: "item002", Reason: "permanent"})
+	l.Add(DeadLetter{Activity: "SQL2", Key: "item001", Reason: "exhausted"})
+
+	if len(persisted) != 3 {
+		t.Fatalf("persist hook saw %d records, want 3", len(persisted))
+	}
+	for i, dl := range persisted {
+		if dl.Seq != i+1 {
+			t.Fatalf("persisted record %d has Seq %d, want %d", i, dl.Seq, i+1)
+		}
+		if dl.Time.IsZero() {
+			t.Fatalf("persisted record %d has zero Time", i)
+		}
+	}
+
+	re := l.Requeue("item001")
+	if len(re) != 2 {
+		t.Fatalf("requeued %d records for item001, want 2", len(re))
+	}
+	if len(removed) != 1 || removed[0] != "item001" {
+		t.Fatalf("remove hook calls = %v, want [item001]", removed)
+	}
+	if l.Requeue("item001") != nil {
+		t.Fatal("second requeue of the same key returned records")
+	}
+	if len(removed) != 1 {
+		t.Fatalf("remove hook fired for an empty requeue: %v", removed)
+	}
+	if got := l.Keys(); len(got) != 1 || got[0] != "item002" {
+		t.Fatalf("surviving keys = %v, want [item002]", got)
+	}
+}
+
+// TestDeadLetterRestoreRoundTrip: a log rebuilt from persisted entries
+// continues sequence allocation past the highest restored Seq, does NOT
+// re-persist the restored records, and behaves identically to the
+// original for Requeue — the journal-recovery round trip.
+func TestDeadLetterRestoreRoundTrip(t *testing.T) {
+	// First life: three records captured by the persist hook.
+	first := NewDeadLetterLog()
+	var durable []DeadLetter
+	first.SetPersistence(func(dl DeadLetter) { durable = append(durable, dl) }, nil)
+	first.Add(DeadLetter{Activity: "invoke", Key: "a", Attempts: 3})
+	first.Add(DeadLetter{Activity: "invoke", Key: "b", Attempts: 5})
+	first.Add(DeadLetter{Activity: "invoke", Key: "c", Attempts: 1})
+
+	// Second life: restore from the durable copies.
+	second := NewDeadLetterLog()
+	var rePersisted int
+	second.SetPersistence(func(DeadLetter) { rePersisted++ }, nil)
+	second.Restore(durable)
+	if rePersisted != 0 {
+		t.Fatalf("Restore re-persisted %d already-durable records", rePersisted)
+	}
+	if second.Len() != 3 {
+		t.Fatalf("restored log has %d records, want 3", second.Len())
+	}
+
+	// Sequence allocation continues after the restored high-water mark.
+	dl := second.Add(DeadLetter{Activity: "invoke", Key: "d"})
+	if dl.Seq != 4 {
+		t.Fatalf("post-restore Seq = %d, want 4", dl.Seq)
+	}
+	if rePersisted != 1 {
+		t.Fatalf("new record after restore persisted %d times, want 1", rePersisted)
+	}
+
+	// Requeue semantics survive the round trip.
+	if got := second.Requeue("b"); len(got) != 1 || got[0].Attempts != 5 {
+		t.Fatalf("requeue after restore = %+v, want the original record for b", got)
+	}
+	want := []string{"a", "c", "d"}
+	got := second.Keys()
+	if len(got) != len(want) {
+		t.Fatalf("keys after requeue = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("keys after requeue = %v, want %v", got, want)
+		}
+	}
+}

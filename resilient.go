@@ -174,8 +174,13 @@ func (env *Environment) BuildFigure8OracleResilient(cfg ResilienceConfig) (*engi
 		return nil, err
 	}
 
-	assign1 := engine.NewAssign("Assign1").Copy(
-		fmt.Sprintf("ora:query-database(%q)", aggregationSQL), "SV_ItemList")
+	// The query and the DML both hide inside Assign activities (Oracle's
+	// extension-function idiom); SQLEffect journals them so recovery
+	// replays their captured outcome instead of re-running the SQL.
+	assign1 := orasoa.SQLEffect(
+		engine.NewAssign("Assign1").Copy(
+			fmt.Sprintf("ora:query-database(%q)", aggregationSQL), "SV_ItemList"),
+		"SV_ItemList")
 
 	invoke := engine.NewInvoke("Invoke", "OrderFromSupplier").
 		In("ItemID", "$CurrentItem/ItemID").
@@ -192,8 +197,10 @@ func (env *Environment) BuildFigure8OracleResilient(cfg ResilienceConfig) (*engi
 			Copy("$CurrentItem/ItemID", "CurrentItemID").
 			Copy("$CurrentItem/Quantity", "CurrentQuantity"),
 		invoke,
-		engine.NewAssign("Assign2").Copy(
-			`ora:processXSQL('insertConfirmation', 'item', $CurrentItemID, 'qty', $CurrentQuantity, 'conf', $OrderConfirmation)/rowsAffected`,
+		orasoa.SQLEffect(
+			engine.NewAssign("Assign2").Copy(
+				`ora:processXSQL('insertConfirmation', 'item', $CurrentItemID, 'qty', $CurrentQuantity, 'conf', $OrderConfirmation)/rowsAffected`,
+				"Status"),
 			"Status"),
 	)
 

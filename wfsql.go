@@ -108,6 +108,28 @@ func NewEnvironment(w Workload) *Environment {
 	}
 }
 
+// Rebuild models a workflow host restart: the database, service bus,
+// supplier ledger, and workload survive (they are external systems),
+// while the BPEL engine and the WF runtime — the processes that crashed —
+// are constructed fresh, with no in-memory state. Recovery tests attach
+// the journal to the rebuilt hosts and resume the in-flight instances.
+func (env *Environment) Rebuild() *Environment {
+	e := engine.New(env.Bus)
+	e.RegisterDataSource(DataSourceName, env.DB)
+
+	rt := mswf.NewRuntime()
+	rt.RegisterDatabase(DataSourceName, mswf.SQLServer, env.DB)
+	supplier := env.Supplier
+	rt.RegisterService("OrderFromSupplier", func(req map[string]string) (map[string]string, error) {
+		return supplier.Handle(req)
+	})
+
+	return &Environment{
+		DB: env.DB, Bus: env.Bus, Engine: e, Runtime: rt,
+		Supplier: supplier, Funcs: orasoa.NewFunctions(env.DB), Workload: env.Workload,
+	}
+}
+
 // SeedOrders creates and fills the running example's schema on a database.
 func SeedOrders(db *sqldb.DB, w Workload) {
 	cols := "OrderID INTEGER PRIMARY KEY, ItemID VARCHAR NOT NULL, Quantity INTEGER NOT NULL, Approved BOOLEAN NOT NULL"

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race short soak cover ci clean
+.PHONY: all build vet test race short soak cover bench ci clean
 
 all: build
 
@@ -35,9 +35,14 @@ cover:
 	@echo "full per-function report: $(GO) tool cover -func=coverage.out"
 	@echo "html report:              $(GO) tool cover -html=coverage.out"
 
+# Benchmark the three figure stacks with observability attached and fold
+# the per-layer counter/histogram summaries into BENCH_PR3.json.
+bench:
+	$(GO) run ./cmd/wfbench -runs 25 -orders 120 -items 8 -out BENCH_PR3.json
+
 # The gate: build, vet, then the full race-enabled suite (soak included).
 ci: build vet race
 
 clean:
 	$(GO) clean ./...
-	rm -f coverage.out
+	rm -f coverage.out BENCH_PR3.json

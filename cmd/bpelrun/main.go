@@ -6,7 +6,12 @@
 // Usage:
 //
 //	bpelrun -bpel process.bpel [-seed seed.sql] [-ds orderdb] [-var k=v]...
-//	        [-journal dir] [-recover]
+//	        [-journal dir] [-recover] [-trace file] [-metrics file]
+//
+// With -trace FILE every finished span (instance → activity → SQL
+// statement / bus call) is appended to FILE as one JSON line; -metrics
+// FILE writes the run's counter/histogram snapshot as indented JSON
+// after the run ("-" sends either to stdout).
 //
 // With -journal DIR every effectful activity is written ahead to DIR's
 // write-ahead log; -recover resumes in-flight instances of the loaded
@@ -28,9 +33,22 @@ import (
 	"wfsql/internal/bpelxml"
 	"wfsql/internal/engine"
 	"wfsql/internal/journal"
+	"wfsql/internal/obsv"
 	"wfsql/internal/sqldb"
 	"wfsql/internal/wsbus"
 )
+
+// openSink opens path for writing ("-" = stdout).
+func openSink(path string) (*os.File, func(), error) {
+	if path == "-" {
+		return os.Stdout, func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, func() { f.Close() }, nil
+}
 
 type varFlags map[string]string
 
@@ -51,6 +69,8 @@ func main() {
 	dsName := flag.String("ds", "orderdb", "data source name to register")
 	journalDir := flag.String("journal", "", "directory for the durable instance journal")
 	doRecover := flag.Bool("recover", false, "resume in-flight instances from the journal (requires -journal)")
+	tracePath := flag.String("trace", "", "write the span trace as JSON lines to this file (- for stdout)")
+	metricsPath := flag.String("metrics", "", "write the metrics snapshot as JSON to this file (- for stdout)")
 	vars := varFlags{}
 	flag.Var(vars, "var", "initial process variable name=value (repeatable)")
 	flag.Parse()
@@ -92,6 +112,27 @@ func main() {
 
 	e := engine.New(bus)
 	e.RegisterDataSource(*dsName, db)
+
+	var (
+		obs    *obsv.Observability
+		traceW *obsv.JSONLWriter
+	)
+	if *tracePath != "" || *metricsPath != "" {
+		obs = obsv.New()
+		if *tracePath != "" {
+			f, closeF, terr := openSink(*tracePath)
+			if terr != nil {
+				fatal(terr)
+			}
+			defer closeF()
+			traceW = obsv.NewJSONLWriter(f)
+			obs.Tracer.AddSink(traceW)
+		}
+		e.SetObservability(obs)
+		bus.SetObservability(obs)
+		db.SetObservability(obs)
+	}
+
 	var rec *journal.Recorder
 	if *journalDir != "" {
 		rec, err = journal.Open(*journalDir)
@@ -104,6 +145,24 @@ func main() {
 	e.AddTraceListener(func(id int64, ev engine.TraceEvent) {
 		fmt.Printf("  [%d] %-30s %s %s\n", id, ev.Activity, ev.Kind, ev.Detail)
 	})
+
+	// flushObs reports trace write errors and dumps the metrics
+	// snapshot; called on every successful exit path.
+	flushObs := func() {
+		if traceW != nil && traceW.Err() != nil {
+			fatal(fmt.Errorf("trace: %w", traceW.Err()))
+		}
+		if *metricsPath != "" {
+			f, closeF, merr := openSink(*metricsPath)
+			if merr != nil {
+				fatal(merr)
+			}
+			if merr := obsv.WriteMetricsJSON(f, obs.M()); merr != nil {
+				fatal(fmt.Errorf("metrics: %w", merr))
+			}
+			closeF()
+		}
+	}
 
 	d, err := e.Deploy(builder.Build())
 	if err != nil {
@@ -125,6 +184,7 @@ func main() {
 		}
 		if len(inflight) > 0 {
 			report(db)
+			flushObs()
 			return
 		}
 	}
@@ -134,6 +194,7 @@ func main() {
 	}
 	fmt.Printf("instance %d: %s\n", in.ID, in.State())
 	report(db)
+	flushObs()
 }
 
 // report prints per-table row counts after the run.

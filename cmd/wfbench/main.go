@@ -1,0 +1,126 @@
+// Command wfbench benchmarks the paper's running example (Figures 4, 6,
+// 8) on all three product stacks with the observability layer attached,
+// and writes one JSON report folding the per-layer metric snapshots —
+// counters plus latency-histogram summaries (count/sum/min/max/mean/
+// p50/p90/p99 in milliseconds) — together with wall-clock timings.
+//
+// Each figure is executed -runs times on a fresh environment; one
+// metrics registry per figure accumulates across the runs, so the
+// histogram summaries describe the whole sample, not a single run.
+//
+// Usage:
+//
+//	wfbench [-runs 25] [-orders 120] [-items 8] [-approve 80] [-seed 42]
+//	        [-out BENCH_PR3.json]
+//
+// "-" writes the report to stdout.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"wfsql"
+	"wfsql/internal/obsv"
+)
+
+// figureReport is the per-stack section of the report.
+type figureReport struct {
+	Stack   string        `json:"stack"`
+	Runs    int           `json:"runs"`
+	Metrics obsv.Snapshot `json:"metrics"`
+}
+
+// report is the whole BENCH_PR3.json document.
+type report struct {
+	Generated string                   `json:"generated"`
+	GoVersion string                   `json:"go_version"`
+	GOOS      string                   `json:"goos"`
+	GOARCH    string                   `json:"goarch"`
+	Workload  wfsql.Workload           `json:"workload"`
+	Figures   map[string]*figureReport `json:"figures"`
+}
+
+func main() {
+	runs := flag.Int("runs", 25, "iterations per figure")
+	orders := flag.Int("orders", 120, "orders in the workload")
+	items := flag.Int("items", 8, "distinct item types")
+	approve := flag.Int("approve", 80, "approval percentage")
+	seed := flag.Int64("seed", 42, "workload generator seed")
+	out := flag.String("out", "BENCH_PR3.json", "report path (- for stdout)")
+	flag.Parse()
+
+	w := wfsql.Workload{Orders: *orders, Items: *items, ApprovalPercent: *approve, Seed: *seed}
+	figures := []struct {
+		name  string
+		stack string
+		run   func(env *wfsql.Environment) error
+	}{
+		{"Figure4_BIS", "BIS", func(env *wfsql.Environment) error { return env.RunFigure4BIS() }},
+		{"Figure6_WF", "WF", func(env *wfsql.Environment) error { return env.RunFigure6WF() }},
+		{"Figure8_Oracle", "Oracle", func(env *wfsql.Environment) error { return env.RunFigure8Oracle() }},
+	}
+
+	rep := report{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Workload:  w,
+		Figures:   map[string]*figureReport{},
+	}
+
+	for _, fig := range figures {
+		o := obsv.New()
+		wall := o.M().Histogram("bench.wall_ms")
+		for i := 0; i < *runs; i++ {
+			env := wfsql.NewEnvironment(w)
+			env.EnableObservability(o)
+			start := time.Now()
+			if err := fig.run(env); err != nil {
+				fatal(fmt.Errorf("%s run %d: %w", fig.name, i, err))
+			}
+			wall.ObserveDuration(time.Since(start))
+			env.DisableObservability()
+			want := env.ApprovedItemTypes()
+			if got := env.ConfirmationCount(); got != want {
+				fatal(fmt.Errorf("%s run %d: %d confirmations, want %d", fig.name, i, got, want))
+			}
+		}
+		rep.Figures[fig.name] = &figureReport{
+			Stack:   fig.stack,
+			Runs:    *runs,
+			Metrics: o.M().Snapshot(),
+		}
+		s := wall.Summary()
+		fmt.Fprintf(os.Stderr, "%-14s %d runs  wall p50=%.3fms p90=%.3fms p99=%.3fms mean=%.3fms\n",
+			fig.name, *runs, s.P50, s.P90, s.P99, s.Mean)
+	}
+
+	f := os.Stdout
+	if *out != "-" {
+		var err error
+		f, err = os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fatal(err)
+	}
+	if *out != "-" {
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "wfbench: %v\n", err)
+	os.Exit(1)
+}

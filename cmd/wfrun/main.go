@@ -16,10 +16,15 @@
 // one. -recover with no in-flight instances starts a fresh (journaled)
 // run.
 //
+// With -trace FILE every finished span (instance → activity → SQL
+// statement) is appended to FILE as one JSON line; -metrics FILE writes
+// the run's counter/histogram snapshot as indented JSON after the run
+// ("-" sends either to stdout).
+//
 // Usage:
 //
 //	wfrun -xoml flow.xoml [-seed seed.sql] [-ds db] [-var Index=0] ...
-//	      [-journal dir] [-recover]
+//	      [-journal dir] [-recover] [-trace file] [-metrics file]
 package main
 
 import (
@@ -31,8 +36,21 @@ import (
 
 	"wfsql/internal/journal"
 	"wfsql/internal/mswf"
+	"wfsql/internal/obsv"
 	"wfsql/internal/sqldb"
 )
+
+// openSink opens path for writing ("-" = stdout).
+func openSink(path string) (*os.File, func(), error) {
+	if path == "-" {
+		return os.Stdout, func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, func() { f.Close() }, nil
+}
 
 type varFlags map[string]any
 
@@ -57,6 +75,8 @@ func main() {
 	dsName := flag.String("ds", "db", "data source name for connection strings")
 	journalDir := flag.String("journal", "", "directory for the durable instance journal")
 	doRecover := flag.Bool("recover", false, "resume in-flight instances from the journal (requires -journal)")
+	tracePath := flag.String("trace", "", "write the span trace as JSON lines to this file (- for stdout)")
+	metricsPath := flag.String("metrics", "", "write the metrics snapshot as JSON to this file (- for stdout)")
 	vars := varFlags{}
 	flag.Var(vars, "var", "initial host variable name=value (repeatable)")
 	flag.Parse()
@@ -94,6 +114,25 @@ func main() {
 
 	rt := mswf.NewRuntime()
 	rt.RegisterDatabase(*dsName, mswf.SQLServer, db)
+
+	var (
+		obs    *obsv.Observability
+		traceW *obsv.JSONLWriter
+	)
+	if *tracePath != "" || *metricsPath != "" {
+		obs = obsv.New()
+		if *tracePath != "" {
+			f, closeF, err := openSink(*tracePath)
+			if err != nil {
+				fatal(err)
+			}
+			defer closeF()
+			traceW = obsv.NewJSONLWriter(f)
+			obs.Tracer.AddSink(traceW)
+		}
+		rt.SetObservability(obs)
+		db.SetObservability(obs)
+	}
 
 	var rec *journal.Recorder
 	if *journalDir != "" {
@@ -134,6 +173,19 @@ func main() {
 	for _, name := range ctx.VarNames() {
 		v, _ := ctx.Get(name)
 		fmt.Printf("  %s = %v\n", name, v)
+	}
+	if traceW != nil && traceW.Err() != nil {
+		fatal(fmt.Errorf("trace: %w", traceW.Err()))
+	}
+	if *metricsPath != "" {
+		f, closeF, merr := openSink(*metricsPath)
+		if merr != nil {
+			fatal(merr)
+		}
+		if merr := obsv.WriteMetricsJSON(f, obs.M()); merr != nil {
+			fatal(fmt.Errorf("metrics: %w", merr))
+		}
+		closeF()
 	}
 	if err != nil {
 		fatal(err)

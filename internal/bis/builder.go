@@ -21,6 +21,7 @@ type ProcessBuilder struct {
 	preparation []dsStatement
 	cleanup     []dsStatement
 	body        engine.Activity
+	pattern     string
 }
 
 type dsStatement struct {
@@ -105,6 +106,14 @@ func (b *ProcessBuilder) Body(a engine.Activity) *ProcessBuilder {
 	return b
 }
 
+// Pattern labels the process with the paper's SQL-support pattern id it
+// exercises (e.g. "P4"); spans emitted for its instances carry the
+// label.
+func (b *ProcessBuilder) Pattern(id string) *ProcessBuilder {
+	b.pattern = id
+	return b
+}
+
 // ProcessName returns the process name.
 func (b *ProcessBuilder) ProcessName() string { return b.name }
 
@@ -157,6 +166,8 @@ func (b *ProcessBuilder) Build() *engine.Process {
 		Variables: b.vars,
 		Body:      b.body,
 		Mode:      b.mode,
+		Stack:     "BIS",
+		Pattern:   b.pattern,
 	}
 	refs := b.refs
 	dsvars := b.dsvars

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"wfsql/internal/journal"
+	"wfsql/internal/obsv"
 	"wfsql/internal/resilience"
 	"wfsql/internal/wsbus"
 	"wfsql/internal/xdm"
@@ -23,15 +24,45 @@ type Activity interface {
 	Execute(ctx *Ctx) error
 }
 
-// execChild runs an activity with trace recording.
+// execChild runs an activity with trace recording and, when an
+// observability bundle is attached, an activity span parented under the
+// enclosing span. While the activity runs, the tracer's ambient parent
+// is pointed at its span so context-free layers (sqldb statement spans,
+// the Oracle XPath extension functions) attach underneath it.
 func execChild(ctx *Ctx, a Activity) error {
+	obs := ctx.Engine.Obs()
+	if sp := obs.T().Start(ctx.span.SpanID(), obsv.KindActivity, a.Name()); sp != nil {
+		sp.Stack = ctx.Inst.Process.Stack
+		sp.Pattern = ctx.Inst.Process.Pattern
+		sp.Instance = ctx.Inst.ID
+		prev := obs.T().Ambient()
+		obs.T().SetAmbient(sp.SpanID())
+		defer obs.T().SetAmbient(prev)
+		c2 := *ctx
+		c2.span = sp
+		ctx = &c2
+		defer func() {
+			obs.M().Histogram("engine.activity_ms").ObserveDuration(sp.Duration())
+		}()
+	}
+	obs.M().Counter("engine.activities").Inc()
+
 	ctx.Inst.recordTrace(a.Name(), "start", "")
 	err := a.Execute(ctx)
 	if err != nil {
 		ctx.Inst.recordTrace(a.Name(), "fault", err.Error())
+		obs.M().Counter("engine.activity_faults").Inc()
+		if journal.IsCrash(err) {
+			ctx.span.End(obsv.OutcomeCrashed)
+		} else {
+			ctx.span.Set("fault", err.Error()).End(obsv.OutcomeFault)
+		}
 		return err
 	}
 	ctx.Inst.recordTrace(a.Name(), "end", "")
+	// End("") keeps an outcome set earlier by the replay or dead-letter
+	// paths (OutcomeReplayed / OutcomeDeadLettered), defaulting to OK.
+	ctx.span.End("")
 	return nil
 }
 
@@ -506,6 +537,7 @@ func (iv *Invoke) call(ctx *Ctx, req wsbus.Message) (wsbus.Message, error) {
 	// Breaker accounting and trace recording both run in the observer —
 	// i.e. in this goroutine, never in the abandoned goroutine of a
 	// timed-out attempt.
+	m := ctx.Engine.Obs().M()
 	account := func(err error) {
 		if iv.Breaker == nil {
 			return
@@ -516,26 +548,43 @@ func (iv *Invoke) call(ctx *Ctx, req wsbus.Message) (wsbus.Message, error) {
 			iv.Breaker.OnSuccess()
 		case errors.Is(err, resilience.ErrOpen):
 			// A refused call is not a service failure.
+			m.Counter("breaker.refusals").Inc()
 		default:
 			iv.Breaker.OnFailure()
 		}
 		if after := iv.Breaker.State(); after != before {
 			ctx.Inst.RecordTrace(iv.ActivityName, "breaker", before.String()+"->"+after.String())
+			m.Counter("breaker.transitions").Inc()
+			m.Counter("breaker.transitions." + after.String()).Inc()
 		}
 	}
 	obs := resilience.Observer{
 		OnAttempt: func(n, max int) {
+			m.Counter("retry.attempts").Inc()
 			if max > 1 {
 				ctx.Inst.RecordTrace(iv.ActivityName, "attempt", fmt.Sprintf("%d/%d %s", n, max, iv.Service))
 			}
 		},
-		OnSuccess: func(n int) { account(nil) },
-		OnFailure: func(n int, err error) { account(err) },
+		OnSuccess: func(n int) {
+			account(nil)
+			m.Counter("retry.successes").Inc()
+		},
+		OnFailure: func(n int, err error) {
+			account(err)
+			m.Counter("retry.failures").Inc()
+		},
 		OnBackoff: func(n int, d time.Duration) {
 			ctx.Inst.RecordTrace(iv.ActivityName, "backoff", d.String())
+			m.Counter("retry.backoffs").Inc()
+			m.Histogram("retry.backoff_ms").ObserveDuration(d)
 		},
 	}
-	return resilience.Do(iv.Retry, obs, attempt)
+	resp, err := resilience.Do(iv.Retry, obs, attempt)
+	if ab := resilience.Abandoned(err); ab != nil {
+		m.Counter("retry.giveups").Inc()
+		m.Counter("retry.giveups." + ab.Reason).Inc()
+	}
+	return resp, err
 }
 
 // deadLetter records an abandoned invocation and either absorbs it
@@ -559,6 +608,7 @@ func (iv *Invoke) deadLetter(ctx *Ctx, ab *resilience.AbandonedError) error {
 	}
 	ctx.Inst.RecordTrace(iv.ActivityName, "dead-letter",
 		fmt.Sprintf("%s after %d attempt(s) (%s): %v", key, ab.Attempts, ab.Reason, ab.Err))
+	ctx.span.Set("deadletter_key", key).SetOutcome(obsv.OutcomeDeadLettered)
 	if iv.AbsorbExhausted {
 		for _, varName := range iv.Outputs {
 			if err := ctx.SetScalar(varName, "DEADLETTERED:"+key); err != nil {
@@ -647,7 +697,7 @@ func (s *Scope) Name() string { return s.ActivityName }
 
 // Execute implements Activity.
 func (s *Scope) Execute(ctx *Ctx) error {
-	sub := &Ctx{Inst: ctx.Inst, Engine: ctx.Engine, scope: &scopeFrame{parent: ctx.scope, name: s.ActivityName}}
+	sub := &Ctx{Inst: ctx.Inst, Engine: ctx.Engine, scope: &scopeFrame{parent: ctx.scope, name: s.ActivityName}, span: ctx.span}
 	err := execChild(sub, s.Body)
 	// A simulated crash is process death: a real crashed process runs
 	// neither fault handlers nor finally blocks, so the crash error

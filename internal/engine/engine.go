@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"wfsql/internal/journal"
+	"wfsql/internal/obsv"
 	"wfsql/internal/resilience"
 	"wfsql/internal/sqldb"
 	"wfsql/internal/wsbus"
@@ -43,6 +44,14 @@ type Process struct {
 	Funcs     xpath.FunctionResolver // extension functions (e.g. ora:*)
 	Mode      TransactionMode
 
+	// Stack names the product architecture the process models ("BIS",
+	// "WF", "Oracle") and Pattern the paper's SQL-support pattern the
+	// process exercises (e.g. "P4 retrieve-set"). Both are carried on
+	// every span the instance emits so traces can be sliced per stack
+	// and per pattern.
+	Stack   string
+	Pattern string
+
 	// OnInstanceStart hooks run before the body (the BIS layer installs
 	// preparation statements and transaction setup here).
 	OnInstanceStart []func(ctx *Ctx) error
@@ -63,6 +72,34 @@ type Engine struct {
 	nextID      atomic.Int64
 	listeners   []func(instanceID int64, ev TraceEvent)
 	jrec        *journal.Recorder
+	obs         *obsv.Observability
+}
+
+// SetObservability attaches (or with nil detaches) a tracing/metrics
+// bundle. The engine emits an instance span per execution and an
+// activity span per activity, and propagates the bundle to its
+// dead-letter log and journal recorder so their counters land in the
+// same registry.
+func (e *Engine) SetObservability(o *obsv.Observability) {
+	e.mu.Lock()
+	e.obs = o
+	jrec := e.jrec
+	e.mu.Unlock()
+	if e.DeadLetters != nil {
+		e.DeadLetters.SetObservability(o)
+	}
+	if jrec != nil {
+		jrec.SetObservability(o)
+	}
+}
+
+// Obs returns the attached observability bundle (nil if none). The
+// returned bundle's accessors are nil-safe, so call sites may use
+// e.Obs().T() / e.Obs().M() unconditionally.
+func (e *Engine) Obs() *obsv.Observability {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.obs
 }
 
 // AddTraceListener registers a monitoring callback invoked for every
@@ -290,7 +327,19 @@ func (e *Engine) execute(in *Instance) error {
 	in.state = StateRunning
 	in.mu.Unlock()
 
-	ctx := &Ctx{Inst: in, Engine: e}
+	obs := e.Obs()
+	span := obs.T().Start(0, obsv.KindInstance, in.Process.Name)
+	if span != nil {
+		span.Stack = in.Process.Stack
+		span.Pattern = in.Process.Pattern
+		span.Instance = in.ID
+		span.Set("mode", in.Process.Mode.String())
+		obs.T().SetAmbient(span.SpanID())
+		defer obs.T().SetAmbient(0)
+	}
+	obs.M().Counter("engine.instances").Inc()
+
+	ctx := &Ctx{Inst: in, Engine: e, span: span}
 	var err error
 	for _, hook := range in.Process.OnInstanceStart {
 		if err = hook(ctx); err != nil {
@@ -315,6 +364,8 @@ func (e *Engine) execute(in *Instance) error {
 		for i := len(hooks) - 1; i >= 0; i-- {
 			hooks[i]()
 		}
+		obs.M().Counter("engine.instances.crashed").Inc()
+		span.End(obsv.OutcomeCrashed)
 		return err
 	}
 
@@ -333,6 +384,16 @@ func (e *Engine) execute(in *Instance) error {
 		in.state = StateCompleted
 	}
 	in.mu.Unlock()
+	if err != nil {
+		obs.M().Counter("engine.instances.faulted").Inc()
+		if span != nil {
+			span.Set("fault", err.Error())
+		}
+		span.End(obsv.OutcomeFault)
+	} else {
+		obs.M().Counter("engine.instances.completed").Inc()
+		span.End(obsv.OutcomeOK)
+	}
 	if rec := e.Journal(); rec != nil {
 		fault := ""
 		if err != nil {

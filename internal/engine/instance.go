@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"wfsql/internal/journal"
+	"wfsql/internal/obsv"
 	"wfsql/internal/xdm"
 	"wfsql/internal/xpath"
 )
@@ -286,7 +287,18 @@ type Ctx struct {
 	Inst   *Instance
 	Engine *Engine
 	scope  *scopeFrame
+
+	// span is the observability span enclosing the current activity
+	// (the instance span at the top level). It is nil when no
+	// observability bundle is attached; all *obsv.Span methods are
+	// nil-safe, so activity code uses it unconditionally.
+	span *obsv.Span
 }
+
+// Span returns the span enclosing the current activity (nil-safe to
+// use; nil when observability is detached). Product layers use it to
+// parent their own spans under the running activity.
+func (c *Ctx) Span() *obsv.Span { return c.span }
 
 type scopeFrame struct {
 	parent *scopeFrame

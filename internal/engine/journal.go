@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"wfsql/internal/journal"
+	"wfsql/internal/obsv"
 	"wfsql/internal/resilience"
 	"wfsql/internal/xdm"
 )
@@ -24,8 +25,15 @@ import (
 func (e *Engine) AttachJournal(rec *journal.Recorder) {
 	e.mu.Lock()
 	e.jrec = rec
+	obs := e.obs
 	e.mu.Unlock()
-	if rec == nil || e.DeadLetters == nil {
+	if rec == nil {
+		return
+	}
+	if obs != nil {
+		rec.SetObservability(obs)
+	}
+	if e.DeadLetters == nil {
 		return
 	}
 	restoreDeadLetters(e.DeadLetters, rec)
@@ -100,6 +108,8 @@ func (c *Ctx) RunEffect(activity, effectKind string, effect func() (map[string]s
 			return fmt.Errorf("%s: replay: %w", activity, err)
 		}
 		in.recordTrace(activity, "replayed", fmt.Sprintf("occurrence %d from journal", occ))
+		c.span.Set("effect", effectKind).SetOutcome(obsv.OutcomeReplayed)
+		c.Engine.Obs().M().Counter("journal.replays").Inc()
 		return nil
 	}
 	rec := in.Engine.Journal()

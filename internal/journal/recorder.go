@@ -3,11 +3,14 @@ package journal
 import (
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strconv"
 	"sync"
 	"time"
+
+	"wfsql/internal/obsv"
 )
 
 // CrashPoint identifies where in the journal-then-effect protocol a
@@ -93,23 +96,91 @@ const WALName = "wal.log"
 // automatic checkpoint snapshot.
 const DefaultCheckpointEvery = 512
 
+// walFile is the slice of *os.File the recorder needs after Open. Tests
+// inject a fake to assert the sync protocol without touching a disk.
+type walFile interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// SyncMode selects when the WAL is fsynced.
+type SyncMode int
+
+// Sync modes.
+const (
+	// SyncCritical (the default) fsyncs after commit-critical records:
+	// txn-commit, activity-complete memos, checkpoints, dead letters and
+	// instance completion. These are the records whose loss breaks
+	// exactly-once replay — a crash after "journal-then-effect" must not
+	// lose the journal half while the effect's side effect survives.
+	SyncCritical SyncMode = iota
+	// SyncAlways fsyncs after every append.
+	SyncAlways
+	// SyncNever leaves flushing to Close/Sync (tests, throwaway runs).
+	SyncNever
+)
+
+// String names the mode.
+func (m SyncMode) String() string {
+	switch m {
+	case SyncCritical:
+		return "critical"
+	case SyncAlways:
+		return "always"
+	case SyncNever:
+		return "never"
+	}
+	return "unknown"
+}
+
+// SyncPolicy bundles the mode with a batching knob: with BatchSize N>1,
+// commit-critical appends are coalesced and the fsync is issued once N
+// unsynced critical records have accumulated (Sync/Close still force a
+// flush). BatchSize<=1 syncs each critical record immediately.
+type SyncPolicy struct {
+	Mode      SyncMode
+	BatchSize int
+}
+
+// criticalKind reports whether losing a record of this kind can break
+// exactly-once replay or drop an externally visible promise.
+func criticalKind(k Kind) bool {
+	switch k {
+	case KindTxnCommit, KindActivityComplete, KindCheckpoint,
+		KindInstanceComplete, KindDeadLetter:
+		return true
+	}
+	return false
+}
+
 // Recorder is the durable journal: an open append-only WAL plus the
 // materialized state. It is safe for concurrent use by multiple
 // instance goroutines.
 type Recorder struct {
 	mu              sync.Mutex
-	f               *os.File
+	f               walFile
 	path            string
 	state           *State
 	appended        int // records since last checkpoint
 	checkpointEvery int
 	injector        CrashInjector
 	closed          bool
+	sync            SyncPolicy
+	pendingSync     int   // unsynced commit-critical records
+	syncCount       int64 // fsyncs issued (tests, metrics)
+	obs             *obsv.Observability
 
 	// TornTail reports whether Open found (and truncated) a torn
 	// tail, and why. For diagnostics and tests.
 	TornTail       bool
 	TornTailReason string
+
+	// RecoverDuration and RecoveredRecords describe the Open-time scan
+	// (replay cost), exported into the metrics registry when
+	// observability is attached.
+	RecoverDuration  time.Duration
+	RecoveredRecords int
 }
 
 // Open opens (creating if needed) the journal in dir, scans it,
@@ -123,6 +194,7 @@ func Open(dir string) (*Recorder, error) {
 	if err != nil {
 		return nil, fmt.Errorf("journal: open wal: %w", err)
 	}
+	scanStart := time.Now()
 	res, err := Scan(f)
 	if err != nil {
 		f.Close()
@@ -145,10 +217,46 @@ func Open(dir string) (*Recorder, error) {
 		path:            path,
 		state:           Replay(res.Records),
 		checkpointEvery: DefaultCheckpointEvery,
+		sync:            SyncPolicy{Mode: SyncCritical, BatchSize: 1},
 		TornTail:        res.Torn,
 		TornTailReason:  res.TornReason,
 	}
+	r.RecoverDuration = time.Since(scanStart)
+	r.RecoveredRecords = len(res.Records)
 	return r, nil
+}
+
+// SetSyncPolicy tunes when appends are fsynced. The default is
+// SyncCritical with BatchSize 1 (every commit-critical record is synced
+// before Append returns).
+func (r *Recorder) SetSyncPolicy(p SyncPolicy) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if p.BatchSize < 1 {
+		p.BatchSize = 1
+	}
+	r.sync = p
+}
+
+// SetObservability attaches a tracing/metrics bundle; journal appends,
+// checkpoints, fsyncs and the Open-time recovery scan are counted and
+// timed into its registry. Nil detaches.
+func (r *Recorder) SetObservability(o *obsv.Observability) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.obs = o
+	if o != nil {
+		o.M().Counter("journal.recover.records").Add(int64(r.RecoveredRecords))
+		o.M().Histogram("journal.recover_ms").ObserveDuration(r.RecoverDuration)
+	}
+}
+
+// SyncCount reports how many fsyncs the recorder has issued (excluding
+// the one in Close). For tests and metrics.
+func (r *Recorder) SyncCount() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.syncCount
 }
 
 // SetCheckpointEvery tunes the automatic checkpoint cadence (records
@@ -183,6 +291,11 @@ func (r *Recorder) ShouldCrash(instance int64, activity string, point CrashPoint
 func (r *Recorder) Path() string { return r.path }
 
 // Append writes one record durably and folds it into the state.
+// Commit-critical records (txn-commit, activity-complete memos,
+// checkpoints, dead letters, instance completion) are fsynced according
+// to the recorder's SyncPolicy before Append returns, closing the
+// crash window in which the journal half of "journal-then-effect" is
+// lost while the effect's side effect survives.
 func (r *Recorder) Append(rec *Record) error {
 	if rec.Time.IsZero() {
 		rec.Time = time.Now().UTC()
@@ -191,6 +304,7 @@ func (r *Recorder) Append(rec *Record) error {
 	if err != nil {
 		return err
 	}
+	start := time.Now()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.closed {
@@ -201,9 +315,53 @@ func (r *Recorder) Append(rec *Record) error {
 	}
 	r.state.apply(rec)
 	r.appended++
+	if err := r.maybeSyncLocked(rec.Kind); err != nil {
+		return err
+	}
+	r.obs.M().Counter("journal.appends").Inc()
+	r.obs.M().Counter("journal.appends." + string(rec.Kind)).Inc()
+	r.obs.M().Histogram("journal.append_ms").ObserveDuration(time.Since(start))
 	if r.checkpointEvery > 0 && r.appended >= r.checkpointEvery && rec.Kind != KindCheckpoint {
 		return r.checkpointLocked()
 	}
+	return nil
+}
+
+// maybeSyncLocked applies the sync policy after a record of kind k was
+// written. Caller holds r.mu.
+func (r *Recorder) maybeSyncLocked(k Kind) error {
+	switch r.sync.Mode {
+	case SyncNever:
+		return nil
+	case SyncAlways:
+		r.pendingSync++
+	case SyncCritical:
+		if !criticalKind(k) {
+			return nil
+		}
+		r.pendingSync++
+	}
+	batch := r.sync.BatchSize
+	if batch < 1 {
+		batch = 1
+	}
+	if r.pendingSync < batch {
+		return nil
+	}
+	return r.syncLocked()
+}
+
+// syncLocked issues the fsync and resets the pending-batch counter.
+// Caller holds r.mu.
+func (r *Recorder) syncLocked() error {
+	start := time.Now()
+	if err := r.f.Sync(); err != nil {
+		return fmt.Errorf("journal: sync: %w", err)
+	}
+	r.pendingSync = 0
+	r.syncCount++
+	r.obs.M().Counter("journal.syncs").Inc()
+	r.obs.M().Histogram("journal.sync_ms").ObserveDuration(time.Since(start))
 	return nil
 }
 
@@ -219,6 +377,7 @@ func (r *Recorder) Checkpoint() error {
 }
 
 func (r *Recorder) checkpointLocked() error {
+	start := time.Now()
 	rec := &Record{Kind: KindCheckpoint, Checkpoint: r.state.Clone(), Time: time.Now().UTC()}
 	buf, err := Marshal(rec)
 	if err != nil {
@@ -228,17 +387,23 @@ func (r *Recorder) checkpointLocked() error {
 		return fmt.Errorf("journal: checkpoint: %w", err)
 	}
 	r.appended = 0
+	if err := r.maybeSyncLocked(KindCheckpoint); err != nil {
+		return err
+	}
+	r.obs.M().Counter("journal.checkpoints").Inc()
+	r.obs.M().Histogram("journal.checkpoint_ms").ObserveDuration(time.Since(start))
 	return nil
 }
 
-// Sync flushes the WAL to stable storage.
+// Sync flushes the WAL to stable storage, regardless of the batch
+// policy's pending count.
 func (r *Recorder) Sync() error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.closed {
 		return nil
 	}
-	return r.f.Sync()
+	return r.syncLocked()
 }
 
 // Close syncs and closes the WAL.

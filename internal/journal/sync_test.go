@@ -1,0 +1,240 @@
+package journal
+
+import (
+	"bytes"
+	"testing"
+
+	"wfsql/internal/obsv"
+)
+
+// fakeWAL is an in-memory walFile that records the sync protocol: how
+// many bytes were written before each fsync, and how many fsyncs were
+// issued in total.
+type fakeWAL struct {
+	buf         bytes.Buffer
+	syncs       int
+	syncedAt    []int // buf length at each Sync call
+	closed      bool
+	syncOnClose bool
+}
+
+func (f *fakeWAL) Write(p []byte) (int, error) { return f.buf.Write(p) }
+
+func (f *fakeWAL) Sync() error {
+	f.syncs++
+	f.syncedAt = append(f.syncedAt, f.buf.Len())
+	return nil
+}
+
+func (f *fakeWAL) Close() error {
+	f.closed = true
+	return nil
+}
+
+// newFakeRecorder builds a Recorder over an injected fake file, skipping
+// the disk-backed Open path.
+func newFakeRecorder(f *fakeWAL) *Recorder {
+	return &Recorder{
+		f:     f,
+		path:  "fake://wal",
+		state: Replay(nil),
+		sync:  SyncPolicy{Mode: SyncCritical, BatchSize: 1},
+	}
+}
+
+func TestAppendSyncsCommitCriticalRecords(t *testing.T) {
+	f := &fakeWAL{}
+	r := newFakeRecorder(f)
+
+	// Non-critical records must not trigger fsync on their own.
+	if err := r.Deploy("P"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.InstanceCreated(1, "P", "long-running", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.ActivityStart(1, "Invoke", 0, "invoke"); err != nil {
+		t.Fatal(err)
+	}
+	if f.syncs != 0 {
+		t.Fatalf("non-critical records caused %d fsyncs", f.syncs)
+	}
+
+	// The activity-complete memo is the record whose loss breaks
+	// exactly-once replay: it MUST be synced before Append returns.
+	if err := r.ActivityComplete(1, "Invoke", 0, "invoke", map[string]string{"out": "1"}); err != nil {
+		t.Fatal(err)
+	}
+	if f.syncs != 1 {
+		t.Fatalf("activity-complete: want 1 fsync, got %d", f.syncs)
+	}
+	// The fsync must cover everything written so far (WAL is ordered,
+	// so syncing the tail syncs the prefix).
+	if f.syncedAt[0] != f.buf.Len() {
+		t.Fatalf("fsync at %d bytes but buffer has %d", f.syncedAt[0], f.buf.Len())
+	}
+
+	// txn-commit and instance-complete are also commit-critical.
+	if err := r.TxnBegin(1, "uow"); err != nil {
+		t.Fatal(err)
+	}
+	if f.syncs != 1 {
+		t.Fatalf("txn-begin should not sync, got %d", f.syncs)
+	}
+	if err := r.TxnCommit(1, "uow"); err != nil {
+		t.Fatal(err)
+	}
+	if f.syncs != 2 {
+		t.Fatalf("txn-commit: want 2 fsyncs, got %d", f.syncs)
+	}
+	if err := r.InstanceComplete(1, ""); err != nil {
+		t.Fatal(err)
+	}
+	if f.syncs != 3 {
+		t.Fatalf("instance-complete: want 3 fsyncs, got %d", f.syncs)
+	}
+	if got := r.SyncCount(); got != 3 {
+		t.Fatalf("SyncCount = %d", got)
+	}
+}
+
+func TestCheckpointIsSynced(t *testing.T) {
+	f := &fakeWAL{}
+	r := newFakeRecorder(f)
+	if err := r.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if f.syncs != 1 {
+		t.Fatalf("checkpoint: want 1 fsync, got %d", f.syncs)
+	}
+	if f.syncedAt[0] != f.buf.Len() {
+		t.Fatalf("checkpoint fsync did not cover the snapshot bytes")
+	}
+}
+
+func TestSyncBatchingCoalesces(t *testing.T) {
+	f := &fakeWAL{}
+	r := newFakeRecorder(f)
+	r.SetSyncPolicy(SyncPolicy{Mode: SyncCritical, BatchSize: 3})
+
+	for i := 0; i < 2; i++ {
+		if err := r.ActivityComplete(1, "A", i, "sql", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if f.syncs != 0 {
+		t.Fatalf("batch of 3: fsynced after %d records", f.syncs)
+	}
+	if err := r.ActivityComplete(1, "A", 2, "sql", nil); err != nil {
+		t.Fatal(err)
+	}
+	if f.syncs != 1 {
+		t.Fatalf("batch full: want 1 coalesced fsync, got %d", f.syncs)
+	}
+	// A forced Sync flushes a partial batch.
+	if err := r.ActivityComplete(1, "A", 3, "sql", nil); err != nil {
+		t.Fatal(err)
+	}
+	if f.syncs != 1 {
+		t.Fatalf("partial batch should not fsync, got %d", f.syncs)
+	}
+	if err := r.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if f.syncs != 2 {
+		t.Fatalf("forced Sync: want 2 fsyncs, got %d", f.syncs)
+	}
+}
+
+func TestSyncModes(t *testing.T) {
+	// SyncAlways: every record is synced.
+	f := &fakeWAL{}
+	r := newFakeRecorder(f)
+	r.SetSyncPolicy(SyncPolicy{Mode: SyncAlways, BatchSize: 1})
+	if err := r.Deploy("P"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.ActivityStart(1, "A", 0, "sql"); err != nil {
+		t.Fatal(err)
+	}
+	if f.syncs != 2 {
+		t.Fatalf("SyncAlways: want 2, got %d", f.syncs)
+	}
+
+	// SyncNever: nothing syncs until Close.
+	f2 := &fakeWAL{}
+	r2 := newFakeRecorder(f2)
+	r2.SetSyncPolicy(SyncPolicy{Mode: SyncNever})
+	if err := r2.TxnCommit(1, "uow"); err != nil {
+		t.Fatal(err)
+	}
+	if f2.syncs != 0 {
+		t.Fatalf("SyncNever: got %d fsyncs", f2.syncs)
+	}
+	if err := r2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if f2.syncs != 1 || !f2.closed {
+		t.Fatalf("Close must sync+close: syncs=%d closed=%v", f2.syncs, f2.closed)
+	}
+}
+
+func TestSyncMetricsCounted(t *testing.T) {
+	f := &fakeWAL{}
+	r := newFakeRecorder(f)
+	o := obsv.New()
+	r.SetObservability(o)
+
+	if err := r.ActivityStart(1, "A", 0, "sql"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.ActivityComplete(1, "A", 0, "sql", nil); err != nil {
+		t.Fatal(err)
+	}
+	m := o.M()
+	if got := m.Counter("journal.appends").Value(); got != 2 {
+		t.Fatalf("journal.appends = %d", got)
+	}
+	if got := m.Counter("journal.syncs").Value(); got != 1 {
+		t.Fatalf("journal.syncs = %d", got)
+	}
+	if got := m.Counter("journal.appends.activity-complete").Value(); got != 1 {
+		t.Fatalf("per-kind append counter = %d", got)
+	}
+	if m.Histogram("journal.append_ms").Count() != 2 {
+		t.Fatalf("append_ms observations = %d", m.Histogram("journal.append_ms").Count())
+	}
+}
+
+// TestDiskRecorderStillWorks pins that the real Open path composes with
+// the sync policy (os.File satisfies walFile).
+func TestDiskRecorderStillWorks(t *testing.T) {
+	dir := t.TempDir()
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.InstanceCreated(1, "P", "", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.ActivityComplete(1, "A", 0, "sql", map[string]string{"k": "v"}); err != nil {
+		t.Fatal(err)
+	}
+	if r.SyncCount() < 1 {
+		t.Fatalf("disk recorder never fsynced a critical record")
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen and confirm the memo survived.
+	r2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	st := r2.State()
+	ij := st.Instances[1]
+	if ij == nil || ij.MemoCount() != 1 {
+		t.Fatalf("memo lost across reopen: %+v", ij)
+	}
+}

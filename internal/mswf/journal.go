@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"wfsql/internal/journal"
+	"wfsql/internal/obsv"
 	"wfsql/internal/resilience"
 )
 
@@ -22,8 +23,15 @@ import (
 func (rt *Runtime) AttachJournal(rec *journal.Recorder) {
 	rt.mu.Lock()
 	rt.jrec = rec
+	obs := rt.obs
 	rt.mu.Unlock()
-	if rec == nil || rt.DeadLetters == nil {
+	if rec == nil {
+		return
+	}
+	if obs != nil {
+		rec.SetObservability(obs)
+	}
+	if rt.DeadLetters == nil {
 		return
 	}
 	var entries []resilience.DeadLetter
@@ -102,6 +110,8 @@ func (c *Context) RunEffect(activity, effectKind string, effect func() (map[stri
 			return fmt.Errorf("%s: replay: %w", activity, err)
 		}
 		c.Track(activity, "Replayed")
+		c.currentSpan().Set("effect", effectKind).SetOutcome(obsv.OutcomeReplayed)
+		c.Runtime.Obs().M().Counter("journal.replays").Inc()
 		return nil
 	}
 	rec := c.jrec
@@ -156,7 +166,7 @@ func (rt *Runtime) Resume(root Activity, ij *journal.InstanceJournal) (*Context,
 	}
 	c.mu.Unlock()
 	c.Track(root.Name(), fmt.Sprintf("Recovering instance %d (%d memoized effects)", ij.ID, total))
-	err := runActivity(c, root)
+	err := rt.runRoot(c, root)
 	c.finishJournal(err)
 	return c, err
 }

@@ -19,6 +19,7 @@ import (
 	"sync"
 
 	"wfsql/internal/journal"
+	"wfsql/internal/obsv"
 	"wfsql/internal/resilience"
 	"wfsql/internal/sqldb"
 )
@@ -50,6 +51,32 @@ type Runtime struct {
 	services  map[string]func(map[string]string) (map[string]string, error)
 	tracking  bool
 	jrec      *journal.Recorder
+	obs       *obsv.Observability
+}
+
+// SetObservability attaches (or with nil detaches) a tracing/metrics
+// bundle: each Run then emits an instance span (stack "WF") with one
+// activity span per executed activity, mirroring the tracking service,
+// and the bundle is propagated to the dead-letter log and any attached
+// journal recorder.
+func (rt *Runtime) SetObservability(o *obsv.Observability) {
+	rt.mu.Lock()
+	rt.obs = o
+	jrec := rt.jrec
+	rt.mu.Unlock()
+	if rt.DeadLetters != nil {
+		rt.DeadLetters.SetObservability(o)
+	}
+	if jrec != nil {
+		jrec.SetObservability(o)
+	}
+}
+
+// Obs returns the attached observability bundle (nil-safe to use).
+func (rt *Runtime) Obs() *obsv.Observability {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return rt.obs
 }
 
 type registeredDB struct {
@@ -188,6 +215,23 @@ type Context struct {
 	jrec   *journal.Recorder
 	replay map[string][]journal.Memo
 	occs   map[string]int
+
+	// Observability spans: the instance span for the whole run and the
+	// innermost activity span currently executing (a serial
+	// approximation; parallel branches share it, mirroring the tracer's
+	// ambient fallback).
+	span    *obsv.Span
+	spanTop *obsv.Span
+}
+
+// currentSpan returns the innermost open span (activity, else instance).
+func (c *Context) currentSpan() *obsv.Span {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.spanTop != nil {
+		return c.spanTop
+	}
+	return c.span
 }
 
 // Get returns a host variable.
@@ -292,17 +336,72 @@ func (rt *Runtime) Run(root Activity, initial map[string]any) (*Context, error) 
 			return c, err
 		}
 	}
-	err := runActivity(c, root)
+	err := rt.runRoot(c, root)
 	c.finishJournal(err)
 	return c, err
 }
 
+// runRoot executes the workflow root under an instance span (stack
+// "WF"), shared by Run and Resume.
+func (rt *Runtime) runRoot(c *Context, root Activity) error {
+	obs := rt.Obs()
+	span := obs.T().Start(0, obsv.KindInstance, root.Name())
+	if span != nil {
+		span.Stack = "WF"
+		span.Instance = c.instID
+		c.mu.Lock()
+		c.span = span
+		c.mu.Unlock()
+		obs.T().SetAmbient(span.SpanID())
+		defer obs.T().SetAmbient(0)
+	}
+	obs.M().Counter("wf.instances").Inc()
+	err := runActivity(c, root)
+	switch {
+	case journal.IsCrash(err):
+		span.End(obsv.OutcomeCrashed)
+	case err != nil:
+		span.Set("fault", err.Error()).End(obsv.OutcomeFault)
+	default:
+		span.End(obsv.OutcomeOK)
+	}
+	return err
+}
+
 func runActivity(c *Context, a Activity) error {
+	obs := c.Runtime.Obs()
+	var sp *obsv.Span
+	if t := obs.T(); t != nil {
+		sp = t.Start(c.currentSpan().SpanID(), obsv.KindActivity, a.Name())
+		sp.Stack = "WF"
+		sp.Instance = c.instID
+		c.mu.Lock()
+		prev := c.spanTop
+		c.spanTop = sp
+		c.mu.Unlock()
+		prevAmb := t.Ambient()
+		t.SetAmbient(sp.SpanID())
+		defer func() {
+			t.SetAmbient(prevAmb)
+			c.mu.Lock()
+			c.spanTop = prev
+			c.mu.Unlock()
+		}()
+	}
+	obs.M().Counter("wf.activities").Inc()
 	c.Track(a.Name(), "Executing")
 	if err := a.Execute(c); err != nil {
 		c.Track(a.Name(), "Faulted")
+		if journal.IsCrash(err) {
+			sp.End(obsv.OutcomeCrashed)
+		} else {
+			sp.Set("fault", err.Error()).End(obsv.OutcomeFault)
+		}
 		return err
 	}
 	c.Track(a.Name(), "Closed")
+	// End("") keeps an outcome recorded earlier (e.g. OutcomeReplayed
+	// from the journal replay path), defaulting to OK.
+	sp.End("")
 	return nil
 }

@@ -12,10 +12,11 @@ import (
 // BPEL process whose assign activities can call the Oracle XPath extension
 // functions, and produces an engine.Process for the Core BPEL Engine.
 type ProcessBuilder struct {
-	name  string
-	funcs *Functions
-	vars  []engine.VarDecl
-	body  engine.Activity
+	name    string
+	funcs   *Functions
+	vars    []engine.VarDecl
+	body    engine.Activity
+	pattern string
 }
 
 // NewProcess starts building an Oracle SOA process over the given
@@ -42,6 +43,13 @@ func (b *ProcessBuilder) Body(a engine.Activity) *ProcessBuilder {
 	return b
 }
 
+// Pattern labels the process with the paper's SQL-support pattern id it
+// exercises; spans emitted for its instances carry the label.
+func (b *ProcessBuilder) Pattern(id string) *ProcessBuilder {
+	b.pattern = id
+	return b
+}
+
 // Build produces the deployable process model with the extension functions
 // installed.
 func (b *ProcessBuilder) Build() *engine.Process {
@@ -50,6 +58,8 @@ func (b *ProcessBuilder) Build() *engine.Process {
 		Variables: b.vars,
 		Body:      b.body,
 		Funcs:     b.funcs,
+		Stack:     "Oracle",
+		Pattern:   b.pattern,
 	}
 }
 

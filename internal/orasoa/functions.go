@@ -17,6 +17,7 @@ import (
 	"strings"
 	"sync"
 
+	"wfsql/internal/obsv"
 	"wfsql/internal/resilience"
 	"wfsql/internal/rowset"
 	"wfsql/internal/sqldb"
@@ -35,6 +36,19 @@ type Functions struct {
 	calls   map[string]int // per-function call counters (monitoring)
 	retry   *resilience.Policy
 	retries int // statement re-executions caused by the retry policy
+	obs     *obsv.Observability
+}
+
+// SetObservability attaches (or with nil detaches) a tracing/metrics
+// bundle: every extension-function call then increments ora.calls and
+// ora.calls.<function>. The SQL statements the functions execute are
+// traced by the database itself (sqldb.DB.SetObservability), with their
+// spans parented under the tracer's ambient span — the assign activity
+// whose XPath expression invoked the function.
+func (f *Functions) SetObservability(o *obsv.Observability) {
+	f.mu.Lock()
+	f.obs = o
+	f.mu.Unlock()
 }
 
 // NewFunctions creates the extension function library over a statically
@@ -107,7 +121,10 @@ func (f *Functions) CallFunction(name string, args []xpath.Value) (xpath.Value, 
 	}
 	f.mu.Lock()
 	f.calls[local]++
+	obs := f.obs
 	f.mu.Unlock()
+	obs.M().Counter("ora.calls").Inc()
+	obs.M().Counter("ora.calls." + local).Inc()
 	switch local {
 	case "query-database":
 		return f.queryDatabase(args)

@@ -1,0 +1,162 @@
+package resilience
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"wfsql/internal/obsv"
+)
+
+// collectBackoffs runs a failing op under p and returns the backoff
+// durations the loop chose (sleeps are stubbed out).
+func collectBackoffs(t *testing.T, p *Policy) []time.Duration {
+	t.Helper()
+	var ds []time.Duration
+	p.Sleep = func(time.Duration) {}
+	obs := Observer{OnBackoff: func(_ int, d time.Duration) { ds = append(ds, d) }}
+	err := p.DoErr(obs, func(int) error { return errors.New("boom") })
+	if Abandoned(err) == nil {
+		t.Fatalf("expected exhaustion, got %v", err)
+	}
+	return ds
+}
+
+// TestUnseededPoliciesDoNotBackoffInLockstep is the regression test for
+// the thundering-herd bug: with Seed == 0 every Do call used to build
+// its RNG from the same constant seed, so all unseeded instances drew
+// an identical jitter sequence and retried at exactly the same moments.
+// Two unseeded policies must now produce different backoff sequences.
+func TestUnseededPoliciesDoNotBackoffInLockstep(t *testing.T) {
+	mk := func() *Policy {
+		return &Policy{
+			MaxAttempts:    8,
+			InitialBackoff: 100 * time.Millisecond,
+			Jitter:         1.0, // fully randomized: any lockstep is visible
+		}
+	}
+	a := collectBackoffs(t, mk())
+	b := collectBackoffs(t, mk())
+	if len(a) != 7 || len(b) != 7 {
+		t.Fatalf("want 7 backoffs each, got %d and %d", len(a), len(b))
+	}
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatalf("two unseeded policies produced identical backoff sequences (lockstep): %v", a)
+	}
+}
+
+// TestSeededPolicyRemainsDeterministic pins that the explicit-seed path
+// is still reproducible: same seed, same sequence; different seeds,
+// different sequences.
+func TestSeededPolicyRemainsDeterministic(t *testing.T) {
+	mk := func(seed int64) *Policy {
+		return &Policy{
+			MaxAttempts:    6,
+			InitialBackoff: 100 * time.Millisecond,
+			Jitter:         0.5,
+			Seed:           seed,
+		}
+	}
+	a := collectBackoffs(t, mk(42))
+	b := collectBackoffs(t, mk(42))
+	c := collectBackoffs(t, mk(43))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %v vs %v", i, a, b)
+		}
+	}
+	diff := false
+	for i := range a {
+		if a[i] != c[i] {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatalf("different seeds produced identical sequences: %v", a)
+	}
+}
+
+// TestSharedJitterConcurrentUse exercises the shared locked source from
+// many goroutines; meaningful under -race.
+func TestSharedJitterConcurrentUse(t *testing.T) {
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			p := &Policy{
+				MaxAttempts:    5,
+				InitialBackoff: time.Millisecond,
+				Jitter:         1.0,
+				Sleep:          func(time.Duration) {},
+			}
+			_ = p.DoErr(Observer{}, func(int) error { return errors.New("x") })
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+}
+
+// TestDeadLetterLogUsesInjectedClock is the regression test for the
+// nondeterministic-replay bug: Add used to stamp dl.Time with a raw
+// time.Now() even when the caller had an injectable clock, so a journal
+// replay of a dead-lettered run could never reproduce the original
+// records byte-for-byte.
+func TestDeadLetterLogUsesInjectedClock(t *testing.T) {
+	fixed := time.Date(2026, 8, 6, 9, 30, 0, 0, time.UTC)
+	l := NewDeadLetterLog()
+	l.SetClock(func() time.Time { return fixed })
+
+	got := l.Add(DeadLetter{Activity: "Invoke", Key: "item-9", Reason: ReasonExhausted})
+	if !got.Time.Equal(fixed) {
+		t.Fatalf("Add stamped %v, want injected %v", got.Time, fixed)
+	}
+
+	// Two logs with the same clock produce identical records — the
+	// property journal-replay comparison relies on.
+	l2 := NewDeadLetterLog()
+	l2.SetClock(func() time.Time { return fixed })
+	got2 := l2.Add(DeadLetter{Activity: "Invoke", Key: "item-9", Reason: ReasonExhausted})
+	if got != got2 {
+		t.Fatalf("same clock, different records: %+v vs %+v", got, got2)
+	}
+
+	// An explicit caller-provided Time still wins.
+	explicit := fixed.Add(time.Hour)
+	got3 := l.Add(DeadLetter{Activity: "Invoke", Key: "item-10", Time: explicit})
+	if !got3.Time.Equal(explicit) {
+		t.Fatalf("explicit time overridden: %v", got3.Time)
+	}
+
+	// Nil clock restores wall time.
+	l.SetClock(nil)
+	before := time.Now()
+	got4 := l.Add(DeadLetter{Key: "item-11"})
+	if got4.Time.Before(before) {
+		t.Fatalf("nil clock should fall back to time.Now, got %v", got4.Time)
+	}
+}
+
+func TestDeadLetterLogMetrics(t *testing.T) {
+	o := obsv.New()
+	l := NewDeadLetterLog()
+	l.SetObservability(o)
+	l.Add(DeadLetter{Key: "a"})
+	l.Add(DeadLetter{Key: "a"})
+	l.Add(DeadLetter{Key: "b"})
+	l.Requeue("a")
+	if got := o.M().Counter("deadletter.added").Value(); got != 3 {
+		t.Fatalf("deadletter.added = %d", got)
+	}
+	if got := o.M().Counter("deadletter.requeued").Value(); got != 2 {
+		t.Fatalf("deadletter.requeued = %d", got)
+	}
+}

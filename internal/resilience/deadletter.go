@@ -4,6 +4,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"wfsql/internal/obsv"
 )
 
 // DeadLetter is the record kept for one invocation whose retries were
@@ -34,10 +36,38 @@ type DeadLetterLog struct {
 	nextSeq int
 	persist func(DeadLetter)
 	remove  func(key string)
+	now     func() time.Time
+	obs     *obsv.Observability
 }
 
 // NewDeadLetterLog creates an empty log.
 func NewDeadLetterLog() *DeadLetterLog { return &DeadLetterLog{} }
+
+// SetClock installs an injectable time source for stamping records.
+// Product layers thread the retry policy's Now hook through here so a
+// journal replay of a dead-lettered run reproduces identical records
+// (Add formerly called time.Now() directly, which made replay
+// comparisons nondeterministic). Nil restores time.Now.
+func (l *DeadLetterLog) SetClock(now func() time.Time) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.now = now
+}
+
+// SetObservability attaches a metrics registry: deadletter.added and
+// deadletter.requeued are counted. Nil detaches.
+func (l *DeadLetterLog) SetObservability(o *obsv.Observability) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.obs = o
+}
+
+func (l *DeadLetterLog) clockLocked() time.Time {
+	if l.now != nil {
+		return l.now()
+	}
+	return time.Now()
+}
 
 // SetPersistence installs durability hooks: persist is called (outside
 // the log's lock) for every Add, remove for every key dropped by
@@ -70,11 +100,13 @@ func (l *DeadLetterLog) Add(dl DeadLetter) DeadLetter {
 	l.nextSeq++
 	dl.Seq = l.nextSeq
 	if dl.Time.IsZero() {
-		dl.Time = time.Now()
+		dl.Time = l.clockLocked()
 	}
 	l.entries = append(l.entries, dl)
 	persist := l.persist
+	obs := l.obs
 	l.mu.Unlock()
+	obs.M().Counter("deadletter.added").Inc()
 	if persist != nil {
 		persist(dl)
 	}
@@ -97,7 +129,9 @@ func (l *DeadLetterLog) Requeue(key string) []DeadLetter {
 	}
 	l.entries = kept
 	remove := l.remove
+	obs := l.obs
 	l.mu.Unlock()
+	obs.M().Counter("deadletter.requeued").Add(int64(len(requeued)))
 	if remove != nil && len(requeued) > 0 {
 		remove(key)
 	}

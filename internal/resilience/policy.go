@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync"
 	"time"
 )
 
@@ -37,7 +38,16 @@ type Policy struct {
 
 	// Jitter is the fraction [0,1] of each backoff that is randomized:
 	// the effective delay is d*(1-Jitter) + u*d*Jitter with u uniform in
-	// [0,1). Jitter is deterministic per Do call, driven by Seed.
+	// [0,1).
+	//
+	// With Seed != 0 the jitter stream is deterministic per Do call
+	// (reproducible tests). With Seed == 0 — the common production
+	// configuration — jitter draws from a process-wide mutex-guarded
+	// source, so concurrent unseeded policies get independent streams.
+	// (Historically Seed == 0 seeded every Do call with the same
+	// constant, which made all unseeded instances back off in lockstep:
+	// a thundering herd exactly when jitter was supposed to prevent
+	// one.)
 	Jitter float64
 	Seed   int64
 
@@ -76,8 +86,47 @@ func (p *Policy) Attempts() int {
 	return p.MaxAttempts
 }
 
-// BackoffFor returns the deterministic backoff before attempt n+1 (n is
-// the 1-based attempt that just failed), using rng for jitter.
+// lockedSource is a rand.Source safe for concurrent use. The derived
+// *rand.Rand only calls Int63 (Float64 is Int63-based), so guarding the
+// source suffices.
+type lockedSource struct {
+	mu  sync.Mutex
+	src rand.Source
+}
+
+func (s *lockedSource) Int63() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.src.Int63()
+}
+
+func (s *lockedSource) Seed(seed int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.src.Seed(seed)
+}
+
+// sharedJitter is the process-wide jitter source used by every policy
+// with Seed == 0. Sharing one mutex-guarded source (rather than seeding
+// per call) guarantees concurrent retry loops draw from disjoint points
+// of a single stream and therefore never back off in lockstep.
+var sharedJitter = rand.New(&lockedSource{src: rand.NewSource(time.Now().UnixNano())})
+
+// jitterRand returns the RNG Do should use for this policy: nil when
+// jitter is disabled, a fresh deterministic stream when Seed != 0, and
+// the shared locked source otherwise.
+func (p *Policy) jitterRand() *rand.Rand {
+	if p.Jitter <= 0 {
+		return nil
+	}
+	if p.Seed != 0 {
+		return rand.New(rand.NewSource(p.Seed))
+	}
+	return sharedJitter
+}
+
+// BackoffFor returns the backoff before attempt n+1 (n is the 1-based
+// attempt that just failed), using rng for jitter.
 func (p *Policy) BackoffFor(n int, rng *rand.Rand) time.Duration {
 	d := float64(p.InitialBackoff)
 	mult := p.Multiplier
@@ -226,10 +275,7 @@ func Do[T any](p *Policy, obs Observer, op func(attempt int) (T, error)) (T, err
 	}
 	start := p.now()
 	max := p.Attempts()
-	var rng *rand.Rand
-	if p.Jitter > 0 {
-		rng = rand.New(rand.NewSource(p.Seed))
-	}
+	rng := p.jitterRand()
 	var lastErr error
 	for n := 1; n <= max; n++ {
 		obs.attempt(n, max)

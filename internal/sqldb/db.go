@@ -26,10 +26,12 @@ type DB struct {
 	rowsWritten   int64
 	bytesReturned int64
 
-	// hookMu guards execHook separately from mu so the hook can sleep
-	// (latency injection) without serializing against statement execution.
-	hookMu   sync.Mutex
-	execHook ExecHook
+	// hookMu guards execHook and statsSink separately from mu so the hook
+	// can sleep (latency injection) without serializing against statement
+	// execution.
+	hookMu    sync.Mutex
+	execHook  ExecHook
+	statsSink StatsSink
 }
 
 // ExecHook intercepts every top-level statement executed against the

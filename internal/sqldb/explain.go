@@ -50,11 +50,11 @@ func (s *Session) explainSelect(q *SelectStmt, base *env, depth int, lines *[]st
 		}
 		if q.Where != nil {
 			if idx := s.chooseIndex(tbl, q.Where, base); idx != nil {
-				add("INDEX PROBE %s USING %s (%s)", tbl.Name, idx.Name, strings.Join(idx.Columns, ", "))
+				add("%s", planLabel(tbl, idx))
 				goto post
 			}
 		}
-		add("SCAN %s (%d rows)", tbl.Name, len(tbl.rows))
+		add("%s", planLabel(tbl, nil))
 	default:
 		describe := func(table string, sub *SelectStmt, alias string) (string, error) {
 			if sub != nil {
@@ -127,13 +127,23 @@ post:
 	return nil
 }
 
-// chooseIndex returns the index the executor's fast path would probe for
-// this predicate, or nil for a scan.
+// chooseIndex is the single planner entry point shared by the executor
+// (Session.indexCandidates) and EXPLAIN (explainSelect): it returns the
+// index whose columns are fully bound by the predicate's equality
+// conjuncts, or nil for a scan.
+//
+// Selection is deterministic: among applicable indexes the most specific
+// one (most columns) wins, with the lexicographically smallest name
+// breaking ties. (Historically this ranged over the table's index map,
+// whose iteration order is randomized per call — so with two applicable
+// indexes EXPLAIN could name one index while the very next execution
+// probed the other.)
 func (s *Session) chooseIndex(tbl *Table, where Expr, base *env) *Index {
 	eq := map[string]Value{}
 	if !collectEqualities(where, base, eq) || len(eq) == 0 {
 		return nil
 	}
+	var best *Index
 	for _, idx := range tbl.indexes {
 		ok := true
 		for _, c := range idx.Columns {
@@ -142,9 +152,14 @@ func (s *Session) chooseIndex(tbl *Table, where Expr, base *env) *Index {
 				break
 			}
 		}
-		if ok {
-			return idx
+		if !ok {
+			continue
+		}
+		if best == nil ||
+			len(idx.Columns) > len(best.Columns) ||
+			(len(idx.Columns) == len(best.Columns) && idx.Name < best.Name) {
+			best = idx
 		}
 	}
-	return nil
+	return best
 }

@@ -248,6 +248,7 @@ func (s *Session) scanBase(table, alias string, outer *env) (*relation, error) {
 	if qual == "" {
 		qual = tbl.Name
 	}
+	s.notePlan(tbl, nil)
 	rel := &relation{cols: tableColMeta(tbl, qual)}
 	rel.rows = make([][]Value, 0, len(tbl.rows))
 	for _, r := range tbl.rows {

@@ -3,6 +3,7 @@ package sqldb
 import (
 	"fmt"
 	"strings"
+	"time"
 )
 
 // Session is a connection-like handle on a DB. A session may hold an
@@ -13,6 +14,12 @@ type Session struct {
 	db     *DB
 	txn    *txn
 	locked bool // true while this session holds db.mu (re-entrant execution)
+
+	// per-statement stats plumbing (see stats.go)
+	sink         StatsSink     // session-level override of the DB sink
+	pendingParse time.Duration // Parse time of the statement about to run
+	planTable    string        // primary access-path table of current stmt
+	planIndex    string        // index probed by the current stmt ("" = scan)
 }
 
 // txn is an in-flight transaction: an undo log replayed in reverse on
@@ -53,20 +60,24 @@ func (s *Session) DB() *DB { return s.db }
 
 // Exec parses and executes one SQL statement with positional parameters.
 func (s *Session) Exec(sql string, params ...Value) (*Result, error) {
+	start := time.Now()
 	st, err := Parse(sql)
 	if err != nil {
 		return nil, err
 	}
+	s.pendingParse = time.Since(start)
 	return s.ExecStmt(st, params, nil)
 }
 
 // ExecNamed parses and executes one SQL statement binding :name parameters
 // from the given map (keys are case-insensitive).
 func (s *Session) ExecNamed(sql string, named map[string]Value) (*Result, error) {
+	start := time.Now()
 	st, err := Parse(sql)
 	if err != nil {
 		return nil, err
 	}
+	s.pendingParse = time.Since(start)
 	return s.ExecStmt(st, nil, named)
 }
 
@@ -74,26 +85,40 @@ func (s *Session) ExecNamed(sql string, named map[string]Value) (*Result, error)
 // different parameters — the host-variable execution path the product
 // layers use for repeated statements.
 type PreparedStmt struct {
-	s    *Session
-	stmt Stmt
+	s        *Session
+	stmt     Stmt
+	parse    time.Duration
+	reported bool
 }
 
 // Prepare parses a statement once for repeated execution.
 func (s *Session) Prepare(sql string) (*PreparedStmt, error) {
+	start := time.Now()
 	st, err := Parse(sql)
 	if err != nil {
 		return nil, err
 	}
-	return &PreparedStmt{s: s, stmt: st}, nil
+	return &PreparedStmt{s: s, stmt: st, parse: time.Since(start)}, nil
+}
+
+// attributeParse charges the one-time parse cost to the first execution
+// (later executions report zero parse time — the point of preparing).
+func (p *PreparedStmt) attributeParse() {
+	if !p.reported {
+		p.reported = true
+		p.s.pendingParse = p.parse
+	}
 }
 
 // Exec runs the prepared statement with positional parameters.
 func (p *PreparedStmt) Exec(params ...Value) (*Result, error) {
+	p.attributeParse()
 	return p.s.ExecStmt(p.stmt, params, nil)
 }
 
 // ExecNamed runs the prepared statement with named parameters.
 func (p *PreparedStmt) ExecNamed(named map[string]Value) (*Result, error) {
+	p.attributeParse()
 	return p.s.ExecStmt(p.stmt, nil, named)
 }
 
@@ -111,22 +136,69 @@ func (s *Session) Query(sql string, params ...Value) (*Result, error) {
 
 // ExecStmt executes a pre-parsed statement. Top-level executions (not
 // re-entrant ones) first pass through the database's ExecHook, so fault
-// injection sees the same statement stream every session sends.
+// injection sees the same statement stream every session sends; they also
+// emit per-statement StmtStats to the session's (or database's) sink
+// after the engine lock is released.
 func (s *Session) ExecStmt(st Stmt, params []Value, named map[string]Value) (*Result, error) {
-	if !s.locked {
-		if h := s.db.currentExecHook(); h != nil {
-			if err := h(StmtKind(st)); err != nil {
-				return nil, err
-			}
-		}
-		s.db.mu.Lock()
-		s.locked = true
-		defer func() {
-			s.locked = false
-			s.db.mu.Unlock()
-		}()
+	parse := s.pendingParse
+	s.pendingParse = 0
+	if s.locked {
+		// Re-entrant execution (procedure bodies, nested evaluation):
+		// no hook, no stats — the enclosing statement accounts for it.
+		return s.execStmtLocked(st, params, named)
 	}
-	return s.execStmtLocked(st, params, named)
+	if h := s.db.currentExecHook(); h != nil {
+		if err := h(StmtKind(st)); err != nil {
+			return nil, err
+		}
+	}
+	sink := s.sink
+	if sink == nil {
+		sink = s.db.currentStatsSink()
+	}
+	var stat *StmtStats
+	s.db.mu.Lock()
+	s.locked = true
+	defer func() {
+		s.locked = false
+		s.db.mu.Unlock()
+		if stat != nil {
+			sink(*stat)
+		}
+	}()
+	if sink == nil {
+		return s.execStmtLocked(st, params, named)
+	}
+	s.planTable, s.planIndex = "", ""
+	scanned0 := s.db.rowsRead
+	start := time.Now()
+	res, err := s.execStmtLocked(st, params, named)
+	stat = &StmtStats{
+		Start:       start,
+		Kind:        StmtKind(st),
+		Table:       s.planTable,
+		Index:       s.planIndex,
+		Parse:       parse,
+		Exec:        time.Since(start),
+		RowsScanned: s.db.rowsRead - scanned0,
+	}
+	if s.planTable != "" {
+		if tbl, terr := s.db.table(s.planTable); terr == nil {
+			var idx *Index
+			if s.planIndex != "" {
+				idx = tbl.indexes[strings.ToLower(s.planIndex)]
+			}
+			stat.Plan = planLabel(tbl, idx)
+		}
+	}
+	if res != nil {
+		stat.RowsReturned = int64(len(res.Rows))
+		stat.RowsAffected = res.RowsAffected
+	}
+	if err != nil {
+		stat.Err = err.Error()
+	}
+	return res, err
 }
 
 // execStmtLocked executes one statement with the DB lock held. Unless an
@@ -485,6 +557,7 @@ func (s *Session) execDelete(t *DeleteStmt, params []Value, named map[string]Val
 func (s *Session) filterRows(tbl *Table, cols []colMeta, where Expr, base *env) ([]*Row, error) {
 	candidates := s.indexCandidates(tbl, where, base)
 	if candidates == nil {
+		s.notePlan(tbl, nil)
 		candidates = tbl.rows
 	}
 	var matched []*Row
@@ -522,6 +595,7 @@ func (s *Session) indexCandidates(tbl *Table, where Expr, base *env) []*Row {
 	if idx == nil {
 		return nil
 	}
+	s.notePlan(tbl, idx)
 	vals := make([]Value, 0, len(idx.Columns))
 	for _, c := range idx.Columns {
 		vals = append(vals, eq[strings.ToLower(c)])

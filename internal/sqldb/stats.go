@@ -1,0 +1,133 @@
+package sqldb
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"wfsql/internal/obsv"
+)
+
+// StmtStats describes one top-level statement execution: what ran, which
+// access path the executor actually took (EXPLAIN-aligned label), and how
+// much work it did. Emitted to the session's (or database's) StatsSink
+// after the engine lock is released.
+type StmtStats struct {
+	Start        time.Time     // when execution (not parsing) began
+	Kind         string        // SELECT / INSERT / UPDATE / ... (StmtKind)
+	Table        string        // primary access-path table, if any
+	Index        string        // index the executor probed ("" = scan)
+	Plan         string        // EXPLAIN-aligned access-path label
+	Parse        time.Duration // time spent in Parse (0 for re-used prepared statements)
+	Exec         time.Duration // time spent executing
+	RowsScanned  int64         // candidate rows read (db.rowsRead delta)
+	RowsReturned int64         // result-set rows
+	RowsAffected int           // DML rows affected
+	Err          string        // non-empty if the statement failed
+}
+
+// StatsSink receives per-statement stats. It is invoked after the engine
+// lock is released, so a sink may safely read DB state — but it runs on
+// the statement's goroutine, so it should be fast.
+type StatsSink func(StmtStats)
+
+// SetStatsSink installs a per-session stats sink, overriding the
+// database-level sink for statements on this session. Nil reverts to the
+// database-level sink.
+func (s *Session) SetStatsSink(sink StatsSink) { s.sink = sink }
+
+// SetStatsSink installs a database-level default sink inherited by every
+// session without its own. Nil removes it.
+func (db *DB) SetStatsSink(sink StatsSink) {
+	db.hookMu.Lock()
+	defer db.hookMu.Unlock()
+	db.statsSink = sink
+}
+
+func (db *DB) currentStatsSink() StatsSink {
+	db.hookMu.Lock()
+	defer db.hookMu.Unlock()
+	return db.statsSink
+}
+
+// planLabel is the single source of truth for access-path labels: both
+// EXPLAIN output and executor-side StmtStats.Plan render through it, so
+// the plan a query *reports* is definitionally the plan the executor
+// *takes* (they also share the chooseIndex planner entry point).
+func planLabel(tbl *Table, idx *Index) string {
+	if idx != nil {
+		return fmt.Sprintf("INDEX PROBE %s USING %s (%s)", tbl.Name, idx.Name, strings.Join(idx.Columns, ", "))
+	}
+	return fmt.Sprintf("SCAN %s (%d rows)", tbl.Name, len(tbl.rows))
+}
+
+// notePlan records the primary access path chosen while executing the
+// current statement. First write wins: subqueries must not overwrite the
+// outer statement's access path.
+func (s *Session) notePlan(tbl *Table, idx *Index) {
+	if s.planTable != "" {
+		return
+	}
+	s.planTable = tbl.Name
+	if idx != nil {
+		s.planIndex = idx.Name
+	}
+}
+
+// SetObservability wires the database into a tracing/metrics bundle:
+// every top-level statement emits a KindSQL span (parented at the
+// tracer's ambient span, i.e. the activity currently executing) and
+// feeds the sqldb.* counters and latency histograms. Nil detaches.
+func (db *DB) SetObservability(o *obsv.Observability) {
+	if o == nil {
+		db.SetStatsSink(nil)
+		return
+	}
+	name := db.name
+	db.SetStatsSink(func(st StmtStats) {
+		m := o.M()
+		m.Counter("sqldb.stmt").Inc()
+		m.Counter("sqldb.stmt." + st.Kind).Inc()
+		m.Histogram("sqldb.parse_ms").ObserveDuration(st.Parse)
+		m.Histogram("sqldb.exec_ms").ObserveDuration(st.Exec)
+		m.Histogram("sqldb.exec_ms." + st.Kind).ObserveDuration(st.Exec)
+		m.Counter("sqldb.rows_scanned").Add(st.RowsScanned)
+		m.Counter("sqldb.rows_returned").Add(st.RowsReturned)
+		if st.Table != "" {
+			if st.Index != "" {
+				m.Counter("sqldb.index_hits").Inc()
+			} else {
+				m.Counter("sqldb.index_misses").Inc()
+			}
+		}
+		if st.Err != "" {
+			m.Counter("sqldb.errors").Inc()
+		}
+
+		tr := o.T()
+		sp := tr.StartAt(tr.Ambient(), obsv.KindSQL, st.Kind, st.Start)
+		if sp == nil {
+			return
+		}
+		sp.Set("db", name)
+		if st.Table != "" {
+			sp.Set("table", st.Table)
+		}
+		if st.Plan != "" {
+			sp.Set("plan", st.Plan)
+		}
+		if st.Index != "" {
+			sp.Set("index", st.Index)
+		}
+		sp.Set("rows_scanned", strconv.FormatInt(st.RowsScanned, 10))
+		sp.Set("rows_returned", strconv.FormatInt(st.RowsReturned, 10))
+		sp.Set("exec_ms", strconv.FormatFloat(float64(st.Exec)/float64(time.Millisecond), 'f', 3, 64))
+		if st.Err != "" {
+			sp.Set("error", st.Err)
+			sp.End(obsv.OutcomeFault)
+			return
+		}
+		sp.End(obsv.OutcomeOK)
+	})
+}

@@ -1,0 +1,277 @@
+package sqldb
+
+import (
+	"strings"
+	"testing"
+
+	"wfsql/internal/obsv"
+)
+
+// figure4DB builds the Figure-4 supplier schema (the paper's running
+// example: Orders placed with a supplier, confirmations recorded) with
+// the index set the reproduction uses.
+func figure4DB(t *testing.T) *DB {
+	t.Helper()
+	db := Open("orderdb")
+	db.MustExec("CREATE TABLE Orders (OrderID INTEGER PRIMARY KEY, ItemID VARCHAR, Quantity INTEGER, Approved BOOLEAN)")
+	db.MustExec("CREATE TABLE OrderConfirmations (ItemID VARCHAR, Quantity INTEGER, Confirmation VARCHAR)")
+	db.MustExec("CREATE INDEX idx_item ON Orders (ItemID)")
+	db.MustExec("CREATE INDEX idx_order_item ON Orders (OrderID, ItemID)")
+	db.MustExec("CREATE INDEX idx_conf_item ON OrderConfirmations (ItemID)")
+	for i := 1; i <= 20; i++ {
+		db.MustExec("INSERT INTO Orders VALUES (?, ?, ?, ?)",
+			Int(int64(i)), Str("item-"+string(rune('a'+i%5))), Int(int64(i*10)), Bool(i%2 == 0))
+	}
+	return db
+}
+
+func TestStmtStatsEmitted(t *testing.T) {
+	db := figure4DB(t)
+	s := db.Session()
+	var stats []StmtStats
+	s.SetStatsSink(func(st StmtStats) { stats = append(stats, st) })
+
+	if _, err := s.Exec("SELECT * FROM Orders WHERE OrderID = ?", Int(7)); err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 1 {
+		t.Fatalf("want 1 stat, got %d", len(stats))
+	}
+	st := stats[0]
+	if st.Kind != "SELECT" {
+		t.Fatalf("kind = %s", st.Kind)
+	}
+	if st.Table != "Orders" || st.Index != "Orders_pk" {
+		t.Fatalf("access path = table %q index %q", st.Table, st.Index)
+	}
+	if !strings.HasPrefix(st.Plan, "INDEX PROBE Orders USING Orders_pk") {
+		t.Fatalf("plan label = %q", st.Plan)
+	}
+	if st.RowsScanned != 1 || st.RowsReturned != 1 {
+		t.Fatalf("rows scanned/returned = %d/%d", st.RowsScanned, st.RowsReturned)
+	}
+	if st.Parse <= 0 {
+		t.Fatalf("parse time not measured: %v", st.Parse)
+	}
+	if st.Exec < 0 {
+		t.Fatalf("exec time negative: %v", st.Exec)
+	}
+
+	// A scan query reports the scan plan and full candidate count.
+	stats = nil
+	if _, err := s.Exec("SELECT * FROM Orders WHERE Quantity > ?", Int(100)); err != nil {
+		t.Fatal(err)
+	}
+	st = stats[0]
+	if st.Index != "" || !strings.HasPrefix(st.Plan, "SCAN Orders") {
+		t.Fatalf("scan stats = index %q plan %q", st.Index, st.Plan)
+	}
+	if st.RowsScanned != 20 {
+		t.Fatalf("scan should read all 20 rows, got %d", st.RowsScanned)
+	}
+
+	// DML reports RowsAffected; errors are recorded.
+	stats = nil
+	if _, err := s.Exec("UPDATE Orders SET Approved = ? WHERE ItemID = ?", Bool(true), Str("item-b")); err != nil {
+		t.Fatal(err)
+	}
+	if stats[0].Kind != "UPDATE" || stats[0].RowsAffected == 0 {
+		t.Fatalf("update stats = %+v", stats[0])
+	}
+	if stats[0].Index != "idx_item" {
+		t.Fatalf("update should probe idx_item, got %q", stats[0].Index)
+	}
+	stats = nil
+	if _, err := s.Exec("SELECT * FROM NoSuchTable"); err == nil {
+		t.Fatal("expected error")
+	}
+	if stats[0].Err == "" {
+		t.Fatal("error not recorded in stats")
+	}
+}
+
+func TestPreparedStmtParseChargedOnce(t *testing.T) {
+	db := figure4DB(t)
+	s := db.Session()
+	var stats []StmtStats
+	s.SetStatsSink(func(st StmtStats) { stats = append(stats, st) })
+
+	p, err := s.Prepare("SELECT * FROM Orders WHERE OrderID = ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := p.Exec(Int(int64(i + 1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(stats) != 3 {
+		t.Fatalf("want 3 stats, got %d", len(stats))
+	}
+	if stats[0].Parse <= 0 {
+		t.Fatalf("first execution must carry the parse cost, got %v", stats[0].Parse)
+	}
+	if stats[1].Parse != 0 || stats[2].Parse != 0 {
+		t.Fatalf("re-executions must report zero parse: %v %v", stats[1].Parse, stats[2].Parse)
+	}
+}
+
+// explainAccessPath runs EXPLAIN and returns its first plan line (the
+// access path) trimmed of indentation.
+func explainAccessPath(t *testing.T, s *Session, query string, params ...Value) string {
+	t.Helper()
+	res, err := s.Exec("EXPLAIN "+query, params...)
+	if err != nil {
+		t.Fatalf("EXPLAIN %s: %v", query, err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatalf("EXPLAIN %s: empty plan", query)
+	}
+	return strings.TrimSpace(res.Rows[0][0].String())
+}
+
+// TestExplainMatchesExecutorIndexChoice pins, for each indexed query
+// shape in the Figure-4 supplier schema, that the index EXPLAIN names is
+// exactly the index the executor probes (both flow through the shared
+// chooseIndex planner, and the executor reports its actual choice via
+// StmtStats).
+func TestExplainMatchesExecutorIndexChoice(t *testing.T) {
+	db := figure4DB(t)
+
+	shapes := []struct {
+		name   string
+		query  string
+		params []Value
+		index  string // "" = scan
+	}{
+		{"pk-equality", "SELECT * FROM Orders WHERE OrderID = ?", []Value{Int(3)}, "Orders_pk"},
+		{"secondary-equality", "SELECT * FROM Orders WHERE ItemID = ?", []Value{Str("item-b")}, "idx_item"},
+		{"composite-conjunction", "SELECT * FROM Orders WHERE OrderID = ? AND ItemID = ?", []Value{Int(3), Str("item-d")}, "idx_order_item"},
+		{"confirmation-equality", "SELECT * FROM OrderConfirmations WHERE ItemID = ?", []Value{Str("item-a")}, "idx_conf_item"},
+		{"extra-conjunct", "SELECT * FROM Orders WHERE ItemID = ? AND Quantity > ?", []Value{Str("item-b"), Int(0)}, "idx_item"},
+		{"no-index", "SELECT * FROM Orders WHERE Quantity = ?", []Value{Int(50)}, ""},
+		{"disjunction-unsound", "SELECT * FROM Orders WHERE OrderID = ? OR ItemID = ?", []Value{Int(1), Str("item-b")}, ""},
+	}
+
+	for _, shape := range shapes {
+		t.Run(shape.name, func(t *testing.T) {
+			s := db.Session()
+			plan := explainAccessPath(t, s, shape.query, shape.params...)
+
+			var got StmtStats
+			s.SetStatsSink(func(st StmtStats) { got = st })
+			if _, err := s.Exec(shape.query, shape.params...); err != nil {
+				t.Fatal(err)
+			}
+
+			if got.Index != shape.index {
+				t.Fatalf("executor probed %q, want %q", got.Index, shape.index)
+			}
+			if shape.index != "" {
+				want := "USING " + shape.index
+				if !strings.Contains(plan, want) {
+					t.Fatalf("EXPLAIN %q does not name the executor's index %q", plan, shape.index)
+				}
+			} else if !strings.HasPrefix(plan, "SCAN ") {
+				t.Fatalf("EXPLAIN %q should be a scan", plan)
+			}
+			// The executor's plan label and EXPLAIN's access path are the
+			// same string (shared planLabel renderer).
+			if got.Plan != plan {
+				t.Fatalf("executor plan %q != EXPLAIN access path %q", got.Plan, plan)
+			}
+		})
+	}
+}
+
+// TestChooseIndexDeterministic pins the planner bugfix: with several
+// applicable indexes the choice used to range over a Go map (randomized
+// iteration), so EXPLAIN could name one index and the next execution
+// probe another. The planner now prefers the most specific index with a
+// name tiebreak, stably across repeated calls.
+func TestChooseIndexDeterministic(t *testing.T) {
+	db := Open("det")
+	db.MustExec("CREATE TABLE t (a INTEGER, b INTEGER, c INTEGER)")
+	// Two single-column indexes, both applicable for a=? AND b=?: the
+	// name tiebreak must always pick ia.
+	db.MustExec("CREATE INDEX ib ON t (b)")
+	db.MustExec("CREATE INDEX ia ON t (a)")
+	// A composite index beats both when fully bound.
+	db.MustExec("CREATE INDEX zz_ab ON t (a, b)")
+	db.MustExec("INSERT INTO t VALUES (1, 2, 3)")
+
+	for i := 0; i < 50; i++ {
+		s := db.Session()
+		var got StmtStats
+		s.SetStatsSink(func(st StmtStats) { got = st })
+
+		if _, err := s.Exec("SELECT * FROM t WHERE a = ? AND b = ?", Int(1), Int(2)); err != nil {
+			t.Fatal(err)
+		}
+		if got.Index != "zz_ab" {
+			t.Fatalf("iteration %d: most specific index not chosen: %q", i, got.Index)
+		}
+		plan := explainAccessPath(t, s, "SELECT * FROM t WHERE a = ? AND b = ?", Int(1), Int(2))
+		if !strings.Contains(plan, "USING zz_ab") {
+			t.Fatalf("iteration %d: EXPLAIN diverged: %q", i, plan)
+		}
+
+		// With only single-column candidates bound, the name tiebreak
+		// holds.
+		if _, err := s.Exec("SELECT * FROM t WHERE a = ? AND c = ?", Int(1), Int(3)); err != nil {
+			t.Fatal(err)
+		}
+		if got.Index != "ia" {
+			t.Fatalf("iteration %d: tiebreak unstable: %q", i, got.Index)
+		}
+	}
+}
+
+func TestDBObservability(t *testing.T) {
+	db := figure4DB(t)
+	o := obsv.New()
+	col := obsv.NewCollector()
+	o.Tracer.AddSink(col)
+	db.SetObservability(o)
+
+	if _, err := db.Exec("SELECT * FROM Orders WHERE OrderID = ?", Int(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("SELECT * FROM Orders WHERE Quantity = ?", Int(10)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("INSERT INTO OrderConfirmations VALUES (?, ?, ?)", Str("x"), Int(1), Str("ok")); err != nil {
+		t.Fatal(err)
+	}
+
+	m := o.M()
+	if got := m.Counter("sqldb.stmt.SELECT").Value(); got != 2 {
+		t.Fatalf("sqldb.stmt.SELECT = %d", got)
+	}
+	if got := m.Counter("sqldb.index_hits").Value(); got != 1 {
+		t.Fatalf("index_hits = %d", got)
+	}
+	if got := m.Counter("sqldb.index_misses").Value(); got != 1 {
+		t.Fatalf("index_misses = %d", got)
+	}
+	if m.Histogram("sqldb.exec_ms").Count() != 3 {
+		t.Fatalf("exec_ms count = %d", m.Histogram("sqldb.exec_ms").Count())
+	}
+
+	sqlSpans := col.ByKind(obsv.KindSQL)
+	if len(sqlSpans) != 3 {
+		t.Fatalf("want 3 SQL spans, got %d", len(sqlSpans))
+	}
+	if sqlSpans[0].Attrs["plan"] == "" || sqlSpans[0].Attrs["table"] != "Orders" {
+		t.Fatalf("span attrs = %v", sqlSpans[0].Attrs)
+	}
+
+	// Detach: no further spans or counts.
+	db.SetObservability(nil)
+	if _, err := db.Exec("SELECT COUNT(*) FROM Orders"); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Counter("sqldb.stmt.SELECT").Value(); got != 2 {
+		t.Fatalf("detached DB still counting: %d", got)
+	}
+}

@@ -33,6 +33,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"wfsql/internal/obsv"
 )
 
 // Message is a flat set of named parts (a simplified WSDL message).
@@ -108,6 +110,23 @@ type Bus struct {
 	attempts  int64
 	successes int64
 	panics    int64
+	obs       *obsv.Observability
+}
+
+// SetObservability attaches (or with nil detaches) a tracing/metrics
+// bundle: every Invoke then emits a bus span (parented under the
+// tracer's ambient span — the activity currently executing) and feeds
+// the bus.calls / bus.errors counters and the bus.latency_ms histogram.
+func (b *Bus) SetObservability(o *obsv.Observability) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.obs = o
+}
+
+func (b *Bus) observability() *obsv.Observability {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.obs
 }
 
 // New creates an empty bus.
@@ -183,9 +202,16 @@ func (b *Bus) Invoke(service string, req Message) (Message, error) {
 	b.mu.RLock()
 	h, ok := b.services[service]
 	lat := b.latency
+	obs := b.obs
 	b.mu.RUnlock()
+	span := obs.T().Start(obs.T().Ambient(), obsv.KindBus, service)
+	obs.M().Counter("bus.calls").Inc()
+	obs.M().Counter("bus.calls." + service).Inc()
 	if !ok {
-		return nil, Permanent(fmt.Errorf("wsbus: no such service %s", service))
+		err := Permanent(fmt.Errorf("wsbus: no such service %s", service))
+		obs.M().Counter("bus.errors").Inc()
+		span.Set("error", err.Error()).End(obsv.OutcomeFault)
+		return nil, err
 	}
 	b.mu.Lock()
 	b.attempts++ // counted before latency and handler outcome (see package doc)
@@ -195,11 +221,17 @@ func (b *Bus) Invoke(service string, req Message) (Message, error) {
 	}
 	resp, err := b.safeCall(h, req)
 	if err != nil {
-		return nil, fmt.Errorf("wsbus: service %s: %w", service, err)
+		err = fmt.Errorf("wsbus: service %s: %w", service, err)
+		obs.M().Counter("bus.errors").Inc()
+		span.Set("error", err.Error()).End(obsv.OutcomeFault)
+		obs.M().Histogram("bus.latency_ms").ObserveDuration(span.Duration())
+		return nil, err
 	}
 	b.mu.Lock()
 	b.successes++
 	b.mu.Unlock()
+	span.End(obsv.OutcomeOK)
+	obs.M().Histogram("bus.latency_ms").ObserveDuration(span.Duration())
 	return resp, nil
 }
 

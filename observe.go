@@ -1,0 +1,66 @@
+package wfsql
+
+import (
+	"io"
+
+	"wfsql/internal/obsv"
+)
+
+// This file attaches one observability bundle (internal/obsv) across a
+// whole environment so a single Figure-4/6/8 run emits a complete
+// hierarchical trace — instance → activity → SQL statement / bus call —
+// and one metrics registry accumulates every layer's counters and
+// latency histograms (engine activities, retries, breaker transitions,
+// dead letters, journal appends/syncs/replays, sqldb parse/exec time
+// and index-hit ratio, bus latency).
+
+// EnableObservability attaches the given bundle (obsv.New() when nil)
+// to every layer of the environment — database, service bus, BPEL
+// engine, WF runtime, and the Oracle extension functions — and returns
+// it. Attach sinks (obsv.NewCollector, obsv.NewJSONLWriter) to
+// o.Tracer before or after enabling; metrics are read from o.Metrics.
+func (env *Environment) EnableObservability(o *obsv.Observability) *obsv.Observability {
+	if o == nil {
+		o = obsv.New()
+	}
+	env.obs = o
+	env.DB.SetObservability(o)
+	env.Bus.SetObservability(o)
+	env.Engine.SetObservability(o)
+	env.Runtime.SetObservability(o)
+	env.Funcs.SetObservability(o)
+	return o
+}
+
+// DisableObservability detaches tracing and metrics from every layer.
+func (env *Environment) DisableObservability() {
+	env.obs = nil
+	env.DB.SetObservability(nil)
+	env.Bus.SetObservability(nil)
+	env.Engine.SetObservability(nil)
+	env.Runtime.SetObservability(nil)
+	env.Funcs.SetObservability(nil)
+}
+
+// Observability returns the attached bundle (nil if none). The bundle's
+// T()/M() accessors are nil-safe.
+func (env *Environment) Observability() *obsv.Observability { return env.obs }
+
+// TraceTo attaches (enabling observability first if needed) a JSONL
+// trace writer: every finished span is written as one JSON line to w.
+// It returns the writer so callers can check Err() after the run.
+func (env *Environment) TraceTo(w io.Writer) *obsv.JSONLWriter {
+	o := env.obs
+	if o == nil {
+		o = env.EnableObservability(nil)
+	}
+	jw := obsv.NewJSONLWriter(w)
+	o.T().AddSink(jw)
+	return jw
+}
+
+// WriteMetrics writes the attached registry's snapshot as indented JSON
+// (no-op registry snapshot when observability is disabled).
+func (env *Environment) WriteMetrics(w io.Writer) error {
+	return obsv.WriteMetricsJSON(w, env.obs.M())
+}

@@ -29,6 +29,7 @@ import (
 
 	"wfsql/internal/engine"
 	"wfsql/internal/mswf"
+	"wfsql/internal/obsv"
 	"wfsql/internal/orasoa"
 	"wfsql/internal/patterns"
 	"wfsql/internal/sqldb"
@@ -68,6 +69,8 @@ type Environment struct {
 	Supplier *wsbus.OrderFromSupplierService
 	Funcs    *orasoa.Functions
 	Workload Workload
+
+	obs *obsv.Observability
 }
 
 // DataSourceName is the registered data source name of the environment's
@@ -124,10 +127,16 @@ func (env *Environment) Rebuild() *Environment {
 		return supplier.Handle(req)
 	})
 
-	return &Environment{
+	out := &Environment{
 		DB: env.DB, Bus: env.Bus, Engine: e, Runtime: rt,
 		Supplier: supplier, Funcs: orasoa.NewFunctions(env.DB), Workload: env.Workload,
 	}
+	if env.obs != nil {
+		// The surviving external systems (DB, bus) keep their attachment;
+		// re-attach the rebuilt hosts to the same bundle.
+		out.EnableObservability(env.obs)
+	}
+	return out
 }
 
 // SeedOrders creates and fills the running example's schema on a database.

@@ -35,14 +35,23 @@ cover:
 	@echo "full per-function report: $(GO) tool cover -func=coverage.out"
 	@echo "html report:              $(GO) tool cover -html=coverage.out"
 
-# Benchmark the three figure stacks with observability attached and fold
-# the per-layer counter/histogram summaries into BENCH_PR3.json.
+# Benchmark the three figure stacks with observability attached: each
+# figure runs serial (workers=1) and parallel (-parallel workers) through
+# the instance scheduler; instances/sec, speedup, statement-cache hit
+# rate, and the per-layer counter/histogram summaries land in
+# BENCH_PR4.json.
 bench:
-	$(GO) run ./cmd/wfbench -runs 25 -orders 120 -items 8 -out BENCH_PR3.json
+	$(GO) run ./cmd/wfbench -instances 32 -parallel 8 -orders 120 -items 8 -out BENCH_PR4.json
+
+# The parallel race gate: the scheduler-driven chaos/crash/parallel
+# matrices under the race detector (what the race-parallel CI job runs).
+race-parallel:
+	$(GO) test -race -run 'TestParallel|TestChaos|TestCrash' .
+	$(GO) test -race ./internal/sched/ ./internal/sqldb/ ./internal/resilience/
 
 # The gate: build, vet, then the full race-enabled suite (soak included).
 ci: build vet race
 
 clean:
 	$(GO) clean ./...
-	rm -f coverage.out BENCH_PR3.json
+	rm -f coverage.out BENCH_PR3.json BENCH_PR4.json

@@ -7,6 +7,12 @@
 //
 //	bpelrun -bpel process.bpel [-seed seed.sql] [-ds orderdb] [-var k=v]...
 //	        [-journal dir] [-recover] [-trace file] [-metrics file]
+//	        [-instances 1] [-parallel 1]
+//
+// With -instances N (and -parallel W workers) the deployed process runs
+// as N concurrent instances on the worker-pool instance scheduler — the
+// multi-tenant execution shape of a BPEL server — and the run reports
+// aggregate throughput (per-activity trace printing is suppressed).
 //
 // With -trace FILE every finished span (instance → activity → SQL
 // statement / bus call) is appended to FILE as one JSON line; -metrics
@@ -34,6 +40,7 @@ import (
 	"wfsql/internal/engine"
 	"wfsql/internal/journal"
 	"wfsql/internal/obsv"
+	"wfsql/internal/sched"
 	"wfsql/internal/sqldb"
 	"wfsql/internal/wsbus"
 )
@@ -71,12 +78,19 @@ func main() {
 	doRecover := flag.Bool("recover", false, "resume in-flight instances from the journal (requires -journal)")
 	tracePath := flag.String("trace", "", "write the span trace as JSON lines to this file (- for stdout)")
 	metricsPath := flag.String("metrics", "", "write the metrics snapshot as JSON to this file (- for stdout)")
+	instances := flag.Int("instances", 1, "number of process instances to run")
+	parallel := flag.Int("parallel", 1, "scheduler workers for multi-instance runs")
 	vars := varFlags{}
 	flag.Var(vars, "var", "initial process variable name=value (repeatable)")
 	flag.Parse()
 
 	if *doRecover && *journalDir == "" {
 		fmt.Fprintln(os.Stderr, "bpelrun: -recover requires -journal")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *instances > 1 && *doRecover {
+		fmt.Fprintln(os.Stderr, "bpelrun: -instances and -recover are mutually exclusive")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -142,9 +156,13 @@ func main() {
 		defer rec.Close()
 		e.AttachJournal(rec)
 	}
-	e.AddTraceListener(func(id int64, ev engine.TraceEvent) {
-		fmt.Printf("  [%d] %-30s %s %s\n", id, ev.Activity, ev.Kind, ev.Detail)
-	})
+	if *instances <= 1 {
+		// Per-activity trace printing is single-instance chrome; a
+		// multi-instance run would interleave it beyond usefulness.
+		e.AddTraceListener(func(id int64, ev engine.TraceEvent) {
+			fmt.Printf("  [%d] %-30s %s %s\n", id, ev.Activity, ev.Kind, ev.Detail)
+		})
+	}
 
 	// flushObs reports trace write errors and dumps the metrics
 	// snapshot; called on every successful exit path.
@@ -187,6 +205,28 @@ func main() {
 			flushObs()
 			return
 		}
+	}
+	if *instances > 1 {
+		// Multi-instance mode: one deployment, N instances on the worker
+		// pool, each with its own engine instance state and journal entry.
+		s := sched.New(*parallel)
+		s.SetObservability(obs)
+		jobs := make([]sched.Job, *instances)
+		for i := range jobs {
+			jobs[i] = sched.Job{Stack: "BIS", Name: fmt.Sprintf("%s#%d", d.Describe(), i), Run: func() error {
+				_, err := d.Run(vars)
+				return err
+			}}
+		}
+		rep := s.Run(jobs)
+		fmt.Printf("%d instances on %d workers in %s: %.1f instances/sec (%d failed)\n",
+			rep.Jobs, rep.Workers, rep.Elapsed.Round(0), rep.Throughput, rep.Failed)
+		report(db)
+		flushObs()
+		if err := rep.FirstError(); err != nil {
+			fatal(err)
+		}
+		return
 	}
 	in, err := d.Run(vars)
 	if err != nil {

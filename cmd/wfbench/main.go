@@ -4,16 +4,23 @@
 // counters plus latency-histogram summaries (count/sum/min/max/mean/
 // p50/p90/p99 in milliseconds) — together with wall-clock timings.
 //
-// Each figure is executed -runs times on a fresh environment; one
-// metrics registry per figure accumulates across the runs, so the
-// histogram summaries describe the whole sample, not a single run.
+// Each figure runs twice through the worker-pool instance scheduler
+// (internal/sched) on a fresh environment per mode: once serially
+// (workers=1) and once with -parallel workers, the multi-tenant shape
+// the surveyed servers execute (many process instances against one
+// shared database). The report records instances/sec for both modes,
+// the parallel speedup, the parsed-statement-cache hit rate, and the
+// metrics registry of the parallel run (sched.* throughput counters,
+// sqldb.lock_wait_ms, sqldb.stmtcache.hits/misses, per-layer latency).
 //
 // Usage:
 //
-//	wfbench [-runs 25] [-orders 120] [-items 8] [-approve 80] [-seed 42]
-//	        [-out BENCH_PR3.json]
+//	wfbench [-instances 32] [-parallel 8] [-orders 120] [-items 8]
+//	        [-approve 80] [-seed 42] [-svclat 500us] [-out BENCH_PR4.json]
 //
-// "-" writes the report to stdout.
+// -svclat injects a synthetic per-call supplier latency, modelling the
+// remote web-service invocation every stack performs per item type
+// (0 disables). "-" writes the report to stdout.
 package main
 
 import (
@@ -26,79 +33,142 @@ import (
 
 	"wfsql"
 	"wfsql/internal/obsv"
+	"wfsql/internal/sched"
 )
+
+// modeReport describes one scheduler run (serial or parallel) of a figure.
+type modeReport struct {
+	Workers         int     `json:"workers"`
+	Instances       int     `json:"instances"`
+	Failed          int     `json:"failed"`
+	ElapsedMS       float64 `json:"elapsed_ms"`
+	InstancesPerSec float64 `json:"instances_per_sec"`
+	QueueWaitP90MS  float64 `json:"queue_wait_p90_ms"`
+	RunP50MS        float64 `json:"run_p50_ms"`
+	RunP90MS        float64 `json:"run_p90_ms"`
+}
+
+// cacheReport is the parsed-statement-cache outcome of the parallel run.
+type cacheReport struct {
+	Size    int     `json:"size"`
+	Hits    int64   `json:"hits"`
+	Misses  int64   `json:"misses"`
+	Flushes int64   `json:"flushes"`
+	HitRate float64 `json:"hit_rate"`
+}
 
 // figureReport is the per-stack section of the report.
 type figureReport struct {
-	Stack   string        `json:"stack"`
-	Runs    int           `json:"runs"`
-	Metrics obsv.Snapshot `json:"metrics"`
+	Stack     string        `json:"stack"`
+	Serial    *modeReport   `json:"serial"`
+	Parallel  *modeReport   `json:"parallel"`
+	Speedup   float64       `json:"speedup"` // parallel / serial instances-per-sec
+	StmtCache cacheReport   `json:"stmt_cache"`
+	Metrics   obsv.Snapshot `json:"metrics"` // parallel-run registry
 }
 
-// report is the whole BENCH_PR3.json document.
+// report is the whole BENCH_PR4.json document.
 type report struct {
-	Generated string                   `json:"generated"`
-	GoVersion string                   `json:"go_version"`
-	GOOS      string                   `json:"goos"`
-	GOARCH    string                   `json:"goarch"`
-	Workload  wfsql.Workload           `json:"workload"`
-	Figures   map[string]*figureReport `json:"figures"`
+	Generated  string                   `json:"generated"`
+	GoVersion  string                   `json:"go_version"`
+	GOOS       string                   `json:"goos"`
+	GOARCH     string                   `json:"goarch"`
+	CPUs       int                      `json:"cpus"`
+	Workload   wfsql.Workload           `json:"workload"`
+	ServiceLat string                   `json:"service_latency"`
+	Figures    map[string]*figureReport `json:"figures"`
 }
 
 func main() {
-	runs := flag.Int("runs", 25, "iterations per figure")
+	instances := flag.Int("instances", 32, "workflow instances per figure per mode")
+	parallel := flag.Int("parallel", 8, "scheduler workers in the parallel mode")
 	orders := flag.Int("orders", 120, "orders in the workload")
 	items := flag.Int("items", 8, "distinct item types")
 	approve := flag.Int("approve", 80, "approval percentage")
 	seed := flag.Int64("seed", 42, "workload generator seed")
-	out := flag.String("out", "BENCH_PR3.json", "report path (- for stdout)")
+	svclat := flag.Duration("svclat", 500*time.Microsecond, "synthetic supplier invocation latency (0 disables)")
+	out := flag.String("out", "BENCH_PR4.json", "report path (- for stdout)")
 	flag.Parse()
 
 	w := wfsql.Workload{Orders: *orders, Items: *items, ApprovalPercent: *approve, Seed: *seed}
 	figures := []struct {
 		name  string
 		stack string
-		run   func(env *wfsql.Environment) error
+		run   func(env *wfsql.Environment, cfg wfsql.ParallelConfig) (sched.Report, error)
 	}{
-		{"Figure4_BIS", "BIS", func(env *wfsql.Environment) error { return env.RunFigure4BIS() }},
-		{"Figure6_WF", "WF", func(env *wfsql.Environment) error { return env.RunFigure6WF() }},
-		{"Figure8_Oracle", "Oracle", func(env *wfsql.Environment) error { return env.RunFigure8Oracle() }},
+		{"Figure4_BIS", "BIS", func(env *wfsql.Environment, cfg wfsql.ParallelConfig) (sched.Report, error) {
+			return env.RunFigure4BISParallel(cfg)
+		}},
+		{"Figure6_WF", "WF", func(env *wfsql.Environment, cfg wfsql.ParallelConfig) (sched.Report, error) {
+			return env.RunFigure6WFParallel(cfg)
+		}},
+		{"Figure8_Oracle", "Oracle", func(env *wfsql.Environment, cfg wfsql.ParallelConfig) (sched.Report, error) {
+			return env.RunFigure8OracleParallel(cfg)
+		}},
 	}
 
 	rep := report{
-		Generated: time.Now().UTC().Format(time.RFC3339),
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		Workload:  w,
-		Figures:   map[string]*figureReport{},
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		CPUs:       runtime.NumCPU(),
+		Workload:   w,
+		ServiceLat: svclat.String(),
+		Figures:    map[string]*figureReport{},
 	}
 
 	for _, fig := range figures {
-		o := obsv.New()
-		wall := o.M().Histogram("bench.wall_ms")
-		for i := 0; i < *runs; i++ {
+		fr := &figureReport{Stack: fig.stack}
+		for _, mode := range []struct {
+			label   string
+			workers int
+		}{
+			{"serial", 1},
+			{"parallel", *parallel},
+		} {
 			env := wfsql.NewEnvironment(w)
-			env.EnableObservability(o)
-			start := time.Now()
-			if err := fig.run(env); err != nil {
-				fatal(fmt.Errorf("%s run %d: %w", fig.name, i, err))
+			injectLatency(env, *svclat)
+			o := env.EnableObservability(obsv.New())
+			sr, err := fig.run(env, wfsql.ParallelConfig{Instances: *instances, Workers: mode.workers})
+			if err != nil {
+				fatal(fmt.Errorf("%s %s: %w", fig.name, mode.label, err))
 			}
-			wall.ObserveDuration(time.Since(start))
 			env.DisableObservability()
-			want := env.ApprovedItemTypes()
+			want := *instances * env.ApprovedItemTypes()
 			if got := env.ConfirmationCount(); got != want {
-				fatal(fmt.Errorf("%s run %d: %d confirmations, want %d", fig.name, i, got, want))
+				fatal(fmt.Errorf("%s %s: %d confirmations, want %d (instances × item types)", fig.name, mode.label, got, want))
+			}
+			mr := &modeReport{
+				Workers:         sr.Workers,
+				Instances:       sr.Jobs,
+				Failed:          sr.Failed,
+				ElapsedMS:       float64(sr.Elapsed) / float64(time.Millisecond),
+				InstancesPerSec: sr.Throughput,
+				QueueWaitP90MS:  o.M().Histogram("sched.queue_wait_ms").Summary().P90,
+				RunP50MS:        o.M().Histogram("sched.run_ms").Summary().P50,
+				RunP90MS:        o.M().Histogram("sched.run_ms").Summary().P90,
+			}
+			if mode.label == "serial" {
+				fr.Serial = mr
+			} else {
+				fr.Parallel = mr
+				fr.Metrics = o.M().Snapshot()
+				cs := env.DB.StmtCacheStats()
+				fr.StmtCache = cacheReport{Size: cs.Size, Hits: cs.Hits, Misses: cs.Misses, Flushes: cs.Flushes}
+				if total := cs.Hits + cs.Misses; total > 0 {
+					fr.StmtCache.HitRate = float64(cs.Hits) / float64(total)
+				}
 			}
 		}
-		rep.Figures[fig.name] = &figureReport{
-			Stack:   fig.stack,
-			Runs:    *runs,
-			Metrics: o.M().Snapshot(),
+		if fr.Serial.InstancesPerSec > 0 {
+			fr.Speedup = fr.Parallel.InstancesPerSec / fr.Serial.InstancesPerSec
 		}
-		s := wall.Summary()
-		fmt.Fprintf(os.Stderr, "%-14s %d runs  wall p50=%.3fms p90=%.3fms p99=%.3fms mean=%.3fms\n",
-			fig.name, *runs, s.P50, s.P90, s.P99, s.Mean)
+		rep.Figures[fig.name] = fr
+		fmt.Fprintf(os.Stderr,
+			"%-14s %d instances  serial %.1f inst/s  parallel(x%d) %.1f inst/s  speedup %.2fx  cache hit %.0f%%\n",
+			fig.name, *instances, fr.Serial.InstancesPerSec, *parallel,
+			fr.Parallel.InstancesPerSec, fr.Speedup, 100*fr.StmtCache.HitRate)
 	}
 
 	f := os.Stdout
@@ -118,6 +188,22 @@ func main() {
 	if *out != "-" {
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
 	}
+}
+
+// injectLatency models the remote supplier: the BPEL stacks invoke it
+// over the bus (which supports synthetic latency natively); the WF
+// runtime calls its registered service directly, so the handler is
+// wrapped with the same delay.
+func injectLatency(env *wfsql.Environment, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	env.Bus.SetLatency(d)
+	supplier := env.Supplier
+	env.Runtime.RegisterService("OrderFromSupplier", func(req map[string]string) (map[string]string, error) {
+		time.Sleep(d)
+		return supplier.Handle(req)
+	})
 }
 
 func fatal(err error) {

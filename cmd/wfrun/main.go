@@ -21,10 +21,16 @@
 // the run's counter/histogram snapshot as indented JSON after the run
 // ("-" sends either to stdout).
 //
+// With -instances N (and -parallel W workers) the workflow runs as N
+// concurrent instances on the worker-pool instance scheduler — the
+// multi-tenant execution shape of the WF runtime host — and the run
+// reports aggregate throughput instead of per-instance host variables.
+//
 // Usage:
 //
 //	wfrun -xoml flow.xoml [-seed seed.sql] [-ds db] [-var Index=0] ...
 //	      [-journal dir] [-recover] [-trace file] [-metrics file]
+//	      [-instances 1] [-parallel 1]
 package main
 
 import (
@@ -37,6 +43,7 @@ import (
 	"wfsql/internal/journal"
 	"wfsql/internal/mswf"
 	"wfsql/internal/obsv"
+	"wfsql/internal/sched"
 	"wfsql/internal/sqldb"
 )
 
@@ -77,9 +84,17 @@ func main() {
 	doRecover := flag.Bool("recover", false, "resume in-flight instances from the journal (requires -journal)")
 	tracePath := flag.String("trace", "", "write the span trace as JSON lines to this file (- for stdout)")
 	metricsPath := flag.String("metrics", "", "write the metrics snapshot as JSON to this file (- for stdout)")
+	instances := flag.Int("instances", 1, "number of workflow instances to run")
+	parallel := flag.Int("parallel", 1, "scheduler workers for multi-instance runs")
 	vars := varFlags{}
 	flag.Var(vars, "var", "initial host variable name=value (repeatable)")
 	flag.Parse()
+
+	if *instances > 1 && *doRecover {
+		fmt.Fprintln(os.Stderr, "wfrun: -instances and -recover are mutually exclusive")
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	if *doRecover && *journalDir == "" {
 		fmt.Fprintln(os.Stderr, "wfrun: -recover requires -journal")
@@ -142,6 +157,45 @@ func main() {
 		}
 		defer rec.Close()
 		rt.AttachJournal(rec)
+	}
+
+	if *instances > 1 {
+		// Multi-instance mode: one immutable activity tree, N instances on
+		// the worker pool, each with its own Context (and so its own
+		// per-instance sqldb sessions and journal entries).
+		s := sched.New(*parallel)
+		s.SetObservability(obs)
+		jobs := make([]sched.Job, *instances)
+		for i := range jobs {
+			jobs[i] = sched.Job{Stack: "WF", Name: fmt.Sprintf("%s#%d", *xomlPath, i), Run: func() error {
+				initial := map[string]any{}
+				for k, v := range vars {
+					initial[k] = v
+				}
+				_, err := rt.Run(wf, initial)
+				return err
+			}}
+		}
+		rep := s.Run(jobs)
+		fmt.Printf("%d instances on %d workers in %s: %.1f instances/sec (%d failed)\n",
+			rep.Jobs, rep.Workers, rep.Elapsed.Round(0), rep.Throughput, rep.Failed)
+		if traceW != nil && traceW.Err() != nil {
+			fatal(fmt.Errorf("trace: %w", traceW.Err()))
+		}
+		if *metricsPath != "" {
+			f, closeF, merr := openSink(*metricsPath)
+			if merr != nil {
+				fatal(merr)
+			}
+			if merr := obsv.WriteMetricsJSON(f, obs.M()); merr != nil {
+				fatal(fmt.Errorf("metrics: %w", merr))
+			}
+			closeF()
+		}
+		if err := rep.FirstError(); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	var ctx *mswf.Context

@@ -248,8 +248,11 @@ func runLifecycleStatement(ctx *engine.Ctx, st *state, stmt dsStatement, ref *Se
 	if ref != nil {
 		sql = strings.ReplaceAll(sql, "{TABLE}", ref.Table)
 	}
-	// Lifecycle statements use their own autocommitting session so that
-	// entity management is independent of the process transaction.
+	// Lifecycle statements deliberately bypass the per-instance session
+	// (state.sessionFor): entity management must be independent of the
+	// process transaction, so each runs on a fresh single-statement
+	// session that never holds transaction state. Everything else the
+	// stack executes goes through the instance session.
 	_, err = db.Session().Exec(sql)
 	return err
 }

@@ -308,6 +308,14 @@ func containsReceive(a Activity) bool {
 }
 
 // Run instantiates and executes the process to completion.
+//
+// Run is safe for concurrent use: the worker-pool instance scheduler
+// (internal/sched) calls it from many goroutines against one
+// deployment, the way a BPEL server drives many instances of one
+// process model. Each call creates its own Instance with its own
+// variable space and per-instance sqldb sessions; the deployment and
+// its activity tree are read-only during execution. The input map is
+// only read.
 func (d *Deployment) Run(input map[string]string) (*Instance, error) {
 	in, err := d.NewInstance(input)
 	if err != nil {

@@ -156,7 +156,10 @@ func criticalKind(k Kind) bool {
 
 // Recorder is the durable journal: an open append-only WAL plus the
 // materialized state. It is safe for concurrent use by multiple
-// instance goroutines.
+// instance goroutines: the worker-pool scheduler interleaves appends
+// from all in-flight instances into one WAL, and replay groups them
+// back per instance id, so a journal written under parallel execution
+// recovers exactly like a serial one.
 type Recorder struct {
 	mu              sync.Mutex
 	f               walFile

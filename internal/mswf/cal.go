@@ -129,11 +129,14 @@ func (a *SQLDatabaseActivity) executeLive(c *Context) (map[string]string, error)
 		return nil, fmt.Errorf("%s: %w", a.ActivityName, err)
 	}
 
-	// Each execution (and each retry attempt) opens its own connection:
-	// statements run in autocommit, so re-execution after a transient
-	// fault never replays work inside a wider transaction.
+	// Statements run in autocommit on the instance's session (one session
+	// per instance per data source — see Context.SessionFor), so
+	// re-execution after a transient fault never replays work inside a
+	// wider transaction, and a retry reuses the same session instead of
+	// minting a throwaway handle per attempt.
+	sess := c.SessionFor(db)
 	execOnce := func(int) (*sqldb.Result, error) {
-		return db.Session().ExecNamed(sql, named)
+		return sess.ExecNamed(sql, named)
 	}
 	var res *sqldb.Result
 	if a.Retry == nil {

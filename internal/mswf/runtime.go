@@ -204,9 +204,10 @@ type TrackEvent struct {
 type Context struct {
 	Runtime *Runtime
 
-	mu     sync.Mutex
-	vars   map[string]any
-	events []TrackEvent
+	mu       sync.Mutex
+	vars     map[string]any
+	events   []TrackEvent
+	sessions map[*sqldb.DB]*sqldb.Session // one session per DB per instance
 
 	// Durable-execution state (see journal.go): the durable instance
 	// ID, the attached recorder, replay queues of memoized effect
@@ -232,6 +233,28 @@ func (c *Context) currentSpan() *obsv.Span {
 		return c.spanTop
 	}
 	return c.span
+}
+
+// SessionFor returns this instance's session on db, opening it on first
+// use — the one-session-per-instance contract. WF's SQL activities run in
+// autocommit (the session never holds an open transaction across
+// activities), but routing every statement of an instance through one
+// session means a future transaction bracket would survive across
+// activities instead of being silently dropped with a throwaway session,
+// and the session's internal mutex keeps parallel branches of the same
+// instance safe.
+func (c *Context) SessionFor(db *sqldb.DB) *sqldb.Session {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.sessions == nil {
+		c.sessions = map[*sqldb.DB]*sqldb.Session{}
+	}
+	s, ok := c.sessions[db]
+	if !ok {
+		s = db.Session()
+		c.sessions[db] = s
+	}
+	return s
 }
 
 // Get returns a host variable.

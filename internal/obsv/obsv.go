@@ -6,7 +6,10 @@
 //     pattern id, and an outcome;
 //   - a registry of named counters and latency histograms (retry attempts,
 //     breaker transitions, dead-letters, journal appends/replays, sqldb
-//     parse/plan/exec time, rows scanned vs. returned, index-hit ratio);
+//     parse/plan/exec time, engine-lock wait, statement-cache hits and
+//     misses, rows scanned vs. returned, index-hit ratio, and the
+//     instance scheduler's throughput counters and queue-wait/run-time
+//     histograms);
 //   - pluggable exporters: an in-memory Collector for tests and a JSONL
 //     trace writer for the -trace flag on cmd/wfrun and cmd/bpelrun.
 //

@@ -31,6 +31,7 @@ import (
 // string for each XPath Extension Function".
 type Functions struct {
 	db      *sqldb.DB
+	pool    *sqldb.SessionPool
 	xsql    *XSQLFramework
 	mu      sync.Mutex
 	calls   map[string]int // per-function call counters (monitoring)
@@ -54,7 +55,8 @@ func (f *Functions) SetObservability(o *obsv.Observability) {
 // NewFunctions creates the extension function library over a statically
 // bound database, with an XSQL framework for processXSQL.
 func NewFunctions(db *sqldb.DB) *Functions {
-	return &Functions{db: db, xsql: NewXSQLFramework(db), calls: map[string]int{}}
+	pool := sqldb.NewSessionPool(db)
+	return &Functions{db: db, pool: pool, xsql: newXSQLFramework(db, pool), calls: map[string]int{}}
 }
 
 // XSQL exposes the framework for page registration.
@@ -89,13 +91,19 @@ func (f *Functions) Retries() int {
 	return f.retries + f.xsql.Retries()
 }
 
-// query runs one statement through the configured retry policy.
+// query runs one statement through the configured retry policy. The
+// whole operation — every retry attempt included — executes on one
+// session checked out of the pool, instead of the former throwaway
+// session per attempt (which discarded any session state between
+// attempts and churned handles under the concurrent scheduler).
 func (f *Functions) query(sql string, params ...sqldb.Value) (*sqldb.Result, error) {
 	f.mu.Lock()
 	p := f.retry
 	f.mu.Unlock()
+	sess := f.pool.Acquire()
+	defer f.pool.Release(sess)
 	if p == nil {
-		return f.db.Session().Query(sql, params...)
+		return sess.Query(sql, params...)
 	}
 	obs := resilience.Observer{OnAttempt: func(n, _ int) {
 		if n > 1 {
@@ -105,7 +113,7 @@ func (f *Functions) query(sql string, params ...sqldb.Value) (*sqldb.Result, err
 		}
 	}}
 	return resilience.Do(p, obs, func(int) (*sqldb.Result, error) {
-		return f.db.Session().Query(sql, params...)
+		return sess.Query(sql, params...)
 	})
 }
 
@@ -257,6 +265,7 @@ func xpathToSQL(v xpath.Value) sqldb.Value {
 // elements with {@param} placeholders.
 type XSQLFramework struct {
 	db      *sqldb.DB
+	pool    *sqldb.SessionPool
 	mu      sync.RWMutex
 	pages   map[string]*xdm.Node
 	retry   *resilience.Policy
@@ -265,7 +274,12 @@ type XSQLFramework struct {
 
 // NewXSQLFramework creates an empty framework bound to a database.
 func NewXSQLFramework(db *sqldb.DB) *XSQLFramework {
-	return &XSQLFramework{db: db, pages: map[string]*xdm.Node{}}
+	return newXSQLFramework(db, sqldb.NewSessionPool(db))
+}
+
+// newXSQLFramework shares a session pool with the owning function library.
+func newXSQLFramework(db *sqldb.DB, pool *sqldb.SessionPool) *XSQLFramework {
+	return &XSQLFramework{db: db, pool: pool, pages: map[string]*xdm.Node{}}
 }
 
 // SetRetryPolicy applies a retry policy to every statement executed by a
@@ -329,7 +343,10 @@ func (x *XSQLFramework) Execute(page string, params map[string]string) (*xdm.Nod
 	}
 	out := xdm.NewElement("xsql-result")
 	out.SetAttr("page", page)
-	sess := x.db.Session()
+	// One pooled session per page execution: the page's statements share
+	// it, and it returns to the pool (transactionally clean) afterwards.
+	sess := x.pool.Acquire()
+	defer x.pool.Release(sess)
 	for _, el := range doc.ChildElements() {
 		sql, err := substitutePageParams(el.TextContent(), params)
 		if err != nil {

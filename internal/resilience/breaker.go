@@ -55,6 +55,12 @@ type Breaker struct {
 	// SuccessThreshold is the number of consecutive half-open successes
 	// that close the circuit again. Values <= 0 mean 1.
 	SuccessThreshold int
+	// HalfOpenProbes bounds the number of in-flight probe calls admitted
+	// while half-open. Values <= 0 mean 1 (the classical single-probe
+	// breaker). Without the bound, every goroutine blocked on an open
+	// circuit storms the recovering service the instant the cooldown
+	// elapses.
+	HalfOpenProbes int
 
 	// Clock is a test hook; nil means time.Now.
 	Clock func() time.Time
@@ -63,6 +69,7 @@ type Breaker struct {
 	state       BreakerState
 	failures    int // consecutive failures while closed
 	successes   int // consecutive successes while half-open
+	probes      int // in-flight half-open probes (admitted, not yet settled)
 	openedAt    time.Time
 	transitions []Transition
 	onChange    func(from, to BreakerState)
@@ -110,6 +117,13 @@ func (b *Breaker) successThreshold() int {
 	return b.SuccessThreshold
 }
 
+func (b *Breaker) halfOpenProbes() int {
+	if b.HalfOpenProbes <= 0 {
+		return 1
+	}
+	return b.HalfOpenProbes
+}
+
 // transitionLocked changes state and records/announces the transition.
 func (b *Breaker) transitionLocked(to BreakerState) {
 	from := b.state
@@ -124,22 +138,41 @@ func (b *Breaker) transitionLocked(to BreakerState) {
 }
 
 // Allow reports whether a call may proceed. While open it fails fast until
-// the cooldown elapses, then flips to half-open and admits probes.
+// the cooldown elapses, then flips to half-open and admits a bounded
+// number of in-flight probes (HalfOpenProbes, default 1); further callers
+// are refused until a probe settles via OnSuccess/OnFailure. Every
+// admitted call MUST settle, or the probe slots leak.
 func (b *Breaker) Allow() bool {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	switch b.state {
-	case Closed, HalfOpen:
+	case Closed:
 		return true
+	case HalfOpen:
+		if b.probes < b.halfOpenProbes() {
+			b.probes++
+			return true
+		}
+		return false
 	case Open:
 		if b.now().Sub(b.openedAt) >= b.cooldown() {
 			b.successes = 0
+			b.probes = 1 // this caller is the first probe
 			b.transitionLocked(HalfOpen)
 			return true
 		}
 		return false
 	}
 	return true
+}
+
+// settleProbeLocked releases one half-open probe slot (floored at zero so
+// late settles from calls admitted before the last open/half-open flip
+// cannot underflow).
+func (b *Breaker) settleProbeLocked() {
+	if b.probes > 0 {
+		b.probes--
+	}
 }
 
 // OnSuccess records a successful call.
@@ -150,9 +183,11 @@ func (b *Breaker) OnSuccess() {
 	case Closed:
 		b.failures = 0
 	case HalfOpen:
+		b.settleProbeLocked()
 		b.successes++
 		if b.successes >= b.successThreshold() {
 			b.failures = 0
+			b.probes = 0
 			b.transitionLocked(Closed)
 		}
 	}
@@ -171,7 +206,9 @@ func (b *Breaker) OnFailure() {
 			b.transitionLocked(Open)
 		}
 	case HalfOpen:
+		b.settleProbeLocked()
 		b.openedAt = b.now()
+		b.probes = 0
 		b.transitionLocked(Open)
 	}
 }

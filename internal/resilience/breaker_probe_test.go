@@ -1,0 +1,101 @@
+package resilience
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestHalfOpenProbeBound pins the probe-storm bugfix: before it, Allow()
+// returned true unconditionally while half-open, so every goroutine
+// waiting out an open circuit probed the recovering service at once the
+// moment the cooldown elapsed. Now half-open admits at most
+// HalfOpenProbes in-flight probes (default 1); the rest are refused until
+// a probe settles.
+func TestHalfOpenProbeBound(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := &Breaker{FailureThreshold: 1, Cooldown: time.Second,
+		Clock: func() time.Time { return now }}
+
+	// Trip the circuit, then let the cooldown elapse.
+	if !b.Allow() {
+		t.Fatal("closed breaker must admit")
+	}
+	b.OnFailure()
+	if b.State() != Open {
+		t.Fatalf("state = %v, want open", b.State())
+	}
+	now = now.Add(2 * time.Second)
+
+	// A storm of concurrent callers races for the half-open slot(s).
+	const callers = 50
+	var admitted atomic.Int64
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			if b.Allow() {
+				admitted.Add(1)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+
+	if got := admitted.Load(); got != 1 {
+		t.Fatalf("half-open admitted %d concurrent probes, want exactly 1", got)
+	}
+	if b.State() != HalfOpen {
+		t.Fatalf("state = %v, want half-open", b.State())
+	}
+
+	// The probe slot is held until the in-flight call settles...
+	if b.Allow() {
+		t.Fatal("second probe admitted while the first is still in flight")
+	}
+	// ...then a failed probe reopens the circuit and fails fast again.
+	b.OnFailure()
+	if b.State() != Open {
+		t.Fatalf("state after failed probe = %v, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open circuit must refuse before the cooldown")
+	}
+}
+
+// TestHalfOpenProbeBoundConfigurable exercises a wider probe budget:
+// HalfOpenProbes in-flight calls are admitted, the next is refused, and
+// settling one probe frees exactly one slot.
+func TestHalfOpenProbeBoundConfigurable(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := &Breaker{FailureThreshold: 1, Cooldown: time.Second,
+		SuccessThreshold: 10, HalfOpenProbes: 3,
+		Clock: func() time.Time { return now }}
+
+	b.Allow()
+	b.OnFailure()
+	now = now.Add(2 * time.Second)
+
+	for i := 0; i < 3; i++ {
+		if !b.Allow() {
+			t.Fatalf("probe %d refused within the budget of 3", i)
+		}
+	}
+	if b.Allow() {
+		t.Fatal("4th in-flight probe admitted beyond the budget")
+	}
+	b.OnSuccess() // settle one probe; circuit stays half-open (threshold 10)
+	if b.State() != HalfOpen {
+		t.Fatalf("state = %v, want half-open", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("settled probe slot not released")
+	}
+	if b.Allow() {
+		t.Fatal("budget exceeded after slot reuse")
+	}
+}

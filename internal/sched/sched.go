@@ -1,0 +1,172 @@
+// Package sched is the worker-pool instance scheduler: it executes many
+// workflow instances concurrently on a bounded number of workers, the
+// way the surveyed multi-tenant servers (WebSphere Process Server, the
+// WF runtime host, Oracle BPEL PM) drive many process instances against
+// one shared database. Each job is one instance run; the scheduler
+// bounds concurrency, measures queue wait and run time per instance,
+// and reports aggregate throughput (instances/sec).
+package sched
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"wfsql/internal/obsv"
+)
+
+// Job is one schedulable instance run.
+type Job struct {
+	// Stack labels the product stack ("BIS", "WF", "Oracle") for
+	// metrics; it may be empty.
+	Stack string
+	// Name identifies the job in results (e.g. "Figure4_BIS#7").
+	Name string
+	// Run executes the instance. It is called exactly once, on one of
+	// the scheduler's worker goroutines.
+	Run func() error
+}
+
+// Result describes one completed job.
+type Result struct {
+	Name      string
+	Stack     string
+	Worker    int           // worker index that executed the job
+	QueueWait time.Duration // enqueue -> dequeue
+	RunTime   time.Duration // Run() wall clock
+	Err       error
+}
+
+// Report aggregates one scheduler run.
+type Report struct {
+	Workers    int
+	Jobs       int
+	Failed     int
+	Elapsed    time.Duration
+	Throughput float64 // successfully completed instances per second
+	Results    []Result
+}
+
+// Scheduler runs jobs on a fixed-size worker pool.
+type Scheduler struct {
+	workers int
+
+	mu  sync.Mutex
+	obs *obsv.Observability
+}
+
+// New builds a scheduler with the given worker count (values < 1 mean 1).
+func New(workers int) *Scheduler {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Scheduler{workers: workers}
+}
+
+// Workers returns the pool size.
+func (s *Scheduler) Workers() int { return s.workers }
+
+// SetObservability attaches (or with nil detaches) a metrics bundle:
+// runs then emit sched.jobs / sched.ok / sched.failed counters and
+// sched.queue_wait_ms / sched.run_ms latency histograms.
+func (s *Scheduler) SetObservability(o *obsv.Observability) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.obs = o
+}
+
+func (s *Scheduler) observability() *obsv.Observability {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.obs
+}
+
+// Run executes all jobs on the worker pool and blocks until every job
+// has finished. Job errors are collected, not short-circuited: an
+// instance failing must not keep sibling instances from completing
+// (matching how a workflow server isolates instance faults).
+func (s *Scheduler) Run(jobs []Job) Report {
+	obs := s.observability()
+	queue := make(chan int)
+	results := make([]Result, len(jobs))
+	start := time.Now()
+
+	var wg sync.WaitGroup
+	for w := 0; w < s.workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for idx := range queue {
+				job := jobs[idx]
+				dequeued := time.Now()
+				queueWait := dequeued.Sub(start)
+				err := runJob(job)
+				runTime := time.Since(dequeued)
+				results[idx] = Result{
+					Name:      job.Name,
+					Stack:     job.Stack,
+					Worker:    worker,
+					QueueWait: queueWait,
+					RunTime:   runTime,
+					Err:       err,
+				}
+				m := obs.M()
+				m.Counter("sched.jobs").Inc()
+				if job.Stack != "" {
+					m.Counter("sched.jobs." + job.Stack).Inc()
+				}
+				if err != nil {
+					m.Counter("sched.failed").Inc()
+				} else {
+					m.Counter("sched.ok").Inc()
+				}
+				m.Histogram("sched.queue_wait_ms").ObserveDuration(queueWait)
+				m.Histogram("sched.run_ms").ObserveDuration(runTime)
+			}
+		}(w)
+	}
+	for i := range jobs {
+		queue <- i
+	}
+	close(queue)
+	wg.Wait()
+
+	rep := Report{
+		Workers: s.workers,
+		Jobs:    len(jobs),
+		Elapsed: time.Since(start),
+		Results: results,
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			rep.Failed++
+		}
+	}
+	if secs := rep.Elapsed.Seconds(); secs > 0 {
+		rep.Throughput = float64(rep.Jobs-rep.Failed) / secs
+	}
+	return rep
+}
+
+// runJob executes one job, converting a panic into an error so a
+// faulting instance cannot take down its worker (and with it every job
+// still queued).
+func runJob(job Job) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("sched: job %s panicked: %v", job.Name, r)
+		}
+	}()
+	return job.Run()
+}
+
+// FirstError returns the first job error in submission order (nil if
+// every job succeeded).
+func (r Report) FirstError() error {
+	for _, res := range r.Results {
+		if res.Err != nil {
+			return fmt.Errorf("%s: %w", res.Name, res.Err)
+		}
+	}
+	return nil
+}

@@ -5,13 +5,21 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // DB is an embeddable in-memory relational database. All operations are
-// safe for concurrent use; statement execution is serialized by an internal
-// lock (single-writer engine).
+// safe for concurrent use. Statement execution is serialized by an
+// internal reader/writer lock: read-only statements (SELECT, EXPLAIN)
+// execute concurrently under the shared lock, while IUD and DDL
+// statements take the exclusive lock (single-writer engine). The
+// resulting isolation level is read-uncommitted — readers may observe
+// rows another session's open transaction later rolls back — which
+// matches the weakest level the surveyed products run their SQL
+// activities at.
 type DB struct {
-	mu         sync.Mutex
+	mu         sync.RWMutex
 	name       string
 	tables     map[string]*Table
 	views      map[string]*view
@@ -20,11 +28,22 @@ type DB struct {
 	indexOwner map[string]*Table // index name -> owning table
 
 	// stats counters (observable via Stats) used by benchmarks and the
-	// reproduction's data-volume measurements.
-	stmtCount     int64
-	rowsRead      int64
-	rowsWritten   int64
-	bytesReturned int64
+	// reproduction's data-volume measurements. Atomics: read-only
+	// statements increment them while holding only the shared lock.
+	stmtCount     atomic.Int64
+	rowsRead      atomic.Int64
+	rowsWritten   atomic.Int64
+	bytesReturned atomic.Int64
+
+	// parsed-statement cache: SQL text -> parsed AST, so hot statements
+	// executed through Exec/ExecNamed are parsed once per database
+	// instead of once per call. ASTs are immutable after parsing, so a
+	// cached statement may execute concurrently on many sessions.
+	cacheMu      sync.Mutex
+	stmtCache    map[string]Stmt
+	cacheHits    atomic.Int64
+	cacheMisses  atomic.Int64
+	cacheFlushes atomic.Int64
 
 	// hookMu guards execHook and statsSink separately from mu so the hook
 	// can sleep (latency injection) without serializing against statement
@@ -33,6 +52,11 @@ type DB struct {
 	execHook  ExecHook
 	statsSink StatsSink
 }
+
+// stmtCacheCap bounds the parsed-statement cache. When an insert would
+// exceed it the whole cache is flushed (simple, and workloads that
+// overflow it are generating unbounded distinct SQL text anyway).
+const stmtCacheCap = 1024
 
 // ExecHook intercepts every top-level statement executed against the
 // database, before the engine lock is taken. kind is the statement kind
@@ -76,6 +100,7 @@ func Open(name string) *DB {
 		sequences:  map[string]*Sequence{},
 		procs:      map[string]*Procedure{},
 		indexOwner: map[string]*Table{},
+		stmtCache:  map[string]Stmt{},
 	}
 }
 
@@ -84,27 +109,89 @@ func (db *DB) Name() string { return db.name }
 
 // Stats returns a snapshot of the engine's activity counters.
 func (db *DB) Stats() Stats {
-	db.mu.Lock()
-	defer db.mu.Unlock()
 	return Stats{
-		Statements:    db.stmtCount,
-		RowsRead:      db.rowsRead,
-		RowsWritten:   db.rowsWritten,
-		BytesReturned: db.bytesReturned,
+		Statements:    db.stmtCount.Load(),
+		RowsRead:      db.rowsRead.Load(),
+		RowsWritten:   db.rowsWritten.Load(),
+		BytesReturned: db.bytesReturned.Load(),
 	}
 }
 
 // ResetStats zeroes the activity counters.
 func (db *DB) ResetStats() {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	db.stmtCount, db.rowsRead, db.rowsWritten, db.bytesReturned = 0, 0, 0, 0
+	db.stmtCount.Store(0)
+	db.rowsRead.Store(0)
+	db.rowsWritten.Store(0)
+	db.bytesReturned.Store(0)
+}
+
+// StmtCacheStats is a snapshot of the parsed-statement cache counters.
+type StmtCacheStats struct {
+	Size    int   // statements currently cached
+	Hits    int64 // Exec/ExecNamed calls served from the cache
+	Misses  int64 // calls that had to parse
+	Flushes int64 // full invalidations (DDL or capacity overflow)
+}
+
+// StmtCacheStats returns a snapshot of the parsed-statement cache.
+func (db *DB) StmtCacheStats() StmtCacheStats {
+	db.cacheMu.Lock()
+	size := len(db.stmtCache)
+	db.cacheMu.Unlock()
+	return StmtCacheStats{
+		Size:    size,
+		Hits:    db.cacheHits.Load(),
+		Misses:  db.cacheMisses.Load(),
+		Flushes: db.cacheFlushes.Load(),
+	}
+}
+
+// cachedParse resolves SQL text to a parsed statement through the per-DB
+// statement cache. It returns the statement, the parse duration charged to
+// this call (zero on a hit), and whether the cache served it. Statements
+// that fail to parse are not cached.
+func (db *DB) cachedParse(sql string) (Stmt, time.Duration, bool, error) {
+	db.cacheMu.Lock()
+	st, ok := db.stmtCache[sql]
+	db.cacheMu.Unlock()
+	if ok {
+		db.cacheHits.Add(1)
+		return st, 0, true, nil
+	}
+	start := time.Now()
+	st, err := Parse(sql)
+	parse := time.Since(start)
+	if err != nil {
+		return nil, parse, false, err
+	}
+	db.cacheMisses.Add(1)
+	db.cacheMu.Lock()
+	if len(db.stmtCache) >= stmtCacheCap {
+		db.stmtCache = make(map[string]Stmt, stmtCacheCap)
+		db.cacheFlushes.Add(1)
+	}
+	db.stmtCache[sql] = st
+	db.cacheMu.Unlock()
+	return st, parse, false, nil
+}
+
+// invalidateStmtCache drops every cached statement. Called after a DDL
+// statement commits: cached ASTs bind object names at execution time, so
+// this is defensive rather than required for correctness, but it keeps the
+// cache from pinning parse trees that reference dropped objects.
+func (db *DB) invalidateStmtCache() {
+	db.cacheMu.Lock()
+	if len(db.stmtCache) > 0 {
+		db.stmtCache = map[string]Stmt{}
+		db.cacheFlushes.Add(1)
+	}
+	db.cacheMu.Unlock()
 }
 
 // TableNames returns the names of all tables, sorted.
 func (db *DB) TableNames() []string {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	names := make([]string, 0, len(db.tables))
 	for _, t := range db.tables {
 		names = append(names, t.Name)
@@ -115,16 +202,16 @@ func (db *DB) TableNames() []string {
 
 // HasTable reports whether the named table exists.
 func (db *DB) HasTable(name string) bool {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	_, ok := db.tables[strings.ToLower(name)]
 	return ok
 }
 
 // Schema returns the column definitions of the named table.
 func (db *DB) Schema(table string) ([]Column, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	t, ok := db.tables[strings.ToLower(table)]
 	if !ok {
 		return nil, fmt.Errorf("sqldb: no such table %s", table)
@@ -152,7 +239,7 @@ func (db *DB) RegisterProcedure(name string, fn NativeProc) {
 }
 
 // Session opens a new session on the database. Sessions are cheap; each
-// workflow activity execution typically uses its own.
+// workflow instance (or activity execution) typically uses its own.
 func (db *DB) Session() *Session {
 	return &Session{db: db}
 }

@@ -43,7 +43,7 @@ func (s *Session) execCreateTable(t *CreateTableStmt, params []Value, named map[
 		if tbl.pkIndex != nil {
 			s.db.indexOwner[strings.ToLower(tbl.pkIndex.Name)] = tbl
 		}
-		s.db.rowsWritten += int64(len(qres.Rows))
+		s.db.rowsWritten.Add(int64(len(qres.Rows)))
 		return &Result{RowsAffected: len(qres.Rows)}, nil
 	}
 	if len(t.Columns) == 0 {

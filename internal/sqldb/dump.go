@@ -12,8 +12,8 @@ import (
 // Native (Go-registered) procedures cannot be dumped and are emitted as
 // comments.
 func (db *DB) Dump() string {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	var b strings.Builder
 
 	tableNames := make([]string, 0, len(db.tables))
@@ -81,8 +81,9 @@ func (db *DB) Dump() string {
 	sort.Strings(seqNames)
 	for _, sn := range seqNames {
 		s := db.sequences[sn]
+		next, inc := s.state()
 		fmt.Fprintf(&b, "CREATE SEQUENCE %s START WITH %d INCREMENT BY %d;\n",
-			s.Name, s.next, s.increment)
+			s.Name, next, inc)
 	}
 
 	procNames := make([]string, 0, len(db.procs))

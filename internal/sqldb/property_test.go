@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"regexp"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 )
@@ -457,5 +459,238 @@ func TestDerivedTables(t *testing.T) {
 	}
 	if !strings.Contains(plan.String(), "derived table d") {
 		t.Fatalf("derived join plan: %s", plan.String())
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency properties (PR 4): the RWMutex engine-lock split must keep
+// the database linearizable for writers, allow read-only statements to
+// run concurrently, and keep planner decisions stable while the pool of
+// scheduler workers hammers one shared DB. All of these are only
+// meaningful under -race.
+
+// TestConcurrentReadersWithWriter runs many read-only sessions against
+// one writer session mutating the same table. Readers must never observe
+// an error or a torn row (ItemID and Quantity updated together), and the
+// final state must reflect every committed write.
+func TestConcurrentReadersWithWriter(t *testing.T) {
+	const (
+		readers  = 8
+		writes   = 200
+		rowCount = 16
+	)
+	db := Open("rw")
+	db.MustExec("CREATE TABLE t (k INTEGER PRIMARY KEY, a INTEGER, b INTEGER)")
+	for i := 0; i < rowCount; i++ {
+		db.MustExec("INSERT INTO t VALUES (?, ?, ?)", Int(int64(i)), Int(0), Int(0))
+	}
+
+	stop := make(chan struct{})
+	errs := make(chan error, readers+1)
+	var wg sync.WaitGroup
+
+	// Readers: aggregate invariant a == b on every row (the writer always
+	// updates both columns in one statement, and updates are copy-on-write
+	// row swaps, so a reader must never see them diverge).
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := db.Session()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				res, err := s.Exec("SELECT COUNT(*) FROM t WHERE a <> b")
+				if err != nil {
+					errs <- err
+					return
+				}
+				if res.Rows[0][0].I != 0 {
+					errs <- fmt.Errorf("torn row visible: %d rows with a <> b", res.Rows[0][0].I)
+					return
+				}
+				if _, err := s.Exec("EXPLAIN SELECT * FROM t WHERE k = 3"); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+
+	// One writer bumping both columns of a random row per statement.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(stop)
+		s := db.Session()
+		rng := rand.New(rand.NewSource(4))
+		for i := 0; i < writes; i++ {
+			k := rng.Intn(rowCount)
+			if _, err := s.Exec("UPDATE t SET a = a + 1, b = b + 1 WHERE k = ?", Int(int64(k))); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	res := db.MustExec("SELECT SUM(a), SUM(b) FROM t")
+	if res.Rows[0][0].I != writes || res.Rows[0][1].I != writes {
+		t.Fatalf("lost updates: SUM(a)=%d SUM(b)=%d, want %d", res.Rows[0][0].I, res.Rows[0][1].I, writes)
+	}
+}
+
+// TestConcurrentUniqueInsertOneWinner races goroutines inserting the
+// same primary key: the exclusive write lock must admit exactly one
+// winner per key, with every loser getting a constraint error and no
+// partial row surviving.
+func TestConcurrentUniqueInsertOneWinner(t *testing.T) {
+	const (
+		contenders = 8
+		keys       = 20
+	)
+	db := Open("uniq")
+	db.MustExec("CREATE TABLE t (k INTEGER PRIMARY KEY, who INTEGER)")
+	for k := 0; k < keys; k++ {
+		var (
+			wins   atomic.Int64
+			losses atomic.Int64
+			wg     sync.WaitGroup
+		)
+		for c := 0; c < contenders; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				s := db.Session()
+				_, err := s.Exec("INSERT INTO t VALUES (?, ?)", Int(int64(k)), Int(int64(c)))
+				switch {
+				case err == nil:
+					wins.Add(1)
+				case strings.Contains(err.Error(), "unique constraint"):
+					losses.Add(1)
+				default:
+					t.Errorf("key %d contender %d: unexpected error %v", k, c, err)
+				}
+			}(c)
+		}
+		wg.Wait()
+		if wins.Load() != 1 || losses.Load() != contenders-1 {
+			t.Fatalf("key %d: %d winners / %d losers, want 1 / %d", k, wins.Load(), losses.Load(), contenders-1)
+		}
+	}
+	if got := db.MustExec("SELECT COUNT(*) FROM t").Rows[0][0].I; got != keys {
+		t.Fatalf("table holds %d rows, want %d", got, keys)
+	}
+}
+
+// TestConcurrentExplainMatchesExecutor re-checks the EXPLAIN/executor
+// plan agreement while many sessions execute the same indexed shapes
+// concurrently through the shared statement cache: the planner must make
+// the same choice on every goroutine, and the plan label reported by the
+// executor must equal the one EXPLAIN renders.
+func TestConcurrentExplainMatchesExecutor(t *testing.T) {
+	db := figure4DB(t)
+	shapes := []struct {
+		query  string
+		params []Value
+		index  string // "" = scan
+	}{
+		{"SELECT * FROM Orders WHERE OrderID = ?", []Value{Int(3)}, "Orders_pk"},
+		{"SELECT * FROM Orders WHERE ItemID = ?", []Value{Str("item-b")}, "idx_item"},
+		{"SELECT * FROM Orders WHERE OrderID = ? AND ItemID = ?", []Value{Int(3), Str("item-d")}, "idx_order_item"},
+		{"SELECT * FROM Orders WHERE Quantity = ?", []Value{Int(50)}, ""},
+	}
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := db.Session()
+			var last StmtStats
+			s.SetStatsSink(func(st StmtStats) {
+				if st.Kind == "SELECT" {
+					last = st
+				}
+			})
+			for i := 0; i < 30; i++ {
+				shape := shapes[i%len(shapes)]
+				res, err := s.Exec("EXPLAIN "+shape.query, shape.params...)
+				if err != nil {
+					t.Errorf("EXPLAIN: %v", err)
+					return
+				}
+				plan := strings.TrimSpace(res.Rows[0][0].String())
+				if _, err := s.Exec(shape.query, shape.params...); err != nil {
+					t.Errorf("exec: %v", err)
+					return
+				}
+				if last.Index != shape.index {
+					t.Errorf("executor probed %q, want %q (query %s)", last.Index, shape.index, shape.query)
+					return
+				}
+				if last.Plan != plan {
+					t.Errorf("executor plan %q != EXPLAIN %q", last.Plan, plan)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if cs := db.StmtCacheStats(); cs.Hits == 0 {
+		t.Fatalf("concurrent identical statements produced no cache hits: %+v", cs)
+	}
+}
+
+// TestConcurrentStatementCacheSafety hammers the parsed-statement cache
+// from many goroutines mixing cache-hit SELECTs with DDL that flushes the
+// cache mid-flight; every statement must still parse and execute.
+func TestConcurrentStatementCacheSafety(t *testing.T) {
+	db := Open("cache")
+	db.MustExec("CREATE TABLE t (x INTEGER)")
+	db.MustExec("INSERT INTO t VALUES (1), (2), (3)")
+
+	const goroutines = 6
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			s := db.Session()
+			for i := 0; i < 50; i++ {
+				if _, err := s.Exec("SELECT COUNT(*) FROM t WHERE x > ?", Int(0)); err != nil {
+					t.Errorf("select: %v", err)
+					return
+				}
+				if i%10 == 0 {
+					// DDL on a private table: succeeds, flushes the cache.
+					name := fmt.Sprintf("g%d_%d", g, i)
+					if _, err := s.Exec("CREATE TABLE " + name + " (y INTEGER)"); err != nil {
+						t.Errorf("ddl: %v", err)
+						return
+					}
+					if _, err := s.Exec("DROP TABLE " + name); err != nil {
+						t.Errorf("drop: %v", err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	cs := db.StmtCacheStats()
+	if cs.Flushes == 0 {
+		t.Fatalf("DDL never flushed the cache: %+v", cs)
+	}
+	if cs.Hits == 0 {
+		t.Fatalf("repeated identical statement produced no cache hits: %+v", cs)
 	}
 }

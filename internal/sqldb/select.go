@@ -216,7 +216,8 @@ func (s *Session) buildFrom(q *SelectStmt, outer *env) (*relation, error) {
 				for _, r := range candidates {
 					rel.rows = append(rel.rows, r.Values)
 				}
-				s.db.rowsRead += int64(len(candidates))
+				s.db.rowsRead.Add(int64(len(candidates)))
+				s.rowsScanned += int64(len(candidates))
 				return rel, nil
 			}
 		}
@@ -254,7 +255,8 @@ func (s *Session) scanBase(table, alias string, outer *env) (*relation, error) {
 	for _, r := range tbl.rows {
 		rel.rows = append(rel.rows, r.Values)
 	}
-	s.db.rowsRead += int64(len(tbl.rows))
+	s.db.rowsRead.Add(int64(len(tbl.rows)))
+	s.rowsScanned += int64(len(tbl.rows))
 	return rel, nil
 }
 

@@ -1,18 +1,34 @@
 package sqldb
 
+import "sync"
+
 // Sequence is a named integer generator (CREATE SEQUENCE). The Oracle SOA
 // reproduction's sequence-next-val XPath extension function is backed by
 // these.
 type Sequence struct {
-	Name      string
+	Name string
+
+	// mu makes the generator internally synchronized: NEXTVAL evaluates
+	// inside SELECT statements, which execute under the *shared* engine
+	// lock, so concurrent readers may advance the same sequence at once.
+	mu        sync.Mutex
 	next      int64
 	increment int64
 }
 
-// Next returns the current value and advances the sequence. Callers must
-// hold the DB lock.
+// Next returns the current value and advances the sequence. It is safe
+// for concurrent use.
 func (s *Sequence) Next() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	v := s.next
 	s.next += s.increment
 	return v
+}
+
+// state snapshots the generator (for Dump).
+func (s *Sequence) state() (next, increment int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.next, s.increment
 }

@@ -3,23 +3,42 @@ package sqldb
 import (
 	"fmt"
 	"strings"
+	"sync"
 	"time"
 )
 
 // Session is a connection-like handle on a DB. A session may hold an
 // explicit transaction (BEGIN ... COMMIT/ROLLBACK); outside of one, every
-// statement autocommits. Sessions are not safe for concurrent use by
-// multiple goroutines; open one session per goroutine.
+// statement autocommits.
+//
+// The workflow layers follow a one-session-per-instance contract; a
+// session serializes its own top-level statements with an internal mutex,
+// so parallel Flow branches of one instance sharing the instance session
+// are safe (their statements interleave, they do not corrupt session
+// state). Distinct instances must still use distinct sessions — an open
+// transaction belongs to the whole session, not to a goroutine.
 type Session struct {
-	db     *DB
-	txn    *txn
-	locked bool // true while this session holds db.mu (re-entrant execution)
+	db *DB
+
+	// mu serializes top-level statement execution and Rollback on this
+	// session. Re-entrant execution (child sessions, below) runs inside
+	// the owner's critical section and bypasses it.
+	mu  sync.Mutex
+	txn *txn
+
+	// locked marks a child session minted by execCall for native
+	// procedures: the enclosing statement already holds the engine lock
+	// and the session mutex, so the child's statements take the
+	// re-entrant path. It is set at construction and never mutated, which
+	// keeps the flag data-race-free even when the parent session is
+	// shared across goroutines.
+	locked bool
 
 	// per-statement stats plumbing (see stats.go)
-	sink         StatsSink     // session-level override of the DB sink
-	pendingParse time.Duration // Parse time of the statement about to run
-	planTable    string        // primary access-path table of current stmt
-	planIndex    string        // index probed by the current stmt ("" = scan)
+	sink        StatsSink // session-level override of the DB sink
+	planTable   string    // primary access-path table of current stmt
+	planIndex   string    // index probed by the current stmt ("" = scan)
+	rowsScanned int64     // candidate rows read by the current stmt
 }
 
 // txn is an in-flight transaction: an undo log replayed in reverse on
@@ -59,34 +78,46 @@ func (s *Session) InTransaction() bool { return s.txn != nil }
 func (s *Session) DB() *DB { return s.db }
 
 // Exec parses and executes one SQL statement with positional parameters.
+// The parse goes through the database's statement cache: repeated
+// executions of the same SQL text reuse the cached AST and report zero
+// parse time (StmtStats.Cache records "hit" vs "miss").
 func (s *Session) Exec(sql string, params ...Value) (*Result, error) {
-	start := time.Now()
-	st, err := Parse(sql)
+	st, parse, hit, err := s.db.cachedParse(sql)
 	if err != nil {
 		return nil, err
 	}
-	s.pendingParse = time.Since(start)
-	return s.ExecStmt(st, params, nil)
+	res, _, err := s.execStmt(st, parse, cacheLabel(hit), params, nil)
+	return res, err
 }
 
 // ExecNamed parses and executes one SQL statement binding :name parameters
-// from the given map (keys are case-insensitive).
+// from the given map (keys are case-insensitive). Like Exec, it resolves
+// the SQL text through the statement cache.
 func (s *Session) ExecNamed(sql string, named map[string]Value) (*Result, error) {
-	start := time.Now()
-	st, err := Parse(sql)
+	st, parse, hit, err := s.db.cachedParse(sql)
 	if err != nil {
 		return nil, err
 	}
-	s.pendingParse = time.Since(start)
-	return s.ExecStmt(st, nil, named)
+	res, _, err := s.execStmt(st, parse, cacheLabel(hit), nil, named)
+	return res, err
+}
+
+func cacheLabel(hit bool) string {
+	if hit {
+		return CacheHit
+	}
+	return CacheMiss
 }
 
 // PreparedStmt is a parsed statement bound to a session, reusable with
 // different parameters — the host-variable execution path the product
-// layers use for repeated statements.
+// layers use for repeated statements. Prepare bypasses the statement
+// cache (the caller is doing its own statement reuse).
 type PreparedStmt struct {
-	s        *Session
-	stmt     Stmt
+	s    *Session
+	stmt Stmt
+
+	mu       sync.Mutex
 	parse    time.Duration
 	reported bool
 }
@@ -101,25 +132,52 @@ func (s *Session) Prepare(sql string) (*PreparedStmt, error) {
 	return &PreparedStmt{s: s, stmt: st, parse: time.Since(start)}, nil
 }
 
-// attributeParse charges the one-time parse cost to the first execution
-// (later executions report zero parse time — the point of preparing).
-func (p *PreparedStmt) attributeParse() {
-	if !p.reported {
-		p.reported = true
-		p.s.pendingParse = p.parse
+// takeParse returns the one-time parse cost if no execution has carried it
+// yet, marking it charged (later executions report zero parse time — the
+// point of preparing).
+func (p *PreparedStmt) takeParse() time.Duration {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.reported {
+		return 0
 	}
+	p.reported = true
+	return p.parse
+}
+
+// restoreParse re-arms the parse charge when the execution it was handed
+// to was refused before running (ExecHook fault injection): the next
+// execution that actually runs must still account for the parse.
+// Without this, a statement whose first attempt was chaos-refused would
+// lose its parse cost forever and every StmtStats it ever emitted would
+// claim Parse == 0.
+func (p *PreparedStmt) restoreParse(parse time.Duration) {
+	if parse == 0 {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.reported = false
 }
 
 // Exec runs the prepared statement with positional parameters.
 func (p *PreparedStmt) Exec(params ...Value) (*Result, error) {
-	p.attributeParse()
-	return p.s.ExecStmt(p.stmt, params, nil)
+	parse := p.takeParse()
+	res, executed, err := p.s.execStmt(p.stmt, parse, "", params, nil)
+	if !executed {
+		p.restoreParse(parse)
+	}
+	return res, err
 }
 
 // ExecNamed runs the prepared statement with named parameters.
 func (p *PreparedStmt) ExecNamed(named map[string]Value) (*Result, error) {
-	p.attributeParse()
-	return p.s.ExecStmt(p.stmt, nil, named)
+	parse := p.takeParse()
+	res, executed, err := p.s.execStmt(p.stmt, parse, "", nil, named)
+	if !executed {
+		p.restoreParse(parse)
+	}
+	return res, err
 }
 
 // Query executes a statement and requires it to produce a result set.
@@ -138,74 +196,133 @@ func (s *Session) Query(sql string, params ...Value) (*Result, error) {
 // re-entrant ones) first pass through the database's ExecHook, so fault
 // injection sees the same statement stream every session sends; they also
 // emit per-statement StmtStats to the session's (or database's) sink
-// after the engine lock is released.
+// after the engine lock is released. A pre-parsed statement carries no
+// parse cost (StmtStats.Parse == 0).
 func (s *Session) ExecStmt(st Stmt, params []Value, named map[string]Value) (*Result, error) {
-	parse := s.pendingParse
-	s.pendingParse = 0
-	if s.locked {
-		// Re-entrant execution (procedure bodies, nested evaluation):
-		// no hook, no stats — the enclosing statement accounts for it.
-		return s.execStmtLocked(st, params, named)
+	res, _, err := s.execStmt(st, 0, "", params, named)
+	return res, err
+}
+
+// readOnlyStmt reports whether a statement only reads database state and
+// can therefore execute under the shared (read) engine lock. SELECT may
+// still advance sequences via NEXTVAL; Sequence is internally
+// synchronized for exactly that reason.
+func readOnlyStmt(st Stmt) bool {
+	switch st.(type) {
+	case *SelectStmt, *ExplainStmt:
+		return true
 	}
+	return false
+}
+
+// isDDL reports whether a statement changes schema objects (tables,
+// indexes, views, sequences, procedures). Successful DDL flushes the
+// parsed-statement cache.
+func isDDL(st Stmt) bool {
+	switch st.(type) {
+	case *CreateTableStmt, *DropTableStmt, *AlterTableStmt,
+		*CreateIndexStmt, *DropIndexStmt,
+		*CreateViewStmt, *DropViewStmt,
+		*CreateSequenceStmt, *DropSequenceStmt,
+		*CreateProcedureStmt, *DropProcedureStmt:
+		return true
+	}
+	return false
+}
+
+// execStmt is the top-level execution path: session mutex, ExecHook,
+// engine lock (shared for read-only statements, exclusive otherwise),
+// statement execution, then stats emission. parse and cache describe how
+// the statement text was resolved (see Exec/cachedParse) and flow into
+// the emitted StmtStats. executed is false only when the ExecHook refused
+// the statement before any work happened — prepared statements use that
+// to re-arm their one-time parse charge.
+func (s *Session) execStmt(st Stmt, parse time.Duration, cache string, params []Value, named map[string]Value) (res *Result, executed bool, err error) {
+	if s.locked {
+		// Re-entrant execution (native procedure bodies running on a
+		// child session): no hook, no stats — the enclosing statement
+		// accounts for it.
+		res, err = s.execStmtLocked(st, params, named)
+		return res, true, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if h := s.db.currentExecHook(); h != nil {
 		if err := h(StmtKind(st)); err != nil {
-			return nil, err
+			return nil, false, err
 		}
 	}
 	sink := s.sink
 	if sink == nil {
 		sink = s.db.currentStatsSink()
 	}
+	shared := readOnlyStmt(st)
+	lockStart := time.Now()
+	if shared {
+		s.db.mu.RLock()
+	} else {
+		s.db.mu.Lock()
+	}
+	lockWait := time.Since(lockStart)
 	var stat *StmtStats
-	s.db.mu.Lock()
-	s.locked = true
-	defer func() {
-		s.locked = false
-		s.db.mu.Unlock()
-		if stat != nil {
-			sink(*stat)
+	func() {
+		defer func() {
+			if shared {
+				s.db.mu.RUnlock()
+			} else {
+				s.db.mu.Unlock()
+			}
+		}()
+		if sink == nil {
+			res, err = s.execStmtLocked(st, params, named)
+			return
+		}
+		s.planTable, s.planIndex, s.rowsScanned = "", "", 0
+		start := time.Now()
+		res, err = s.execStmtLocked(st, params, named)
+		stat = &StmtStats{
+			Start:       start,
+			Kind:        StmtKind(st),
+			Table:       s.planTable,
+			Index:       s.planIndex,
+			Plan:        "",
+			Parse:       parse,
+			Exec:        time.Since(start),
+			LockWait:    lockWait,
+			Cache:       cache,
+			RowsScanned: s.rowsScanned,
+		}
+		if s.planTable != "" {
+			if tbl, terr := s.db.table(s.planTable); terr == nil {
+				var idx *Index
+				if s.planIndex != "" {
+					idx = tbl.indexes[strings.ToLower(s.planIndex)]
+				}
+				stat.Plan = planLabel(tbl, idx)
+			}
+		}
+		if res != nil {
+			stat.RowsReturned = int64(len(res.Rows))
+			stat.RowsAffected = res.RowsAffected
+		}
+		if err != nil {
+			stat.Err = err.Error()
 		}
 	}()
-	if sink == nil {
-		return s.execStmtLocked(st, params, named)
+	if err == nil && isDDL(st) {
+		s.db.invalidateStmtCache()
 	}
-	s.planTable, s.planIndex = "", ""
-	scanned0 := s.db.rowsRead
-	start := time.Now()
-	res, err := s.execStmtLocked(st, params, named)
-	stat = &StmtStats{
-		Start:       start,
-		Kind:        StmtKind(st),
-		Table:       s.planTable,
-		Index:       s.planIndex,
-		Parse:       parse,
-		Exec:        time.Since(start),
-		RowsScanned: s.db.rowsRead - scanned0,
+	if stat != nil {
+		sink(*stat)
 	}
-	if s.planTable != "" {
-		if tbl, terr := s.db.table(s.planTable); terr == nil {
-			var idx *Index
-			if s.planIndex != "" {
-				idx = tbl.indexes[strings.ToLower(s.planIndex)]
-			}
-			stat.Plan = planLabel(tbl, idx)
-		}
-	}
-	if res != nil {
-		stat.RowsReturned = int64(len(res.Rows))
-		stat.RowsAffected = res.RowsAffected
-	}
-	if err != nil {
-		stat.Err = err.Error()
-	}
-	return res, err
+	return res, true, err
 }
 
 // execStmtLocked executes one statement with the DB lock held. Unless an
 // explicit transaction is open, the statement runs in a statement-local
 // transaction that rolls back on error (statement atomicity).
 func (s *Session) execStmtLocked(st Stmt, params []Value, named map[string]Value) (res *Result, err error) {
-	s.db.stmtCount++
+	s.db.stmtCount.Add(1)
 	lower := func(m map[string]Value) map[string]Value {
 		if m == nil {
 			return nil
@@ -263,7 +380,7 @@ func (s *Session) execStmtLocked(st Stmt, params []Value, named map[string]Value
 		res, err = s.execSelect(t, base)
 		if err == nil {
 			b := res.approxBytes()
-			s.db.bytesReturned += b
+			s.db.bytesReturned.Add(b)
 		}
 		return res, err
 	case *InsertStmt:
@@ -299,7 +416,7 @@ func (s *Session) execStmtLocked(st Stmt, params []Value, named map[string]Value
 			tbl.deleteRow(r)
 			s.txn.undo = append(s.txn.undo, undoDelete{tbl, r})
 		}
-		s.db.rowsWritten += int64(n)
+		s.db.rowsWritten.Add(int64(n))
 		return &Result{RowsAffected: n}, nil
 	case *CreateIndexStmt:
 		tbl, err := s.db.table(t.Table)
@@ -394,17 +511,17 @@ func (s *Session) rollbackLocked() {
 // Rollback aborts any open explicit transaction (no-op otherwise). It is
 // used by the workflow layers when a fault aborts an atomic SQL sequence.
 func (s *Session) Rollback() {
-	if !s.locked {
-		s.db.mu.Lock()
-		s.locked = true
-		defer func() {
-			s.locked = false
-			s.db.mu.Unlock()
-		}()
-	}
-	if s.txn != nil {
+	if s.locked {
+		// Re-entrant (child session): the engine lock is already held by
+		// the enclosing statement.
 		s.rollbackLocked()
+		return
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.db.mu.Lock()
+	defer s.db.mu.Unlock()
+	s.rollbackLocked()
 }
 
 func (s *Session) nextSequenceValue(name string) (Value, error) {
@@ -486,7 +603,7 @@ func (s *Session) execInsert(t *InsertStmt, params []Value, named map[string]Val
 		s.txn.undo = append(s.txn.undo, undoInsert{tbl, r})
 		n++
 	}
-	s.db.rowsWritten += int64(n)
+	s.db.rowsWritten.Add(int64(n))
 	return &Result{RowsAffected: n}, nil
 }
 
@@ -529,7 +646,7 @@ func (s *Session) execUpdate(t *UpdateStmt, params []Value, named map[string]Val
 		s.txn.undo = append(s.txn.undo, undoUpdate{tbl, r, old})
 		n++
 	}
-	s.db.rowsWritten += int64(n)
+	s.db.rowsWritten.Add(int64(n))
 	return &Result{RowsAffected: n}, nil
 }
 
@@ -548,7 +665,7 @@ func (s *Session) execDelete(t *DeleteStmt, params []Value, named map[string]Val
 		tbl.deleteRow(r)
 		s.txn.undo = append(s.txn.undo, undoDelete{tbl, r})
 	}
-	s.db.rowsWritten += int64(len(matched))
+	s.db.rowsWritten.Add(int64(len(matched)))
 	return &Result{RowsAffected: len(matched)}, nil
 }
 
@@ -562,7 +679,8 @@ func (s *Session) filterRows(tbl *Table, cols []colMeta, where Expr, base *env) 
 	}
 	var matched []*Row
 	for _, r := range candidates {
-		s.db.rowsRead++
+		s.db.rowsRead.Add(1)
+		s.rowsScanned++
 		if where != nil {
 			v, err := eval(where, base.child(cols, r.Values))
 			if err != nil {
@@ -674,7 +792,19 @@ func (s *Session) execCall(t *CallStmt, params []Value, named map[string]Value) 
 		args[i] = v
 	}
 	if proc.Native != nil {
-		return proc.Native(s, args)
+		// Native procedures run on a child session: it shares this
+		// statement's transaction (so the procedure's effects roll back
+		// with the CALL) but is permanently marked re-entrant, routing
+		// any SQL the procedure issues through the nested path instead
+		// of deadlocking on the session/engine locks.
+		child := &Session{db: s.db, txn: s.txn, locked: true, sink: s.sink}
+		res, err := proc.Native(child, args)
+		// Fold the child's accounting into the enclosing CALL statement.
+		s.rowsScanned += child.rowsScanned
+		if s.planTable == "" {
+			s.planTable, s.planIndex = child.planTable, child.planIndex
+		}
+		return res, err
 	}
 	if len(args) != len(proc.Params) {
 		return nil, fmt.Errorf("sqldb: procedure %s expects %d argument(s), got %d", proc.Name, len(proc.Params), len(args))

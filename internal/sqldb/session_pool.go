@@ -1,0 +1,75 @@
+package sqldb
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// SessionPool is a small checkout pool of sessions on one database. The
+// workflow layers whose SQL surface is stateless-per-call (Oracle's XPath
+// extension functions, XSQL pages) used to mint a throwaway Session per
+// statement; under the concurrent instance scheduler that pattern both
+// churns allocations and — worse — silently drops any open-transaction
+// state a caller accumulated, because the next statement runs on a brand
+// new session. The pool gives each in-flight call a private session for
+// its whole duration and recycles only sessions proven clean (no open
+// transaction) on release.
+type SessionPool struct {
+	db *DB
+
+	mu   sync.Mutex
+	free []*Session
+
+	acquires atomic.Int64
+	reuses   atomic.Int64
+}
+
+// sessionPoolCap bounds how many idle sessions a pool retains.
+const sessionPoolCap = 32
+
+// NewSessionPool builds a pool over db.
+func NewSessionPool(db *DB) *SessionPool {
+	return &SessionPool{db: db}
+}
+
+// DB returns the pooled database.
+func (p *SessionPool) DB() *DB { return p.db }
+
+// Acquire checks out a session. The caller owns it until Release.
+func (p *SessionPool) Acquire() *Session {
+	p.acquires.Add(1)
+	p.mu.Lock()
+	if n := len(p.free); n > 0 {
+		s := p.free[n-1]
+		p.free = p.free[:n-1]
+		p.mu.Unlock()
+		p.reuses.Add(1)
+		return s
+	}
+	p.mu.Unlock()
+	return p.db.Session()
+}
+
+// Release returns a session to the pool. A session still holding an open
+// transaction is rolled back and discarded instead of being recycled —
+// pooled sessions are always transactionally clean.
+func (p *SessionPool) Release(s *Session) {
+	if s == nil || s.db != p.db {
+		return
+	}
+	if s.InTransaction() {
+		s.Rollback()
+		return
+	}
+	p.mu.Lock()
+	if len(p.free) < sessionPoolCap {
+		p.free = append(p.free, s)
+	}
+	p.mu.Unlock()
+}
+
+// Stats reports pool activity: total checkouts and how many were served
+// by recycling an idle session.
+func (p *SessionPool) Stats() (acquires, reuses int64) {
+	return p.acquires.Load(), p.reuses.Load()
+}

@@ -19,13 +19,21 @@ type StmtStats struct {
 	Table        string        // primary access-path table, if any
 	Index        string        // index the executor probed ("" = scan)
 	Plan         string        // EXPLAIN-aligned access-path label
-	Parse        time.Duration // time spent in Parse (0 for re-used prepared statements)
+	Parse        time.Duration // time spent in Parse (0 for cache hits and re-used prepared statements)
 	Exec         time.Duration // time spent executing
-	RowsScanned  int64         // candidate rows read (db.rowsRead delta)
+	LockWait     time.Duration // time spent waiting for the engine lock
+	Cache        string        // statement-cache outcome: CacheHit, CacheMiss, or "" (pre-parsed)
+	RowsScanned  int64         // candidate rows read by this statement
 	RowsReturned int64         // result-set rows
 	RowsAffected int           // DML rows affected
 	Err          string        // non-empty if the statement failed
 }
+
+// Statement-cache outcomes recorded in StmtStats.Cache.
+const (
+	CacheHit  = "hit"
+	CacheMiss = "miss"
+)
 
 // StatsSink receives per-statement stats. It is invoked after the engine
 // lock is released, so a sink may safely read DB state — but it runs on
@@ -92,8 +100,15 @@ func (db *DB) SetObservability(o *obsv.Observability) {
 		m.Histogram("sqldb.parse_ms").ObserveDuration(st.Parse)
 		m.Histogram("sqldb.exec_ms").ObserveDuration(st.Exec)
 		m.Histogram("sqldb.exec_ms." + st.Kind).ObserveDuration(st.Exec)
+		m.Histogram("sqldb.lock_wait_ms").ObserveDuration(st.LockWait)
 		m.Counter("sqldb.rows_scanned").Add(st.RowsScanned)
 		m.Counter("sqldb.rows_returned").Add(st.RowsReturned)
+		switch st.Cache {
+		case CacheHit:
+			m.Counter("sqldb.stmtcache.hits").Inc()
+		case CacheMiss:
+			m.Counter("sqldb.stmtcache.misses").Inc()
+		}
 		if st.Table != "" {
 			if st.Index != "" {
 				m.Counter("sqldb.index_hits").Inc()

@@ -1,6 +1,7 @@
 package sqldb
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -273,5 +274,103 @@ func TestDBObservability(t *testing.T) {
 	}
 	if got := m.Counter("sqldb.stmt.SELECT").Value(); got != 2 {
 		t.Fatalf("detached DB still counting: %d", got)
+	}
+}
+
+// TestPreparedParseSurvivesRefusedExecution pins the parse-attribution
+// bugfix: the session used to stage the prepared statement's one-time
+// parse cost in a mutable session field that ExecStmt consumed *before*
+// the ExecHook ran. A chaos-refused first execution therefore discarded
+// the parse cost without emitting any stat, and every later StmtStats for
+// the statement claimed Parse == 0. Parse durations are now threaded
+// through the call explicitly and re-armed when the hook refuses the
+// execution, so the first execution that actually runs carries the cost.
+func TestPreparedParseSurvivesRefusedExecution(t *testing.T) {
+	db := figure4DB(t)
+	s := db.Session()
+	var stats []StmtStats
+	s.SetStatsSink(func(st StmtStats) { stats = append(stats, st) })
+
+	p, err := s.Prepare("SELECT * FROM Orders WHERE OrderID = ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Chaos refuses the first execution before it runs.
+	refuse := true
+	db.SetExecHook(func(kind string) error {
+		if refuse {
+			refuse = false
+			return fmt.Errorf("chaos: connection refused")
+		}
+		return nil
+	})
+	if _, err := p.Exec(Int(1)); err == nil {
+		t.Fatal("expected the hook to refuse the first execution")
+	}
+	if len(stats) != 0 {
+		t.Fatalf("refused execution must not emit stats, got %d", len(stats))
+	}
+
+	// The first execution that actually runs still carries the parse cost.
+	if _, err := p.Exec(Int(1)); err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 1 {
+		t.Fatalf("want 1 stat, got %d", len(stats))
+	}
+	if stats[0].Parse <= 0 {
+		t.Fatalf("parse cost lost after refused execution: Parse = %v", stats[0].Parse)
+	}
+
+	// And only that one: re-executions report zero parse.
+	if _, err := p.Exec(Int(2)); err != nil {
+		t.Fatal(err)
+	}
+	if stats[1].Parse != 0 {
+		t.Fatalf("parse charged twice: %v", stats[1].Parse)
+	}
+}
+
+// TestStmtCacheHitStats pins the statement cache's stats contract: the
+// first Exec of a SQL text is a miss that pays (and reports) the parse,
+// repeats are hits with zero parse, and the per-DB counters add up.
+func TestStmtCacheHitStats(t *testing.T) {
+	db := figure4DB(t)
+	base := db.StmtCacheStats()
+	s := db.Session()
+	var stats []StmtStats
+	s.SetStatsSink(func(st StmtStats) { stats = append(stats, st) })
+
+	const q = "SELECT * FROM Orders WHERE OrderID = ?"
+	for i := 0; i < 3; i++ {
+		if _, err := s.Exec(q, Int(int64(i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if stats[0].Cache != CacheMiss || stats[0].Parse <= 0 {
+		t.Fatalf("first execution: cache=%q parse=%v, want miss with parse cost", stats[0].Cache, stats[0].Parse)
+	}
+	for i := 1; i < 3; i++ {
+		if stats[i].Cache != CacheHit || stats[i].Parse != 0 {
+			t.Fatalf("execution %d: cache=%q parse=%v, want hit with zero parse", i, stats[i].Cache, stats[i].Parse)
+		}
+	}
+	cs := db.StmtCacheStats()
+	if cs.Hits-base.Hits != 2 || cs.Misses-base.Misses != 1 {
+		t.Fatalf("cache counters: hits+%d misses+%d, want +2/+1", cs.Hits-base.Hits, cs.Misses-base.Misses)
+	}
+
+	// DDL flushes the cache; the same text parses again afterwards.
+	db.MustExec("CREATE TABLE flush_probe (x INTEGER)")
+	if db.StmtCacheStats().Size != 0 {
+		t.Fatalf("DDL did not flush the statement cache: size = %d", db.StmtCacheStats().Size)
+	}
+	stats = nil
+	if _, err := s.Exec(q, Int(1)); err != nil {
+		t.Fatal(err)
+	}
+	if stats[0].Cache != CacheMiss {
+		t.Fatalf("post-DDL execution served from a flushed cache: %q", stats[0].Cache)
 	}
 }

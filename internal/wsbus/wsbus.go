@@ -10,6 +10,12 @@
 // message-part granularity the paper's examples use. An injectable
 // per-call latency lets benchmarks model remote invocation cost.
 //
+// The bus is safe for concurrent use: the worker-pool instance
+// scheduler dispatches invokes from many instance goroutines at once,
+// handlers run outside the bus mutex (a slow service must not serialize
+// unrelated invocations), and the attempt/success/panic counters are
+// updated under it.
+//
 // # Fault semantics
 //
 // Invoke never lets a handler panic escape: panics are recovered into

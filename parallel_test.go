@@ -1,0 +1,225 @@
+package wfsql
+
+import (
+	"testing"
+
+	"wfsql/internal/chaos"
+	"wfsql/internal/obsv"
+	"wfsql/internal/sched"
+)
+
+// This file is the parallel-execution matrix for the tentpole scheduler:
+// N instances of each product stack's running example driven through
+// internal/sched against one shared database, under -race. The invariant
+// is multiplicative: every instance appends one confirmation per approved
+// item type, so ConfirmationCount() == Instances × ApprovedItemTypes().
+
+const (
+	parInstances = 8
+	parWorkers   = 4
+)
+
+// parallelStacks enumerates the three product stacks' parallel runners.
+func parallelStacks() []struct {
+	name string
+	run  func(env *Environment, cfg ParallelConfig) (sched.Report, error)
+} {
+	return []struct {
+		name string
+		run  func(env *Environment, cfg ParallelConfig) (sched.Report, error)
+	}{
+		{"BIS", func(env *Environment, cfg ParallelConfig) (sched.Report, error) {
+			return env.RunFigure4BISParallel(cfg)
+		}},
+		{"WF", func(env *Environment, cfg ParallelConfig) (sched.Report, error) {
+			return env.RunFigure6WFParallel(cfg)
+		}},
+		{"Oracle", func(env *Environment, cfg ParallelConfig) (sched.Report, error) {
+			return env.RunFigure8OracleParallel(cfg)
+		}},
+	}
+}
+
+// TestParallelFiguresAllStacks runs N instances of each figure on a
+// 4-worker pool and checks the multiplicative confirmation invariant,
+// the report shape, and the scheduler's obsv counters.
+func TestParallelFiguresAllStacks(t *testing.T) {
+	w := Workload{Orders: 18, Items: 4, ApprovalPercent: 100, Seed: 3}
+	for _, tc := range parallelStacks() {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			env := NewEnvironment(w)
+			o := env.EnableObservability(nil)
+			rep, err := tc.run(env, ParallelConfig{Instances: parInstances, Workers: parWorkers})
+			if err != nil {
+				t.Fatalf("parallel run: %v", err)
+			}
+			if rep.Jobs != parInstances || rep.Failed != 0 || rep.Workers != parWorkers {
+				t.Fatalf("report = %+v", rep)
+			}
+			if rep.Throughput <= 0 {
+				t.Fatalf("throughput = %v", rep.Throughput)
+			}
+			want := parInstances * env.ApprovedItemTypes()
+			if got := env.ConfirmationCount(); got != want {
+				t.Fatalf("confirmations = %d, want %d (instances × item types)", got, want)
+			}
+			if got := o.M().Counter("sched.ok").Value(); got != parInstances {
+				t.Fatalf("sched.ok = %d, want %d", got, parInstances)
+			}
+			if got := o.M().Histogram("sched.run_ms").Count(); got != parInstances {
+				t.Fatalf("sched.run_ms count = %d, want %d", got, parInstances)
+			}
+		})
+	}
+}
+
+// TestParallelMatchesSerial checks that a parallel run commits exactly
+// the same confirmation rows as the same instance count run serially
+// (Workers=1) — concurrency must not change visible effects.
+func TestParallelMatchesSerial(t *testing.T) {
+	w := Workload{Orders: 18, Items: 4, ApprovalPercent: 100, Seed: 3}
+	for _, tc := range parallelStacks() {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			serialEnv := NewEnvironment(w)
+			if _, err := tc.run(serialEnv, ParallelConfig{Instances: parInstances, Workers: 1}); err != nil {
+				t.Fatalf("serial run: %v", err)
+			}
+			want := confirmationRows(t, serialEnv)
+
+			parEnv := NewEnvironment(w)
+			if _, err := tc.run(parEnv, ParallelConfig{Instances: parInstances, Workers: parWorkers}); err != nil {
+				t.Fatalf("parallel run: %v", err)
+			}
+			if got := confirmationRows(t, parEnv); !sameRows(got, want) {
+				t.Fatalf("parallel rows diverge from serial:\n got %v\nwant %v", got, want)
+			}
+		})
+	}
+}
+
+// TestParallelUnderChaos replays the chaos matrix's transient fault
+// window with the scheduler enabled: N instances per stack race through
+// a faulting supplier, each healing via its invoke retry policy, and the
+// multiplicative invariant still holds.
+func TestParallelUnderChaos(t *testing.T) {
+	w := Workload{Orders: 18, Items: 4, ApprovalPercent: 100, Seed: 3}
+	cfg := ParallelConfig{
+		Instances:  parInstances,
+		Workers:    parWorkers,
+		Resilience: ResilienceConfig{Invoke: quickPolicy(10), SQL: quickPolicy(10)},
+	}
+
+	t.Run("BIS", func(t *testing.T) {
+		env := NewEnvironment(w)
+		plan := chaos.NewFaultPlan(7)
+		plan.FailRate = 0.2
+		if err := chaos.Inject(env.Bus, "OrderFromSupplier", plan); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := env.RunFigure4BISParallel(cfg); err != nil {
+			t.Fatalf("parallel run under chaos: %v", err)
+		}
+		if plan.Injected() == 0 {
+			t.Fatal("fault plan injected nothing — test proved nothing")
+		}
+		if got, want := env.ConfirmationCount(), parInstances*env.ApprovedItemTypes(); got != want {
+			t.Fatalf("confirmations = %d, want %d", got, want)
+		}
+	})
+
+	t.Run("WF", func(t *testing.T) {
+		env := NewEnvironment(w)
+		plan := chaos.NewFaultPlan(7)
+		plan.FailRate = 0.2
+		env.Runtime.RegisterService("OrderFromSupplier", plan.WrapService(
+			func(req map[string]string) (map[string]string, error) {
+				return env.Supplier.Handle(req)
+			}))
+		if _, err := env.RunFigure6WFParallel(cfg); err != nil {
+			t.Fatalf("parallel run under chaos: %v", err)
+		}
+		if plan.Injected() == 0 {
+			t.Fatal("fault plan injected nothing")
+		}
+		if got, want := env.ConfirmationCount(), parInstances*env.ApprovedItemTypes(); got != want {
+			t.Fatalf("confirmations = %d, want %d", got, want)
+		}
+	})
+
+	t.Run("Oracle", func(t *testing.T) {
+		env := NewEnvironment(w)
+		plan := chaos.NewFaultPlan(7)
+		plan.FailRate = 0.2
+		if err := chaos.Inject(env.Bus, "OrderFromSupplier", plan); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := env.RunFigure8OracleParallel(cfg); err != nil {
+			t.Fatalf("parallel run under chaos: %v", err)
+		}
+		if plan.Injected() == 0 {
+			t.Fatal("fault plan injected nothing")
+		}
+		if got, want := env.ConfirmationCount(), parInstances*env.ApprovedItemTypes(); got != want {
+			t.Fatalf("confirmations = %d, want %d", got, want)
+		}
+	})
+}
+
+// TestParallelJournaledInstancesComplete attaches the durable journal to
+// both hosts and runs the parallel matrix: every concurrent instance
+// writes its own instance journal, and after the run the journal holds
+// zero in-flight instances (all begin/complete pairs matched up despite
+// interleaved appends).
+func TestParallelJournaledInstancesComplete(t *testing.T) {
+	w := Workload{Orders: 18, Items: 4, ApprovalPercent: 100, Seed: 3}
+	for _, tc := range parallelStacks() {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			env := NewEnvironment(w)
+			rec := openJournal(t, t.TempDir())
+			defer rec.Close()
+			env.Engine.AttachJournal(rec)
+			env.Runtime.AttachJournal(rec)
+
+			if _, err := tc.run(env, ParallelConfig{Instances: parInstances, Workers: parWorkers}); err != nil {
+				t.Fatalf("journaled parallel run: %v", err)
+			}
+			if n := len(rec.InFlight()); n != 0 {
+				t.Fatalf("journal holds %d in-flight instances after completion, want 0", n)
+			}
+			if got, want := env.ConfirmationCount(), parInstances*env.ApprovedItemTypes(); got != want {
+				t.Fatalf("confirmations = %d, want %d", got, want)
+			}
+		})
+	}
+}
+
+// TestParallelStatementCacheAndLockWait checks the tentpole's sqldb
+// surface under scheduler load: repeated parallel WF instances hit the
+// parsed-statement cache (same SQL text across instances) and every
+// statement reports its engine-lock wait through the obsv histogram.
+func TestParallelStatementCacheAndLockWait(t *testing.T) {
+	env := NewEnvironment(Workload{Orders: 18, Items: 4, ApprovalPercent: 100, Seed: 3})
+	o := env.EnableObservability(obsv.New())
+	if _, err := env.RunFigure6WFParallel(ParallelConfig{Instances: parInstances, Workers: parWorkers}); err != nil {
+		t.Fatal(err)
+	}
+	cs := env.DB.StmtCacheStats()
+	if cs.Hits == 0 {
+		t.Fatalf("statement cache hits = 0 across %d identical instances (stats %+v)", parInstances, cs)
+	}
+	m := o.M()
+	if got := m.Counter("sqldb.stmtcache.hits").Value(); got != cs.Hits {
+		t.Fatalf("obsv cache-hit counter = %d, db stats say %d", got, cs.Hits)
+	}
+	lw := m.Histogram("sqldb.lock_wait_ms")
+	if lw.Count() == 0 {
+		t.Fatal("sqldb.lock_wait_ms histogram empty — lock waits not surfaced")
+	}
+	// Paranoia: time should be sane (histogram observed non-negative).
+	if s := lw.Summary(); s.Max < 0 {
+		t.Fatalf("negative lock wait recorded: %+v", s)
+	}
+}

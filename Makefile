@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race short soak cover bench ci clean
+.PHONY: all build vet test race short soak cover bench overload fuzz race-parallel race-overload ci clean
 
 all: build
 
@@ -43,15 +43,37 @@ cover:
 bench:
 	$(GO) run ./cmd/wfbench -instances 32 -parallel 8 -orders 120 -items 8 -out BENCH_PR4.json
 
+# Goodput vs offered load: a closed-loop saturation run, then open-loop
+# arrivals at 1x/2x/4x saturation — protected (Shed admission +
+# per-instance deadline budget) against the unbounded baseline (Block,
+# queue = burst, no budget). On-time goodput and p99 queue wait per
+# point land in BENCH_PR5.json.
+overload:
+	$(GO) run ./cmd/wfbench -overload -orders 24 -items 3 -parallel 4 -svclat 5ms -loaddur 1500ms -out BENCH_PR5.json
+
+# Fuzz smoke: a bounded run of the WAL-scanner fuzzer (recovery must
+# survive arbitrary bytes). CI-friendly; raise -fuzztime manually for
+# longer campaigns.
+fuzz:
+	$(GO) test -fuzz=FuzzScan -fuzztime=15s ./internal/journal/
+
 # The parallel race gate: the scheduler-driven chaos/crash/parallel
 # matrices under the race detector (what the race-parallel CI job runs).
 race-parallel:
 	$(GO) test -race -run 'TestParallel|TestChaos|TestCrash' .
 	$(GO) test -race ./internal/sched/ ./internal/sqldb/ ./internal/resilience/
 
-# The gate: build, vet, then the full race-enabled suite (soak included).
-ci: build vet race
+# The overload race gate: admission/limiter/brownout unit suites, the
+# streaming pool, and the burst chaos matrix under the race detector
+# (what the overload CI job runs).
+race-overload:
+	$(GO) test -race ./internal/admit/ ./internal/sched/
+	$(GO) test -race -run 'TestOverload' .
+
+# The gate: build, vet, the full race-enabled suite (soak included),
+# then the WAL-scanner fuzz smoke.
+ci: build vet race fuzz
 
 clean:
 	$(GO) clean ./...
-	rm -f coverage.out BENCH_PR3.json BENCH_PR4.json
+	rm -f coverage.out BENCH_PR3.json BENCH_PR4.json BENCH_PR5.json

@@ -88,9 +88,20 @@ func main() {
 	seed := flag.Int64("seed", 42, "workload generator seed")
 	svclat := flag.Duration("svclat", 500*time.Microsecond, "synthetic supplier invocation latency (0 disables)")
 	out := flag.String("out", "BENCH_PR4.json", "report path (- for stdout)")
+	overload := flag.Bool("overload", false, "run the goodput-vs-offered-load overload series instead of the figure matrix")
+	slo := flag.Duration("slo", 250*time.Millisecond, "overload mode: per-instance completion SLO (and protected-mode budget)")
+	loadDur := flag.Duration("loaddur", 2*time.Second, "overload mode: open-loop offered-load duration per point")
 	flag.Parse()
 
 	w := wfsql.Workload{Orders: *orders, Items: *items, ApprovalPercent: *approve, Seed: *seed}
+	if *overload {
+		o := *out
+		if o == "BENCH_PR4.json" { // default not overridden: overload series gets its own file
+			o = "BENCH_PR5.json"
+		}
+		runOverloadBench(w, *parallel, *svclat, *slo, *loadDur, o)
+		return
+	}
 	figures := []struct {
 		name  string
 		stack string

@@ -1,0 +1,199 @@
+package main
+
+// The -overload mode measures goodput versus offered load: it first
+// finds the environment's saturation throughput with a closed-loop run,
+// then offers open-loop arrivals at 1×, 2×, and 4× that rate, twice per
+// multiple — once protected (Shed admission + per-instance deadline
+// budget) and once unbounded (Block admission, effectively infinite
+// queue, no budget). Goodput counts only instances that completed
+// within the SLO of their submission; the unbounded baseline completes
+// everything eventually but almost nothing on time once the queue
+// builds, which is exactly the collapse admission control prevents.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"time"
+
+	"wfsql"
+	"wfsql/internal/admit"
+)
+
+// overloadMode describes one protected-or-unbounded run at one load
+// multiple.
+type overloadMode struct {
+	Policy         string  `json:"policy"`
+	QueueBound     int     `json:"queue_bound"`
+	Budget         string  `json:"budget"` // "" = none
+	Submitted      int64   `json:"submitted"`
+	Completed      int64   `json:"completed"`
+	Failed         int64   `json:"failed"`
+	Shed           int64   `json:"shed"`
+	OnTime         int64   `json:"on_time"` // completed within SLO of submission
+	ElapsedMS      float64 `json:"elapsed_ms"`
+	GoodputPerSec  float64 `json:"goodput_per_sec"` // on-time completions / elapsed
+	QueueWaitP99MS float64 `json:"queue_wait_p99_ms"`
+	QueueHighWater int     `json:"queue_high_water"`
+}
+
+// overloadPoint is one offered-load multiple.
+type overloadPoint struct {
+	Multiple      float64       `json:"multiple"`
+	OfferedPerSec float64       `json:"offered_per_sec"`
+	Protected     *overloadMode `json:"protected"`
+	Unbounded     *overloadMode `json:"unbounded"`
+}
+
+// overloadReport is the whole BENCH_PR5.json document.
+type overloadReport struct {
+	Generated            string          `json:"generated"`
+	GoVersion            string          `json:"go_version"`
+	GOOS                 string          `json:"goos"`
+	GOARCH               string          `json:"goarch"`
+	CPUs                 int             `json:"cpus"`
+	Workload             wfsql.Workload  `json:"workload"`
+	ServiceLat           string          `json:"service_latency"`
+	Workers              int             `json:"workers"`
+	SLO                  string          `json:"slo"`
+	LoadDuration         string          `json:"load_duration"`
+	SaturationPerSec     float64         `json:"saturation_per_sec"`
+	Series               []overloadPoint `json:"series"`
+	ProtectedRetention4x float64         `json:"protected_retention_4x"` // goodput@4x / saturation
+	UnboundedRetention4x float64         `json:"unbounded_retention_4x"`
+}
+
+// runOverloadBench drives the goodput-vs-offered-load series.
+func runOverloadBench(w wfsql.Workload, workers int, svclat, slo, loadDur time.Duration, out string) {
+	rep := overloadReport{
+		Generated:    time.Now().UTC().Format(time.RFC3339),
+		GoVersion:    runtime.Version(),
+		GOOS:         runtime.GOOS,
+		GOARCH:       runtime.GOARCH,
+		CPUs:         runtime.NumCPU(),
+		Workload:     w,
+		ServiceLat:   svclat.String(),
+		Workers:      workers,
+		SLO:          slo.String(),
+		LoadDuration: loadDur.String(),
+	}
+
+	// Saturation: a closed-loop burst with backpressure admission —
+	// workers are never idle, nothing is shed, so completed/elapsed is
+	// the service capacity.
+	satEnv := wfsql.NewEnvironment(w)
+	injectLatency(satEnv, svclat)
+	satRep, err := satEnv.RunFigure4BISOverload(wfsql.OverloadConfig{
+		Instances:  8 * workers,
+		Workers:    workers,
+		QueueBound: 2 * workers,
+		Policy:     admit.Block,
+	})
+	if err != nil {
+		fatal(fmt.Errorf("saturation run: %w", err))
+	}
+	rep.SaturationPerSec = satRep.Goodput
+	fmt.Fprintf(os.Stderr, "saturation: %.1f inst/s (%d workers, svclat %v)\n",
+		rep.SaturationPerSec, workers, svclat)
+
+	for _, mult := range []float64{1, 2, 4} {
+		offered := mult * rep.SaturationPerSec
+		pace := time.Duration(float64(time.Second) / offered)
+		instances := int(math.Ceil(offered * loadDur.Seconds()))
+		if instances < 1 {
+			instances = 1
+		}
+		pt := overloadPoint{Multiple: mult, OfferedPerSec: offered}
+
+		protected := wfsql.OverloadConfig{
+			Instances:  instances,
+			Workers:    workers,
+			QueueBound: 2 * workers,
+			Policy:     admit.Shed,
+			Budget:     slo,
+			Pace:       pace,
+		}
+		pt.Protected = runOverloadMode(w, svclat, slo, protected)
+
+		unbounded := wfsql.OverloadConfig{
+			Instances:  instances,
+			Workers:    workers,
+			QueueBound: instances, // never refuses: the unbounded baseline
+			Policy:     admit.Block,
+			Pace:       pace,
+		}
+		pt.Unbounded = runOverloadMode(w, svclat, slo, unbounded)
+
+		rep.Series = append(rep.Series, pt)
+		fmt.Fprintf(os.Stderr,
+			"%.0fx offered %.1f/s  protected %.1f/s on-time (shed %d)  unbounded %.1f/s on-time (p99 wait %.0fms)\n",
+			mult, offered, pt.Protected.GoodputPerSec, pt.Protected.Shed,
+			pt.Unbounded.GoodputPerSec, pt.Unbounded.QueueWaitP99MS)
+	}
+
+	if rep.SaturationPerSec > 0 {
+		last := rep.Series[len(rep.Series)-1]
+		rep.ProtectedRetention4x = last.Protected.GoodputPerSec / rep.SaturationPerSec
+		rep.UnboundedRetention4x = last.Unbounded.GoodputPerSec / rep.SaturationPerSec
+	}
+	fmt.Fprintf(os.Stderr, "goodput retention at 4x: protected %.0f%%, unbounded %.0f%%\n",
+		100*rep.ProtectedRetention4x, 100*rep.UnboundedRetention4x)
+
+	f := os.Stdout
+	if out != "-" {
+		var err error
+		f, err = os.Create(out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fatal(err)
+	}
+	if out != "-" {
+		fmt.Fprintf(os.Stderr, "wrote %s\n", out)
+	}
+}
+
+// runOverloadMode executes one open-loop run on a fresh environment and
+// folds the pool report into the JSON shape. On-time counts completed
+// instances whose sojourn (queue wait + run time) fit inside the SLO;
+// for runs without a budget that is the goodput an SLO-bound caller
+// actually observes.
+func runOverloadMode(w wfsql.Workload, svclat, slo time.Duration, cfg wfsql.OverloadConfig) *overloadMode {
+	env := wfsql.NewEnvironment(w)
+	injectLatency(env, svclat)
+	pr, err := env.RunFigure4BISOverload(cfg)
+	if err != nil && cfg.Budget == 0 {
+		// Without a budget every admitted instance must complete.
+		fatal(fmt.Errorf("overload mode (%v): %w", cfg.Policy, err))
+	}
+	m := &overloadMode{
+		Policy:         cfg.Policy.String(),
+		QueueBound:     cfg.QueueBound,
+		Submitted:      pr.Submitted,
+		Completed:      pr.Completed,
+		Failed:         pr.Failed,
+		Shed:           pr.Shed,
+		ElapsedMS:      float64(pr.Elapsed) / float64(time.Millisecond),
+		QueueWaitP99MS: float64(pr.QueueWaitP99()) / float64(time.Millisecond),
+		QueueHighWater: pr.QueueHighWater,
+	}
+	if cfg.Budget > 0 {
+		m.Budget = cfg.Budget.String()
+	}
+	for _, r := range pr.Results {
+		if !r.Shed && r.Err == nil && r.QueueWait+r.RunTime <= slo {
+			m.OnTime++
+		}
+	}
+	if secs := pr.Elapsed.Seconds(); secs > 0 {
+		m.GoodputPerSec = float64(m.OnTime) / secs
+	}
+	return m
+}

@@ -1,0 +1,415 @@
+// Package admit is the overload-protection layer in front of the
+// instance scheduler: a bounded admission queue with pluggable
+// full-queue policies (Block, Shed, TimeoutWait), per-job deadlines
+// that are enforced both at admission and again at dequeue (a job whose
+// budget expired while queued is shed without ever starting), an AIMD
+// adaptive concurrency limiter driven by observed job latency, and a
+// watermark-based brown-out controller that degrades work by priority
+// class under sustained overload.
+//
+// The design follows the staged, backpressure-first discipline of
+// SEDA-style servers and the deadline/shedding discipline of "The Tail
+// at Scale": a workflow server that accepts everything protects
+// nothing. Bounding the queue turns overload into an explicit,
+// observable signal (admit.shed, sched.queue_depth) instead of
+// unbounded latency; deadlines turn a stalled supplier from a
+// worker-holding hostage into a bounded loss; the brown-out controller
+// spends the remaining capacity on the work that matters most.
+//
+// The package depends only on the standard library and internal/obsv,
+// so every layer (sched, the facade, benchmarks) can compose with it.
+package admit
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"wfsql/internal/obsv"
+)
+
+// Policy selects what Submit does when the queue is at capacity.
+type Policy int
+
+// Admission policies.
+const (
+	// Block waits (honoring the submitter's context) until space frees
+	// up — classic backpressure onto the producer.
+	Block Policy = iota
+	// Shed rejects immediately with ErrShed — load shedding at the
+	// front door, the cheapest place to say no.
+	Shed
+	// TimeoutWait blocks up to Options.Wait, then sheds — bounded
+	// patience, between the other two.
+	TimeoutWait
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case Block:
+		return "block"
+	case Shed:
+		return "shed"
+	case TimeoutWait:
+		return "timeout-wait"
+	}
+	return "unknown"
+}
+
+// Class is a job's priority class, consulted by the brown-out
+// controller: under sustained overload Deferrable work is shed first,
+// Normal work next (only at the queue bound), Critical work last.
+type Class int
+
+// Priority classes.
+const (
+	Critical Class = iota
+	Normal
+	Deferrable
+)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case Critical:
+		return "critical"
+	case Normal:
+		return "normal"
+	case Deferrable:
+		return "deferrable"
+	}
+	return "unknown"
+}
+
+// Shed reasons recorded on ShedError, the OnShed callback, and the
+// admit.shed.<reason> counters.
+const (
+	ReasonQueueFull      = "queue-full"       // Shed policy, queue at bound
+	ReasonWaitTimeout    = "wait-timeout"     // TimeoutWait patience exhausted
+	ReasonBrownout       = "brownout"         // deferrable work under brown-out
+	ReasonDeadline       = "deadline"         // budget already expired at submit
+	ReasonExpiredInQueue = "expired-in-queue" // budget expired while queued
+	ReasonClosed         = "closed"           // queue closed while waiting
+)
+
+// ErrShed is the sentinel every shed wraps; errors.Is(err, ErrShed)
+// identifies an admission rejection regardless of reason.
+var ErrShed = errors.New("admit: shed")
+
+// ShedError reports why an admission was refused.
+type ShedError struct {
+	Reason string
+}
+
+// Error implements error.
+func (e *ShedError) Error() string { return fmt.Sprintf("admit: shed (%s)", e.Reason) }
+
+// Unwrap ties ShedError to ErrShed.
+func (e *ShedError) Unwrap() error { return ErrShed }
+
+// ShedReason extracts the shed reason ("" if err is not a shed).
+func ShedReason(err error) string {
+	var se *ShedError
+	if errors.As(err, &se) {
+		return se.Reason
+	}
+	return ""
+}
+
+// Ticket is one queued unit of work.
+type Ticket[T any] struct {
+	Item     T
+	Class    Class
+	Deadline time.Time // zero = no budget
+
+	enqueued time.Time
+}
+
+// QueueWait reports how long the ticket sat in the queue (valid after
+// Take returned it).
+func (t Ticket[T]) QueueWait(now time.Time) time.Duration {
+	if t.enqueued.IsZero() {
+		return 0
+	}
+	return now.Sub(t.enqueued)
+}
+
+// Options configures a Queue.
+type Options struct {
+	// Capacity bounds the number of queued (admitted, not yet taken)
+	// tickets. Values < 1 mean 1.
+	Capacity int
+	// Policy selects the full-queue behavior (default Block).
+	Policy Policy
+	// Wait bounds TimeoutWait's patience (default 10ms).
+	Wait time.Duration
+	// Brownout, when set, is consulted on every submit and fed every
+	// depth change.
+	Brownout *Brownout
+	// OnShed is called (outside the queue lock) for every shed ticket,
+	// including tickets shed at dequeue because their deadline expired
+	// in the queue.
+	OnShed func(t any, class Class, reason string)
+	// DepthGauge names the queue-depth gauge (default
+	// "sched.queue_depth").
+	DepthGauge string
+	// Obs receives admit.* metrics (nil-safe).
+	Obs *obsv.Observability
+	// Clock is injectable for tests (default time.Now).
+	Clock func() time.Time
+}
+
+// Queue is a bounded FIFO admission queue. Safe for concurrent use by
+// any number of submitters and takers.
+type Queue[T any] struct {
+	opts Options
+
+	mu       sync.Mutex
+	notFull  *sync.Cond
+	notEmpty *sync.Cond
+	items    []Ticket[T]
+	closed   bool
+
+	submitted int64
+	admitted  int64
+	shed      int64
+	highWater int
+}
+
+// NewQueue builds a queue.
+func NewQueue[T any](opts Options) *Queue[T] {
+	if opts.Capacity < 1 {
+		opts.Capacity = 1
+	}
+	if opts.Wait <= 0 {
+		opts.Wait = 10 * time.Millisecond
+	}
+	if opts.DepthGauge == "" {
+		opts.DepthGauge = "sched.queue_depth"
+	}
+	if opts.Clock == nil {
+		opts.Clock = time.Now
+	}
+	q := &Queue[T]{opts: opts}
+	q.notFull = sync.NewCond(&q.mu)
+	q.notEmpty = sync.NewCond(&q.mu)
+	return q
+}
+
+// Capacity returns the configured bound.
+func (q *Queue[T]) Capacity() int { return q.opts.Capacity }
+
+// Depth returns the current number of queued tickets.
+func (q *Queue[T]) Depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
+// HighWater returns the maximum depth ever observed.
+func (q *Queue[T]) HighWater() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.highWater
+}
+
+// Counts reports submitted / admitted / shed totals.
+func (q *Queue[T]) Counts() (submitted, admitted, shed int64) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.submitted, q.admitted, q.shed
+}
+
+// shedLocked accounts a shed and returns the error. Caller holds q.mu;
+// the OnShed callback is deferred to the caller via the returned func.
+func (q *Queue[T]) shedLocked(t Ticket[T], reason string) (*ShedError, func()) {
+	q.shed++
+	m := q.opts.Obs.M()
+	m.Counter("admit.shed").Inc()
+	m.Counter("admit.shed." + reason).Inc()
+	cb := q.opts.OnShed
+	notify := func() {
+		if cb != nil {
+			cb(t.Item, t.Class, reason)
+		}
+	}
+	return &ShedError{Reason: reason}, notify
+}
+
+// Submit offers a ticket to the queue under the configured policy.
+// A nil error means the ticket was admitted and a Take will eventually
+// observe it (unless its deadline expires in the queue, in which case
+// it is shed at dequeue and OnShed fires). A *ShedError means the
+// ticket was refused and will never run. Any other error is the
+// submitter's context expiring while blocked.
+func (q *Queue[T]) Submit(ctx context.Context, t Ticket[T]) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	now := q.opts.Clock()
+
+	q.mu.Lock()
+	q.submitted++
+	if q.closed {
+		se, notify := q.shedLocked(t, ReasonClosed)
+		q.mu.Unlock()
+		notify()
+		return se
+	}
+	// Budget already burned: shed before taking a queue slot.
+	if !t.Deadline.IsZero() && !now.Before(t.Deadline) {
+		se, notify := q.shedLocked(t, ReasonDeadline)
+		q.mu.Unlock()
+		notify()
+		return se
+	}
+	// Brown-out: deferrable work is refused while the controller is
+	// active, regardless of current depth — capacity is being reserved
+	// for higher classes.
+	if q.opts.Brownout != nil && t.Class == Deferrable && q.opts.Brownout.Active() {
+		se, notify := q.shedLocked(t, ReasonBrownout)
+		q.mu.Unlock()
+		notify()
+		return se
+	}
+
+	var timeout <-chan time.Time
+	if q.opts.Policy == TimeoutWait {
+		timer := time.NewTimer(q.opts.Wait)
+		defer timer.Stop()
+		timeout = timer.C
+	}
+	// Wake blocked submitters when the caller's context dies.
+	stop := context.AfterFunc(ctx, func() {
+		q.mu.Lock()
+		q.notFull.Broadcast()
+		q.mu.Unlock()
+	})
+	defer stop()
+
+	for len(q.items) >= q.opts.Capacity {
+		switch q.opts.Policy {
+		case Shed:
+			se, notify := q.shedLocked(t, ReasonQueueFull)
+			q.mu.Unlock()
+			notify()
+			return se
+		case TimeoutWait:
+			select {
+			case <-timeout:
+				se, notify := q.shedLocked(t, ReasonWaitTimeout)
+				q.mu.Unlock()
+				notify()
+				return se
+			default:
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			q.mu.Unlock()
+			return err
+		}
+		if q.closed {
+			se, notify := q.shedLocked(t, ReasonClosed)
+			q.mu.Unlock()
+			notify()
+			return se
+		}
+		// TimeoutWait needs periodic wakeups to notice its timer; Block
+		// waits indefinitely (ctx wakeups via AfterFunc above).
+		if q.opts.Policy == TimeoutWait {
+			q.waitOrPoll()
+		} else {
+			q.notFull.Wait()
+		}
+	}
+
+	t.enqueued = q.opts.Clock()
+	q.items = append(q.items, t)
+	q.admitted++
+	depth := len(q.items)
+	if depth > q.highWater {
+		q.highWater = depth
+	}
+	q.opts.Obs.M().Gauge(q.opts.DepthGauge).SetInt(int64(depth))
+	bo := q.opts.Brownout
+	q.mu.Unlock()
+	q.notEmpty.Signal()
+	if bo != nil {
+		bo.Observe(depth)
+	}
+	return nil
+}
+
+// waitOrPoll waits on notFull but wakes at least every millisecond so
+// TimeoutWait submitters observe their timer without a dedicated
+// goroutine per waiter. Caller holds q.mu.
+func (q *Queue[T]) waitOrPoll() {
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-time.After(time.Millisecond):
+			q.mu.Lock()
+			q.notFull.Broadcast()
+			q.mu.Unlock()
+		case <-done:
+		}
+	}()
+	q.notFull.Wait()
+	close(done)
+}
+
+// Take removes the oldest admitted ticket, blocking until one is
+// available or the queue is closed and drained (ok=false). Tickets
+// whose deadline expired while queued are shed here — never returned —
+// so a worker only ever receives work that still has budget.
+func (q *Queue[T]) Take() (Ticket[T], bool) {
+	q.mu.Lock()
+	for {
+		for len(q.items) == 0 {
+			if q.closed {
+				q.mu.Unlock()
+				return Ticket[T]{}, false
+			}
+			q.notEmpty.Wait()
+		}
+		t := q.items[0]
+		q.items = q.items[1:]
+		depth := len(q.items)
+		q.opts.Obs.M().Gauge(q.opts.DepthGauge).SetInt(int64(depth))
+		now := q.opts.Clock()
+		if !t.Deadline.IsZero() && !now.Before(t.Deadline) {
+			se, notify := q.shedLocked(t, ReasonExpiredInQueue)
+			_ = se
+			bo := q.opts.Brownout
+			q.mu.Unlock()
+			q.notFull.Signal()
+			notify()
+			if bo != nil {
+				bo.Observe(depth)
+			}
+			q.mu.Lock()
+			continue
+		}
+		q.opts.Obs.M().Histogram("admit.queue_wait_ms").ObserveDuration(now.Sub(t.enqueued))
+		bo := q.opts.Brownout
+		q.mu.Unlock()
+		q.notFull.Signal()
+		if bo != nil {
+			bo.Observe(depth)
+		}
+		return t, true
+	}
+}
+
+// Close marks the queue closed: pending Takes drain the remaining
+// tickets then return ok=false; new Submits shed with ReasonClosed.
+func (q *Queue[T]) Close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.notEmpty.Broadcast()
+	q.notFull.Broadcast()
+}

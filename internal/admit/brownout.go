@@ -1,0 +1,143 @@
+package admit
+
+import (
+	"sync"
+	"time"
+
+	"wfsql/internal/obsv"
+)
+
+// BrownoutConfig configures the watermark brown-out controller.
+//
+// The controller watches queue depth. When depth sits at or above High
+// for at least Window (sustained — a single dip below High resets the
+// clock), the controller activates. While active, Deferrable work is
+// shed at admission and registered OnChange hooks fire so callers can
+// degrade other subsystems (e.g. journal sync always→critical). When
+// depth falls to Low or below, the controller deactivates and hooks
+// fire again with active=false.
+type BrownoutConfig struct {
+	// High is the activation watermark (queue depth). Required > 0.
+	High int
+	// Low is the deactivation watermark. Defaults to High/2.
+	Low int
+	// Window is how long depth must stay >= High before activating.
+	// Defaults to 50ms.
+	Window time.Duration
+	// Clock overrides time.Now for tests.
+	Clock func() time.Time
+	// Obs, when non-nil, receives brownout.active gauge updates and
+	// brownout.activations counter increments.
+	Obs *obsv.Observability
+}
+
+// Brownout is the watermark-based graceful-degradation controller.
+// A nil *Brownout is inert: Active reports false, Observe no-ops.
+type Brownout struct {
+	cfg BrownoutConfig
+
+	mu         sync.Mutex
+	active     bool
+	aboveSince time.Time // zero when depth < High
+	hooks      []func(active bool)
+
+	activations int64
+}
+
+// NewBrownout constructs a controller. Returns nil when cfg.High <= 0,
+// so callers can pass the result straight into Options.Brownout.
+func NewBrownout(cfg BrownoutConfig) *Brownout {
+	if cfg.High <= 0 {
+		return nil
+	}
+	if cfg.Low <= 0 {
+		cfg.Low = cfg.High / 2
+	}
+	if cfg.Low >= cfg.High {
+		cfg.Low = cfg.High - 1
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 50 * time.Millisecond
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	b := &Brownout{cfg: cfg}
+	b.cfg.Obs.M().Gauge("brownout.active").SetBool(false)
+	return b
+}
+
+// OnChange registers fn to be called (outside the controller lock)
+// whenever the active state flips. fn receives the new state.
+func (b *Brownout) OnChange(fn func(active bool)) {
+	if b == nil || fn == nil {
+		return
+	}
+	b.mu.Lock()
+	b.hooks = append(b.hooks, fn)
+	b.mu.Unlock()
+}
+
+// Active reports whether the brown-out is currently engaged.
+func (b *Brownout) Active() bool {
+	if b == nil {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.active
+}
+
+// Activations returns how many times the controller has engaged.
+func (b *Brownout) Activations() int64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.activations
+}
+
+// Observe feeds one queue-depth sample to the controller. The admission
+// queue calls this on every enqueue/dequeue.
+func (b *Brownout) Observe(depth int) {
+	if b == nil {
+		return
+	}
+	now := b.cfg.Clock()
+	var fire []func(bool)
+	var newState bool
+
+	b.mu.Lock()
+	switch {
+	case !b.active:
+		if depth >= b.cfg.High {
+			if b.aboveSince.IsZero() {
+				b.aboveSince = now
+			} else if now.Sub(b.aboveSince) >= b.cfg.Window {
+				b.active = true
+				b.activations++
+				b.aboveSince = time.Time{}
+				fire = append(fire, b.hooks...)
+				newState = true
+				b.cfg.Obs.M().Counter("brownout.activations").Inc()
+				b.cfg.Obs.M().Gauge("brownout.active").SetBool(true)
+			}
+		} else {
+			b.aboveSince = time.Time{}
+		}
+	case b.active:
+		if depth <= b.cfg.Low {
+			b.active = false
+			b.aboveSince = time.Time{}
+			fire = append(fire, b.hooks...)
+			newState = false
+			b.cfg.Obs.M().Gauge("brownout.active").SetBool(false)
+		}
+	}
+	b.mu.Unlock()
+
+	for _, fn := range fire {
+		fn(newState)
+	}
+}

@@ -189,6 +189,7 @@ func (b *ProcessBuilder) Build() *engine.Process {
 		}
 		st.jrec = ctx.Engine.Journal()
 		st.instID = ctx.Inst.ID
+		st.runCtx = ctx.Context()
 		ctx.Inst.SetContext(stateKey, st)
 		// On simulated process death the database rolls back whatever
 		// transactions the instance still had open (connection loss),

@@ -12,6 +12,7 @@
 package bis
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
@@ -67,6 +68,12 @@ type state struct {
 	// to a unit of work that must re-run as a whole.
 	jrec   *journal.Recorder
 	instID int64
+
+	// runCtx is the owning instance's execution budget, bound to every
+	// session the instance opens so an expired deadline stops SQL work
+	// at the next statement boundary. Nil when the instance runs without
+	// a budget.
+	runCtx context.Context
 }
 
 // journalTxn appends a transaction-boundary record (best effort).
@@ -167,6 +174,11 @@ func (st *state) sessionFor(db *sqldb.DB) *sqldb.Session {
 	s, ok := st.sessions[db]
 	if !ok {
 		s = db.Session()
+		if st.runCtx != nil {
+			// Deadline propagation: the instance's budget gates every
+			// statement boundary of its sessions.
+			s.BindContext(st.runCtx)
+		}
 		st.sessions[db] = s
 	}
 	needTxn := st.mode == engine.ShortRunning || st.atomic > 0

@@ -31,6 +31,18 @@ type Activity interface {
 // the Oracle XPath extension functions) attach underneath it.
 func execChild(ctx *Ctx, a Activity) error {
 	obs := ctx.Engine.Obs()
+	// Deadline propagation: an instance whose budget expired is stopped
+	// at the activity boundary — the cheapest cancellation point that
+	// still leaves every completed activity's effects intact. This is an
+	// ordinary fault (not a crash), so the instance's completion
+	// callbacks still run and product-layer transactions roll back in an
+	// orderly way. (Scope fault handlers cannot absorb it: they execute
+	// through execChild too, and the budget stays expired.)
+	if err := ctx.Context().Err(); err != nil {
+		obs.M().Counter("engine.deadline_expired").Inc()
+		ctx.Inst.recordTrace(a.Name(), "deadline", err.Error())
+		return fmt.Errorf("%s: %w: %w", a.Name(), ErrBudgetExceeded, err)
+	}
 	if sp := obs.T().Start(ctx.span.SpanID(), obsv.KindActivity, a.Name()); sp != nil {
 		sp.Stack = ctx.Inst.Process.Stack
 		sp.Pattern = ctx.Inst.Process.Pattern
@@ -528,7 +540,7 @@ func (iv *Invoke) call(ctx *Ctx, req wsbus.Message) (wsbus.Message, error) {
 		if iv.Breaker != nil && !iv.Breaker.Allow() {
 			return nil, resilience.RefusedError(iv.Service)
 		}
-		return ctx.Engine.Bus.Invoke(iv.Service, req)
+		return ctx.Engine.Bus.InvokeCtx(ctx.Context(), iv.Service, req)
 	}
 	if iv.Retry == nil && iv.Breaker == nil {
 		return attempt(1)
@@ -697,7 +709,7 @@ func (s *Scope) Name() string { return s.ActivityName }
 
 // Execute implements Activity.
 func (s *Scope) Execute(ctx *Ctx) error {
-	sub := &Ctx{Inst: ctx.Inst, Engine: ctx.Engine, scope: &scopeFrame{parent: ctx.scope, name: s.ActivityName}, span: ctx.span}
+	sub := &Ctx{Inst: ctx.Inst, Engine: ctx.Engine, scope: &scopeFrame{parent: ctx.scope, name: s.ActivityName}, span: ctx.span, run: ctx.run}
 	err := execChild(sub, s.Body)
 	// A simulated crash is process death: a real crashed process runs
 	// neither fault handlers nor finally blocks, so the crash error
@@ -848,9 +860,21 @@ type Wait struct {
 // Name implements Activity.
 func (w *Wait) Name() string { return w.ActivityName }
 
-// Execute implements Activity.
+// Execute implements Activity. The wait is budget-aware: an instance
+// deadline expiring mid-wait ends the pause immediately (the
+// boundary check in execChild then stops the instance).
 func (w *Wait) Execute(ctx *Ctx) error {
-	time.Sleep(w.Duration)
+	done := ctx.Context().Done()
+	if done == nil {
+		time.Sleep(w.Duration)
+		return nil
+	}
+	t := time.NewTimer(w.Duration)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-done:
+	}
 	return nil
 }
 

@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -317,16 +319,42 @@ func containsReceive(a Activity) bool {
 // its activity tree are read-only during execution. The input map is
 // only read.
 func (d *Deployment) Run(input map[string]string) (*Instance, error) {
+	return d.RunCtx(context.Background(), input)
+}
+
+// RunCtx is Run with an execution budget: when ctx carries a deadline
+// (or is cancelled), the instance is stopped at the next activity
+// boundary — and, through the product layers, at the next bus call or
+// SQL statement boundary — with ErrBudgetExceeded instead of burning a
+// worker until per-attempt timeouts fire. The budget is advisory
+// inside an activity (a single slow statement still completes or hits
+// its own timeout); it is authoritative between activities.
+func (d *Deployment) RunCtx(ctx context.Context, input map[string]string) (*Instance, error) {
 	in, err := d.NewInstance(input)
 	if err != nil {
 		return nil, err
 	}
-	return in, d.Engine.execute(in)
+	return in, d.Engine.executeCtx(ctx, in)
 }
+
+// ErrBudgetExceeded wraps the context error when an instance's
+// execution budget expires mid-run. The instance ends Faulted (its
+// completion callbacks run, so product-layer transactions roll back),
+// never Crashed — a deadline is an orderly cancellation, not a death.
+var ErrBudgetExceeded = errors.New("engine: instance budget exceeded")
+
+// IsBudgetExceeded reports whether err stems from an expired instance
+// budget.
+func IsBudgetExceeded(err error) bool { return errors.Is(err, ErrBudgetExceeded) }
 
 // execute runs an instance's body, firing start hooks and completion
 // callbacks.
 func (e *Engine) execute(in *Instance) error {
+	return e.executeCtx(context.Background(), in)
+}
+
+// executeCtx runs an instance's body under an execution budget.
+func (e *Engine) executeCtx(runCtx context.Context, in *Instance) error {
 	in.mu.Lock()
 	if in.state != StateReady {
 		in.mu.Unlock()
@@ -347,7 +375,10 @@ func (e *Engine) execute(in *Instance) error {
 	}
 	obs.M().Counter("engine.instances").Inc()
 
-	ctx := &Ctx{Inst: in, Engine: e, span: span}
+	if runCtx == nil {
+		runCtx = context.Background()
+	}
+	ctx := &Ctx{Inst: in, Engine: e, span: span, run: runCtx}
 	var err error
 	for _, hook := range in.Process.OnInstanceStart {
 		if err = hook(ctx); err != nil {

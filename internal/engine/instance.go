@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -293,12 +294,28 @@ type Ctx struct {
 	// observability bundle is attached; all *obsv.Span methods are
 	// nil-safe, so activity code uses it unconditionally.
 	span *obsv.Span
+
+	// run is the instance's execution budget (deadline/cancellation),
+	// threaded from Deployment.RunCtx through every activity. The engine
+	// checks it at activity boundaries; the bus and sqldb sessions check
+	// it at call/statement boundaries. Never nil after executeCtx.
+	run context.Context
 }
 
 // Span returns the span enclosing the current activity (nil-safe to
 // use; nil when observability is detached). Product layers use it to
 // parent their own spans under the running activity.
 func (c *Ctx) Span() *obsv.Span { return c.span }
+
+// Context returns the instance's execution context (its deadline
+// budget). Never nil: instances started without a budget report
+// context.Background().
+func (c *Ctx) Context() context.Context {
+	if c == nil || c.run == nil {
+		return context.Background()
+	}
+	return c.run
+}
 
 type scopeFrame struct {
 	parent *scopeFrame

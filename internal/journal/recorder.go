@@ -174,6 +174,12 @@ type Recorder struct {
 	syncCount       int64 // fsyncs issued (tests, metrics)
 	obs             *obsv.Observability
 
+	// rotate, when set, makes every checkpoint rewrite the WAL as a
+	// fresh segment that starts at the checkpoint (SetRotateAtCheckpoint);
+	// rotations counts completed swaps.
+	rotate    bool
+	rotations int64
+
 	// TornTail reports whether Open found (and truncated) a torn
 	// tail, and why. For diagnostics and tests.
 	TornTail       bool
@@ -193,6 +199,12 @@ func Open(dir string) (*Recorder, error) {
 		return nil, fmt.Errorf("journal: open dir: %w", err)
 	}
 	path := filepath.Join(dir, WALName)
+	// A crash during a WAL rotation can leave a stale rotation segment
+	// (written, maybe synced, never renamed). The un-renamed segment was
+	// never published — the old WAL is still authoritative — so it is
+	// dead weight: remove it before opening. A crash after the rename
+	// needs nothing special; the renamed segment IS the WAL.
+	os.Remove(path + rotateSuffix)
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("journal: open wal: %w", err)
@@ -239,6 +251,15 @@ func (r *Recorder) SetSyncPolicy(p SyncPolicy) {
 		p.BatchSize = 1
 	}
 	r.sync = p
+}
+
+// SyncPolicy returns the current sync policy, so a degradation
+// controller (brown-out) can save it before relaxing it and restore it
+// when pressure subsides.
+func (r *Recorder) SyncPolicy() SyncPolicy {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.sync
 }
 
 // SetObservability attaches a tracing/metrics bundle; journal appends,
@@ -368,6 +389,75 @@ func (r *Recorder) syncLocked() error {
 	return nil
 }
 
+// rotateSuffix names the in-progress rotation segment next to the WAL.
+const rotateSuffix = ".new"
+
+// SetRotateAtCheckpoint enables WAL rotation: every checkpoint writes a
+// fresh segment containing only the snapshot, fsyncs it, and atomically
+// renames it over the WAL — so the journal's size is bounded by one
+// checkpoint plus the records since, instead of growing without bound.
+// The crash protocol is the classic atomic-publication one: a crash
+// before the rename leaves the old WAL authoritative (Open discards the
+// stale segment); a crash after the rename leaves the new WAL, whose
+// checkpoint reproduces exactly the state the old WAL replayed to.
+// Rotation requires a real file; recorders on injected WAL fakes keep
+// the append-only checkpoint behavior.
+func (r *Recorder) SetRotateAtCheckpoint(on bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.rotate = on
+}
+
+// Rotations reports how many WAL rotations have completed.
+func (r *Recorder) Rotations() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.rotations
+}
+
+// rotateLocked swaps the WAL for a fresh segment holding only buf (a
+// marshalled checkpoint record). Returns handled=false when the
+// recorder's WAL is not a real file (rotation unsupported; caller falls
+// back to appending the checkpoint). Caller holds r.mu.
+func (r *Recorder) rotateLocked(buf []byte) (handled bool, err error) {
+	old, ok := r.f.(*os.File)
+	if !ok {
+		return false, nil
+	}
+	newPath := r.path + rotateSuffix
+	nf, err := os.OpenFile(newPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return true, fmt.Errorf("journal: rotate: create segment: %w", err)
+	}
+	abort := func(e error) (bool, error) {
+		nf.Close()
+		os.Remove(newPath)
+		return true, e
+	}
+	if _, err := nf.Write(buf); err != nil {
+		return abort(fmt.Errorf("journal: rotate: write checkpoint: %w", err))
+	}
+	// The segment must be durable BEFORE it is published: rename is the
+	// commit point of the rotation, and after it the old records are
+	// gone — an unsynced checkpoint would make a crash lose everything.
+	if err := nf.Sync(); err != nil {
+		return abort(fmt.Errorf("journal: rotate: sync segment: %w", err))
+	}
+	if err := os.Rename(newPath, r.path); err != nil {
+		return abort(fmt.Errorf("journal: rotate: publish: %w", err))
+	}
+	// Published: adopt the new segment; the old handle's contents are
+	// superseded.
+	old.Close()
+	r.f = nf
+	r.pendingSync = 0
+	r.syncCount++
+	r.rotations++
+	r.obs.M().Counter("journal.syncs").Inc()
+	r.obs.M().Counter("journal.rotations").Inc()
+	return true, nil
+}
+
 // Checkpoint appends a full state snapshot record, bounding the replay
 // work of the next Open.
 func (r *Recorder) Checkpoint() error {
@@ -385,6 +475,19 @@ func (r *Recorder) checkpointLocked() error {
 	buf, err := Marshal(rec)
 	if err != nil {
 		return err
+	}
+	if r.rotate {
+		handled, err := r.rotateLocked(buf)
+		if err != nil {
+			return err
+		}
+		if handled {
+			r.appended = 0
+			r.obs.M().Counter("journal.checkpoints").Inc()
+			r.obs.M().Histogram("journal.checkpoint_ms").ObserveDuration(time.Since(start))
+			return nil
+		}
+		// Not a real file: fall through to the append-only checkpoint.
 	}
 	if _, err := r.f.Write(buf); err != nil {
 		return fmt.Errorf("journal: checkpoint: %w", err)

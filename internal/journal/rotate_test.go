@@ -1,0 +1,161 @@
+package journal
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// walSize returns the WAL's byte length.
+func walSize(t *testing.T, dir string) int64 {
+	t.Helper()
+	fi, err := os.Stat(filepath.Join(dir, WALName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fi.Size()
+}
+
+// TestRotateAtCheckpointBoundsWAL: with rotation on, a checkpoint swaps
+// the WAL for a segment holding just the snapshot — the file shrinks
+// instead of growing monotonically, and recovery sees identical state.
+func TestRotateAtCheckpointBoundsWAL(t *testing.T) {
+	dir := t.TempDir()
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.SetCheckpointEvery(0)
+	r.SetRotateAtCheckpoint(true)
+	id := r.AllocateID()
+	must(t, r.InstanceCreated(id, "P", "", nil))
+	for i := 1; i <= 50; i++ {
+		must(t, r.ActivityComplete(id, "Invoke", i, EffectInvoke, map[string]string{"n": "some memo payload"}))
+	}
+	before := walSize(t, dir)
+	must(t, r.Checkpoint())
+	after := walSize(t, dir)
+	if after >= before {
+		t.Fatalf("rotation did not shrink the WAL: %d -> %d bytes", before, after)
+	}
+	if r.Rotations() != 1 {
+		t.Fatalf("rotations = %d, want 1", r.Rotations())
+	}
+	// The recorder keeps appending to the new segment.
+	must(t, r.ActivityComplete(id, "Invoke", 51, EffectInvoke, map[string]string{"n": "tail"}))
+	must(t, r.Close())
+
+	r2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	ij := r2.InFlight()[0]
+	if got := len(ij.Memos["Invoke"]); got != 51 {
+		t.Fatalf("memos after rotation = %d, want 51", got)
+	}
+	if next := r2.AllocateID(); next != 2 {
+		t.Fatalf("next id = %d, want 2 (id continuity lost in rotation)", next)
+	}
+}
+
+// TestRotateAutoCheckpoint: automatic checkpoints (every N records)
+// rotate too, keeping the WAL near one checkpoint + N records.
+func TestRotateAutoCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.SetCheckpointEvery(10)
+	r.SetRotateAtCheckpoint(true)
+	id := r.AllocateID()
+	must(t, r.InstanceCreated(id, "P", "", nil))
+	for i := 1; i <= 95; i++ {
+		must(t, r.ActivityComplete(id, "A", i, EffectInvoke, nil))
+	}
+	if r.Rotations() == 0 {
+		t.Fatal("automatic checkpoints never rotated")
+	}
+	must(t, r.Close())
+	r2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	if got := r2.InFlight()[0].MemoCount(); got != 95 {
+		t.Fatalf("memos = %d, want 95", got)
+	}
+}
+
+// TestCrashBeforeRotationRename: a crash that leaves a fully written
+// rotation segment next to the WAL (sync done, rename not) must not
+// confuse recovery — the old WAL is still authoritative and the stale
+// segment is discarded.
+func TestCrashBeforeRotationRename(t *testing.T) {
+	dir := t.TempDir()
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.SetCheckpointEvery(0)
+	id := r.AllocateID()
+	must(t, r.InstanceCreated(id, "P", "", nil))
+	for i := 1; i <= 7; i++ {
+		must(t, r.ActivityComplete(id, "A", i, EffectInvoke, nil))
+	}
+	must(t, r.Close())
+
+	// Simulate the crash window: the rotation segment exists (here: a
+	// bogus half-written one) but the rename never happened.
+	stale := filepath.Join(dir, WALName+rotateSuffix)
+	if err := os.WriteFile(stale, []byte("partial checkpoint bytes"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("open after crashed rotation: %v", err)
+	}
+	defer r2.Close()
+	if got := r2.InFlight()[0].MemoCount(); got != 7 {
+		t.Fatalf("memos = %d, want 7 (old WAL must stay authoritative)", got)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Fatal("stale rotation segment survived Open")
+	}
+}
+
+// TestCrashAfterRotationRename: a crash immediately after the rename
+// (before any further appends) leaves a checkpoint-only WAL; recovery
+// reproduces the pre-rotation state exactly.
+func TestCrashAfterRotationRename(t *testing.T) {
+	dir := t.TempDir()
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.SetCheckpointEvery(0)
+	r.SetRotateAtCheckpoint(true)
+	id := r.AllocateID()
+	must(t, r.InstanceCreated(id, "P", "", nil))
+	for i := 1; i <= 7; i++ {
+		must(t, r.ActivityComplete(id, "A", i, EffectInvoke, nil))
+	}
+	must(t, r.Checkpoint())
+	// Crash: no Close, no further appends. The WAL on disk is exactly
+	// the renamed checkpoint-only segment (rotation synced it before
+	// publishing, so no Close is needed for durability).
+
+	r2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("open after post-rename crash: %v", err)
+	}
+	defer r2.Close()
+	if got := r2.InFlight()[0].MemoCount(); got != 7 {
+		t.Fatalf("memos = %d, want 7 (checkpoint must carry full state)", got)
+	}
+	if next := r2.AllocateID(); next != 2 {
+		t.Fatalf("next id = %d, want 2", next)
+	}
+}

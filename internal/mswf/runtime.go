@@ -13,6 +13,8 @@
 package mswf
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -223,6 +225,22 @@ type Context struct {
 	// ambient fallback).
 	span    *obsv.Span
 	spanTop *obsv.Span
+
+	// runCtx is the instance's execution budget (RunCtx). Activities are
+	// refused at their boundary once it expires, and every SQL session the
+	// instance opens is bound to it so statements are refused at the next
+	// statement boundary. Nil when the instance runs without a budget.
+	runCtx context.Context
+}
+
+// Context returns the instance's execution-budget context (never nil).
+func (c *Context) Context() context.Context {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.runCtx == nil {
+		return context.Background()
+	}
+	return c.runCtx
 }
 
 // currentSpan returns the innermost open span (activity, else instance).
@@ -252,6 +270,11 @@ func (c *Context) SessionFor(db *sqldb.DB) *sqldb.Session {
 	s, ok := c.sessions[db]
 	if !ok {
 		s = db.Session()
+		if c.runCtx != nil {
+			// Deadline propagation: the instance budget gates every
+			// statement boundary of its sessions.
+			s.BindContext(c.runCtx)
+		}
 		c.sessions[db] = s
 	}
 	return s
@@ -347,7 +370,21 @@ type Activity interface {
 // so a crashed instance can be rebuilt by Resume, and completion is
 // journaled unless the instance died at a crash point.
 func (rt *Runtime) Run(root Activity, initial map[string]any) (*Context, error) {
-	c := &Context{Runtime: rt, vars: map[string]any{}}
+	return rt.RunCtx(context.Background(), root, initial)
+}
+
+// ErrBudgetExceeded is wrapped into the fault an activity returns when the
+// instance's execution budget (RunCtx) expired before the activity could
+// start.
+var ErrBudgetExceeded = errors.New("mswf: instance budget exceeded")
+
+// RunCtx executes a workflow under an execution budget: once ctx expires,
+// the next activity boundary refuses to start (the run faults with
+// ErrBudgetExceeded) and every SQL session of the instance refuses further
+// statements. Cancellation is cooperative — a running statement or handler
+// finishes; the budget is enforced at boundaries.
+func (rt *Runtime) RunCtx(ctx context.Context, root Activity, initial map[string]any) (*Context, error) {
+	c := &Context{Runtime: rt, vars: map[string]any{}, runCtx: ctx}
 	for k, v := range initial {
 		c.vars[k] = v
 	}
@@ -393,6 +430,13 @@ func (rt *Runtime) runRoot(c *Context, root Activity) error {
 
 func runActivity(c *Context, a Activity) error {
 	obs := c.Runtime.Obs()
+	// Budget boundary: an expired instance budget refuses the activity
+	// before it starts (mirrors engine.execChild).
+	if err := c.Context().Err(); err != nil {
+		obs.M().Counter("wf.deadline_expired").Inc()
+		c.Track(a.Name(), "Faulted")
+		return fmt.Errorf("%s: %w: %w", a.Name(), ErrBudgetExceeded, err)
+	}
 	var sp *obsv.Span
 	if t := obs.T(); t != nil {
 		sp = t.Start(c.currentSpan().SpanID(), obsv.KindActivity, a.Name())

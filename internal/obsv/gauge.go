@@ -1,0 +1,86 @@
+package obsv
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Gauge is a point-in-time instrument: unlike a Counter it can go down
+// (queue depth, concurrency limit, brownout on/off). It additionally
+// tracks the high-water mark since creation, which is what the overload
+// invariants assert ("queue depth never exceeded its bound"). Nil-safe,
+// like the other instruments.
+type Gauge struct {
+	bits atomic.Uint64 // float64 bits of the current value
+	high atomic.Uint64 // float64 bits of the max ever Set
+}
+
+// Set replaces the gauge value and advances the high-water mark.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+	for {
+		old := g.high.Load()
+		if v <= math.Float64frombits(old) {
+			return
+		}
+		if g.high.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// SetInt is Set for integer-valued gauges.
+func (g *Gauge) SetInt(v int64) { g.Set(float64(v)) }
+
+// SetBool sets 1 for true, 0 for false (state gauges like
+// brownout.active).
+func (g *Gauge) SetBool(b bool) {
+	if b {
+		g.Set(1)
+	} else {
+		g.Set(0)
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// High returns the high-water mark (the maximum value ever Set).
+func (g *Gauge) High() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.high.Load())
+}
+
+// GaugeSummary is the snapshot form of a gauge.
+type GaugeSummary struct {
+	Value float64 `json:"value"`
+	High  float64 `json:"high"`
+}
+
+// Gauge returns (creating if absent) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.gauges == nil {
+		r.gauges = map[string]*Gauge{}
+	}
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}

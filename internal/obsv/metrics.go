@@ -158,6 +158,7 @@ type Registry struct {
 	mu         sync.Mutex
 	counters   map[string]*Counter
 	histograms map[string]*Histogram
+	gauges     map[string]*Gauge
 }
 
 // NewRegistry returns an empty registry.
@@ -204,6 +205,7 @@ func (r *Registry) Histogram(name string) *Histogram {
 type Snapshot struct {
 	Counters   map[string]int64            `json:"counters"`
 	Histograms map[string]HistogramSummary `json:"histograms"`
+	Gauges     map[string]GaugeSummary     `json:"gauges,omitempty"`
 }
 
 // Snapshot captures all current metric values.
@@ -224,12 +226,22 @@ func (r *Registry) Snapshot() Snapshot {
 	for k, v := range r.histograms {
 		hists[k] = v
 	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
 	r.mu.Unlock()
 	for k, c := range counters {
 		snap.Counters[k] = c.Value()
 	}
 	for k, h := range hists {
 		snap.Histograms[k] = h.Summary()
+	}
+	if len(gauges) > 0 {
+		snap.Gauges = map[string]GaugeSummary{}
+		for k, g := range gauges {
+			snap.Gauges[k] = GaugeSummary{Value: g.Value(), High: g.High()}
+		}
 	}
 	return snap
 }

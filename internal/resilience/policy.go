@@ -229,6 +229,7 @@ const (
 	ReasonExhausted = "exhausted" // MaxAttempts failed
 	ReasonPermanent = "permanent" // error classified non-retryable
 	ReasonDeadline  = "deadline"  // overall deadline would be exceeded
+	ReasonShed      = "SHED"      // admission control refused the instance before it ran
 )
 
 // AbandonedError is returned when a retry loop gives up: the retries were

@@ -1,0 +1,149 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"wfsql/internal/admit"
+)
+
+// TestPoolRunsAllUnderBlockPolicy: with Block admission every submitted
+// job runs exactly once; conservation holds.
+func TestPoolRunsAllUnderBlockPolicy(t *testing.T) {
+	var ran atomic.Int64
+	p := NewPool(PoolConfig{Workers: 4, QueueBound: 4})
+	for i := 0; i < 64; i++ {
+		err := p.Submit(context.Background(), CtxJob{
+			Name: "j",
+			Run:  func(ctx context.Context) error { ran.Add(1); return nil },
+		})
+		if err != nil {
+			t.Fatalf("submit: %v", err)
+		}
+	}
+	rep := p.Drain()
+	if ran.Load() != 64 || rep.Completed != 64 {
+		t.Fatalf("ran=%d completed=%d, want 64", ran.Load(), rep.Completed)
+	}
+	if rep.Completed+rep.Failed+rep.Shed != rep.Submitted {
+		t.Fatalf("conservation violated: %+v", rep)
+	}
+	if rep.QueueHighWater > 4 {
+		t.Fatalf("queue high water %d exceeds bound 4", rep.QueueHighWater)
+	}
+}
+
+// TestPoolShedPolicyConservation: under Shed, every job either runs or
+// is shed; nothing is double-counted or lost.
+func TestPoolShedPolicyConservation(t *testing.T) {
+	block := make(chan struct{})
+	p := NewPool(PoolConfig{Workers: 2, QueueBound: 2, Policy: admit.Shed})
+	var shedAtSubmit int64
+	for i := 0; i < 32; i++ {
+		err := p.Submit(context.Background(), CtxJob{
+			Name: "j",
+			Run:  func(ctx context.Context) error { <-block; return nil },
+		})
+		if err != nil {
+			if !errors.Is(err, admit.ErrShed) {
+				t.Fatalf("unexpected submit error: %v", err)
+			}
+			shedAtSubmit++
+		}
+	}
+	close(block)
+	rep := p.Drain()
+	if rep.Submitted != 32 {
+		t.Fatalf("submitted = %d, want 32", rep.Submitted)
+	}
+	if rep.Shed != shedAtSubmit {
+		t.Fatalf("report shed %d != observed submit sheds %d", rep.Shed, shedAtSubmit)
+	}
+	if rep.Completed+rep.Failed+rep.Shed != rep.Submitted {
+		t.Fatalf("conservation violated: %+v", rep)
+	}
+	if int64(len(rep.Results)) != rep.Submitted {
+		t.Fatalf("results %d != submitted %d", len(rep.Results), rep.Submitted)
+	}
+	if rep.Shed == 0 {
+		t.Fatal("expected sheds with workers blocked and bound 2")
+	}
+}
+
+// TestPoolJobBudgetExpiredInQueue: a job whose budget expires while
+// queued is shed at dequeue, never run, and the ctx handed to jobs that
+// do run carries the deadline.
+func TestPoolJobBudgetExpiredInQueue(t *testing.T) {
+	p := NewPool(PoolConfig{Workers: 1, QueueBound: 8, JobBudget: 20 * time.Millisecond})
+	var sawDeadline atomic.Bool
+	var ran atomic.Int64
+	// First job holds the only worker past every budget.
+	p.Submit(context.Background(), CtxJob{Name: "holder", Run: func(ctx context.Context) error {
+		if _, ok := ctx.Deadline(); ok {
+			sawDeadline.Store(true)
+		}
+		time.Sleep(60 * time.Millisecond)
+		return nil
+	}})
+	for i := 0; i < 4; i++ {
+		p.Submit(context.Background(), CtxJob{Name: "queued", Run: func(ctx context.Context) error {
+			ran.Add(1)
+			return nil
+		}})
+	}
+	rep := p.Drain()
+	if !sawDeadline.Load() {
+		t.Fatal("job ctx did not carry the pool-assigned deadline")
+	}
+	if ran.Load() != 0 {
+		t.Fatalf("%d expired jobs ran; want 0", ran.Load())
+	}
+	if rep.Shed != 4 {
+		t.Fatalf("shed = %d, want 4", rep.Shed)
+	}
+	for _, r := range rep.Results {
+		if r.Shed && r.ShedReason != admit.ReasonExpiredInQueue {
+			t.Fatalf("shed reason = %s, want %s", r.ShedReason, admit.ReasonExpiredInQueue)
+		}
+	}
+}
+
+// TestPoolOnShedHookFires: the pool-level shed hook observes name,
+// class, and reason for submit-time sheds.
+func TestPoolOnShedHookFires(t *testing.T) {
+	type shedRec struct{ name, reason string }
+	var mu chan shedRec = make(chan shedRec, 64)
+	block := make(chan struct{})
+	p := NewPool(PoolConfig{
+		Workers: 1, QueueBound: 1, Policy: admit.Shed,
+		OnShed: func(name, stack string, class admit.Class, reason string) {
+			mu <- shedRec{name, reason}
+		},
+	})
+	p.Submit(context.Background(), CtxJob{Name: "a", Run: func(ctx context.Context) error { <-block; return nil }})
+	// Fill the queue slot, then force one shed.
+	var sheds int
+	for i := 0; i < 8; i++ {
+		if err := p.Submit(context.Background(), CtxJob{Name: "b", Run: func(ctx context.Context) error { return nil }}); err != nil {
+			sheds++
+		}
+	}
+	close(block)
+	p.Drain()
+	if sheds == 0 {
+		t.Fatal("no sheds produced")
+	}
+	for i := 0; i < sheds; i++ {
+		select {
+		case rec := <-mu:
+			if rec.name != "b" || rec.reason != admit.ReasonQueueFull {
+				t.Fatalf("hook saw %+v", rec)
+			}
+		default:
+			t.Fatalf("hook fired %d times, want %d", i, sheds)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package sqldb
 
 import (
+	"container/list"
 	"fmt"
 	"sort"
 	"strings"
@@ -30,20 +31,27 @@ type DB struct {
 	// stats counters (observable via Stats) used by benchmarks and the
 	// reproduction's data-volume measurements. Atomics: read-only
 	// statements increment them while holding only the shared lock.
-	stmtCount     atomic.Int64
-	rowsRead      atomic.Int64
-	rowsWritten   atomic.Int64
-	bytesReturned atomic.Int64
+	stmtCount        atomic.Int64
+	rowsRead         atomic.Int64
+	rowsWritten      atomic.Int64
+	bytesReturned    atomic.Int64
+	deadlineRefusals atomic.Int64
 
 	// parsed-statement cache: SQL text -> parsed AST, so hot statements
 	// executed through Exec/ExecNamed are parsed once per database
 	// instead of once per call. ASTs are immutable after parsing, so a
-	// cached statement may execute concurrently on many sessions.
-	cacheMu      sync.Mutex
-	stmtCache    map[string]Stmt
-	cacheHits    atomic.Int64
-	cacheMisses  atomic.Int64
-	cacheFlushes atomic.Int64
+	// cached statement may execute concurrently on many sessions. The
+	// cache is an LRU: lruList is ordered most- to least-recently used,
+	// and an insert past stmtCacheCap evicts the coldest entry — a hot
+	// statement survives pressure from a churn of one-off SQL text,
+	// unlike the previous full-flush-on-overflow design.
+	cacheMu        sync.Mutex
+	stmtCache      map[string]*list.Element // SQL text -> lruList element
+	lruList        *list.List               // of *cacheEntry, front = hottest
+	cacheHits      atomic.Int64
+	cacheMisses    atomic.Int64
+	cacheFlushes   atomic.Int64
+	cacheEvictions atomic.Int64
 
 	// hookMu guards execHook and statsSink separately from mu so the hook
 	// can sleep (latency injection) without serializing against statement
@@ -54,9 +62,17 @@ type DB struct {
 }
 
 // stmtCacheCap bounds the parsed-statement cache. When an insert would
-// exceed it the whole cache is flushed (simple, and workloads that
-// overflow it are generating unbounded distinct SQL text anyway).
+// exceed it the least-recently-used entry is evicted, so hot statements
+// survive pressure from workloads that generate unbounded distinct SQL
+// text.
 const stmtCacheCap = 1024
+
+// cacheEntry is one LRU slot: the SQL text (to unlink the map entry on
+// eviction) and its parsed statement.
+type cacheEntry struct {
+	sql string
+	st  Stmt
+}
 
 // ExecHook intercepts every top-level statement executed against the
 // database, before the engine lock is taken. kind is the statement kind
@@ -100,9 +116,14 @@ func Open(name string) *DB {
 		sequences:  map[string]*Sequence{},
 		procs:      map[string]*Procedure{},
 		indexOwner: map[string]*Table{},
-		stmtCache:  map[string]Stmt{},
+		stmtCache:  map[string]*list.Element{},
+		lruList:    list.New(),
 	}
 }
+
+// DeadlineRefusals returns how many statements were refused at the
+// session boundary because the session's bound context had expired.
+func (db *DB) DeadlineRefusals() int64 { return db.deadlineRefusals.Load() }
 
 // Name returns the database name given to Open.
 func (db *DB) Name() string { return db.name }
@@ -127,10 +148,11 @@ func (db *DB) ResetStats() {
 
 // StmtCacheStats is a snapshot of the parsed-statement cache counters.
 type StmtCacheStats struct {
-	Size    int   // statements currently cached
-	Hits    int64 // Exec/ExecNamed calls served from the cache
-	Misses  int64 // calls that had to parse
-	Flushes int64 // full invalidations (DDL or capacity overflow)
+	Size      int   // statements currently cached
+	Hits      int64 // Exec/ExecNamed calls served from the cache
+	Misses    int64 // calls that had to parse
+	Flushes   int64 // full invalidations (DDL)
+	Evictions int64 // single LRU evictions (capacity pressure)
 }
 
 // StmtCacheStats returns a snapshot of the parsed-statement cache.
@@ -139,25 +161,29 @@ func (db *DB) StmtCacheStats() StmtCacheStats {
 	size := len(db.stmtCache)
 	db.cacheMu.Unlock()
 	return StmtCacheStats{
-		Size:    size,
-		Hits:    db.cacheHits.Load(),
-		Misses:  db.cacheMisses.Load(),
-		Flushes: db.cacheFlushes.Load(),
+		Size:      size,
+		Hits:      db.cacheHits.Load(),
+		Misses:    db.cacheMisses.Load(),
+		Flushes:   db.cacheFlushes.Load(),
+		Evictions: db.cacheEvictions.Load(),
 	}
 }
 
 // cachedParse resolves SQL text to a parsed statement through the per-DB
 // statement cache. It returns the statement, the parse duration charged to
 // this call (zero on a hit), and whether the cache served it. Statements
-// that fail to parse are not cached.
+// that fail to parse are not cached. A hit moves the entry to the front
+// of the LRU order; an insert past capacity evicts the coldest entry.
 func (db *DB) cachedParse(sql string) (Stmt, time.Duration, bool, error) {
 	db.cacheMu.Lock()
-	st, ok := db.stmtCache[sql]
-	db.cacheMu.Unlock()
-	if ok {
+	if el, ok := db.stmtCache[sql]; ok {
+		db.lruList.MoveToFront(el)
+		st := el.Value.(*cacheEntry).st
+		db.cacheMu.Unlock()
 		db.cacheHits.Add(1)
 		return st, 0, true, nil
 	}
+	db.cacheMu.Unlock()
 	start := time.Now()
 	st, err := Parse(sql)
 	parse := time.Since(start)
@@ -166,11 +192,21 @@ func (db *DB) cachedParse(sql string) (Stmt, time.Duration, bool, error) {
 	}
 	db.cacheMisses.Add(1)
 	db.cacheMu.Lock()
-	if len(db.stmtCache) >= stmtCacheCap {
-		db.stmtCache = make(map[string]Stmt, stmtCacheCap)
-		db.cacheFlushes.Add(1)
+	if el, ok := db.stmtCache[sql]; ok {
+		// Raced with another parser of the same text; keep theirs.
+		db.lruList.MoveToFront(el)
+	} else {
+		for len(db.stmtCache) >= stmtCacheCap {
+			coldest := db.lruList.Back()
+			if coldest == nil {
+				break
+			}
+			db.lruList.Remove(coldest)
+			delete(db.stmtCache, coldest.Value.(*cacheEntry).sql)
+			db.cacheEvictions.Add(1)
+		}
+		db.stmtCache[sql] = db.lruList.PushFront(&cacheEntry{sql: sql, st: st})
 	}
-	db.stmtCache[sql] = st
 	db.cacheMu.Unlock()
 	return st, parse, false, nil
 }
@@ -178,11 +214,14 @@ func (db *DB) cachedParse(sql string) (Stmt, time.Duration, bool, error) {
 // invalidateStmtCache drops every cached statement. Called after a DDL
 // statement commits: cached ASTs bind object names at execution time, so
 // this is defensive rather than required for correctness, but it keeps the
-// cache from pinning parse trees that reference dropped objects.
+// cache from pinning parse trees that reference dropped objects. DDL
+// keeps the full-flush semantics; only capacity pressure uses LRU
+// eviction.
 func (db *DB) invalidateStmtCache() {
 	db.cacheMu.Lock()
 	if len(db.stmtCache) > 0 {
-		db.stmtCache = map[string]Stmt{}
+		db.stmtCache = map[string]*list.Element{}
+		db.lruList.Init()
 		db.cacheFlushes.Add(1)
 	}
 	db.cacheMu.Unlock()

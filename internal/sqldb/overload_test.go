@@ -1,0 +1,248 @@
+package sqldb
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBoundedPoolCheckoutDeadline proves that checkout starvation on a
+// bounded pool returns a timely error once checkout honors context
+// deadlines — not a hang.
+func TestBoundedPoolCheckoutDeadline(t *testing.T) {
+	db := Open("pool")
+	p := NewBoundedSessionPool(db, 1)
+
+	s1, err := p.AcquireCtx(context.Background())
+	if err != nil {
+		t.Fatalf("first acquire: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = p.AcquireCtx(ctx)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("starved acquire = %v, want deadline exceeded", err)
+	}
+	if elapsed > time.Second {
+		t.Fatalf("starved acquire took %v — not timely", elapsed)
+	}
+	if p.Timeouts() != 1 {
+		t.Fatalf("timeouts = %d, want 1", p.Timeouts())
+	}
+
+	p.Release(s1)
+	s2, err := p.AcquireCtx(context.Background())
+	if err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	}
+	p.Release(s2)
+}
+
+// TestBoundedPoolDirtyReleaseReturnsPermit proves a txn-holding session
+// that is rolled back and discarded still frees its permit.
+func TestBoundedPoolDirtyReleaseReturnsPermit(t *testing.T) {
+	db := Open("pool")
+	db.MustExec("CREATE TABLE t (a INT)")
+	p := NewBoundedSessionPool(db, 1)
+
+	s, err := p.AcquireCtx(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Exec("BEGIN"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Exec("INSERT INTO t VALUES (1)"); err != nil {
+		t.Fatal(err)
+	}
+	p.Release(s) // dirty: rolled back + discarded, permit must return
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	s2, err := p.AcquireCtx(ctx)
+	if err != nil {
+		t.Fatalf("permit leaked on dirty release: %v", err)
+	}
+	r, err := s2.Query("SELECT COUNT(*) AS n FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := r.Rows[0][0].AsInt(); n != 0 {
+		t.Fatalf("dirty session's insert survived: %d rows", n)
+	}
+	p.Release(s2)
+}
+
+// TestBoundedPoolContention hammers a small pool from many goroutines:
+// every acquire either succeeds or fails timely, and the pool never
+// admits more than its bound concurrently.
+func TestBoundedPoolContention(t *testing.T) {
+	db := Open("pool")
+	const bound = 4
+	p := NewBoundedSessionPool(db, bound)
+
+	var mu sync.Mutex
+	inUse, maxInUse := 0, 0
+	var wg sync.WaitGroup
+	for g := 0; g < 32; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+				s, err := p.AcquireCtx(ctx)
+				cancel()
+				if err != nil {
+					continue // timely failure is acceptable under contention
+				}
+				mu.Lock()
+				inUse++
+				if inUse > maxInUse {
+					maxInUse = inUse
+				}
+				mu.Unlock()
+				time.Sleep(100 * time.Microsecond)
+				mu.Lock()
+				inUse--
+				mu.Unlock()
+				p.Release(s)
+			}
+		}()
+	}
+	wg.Wait()
+	if maxInUse > bound {
+		t.Fatalf("observed %d concurrent checkouts, bound %d", maxInUse, bound)
+	}
+}
+
+// TestSessionBudgetRefusesAtBoundary: a session bound to an expired
+// context refuses statements at the boundary with a permanent error.
+func TestSessionBudgetRefusesAtBoundary(t *testing.T) {
+	db := Open("budget")
+	db.MustExec("CREATE TABLE t (a INT)")
+	s := db.Session()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	s.BindContext(ctx)
+	if _, err := s.Exec("INSERT INTO t VALUES (1)"); err != nil {
+		t.Fatalf("statement with live budget: %v", err)
+	}
+	cancel()
+	_, err := s.Exec("INSERT INTO t VALUES (2)")
+	if !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("want ErrBudgetExhausted, got %v", err)
+	}
+	// The refusal must classify permanent so retry policies stop.
+	var tmp interface{ Temporary() bool }
+	if !errors.As(err, &tmp) || tmp.Temporary() {
+		t.Fatalf("budget error must be permanent, got %v", err)
+	}
+	if db.DeadlineRefusals() != 1 {
+		t.Fatalf("deadline refusals = %d, want 1", db.DeadlineRefusals())
+	}
+	// Only the first insert landed.
+	s.BindContext(nil)
+	r, err := s.Query("SELECT COUNT(*) AS n FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := r.Rows[0][0].AsInt(); n != 1 {
+		t.Fatalf("rows = %d, want 1", n)
+	}
+}
+
+// TestSessionBudgetPreparedStmtRearmsParse: a prepared statement whose
+// execution was refused at the budget boundary re-arms its one-time
+// parse charge, exactly like an ExecHook refusal.
+func TestSessionBudgetPreparedStmtRearmsParse(t *testing.T) {
+	db := Open("budget")
+	db.MustExec("CREATE TABLE t (a INT)")
+	s := db.Session()
+	var stats []StmtStats
+	s.sink = func(st StmtStats) { stats = append(stats, st) }
+
+	ps, err := s.Prepare("INSERT INTO t VALUES (1)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s.BindContext(ctx)
+	if _, err := ps.Exec(); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("want budget refusal, got %v", err)
+	}
+	s.BindContext(nil)
+	if _, err := ps.Exec(); err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 1 {
+		t.Fatalf("stats emitted = %d, want 1 (refused exec emits none)", len(stats))
+	}
+	if stats[0].Parse <= 0 {
+		t.Fatalf("parse charge lost across budget refusal: %v", stats[0].Parse)
+	}
+}
+
+// TestStmtCacheLRUHotStatementSurvives: under capacity pressure from a
+// churn of one-off SQL text, the hot statement stays cached (LRU
+// eviction) instead of being lost to a full flush.
+func TestStmtCacheLRUHotStatementSurvives(t *testing.T) {
+	db := Open("lru")
+	db.MustExec("CREATE TABLE t (a INT, b INT)")
+	s := db.Session()
+
+	baseFlushes := db.StmtCacheStats().Flushes // setup DDL flushed once
+
+	hot := "SELECT a FROM t WHERE b = ?"
+	if _, err := s.Exec(hot, Int(1)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Interleave cold one-off statements with hot reuse, overflowing the
+	// cache several times over.
+	for i := 0; i < 3*stmtCacheCap; i++ {
+		cold := fmt.Sprintf("SELECT a FROM t WHERE a = %d", i)
+		if _, err := s.Exec(cold); err != nil {
+			t.Fatal(err)
+		}
+		if i%16 == 0 {
+			if _, err := s.Exec(hot, Int(int64(i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	cs := db.StmtCacheStats()
+	if cs.Size > stmtCacheCap {
+		t.Fatalf("cache size %d exceeds cap %d", cs.Size, stmtCacheCap)
+	}
+	if cs.Evictions == 0 {
+		t.Fatal("expected LRU evictions under pressure")
+	}
+	if cs.Flushes != baseFlushes {
+		t.Fatalf("capacity pressure must not full-flush (flushes = %d, base %d)", cs.Flushes, baseFlushes)
+	}
+
+	// The hot statement must still be a hit.
+	before := db.StmtCacheStats().Hits
+	if _, err := s.Exec(hot, Int(7)); err != nil {
+		t.Fatal(err)
+	}
+	if after := db.StmtCacheStats().Hits; after != before+1 {
+		t.Fatalf("hot statement was evicted: hits %d -> %d", before, after)
+	}
+
+	// DDL still full-flushes (invalidation semantics kept).
+	db.MustExec("CREATE INDEX it ON t (b)")
+	if cs := db.StmtCacheStats(); cs.Flushes <= baseFlushes {
+		t.Fatal("DDL must flush the statement cache")
+	}
+	if cs := db.StmtCacheStats(); cs.Size != 0 {
+		t.Fatalf("cache size after DDL flush = %d, want 0", cs.Size)
+	}
+}

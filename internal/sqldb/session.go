@@ -1,6 +1,8 @@
 package sqldb
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
@@ -39,6 +41,41 @@ type Session struct {
 	planTable   string    // primary access-path table of current stmt
 	planIndex   string    // index probed by the current stmt ("" = scan)
 	rowsScanned int64     // candidate rows read by the current stmt
+
+	// runCtx, when bound, is the session's execution budget (the owning
+	// workflow instance's deadline). Guarded by mu; checked at every
+	// top-level statement boundary.
+	runCtx context.Context
+}
+
+// ErrBudgetExhausted is wrapped by the error a statement boundary
+// returns when the session's bound context has expired. It carries
+// Temporary() == false through the wrapper, so resilience retry
+// policies classify it permanent — retrying a statement cannot revive
+// a dead budget.
+var ErrBudgetExhausted = errors.New("sqldb: session budget exhausted")
+
+// budgetError wraps ErrBudgetExhausted with the context cause and a
+// permanent classification.
+type budgetError struct{ cause error }
+
+func (e *budgetError) Error() string {
+	return ErrBudgetExhausted.Error() + ": " + e.cause.Error()
+}
+func (e *budgetError) Unwrap() error   { return ErrBudgetExhausted }
+func (e *budgetError) Temporary() bool { return false }
+
+// BindContext attaches (or with nil detaches) an execution budget to
+// the session. Once the context is done, every subsequent top-level
+// statement is refused at the boundary — before the ExecHook, before
+// the engine lock — with an error wrapping ErrBudgetExhausted. A
+// statement already executing is never interrupted (statement
+// atomicity is preserved); open explicit transactions stay open so the
+// owning layer's rollback handling runs normally.
+func (s *Session) BindContext(ctx context.Context) {
+	s.mu.Lock()
+	s.runCtx = ctx
+	s.mu.Unlock()
 }
 
 // txn is an in-flight transaction: an undo log replayed in reverse on
@@ -247,6 +284,16 @@ func (s *Session) execStmt(st Stmt, parse time.Duration, cache string, params []
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	// Deadline propagation: a session whose bound budget has expired
+	// refuses the statement at the boundary. Like an ExecHook refusal,
+	// nothing has executed (executed == false), so prepared statements
+	// re-arm their one-time parse charge.
+	if s.runCtx != nil {
+		if cerr := s.runCtx.Err(); cerr != nil {
+			s.db.deadlineRefusals.Add(1)
+			return nil, false, &budgetError{cause: cerr}
+		}
+	}
 	if h := s.db.currentExecHook(); h != nil {
 		if err := h(StmtKind(st)); err != nil {
 			return nil, false, err

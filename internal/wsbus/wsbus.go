@@ -35,6 +35,7 @@
 package wsbus
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -205,6 +206,21 @@ func (b *Bus) Calls() int64 { return b.Attempts() }
 // (retries cannot register it); handler panics are recovered into
 // transient errors so one crashing service cannot take down the engine.
 func (b *Bus) Invoke(service string, req Message) (Message, error) {
+	return b.InvokeCtx(context.Background(), service, req)
+}
+
+// InvokeCtx is Invoke with a caller budget. A context that is already
+// done refuses the call before the attempt is counted; a context that
+// expires during the injected latency abandons the wait immediately
+// (the stand-in for tearing down a socket mid-call). Context errors
+// are classified Permanent — a caller whose deadline has passed gains
+// nothing from retrying, even though context.DeadlineExceeded itself
+// reports Temporary() true — so retry policies stop instead of burning
+// the remaining budget on attempts that cannot be awaited.
+func (b *Bus) InvokeCtx(ctx context.Context, service string, req Message) (Message, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	b.mu.RLock()
 	h, ok := b.services[service]
 	lat := b.latency
@@ -219,11 +235,29 @@ func (b *Bus) Invoke(service string, req Message) (Message, error) {
 		span.Set("error", err.Error()).End(obsv.OutcomeFault)
 		return nil, err
 	}
+	if err := ctx.Err(); err != nil {
+		err = Permanent(fmt.Errorf("wsbus: %s: caller budget exhausted: %w", service, err))
+		obs.M().Counter("bus.errors").Inc()
+		obs.M().Counter("bus.deadline_refused").Inc()
+		span.Set("error", err.Error()).End(obsv.OutcomeFault)
+		return nil, err
+	}
 	b.mu.Lock()
 	b.attempts++ // counted before latency and handler outcome (see package doc)
 	b.mu.Unlock()
 	if lat > 0 {
-		time.Sleep(lat)
+		t := time.NewTimer(lat)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			err := Permanent(fmt.Errorf("wsbus: %s: caller budget exhausted mid-call: %w", service, ctx.Err()))
+			obs.M().Counter("bus.errors").Inc()
+			obs.M().Counter("bus.deadline_abandoned").Inc()
+			span.Set("error", err.Error()).End(obsv.OutcomeFault)
+			obs.M().Histogram("bus.latency_ms").ObserveDuration(span.Duration())
+			return nil, err
+		}
 	}
 	resp, err := b.safeCall(h, req)
 	if err != nil {

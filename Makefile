@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race short soak cover bench overload fuzz race-parallel race-overload ci clean
+.PHONY: all build vet test race short soak cover bench overload failover fuzz race-parallel race-overload race-failover ci clean
 
 all: build
 
@@ -51,6 +51,15 @@ bench:
 overload:
 	$(GO) run ./cmd/wfbench -overload -orders 24 -items 3 -parallel 4 -svclat 5ms -loaddur 1500ms -out BENCH_PR5.json
 
+# Warm-standby failover series: per stack, a journaled burst with a
+# standby tailing the WAL, primary killed mid-burst, lease-fenced
+# takeover, second burst as the new primary. Downtime breakdown
+# (detect/catchup/takeover), replica lag at kill (records + ms), and
+# goodput retention over the failover window vs the pre-crash
+# steady-state rate land in BENCH_PR6.json.
+failover:
+	$(GO) run ./cmd/wfbench -failover -out BENCH_PR6.json
+
 # Fuzz smoke: a bounded run of the WAL-scanner fuzzer (recovery must
 # survive arbitrary bytes). CI-friendly; raise -fuzztime manually for
 # longer campaigns.
@@ -70,10 +79,18 @@ race-overload:
 	$(GO) test -race ./internal/admit/ ./internal/sched/
 	$(GO) test -race -run 'TestOverload' .
 
+# The failover race gate: lease/standby/replica unit suites, the tailer
+# rotation races, and the failover chaos matrix (kill mid-burst at each
+# crash point × 3 stacks, standby takeover, exactly-once effects) under
+# the race detector (what the failover CI job runs).
+race-failover:
+	$(GO) test -race ./internal/replica/ ./internal/journal/
+	$(GO) test -race -run 'TestFailover' .
+
 # The gate: build, vet, the full race-enabled suite (soak included),
 # then the WAL-scanner fuzz smoke.
 ci: build vet race fuzz
 
 clean:
 	$(GO) clean ./...
-	rm -f coverage.out BENCH_PR3.json BENCH_PR4.json BENCH_PR5.json
+	rm -f coverage.out BENCH_PR3.json BENCH_PR4.json BENCH_PR5.json BENCH_PR6.json

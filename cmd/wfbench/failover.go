@@ -1,0 +1,340 @@
+package main
+
+// The -failover mode measures warm-standby takeover: each stack runs a
+// journaled burst on a lease-fenced primary with a standby tailing the
+// WAL, the primary is killed mid-burst (crash injection + heartbeat
+// stop), and the standby detects expiry, catches up, promotes, recovers
+// the in-flight instance, and runs a second burst as the new primary.
+// Downtime is the wall-clock from the kill to the first instance
+// completed on the promoted side (lease-expiry detection dominates it —
+// the replication itself is warm). Goodput retention compares completed
+// instances per second across the whole failover timeline against the
+// same total burst on an undisturbed journaled primary.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"wfsql"
+	"wfsql/internal/chaos"
+	"wfsql/internal/engine"
+	"wfsql/internal/journal"
+	"wfsql/internal/sched"
+)
+
+// failoverStack wires one product stack's burst and recovery.
+type failoverStack struct {
+	name      string
+	invokeAct string
+	run       func(env *wfsql.Environment, cfg wfsql.ParallelConfig) (sched.Report, error)
+	recover   func(host *wfsql.Environment, rec *journal.Recorder) error
+}
+
+func failoverStacks() []failoverStack {
+	return []failoverStack{
+		{
+			name: "Figure4_BIS", invokeAct: "invoke",
+			run: func(env *wfsql.Environment, cfg wfsql.ParallelConfig) (sched.Report, error) {
+				return env.RunFigure4BISParallel(cfg)
+			},
+			recover: func(host *wfsql.Environment, rec *journal.Recorder) error {
+				d, err := host.Engine.Deploy(host.BuildFigure4BISResilient(wfsql.ResilienceConfig{}))
+				if err != nil {
+					return err
+				}
+				_, err = engine.Recover(rec, map[string]*engine.Deployment{"Figure4": d})
+				return err
+			},
+		},
+		{
+			name: "Figure6_WF", invokeAct: "invoke",
+			run: func(env *wfsql.Environment, cfg wfsql.ParallelConfig) (sched.Report, error) {
+				return env.RunFigure6WFParallel(cfg)
+			},
+			recover: func(host *wfsql.Environment, rec *journal.Recorder) error {
+				root := host.BuildFigure6WFResilient(wfsql.ResilienceConfig{})
+				for _, ij := range rec.InFlight() {
+					if _, err := host.Runtime.Resume(root, ij); err != nil {
+						return err
+					}
+				}
+				return nil
+			},
+		},
+		{
+			name: "Figure8_Oracle", invokeAct: "Invoke",
+			run: func(env *wfsql.Environment, cfg wfsql.ParallelConfig) (sched.Report, error) {
+				return env.RunFigure8OracleParallel(cfg)
+			},
+			recover: func(host *wfsql.Environment, rec *journal.Recorder) error {
+				p, err := host.BuildFigure8OracleResilient(wfsql.ResilienceConfig{})
+				if err != nil {
+					return err
+				}
+				d, err := host.Engine.Deploy(p)
+				if err != nil {
+					return err
+				}
+				_, err = engine.Recover(rec, map[string]*engine.Deployment{"Figure8": d})
+				return err
+			},
+		},
+	}
+}
+
+// failoverPhase is one burst's timing.
+type failoverPhase struct {
+	Instances       int     `json:"instances"`
+	Failed          int     `json:"failed"`
+	ElapsedMS       float64 `json:"elapsed_ms"`
+	InstancesPerSec float64 `json:"instances_per_sec"`
+}
+
+// failoverFigure is the per-stack section of BENCH_PR6.json.
+type failoverFigure struct {
+	Stack             string         `json:"stack"`
+	Baseline          *failoverPhase `json:"baseline"` // same topology, never killed, 2×phase instances (reference)
+	PreCrash          *failoverPhase `json:"pre_crash_burst"`
+	ReplicaLagRecords int            `json:"replica_lag_records_at_kill"`
+	ReplicaLagMS      float64        `json:"replica_lag_ms_at_kill"`
+	DetectMS          float64        `json:"detect_ms"`   // kill → lease observed expired
+	CatchupMS         float64        `json:"catchup_ms"`  // final WAL drain on the standby
+	TakeoverMS        float64        `json:"takeover_ms"` // promote + rebuild + recover in-flight
+	DowntimeMS        float64        `json:"downtime_to_first_completed_ms"`
+	PostTakeover      *failoverPhase `json:"post_takeover_burst"`
+	TotalCompleted    int            `json:"total_completed"`
+	TotalElapsedMS    float64        `json:"total_elapsed_ms"`
+	GoodputPerSec     float64        `json:"goodput_per_sec"`   // completed over the whole failover window
+	GoodputRetention  float64        `json:"goodput_retention"` // vs the pre-crash (steady-state) rate
+	FencedWrites      int64          `json:"old_primary_fenced_writes"`
+	Epoch             int64          `json:"takeover_epoch"`
+}
+
+// failoverReport is the whole BENCH_PR6.json document.
+type failoverReport struct {
+	Generated      string                     `json:"generated"`
+	GoVersion      string                     `json:"go_version"`
+	GOOS           string                     `json:"goos"`
+	GOARCH         string                     `json:"goarch"`
+	CPUs           int                        `json:"cpus"`
+	Workload       wfsql.Workload             `json:"workload"`
+	ServiceLat     string                     `json:"service_latency"`
+	Workers        int                        `json:"workers"`
+	LeaseTTL       string                     `json:"lease_ttl"`
+	PhaseInstances int                        `json:"phase_instances"`
+	Figures        map[string]*failoverFigure `json:"figures"`
+	MinRetention   float64                    `json:"min_goodput_retention"`
+}
+
+// runFailoverBench drives the failover series: per stack, a baseline
+// burst on an undisturbed primary, then kill-and-takeover.
+func runFailoverBench(w wfsql.Workload, phaseInstances, workers int, svclat, ttl time.Duration, out string) {
+	rep := failoverReport{
+		Generated:      time.Now().UTC().Format(time.RFC3339),
+		GoVersion:      runtime.Version(),
+		GOOS:           runtime.GOOS,
+		GOARCH:         runtime.GOARCH,
+		CPUs:           runtime.NumCPU(),
+		Workload:       w,
+		ServiceLat:     svclat.String(),
+		Workers:        workers,
+		LeaseTTL:       ttl.String(),
+		PhaseInstances: phaseInstances,
+		Figures:        map[string]*failoverFigure{},
+	}
+	rep.MinRetention = 1
+	heartbeat := ttl / 5
+
+	for _, stack := range failoverStacks() {
+		fr := &failoverFigure{Stack: stack.name}
+		cfg := wfsql.ParallelConfig{Instances: phaseInstances, Workers: workers}
+
+		// Baseline: the same total burst on the same topology — journaled
+		// primary, heartbeat, warm standby following — that never fails.
+		// Retention then measures what the failover event itself costs,
+		// not what running a follower costs.
+		fr.Baseline = runFailoverBaseline(w, svclat, ttl, heartbeat, stack, 2*phaseInstances, workers)
+
+		// Failover run.
+		env := wfsql.NewEnvironment(w)
+		injectLatency(env, svclat)
+		items := env.ApprovedItemTypes()
+		dir := mkTemp("wfbench-failover")
+		defer os.RemoveAll(dir)
+		pri, err := env.StartPrimary(dir, "primary-a", ttl)
+		if err != nil {
+			fatal(fmt.Errorf("%s: start primary: %w", stack.name, err))
+		}
+		pri.Heartbeat(heartbeat)
+
+		ws := wfsql.NewWarmStandby(dir, ttl)
+		ws.HeartbeatEvery = heartbeat
+		stopFollow := ws.Follow(heartbeat)
+
+		// Kill mid-burst: the crash fires around the burst's halfway
+		// point, after an invoke effect (the widest-window crash point).
+		plan := &chaos.CrashPlan{
+			Point:    journal.CrashAfterEffect,
+			Activity: stack.invokeAct,
+			AtEffect: phaseInstances/2*items + 2,
+		}
+		chaos.Crash(pri.Rec, plan)
+
+		t0 := time.Now()
+		sr1, err := stack.run(env, cfg)
+		if !journal.IsCrash(err) {
+			fatal(fmt.Errorf("%s: burst: want a crash, got %v", stack.name, err))
+		}
+		kill := time.Now()
+		pri.Pause() // heartbeat stops: the primary process is dead
+		stopFollow() // joins: the standby is frozen where the kill caught it
+		atKill := ws.Standby.Delivered()
+		if lt := ws.Standby.LastRecordTime(); !lt.IsZero() {
+			fr.ReplicaLagMS = ms(kill.Sub(lt))
+		}
+		fr.PreCrash = phaseReport(sr1, kill.Sub(t0))
+
+		// The standby detects the lease expiry...
+		for {
+			st, err := ws.Lease.Read()
+			if err == nil && time.Since(st.Renewed()) > ttl {
+				break
+			}
+			time.Sleep(heartbeat / 2)
+		}
+		detect := time.Now()
+
+		// ...drains the tail of the WAL (lag-at-kill is what it had not
+		// yet absorbed when the primary died)...
+		if _, err := ws.CatchUp(); err != nil {
+			fatal(fmt.Errorf("%s: catch up: %w", stack.name, err))
+		}
+		fr.ReplicaLagRecords = int(ws.Standby.Delivered() - atKill)
+		caught := time.Now()
+
+		// ...and takes over, recovering the in-flight instance. When
+		// Takeover returns, that instance has completed on the new
+		// primary — downtime ends here.
+		host, rec2, err := ws.Takeover(env, "standby-b", stack.recover)
+		if err != nil {
+			fatal(fmt.Errorf("%s: takeover: %w", stack.name, err))
+		}
+		first := time.Now()
+		fr.DetectMS = ms(detect.Sub(kill))
+		fr.CatchupMS = ms(caught.Sub(detect))
+		fr.TakeoverMS = ms(first.Sub(caught))
+		fr.DowntimeMS = ms(first.Sub(kill))
+
+		// The old primary is fenced for good.
+		if err := pri.Rec.Deploy("zombie-probe"); !journal.IsFenced(err) {
+			fatal(fmt.Errorf("%s: zombie append: got %v, want ErrFenced", stack.name, err))
+		}
+		fr.FencedWrites = pri.Rec.FencedWrites()
+		fr.Epoch = rec2.Epoch()
+
+		// Second burst on the promoted primary (Takeover already started
+		// its heartbeat via HeartbeatEvery).
+		sr2, err := stack.run(host, cfg)
+		if err != nil {
+			fatal(fmt.Errorf("%s: post-takeover burst: %w", stack.name, err))
+		}
+		end := time.Now()
+		ws.StopHeartbeat()
+		fr.PostTakeover = phaseReport(sr2, end.Sub(first))
+		rec2.Close()
+
+		fr.TotalCompleted = 2 * phaseInstances
+		if got, want := host.ConfirmationCount(), fr.TotalCompleted*items; got != want {
+			fatal(fmt.Errorf("%s: %d confirmations across failover, want %d (instances × item types)",
+				stack.name, got, want))
+		}
+		fr.TotalElapsedMS = ms(end.Sub(t0))
+		fr.GoodputPerSec = float64(fr.TotalCompleted) / end.Sub(t0).Seconds()
+		if fr.PreCrash.InstancesPerSec > 0 {
+			// Retention over the failover window vs steady state: the
+			// pre-crash burst is the steady-state rate of this very run,
+			// so the ratio isolates what the downtime cost.
+			fr.GoodputRetention = fr.GoodputPerSec / fr.PreCrash.InstancesPerSec
+		}
+		if fr.GoodputRetention < rep.MinRetention {
+			rep.MinRetention = fr.GoodputRetention
+		}
+		rep.Figures[stack.name] = fr
+		fmt.Fprintf(os.Stderr,
+			"%-14s downtime %.1fms (detect %.1f, catchup %.1f, takeover %.1f)  lag %d recs / %.1fms  goodput %.1f/s vs steady %.1f/s  retention %.0f%%\n",
+			stack.name, fr.DowntimeMS, fr.DetectMS, fr.CatchupMS, fr.TakeoverMS,
+			fr.ReplicaLagRecords, fr.ReplicaLagMS, fr.GoodputPerSec, fr.PreCrash.InstancesPerSec, 100*fr.GoodputRetention)
+	}
+
+	fmt.Fprintf(os.Stderr, "minimum goodput retention across stacks: %.0f%%\n", 100*rep.MinRetention)
+
+	f := os.Stdout
+	if out != "-" {
+		var err error
+		f, err = os.Create(out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fatal(err)
+	}
+	if out != "-" {
+		fmt.Fprintf(os.Stderr, "wrote %s\n", out)
+	}
+}
+
+// runFailoverBaseline runs one undisturbed journaled burst — with a
+// warm standby following, matching the failover run's topology — and
+// reports its throughput.
+func runFailoverBaseline(w wfsql.Workload, svclat, ttl, heartbeat time.Duration, stack failoverStack, instances, workers int) *failoverPhase {
+	env := wfsql.NewEnvironment(w)
+	injectLatency(env, svclat)
+	dir := mkTemp("wfbench-baseline")
+	defer os.RemoveAll(dir)
+	pri, err := env.StartPrimary(dir, "primary-a", ttl)
+	if err != nil {
+		fatal(fmt.Errorf("%s baseline: %w", stack.name, err))
+	}
+	pri.Heartbeat(heartbeat)
+	ws := wfsql.NewWarmStandby(dir, ttl)
+	stopFollow := ws.Follow(heartbeat)
+	defer stopFollow()
+	t0 := time.Now()
+	sr, err := stack.run(env, wfsql.ParallelConfig{Instances: instances, Workers: workers})
+	if err != nil {
+		fatal(fmt.Errorf("%s baseline: %w", stack.name, err))
+	}
+	elapsed := time.Since(t0)
+	if err := pri.Close(); err != nil {
+		fatal(fmt.Errorf("%s baseline close: %w", stack.name, err))
+	}
+	if got, want := env.ConfirmationCount(), instances*env.ApprovedItemTypes(); got != want {
+		fatal(fmt.Errorf("%s baseline: %d confirmations, want %d", stack.name, got, want))
+	}
+	return phaseReport(sr, elapsed)
+}
+
+func phaseReport(sr sched.Report, elapsed time.Duration) *failoverPhase {
+	p := &failoverPhase{Instances: sr.Jobs, Failed: sr.Failed, ElapsedMS: ms(elapsed)}
+	if s := elapsed.Seconds(); s > 0 {
+		p.InstancesPerSec = float64(sr.Jobs-sr.Failed) / s
+	}
+	return p
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+func mkTemp(prefix string) string {
+	dir, err := os.MkdirTemp("", prefix)
+	if err != nil {
+		fatal(err)
+	}
+	return dir
+}

@@ -91,6 +91,8 @@ func main() {
 	overload := flag.Bool("overload", false, "run the goodput-vs-offered-load overload series instead of the figure matrix")
 	slo := flag.Duration("slo", 250*time.Millisecond, "overload mode: per-instance completion SLO (and protected-mode budget)")
 	loadDur := flag.Duration("loaddur", 2*time.Second, "overload mode: open-loop offered-load duration per point")
+	failover := flag.Bool("failover", false, "run the warm-standby failover series instead of the figure matrix")
+	ttl := flag.Duration("ttl", 150*time.Millisecond, "failover mode: lease TTL (expiry detection dominates downtime; too low false-fences a healthy primary on scheduling hiccups)")
 	flag.Parse()
 
 	w := wfsql.Workload{Orders: *orders, Items: *items, ApprovalPercent: *approve, Seed: *seed}
@@ -100,6 +102,16 @@ func main() {
 			o = "BENCH_PR5.json"
 		}
 		runOverloadBench(w, *parallel, *svclat, *slo, *loadDur, o)
+		return
+	}
+	if *failover {
+		o := *out
+		if o == "BENCH_PR4.json" { // default not overridden: failover series gets its own file
+			o = "BENCH_PR6.json"
+		}
+		// Per-phase burst large enough that the lease-TTL downtime is
+		// small against the work, the regime a warm standby targets.
+		runFailoverBench(w, 8**instances, *parallel, *svclat, *ttl, o)
 		return
 	}
 	figures := []struct {

@@ -1,0 +1,261 @@
+package wfsql
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"wfsql/internal/chaos"
+	"wfsql/internal/journal"
+)
+
+// This file is the failover chaos matrix: the running example bursts
+// multiple instances on each product stack, the primary is killed
+// mid-burst at each of the journal protocol's crash points, and a warm
+// standby — which has been tailing the WAL all along — performs the
+// lease-fenced takeover and resumes the in-flight work on a rebuilt
+// host. Convergence is asserted the same three ways as the PR 2 crash
+// matrix (confirmations, supplier ledger, passive INSERT count), plus
+// the fencing property: the dead primary's recorder refuses writes
+// before and after the takeover.
+
+// failoverClock is a frozen manual clock starting at the real present,
+// so lease stamps written with the real clock interoperate and tests
+// advance time instead of sleeping through TTLs.
+type failoverClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFailoverClock() *failoverClock { return &failoverClock{t: time.Now()} }
+
+func (c *failoverClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *failoverClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// repeatRows is the expected confirmation multiset for a burst: every
+// instance appends the same per-item rows.
+func repeatRows(rows []string, n int) []string {
+	out := make([]string, 0, len(rows)*n)
+	for i := 0; i < n; i++ {
+		out = append(out, rows...)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// burstLedgerMatches checks the supplier's per-item totals for a burst
+// of n instances against single-instance baseline rows.
+func burstLedgerMatches(t *testing.T, env *Environment, baseline []string, n int) {
+	t.Helper()
+	for _, row := range baseline {
+		parts := strings.SplitN(row, "|", 3)
+		qty, err := strconv.ParseInt(parts[1], 10, 64)
+		if err != nil {
+			t.Fatalf("baseline row %q: %v", row, err)
+		}
+		if got, want := env.Supplier.Ordered(parts[0]), qty*int64(n); got != want {
+			t.Errorf("supplier ledger for %s = %d, want %d (duplicated or lost invoke across failover)",
+				parts[0], got, want)
+		}
+	}
+}
+
+// failoverBursts maps each crash stack to its multi-instance burst.
+func failoverBursts() map[string]func(env *Environment, n int) error {
+	return map[string]func(env *Environment, n int) error{
+		"BIS_Figure4": func(env *Environment, n int) error {
+			_, err := env.RunFigure4BISParallel(ParallelConfig{Instances: n, Workers: 2})
+			return err
+		},
+		"WF_Figure6": func(env *Environment, n int) error {
+			_, err := env.RunFigure6WFParallel(ParallelConfig{Instances: n, Workers: 2})
+			return err
+		},
+		"Oracle_Figure8": func(env *Environment, n int) error {
+			_, err := env.RunFigure8OracleParallel(ParallelConfig{Instances: n, Workers: 2})
+			return err
+		},
+	}
+}
+
+// TestFailoverChaosMatrix kills each product stack at every crash point
+// mid-burst — once on a supplier invocation, once on a confirmation
+// insert — and proves the standby's takeover converges to the
+// fault-free burst with exactly-once visible effects and a fenced old
+// primary.
+func TestFailoverChaosMatrix(t *testing.T) {
+	w := Workload{Orders: 18, Items: 4, ApprovalPercent: 100, Seed: 3}
+	const burst = 4
+	bursts := failoverBursts()
+	for _, stack := range crashStacks() {
+		stack := stack
+		want := baselineRows(t, w, stack.baseline)
+		items := len(want)
+		if items < 3 {
+			t.Fatalf("workload too small for a mid-loop crash: %d item types", items)
+		}
+		wantAll := repeatRows(want, burst)
+		for _, point := range crashPoints {
+			for _, target := range []struct{ label, activity string }{
+				{"invoke", stack.invokeAct},
+				{"sql", stack.sqlAct},
+			} {
+				point, target := point, target
+				t.Run(stack.name+"/"+point.String()+"/"+target.label, func(t *testing.T) {
+					clock := newFailoverClock()
+					env := NewEnvironment(w)
+					inserts := &chaos.SQLFaultPlan{Kinds: []string{"INSERT"}}
+					chaos.InstallSQL(env.DB, inserts)
+					defer chaos.InstallSQL(env.DB, nil)
+
+					dir := t.TempDir()
+					pri, err := env.StartPrimary(dir, "primary-a", time.Second)
+					if err != nil {
+						t.Fatalf("start primary: %v", err)
+					}
+					pri.Lease.SetClock(clock.Now)
+
+					// The standby follows from the start (warm).
+					ws := NewWarmStandby(dir, time.Second)
+					ws.Lease.SetClock(clock.Now)
+					if _, err := ws.CatchUp(); err != nil {
+						t.Fatal(err)
+					}
+
+					// Kill mid-burst: the crash fires during the third
+					// instance's loop (the first two instances' effects
+					// already interleave in the shared WAL).
+					plan := &chaos.CrashPlan{Point: point, Activity: target.activity, AtEffect: 2*items + 2}
+					chaos.Crash(pri.Rec, plan)
+
+					err = bursts[stack.name](env, burst)
+					if !journal.IsCrash(err) {
+						t.Fatalf("burst: want a crash error, got %v", err)
+					}
+					if !plan.Fired() {
+						t.Fatal("crash plan never fired")
+					}
+
+					// The primary process is dead: its heartbeat stops and
+					// the TTL lapses. Its own guard self-fences even before
+					// the standby moves.
+					clock.Advance(5 * time.Second)
+					if err := pri.Rec.Deploy("zombie-before-takeover"); !journal.IsFenced(err) {
+						t.Fatalf("dead primary append: err = %v, want ErrFenced", err)
+					}
+
+					// Warm takeover: catch up, promote, rebuild, recover.
+					if _, err := ws.CatchUp(); err != nil {
+						t.Fatal(err)
+					}
+					if n := len(ws.Standby.InFlight()); n != 1 {
+						t.Fatalf("standby sees %d in-flight instances, want 1", n)
+					}
+					host, rec2, err := ws.Takeover(env, "standby-b", stack.recover)
+					if err != nil {
+						t.Fatalf("takeover: %v", err)
+					}
+					defer rec2.Close()
+
+					if got := confirmationRows(t, host); !sameRows(got, wantAll) {
+						t.Fatalf("failover confirmations diverge from fault-free burst:\n got %v\nwant %v", got, wantAll)
+					}
+					burstLedgerMatches(t, host, want, burst)
+					if got, wantN := inserts.Seen(), burst*items; got != wantN {
+						t.Fatalf("%d INSERT executions across burst+failover, want %d (memoized replay must not re-run SQL)", got, wantN)
+					}
+					if stack.useBus {
+						if got := env.Bus.Attempts(); got != int64(burst*items) {
+							t.Fatalf("%d supplier invocations dispatched, want %d (memoized replay must not re-invoke)", got, burst*items)
+						}
+					}
+					if n := len(rec2.InFlight()); n != 0 {
+						t.Fatalf("journal still holds %d in-flight instances after failover recovery", n)
+					}
+
+					// The old primary stays fenced after the takeover too —
+					// epoch advance, not just expiry.
+					if err := pri.Rec.Deploy("zombie-after-takeover"); !journal.IsFenced(err) {
+						t.Fatalf("zombie append after takeover: err = %v, want ErrFenced", err)
+					}
+					if pri.Rec.FencedWrites() < 2 {
+						t.Fatalf("FencedWrites = %d, want >= 2", pri.Rec.FencedWrites())
+					}
+					// The new primary is live.
+					if err := rec2.Deploy("post-takeover"); err != nil {
+						t.Fatalf("new primary append: %v", err)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestFailoverSQLReplicaOffload: the standby's read replica follows the
+// primary's database through the WAL's SQL-effect stream — reporting
+// queries read the replica, writes there are refused — and converges to
+// the primary byte-for-byte; after takeover it opens for writes.
+func TestFailoverSQLReplicaOffload(t *testing.T) {
+	w := Workload{Orders: 18, Items: 4, ApprovalPercent: 100, Seed: 3}
+	env := NewEnvironment(w)
+	dir := t.TempDir()
+	clock := newFailoverClock()
+	pri, err := env.StartPrimary(dir, "primary-a", time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pri.Lease.SetClock(clock.Now)
+
+	ws := NewWarmStandby(dir, time.Second)
+	ws.Lease.SetClock(clock.Now)
+	if err := ws.AttachSQLReplica(env, "replica"); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := env.RunFigure4BISParallel(ParallelConfig{Instances: 3, Workers: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ws.CatchUp(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ws.SQL.Complete(ws.Standby); err != nil {
+		t.Fatalf("stream completeness: %v", err)
+	}
+	if pd, rd := env.DB.Dump(), ws.SQL.DB().Dump(); pd != rd {
+		t.Fatalf("replica diverged:\nprimary:\n%s\nreplica:\n%s", pd, rd)
+	}
+
+	// Reporting offload: reads serve, writes are refused.
+	res, err := ws.SQL.DB().Exec("SELECT COUNT(*) FROM OrderConfirmations")
+	if err != nil {
+		t.Fatalf("replica read: %v", err)
+	}
+	if n, _ := res.Rows[0][0].AsInt(); int(n) != 3*env.ApprovedItemTypes() {
+		t.Fatalf("replica sees %d confirmations, want %d", n, 3*env.ApprovedItemTypes())
+	}
+	if _, err := ws.SQL.DB().Exec("DELETE FROM OrderConfirmations"); err == nil {
+		t.Fatal("replica accepted a direct write before takeover")
+	}
+
+	// Primary dies; takeover opens the replica for writes.
+	pri.Pause()
+	clock.Advance(5 * time.Second)
+	if _, _, err := ws.Takeover(env, "standby-b", nil); err != nil {
+		t.Fatalf("takeover: %v", err)
+	}
+	if _, err := ws.SQL.DB().Exec("DELETE FROM OrderConfirmations"); err != nil {
+		t.Fatalf("replica write after takeover: %v", err)
+	}
+}

@@ -148,7 +148,10 @@ func WrapSession(s *sqldb.Session, p *SQLFaultPlan) *FaultySession {
 	return &FaultySession{S: s, Plan: p}
 }
 
-// Exec parses and executes one statement through the fault plan.
+// Exec parses and executes one statement through the fault plan. The
+// execution goes back through the session's text path (not the
+// pre-parsed one) so a change sink on the database still captures the
+// statement for replication.
 func (f *FaultySession) Exec(sql string, params ...sqldb.Value) (*sqldb.Result, error) {
 	st, err := sqldb.Parse(sql)
 	if err != nil {
@@ -157,7 +160,7 @@ func (f *FaultySession) Exec(sql string, params ...sqldb.Value) (*sqldb.Result, 
 	if err := f.Plan.check(sqldb.StmtKind(st)); err != nil {
 		return nil, err
 	}
-	return f.S.ExecStmt(st, params, nil)
+	return f.S.Exec(sql, params...)
 }
 
 // Query executes a statement through the fault plan and requires rows.

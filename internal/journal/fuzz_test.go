@@ -2,6 +2,7 @@ package journal
 
 import (
 	"bytes"
+	"io"
 	"testing"
 )
 
@@ -71,6 +72,50 @@ func FuzzScan(f *testing.F) {
 		}
 		if len(res2.Records) != len(res.Records) {
 			t.Fatalf("rescan records = %d, want %d", len(res2.Records), len(res.Records))
+		}
+
+		// The incremental FrameReader underlies Scan; driving it over
+		// the same input must yield exactly the same records, stop at
+		// exactly the same offset, and never panic. Its per-frame
+		// contract: every non-nil record advances Offset, io.EOF means a
+		// clean frame boundary, a TornError leaves Offset at the last
+		// valid boundary, and nothing else is ever returned for
+		// in-memory input.
+		fr := NewFrameReader(bytes.NewReader(data))
+		var frRecords int
+		var lastOff int64
+		for {
+			rec, err := fr.Next()
+			if rec != nil {
+				if fr.Offset() <= lastOff {
+					t.Fatalf("FrameReader offset did not advance: %d -> %d", lastOff, fr.Offset())
+				}
+				lastOff = fr.Offset()
+				frRecords++
+				continue
+			}
+			if err == io.EOF {
+				if res.Torn {
+					t.Fatal("FrameReader saw clean EOF where Scan saw a torn tail")
+				}
+				break
+			}
+			if IsTorn(err) {
+				if !res.Torn {
+					t.Fatalf("FrameReader saw torn frame where Scan saw clean end: %v", err)
+				}
+				if fr.Offset() != lastOff {
+					t.Fatalf("torn frame advanced offset: %d -> %d", lastOff, fr.Offset())
+				}
+				break
+			}
+			t.Fatalf("FrameReader returned an I/O error for in-memory input: %v", err)
+		}
+		if frRecords != len(res.Records) {
+			t.Fatalf("FrameReader decoded %d records, Scan %d", frRecords, len(res.Records))
+		}
+		if fr.Offset() != res.ValidLen {
+			t.Fatalf("FrameReader final offset %d != Scan ValidLen %d", fr.Offset(), res.ValidLen)
 		}
 
 		// Whatever was accepted must replay without panicking.

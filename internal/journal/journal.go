@@ -56,6 +56,14 @@ const (
 	KindDeadLetterRequeue Kind = "dead-letter-requeue"
 	KindInstanceComplete  Kind = "instance-complete"
 	KindCheckpoint        Kind = "checkpoint"
+
+	// KindSQLEffect is the CDC record: one committed mutating SQL
+	// statement (text + encoded parameters + originating session), in
+	// database execution order. It is not lifecycle state — replay
+	// ignores it — but a tailer can stream it into a sqldb read
+	// replica (see internal/replica) the way a change-data-capture
+	// pipeline feeds an analytic store.
+	KindSQLEffect Kind = "sql-effect"
 )
 
 // Effect kinds recorded on activity-complete records. SQL effects are
@@ -82,6 +90,14 @@ type Record struct {
 	Data       map[string]string `json:"d,omitempty"`
 	Checkpoint *State            `json:"s,omitempty"`
 	Time       time.Time         `json:"t,omitempty"`
+
+	// Epoch is the fencing epoch of the writer that appended the
+	// record (see Recorder.SetEpoch). Epochs are monotone across
+	// takeovers: a standby promotes with the lease's next epoch, so a
+	// record stream whose epoch ever *decreases* is the signature of a
+	// split brain. Zero for journals written before failover existed
+	// (and for recorders that never join a lease).
+	Epoch int64 `json:"ep,omitempty"`
 }
 
 // Framing: each record is [uint32 payload length][uint32 CRC32-IEEE of
@@ -129,54 +145,28 @@ type ScanResult struct {
 // point is returned as valid, and Torn is set so the caller can
 // truncate the tail. Scan never returns an error for torn data --
 // only for I/O errors other than EOF.
+//
+// Scan is the whole-stream convenience over the incremental
+// FrameReader: ValidLen is exactly the reader's final Offset, so a
+// caller holding a live file can keep decoding from there later (the
+// live-tail protocol in Tailer does precisely that).
 func Scan(r io.Reader) (*ScanResult, error) {
 	res := &ScanResult{}
-	header := make([]byte, frameHeaderLen)
+	fr := NewFrameReader(r)
 	for {
-		n, err := io.ReadFull(r, header)
-		if err == io.EOF {
+		rec, err := fr.Next()
+		res.ValidLen = fr.Offset()
+		switch {
+		case err == nil:
+			res.Records = append(res.Records, *rec)
+		case err == io.EOF:
 			return res, nil // clean end
-		}
-		if err == io.ErrUnexpectedEOF {
+		case IsTorn(err):
 			res.Torn = true
-			res.TornReason = fmt.Sprintf("partial frame header (%d of %d bytes)", n, frameHeaderLen)
+			res.TornReason = err.(*TornError).Reason
 			return res, nil
-		}
-		if err != nil {
+		default:
 			return res, fmt.Errorf("journal: scan: %w", err)
 		}
-		length := binary.LittleEndian.Uint32(header[0:4])
-		sum := binary.LittleEndian.Uint32(header[4:8])
-		if length > maxRecordLen {
-			res.Torn = true
-			res.TornReason = fmt.Sprintf("implausible record length %d", length)
-			return res, nil
-		}
-		payload := make([]byte, length)
-		n, err = io.ReadFull(r, payload)
-		if err == io.EOF || err == io.ErrUnexpectedEOF {
-			res.Torn = true
-			res.TornReason = fmt.Sprintf("partial payload (%d of %d bytes)", n, length)
-			return res, nil
-		}
-		if err != nil {
-			return res, fmt.Errorf("journal: scan: %w", err)
-		}
-		if crc32.Checksum(payload, crcTable) != sum {
-			res.Torn = true
-			res.TornReason = "checksum mismatch"
-			return res, nil
-		}
-		var rec Record
-		if err := json.Unmarshal(payload, &rec); err != nil {
-			// A record that passes its checksum but fails to parse
-			// means a writer bug or version skew, not a torn write;
-			// still stop cleanly rather than replay garbage.
-			res.Torn = true
-			res.TornReason = fmt.Sprintf("undecodable record: %v", err)
-			return res, nil
-		}
-		res.Records = append(res.Records, rec)
-		res.ValidLen += int64(frameHeaderLen) + int64(length)
 	}
 }

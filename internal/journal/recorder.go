@@ -13,6 +13,23 @@ import (
 	"wfsql/internal/obsv"
 )
 
+// ErrFenced is returned (wrapped) by Append when the recorder's append
+// guard refuses the write: the fencing lease's epoch has advanced past
+// this writer's, meaning a standby has taken over. A fenced writer must
+// stop — its journal is no longer authoritative — and the error is
+// deliberately non-temporary so retry policies classify it permanent.
+var ErrFenced = errors.New("journal: writer fenced (lease epoch advanced)")
+
+// IsFenced reports whether err is (or wraps) a fencing refusal.
+func IsFenced(err error) bool { return errors.Is(err, ErrFenced) }
+
+// AppendGuard vets every record before it is written. It runs under
+// the recorder mutex, so a guard that checks a fencing lease gives the
+// classic lease guarantee: no record is written after the guard
+// observes a newer epoch. Return an error wrapping ErrFenced to fence
+// the writer; any other error also refuses the append.
+type AppendGuard func(rec *Record) error
+
 // CrashPoint identifies where in the journal-then-effect protocol a
 // simulated crash fires. The three points bracket the two writes an
 // effectful activity performs (the journal append and the effect
@@ -170,15 +187,21 @@ type Recorder struct {
 	injector        CrashInjector
 	closed          bool
 	sync            SyncPolicy
+	epoch           int64       // fencing epoch stamped on every record
+	guard           AppendGuard // pre-write fence check (nil = none)
+	fencedWrites    int64       // appends refused by the guard
 	pendingSync     int   // unsynced commit-critical records
 	syncCount       int64 // fsyncs issued (tests, metrics)
 	obs             *obsv.Observability
 
 	// rotate, when set, makes every checkpoint rewrite the WAL as a
 	// fresh segment that starts at the checkpoint (SetRotateAtCheckpoint);
-	// rotations counts completed swaps.
-	rotate    bool
-	rotations int64
+	// rotations counts completed swaps. keepSegments > 0 additionally
+	// archives each retiring segment (SetRotateKeep) so lagging tailers
+	// can drain it after the rename.
+	rotate       bool
+	rotations    int64
+	keepSegments int
 
 	// TornTail reports whether Open found (and truncated) a torn
 	// tail, and why. For diagnostics and tests.
@@ -205,6 +228,14 @@ func Open(dir string) (*Recorder, error) {
 	// dead weight: remove it before opening. A crash after the rename
 	// needs nothing special; the renamed segment IS the WAL.
 	os.Remove(path + rotateSuffix)
+	// Retained rotation archives (SetRotateKeep) only serve tailers of
+	// the previous incarnation; a tailer attaching after a restart
+	// bootstraps from the live WAL's checkpoint instead.
+	if stale, _ := filepath.Glob(path + archiveSuffix + "*"); len(stale) > 0 {
+		for _, s := range stale {
+			os.Remove(s)
+		}
+	}
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("journal: open wal: %w", err)
@@ -314,6 +345,41 @@ func (r *Recorder) ShouldCrash(instance int64, activity string, point CrashPoint
 // Path returns the WAL file path.
 func (r *Recorder) Path() string { return r.path }
 
+// SetEpoch sets the fencing epoch stamped on every subsequently
+// appended record. A primary sets it after acquiring the lease; a
+// promoted standby sets the lease's advanced epoch, so the record
+// stream carries the takeover boundary.
+func (r *Recorder) SetEpoch(e int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.epoch = e
+}
+
+// Epoch returns the current fencing epoch.
+func (r *Recorder) Epoch() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.epoch
+}
+
+// SetAppendGuard installs (nil removes) the pre-write fence check run
+// under the recorder mutex at the top of every Append and Checkpoint.
+// The guard sees the record about to be written (already stamped with
+// the recorder's epoch).
+func (r *Recorder) SetAppendGuard(g AppendGuard) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.guard = g
+}
+
+// FencedWrites reports how many appends the guard has refused with
+// ErrFenced (metrics, tests).
+func (r *Recorder) FencedWrites() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.fencedWrites
+}
+
 // Append writes one record durably and folds it into the state.
 // Commit-critical records (txn-commit, activity-complete memos,
 // checkpoints, dead letters, instance completion) are fsynced according
@@ -324,15 +390,28 @@ func (r *Recorder) Append(rec *Record) error {
 	if rec.Time.IsZero() {
 		rec.Time = time.Now().UTC()
 	}
-	buf, err := Marshal(rec)
-	if err != nil {
-		return err
-	}
 	start := time.Now()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.closed {
 		return fmt.Errorf("journal: append on closed recorder")
+	}
+	// Epoch stamping and the fence check happen under the same mutex
+	// that serializes the write itself: once a guard observes a newer
+	// lease epoch, no further record leaves this recorder.
+	rec.Epoch = r.epoch
+	if r.guard != nil {
+		if err := r.guard(rec); err != nil {
+			if IsFenced(err) {
+				r.fencedWrites++
+				r.obs.M().Counter("replica.fenced_writes").Inc()
+			}
+			return err
+		}
+	}
+	buf, err := Marshal(rec)
+	if err != nil {
+		return err
 	}
 	if _, err := r.f.Write(buf); err != nil {
 		return fmt.Errorf("journal: append: %w", err)
@@ -392,6 +471,31 @@ func (r *Recorder) syncLocked() error {
 // rotateSuffix names the in-progress rotation segment next to the WAL.
 const rotateSuffix = ".new"
 
+// archiveSuffix prefixes retained rotation archives: the segment of
+// rotation generation g is archived as WALName + ".seg" + g.
+const archiveSuffix = ".seg"
+
+// archivePath names the retained archive of the segment with rotation
+// generation gen (the initial, pre-rotation segment is generation 0).
+func archivePath(walPath string, gen int64) string {
+	return walPath + archiveSuffix + strconv.FormatInt(gen, 10)
+}
+
+// SetRotateKeep retains up to keep retiring segments as read-only
+// archives next to the WAL (wal.log.seg<gen>). Rotation renames the new
+// segment over the WAL path, so a tailer that lags more than one whole
+// rotation between polls would otherwise find the intermediate segment
+// gone; with retention it drains the archives in generation order and
+// delivery stays exactly-once. Zero (the default) disables retention —
+// lagging tailers then detect the loss via SkippedSegments. Archives
+// are hard links created before the rename commit point, pruned as
+// newer rotations push them past keep, and swept by Open.
+func (r *Recorder) SetRotateKeep(keep int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.keepSegments = keep
+}
+
 // SetRotateAtCheckpoint enables WAL rotation: every checkpoint writes a
 // fresh segment containing only the snapshot, fsyncs it, and atomically
 // renames it over the WAL — so the journal's size is bounded by one
@@ -443,6 +547,20 @@ func (r *Recorder) rotateLocked(buf []byte) (handled bool, err error) {
 	if err := nf.Sync(); err != nil {
 		return abort(fmt.Errorf("journal: rotate: sync segment: %w", err))
 	}
+	if r.keepSegments > 0 {
+		// Archive the retiring segment (generation r.rotations) by hard
+		// link BEFORE the rename, so the moment the new segment is
+		// visible at the WAL path the old one is already reachable at
+		// its archive name — a tailer that observes the swap never races
+		// the archive into existence. A crash here leaves a harmless
+		// stale archive that the next Open sweeps.
+		arch := archivePath(r.path, r.rotations)
+		os.Remove(arch)
+		if err := os.Link(r.path, arch); err != nil {
+			return abort(fmt.Errorf("journal: rotate: archive segment: %w", err))
+		}
+		os.Remove(archivePath(r.path, r.rotations-int64(r.keepSegments)))
+	}
 	if err := os.Rename(newPath, r.path); err != nil {
 		return abort(fmt.Errorf("journal: rotate: publish: %w", err))
 	}
@@ -471,7 +589,24 @@ func (r *Recorder) Checkpoint() error {
 
 func (r *Recorder) checkpointLocked() error {
 	start := time.Now()
-	rec := &Record{Kind: KindCheckpoint, Checkpoint: r.state.Clone(), Time: time.Now().UTC()}
+	rec := &Record{Kind: KindCheckpoint, Checkpoint: r.state.Clone(), Time: time.Now().UTC(), Epoch: r.epoch}
+	if r.rotate {
+		// A rotation-born checkpoint heads a fresh segment. Stamp it
+		// with the segment's rotation generation (Occurrence is unused
+		// on checkpoints) so a tailer can detect that it missed an
+		// entire intermediate segment — the one staleness failure the
+		// drain-before-switch protocol cannot absorb (see Tailer).
+		rec.Occurrence = int(r.rotations) + 1
+	}
+	if r.guard != nil {
+		if err := r.guard(rec); err != nil {
+			if IsFenced(err) {
+				r.fencedWrites++
+				r.obs.M().Counter("replica.fenced_writes").Inc()
+			}
+			return err
+		}
+	}
 	buf, err := Marshal(rec)
 	if err != nil {
 		return err
@@ -627,6 +762,78 @@ func (r *Recorder) DeadLetter(id int64, rec DeadLetterRecord) error {
 // RequeueDeadLetter journals removal of a dead letter for re-driving.
 func (r *Recorder) RequeueDeadLetter(key string) error {
 	return r.Append(&Record{Kind: KindDeadLetterRequeue, Data: map[string]string{"key": key}})
+}
+
+// SQLEffectRecord is the decoded form of a KindSQLEffect journal
+// record: one successfully executed top-level mutating SQL statement,
+// in database execution order. Seq is the database's change sequence
+// number (dense, strictly increasing); Session identifies the
+// originating database session (replicas keep a session map so
+// interleaved transactions replay on matching replica sessions); Kind
+// is the statement kind ("INSERT", "COMMIT", ...); Params and Named
+// carry the bind values, already encoded by sqldb.EncodeValue /
+// sqldb.EncodeNamed.
+type SQLEffectRecord struct {
+	Seq     int64
+	Session int64
+	Kind    string
+	SQL     string
+	Params  []string
+	Named   []string
+}
+
+// SQLEffect journals one CDC record — the change-stream entry a sqldb
+// read replica consumes. SQL-effect records are not commit-critical:
+// they ride the sync batch, which is exactly the replica staleness
+// window the contract documents.
+func (r *Recorder) SQLEffect(e SQLEffectRecord) error {
+	d := map[string]string{
+		"sql":  e.SQL,
+		"kind": e.Kind,
+		"seq":  strconv.FormatInt(e.Seq, 10),
+		"sess": strconv.FormatInt(e.Session, 10),
+		"np":   strconv.Itoa(len(e.Params)),
+		"nn":   strconv.Itoa(len(e.Named)),
+	}
+	for i, p := range e.Params {
+		d["p"+strconv.Itoa(i)] = p
+	}
+	for i, n := range e.Named {
+		d["n"+strconv.Itoa(i)] = n
+	}
+	return r.Append(&Record{Kind: KindSQLEffect, EffectKind: EffectSQL, Data: d})
+}
+
+// DecodeSQLEffect unpacks a KindSQLEffect record. ok is false when rec
+// is not a well-formed SQL-effect record.
+func DecodeSQLEffect(rec *Record) (e SQLEffectRecord, ok bool) {
+	if rec.Kind != KindSQLEffect || rec.Data == nil {
+		return e, false
+	}
+	sql, okSQL := rec.Data["sql"]
+	if !okSQL {
+		return e, false
+	}
+	e.SQL = sql
+	e.Kind = rec.Data["kind"]
+	fmtSscan(rec.Data["seq"], &e.Seq)
+	fmtSscan(rec.Data["sess"], &e.Session)
+	var np, nn int
+	fmtSscanInt(rec.Data["np"], &np)
+	fmtSscanInt(rec.Data["nn"], &nn)
+	if np > 0 {
+		e.Params = make([]string, np)
+		for i := 0; i < np; i++ {
+			e.Params[i] = rec.Data["p"+strconv.Itoa(i)]
+		}
+	}
+	if nn > 0 {
+		e.Named = make([]string, nn)
+		for i := 0; i < nn; i++ {
+			e.Named[i] = rec.Data["n"+strconv.Itoa(i)]
+		}
+	}
+	return e, true
 }
 
 // InstanceComplete journals instance termination. fault is empty for

@@ -177,6 +177,12 @@ func (s *State) apply(r *Record) {
 	}
 }
 
+// Apply folds one record into the state — the incremental form of
+// Replay. A warm standby drives it from a Tailer to replay-to-follow:
+// folding each tailed record keeps the standby's state byte-equivalent
+// to what a fresh Replay of the whole journal would produce.
+func (s *State) Apply(r *Record) { s.apply(r) }
+
 // Replay folds a sequence of scanned records into a fresh state.
 func Replay(records []Record) *State {
 	s := NewState()

@@ -1,0 +1,325 @@
+// Package replica implements warm-standby replication over the journal
+// WAL: a fencing lease (this file), a standby that tails the primary's
+// journal and replays-to-follow (standby.go), and a sqldb read replica
+// fed from the journal's SQL-effect stream (sqlreplica.go).
+//
+// The failover protocol is the classic lease-fenced one:
+//
+//   - The primary holds a file lease next to the WAL, stamped with a
+//     monotonically increasing fencing epoch, and renews it as a
+//     heartbeat. Every journal append runs an AppendGuard that checks
+//     the lease; the guard runs under the recorder mutex, so once it
+//     observes a newer epoch no further record leaves that recorder.
+//   - A standby that observes the lease expired acquires it with
+//     epoch+1 (the rename of the lease file is the takeover commit
+//     point), drains the tail of the WAL, and opens its own recorder.
+//   - A paused-then-resumed old primary cannot split-brain: its next
+//     append re-checks the lease, sees the advanced epoch, and fails
+//     with journal.ErrFenced — permanently, the refusal latches.
+package replica
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"wfsql/internal/journal"
+)
+
+// LeaseName is the lease file's name inside the journal directory.
+const LeaseName = "lease.json"
+
+// ErrLeaseHeld is returned by Acquire while another holder's lease is
+// still live (not expired).
+var ErrLeaseHeld = errors.New("replica: lease held by a live holder")
+
+// ErrLeaseLost is returned by Renew when the lease no longer names the
+// renewing holder at the expected epoch — a standby took over.
+var ErrLeaseLost = errors.New("replica: lease lost (epoch advanced)")
+
+// LeaseState is the durable content of the lease file.
+type LeaseState struct {
+	// Epoch is the fencing epoch: strictly increased by every
+	// acquisition, never by renewal. A writer holding epoch E must stop
+	// the moment it observes any epoch > E.
+	Epoch int64 `json:"epoch"`
+	// Holder identifies the current owner (free-form; typically a node
+	// name).
+	Holder string `json:"holder"`
+	// RenewedUnixNano is the holder's last heartbeat, on the clock of
+	// whoever wrote it.
+	RenewedUnixNano int64 `json:"renewed_unix_nano"`
+}
+
+// Renewed returns the last heartbeat as a time.
+func (s LeaseState) Renewed() time.Time { return time.Unix(0, s.RenewedUnixNano) }
+
+// Lease is a file-based fencing lease. The file lives next to the WAL
+// so primary and standby coordinate through the same directory they
+// already share for journal shipping. Updates are atomic
+// (write-temp-fsync-rename), so readers never observe a torn lease; the
+// rename publishing an acquisition is the takeover commit point.
+//
+// A Lease value is safe for concurrent use (heartbeat goroutine +
+// append guard).
+type Lease struct {
+	path string
+	ttl  time.Duration
+
+	mu  sync.Mutex
+	now func() time.Time
+	// Guard cache: re-reading the lease file on every journal append
+	// would put a file read on the hot path, so the guard stats the
+	// file and re-reads only when it changed.
+	cachedState LeaseState
+	cachedStat  os.FileInfo
+}
+
+// DefaultTTL is the lease liveness window: a lease whose heartbeat is
+// older than this is expired and may be taken over.
+const DefaultTTL = 2 * time.Second
+
+// OpenLease returns a handle on the lease file inside dir (the journal
+// directory). ttl <= 0 selects DefaultTTL. The file itself is created
+// by the first Acquire.
+func OpenLease(dir string, ttl time.Duration) *Lease {
+	if ttl <= 0 {
+		ttl = DefaultTTL
+	}
+	return &Lease{path: filepath.Join(dir, LeaseName), ttl: ttl, now: time.Now}
+}
+
+// SetClock injects the time source used for expiry decisions and
+// heartbeat stamps (tests advance a fake clock instead of sleeping
+// through real TTLs).
+func (l *Lease) SetClock(now func() time.Time) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.now = now
+}
+
+// TTL returns the liveness window.
+func (l *Lease) TTL() time.Duration { return l.ttl }
+
+// Path returns the lease file path.
+func (l *Lease) Path() string { return l.path }
+
+// Read returns the current durable lease state. A missing file reads as
+// the zero state (epoch 0, no holder): never held.
+func (l *Lease) Read() (LeaseState, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.readLocked()
+}
+
+func (l *Lease) readLocked() (LeaseState, error) {
+	buf, err := os.ReadFile(l.path)
+	if os.IsNotExist(err) {
+		return LeaseState{}, nil
+	}
+	if err != nil {
+		return LeaseState{}, fmt.Errorf("replica: read lease: %w", err)
+	}
+	var st LeaseState
+	if err := json.Unmarshal(buf, &st); err != nil {
+		return LeaseState{}, fmt.Errorf("replica: decode lease: %w", err)
+	}
+	return st, nil
+}
+
+// writeLocked atomically publishes st: temp file, fsync, rename. The
+// rename is the commit point — a crash before it leaves the previous
+// lease intact, a reader after it sees the new state whole.
+func (l *Lease) writeLocked(st LeaseState) error {
+	buf, err := json.Marshal(st)
+	if err != nil {
+		return fmt.Errorf("replica: encode lease: %w", err)
+	}
+	tmp := l.path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("replica: write lease: %w", err)
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("replica: write lease: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("replica: sync lease: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("replica: close lease: %w", err)
+	}
+	if err := os.Rename(tmp, l.path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("replica: publish lease: %w", err)
+	}
+	return nil
+}
+
+// expiredLocked reports whether st's heartbeat is stale. The zero state
+// (never held) is expired by definition.
+func (l *Lease) expiredLocked(st LeaseState) bool {
+	if st.Holder == "" {
+		return true
+	}
+	return l.now().Sub(st.Renewed()) > l.ttl
+}
+
+// Acquire takes the lease for holder, advancing the fencing epoch. It
+// succeeds when the lease was never held, has expired, or is already
+// held by this same holder (re-acquisition also advances the epoch —
+// useful for a primary restarting in place). While another holder's
+// lease is live it returns ErrLeaseHeld with the observed state, so a
+// standby can compute how long to wait.
+func (l *Lease) Acquire(holder string) (LeaseState, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st, err := l.readLocked()
+	if err != nil {
+		return st, err
+	}
+	if st.Holder != holder && !l.expiredLocked(st) {
+		return st, fmt.Errorf("%w: %s at epoch %d", ErrLeaseHeld, st.Holder, st.Epoch)
+	}
+	next := LeaseState{Epoch: st.Epoch + 1, Holder: holder, RenewedUnixNano: l.now().UnixNano()}
+	if err := l.writeLocked(next); err != nil {
+		return st, err
+	}
+	return next, nil
+}
+
+// Renew heart-beats the lease: it refreshes the timestamp without
+// changing the epoch, but only while the lease still names holder at
+// exactly epoch. Anything else means a takeover happened and the caller
+// must treat itself as fenced.
+func (l *Lease) Renew(holder string, epoch int64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st, err := l.readLocked()
+	if err != nil {
+		return err
+	}
+	if st.Holder != holder || st.Epoch != epoch {
+		return fmt.Errorf("%w: lease at epoch %d held by %q, renewer %q at epoch %d",
+			ErrLeaseLost, st.Epoch, st.Holder, holder, epoch)
+	}
+	return l.writeLocked(LeaseState{Epoch: epoch, Holder: holder, RenewedUnixNano: l.now().UnixNano()})
+}
+
+// Guard returns a journal.AppendGuard enforcing the fence for a writer
+// holding epoch: every append re-checks the lease and fails with (a
+// wrap of) journal.ErrFenced once the writer is no longer the live
+// holder. The check is a stat — the lease file is re-read only when it
+// changed — so the hot path costs one stat syscall, not a read.
+//
+// Two conditions fence, and together they exclude split-brain:
+//
+//   - The lease epoch advanced past the writer's: a standby took over.
+//     The guard runs under the recorder mutex, so once it observes the
+//     new epoch no further record leaves this recorder.
+//   - The writer's own lease is expired: the heartbeat stopped (the
+//     process was paused, or its heartbeat goroutine died) long enough
+//     ago that a standby is entitled to take over. Self-fencing here is
+//     what closes the pause window — a primary resumed from a long stop
+//     refuses its own appends even in the instant before the standby's
+//     takeover is visible, because a standby only acquires an expired
+//     lease and the primary never writes under one. The promoted
+//     standby's segment rotation (Standby.Promote) physically fences
+//     the residual clock-skew window on top.
+func (l *Lease) Guard(epoch int64) journal.AppendGuard {
+	return func(*journal.Record) error {
+		st, err := l.observe()
+		if err != nil {
+			// Fail closed: a writer that cannot see the lease must not
+			// assume it still holds it.
+			return fmt.Errorf("%w: %v", journal.ErrFenced, err)
+		}
+		if st.Epoch > epoch {
+			return fmt.Errorf("%w: writer epoch %d, lease epoch %d held by %q",
+				journal.ErrFenced, epoch, st.Epoch, st.Holder)
+		}
+		l.mu.Lock()
+		stale := l.expiredLocked(st)
+		l.mu.Unlock()
+		if stale {
+			return fmt.Errorf("%w: lease epoch %d expired (heartbeat stale; renew before writing)",
+				journal.ErrFenced, epoch)
+		}
+		return nil
+	}
+}
+
+// observe returns the lease state, via the stat cache.
+func (l *Lease) observe() (LeaseState, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	fi, err := os.Stat(l.path)
+	if os.IsNotExist(err) {
+		return LeaseState{}, nil
+	}
+	if err != nil {
+		return LeaseState{}, err
+	}
+	if l.cachedStat != nil && os.SameFile(l.cachedStat, fi) &&
+		l.cachedStat.ModTime().Equal(fi.ModTime()) && l.cachedStat.Size() == fi.Size() {
+		return l.cachedState, nil
+	}
+	st, err := l.readLocked()
+	if err != nil {
+		return LeaseState{}, err
+	}
+	l.cachedStat, l.cachedState = fi, st
+	return st, nil
+}
+
+// AttachPrimary makes rec a lease-fenced primary writer: it acquires
+// the lease for holder (advancing the fencing epoch), stamps the epoch
+// on every subsequent record, and installs the guard so appends are
+// refused the moment the writer stops being the live holder. The caller
+// owns keeping the lease renewed (StartHeartbeat or manual Renew).
+func AttachPrimary(rec *journal.Recorder, l *Lease, holder string) (LeaseState, error) {
+	st, err := l.Acquire(holder)
+	if err != nil {
+		return st, err
+	}
+	rec.SetEpoch(st.Epoch)
+	rec.SetAppendGuard(l.Guard(st.Epoch))
+	return st, nil
+}
+
+// StartHeartbeat renews the lease every interval on a background
+// goroutine until the returned stop function is called or a renewal
+// fails (takeover observed, or I/O error). onLost, if non-nil, is
+// invoked once with the terminal error. Deterministic tests drive
+// Renew directly instead.
+func (l *Lease) StartHeartbeat(holder string, epoch int64, interval time.Duration, onLost func(error)) (stop func()) {
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				if err := l.Renew(holder, epoch); err != nil {
+					if onLost != nil {
+						onLost(err)
+					}
+					return
+				}
+			}
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
+}

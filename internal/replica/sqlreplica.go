@@ -1,0 +1,153 @@
+package replica
+
+import (
+	"fmt"
+
+	"wfsql/internal/journal"
+	"wfsql/internal/sqldb"
+)
+
+// This file is the sqldb half of replication: CaptureSQL journals the
+// primary database's change stream as KindSQLEffect WAL records, and
+// SQLReplica replays those records onto a read-only replica database
+// for query/reporting offload.
+//
+// Staleness contract: a SQL-effect record becomes visible to the
+// replica once it is (a) written to the WAL — SQL effects are not
+// commit-critical, so they ride the recorder's sync batch — and (b)
+// picked up by the standby's next CatchUp poll. The replica's staleness
+// bound is therefore one sync-batch flush plus one poll interval; the
+// replica.lag_records and replica.lag_ms gauges report the observed
+// value. Reads on the replica see a prefix of the primary's change
+// stream — never a permutation — because capture happens under the
+// primary engine's exclusive lock (sink order is execution order) and
+// WAL framing preserves append order end to end.
+
+// CaptureSQL wires a database's change stream into the journal: every
+// successful top-level mutating statement on db is appended to rec as a
+// KindSQLEffect record, making the WAL the single replication channel
+// for both workflow lifecycle and SQL state. Pass a nil recorder to
+// stop capturing.
+//
+// The sink runs under the database's exclusive engine lock, so the
+// append must not re-enter the database — it does not. An append
+// refused because the primary is fenced is deliberately swallowed: a
+// fenced primary's changes are no longer authoritative, and the refusal
+// is already counted by Recorder.FencedWrites and the
+// replica.fenced_writes metric.
+func CaptureSQL(db *sqldb.DB, rec *journal.Recorder) {
+	if rec == nil {
+		db.SetChangeSink(nil)
+		return
+	}
+	db.SetChangeSink(func(c sqldb.Change) {
+		e := journal.SQLEffectRecord{
+			Seq:     c.Seq,
+			Session: c.Session,
+			Kind:    c.Kind,
+			SQL:     c.SQL,
+			Named:   sqldb.EncodeNamed(c.Named),
+		}
+		if len(c.Params) > 0 {
+			e.Params = make([]string, len(c.Params))
+			for i, p := range c.Params {
+				e.Params[i] = sqldb.EncodeValue(p)
+			}
+		}
+		rec.SQLEffect(e) //nolint:errcheck // fenced/failed capture is surfaced via metrics
+	})
+}
+
+// SQLReplica replays the journal's SQL-effect stream onto a read-only
+// replica database. Wire its ApplyEffect into Standby.OnSQLEffect and
+// every CatchUp advances the replica in lock-step with the standby.
+type SQLReplica struct {
+	db *sqldb.DB
+	ap *sqldb.Applier
+}
+
+// NewSQLReplica wraps an existing database as a replica starting at the
+// given bootstrap floor (see sqldb.DB.DumpWithSeq; 0 replays the stream
+// from its beginning). The database is switched to read-only replica
+// mode: application sessions get ErrReadOnly on mutation, only the
+// replication applier writes.
+func NewSQLReplica(db *sqldb.DB, floor int64) *SQLReplica {
+	db.SetReadOnly(true)
+	return &SQLReplica{db: db, ap: sqldb.NewApplier(db, floor)}
+}
+
+// BootstrapSQLReplica builds a replica of primary from a consistent
+// dump: the dump script seeds a fresh database and the paired sequence
+// number becomes the applier floor, so changes already contained in the
+// dump are skipped rather than double-applied.
+func BootstrapSQLReplica(primary *sqldb.DB, name string) (*SQLReplica, error) {
+	script, seq := primary.DumpWithSeq()
+	db := sqldb.Open(name)
+	if _, err := db.ExecScript(script); err != nil {
+		return nil, fmt.Errorf("replica: bootstrap from dump: %w", err)
+	}
+	return NewSQLReplica(db, seq), nil
+}
+
+// ApplyEffect replays one decoded SQL-effect record. Malformed encoded
+// parameters are an error (the stream is corrupt, not just stale).
+func (r *SQLReplica) ApplyEffect(e journal.SQLEffectRecord) error {
+	c := sqldb.Change{Seq: e.Seq, Session: e.Session, Kind: e.Kind, SQL: e.SQL}
+	if len(e.Params) > 0 {
+		c.Params = make([]sqldb.Value, len(e.Params))
+		for i, p := range e.Params {
+			v, err := sqldb.DecodeValue(p)
+			if err != nil {
+				return fmt.Errorf("replica: effect seq %d param %d: %w", e.Seq, i, err)
+			}
+			c.Params[i] = v
+		}
+	}
+	if len(e.Named) > 0 {
+		named, err := sqldb.DecodeNamed(e.Named)
+		if err != nil {
+			return fmt.Errorf("replica: effect seq %d named params: %w", e.Seq, err)
+		}
+		c.Named = named
+	}
+	return r.ap.Apply(c)
+}
+
+// DB returns the replica database (for read/reporting sessions).
+func (r *SQLReplica) DB() *sqldb.DB { return r.db }
+
+// Applied reports how many changes the replica has replayed.
+func (r *SQLReplica) Applied() int64 { return r.ap.Applied() }
+
+// Skipped reports changes skipped below the bootstrap floor (plus
+// orphaned transaction tails straddling it).
+func (r *SQLReplica) Skipped() int64 { return r.ap.Skipped() }
+
+// OpenTransactions reports origin transactions currently open on the
+// replica.
+func (r *SQLReplica) OpenTransactions() int { return r.ap.OpenTransactions() }
+
+// Complete verifies stream completeness against the standby that fed
+// this replica: if the tailer skipped whole WAL segments, SQL-effect
+// records are gone for good and the replica must be re-bootstrapped
+// from a fresh dump. Lifecycle state self-heals (checkpoints carry full
+// snapshots); SQL effects do not.
+func (r *SQLReplica) Complete(s *Standby) error {
+	if n := s.SkippedSegments(); n > 0 {
+		return fmt.Errorf("replica: %d WAL segment(s) rotated away un-tailed; re-bootstrap required", n)
+	}
+	if n := s.BadSQLEffects(); n > 0 {
+		return fmt.Errorf("replica: %d malformed SQL-effect record(s) skipped; re-bootstrap required", n)
+	}
+	return nil
+}
+
+// Promote releases the replica for direct writes after a takeover:
+// orphaned transactions (origin sessions that died mid-transaction) are
+// rolled back and read-only mode is lifted. Returns how many orphans
+// were aborted.
+func (r *SQLReplica) Promote() int {
+	n := r.ap.AbortOpen()
+	r.db.SetReadOnly(false)
+	return n
+}

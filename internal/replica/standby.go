@@ -1,0 +1,195 @@
+package replica
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"wfsql/internal/journal"
+	"wfsql/internal/obsv"
+)
+
+// Standby is a warm standby: it tails the primary's WAL, folding every
+// lifecycle record into a journal.State so that at any moment it holds
+// the same materialized view a crash-recovery replay would produce —
+// replay-to-follow instead of replay-at-recovery. On primary failure,
+// Promote performs the lease-fenced takeover and hands back a live
+// Recorder ready for a rebuilt host to resume the in-flight instances.
+//
+// KindSQLEffect records (the sqldb change stream, see CaptureSQL) are
+// not lifecycle state; they are forwarded to the OnSQLEffect consumer —
+// typically a SQLReplica — as they stream past.
+//
+// A Standby is single-goroutine, like the Tailer it wraps: one caller
+// drives CatchUp/Promote.
+type Standby struct {
+	dir    string
+	lease  *Lease
+	tailer *journal.Tailer
+	state  *journal.State
+	sql    func(journal.SQLEffectRecord) error
+	obs    *obsv.Observability
+
+	now      func() time.Time
+	promoted bool
+	sqlErrs  int64
+}
+
+// NewStandby returns a standby tailing the journal directory dir,
+// coordinating takeover through lease. The primary need not have
+// started yet.
+func NewStandby(dir string, lease *Lease) *Standby {
+	return &Standby{
+		dir:    dir,
+		lease:  lease,
+		tailer: journal.NewTailer(dir),
+		state:  journal.NewState(),
+		now:    time.Now,
+	}
+}
+
+// SetObservability attaches a tracing/metrics bundle: each catch-up
+// updates the replica.lag_records and replica.lag_ms gauges, and
+// promotion counts replica.takeovers and emits a span. Nil detaches.
+func (s *Standby) SetObservability(o *obsv.Observability) { s.obs = o }
+
+// SetClock injects the staleness clock (tests).
+func (s *Standby) SetClock(now func() time.Time) { s.now = now }
+
+// OnSQLEffect installs the consumer for tailed SQL-effect records. An
+// error from the consumer aborts the poll without advancing the cursor
+// past the failed record, so the next CatchUp redelivers it.
+func (s *Standby) OnSQLEffect(fn func(journal.SQLEffectRecord) error) { s.sql = fn }
+
+// CatchUp drains everything the primary has appended since the last
+// call, folding lifecycle records into the standby state and forwarding
+// SQL effects. It returns the number of records absorbed — which is
+// also how many records stale the standby had become since the previous
+// call (exported as the replica.lag_records gauge).
+func (s *Standby) CatchUp() (int, error) {
+	n, err := s.tailer.Poll(func(rec *journal.Record) error {
+		s.state.Apply(rec)
+		if rec.Kind == journal.KindSQLEffect && s.sql != nil {
+			e, ok := journal.DecodeSQLEffect(rec)
+			if !ok {
+				s.sqlErrs++
+				return nil // malformed: count and keep streaming
+			}
+			if err := s.sql(e); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	m := s.obs.M()
+	m.Gauge("replica.lag_records").SetInt(int64(n))
+	if t := s.tailer.LastRecordTime(); err == nil && !t.IsZero() {
+		// Caught up to the tail: staleness is the age of the newest
+		// record. (A poll error leaves the gauge at its prior value —
+		// the lag is unknown, not zero.)
+		m.Gauge("replica.lag_ms").Set(float64(s.now().Sub(t).Milliseconds()))
+	}
+	return n, err
+}
+
+// State returns a deep copy of the standby's materialized view.
+func (s *Standby) State() *journal.State { return s.state.Clone() }
+
+// InFlight returns the journals of instances that were in flight at the
+// last CatchUp — the set a promoted standby's host must resume.
+func (s *Standby) InFlight() []*journal.InstanceJournal { return s.state.InFlight() }
+
+// Delivered reports total records absorbed over the standby's life.
+func (s *Standby) Delivered() int64 { return s.tailer.Delivered() }
+
+// LastRecordTime returns the Time stamp of the newest absorbed record
+// (zero before any). now − LastRecordTime is the replica's staleness in
+// wall-clock terms once caught up.
+func (s *Standby) LastRecordTime() time.Time { return s.tailer.LastRecordTime() }
+
+// SkippedSegments surfaces the tailer's loss detector: non-zero means
+// whole WAL segments rotated away un-tailed. Lifecycle state self-heals
+// at the next checkpoint; a SQL replica must re-bootstrap (see
+// SQLReplica.Complete).
+func (s *Standby) SkippedSegments() int64 { return s.tailer.SkippedSegments() }
+
+// BadSQLEffects counts malformed SQL-effect records skipped.
+func (s *Standby) BadSQLEffects() int64 { return s.sqlErrs }
+
+// Promote performs the lease-fenced takeover and returns the standby's
+// own live Recorder, positioned exactly where the fenced primary
+// stopped:
+//
+//  1. Acquire the lease as holder, advancing the fencing epoch — the
+//     lease-file rename is the takeover commit point. While the old
+//     primary's lease is still live this fails with ErrLeaseHeld
+//     (promotion is only legal once the heartbeat went stale, or after
+//     the primary cleanly released by letting its TTL lapse).
+//  2. Drain the WAL tail: records the primary appended before the fence
+//     landed are part of history and must be absorbed, records after it
+//     cannot exist (its guard refuses them under the recorder mutex).
+//  3. Open a Recorder on the directory (scan + torn-tail truncation —
+//     an append that was mid-write when the primary died is dropped
+//     here, exactly as crash recovery would), stamp it with the new
+//     epoch, and install the lease guard so this recorder is itself
+//     fenced by any later takeover.
+//  4. Physically fence: force one checkpoint rotation, so the WAL path
+//     names a fresh inode. A zombie primary append that slipped past
+//     its guard check before the lease rename landed can now only reach
+//     the orphaned old inode, never the authoritative log.
+//
+// The caller attaches the returned recorder to a rebuilt host and
+// resumes Recorder.InFlight() (or the standby's own InFlight, which
+// matches by construction).
+func (s *Standby) Promote(holder string) (*journal.Recorder, error) {
+	if s.promoted {
+		return nil, fmt.Errorf("replica: standby already promoted")
+	}
+	span := s.obs.T().Start(0, obsv.KindJournal, "replica.promote")
+	fail := func(err error) (*journal.Recorder, error) {
+		span.Set("error", err.Error()).End(obsv.OutcomeFault)
+		return nil, err
+	}
+
+	st, err := s.lease.Acquire(holder)
+	if err != nil {
+		return fail(err)
+	}
+	if _, err := s.CatchUp(); err != nil {
+		return fail(fmt.Errorf("replica: promote: final catch-up: %w", err))
+	}
+	s.tailer.Close()
+
+	rec, err := journal.Open(s.dir)
+	if err != nil {
+		return fail(fmt.Errorf("replica: promote: open journal: %w", err))
+	}
+	// The catch-up and the open's full-WAL replay can outlast the TTL;
+	// re-stamp the heartbeat before installing the guard so the new
+	// epoch does not self-fence on its very first append. (The epoch is
+	// already ours — nobody else can have acquired in between without
+	// advancing past it, which the guard would rightly catch.)
+	if err := s.lease.Renew(holder, st.Epoch); err != nil {
+		rec.Close()
+		return fail(fmt.Errorf("replica: promote: renew after catch-up: %w", err))
+	}
+	rec.SetEpoch(st.Epoch)
+	rec.SetAppendGuard(s.lease.Guard(st.Epoch))
+	// Physical fence: publish a fresh segment under the WAL path. The
+	// rotation setting is promotion-local; callers wanting rotation as
+	// an ongoing policy re-enable it on the returned recorder.
+	rec.SetRotateAtCheckpoint(true)
+	if err := rec.Checkpoint(); err != nil {
+		rec.Close()
+		return fail(fmt.Errorf("replica: promote: fence rotation: %w", err))
+	}
+	rec.SetRotateAtCheckpoint(false)
+
+	s.promoted = true
+	s.obs.M().Counter("replica.takeovers").Inc()
+	span.Set("epoch", strconv.FormatInt(st.Epoch, 10)).
+		Set("holder", holder).
+		Set("records", strconv.FormatInt(s.tailer.Delivered(), 10)).
+		End(obsv.OutcomeOK)
+	return rec, nil
+}

@@ -1,0 +1,212 @@
+package sqldb
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is the replica half of statement-based replication. The
+// primary's change stream (SetChangeSink) is a sequence of top-level
+// mutating statements in engine execution order, keyed by origin
+// session; an Applier replays that stream against a replica database,
+// routing each statement onto a dedicated replica session per origin
+// session so interleaved transactions (and their rollbacks) replay with
+// the same scoping they had on the primary.
+
+// ErrReadOnly is wrapped by the refusal a mutating statement receives
+// on a database in replica mode (SetReadOnly).
+var ErrReadOnly = errors.New("sqldb: database is read-only (replica mode)")
+
+// readOnlyError carries the refused statement kind and a permanent
+// classification (retrying cannot make a replica writable).
+type readOnlyError struct{ kind string }
+
+func (e *readOnlyError) Error() string {
+	return "sqldb: read-only replica refused " + e.kind
+}
+func (e *readOnlyError) Unwrap() error   { return ErrReadOnly }
+func (e *readOnlyError) Temporary() bool { return false }
+
+// Applier replays a change stream onto a replica database. It is not
+// safe for concurrent use: the stream is inherently ordered, so a
+// single goroutine (the journal tailer's consumer) drives Apply.
+type Applier struct {
+	db       *DB
+	floor    int64 // changes with Seq <= floor predate the bootstrap dump
+	sessions map[int64]*Session
+	applied  int64
+	skipped  int64
+}
+
+// NewApplier returns an applier targeting db, skipping changes with
+// sequence numbers at or below floor (the ChangeSeq half of the
+// DumpWithSeq bootstrap point; pass 0 when the replica starts from the
+// stream's beginning).
+func NewApplier(db *DB, floor int64) *Applier {
+	return &Applier{db: db, floor: floor, sessions: map[int64]*Session{}}
+}
+
+// session returns (minting if needed) the replica session standing in
+// for the given origin session. Applier sessions bypass the read-only
+// gate and are never re-captured by a change sink on the replica.
+func (a *Applier) session(origin int64) *Session {
+	s, ok := a.sessions[origin]
+	if !ok {
+		s = &Session{db: a.db, id: a.db.sessionIDs.Add(1), applier: true}
+		a.sessions[origin] = s
+	}
+	return s
+}
+
+// Apply replays one change. Changes at or below the bootstrap floor are
+// skipped, as are COMMIT/ROLLBACK for transactions the replica never
+// saw open (the tail of a transaction that straddled the bootstrap
+// point — its effects are already in the dump, matching the primary's
+// read-uncommitted isolation).
+func (a *Applier) Apply(c Change) error {
+	if c.Seq != 0 && c.Seq <= a.floor {
+		a.skipped++
+		return nil
+	}
+	s := a.session(c.Session)
+	if (c.Kind == "COMMIT" || c.Kind == "ROLLBACK") && !s.InTransaction() {
+		a.skipped++
+		return nil
+	}
+	st, parse, hit, err := a.db.cachedParse(c.SQL)
+	if err != nil {
+		return fmt.Errorf("sqldb: apply seq %d: %w", c.Seq, err)
+	}
+	if _, _, err := s.execStmt(st, parse, cacheLabel(hit), c.SQL, c.Params, c.Named); err != nil {
+		return fmt.Errorf("sqldb: apply seq %d (%s): %w", c.Seq, c.Kind, err)
+	}
+	a.applied++
+	return nil
+}
+
+// AbortOpen rolls back every replica transaction still open — the
+// orphans of origin sessions that died mid-transaction (a primary
+// crash) or of a stream that ended. Promotion calls this before the
+// replica serves queries as the new authority's store.
+func (a *Applier) AbortOpen() int {
+	n := 0
+	for _, s := range a.sessions {
+		if s.InTransaction() {
+			s.Rollback()
+			n++
+		}
+	}
+	return n
+}
+
+// Applied reports how many changes have been replayed.
+func (a *Applier) Applied() int64 { return a.applied }
+
+// Skipped reports how many changes were skipped (below the bootstrap
+// floor or orphaned transaction tails).
+func (a *Applier) Skipped() int64 { return a.skipped }
+
+// OpenTransactions reports how many replica sessions currently hold an
+// open transaction (in-flight origin transactions).
+func (a *Applier) OpenTransactions() int {
+	n := 0
+	for _, s := range a.sessions {
+		if s.InTransaction() {
+			n++
+		}
+	}
+	return n
+}
+
+// --- value codec ----------------------------------------------------------
+
+// EncodeValue renders a value as a compact, self-describing string for
+// transport inside journal records: "n" (NULL), "i:42", "f:1.5",
+// "s:text", "b:t"/"b:f". DecodeValue inverts it.
+func EncodeValue(v Value) string {
+	switch v.K {
+	case KindInt:
+		return "i:" + strconv.FormatInt(v.I, 10)
+	case KindFloat:
+		return "f:" + strconv.FormatFloat(v.F, 'g', -1, 64)
+	case KindString:
+		return "s:" + v.S
+	case KindBool:
+		if v.B {
+			return "b:t"
+		}
+		return "b:f"
+	}
+	return "n"
+}
+
+// DecodeValue parses an EncodeValue string back into a Value.
+func DecodeValue(s string) (Value, error) {
+	if s == "n" {
+		return Null(), nil
+	}
+	if len(s) < 2 || s[1] != ':' {
+		return Null(), fmt.Errorf("sqldb: malformed encoded value %q", s)
+	}
+	body := s[2:]
+	switch s[0] {
+	case 'i':
+		i, err := strconv.ParseInt(body, 10, 64)
+		if err != nil {
+			return Null(), fmt.Errorf("sqldb: malformed int value %q", s)
+		}
+		return Int(i), nil
+	case 'f':
+		f, err := strconv.ParseFloat(body, 64)
+		if err != nil {
+			return Null(), fmt.Errorf("sqldb: malformed float value %q", s)
+		}
+		return Float(f), nil
+	case 's':
+		return Str(body), nil
+	case 'b':
+		return Bool(body == "t"), nil
+	}
+	return Null(), fmt.Errorf("sqldb: unknown value tag %q", s)
+}
+
+// EncodeNamed flattens a named-parameter map into a deterministic
+// "k=enc" slice (sorted by key) for journal transport.
+func EncodeNamed(named map[string]Value) []string {
+	if len(named) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(named))
+	for k := range named {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]string, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, k+"="+EncodeValue(named[k]))
+	}
+	return out
+}
+
+// DecodeNamed inverts EncodeNamed.
+func DecodeNamed(pairs []string) (map[string]Value, error) {
+	if len(pairs) == 0 {
+		return nil, nil
+	}
+	named := make(map[string]Value, len(pairs))
+	for _, p := range pairs {
+		eq := strings.IndexByte(p, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("sqldb: malformed named pair %q", p)
+		}
+		v, err := DecodeValue(p[eq+1:])
+		if err != nil {
+			return nil, err
+		}
+		named[p[:eq]] = v
+	}
+	return named, nil
+}

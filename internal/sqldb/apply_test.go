@@ -1,0 +1,289 @@
+package sqldb
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// streamTo installs a change sink on primary that forwards every change
+// into the returned slice pointer (synchronously; tests are
+// single-goroutine unless noted).
+func captureChanges(db *DB) *[]Change {
+	var changes []Change
+	p := &changes
+	db.SetChangeSink(func(c Change) { *p = append(*p, c) })
+	return p
+}
+
+func TestChangeStreamReplaysOnReplica(t *testing.T) {
+	primary := Open("p")
+	changes := captureChanges(primary)
+
+	s := primary.Session()
+	mustExec := func(sql string, params ...Value) {
+		t.Helper()
+		if _, err := s.Exec(sql, params...); err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+	}
+	mustExec("CREATE TABLE t (id INTEGER PRIMARY KEY, name VARCHAR)")
+	mustExec("CREATE SEQUENCE ids START WITH 10")
+	mustExec("INSERT INTO t VALUES (NEXTVAL('ids'), ?)", Str("a"))
+	mustExec("INSERT INTO t VALUES (NEXTVAL('ids'), ?)", Str("b"))
+	mustExec("UPDATE t SET name = ? WHERE id = ?", Str("a2"), Int(10))
+	if _, err := s.ExecNamed("DELETE FROM t WHERE id = :id", map[string]Value{"id": Int(11)}); err != nil {
+		t.Fatal(err)
+	}
+	// SELECTs must not appear in the stream.
+	if _, err := s.Query("SELECT * FROM t"); err != nil {
+		t.Fatal(err)
+	}
+
+	replica := Open("r")
+	ap := NewApplier(replica, 0)
+	for _, c := range *changes {
+		if c.Kind == "SELECT" {
+			t.Fatalf("SELECT captured in change stream: %+v", c)
+		}
+		if err := ap.Apply(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	pd, rd := primary.Dump(), replica.Dump()
+	if pd != rd {
+		t.Fatalf("replica diverged:\nprimary:\n%s\nreplica:\n%s", pd, rd)
+	}
+	// Sequence state must replicate too (NEXTVAL advanced identically).
+	res, err := replica.Exec("SELECT NEXTVAL('ids')")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := res.Rows[0][0].AsInt(); n != 12 {
+		t.Fatalf("replica sequence at %d, want 12", n)
+	}
+}
+
+// TestChangeStreamInterleavedTransactions: two primary sessions
+// interleave explicit transactions, one commits and one rolls back; the
+// applier routes by origin session so the replica converges to the
+// committed state only.
+func TestChangeStreamInterleavedTransactions(t *testing.T) {
+	primary := Open("p")
+	primary.MustExec("CREATE TABLE t (id INTEGER)")
+	changes := captureChanges(primary)
+
+	s1, s2 := primary.Session(), primary.Session()
+	step := func(s *Session, sql string) {
+		t.Helper()
+		if _, err := s.Exec(sql); err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+	}
+	step(s1, "BEGIN")
+	step(s2, "BEGIN")
+	step(s1, "INSERT INTO t VALUES (1)")
+	step(s2, "INSERT INTO t VALUES (100)")
+	step(s1, "INSERT INTO t VALUES (2)")
+	step(s2, "ROLLBACK")
+	step(s1, "COMMIT")
+
+	replica := Open("r")
+	replica.MustExec("CREATE TABLE t (id INTEGER)")
+	ap := NewApplier(replica, 0)
+	for _, c := range *changes {
+		if err := ap.Apply(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := replica.MustExec("SELECT COUNT(*) FROM t")
+	if n, _ := res.Rows[0][0].AsInt(); n != 2 {
+		t.Fatalf("replica has %d rows, want 2 (s2's txn rolled back)", n)
+	}
+	if ap.OpenTransactions() != 0 {
+		t.Fatalf("replica holds %d open txns after balanced stream", ap.OpenTransactions())
+	}
+}
+
+// TestApplierAbortOpen: a primary that dies mid-transaction leaves the
+// replica's matching session open; AbortOpen rolls it back.
+func TestApplierAbortOpen(t *testing.T) {
+	primary := Open("p")
+	primary.MustExec("CREATE TABLE t (id INTEGER)")
+	changes := captureChanges(primary)
+
+	s := primary.Session()
+	s.Exec("BEGIN")
+	s.Exec("INSERT INTO t VALUES (1)")
+	// ... primary crashes: no COMMIT ever captured.
+
+	replica := Open("r")
+	replica.MustExec("CREATE TABLE t (id INTEGER)")
+	ap := NewApplier(replica, 0)
+	for _, c := range *changes {
+		if err := ap.Apply(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ap.OpenTransactions() != 1 {
+		t.Fatalf("open txns = %d, want 1", ap.OpenTransactions())
+	}
+	if n := ap.AbortOpen(); n != 1 {
+		t.Fatalf("AbortOpen rolled back %d, want 1", n)
+	}
+	res := replica.MustExec("SELECT COUNT(*) FROM t")
+	if n, _ := res.Rows[0][0].AsInt(); n != 0 {
+		t.Fatalf("replica has %d rows after abort, want 0", n)
+	}
+}
+
+// TestBootstrapFloorSkipsDumpedChanges: a replica bootstrapped from
+// DumpWithSeq must not re-apply changes already contained in the dump.
+func TestBootstrapFloorSkipsDumpedChanges(t *testing.T) {
+	primary := Open("p")
+	changes := captureChanges(primary)
+	s := primary.Session()
+	s.Exec("CREATE TABLE t (id INTEGER)")
+	s.Exec("INSERT INTO t VALUES (1)")
+
+	script, seq := primary.DumpWithSeq()
+	if seq != 2 {
+		t.Fatalf("bootstrap seq = %d, want 2", seq)
+	}
+
+	s.Exec("INSERT INTO t VALUES (2)")
+
+	replica := Open("r")
+	if _, err := replica.ExecScript(script); err != nil {
+		t.Fatal(err)
+	}
+	ap := NewApplier(replica, seq)
+	for _, c := range *changes {
+		if err := ap.Apply(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ap.Skipped() != 2 || ap.Applied() != 1 {
+		t.Fatalf("skipped=%d applied=%d, want 2/1", ap.Skipped(), ap.Applied())
+	}
+	res := replica.MustExec("SELECT COUNT(*) FROM t")
+	if n, _ := res.Rows[0][0].AsInt(); n != 2 {
+		t.Fatalf("replica has %d rows, want 2 (no double-apply)", n)
+	}
+}
+
+func TestReadOnlyReplicaRefusesWrites(t *testing.T) {
+	db := Open("r")
+	db.MustExec("CREATE TABLE t (id INTEGER)")
+	db.SetReadOnly(true)
+
+	if _, err := db.Exec("INSERT INTO t VALUES (1)"); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("INSERT on read-only replica: err = %v, want ErrReadOnly", err)
+	}
+	var tmp interface{ Temporary() bool }
+	if err := func() error { _, err := db.Exec("DROP TABLE t"); return err }(); !errors.As(err, &tmp) || tmp.Temporary() {
+		t.Fatalf("read-only refusal must be permanent, got %v", err)
+	}
+	// Reads still serve.
+	if _, err := db.Exec("SELECT COUNT(*) FROM t"); err != nil {
+		t.Fatalf("SELECT on read-only replica: %v", err)
+	}
+	// Applier sessions still write.
+	ap := NewApplier(db, 0)
+	if err := ap.Apply(Change{Seq: 1, Session: 7, Kind: "INSERT", SQL: "INSERT INTO t VALUES (1)"}); err != nil {
+		t.Fatalf("applier write on read-only replica: %v", err)
+	}
+	db.SetReadOnly(false)
+	if _, err := db.Exec("INSERT INTO t VALUES (2)"); err != nil {
+		t.Fatalf("write after leaving replica mode: %v", err)
+	}
+}
+
+// TestChangeStreamCapturesPreparedAndCall: prepared statements carry
+// their text into the stream; CALL replays the procedure on the
+// replica.
+func TestChangeStreamCapturesPreparedAndCall(t *testing.T) {
+	primary := Open("p")
+	changes := captureChanges(primary)
+	s := primary.Session()
+	s.Exec("CREATE TABLE t (id INTEGER, v VARCHAR)")
+	s.Exec(`CREATE PROCEDURE bump (pid) AS 'UPDATE t SET v = ''bumped'' WHERE id = :pid'`)
+	ps, err := s.Prepare("INSERT INTO t VALUES (?, ?)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := ps.Exec(Int(int64(i)), Str(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.Exec("CALL bump(1)"); err != nil {
+		t.Fatal(err)
+	}
+
+	replica := Open("r")
+	ap := NewApplier(replica, 0)
+	for _, c := range *changes {
+		if err := ap.Apply(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if pd, rd := primary.Dump(), replica.Dump(); pd != rd {
+		t.Fatalf("replica diverged:\nprimary:\n%s\nreplica:\n%s", pd, rd)
+	}
+	if primary.ChangesMissed() != 0 {
+		t.Fatalf("ChangesMissed = %d on text-carrying paths", primary.ChangesMissed())
+	}
+}
+
+// TestChangesMissedCountsTextlessWrites: the pre-parsed ExecStmt path
+// cannot be captured; with a sink installed the miss must be counted.
+func TestChangesMissedCountsTextlessWrites(t *testing.T) {
+	db := Open("p")
+	db.MustExec("CREATE TABLE t (id INTEGER)")
+	captureChanges(db)
+	st, err := Parse("INSERT INTO t VALUES (1)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := db.Session()
+	if _, err := s.ExecStmt(st, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if db.ChangesMissed() != 1 {
+		t.Fatalf("ChangesMissed = %d, want 1", db.ChangesMissed())
+	}
+}
+
+func TestValueCodecRoundTrip(t *testing.T) {
+	vals := []Value{
+		Null(), Int(0), Int(-42), Int(1 << 60), Float(3.25), Float(-0.5),
+		Str(""), Str("plain"), Str("i:tricky=с:утф"), Bool(true), Bool(false),
+	}
+	for _, v := range vals {
+		got, err := DecodeValue(EncodeValue(v))
+		if err != nil {
+			t.Fatalf("decode(encode(%v)): %v", v, err)
+		}
+		if got != v {
+			t.Fatalf("round trip %v -> %v", v, got)
+		}
+	}
+	named := map[string]Value{"a": Int(1), "zz": Str("x=y"), "m": Null()}
+	back, err := DecodeNamed(EncodeNamed(named))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(named) {
+		t.Fatalf("named round trip size %d, want %d", len(back), len(named))
+	}
+	for k, v := range named {
+		if back[k] != v {
+			t.Fatalf("named[%q] = %v, want %v", k, back[k], v)
+		}
+	}
+	if _, err := DecodeValue("x:bogus"); err == nil {
+		t.Fatal("unknown tag decoded without error")
+	}
+}

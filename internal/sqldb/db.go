@@ -59,6 +59,19 @@ type DB struct {
 	hookMu    sync.Mutex
 	execHook  ExecHook
 	statsSink StatsSink
+
+	// Change-data-capture plumbing (see SetChangeSink): sessionIDs mints
+	// the per-session origin ids the stream is keyed by, changeSeq is the
+	// global change sequence (advanced under the exclusive engine lock,
+	// so it orders exactly like execution), changesMissed counts mutating
+	// statements that executed without capturable SQL text, and readOnly
+	// puts the database in replica mode (only applier sessions may
+	// write).
+	changeSink    ChangeSink
+	sessionIDs    atomic.Int64
+	changeSeq     atomic.Int64
+	changesMissed atomic.Int64
+	readOnly      atomic.Bool
 }
 
 // stmtCacheCap bounds the parsed-statement cache. When an insert would
@@ -280,8 +293,80 @@ func (db *DB) RegisterProcedure(name string, fn NativeProc) {
 // Session opens a new session on the database. Sessions are cheap; each
 // workflow instance (or activity execution) typically uses its own.
 func (db *DB) Session() *Session {
-	return &Session{db: db}
+	return &Session{db: db, id: db.sessionIDs.Add(1)}
 }
+
+// Change is one entry of the database's change stream: a successfully
+// executed top-level mutating statement (IUD, DDL, CALL, and the
+// transaction boundaries BEGIN/COMMIT/ROLLBACK), in engine execution
+// order. Replaying the stream against a database bootstrapped from the
+// same starting state reproduces the primary — the statement-based
+// replication an Applier performs.
+type Change struct {
+	// Seq is the global change sequence number, dense and strictly
+	// increasing in execution order. A replica bootstrapped from a dump
+	// taken at sequence S applies only changes with Seq > S.
+	Seq int64
+	// Session is the origin session id (Session.ID). Interleaved
+	// transactions from concurrent sessions replay correctly only when
+	// each origin session's statements run on a dedicated replica
+	// session — the Applier keeps that map.
+	Session int64
+	// Kind is the statement kind label (StmtKind).
+	Kind string
+	// SQL is the original statement text; Params/Named are its bind
+	// values.
+	SQL    string
+	Params []Value
+	Named  map[string]Value
+}
+
+// ChangeSink receives every change in execution order. It is called
+// with the exclusive engine lock held — that is what makes the order
+// authoritative — so implementations must be fast and must not call
+// back into the database.
+type ChangeSink func(Change)
+
+// SetChangeSink installs (or with nil removes) the change-stream
+// capture hook. Statements executed through Exec, ExecNamed, and
+// prepared statements are captured; the pre-parsed ExecStmt/ExecScript
+// paths carry no SQL text and are only counted in ChangesMissed, so a
+// replicated database should receive its writes through the text-
+// carrying paths once the sink is installed.
+func (db *DB) SetChangeSink(fn ChangeSink) {
+	db.hookMu.Lock()
+	defer db.hookMu.Unlock()
+	db.changeSink = fn
+}
+
+// currentChangeSink returns the installed change sink (nil if none).
+func (db *DB) currentChangeSink() ChangeSink {
+	db.hookMu.Lock()
+	defer db.hookMu.Unlock()
+	return db.changeSink
+}
+
+// ChangeSeq returns the sequence number of the most recent captured
+// change. Together with Dump it defines a replica bootstrap point: the
+// pair (Dump(), ChangeSeq()) taken back-to-back is consistent because
+// Dump holds the engine lock that change capture also runs under.
+func (db *DB) ChangeSeq() int64 { return db.changeSeq.Load() }
+
+// ChangesMissed counts mutating statements that executed while a change
+// sink was installed but carried no SQL text (ExecStmt/ExecScript). A
+// non-zero delta during replication means the replica stream is
+// incomplete and downstream replicas should re-bootstrap.
+func (db *DB) ChangesMissed() int64 { return db.changesMissed.Load() }
+
+// SetReadOnly switches the database in or out of replica mode: when
+// read-only, every mutating statement from a normal session is refused
+// at the session boundary with an error wrapping ErrReadOnly, while
+// applier sessions (NewApplier) still write. SELECT and EXPLAIN are
+// unaffected — serving those is the point of a read replica.
+func (db *DB) SetReadOnly(on bool) { db.readOnly.Store(on) }
+
+// ReadOnly reports whether the database is in replica mode.
+func (db *DB) ReadOnly() bool { return db.readOnly.Load() }
 
 // Exec is a convenience that runs a statement on a throwaway session.
 func (db *DB) Exec(sql string, params ...Value) (*Result, error) {

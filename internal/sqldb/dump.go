@@ -14,6 +14,22 @@ import (
 func (db *DB) Dump() string {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
+	return db.dumpLocked()
+}
+
+// DumpWithSeq returns the dump together with the change sequence number
+// it is consistent with (see ChangeSeq): both are read under one hold of
+// the engine lock, and change capture advances the sequence only under
+// the exclusive lock, so no change can slip between them. The pair is a
+// replica bootstrap point: execute the script, then apply only changes
+// with Seq greater than the returned sequence.
+func (db *DB) DumpWithSeq() (string, int64) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.dumpLocked(), db.changeSeq.Load()
+}
+
+func (db *DB) dumpLocked() string {
 	var b strings.Builder
 
 	tableNames := make([]string, 0, len(db.tables))

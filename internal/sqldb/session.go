@@ -22,6 +22,18 @@ import (
 type Session struct {
 	db *DB
 
+	// id distinguishes sessions in the change stream (SetChangeSink):
+	// replication replays interleaved transactions from many origin
+	// sessions, and the id is how an Applier routes each statement onto
+	// the replica session holding the matching open transaction. Child
+	// sessions share their parent's id.
+	id int64
+
+	// applier marks a session minted by NewApplier: its writes bypass
+	// the read-only replica gate (SetReadOnly) — they ARE the
+	// replication stream — and are never re-captured by the change sink.
+	applier bool
+
 	// mu serializes top-level statement execution and Rollback on this
 	// session. Re-entrant execution (child sessions, below) runs inside
 	// the owner's critical section and bypasses it.
@@ -114,6 +126,10 @@ func (s *Session) InTransaction() bool { return s.txn != nil }
 // DB returns the database this session is attached to.
 func (s *Session) DB() *DB { return s.db }
 
+// ID returns the session's database-unique id (the origin-session key
+// of its statements in the change stream).
+func (s *Session) ID() int64 { return s.id }
+
 // Exec parses and executes one SQL statement with positional parameters.
 // The parse goes through the database's statement cache: repeated
 // executions of the same SQL text reuse the cached AST and report zero
@@ -123,7 +139,7 @@ func (s *Session) Exec(sql string, params ...Value) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, _, err := s.execStmt(st, parse, cacheLabel(hit), params, nil)
+	res, _, err := s.execStmt(st, parse, cacheLabel(hit), sql, params, nil)
 	return res, err
 }
 
@@ -135,7 +151,7 @@ func (s *Session) ExecNamed(sql string, named map[string]Value) (*Result, error)
 	if err != nil {
 		return nil, err
 	}
-	res, _, err := s.execStmt(st, parse, cacheLabel(hit), nil, named)
+	res, _, err := s.execStmt(st, parse, cacheLabel(hit), sql, nil, named)
 	return res, err
 }
 
@@ -153,6 +169,7 @@ func cacheLabel(hit bool) string {
 type PreparedStmt struct {
 	s    *Session
 	stmt Stmt
+	src  string // original SQL text, for the change stream
 
 	mu       sync.Mutex
 	parse    time.Duration
@@ -166,7 +183,7 @@ func (s *Session) Prepare(sql string) (*PreparedStmt, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &PreparedStmt{s: s, stmt: st, parse: time.Since(start)}, nil
+	return &PreparedStmt{s: s, stmt: st, src: sql, parse: time.Since(start)}, nil
 }
 
 // takeParse returns the one-time parse cost if no execution has carried it
@@ -200,7 +217,7 @@ func (p *PreparedStmt) restoreParse(parse time.Duration) {
 // Exec runs the prepared statement with positional parameters.
 func (p *PreparedStmt) Exec(params ...Value) (*Result, error) {
 	parse := p.takeParse()
-	res, executed, err := p.s.execStmt(p.stmt, parse, "", params, nil)
+	res, executed, err := p.s.execStmt(p.stmt, parse, "", p.src, params, nil)
 	if !executed {
 		p.restoreParse(parse)
 	}
@@ -210,7 +227,7 @@ func (p *PreparedStmt) Exec(params ...Value) (*Result, error) {
 // ExecNamed runs the prepared statement with named parameters.
 func (p *PreparedStmt) ExecNamed(named map[string]Value) (*Result, error) {
 	parse := p.takeParse()
-	res, executed, err := p.s.execStmt(p.stmt, parse, "", nil, named)
+	res, executed, err := p.s.execStmt(p.stmt, parse, "", p.src, nil, named)
 	if !executed {
 		p.restoreParse(parse)
 	}
@@ -235,8 +252,13 @@ func (s *Session) Query(sql string, params ...Value) (*Result, error) {
 // emit per-statement StmtStats to the session's (or database's) sink
 // after the engine lock is released. A pre-parsed statement carries no
 // parse cost (StmtStats.Parse == 0).
+//
+// A pre-parsed statement also carries no SQL text, so a mutating
+// ExecStmt is invisible to an installed change sink (SetChangeSink) —
+// the miss is counted in ChangesMissed. Replication-facing callers use
+// Exec/ExecNamed/Prepare, which capture the text.
 func (s *Session) ExecStmt(st Stmt, params []Value, named map[string]Value) (*Result, error) {
-	res, _, err := s.execStmt(st, 0, "", params, named)
+	res, _, err := s.execStmt(st, 0, "", "", params, named)
 	return res, err
 }
 
@@ -271,10 +293,11 @@ func isDDL(st Stmt) bool {
 // engine lock (shared for read-only statements, exclusive otherwise),
 // statement execution, then stats emission. parse and cache describe how
 // the statement text was resolved (see Exec/cachedParse) and flow into
-// the emitted StmtStats. executed is false only when the ExecHook refused
-// the statement before any work happened — prepared statements use that
-// to re-arm their one-time parse charge.
-func (s *Session) execStmt(st Stmt, parse time.Duration, cache string, params []Value, named map[string]Value) (res *Result, executed bool, err error) {
+// the emitted StmtStats; src is the original SQL text when the caller
+// has it (change-stream capture needs it). executed is false only when
+// the ExecHook refused the statement before any work happened —
+// prepared statements use that to re-arm their one-time parse charge.
+func (s *Session) execStmt(st Stmt, parse time.Duration, cache string, src string, params []Value, named map[string]Value) (res *Result, executed bool, err error) {
 	if s.locked {
 		// Re-entrant execution (native procedure bodies running on a
 		// child session): no hook, no stats — the enclosing statement
@@ -293,6 +316,12 @@ func (s *Session) execStmt(st Stmt, parse time.Duration, cache string, params []
 			s.db.deadlineRefusals.Add(1)
 			return nil, false, &budgetError{cause: cerr}
 		}
+	}
+	// Read-only replica gate: only applier sessions (the replication
+	// stream itself) may mutate a database in replica mode. Refused at
+	// the boundary like a hook refusal — nothing has executed.
+	if !readOnlyStmt(st) && !s.applier && s.db.readOnly.Load() {
+		return nil, false, &readOnlyError{kind: StmtKind(st)}
 	}
 	if h := s.db.currentExecHook(); h != nil {
 		if err := h(StmtKind(st)); err != nil {
@@ -318,6 +347,15 @@ func (s *Session) execStmt(st Stmt, parse time.Duration, cache string, params []
 				s.db.mu.RUnlock()
 			} else {
 				s.db.mu.Unlock()
+			}
+		}()
+		// The change stream is captured while the exclusive lock is
+		// still held, so its order IS the engine's execution order —
+		// the property the replica applier relies on to replay
+		// interleaved transactions.
+		defer func() {
+			if !shared && err == nil {
+				s.emitChangeLocked(st, src, params, named)
 			}
 		}()
 		if sink == nil {
@@ -363,6 +401,44 @@ func (s *Session) execStmt(st Stmt, parse time.Duration, cache string, params []
 		sink(*stat)
 	}
 	return res, true, err
+}
+
+// emitChangeLocked hands a successfully executed mutating statement to
+// the database's change sink, stamped with the next change sequence
+// number. Caller holds the exclusive engine lock, which is what makes
+// both the sequence and the sink callback order match execution order.
+// Applier sessions are skipped — re-capturing the replication stream on
+// a replica would loop it. Mutating statements executed without source
+// text (pre-parsed ExecStmt/ExecScript paths) cannot be captured and
+// are counted in ChangesMissed instead.
+func (s *Session) emitChangeLocked(st Stmt, src string, params []Value, named map[string]Value) {
+	if s.applier {
+		return
+	}
+	sink := s.db.currentChangeSink()
+	if sink == nil {
+		return
+	}
+	if src == "" {
+		s.db.changesMissed.Add(1)
+		return
+	}
+	c := Change{
+		Seq:     s.db.changeSeq.Add(1),
+		Session: s.id,
+		Kind:    StmtKind(st),
+		SQL:     src,
+	}
+	if len(params) > 0 {
+		c.Params = append([]Value(nil), params...)
+	}
+	if len(named) > 0 {
+		c.Named = make(map[string]Value, len(named))
+		for k, v := range named {
+			c.Named[k] = v
+		}
+	}
+	sink(c)
 }
 
 // execStmtLocked executes one statement with the DB lock held. Unless an
@@ -844,7 +920,7 @@ func (s *Session) execCall(t *CallStmt, params []Value, named map[string]Value) 
 		// with the CALL) but is permanently marked re-entrant, routing
 		// any SQL the procedure issues through the nested path instead
 		// of deadlocking on the session/engine locks.
-		child := &Session{db: s.db, txn: s.txn, locked: true, sink: s.sink}
+		child := &Session{db: s.db, id: s.id, applier: s.applier, txn: s.txn, locked: true, sink: s.sink}
 		res, err := proc.Native(child, args)
 		// Fold the child's accounting into the enclosing CALL statement.
 		s.rowsScanned += child.rowsScanned

@@ -165,7 +165,7 @@ func SeedOrders(db *sqldb.DB, w Workload) {
 	}
 	ins := fmt.Sprintf("INSERT INTO Orders (%s) VALUES (%s)", insCols, ph)
 	s := db.Session()
-	stmt, err := sqldb.Parse(ins)
+	stmt, err := s.Prepare(ins)
 	if err != nil {
 		panic(err)
 	}
@@ -179,7 +179,7 @@ func SeedOrders(db *sqldb.DB, w Workload) {
 		for c := 0; c < w.PayloadColumns; c++ {
 			vals = append(vals, sqldb.Str(string(payload)))
 		}
-		if _, err := s.ExecStmt(stmt, vals, nil); err != nil {
+		if _, err := stmt.Exec(vals...); err != nil {
 			panic(err)
 		}
 	}

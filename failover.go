@@ -98,7 +98,15 @@ type WarmStandby struct {
 	// TTL. Deterministic tests leave it zero and drive the clock.
 	HeartbeatEvery time.Duration
 
+	// OnFollowError, when non-nil, is invoked once with the CatchUp
+	// error that terminated a Follow loop (mirroring StartHeartbeat's
+	// onLost). Set it before calling Follow.
+	OnFollowError func(error)
+
 	stopHB func()
+
+	mu      sync.Mutex
+	lastErr error
 }
 
 // NewWarmStandby builds a standby on the primary's journal directory.
@@ -128,11 +136,17 @@ func (ws *WarmStandby) AttachSQLReplica(primary *Environment, name string) error
 func (ws *WarmStandby) CatchUp() (int, error) { return ws.Standby.CatchUp() }
 
 // Follow polls CatchUp at the given interval on a background goroutine
-// until the returned stop function is called. Poll errors end the loop
-// (the next explicit CatchUp surfaces them again). stop blocks until
-// the goroutine has exited, so after it returns the caller may use
-// CatchUp directly — the tailer is single-goroutine.
+// until the returned stop function is called or a poll fails. A poll
+// error ends the loop — a standby cannot keep following a stream it can
+// no longer read — but never silently: the error is retained for
+// LastError and handed to OnFollowError, so the operator learns the
+// standby went stale instead of discovering it at takeover time. stop
+// blocks until the goroutine has exited, so after it returns the caller
+// may use CatchUp directly — the tailer is single-goroutine.
 func (ws *WarmStandby) Follow(interval time.Duration) (stop func()) {
+	ws.mu.Lock()
+	ws.lastErr = nil
+	ws.mu.Unlock()
 	done := make(chan struct{})
 	exited := make(chan struct{})
 	go func() {
@@ -145,6 +159,12 @@ func (ws *WarmStandby) Follow(interval time.Duration) (stop func()) {
 				return
 			case <-t.C:
 				if _, err := ws.CatchUp(); err != nil {
+					ws.mu.Lock()
+					ws.lastErr = err
+					ws.mu.Unlock()
+					if ws.OnFollowError != nil {
+						ws.OnFollowError(err)
+					}
 					return
 				}
 			}
@@ -155,6 +175,15 @@ func (ws *WarmStandby) Follow(interval time.Duration) (stop func()) {
 		once.Do(func() { close(done) })
 		<-exited
 	}
+}
+
+// LastError returns the error that terminated the most recent Follow
+// loop, nil while it is healthy (or was stopped cleanly). It is the
+// poll-loop analogue of a heartbeat's onLost signal.
+func (ws *WarmStandby) LastError() error {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	return ws.lastErr
 }
 
 // Heartbeat starts background renewal of the lease this standby holds

@@ -1,6 +1,7 @@
 package wfsql
 
 import (
+	"errors"
 	"sort"
 	"strconv"
 	"strings"
@@ -200,6 +201,44 @@ func TestFailoverChaosMatrix(t *testing.T) {
 				})
 			}
 		}
+	}
+}
+
+// TestFollowSurfacesTerminalError: a Follow loop that dies on a CatchUp
+// error must not vanish silently — the standby would quietly go stale.
+// The terminal error is retained for LastError and delivered to the
+// OnFollowError callback, mirroring a heartbeat's onLost.
+func TestFollowSurfacesTerminalError(t *testing.T) {
+	dir := t.TempDir()
+	rec, err := journal.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+
+	ws := NewWarmStandby(dir, time.Second)
+	wantErr := errors.New("replica apply wedged")
+	ws.Standby.OnSQLEffect(func(journal.SQLEffectRecord) error { return wantErr })
+	notified := make(chan error, 1)
+	ws.OnFollowError = func(err error) { notified <- err }
+
+	stop := ws.Follow(time.Millisecond)
+	defer stop()
+	// A SQL effect lands in the WAL; the consumer refuses it, so the
+	// next poll fails and the loop must terminate loudly.
+	if err := rec.SQLEffect(journal.SQLEffectRecord{Seq: 1, Session: 1, Kind: "INSERT", SQL: "INSERT INTO t VALUES (1)"}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-notified:
+		if !errors.Is(err, wantErr) {
+			t.Fatalf("OnFollowError got %v, want %v", err, wantErr)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Follow died without invoking OnFollowError")
+	}
+	if err := ws.LastError(); !errors.Is(err, wantErr) {
+		t.Fatalf("LastError = %v, want %v", err, wantErr)
 	}
 }
 

@@ -372,6 +372,15 @@ func (r *Recorder) SetAppendGuard(g AppendGuard) {
 	r.guard = g
 }
 
+// Observability returns the attached tracing/metrics bundle. The
+// result is nil-safe to use (obsv's accessors tolerate a nil bundle),
+// so callers recording metrics alongside the recorder need not check.
+func (r *Recorder) Observability() *obsv.Observability {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.obs
+}
+
 // FencedWrites reports how many appends the guard has refused with
 // ErrFenced (metrics, tests).
 func (r *Recorder) FencedWrites() int64 {

@@ -1,0 +1,34 @@
+//go:build unix
+
+package replica
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// lockExclusive takes an exclusive cross-process advisory lock on path
+// (creating the file if needed) and returns the unlock function. flock
+// locks belong to the open file description, so two Lease handles — in
+// one process or two — exclude each other even though each holds its
+// own descriptor; the kernel releases the lock if the holder dies.
+//
+// The lock is held only across a lease read-check-write (microseconds),
+// never across a pause-prone wait, so a SIGSTOP'd holder can delay a
+// competing Acquire but the blocked side still observes a serialized,
+// never-torn history once it runs.
+func lockExclusive(path string) (unlock func(), err error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("replica: open lease lock: %w", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("replica: flock lease lock: %w", err)
+	}
+	return func() {
+		syscall.Flock(int(f.Fd()), syscall.LOCK_UN) //nolint:errcheck // close releases anyway
+		f.Close()
+	}, nil
+}

@@ -64,6 +64,15 @@ func (s LeaseState) Renewed() time.Time { return time.Unix(0, s.RenewedUnixNano)
 // (write-temp-fsync-rename), so readers never observe a torn lease; the
 // rename publishing an acquisition is the takeover commit point.
 //
+// Every read-check-write (Acquire, Renew) additionally runs under an
+// exclusive flock on a sidecar lock file, serializing competing holders
+// ACROSS processes and handles: without it, a primary paused between
+// Renew's read and write could resume after a standby's Acquire and
+// overwrite the advanced epoch with its own stale one — both guards
+// would then pass, split-braining until the physical fence rotation.
+// The flock is held only for the microseconds of the read-modify-write,
+// and the kernel drops it if the holder dies.
+//
 // A Lease value is safe for concurrent use (heartbeat goroutine +
 // append guard).
 type Lease struct {
@@ -183,6 +192,11 @@ func (l *Lease) expiredLocked(st LeaseState) bool {
 func (l *Lease) Acquire(holder string) (LeaseState, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	unlock, err := lockExclusive(l.lockPath())
+	if err != nil {
+		return LeaseState{}, err
+	}
+	defer unlock()
 	st, err := l.readLocked()
 	if err != nil {
 		return st, err
@@ -200,10 +214,21 @@ func (l *Lease) Acquire(holder string) (LeaseState, error) {
 // Renew heart-beats the lease: it refreshes the timestamp without
 // changing the epoch, but only while the lease still names holder at
 // exactly epoch. Anything else means a takeover happened and the caller
-// must treat itself as fenced.
+// must treat itself as fenced. The check-then-write runs under the
+// cross-process flock, so a renewal can never interleave with (and
+// overwrite) a competing acquisition — a pause anywhere inside Renew
+// resolves to either "renewed before the takeover" (standby still saw
+// an expired lease only after this heartbeat lapsed again) or
+// "ErrLeaseLost" (the epoch had already advanced), never to a stale
+// epoch clobbering a newer one.
 func (l *Lease) Renew(holder string, epoch int64) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	unlock, err := lockExclusive(l.lockPath())
+	if err != nil {
+		return err
+	}
+	defer unlock()
 	st, err := l.readLocked()
 	if err != nil {
 		return err
@@ -214,6 +239,11 @@ func (l *Lease) Renew(holder string, epoch int64) error {
 	}
 	return l.writeLocked(LeaseState{Epoch: epoch, Holder: holder, RenewedUnixNano: l.now().UnixNano()})
 }
+
+// lockPath is the sidecar flock file serializing read-check-write
+// cycles across processes (the lease file itself is replaced by rename,
+// so it cannot carry the flock).
+func (l *Lease) lockPath() string { return l.path + ".lock" }
 
 // Guard returns a journal.AppendGuard enforcing the fence for a writer
 // holding epoch: every append re-checks the lease and fails with (a

@@ -77,6 +77,175 @@ func TestLeaseAcquireRenewTakeover(t *testing.T) {
 	}
 }
 
+// TestLeaseAcquireAtomicAcrossHandles: competing holders go through the
+// cross-process flock, so a read-check-write can never be torn by a
+// concurrent one — the lost-update shape behind split-brain (a paused
+// writer resuming mid-cycle and clobbering an advanced epoch with its
+// stale read). Distinct Lease handles model distinct processes: each
+// holds its own descriptor, so the in-process mutex provides no
+// exclusion between them and only the flock serializes. Every
+// successful re-acquisition advances the epoch by exactly one; with any
+// lost update the final epoch falls short of the success count.
+func TestLeaseAcquireAtomicAcrossHandles(t *testing.T) {
+	dir := t.TempDir()
+	const goroutines, rounds = 8, 50
+	var wg sync.WaitGroup
+	var acquired atomic.Int64
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			l := OpenLease(dir, time.Minute) // own handle = own descriptor
+			for i := 0; i < rounds; i++ {
+				// Same holder everywhere: re-acquisition is always legal
+				// and always bumps the epoch, keeping every interleaving a
+				// success so the count↔epoch invariant stays exact.
+				if _, err := l.Acquire("shared-holder"); err != nil {
+					t.Errorf("acquire: %v", err)
+					return
+				}
+				acquired.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	st, err := OpenLease(dir, time.Minute).Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Epoch != acquired.Load() {
+		t.Fatalf("final epoch %d != %d successful acquisitions: read-check-write was torn (lost update)",
+			st.Epoch, acquired.Load())
+	}
+}
+
+// TestCaptureSQLCountsNonFencedDrops: an append failure that is NOT a
+// fencing refusal means a live primary's change was lost — it must be
+// counted (CaptureStats + replica.capture_drops), unlike fenced
+// refusals which are accounted separately by FencedWrites.
+func TestCaptureSQLCountsNonFencedDrops(t *testing.T) {
+	dir := t.TempDir()
+	rec, err := journal.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := obsv.New()
+	rec.SetObservability(obs)
+
+	db := sqldb.Open("p")
+	db.MustExec("CREATE TABLE t (id INTEGER)")
+	stats := CaptureSQL(db, rec)
+
+	if _, err := db.Exec("INSERT INTO t VALUES (1)"); err != nil {
+		t.Fatal(err)
+	}
+	if n := stats.Dropped(); n != 0 {
+		t.Fatalf("healthy capture dropped %d", n)
+	}
+
+	// Kill the recorder out from under the capture: the next change
+	// executes on the primary but cannot reach the WAL — a real loss.
+	rec.Close()
+	if _, err := db.Exec("INSERT INTO t VALUES (2)"); err != nil {
+		t.Fatal(err)
+	}
+	if n := stats.Dropped(); n != 1 {
+		t.Fatalf("Dropped = %d after failed append, want 1", n)
+	}
+	if n := obs.Metrics.Counter("replica.capture_drops").Value(); n != 1 {
+		t.Fatalf("replica.capture_drops = %d, want 1", n)
+	}
+	CaptureSQL(db, nil)
+}
+
+// TestCaptureSQLFencedRefusalsNotCountedAsDrops: fenced appends are the
+// protocol working as designed (the primary lost authority), not data
+// loss, and must stay out of the drop counter.
+func TestCaptureSQLFencedRefusalsNotCountedAsDrops(t *testing.T) {
+	dir := t.TempDir()
+	clock := newFakeClock()
+	lease := OpenLease(dir, time.Second)
+	lease.SetClock(clock.Now)
+	rec, err := journal.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	if _, err := AttachPrimary(rec, lease, "a"); err != nil {
+		t.Fatal(err)
+	}
+
+	db := sqldb.Open("p")
+	db.MustExec("CREATE TABLE t (id INTEGER)")
+	stats := CaptureSQL(db, rec)
+	defer CaptureSQL(db, nil)
+
+	if _, err := db.Exec("INSERT INTO t VALUES (1)"); err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(5 * time.Second) // heartbeat lapses; guard self-fences
+	if _, err := db.Exec("INSERT INTO t VALUES (2)"); err != nil {
+		t.Fatal(err)
+	}
+	if n := stats.Dropped(); n != 0 {
+		t.Fatalf("fenced refusal counted as drop: Dropped = %d, want 0", n)
+	}
+	if rec.FencedWrites() == 0 {
+		t.Fatal("fenced refusal not counted by FencedWrites")
+	}
+}
+
+// TestSQLReplicaFollowsAPIRollback is the end-to-end regression for the
+// replication wedge: the workflow layers abort transactions through
+// Session.Rollback (not a ROLLBACK statement); the rollback must ride
+// the WAL so the replica closes its mirrored transaction and the origin
+// session's next BEGIN replays cleanly instead of wedging CatchUp.
+func TestSQLReplicaFollowsAPIRollback(t *testing.T) {
+	dir := t.TempDir()
+	rec, err := journal.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+
+	primary := sqldb.Open("p")
+	primary.MustExec("CREATE TABLE t (id INTEGER)")
+	CaptureSQL(primary, rec)
+	defer CaptureSQL(primary, nil)
+
+	replica := sqldb.Open("r")
+	replica.MustExec("CREATE TABLE t (id INTEGER)")
+	rep := NewSQLReplica(replica, 0)
+	sb := NewStandby(dir, OpenLease(dir, time.Minute))
+	sb.OnSQLEffect(rep.ApplyEffect)
+
+	s := primary.Session()
+	s.Exec("BEGIN")
+	s.Exec("INSERT INTO t VALUES (1)")
+	s.Rollback() // fault path: API rollback, no ROLLBACK statement
+
+	if _, err := sb.CatchUp(); err != nil {
+		t.Fatalf("catch-up across API rollback: %v", err)
+	}
+	if n := rep.OpenTransactions(); n != 0 {
+		t.Fatalf("replica holds %d open txns after captured rollback, want 0", n)
+	}
+
+	// The same origin session transacts again — the wedge scenario.
+	s.Exec("BEGIN")
+	s.Exec("INSERT INTO t VALUES (2)")
+	s.Exec("COMMIT")
+	if _, err := sb.CatchUp(); err != nil {
+		t.Fatalf("catch-up after reuse of origin session: %v", err)
+	}
+	if err := rep.Complete(sb); err != nil {
+		t.Fatalf("completeness: %v", err)
+	}
+	if pd, rd := primary.Dump(), replica.Dump(); pd != rd {
+		t.Fatalf("replica diverged:\nprimary:\n%s\nreplica:\n%s", pd, rd)
+	}
+}
+
 // TestStandbyReplayToFollow: the standby's incrementally folded state
 // stays byte-identical to the primary recorder's own materialized
 // state, across checkpoints and WAL rotation.

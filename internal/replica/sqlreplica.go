@@ -2,6 +2,7 @@ package replica
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"wfsql/internal/journal"
 	"wfsql/internal/sqldb"
@@ -23,23 +24,42 @@ import (
 // primary engine's exclusive lock (sink order is execution order) and
 // WAL framing preserves append order end to end.
 
+// CaptureStats counts capture failures for one CaptureSQL attachment.
+type CaptureStats struct{ dropped atomic.Int64 }
+
+// Dropped reports changes that executed on the primary but never
+// reached the WAL for a reason OTHER than fencing (disk full, I/O
+// error, closed recorder). Each one is a hole the replica cannot fill:
+// the applier's sequence-density check will force a re-bootstrap when
+// the hole streams past it, and this counter (with the
+// replica.capture_drops metric) is the primary-side alarm.
+func (s *CaptureStats) Dropped() int64 { return s.dropped.Load() }
+
 // CaptureSQL wires a database's change stream into the journal: every
 // successful top-level mutating statement on db is appended to rec as a
 // KindSQLEffect record, making the WAL the single replication channel
 // for both workflow lifecycle and SQL state. Pass a nil recorder to
-// stop capturing.
+// stop capturing (the returned stats are nil then).
 //
 // The sink runs under the database's exclusive engine lock, so the
-// append must not re-enter the database — it does not. An append
-// refused because the primary is fenced is deliberately swallowed: a
-// fenced primary's changes are no longer authoritative, and the refusal
-// is already counted by Recorder.FencedWrites and the
-// replica.fenced_writes metric.
-func CaptureSQL(db *sqldb.DB, rec *journal.Recorder) {
+// append must not re-enter the database — it does not. Append failures
+// split two ways:
+//
+//   - Fencing refusals are deliberately swallowed: a fenced primary's
+//     changes are no longer authoritative, and the refusal is already
+//     counted by Recorder.FencedWrites and the replica.fenced_writes
+//     metric.
+//   - Any other failure (disk full, I/O error, closed recorder) means a
+//     live primary's change was lost: it is counted in the returned
+//     CaptureStats and the replica.capture_drops metric, and the
+//     resulting sequence gap makes the downstream Applier latch
+//     ErrDiverged rather than silently serve stale data.
+func CaptureSQL(db *sqldb.DB, rec *journal.Recorder) *CaptureStats {
 	if rec == nil {
 		db.SetChangeSink(nil)
-		return
+		return nil
 	}
+	stats := &CaptureStats{}
 	db.SetChangeSink(func(c sqldb.Change) {
 		e := journal.SQLEffectRecord{
 			Seq:     c.Seq,
@@ -54,8 +74,12 @@ func CaptureSQL(db *sqldb.DB, rec *journal.Recorder) {
 				e.Params[i] = sqldb.EncodeValue(p)
 			}
 		}
-		rec.SQLEffect(e) //nolint:errcheck // fenced/failed capture is surfaced via metrics
+		if err := rec.SQLEffect(e); err != nil && !journal.IsFenced(err) {
+			stats.dropped.Add(1)
+			rec.Observability().M().Counter("replica.capture_drops").Inc()
+		}
 	})
+	return stats
 }
 
 // SQLReplica replays the journal's SQL-effect stream onto a read-only
@@ -131,7 +155,9 @@ func (r *SQLReplica) OpenTransactions() int { return r.ap.OpenTransactions() }
 // this replica: if the tailer skipped whole WAL segments, SQL-effect
 // records are gone for good and the replica must be re-bootstrapped
 // from a fresh dump. Lifecycle state self-heals (checkpoints carry full
-// snapshots); SQL effects do not.
+// snapshots); SQL effects do not. A divergence the applier itself
+// latched (sequence gap, straddled-transaction rollback) is reported
+// the same way.
 func (r *SQLReplica) Complete(s *Standby) error {
 	if n := s.SkippedSegments(); n > 0 {
 		return fmt.Errorf("replica: %d WAL segment(s) rotated away un-tailed; re-bootstrap required", n)
@@ -139,8 +165,15 @@ func (r *SQLReplica) Complete(s *Standby) error {
 	if n := s.BadSQLEffects(); n > 0 {
 		return fmt.Errorf("replica: %d malformed SQL-effect record(s) skipped; re-bootstrap required", n)
 	}
+	if err := r.ap.Fatal(); err != nil {
+		return err
+	}
 	return nil
 }
+
+// Fatal returns the applier's latched divergence error (nil while the
+// replica is converging). See sqldb.ErrDiverged.
+func (r *SQLReplica) Fatal() error { return r.ap.Fatal() }
 
 // Promote releases the replica for direct writes after a takeover:
 // orphaned transactions (origin sessions that died mid-transaction) are

@@ -20,6 +20,23 @@ import (
 // on a database in replica mode (SetReadOnly).
 var ErrReadOnly = errors.New("sqldb: database is read-only (replica mode)")
 
+// ErrDiverged is wrapped by the error an Applier returns once it has
+// proof the replica can no longer converge with the primary: a gap in
+// the dense change sequence (a captured change never reached the WAL),
+// or a transaction that straddled the bootstrap dump and then rolled
+// back (the dump holds writes the primary undid). The condition is
+// permanent and latches — every subsequent Apply repeats it — and the
+// only recovery is re-bootstrapping the replica from a fresh dump.
+var ErrDiverged = errors.New("sqldb: replica diverged from primary change stream; re-bootstrap required")
+
+// divergedError carries the diagnosis and a permanent classification
+// (retrying Apply cannot un-diverge a replica).
+type divergedError struct{ msg string }
+
+func (e *divergedError) Error() string   { return ErrDiverged.Error() + ": " + e.msg }
+func (e *divergedError) Unwrap() error   { return ErrDiverged }
+func (e *divergedError) Temporary() bool { return false }
+
 // readOnlyError carries the refused statement kind and a permanent
 // classification (retrying cannot make a replica writable).
 type readOnlyError struct{ kind string }
@@ -39,6 +56,16 @@ type Applier struct {
 	sessions map[int64]*Session
 	applied  int64
 	skipped  int64
+
+	// lastSeq is the newest change sequence number observed (applied or
+	// skipped). The primary stamps changes with a dense counter, so any
+	// hole means a change was lost between capture and delivery — the
+	// replica has silently missed a write and must re-bootstrap.
+	lastSeq int64
+	// fatal latches the first divergence: once set, every Apply returns
+	// it (the stream is redelivered on error, and redelivering past a
+	// divergence would only corrupt the replica further).
+	fatal error
 }
 
 // NewApplier returns an applier targeting db, skipping changes with
@@ -62,19 +89,53 @@ func (a *Applier) session(origin int64) *Session {
 }
 
 // Apply replays one change. Changes at or below the bootstrap floor are
-// skipped, as are COMMIT/ROLLBACK for transactions the replica never
-// saw open (the tail of a transaction that straddled the bootstrap
-// point — its effects are already in the dump, matching the primary's
-// read-uncommitted isolation).
+// skipped, as is a COMMIT for a transaction the replica never saw open
+// (the tail of a transaction that straddled the bootstrap point — its
+// effects are already in the dump, matching the primary's
+// read-uncommitted isolation). The two conditions a skip CANNOT paper
+// over are divergence, reported as a latching ErrDiverged:
+//
+//   - A gap in the dense change sequence: a captured change never made
+//     it here (journal append failure, pruned WAL segment), so the
+//     replica is missing a write with no way to recover it.
+//   - A ROLLBACK for a transaction the replica never saw open: the
+//     transaction straddled the bootstrap dump, so the dump contains
+//     its uncommitted writes (read-uncommitted isolation) and the
+//     primary has now undone them — the replica cannot, having already
+//     auto-committed any post-floor statements of that transaction.
+//     (The symmetric BEGIN-while-open case — an uncaptured rollback on
+//     a textless path — is refused the same way rather than guessed at.)
 func (a *Applier) Apply(c Change) error {
+	if a.fatal != nil {
+		return a.fatal
+	}
+	if c.Seq != 0 {
+		if a.lastSeq != 0 && c.Seq != a.lastSeq+1 {
+			return a.diverge(fmt.Sprintf("change sequence gap: got seq %d after %d", c.Seq, a.lastSeq))
+		}
+		if a.lastSeq == 0 && a.floor > 0 && c.Seq > a.floor+1 {
+			return a.diverge(fmt.Sprintf("stream starts at seq %d, bootstrap floor %d: changes %d..%d lost",
+				c.Seq, a.floor, a.floor+1, c.Seq-1))
+		}
+		a.lastSeq = c.Seq
+	}
 	if c.Seq != 0 && c.Seq <= a.floor {
 		a.skipped++
 		return nil
 	}
 	s := a.session(c.Session)
-	if (c.Kind == "COMMIT" || c.Kind == "ROLLBACK") && !s.InTransaction() {
-		a.skipped++
-		return nil
+	if !s.InTransaction() {
+		switch c.Kind {
+		case "COMMIT":
+			a.skipped++
+			return nil
+		case "ROLLBACK":
+			return a.diverge(fmt.Sprintf(
+				"seq %d: ROLLBACK of a transaction straddling the bootstrap floor (%d); dump holds undone writes", c.Seq, a.floor))
+		}
+	} else if c.Kind == "BEGIN" {
+		return a.diverge(fmt.Sprintf(
+			"seq %d: BEGIN while origin session %d already holds an open transaction (rollback lost upstream)", c.Seq, c.Session))
 	}
 	st, parse, hit, err := a.db.cachedParse(c.SQL)
 	if err != nil {
@@ -86,6 +147,17 @@ func (a *Applier) Apply(c Change) error {
 	a.applied++
 	return nil
 }
+
+// diverge latches and returns a permanent divergence error.
+func (a *Applier) diverge(msg string) error {
+	a.fatal = &divergedError{msg: msg}
+	return a.fatal
+}
+
+// Fatal returns the latched divergence error, nil while the replica is
+// still converging. Once non-nil the replica must be re-bootstrapped
+// from a fresh dump.
+func (a *Applier) Fatal() error { return a.fatal }
 
 // AbortOpen rolls back every replica transaction still open — the
 // orphans of origin sessions that died mid-transaction (a primary

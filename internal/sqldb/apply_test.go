@@ -256,6 +256,196 @@ func TestChangesMissedCountsTextlessWrites(t *testing.T) {
 	}
 }
 
+// TestRollbackAPICapturedInChangeStream is the regression test for the
+// replication wedge: production layers abort transactions through the
+// Session.Rollback API (not a ROLLBACK statement), and that rollback
+// must reach the change stream — otherwise the replica's mapped session
+// keeps its transaction open and the origin session's next BEGIN fails
+// on the replica forever.
+func TestRollbackAPICapturedInChangeStream(t *testing.T) {
+	primary := Open("p")
+	primary.MustExec("CREATE TABLE t (id INTEGER)")
+	changes := captureChanges(primary)
+
+	s := primary.Session()
+	s.Exec("BEGIN")
+	s.Exec("INSERT INTO t VALUES (1)")
+	s.Rollback() // API rollback, the path bis/state.go and SessionPool use
+
+	// A no-op rollback (no open transaction) must not emit anything.
+	s.Rollback()
+	if n := len(*changes); n != 3 {
+		t.Fatalf("captured %d changes, want 3 (BEGIN, INSERT, ROLLBACK)", n)
+	}
+	if last := (*changes)[2]; last.Kind != "ROLLBACK" || last.SQL != "ROLLBACK" || last.Session != s.ID() {
+		t.Fatalf("API rollback captured as %+v, want kind=ROLLBACK on session %d", last, s.ID())
+	}
+	// The stream stays dense across the API rollback.
+	for i, c := range *changes {
+		if c.Seq != int64(i)+1 {
+			t.Fatalf("change %d has seq %d, want %d (dense)", i, c.Seq, i+1)
+		}
+	}
+
+	// The same origin session transacts again: without the captured
+	// rollback the replica would refuse this BEGIN ("transaction already
+	// open") and redeliver it forever.
+	s.Exec("BEGIN")
+	s.Exec("INSERT INTO t VALUES (2)")
+	s.Exec("COMMIT")
+
+	replica := Open("r")
+	replica.MustExec("CREATE TABLE t (id INTEGER)")
+	ap := NewApplier(replica, 0)
+	for _, c := range *changes {
+		if err := ap.Apply(c); err != nil {
+			t.Fatalf("apply %+v: %v", c, err)
+		}
+	}
+	if ap.OpenTransactions() != 0 {
+		t.Fatalf("replica holds %d open txns, want 0", ap.OpenTransactions())
+	}
+	if pd, rd := primary.Dump(), replica.Dump(); pd != rd {
+		t.Fatalf("replica diverged:\nprimary:\n%s\nreplica:\n%s", pd, rd)
+	}
+}
+
+// TestApplierSeqGapLatchesDivergence: a hole in the dense change
+// sequence means a primary write was lost in transit; the applier must
+// refuse to continue (stale reads beat silently wrong reads) and the
+// refusal must latch.
+func TestApplierSeqGapLatchesDivergence(t *testing.T) {
+	db := Open("r")
+	db.MustExec("CREATE TABLE t (id INTEGER)")
+	ap := NewApplier(db, 0)
+	ins := func(seq int64) Change {
+		return Change{Seq: seq, Session: 1, Kind: "INSERT", SQL: "INSERT INTO t VALUES (1)"}
+	}
+	if err := ap.Apply(ins(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ap.Apply(ins(2)); err != nil {
+		t.Fatal(err)
+	}
+	err := ap.Apply(ins(4)) // seq 3 never arrived
+	if !errors.Is(err, ErrDiverged) {
+		t.Fatalf("gap apply: err = %v, want ErrDiverged", err)
+	}
+	var tmp interface{ Temporary() bool }
+	if !errors.As(err, &tmp) || tmp.Temporary() {
+		t.Fatalf("divergence must be permanent, got %v", err)
+	}
+	// Latches: even a well-formed follow-up is refused.
+	if err := ap.Apply(ins(5)); !errors.Is(err, ErrDiverged) {
+		t.Fatalf("apply after divergence: err = %v, want latched ErrDiverged", err)
+	}
+	if ap.Fatal() == nil {
+		t.Fatal("Fatal() nil after divergence")
+	}
+	// The gapped statement must not have been applied.
+	res := db.MustExec("SELECT COUNT(*) FROM t")
+	if n, _ := res.Rows[0][0].AsInt(); n != 2 {
+		t.Fatalf("replica has %d rows, want 2 (post-gap writes refused)", n)
+	}
+}
+
+// TestApplierStreamStartPastFloorDiverges: a bootstrapped replica whose
+// first delivered change is beyond floor+1 has lost the records in
+// between (pruned WAL segments) and must demand a re-bootstrap.
+func TestApplierStreamStartPastFloorDiverges(t *testing.T) {
+	db := Open("r")
+	db.MustExec("CREATE TABLE t (id INTEGER)")
+	ap := NewApplier(db, 3)
+	err := ap.Apply(Change{Seq: 6, Session: 1, Kind: "INSERT", SQL: "INSERT INTO t VALUES (1)"})
+	if !errors.Is(err, ErrDiverged) {
+		t.Fatalf("stream starting at 6 with floor 3: err = %v, want ErrDiverged", err)
+	}
+}
+
+// TestApplierStraddledTransactionRollbackDiverges: a transaction open
+// across the bootstrap dump leaves its uncommitted writes IN the dump
+// (read-uncommitted). If the primary then rolls it back, the replica
+// cannot follow — it already holds the writes and has auto-committed
+// any post-floor statements — so the applier must latch divergence
+// instead of skipping the rollback. The commit twin of the same shape
+// stays a benign skip.
+func TestApplierStraddledTransactionRollbackDiverges(t *testing.T) {
+	run := func(t *testing.T, finish func(s *Session)) (*Applier, *DB, *DB, error) {
+		t.Helper()
+		primary := Open("p")
+		changes := captureChanges(primary)
+		s := primary.Session()
+		s.Exec("CREATE TABLE t (id INTEGER)")
+		s.Exec("BEGIN")
+		s.Exec("INSERT INTO t VALUES (1)")
+
+		// Bootstrap mid-transaction: the dump holds the uncommitted row.
+		script, seq := primary.DumpWithSeq()
+		s.Exec("INSERT INTO t VALUES (2)")
+		finish(s)
+
+		replica := Open("r")
+		if _, err := replica.ExecScript(script); err != nil {
+			t.Fatal(err)
+		}
+		ap := NewApplier(replica, seq)
+		var firstErr error
+		for _, c := range *changes {
+			if err := ap.Apply(c); err != nil {
+				firstErr = err
+				break
+			}
+		}
+		return ap, primary, replica, firstErr
+	}
+
+	t.Run("rollback", func(t *testing.T) {
+		ap, _, _, err := run(t, func(s *Session) { s.Rollback() })
+		if !errors.Is(err, ErrDiverged) {
+			t.Fatalf("straddled rollback: err = %v, want ErrDiverged", err)
+		}
+		if ap.Fatal() == nil {
+			t.Fatal("Fatal() nil after straddled rollback")
+		}
+	})
+	t.Run("commit", func(t *testing.T) {
+		ap, primary, replica, err := run(t, func(s *Session) { s.Exec("COMMIT") })
+		if err != nil {
+			t.Fatalf("straddled commit: %v", err)
+		}
+		if ap.Fatal() != nil {
+			t.Fatalf("straddled commit latched divergence: %v", ap.Fatal())
+		}
+		if pd, rd := primary.Dump(), replica.Dump(); pd != rd {
+			t.Fatalf("replica diverged on straddled commit:\nprimary:\n%s\nreplica:\n%s", pd, rd)
+		}
+	})
+}
+
+// TestApplierBeginWhileOpenDiverges: a BEGIN for an origin session the
+// replica still holds open means a rollback was lost upstream (e.g. a
+// textless path the sink cannot capture); guessing would risk undoing a
+// lost COMMIT instead, so the applier refuses.
+func TestApplierBeginWhileOpenDiverges(t *testing.T) {
+	db := Open("r")
+	db.MustExec("CREATE TABLE t (id INTEGER)")
+	ap := NewApplier(db, 0)
+	seq := int64(0)
+	next := func(kind, sql string) Change {
+		seq++
+		return Change{Seq: seq, Session: 9, Kind: kind, SQL: sql}
+	}
+	if err := ap.Apply(next("BEGIN", "BEGIN")); err != nil {
+		t.Fatal(err)
+	}
+	if err := ap.Apply(next("INSERT", "INSERT INTO t VALUES (1)")); err != nil {
+		t.Fatal(err)
+	}
+	if err := ap.Apply(next("BEGIN", "BEGIN")); !errors.Is(err, ErrDiverged) {
+		t.Fatalf("BEGIN while open: err = %v, want ErrDiverged", err)
+	}
+}
+
 func TestValueCodecRoundTrip(t *testing.T) {
 	vals := []Value{
 		Null(), Int(0), Int(-42), Int(1 << 60), Float(3.25), Float(-0.5),

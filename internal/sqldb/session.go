@@ -633,18 +633,31 @@ func (s *Session) rollbackLocked() {
 
 // Rollback aborts any open explicit transaction (no-op otherwise). It is
 // used by the workflow layers when a fault aborts an atomic SQL sequence.
+//
+// A rollback that closed a transaction is emitted to the change stream
+// exactly like an executed ROLLBACK statement would be: the replica's
+// mapped session holds the mirrored transaction open, and without the
+// record it would stay open forever — the origin session's next BEGIN
+// would then fail on the replica and wedge replication.
 func (s *Session) Rollback() {
 	if s.locked {
 		// Re-entrant (child session): the engine lock is already held by
 		// the enclosing statement.
-		s.rollbackLocked()
+		if s.txn != nil {
+			s.rollbackLocked()
+			s.emitChangeLocked(&RollbackStmt{}, "ROLLBACK", nil, nil)
+		}
 		return
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.db.mu.Lock()
 	defer s.db.mu.Unlock()
+	if s.txn == nil {
+		return
+	}
 	s.rollbackLocked()
+	s.emitChangeLocked(&RollbackStmt{}, "ROLLBACK", nil, nil)
 }
 
 func (s *Session) nextSequenceValue(name string) (Value, error) {

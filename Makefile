@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race short soak cover bench overload failover fuzz race-parallel race-overload race-failover ci clean
+.PHONY: all build vet test race short soak cover bench overload failover fleet fuzz race-parallel race-overload race-failover race-fleet ci clean
 
 all: build
 
@@ -60,6 +60,16 @@ overload:
 failover:
 	$(GO) run ./cmd/wfbench -failover -out BENCH_PR6.json
 
+# Sharded-fleet chaos series: per stack, paired bursts over a
+# self-driving fleet of lease-fenced shard primaries — one undisturbed,
+# one with a seed-chosen shard primary crash-injected mid-burst
+# (supervisor detects via lease staleness, promotes the shard's warm
+# standby, router buffers the victim's submissions). Fleet-wide
+# conservation, failover timings, and goodput retention land in
+# BENCH_PR7.json.
+fleet:
+	$(GO) run ./cmd/wfbench -fleet -out BENCH_PR7.json
+
 # Fuzz smoke: a bounded run of the WAL-scanner fuzzer (recovery must
 # survive arbitrary bytes). CI-friendly; raise -fuzztime manually for
 # longer campaigns.
@@ -87,10 +97,19 @@ race-failover:
 	$(GO) test -race ./internal/replica/ ./internal/journal/
 	$(GO) test -race -run 'TestFailover' .
 
+# The fleet race gate: ring/health/router/supervisor unit suites plus
+# the fleet chaos matrix (1-of-N shard primary killed mid-burst × 3
+# stacks, lease-fenced per-shard takeover, fleet-wide conservation,
+# hot-shard isolation) under the race detector (what the fleet CI job
+# runs).
+race-fleet:
+	$(GO) test -race ./internal/shard/
+	$(GO) test -race -run 'TestFleet' .
+
 # The gate: build, vet, the full race-enabled suite (soak included),
 # then the WAL-scanner fuzz smoke.
 ci: build vet race fuzz
 
 clean:
 	$(GO) clean ./...
-	rm -f coverage.out BENCH_PR3.json BENCH_PR4.json BENCH_PR5.json BENCH_PR6.json
+	rm -f coverage.out BENCH_PR3.json BENCH_PR4.json BENCH_PR5.json BENCH_PR6.json BENCH_PR7.json

@@ -14,6 +14,7 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"math/rand"
 	"os"
 	"runtime"
 	"time"
@@ -147,6 +148,9 @@ func runFailoverBench(w wfsql.Workload, phaseInstances, workers int, svclat, ttl
 	}
 	rep.MinRetention = 1
 	heartbeat := ttl / 5
+	// The fault schedule derives from the workload seed, so -seed replays
+	// an identical series — same crash points, same report shape.
+	rng := rand.New(rand.NewSource(w.Seed))
 
 	for _, stack := range failoverStacks() {
 		fr := &failoverFigure{Stack: stack.name}
@@ -175,11 +179,12 @@ func runFailoverBench(w wfsql.Workload, phaseInstances, workers int, svclat, ttl
 		stopFollow := ws.Follow(heartbeat)
 
 		// Kill mid-burst: the crash fires around the burst's halfway
-		// point, after an invoke effect (the widest-window crash point).
+		// point, after an invoke effect (the widest-window crash point),
+		// seed-jittered within one instance's worth of effects.
 		plan := &chaos.CrashPlan{
 			Point:    journal.CrashAfterEffect,
 			Activity: stack.invokeAct,
-			AtEffect: phaseInstances/2*items + 2,
+			AtEffect: phaseInstances/2*items + 1 + rng.Intn(items),
 		}
 		chaos.Crash(pri.Rec, plan)
 

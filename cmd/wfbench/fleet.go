@@ -1,0 +1,324 @@
+package main
+
+// The -fleet mode measures the sharded fleet's blast radius: each stack
+// runs the same instance burst twice over a self-driving fleet of
+// -shards lease-fenced primaries (heartbeats, followers, and the
+// supervisor sweep all on real timers) — once undisturbed, once with a
+// seed-chosen shard primary crash-injected mid-burst. The supervisor
+// detects the death via lease staleness, promotes that shard's warm
+// standby, and the router rides out the window by buffering the
+// victim's submissions; healthy shards never stop. Goodput retention is
+// the chaos run's fleet-wide completed-per-second against the
+// undisturbed run's — the fraction of throughput a 1-of-N primary loss
+// leaves standing. The victim shard and the crash's effect index both
+// derive from -seed, so a report is reproducible bit-for-bit in
+// placement and fault schedule.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"wfsql"
+	"wfsql/internal/chaos"
+	"wfsql/internal/journal"
+	"wfsql/internal/shard"
+)
+
+// fleetInvokeActivity names each stack's supplier-invocation activity —
+// the crash point with the widest failure window (effect applied,
+// journal record in doubt).
+var fleetInvokeActivity = map[string]string{
+	"BIS":    "invoke",
+	"WF":     "invoke",
+	"Oracle": "Invoke",
+}
+
+// fleetPhase is one burst's fleet-wide outcome.
+type fleetPhase struct {
+	Submitted         int64   `json:"submitted"`
+	Completed         int64   `json:"completed"`
+	Failed            int64   `json:"failed"`
+	Shed              int64   `json:"shed"`
+	Unroutable        int64   `json:"unroutable"`
+	ElapsedMS         float64 `json:"elapsed_ms"`
+	GoodputPerSec     float64 `json:"goodput_per_sec"`
+	PerShardCompleted []int64 `json:"per_shard_completed"`
+}
+
+// fleetFigure is the per-stack section of BENCH_PR7.json.
+type fleetFigure struct {
+	Stack            string      `json:"stack"`
+	Baseline         *fleetPhase `json:"baseline"`
+	Chaos            *fleetPhase `json:"chaos"`
+	Victim           int         `json:"victim_shard"`
+	VictimRuns       int         `json:"victim_placed_instances"`
+	AtEffect         int         `json:"crash_at_effect"`
+	DetectMS         float64     `json:"detect_ms"`            // death observed -> supervisor reacts
+	FailoverMS       float64     `json:"failover_ms"`          // death observed -> standby promoted
+	Takeovers        int64       `json:"takeovers"`            // fleet-wide, want exactly 1
+	FencedWrites     int64       `json:"old_primary_fenced_writes"`
+	Epoch            int64       `json:"takeover_epoch"`
+	GoodputRetention float64     `json:"goodput_retention"` // chaos goodput / baseline goodput
+}
+
+// fleetReport is the whole BENCH_PR7.json document.
+type fleetReport struct {
+	Generated    string                  `json:"generated"`
+	GoVersion    string                  `json:"go_version"`
+	GOOS         string                  `json:"goos"`
+	GOARCH       string                  `json:"goarch"`
+	CPUs         int                     `json:"cpus"`
+	Workload     wfsql.Workload          `json:"workload"`
+	ServiceLat   string                  `json:"service_latency"`
+	Shards       int                     `json:"shards"`
+	Instances    int                     `json:"instances_per_phase"`
+	LeaseTTL     string                  `json:"lease_ttl"`
+	Seed         int64                   `json:"seed"`
+	Figures      map[string]*fleetFigure `json:"figures"`
+	MinRetention float64                 `json:"min_goodput_retention"`
+}
+
+// startBenchFleet brings up a fully self-driving fleet: real heartbeats
+// at TTL/5 renew every shard's lease, every standby follows its WAL, and
+// the supervisor sweeps at the same cadence, so detection and takeover
+// run on wall-clock time exactly as a deployment would. One worker per
+// shard keeps the crash's failure deterministic: the victim's single
+// in-flight run dies, everything queued behind it rides out the
+// failover in the admission queue.
+func startBenchFleet(w wfsql.Workload, stack wfsql.FleetStack, shards, instances int, svclat, ttl time.Duration) *wfsql.Fleet {
+	f, err := wfsql.StartFleet(wfsql.FleetConfig{
+		Shards:       shards,
+		Workers:      1,
+		QueueBound:   instances + 1, // every submission admits immediately; no sheds in the series
+		TTL:          ttl,
+		Heartbeat:    ttl / 10,
+		CheckEvery:   ttl / 5,
+		FailoverWait: 4*ttl + 10*time.Second,
+		Workload:     w,
+		Stack:        stack,
+	})
+	if err != nil {
+		fatal(fmt.Errorf("%s: start fleet: %w", stack.Name, err))
+	}
+	for i := 0; i < shards; i++ {
+		injectLatency(f.ShardEnv(i), svclat)
+	}
+	return f
+}
+
+// submitBurst places instances keyed submissions across the fleet and
+// drains it, returning the report. Keys are the deterministic
+// "order#NNNN" sequence, so placement depends only on the ring.
+func submitBurst(f *wfsql.Fleet, stack string, instances int) wfsql.FleetReport {
+	ctx := context.Background()
+	for j := 0; j < instances; j++ {
+		if err := f.Submit(ctx, fmt.Sprintf("order#%04d", j)); err != nil {
+			fatal(fmt.Errorf("%s: submit %d: %w", stack, j, err))
+		}
+	}
+	return f.Drain()
+}
+
+// fleetTrials is how many baseline/chaos pairs each stack runs; the
+// pair with the median retention ratio is the one reported. The
+// failover window under measurement is a few hundred milliseconds
+// against multi-second bursts whose wall-clock jitters by more than
+// that, so a single pair would mostly measure scheduler luck.
+const fleetTrials = 3
+
+func fleetPhaseReport(rep wfsql.FleetReport) *fleetPhase {
+	p := &fleetPhase{
+		Submitted:  rep.Submitted,
+		Completed:  rep.Completed,
+		Failed:     rep.Failed,
+		Shed:       rep.Shed,
+		Unroutable: rep.Unroutable,
+		ElapsedMS:  ms(rep.Elapsed),
+	}
+	p.GoodputPerSec = rep.Goodput
+	for _, pr := range rep.PerShard {
+		p.PerShardCompleted = append(p.PerShardCompleted, pr.Completed)
+	}
+	return p
+}
+
+// runFleetBench drives the fleet chaos series: per stack, an
+// undisturbed fleet burst, then the same burst with one shard primary
+// killed mid-stream.
+func runFleetBench(w wfsql.Workload, instances, shards int, svclat, ttl time.Duration, out string) {
+	// N shards' heartbeat and follower goroutines contend with the
+	// bursts themselves; a TTL tuned for one warm standby (the -failover
+	// default) false-fences healthy primaries here when a renewal loses
+	// the CPU for a beat too long. Floor it at fleet scale.
+	if min := 300 * time.Millisecond; ttl < min {
+		ttl = min
+	}
+	rep := fleetReport{
+		Generated:    time.Now().UTC().Format(time.RFC3339),
+		GoVersion:    runtime.Version(),
+		GOOS:         runtime.GOOS,
+		GOARCH:       runtime.GOARCH,
+		CPUs:         runtime.NumCPU(),
+		Workload:     w,
+		ServiceLat:   svclat.String(),
+		Shards:       shards,
+		Instances:    instances,
+		LeaseTTL:     ttl.String(),
+		Seed:         w.Seed,
+		Figures:      map[string]*fleetFigure{},
+		MinRetention: 1,
+	}
+	// One generator drives every stack's fault schedule, so the whole
+	// series replays from -seed alone.
+	rng := rand.New(rand.NewSource(w.Seed))
+
+	for _, stack := range wfsql.FleetStacks() {
+		// The fault schedule comes from the seeded stream once per stack —
+		// every trial replays the identical fault.
+		victimDraw, jitter := rng.Intn(shards), rng.Intn(1<<16)
+
+		runBase := func() *fleetPhase {
+			base := startBenchFleet(w, stack, shards, instances, svclat, ttl)
+			baseRep := submitBurst(base, stack.Name, instances)
+			base.Close()
+			if got := baseRep.Completed + baseRep.Failed + baseRep.Shed; got != baseRep.Submitted {
+				fatal(fmt.Errorf("%s baseline: conservation broken: %d+%d+%d != %d",
+					stack.Name, baseRep.Completed, baseRep.Failed, baseRep.Shed, baseRep.Submitted))
+			}
+			if baseRep.Failed != 0 || baseRep.Shed != 0 {
+				fatal(fmt.Errorf("%s baseline: %d failed, %d shed on an undisturbed fleet",
+					stack.Name, baseRep.Failed, baseRep.Shed))
+			}
+			return fleetPhaseReport(baseRep)
+		}
+
+		// One chaos trial: any shard that owns a meaningful share of the
+		// burst is an eligible victim, and the crash lands near the middle
+		// of the victim's share, after an invoke effect, jittered within
+		// one instance's effect count.
+		runChaos := func(fr *fleetFigure) *fleetPhase {
+			f := startBenchFleet(w, stack, shards, instances, svclat, ttl)
+			items := f.ShardEnv(0).ApprovedItemTypes()
+			placed := make([]int, shards)
+			for j := 0; j < instances; j++ {
+				placed[f.Router.Place(fmt.Sprintf("order#%04d", j))]++
+			}
+			victim := victimDraw
+			for placed[victim] < 4 { // skewed ring: walk to a shard with real load
+				victim = (victim + 1) % shards
+			}
+			fr.Victim = victim
+			fr.VictimRuns = placed[victim]
+			fr.AtEffect = placed[victim]/2*items + 1 + jitter%items
+			plan := &chaos.CrashPlan{
+				Point:    journal.CrashAfterEffect,
+				Activity: fleetInvokeActivity[stack.Name],
+				AtEffect: fr.AtEffect,
+			}
+			chaos.Crash(f.ShardPrimary(victim).Rec, plan)
+
+			// Watch the victim from the side: death observed -> supervisor
+			// reaction (shard leaves Serving) -> promotion.
+			watched := make(chan struct{})
+			go func() {
+				defer close(watched)
+				for !f.ShardDead(victim) && f.ShardTakeovers(victim) == 0 {
+					time.Sleep(time.Millisecond)
+				}
+				died := time.Now()
+				for f.Health.State(victim) == shard.Serving && f.ShardTakeovers(victim) == 0 {
+					time.Sleep(time.Millisecond)
+				}
+				fr.DetectMS = ms(time.Since(died))
+				for f.ShardTakeovers(victim) == 0 {
+					time.Sleep(time.Millisecond)
+				}
+				fr.FailoverMS = ms(time.Since(died))
+			}()
+
+			chaosRep := submitBurst(f, stack.Name, instances)
+			<-watched
+			if !plan.Fired() {
+				fatal(fmt.Errorf("%s: crash plan never fired (victim %d, at effect %d)", stack.Name, victim, fr.AtEffect))
+			}
+			if got := chaosRep.Completed + chaosRep.Failed + chaosRep.Shed; got != chaosRep.Submitted {
+				fatal(fmt.Errorf("%s chaos: conservation broken: %d+%d+%d != %d",
+					stack.Name, chaosRep.Completed, chaosRep.Failed, chaosRep.Shed, chaosRep.Submitted))
+			}
+			if chaosRep.Takeovers != 1 {
+				fatal(fmt.Errorf("%s chaos: %d takeovers, want exactly 1", stack.Name, chaosRep.Takeovers))
+			}
+			// Exactly the crashed run is lost; everything else completes.
+			if chaosRep.Failed != 1 || chaosRep.Shed != 0 {
+				fatal(fmt.Errorf("%s chaos: %d failed / %d shed, want 1 / 0", stack.Name, chaosRep.Failed, chaosRep.Shed))
+			}
+			// The old primary stays a fenced zombie.
+			if err := f.ShardPrimary(victim).Rec.Deploy("zombie-probe"); !journal.IsFenced(err) {
+				fatal(fmt.Errorf("%s chaos: zombie append on shard %d: got %v, want ErrFenced", stack.Name, victim, err))
+			}
+			fr.FencedWrites = f.ShardPrimary(victim).Rec.FencedWrites()
+			fr.Epoch = f.ShardRecorder(victim).Epoch()
+			fr.Takeovers = chaosRep.Takeovers
+			f.Close()
+			return fleetPhaseReport(chaosRep)
+		}
+
+		// Paired trials: each baseline runs back-to-back with its chaos
+		// partner, and the reported figure is the pair with the median
+		// retention ratio. The box runs the series on a single shared CPU
+		// whose available cycles drift by more than the failover window
+		// costs; pairing puts both sides of each ratio under the same
+		// conditions, and the median drops the trials a co-tenant stomped.
+		figs := make([]*fleetFigure, fleetTrials)
+		for i := range figs {
+			figs[i] = &fleetFigure{Stack: stack.Name}
+			figs[i].Baseline = runBase()
+			figs[i].Chaos = runChaos(figs[i])
+			if figs[i].Baseline.GoodputPerSec > 0 {
+				figs[i].GoodputRetention = figs[i].Chaos.GoodputPerSec / figs[i].Baseline.GoodputPerSec
+			}
+			fmt.Fprintf(os.Stderr, "  %s pair %d: chaos %.1f/s vs base %.1f/s -> retention %.0f%%\n",
+				stack.Name, i+1, figs[i].Chaos.GoodputPerSec, figs[i].Baseline.GoodputPerSec,
+				100*figs[i].GoodputRetention)
+		}
+		sort.Slice(figs, func(a, b int) bool {
+			return figs[a].GoodputRetention < figs[b].GoodputRetention
+		})
+		fr := figs[len(figs)/2]
+
+		if fr.GoodputRetention < rep.MinRetention {
+			rep.MinRetention = fr.GoodputRetention
+		}
+		rep.Figures[stack.Name] = fr
+		fmt.Fprintf(os.Stderr,
+			"%-7s victim shard %d (%d/%d instances)  crash@effect %d  detect %.1fms  failover %.1fms  goodput %.1f/s vs %.1f/s  retention %.0f%%\n",
+			stack.Name, fr.Victim, fr.VictimRuns, instances, fr.AtEffect, fr.DetectMS, fr.FailoverMS,
+			fr.Chaos.GoodputPerSec, fr.Baseline.GoodputPerSec, 100*fr.GoodputRetention)
+	}
+
+	fmt.Fprintf(os.Stderr, "minimum goodput retention across stacks: %.0f%%\n", 100*rep.MinRetention)
+
+	f := os.Stdout
+	if out != "-" {
+		var err error
+		f, err = os.Create(out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fatal(err)
+	}
+	if out != "-" {
+		fmt.Fprintf(os.Stderr, "wrote %s\n", out)
+	}
+}

@@ -92,7 +92,9 @@ func main() {
 	slo := flag.Duration("slo", 250*time.Millisecond, "overload mode: per-instance completion SLO (and protected-mode budget)")
 	loadDur := flag.Duration("loaddur", 2*time.Second, "overload mode: open-loop offered-load duration per point")
 	failover := flag.Bool("failover", false, "run the warm-standby failover series instead of the figure matrix")
-	ttl := flag.Duration("ttl", 150*time.Millisecond, "failover mode: lease TTL (expiry detection dominates downtime; too low false-fences a healthy primary on scheduling hiccups)")
+	ttl := flag.Duration("ttl", 150*time.Millisecond, "failover/fleet modes: lease TTL (expiry detection dominates downtime; too low false-fences a healthy primary on scheduling hiccups)")
+	fleet := flag.Bool("fleet", false, "run the sharded-fleet chaos series instead of the figure matrix")
+	shards := flag.Int("shards", 3, "fleet mode: shard count")
 	flag.Parse()
 
 	w := wfsql.Workload{Orders: *orders, Items: *items, ApprovalPercent: *approve, Seed: *seed}
@@ -112,6 +114,16 @@ func main() {
 		// Per-phase burst large enough that the lease-TTL downtime is
 		// small against the work, the regime a warm standby targets.
 		runFailoverBench(w, 8**instances, *parallel, *svclat, *ttl, o)
+		return
+	}
+	if *fleet {
+		o := *out
+		if o == "BENCH_PR4.json" { // default not overridden: fleet series gets its own file
+			o = "BENCH_PR7.json"
+		}
+		// Per-phase burst sized so one shard's lease-TTL downtime is small
+		// against the fleet's work — the blast radius the shards buy.
+		runFleetBench(w, 16**instances, *shards, *svclat, *ttl, o)
 		return
 	}
 	figures := []struct {

@@ -3,6 +3,7 @@ package wfsql
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"wfsql/internal/journal"
@@ -104,6 +105,7 @@ type WarmStandby struct {
 	OnFollowError func(error)
 
 	stopHB func()
+	polls  int64 // atomic: CatchUp polls executed by Follow loops
 
 	mu      sync.Mutex
 	lastErr error
@@ -135,14 +137,24 @@ func (ws *WarmStandby) AttachSQLReplica(primary *Environment, name string) error
 // apply), returning records absorbed.
 func (ws *WarmStandby) CatchUp() (int, error) { return ws.Standby.CatchUp() }
 
-// Follow polls CatchUp at the given interval on a background goroutine
-// until the returned stop function is called or a poll fails. A poll
-// error ends the loop — a standby cannot keep following a stream it can
-// no longer read — but never silently: the error is retained for
-// LastError and handed to OnFollowError, so the operator learns the
-// standby went stale instead of discovering it at takeover time. stop
-// blocks until the goroutine has exited, so after it returns the caller
-// may use CatchUp directly — the tailer is single-goroutine.
+// followBackoffCap bounds Follow's idle backoff at this multiple of the
+// base interval: deep enough to stop a parked standby from hammering a
+// quiet WAL, shallow enough that the first poll after a stall is never
+// more than ~8 intervals late.
+const followBackoffCap = 8
+
+// Follow polls CatchUp on a background goroutine until the returned
+// stop function is called or a poll fails. The poll cadence adapts: a
+// poll that absorbs records is followed after the base interval, while
+// idle polls — a standby parked at the tip (or a torn tail) of a quiet
+// primary — back off exponentially up to followBackoffCap× the base,
+// resetting to the base the moment progress resumes. A poll error ends
+// the loop — a standby cannot keep following a stream it can no longer
+// read — but never silently: the error is retained for LastError and
+// handed to OnFollowError, so the operator learns the standby went
+// stale instead of discovering it at takeover time. stop blocks until
+// the goroutine has exited, so after it returns the caller may use
+// CatchUp directly — the tailer is single-goroutine.
 func (ws *WarmStandby) Follow(interval time.Duration) (stop func()) {
 	ws.mu.Lock()
 	ws.lastErr = nil
@@ -151,14 +163,17 @@ func (ws *WarmStandby) Follow(interval time.Duration) (stop func()) {
 	exited := make(chan struct{})
 	go func() {
 		defer close(exited)
-		t := time.NewTicker(interval)
+		wait := interval
+		t := time.NewTimer(wait)
 		defer t.Stop()
 		for {
 			select {
 			case <-done:
 				return
 			case <-t.C:
-				if _, err := ws.CatchUp(); err != nil {
+				n, err := ws.CatchUp()
+				atomic.AddInt64(&ws.polls, 1)
+				if err != nil {
 					ws.mu.Lock()
 					ws.lastErr = err
 					ws.mu.Unlock()
@@ -167,6 +182,15 @@ func (ws *WarmStandby) Follow(interval time.Duration) (stop func()) {
 					}
 					return
 				}
+				if n > 0 {
+					wait = interval
+				} else if wait < followBackoffCap*interval {
+					wait *= 2
+					if wait > followBackoffCap*interval {
+						wait = followBackoffCap * interval
+					}
+				}
+				t.Reset(wait)
 			}
 		}
 	}()
@@ -176,6 +200,11 @@ func (ws *WarmStandby) Follow(interval time.Duration) (stop func()) {
 		<-exited
 	}
 }
+
+// Polls returns the number of CatchUp polls Follow loops have executed
+// over this standby's lifetime — the observable the backoff test (and a
+// curious operator) reads to verify an idle follower really slows down.
+func (ws *WarmStandby) Polls() int64 { return atomic.LoadInt64(&ws.polls) }
 
 // LastError returns the error that terminated the most recent Follow
 // loop, nil while it is healthy (or was stopped cleanly). It is the

@@ -2,10 +2,12 @@ package wfsql
 
 import (
 	"errors"
+	"fmt"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -239,6 +241,80 @@ func TestFollowSurfacesTerminalError(t *testing.T) {
 	}
 	if err := ws.LastError(); !errors.Is(err, wantErr) {
 		t.Fatalf("LastError = %v, want %v", err, wantErr)
+	}
+}
+
+// TestFollowBacksOffWhenStalled: an idle follower must not poll a quiet
+// WAL at the full base rate — the loop backs off exponentially (capped)
+// while nothing arrives, and snaps back to prompt absorption the moment
+// the primary writes again.
+func TestFollowBacksOffWhenStalled(t *testing.T) {
+	dir := t.TempDir()
+	rec, err := journal.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+
+	ws := NewWarmStandby(dir, time.Second)
+	// The tailer itself is single-goroutine, so absorption is observed
+	// through the standby's effect hook, not Tailer counters.
+	var absorbed atomic.Int64
+	ws.Standby.OnSQLEffect(func(journal.SQLEffectRecord) error {
+		absorbed.Add(1)
+		return nil
+	})
+	base := 2 * time.Millisecond
+	stop := ws.Follow(base)
+	defer stop()
+
+	// Active phase: records arrive and are absorbed.
+	effect := func(seq int64) error {
+		return rec.SQLEffect(journal.SQLEffectRecord{
+			Seq: seq, Session: 1, Kind: "INSERT",
+			SQL: fmt.Sprintf("INSERT INTO t VALUES (%d)", seq),
+		})
+	}
+	for i := int64(1); i <= 5; i++ {
+		if err := effect(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for absorbed.Load() < 5 {
+		if time.Now().After(deadline) {
+			t.Fatalf("follower absorbed %d records, want 5", absorbed.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Stall phase: nothing arrives. A fixed-rate loop would poll
+	// ~stall/base times; the backoff ramps to the cap, so the count
+	// must come in far below that.
+	p0 := ws.Polls()
+	stall := 160 * base
+	time.Sleep(stall)
+	stalled := ws.Polls() - p0
+	fixedRate := int64(stall / base)
+	if stalled >= fixedRate/2 {
+		t.Fatalf("stalled follower polled %d times in %v (fixed rate would be ~%d) — backoff is not engaging", stalled, stall, fixedRate)
+	}
+	if stalled == 0 {
+		t.Fatal("stalled follower stopped polling entirely")
+	}
+
+	// Wake phase: a new record is absorbed within a few capped
+	// intervals — the backoff bounds staleness, it does not park the
+	// follower forever.
+	if err := effect(6); err != nil {
+		t.Fatal(err)
+	}
+	deadline = time.Now().Add(2 * time.Second)
+	for absorbed.Load() < 6 {
+		if time.Now().After(deadline) {
+			t.Fatalf("follower never caught up after the stall (absorbed %d)", absorbed.Load())
+		}
+		time.Sleep(time.Millisecond)
 	}
 }
 

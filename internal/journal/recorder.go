@@ -6,7 +6,9 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -202,6 +204,7 @@ type Recorder struct {
 	rotate       bool
 	rotations    int64
 	keepSegments int
+	keepBytes    int64
 
 	// TornTail reports whether Open found (and truncated) a torn
 	// tail, and why. For diagnostics and tests.
@@ -505,6 +508,68 @@ func (r *Recorder) SetRotateKeep(keep int) {
 	r.keepSegments = keep
 }
 
+// SetRotateKeepBytes additionally caps the total size of retained
+// rotation archives. The count bound (SetRotateKeep) limits how many
+// generations a tailer may lag; this bounds the disk they occupy — a
+// slow tailer behind a write-heavy primary otherwise turns retention
+// into an unbounded disk leak. Eviction is strictly oldest-generation
+// first and may outrun the count bound, including evicting the newest
+// archive when a single segment exceeds the cap; a tailer that then
+// lags past an evicted generation detects the loss via SkippedSegments,
+// exactly as with the count bound. Zero (the default) disables the byte
+// cap. The current retained total is exported as the
+// journal.archive_bytes gauge.
+func (r *Recorder) SetRotateKeepBytes(max int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.keepBytes = max
+}
+
+// pruneArchivesLocked enforces both archive retention bounds — count
+// (keepSegments) and bytes (keepBytes) — evicting oldest generations
+// first, and refreshes the journal.archive_bytes gauge. Caller holds
+// r.mu.
+func (r *Recorder) pruneArchivesLocked() {
+	matches, err := filepath.Glob(r.path + archiveSuffix + "*")
+	if err != nil {
+		return
+	}
+	type arch struct {
+		gen  int64
+		size int64
+		path string
+	}
+	var archives []arch
+	var total int64
+	for _, p := range matches {
+		gen, err := strconv.ParseInt(strings.TrimPrefix(p, r.path+archiveSuffix), 10, 64)
+		if err != nil {
+			continue
+		}
+		fi, err := os.Stat(p)
+		if err != nil {
+			continue
+		}
+		archives = append(archives, arch{gen: gen, size: fi.Size(), path: p})
+		total += fi.Size()
+	}
+	sort.Slice(archives, func(i, j int) bool { return archives[i].gen < archives[j].gen })
+	evict := func() {
+		os.Remove(archives[0].path)
+		total -= archives[0].size
+		archives = archives[1:]
+	}
+	for len(archives) > r.keepSegments {
+		evict()
+	}
+	if r.keepBytes > 0 {
+		for len(archives) > 0 && total > r.keepBytes {
+			evict()
+		}
+	}
+	r.obs.M().Gauge("journal.archive_bytes").SetInt(total)
+}
+
 // SetRotateAtCheckpoint enables WAL rotation: every checkpoint writes a
 // fresh segment containing only the snapshot, fsyncs it, and atomically
 // renames it over the WAL — so the journal's size is bounded by one
@@ -568,7 +633,7 @@ func (r *Recorder) rotateLocked(buf []byte) (handled bool, err error) {
 		if err := os.Link(r.path, arch); err != nil {
 			return abort(fmt.Errorf("journal: rotate: archive segment: %w", err))
 		}
-		os.Remove(archivePath(r.path, r.rotations-int64(r.keepSegments)))
+		r.pruneArchivesLocked()
 	}
 	if err := os.Rename(newPath, r.path); err != nil {
 		return abort(fmt.Errorf("journal: rotate: publish: %w", err))

@@ -3,7 +3,11 @@ package journal
 import (
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"testing"
+
+	"wfsql/internal/obsv"
 )
 
 // walSize returns the WAL's byte length.
@@ -157,5 +161,101 @@ func TestCrashAfterRotationRename(t *testing.T) {
 	}
 	if next := r2.AllocateID(); next != 2 {
 		t.Fatalf("next id = %d, want 2", next)
+	}
+}
+
+// archiveSizes stats every retained archive in dir, returning sizes
+// keyed by rotation generation.
+func archiveSizes(t *testing.T, dir string) map[int64]int64 {
+	t.Helper()
+	walPath := filepath.Join(dir, WALName)
+	matches, err := filepath.Glob(walPath + archiveSuffix + "*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[int64]int64, len(matches))
+	for _, p := range matches {
+		gen, err := strconv.ParseInt(strings.TrimPrefix(p, walPath+archiveSuffix), 10, 64)
+		if err != nil {
+			t.Fatalf("unparseable archive name %s: %v", p, err)
+		}
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[gen] = fi.Size()
+	}
+	return out
+}
+
+// TestArchiveByteCapEvictsOldestFirst: the byte cap on retained
+// rotation archives (SetRotateKeepBytes) evicts strictly from the
+// oldest generation up, leaves a contiguous newest suffix within the
+// cap, and keeps the journal.archive_bytes gauge equal to the retained
+// total. The count bound keeps working independently.
+func TestArchiveByteCapEvictsOldestFirst(t *testing.T) {
+	dir := t.TempDir()
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	obs := obsv.New()
+	r.SetObservability(obs)
+	r.SetCheckpointEvery(0)
+	r.SetRotateAtCheckpoint(true)
+	r.SetRotateKeep(10) // count bound out of the way
+
+	id := r.AllocateID()
+	payload := strings.Repeat("x", 64)
+	occ := 0
+	rotateOnce := func() {
+		for k := 0; k < 4; k++ {
+			occ++
+			must(t, r.ActivityComplete(id, "A", occ, EffectInvoke, map[string]string{"id": payload}))
+		}
+		must(t, r.Checkpoint())
+	}
+
+	// Four rotations, no byte cap: archives 0..3 all retained.
+	for i := 0; i < 4; i++ {
+		rotateOnce()
+	}
+	sizes := archiveSizes(t, dir)
+	if len(sizes) != 4 {
+		t.Fatalf("retained %d archives %v, want generations 0..3", len(sizes), sizes)
+	}
+	var total int64
+	for _, s := range sizes {
+		total += s
+	}
+	if got := obs.M().Gauge("journal.archive_bytes").Value(); int64(got) != total {
+		t.Fatalf("journal.archive_bytes = %v, stat total = %d", got, total)
+	}
+
+	// Cap at ~2.5 segments: the next rotation adds generation 4, and the
+	// sweep must evict 0, 1, and 2 — oldest first — leaving {3, 4}.
+	cap := sizes[2] + sizes[3] + sizes[3]/2
+	r.SetRotateKeepBytes(cap)
+	rotateOnce()
+	sizes = archiveSizes(t, dir)
+	if len(sizes) != 2 || sizes[3] == 0 || sizes[4] == 0 {
+		t.Fatalf("after byte-cap sweep archives = %v, want exactly generations {3, 4}", sizes)
+	}
+	total = sizes[3] + sizes[4]
+	if total > cap {
+		t.Fatalf("retained %d bytes over the %d cap", total, cap)
+	}
+	if got := obs.M().Gauge("journal.archive_bytes").Value(); int64(got) != total {
+		t.Fatalf("journal.archive_bytes = %v after sweep, stat total = %d", got, total)
+	}
+
+	// The count bound still applies on its own terms.
+	r.SetRotateKeepBytes(0)
+	r.SetRotateKeep(1)
+	rotateOnce()
+	sizes = archiveSizes(t, dir)
+	if len(sizes) != 1 || sizes[5] == 0 {
+		t.Fatalf("count bound keep=1 left archives %v, want only generation 5", sizes)
 	}
 }

@@ -355,3 +355,75 @@ func TestTailerFirstAttachDrainsRetainedHistory(t *testing.T) {
 		t.Fatalf("skipped = %d on first attach with full retention, want 0", tl.SkippedSegments())
 	}
 }
+
+// TestTailerTwoRotationsBetweenPolls: the drain-before-switch path with
+// TWO whole rotations between polls. The tailer's open descriptor pins
+// generation g while records keep landing in it; by the next poll, g
+// and g+1 both exist only as archives. The single poll must finish
+// draining the pinned inode, then chase BOTH archived generations in
+// order before adopting the live segment — strict record order, exactly
+// once, and no SkippedSegments false positive while retention covers
+// the gap.
+func TestTailerTwoRotationsBetweenPolls(t *testing.T) {
+	dir := t.TempDir()
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	r.SetCheckpointEvery(0)
+	r.SetRotateAtCheckpoint(true)
+	r.SetRotateKeep(8)
+	id := r.AllocateID()
+	must(t, r.InstanceCreated(id, "P", "", map[string]string{"id": "seed"}))
+
+	tl := NewTailer(dir)
+	defer tl.Close()
+	var order []string
+	poll := func() {
+		t.Helper()
+		if _, err := tl.Poll(func(rec *Record) error {
+			if rec.Kind != KindCheckpoint {
+				order = append(order, rec.Data["id"])
+			}
+			return nil
+		}); err != nil {
+			t.Fatalf("poll: %v", err)
+		}
+	}
+	poll() // pins generation 0's inode
+
+	// Records the pinned descriptor has not drained yet, then two
+	// back-to-back rotations, then live-segment records.
+	want := []string{"seed"}
+	occ := 0
+	appendID := func(idStr string) {
+		occ++
+		must(t, r.ActivityComplete(id, "A", occ, EffectInvoke, map[string]string{"id": idStr}))
+		want = append(want, idStr)
+	}
+	appendID("g0-a")
+	appendID("g0-b")
+	must(t, r.Checkpoint()) // rotation 1: generation 0 archived
+	appendID("g1-a")
+	appendID("g1-b")
+	must(t, r.Checkpoint()) // rotation 2: generation 1 archived
+	appendID("live-a")
+	appendID("live-b")
+
+	poll()
+	if len(order) != len(want) {
+		t.Fatalf("delivered %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("record %d = %q, want %q (full order %v)", i, order[i], want[i], order)
+		}
+	}
+	if tl.SkippedSegments() != 0 {
+		t.Fatalf("skipped = %d with retention covering both generations, want 0", tl.SkippedSegments())
+	}
+	if tl.Segment() != 2 {
+		t.Fatalf("tailer segment = %d after chasing two rotations, want 2", tl.Segment())
+	}
+}

@@ -1,0 +1,155 @@
+// Package shard is the fleet layer: placement of workflow instances
+// onto N engine shards by consistent hashing, a per-shard health state
+// machine fed by heartbeat probes, a router that fronts the shards with
+// the PR 5 admission pools, and a supervisor that turns missed
+// heartbeats into lease-fenced failovers. The package is deliberately
+// generic — it knows nothing about environments, journals, or leases;
+// the concrete wiring (StartPrimary per shard, WarmStandby takeover)
+// lives in the root fleet facade, which injects probe and failover
+// closures.
+package shard
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+)
+
+// Ring is a consistent-hash placement ring with virtual nodes. Each
+// shard contributes Replicas points on the ring; a key is placed on the
+// shard owning the first point at or after the key's hash. Adding or
+// removing one shard therefore remaps only the keys whose arc it owned
+// — about 1/N of them — instead of reshuffling every instance the way
+// `hash(key) % N` would.
+type Ring struct {
+	mu       sync.RWMutex
+	replicas int
+	points   []ringPoint // sorted by hash
+	shards   map[int]struct{}
+}
+
+type ringPoint struct {
+	hash  uint64
+	shard int
+}
+
+// DefaultReplicas is the virtual-node count per shard. 64 keeps the
+// arc-length imbalance across shards within a few percent for small N.
+const DefaultReplicas = 64
+
+// NewRing builds a ring over shards 0..n-1 with the given virtual-node
+// count (values < 1 use DefaultReplicas).
+func NewRing(n, replicas int) *Ring {
+	if replicas < 1 {
+		replicas = DefaultReplicas
+	}
+	r := &Ring{replicas: replicas, shards: make(map[int]struct{})}
+	for i := 0; i < n; i++ {
+		r.Add(i)
+	}
+	return r
+}
+
+// Add inserts a shard's virtual nodes (no-op if already present).
+func (r *Ring) Add(shard int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.shards[shard]; ok {
+		return
+	}
+	r.shards[shard] = struct{}{}
+	for v := 0; v < r.replicas; v++ {
+		r.points = append(r.points, ringPoint{hash: hashKey(fmt.Sprintf("shard-%d#%d", shard, v)), shard: shard})
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+}
+
+// Remove deletes a shard's virtual nodes; its keys fall through to the
+// ring successors (no-op if absent).
+func (r *Ring) Remove(shard int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.shards[shard]; !ok {
+		return
+	}
+	delete(r.shards, shard)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.shard != shard {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Place returns the shard owning key, or -1 on an empty ring.
+func (r *Ring) Place(key string) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 {
+		return -1
+	}
+	return r.points[r.search(hashKey(key))].shard
+}
+
+// Successors returns the distinct shards in ring order starting at
+// key's position — Successors(key)[0] is Place(key), the rest are the
+// fallback order a router walks when the home shard is unroutable.
+func (r *Ring) Successors(key string) []int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 {
+		return nil
+	}
+	out := make([]int, 0, len(r.shards))
+	seen := make(map[int]struct{}, len(r.shards))
+	start := r.search(hashKey(key))
+	for i := 0; i < len(r.points) && len(out) < len(r.shards); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if _, dup := seen[p.shard]; dup {
+			continue
+		}
+		seen[p.shard] = struct{}{}
+		out = append(out, p.shard)
+	}
+	return out
+}
+
+// Shards returns the member shard indices in ascending order.
+func (r *Ring) Shards() []int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]int, 0, len(r.shards))
+	for s := range r.shards {
+		out = append(out, s)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// search returns the index of the first point at or after h (wrapping).
+// Callers hold r.mu.
+func (r *Ring) search(h uint64) int {
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return i
+}
+
+// hashKey is FNV-1a with a splitmix64-style finalizer: raw FNV of
+// near-identical strings ("shard-0#1", "shard-0#2", ...) clusters on
+// the ring badly enough to skew arc lengths several-fold; the mix
+// spreads the virtual nodes uniformly.
+func hashKey(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	z := h.Sum64()
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}

@@ -1,0 +1,170 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"wfsql/internal/sched"
+)
+
+// ErrUnroutable is returned when a submission's home shard is failing
+// over (or down), the bounded buffering window elapsed, and no reroute
+// target was available. Use errors.Is to classify router refusals —
+// they are the fleet-level analogue of an admission shed.
+var ErrUnroutable = errors.New("shard: no routable shard for key")
+
+// RouterConfig wires a Router to its placement ring, health table, and
+// per-shard admission pools.
+type RouterConfig struct {
+	Ring   *Ring
+	Health *Health
+
+	// FailoverWait bounds how long a submission for a failing-over home
+	// shard is buffered (polling for the promotion) before the router
+	// gives up — rerouting if enabled, refusing with ErrUnroutable
+	// otherwise. Values <= 0 mean 2s.
+	FailoverWait time.Duration
+
+	// RetryEvery is the buffering poll cadence (<= 0 means 1ms).
+	RetryEvery time.Duration
+
+	// Reroute, when true, lets a submission fall through to the next
+	// routable ring successor after FailoverWait expires. Off by
+	// default: rerouting moves a key off its home shard, so per-shard
+	// placement accounting (and any shard-local state) no longer holds
+	// for that instance.
+	Reroute bool
+}
+
+// RouterStats is a snapshot of the router's disposition counters.
+type RouterStats struct {
+	Placed     []int64 // submissions admitted per shard (home or rerouted)
+	Buffered   int64   // submissions that waited out a failover window
+	Rerouted   int64   // submissions placed on a ring successor
+	Unroutable int64   // submissions refused with ErrUnroutable
+}
+
+// Router fronts a fleet of shards: Place by consistent hash, gate on
+// shard health (buffering across a failover window instead of
+// erroring), then hand the job to the home shard's own admission pool —
+// per-shard queues, so a hot shard sheds or browns out without
+// affecting its siblings' admission.
+type Router struct {
+	cfg   RouterConfig
+	pools []*sched.Pool
+
+	mu         sync.Mutex
+	placed     []int64
+	buffered   int64
+	rerouted   int64
+	unroutable int64
+}
+
+// NewRouter builds a router over one admission pool per shard; pool i
+// serves ring shard i.
+func NewRouter(cfg RouterConfig, pools []*sched.Pool) *Router {
+	if cfg.FailoverWait <= 0 {
+		cfg.FailoverWait = 2 * time.Second
+	}
+	if cfg.RetryEvery <= 0 {
+		cfg.RetryEvery = time.Millisecond
+	}
+	return &Router{cfg: cfg, pools: pools, placed: make([]int64, len(pools))}
+}
+
+// Place returns the home shard for key without submitting anything.
+func (r *Router) Place(key string) int { return r.cfg.Ring.Place(key) }
+
+// Pool returns shard i's admission pool.
+func (r *Router) Pool(i int) *sched.Pool { return r.pools[i] }
+
+// Submit places key on its home shard and offers mk(shard) to that
+// shard's admission pool. If the home shard is failing over, the
+// submission is buffered — re-polled every RetryEvery up to
+// FailoverWait — so a client riding out a takeover sees latency, not an
+// error. When the window expires the router reroutes to the next
+// routable ring successor (if enabled) or refuses with ErrUnroutable.
+// The returned int is the shard that actually received the job (-1 on
+// refusal); a non-nil error otherwise carries the pool's admission
+// verdict (e.g. *admit.ShedError from a full Shed-policy queue).
+func (r *Router) Submit(ctx context.Context, key string, mk func(shard int) sched.CtxJob) (int, error) {
+	home := r.cfg.Ring.Place(key)
+	if home < 0 {
+		return -1, ErrUnroutable
+	}
+	target := home
+	if !r.cfg.Health.State(home).Routable() {
+		waited, ok := r.awaitRoutable(ctx, home)
+		if waited {
+			r.mu.Lock()
+			r.buffered++
+			r.mu.Unlock()
+		}
+		if !ok {
+			target = -1
+			if r.cfg.Reroute {
+				for _, s := range r.cfg.Ring.Successors(key)[1:] {
+					if r.cfg.Health.State(s).Routable() {
+						target = s
+						break
+					}
+				}
+			}
+			if target < 0 {
+				r.mu.Lock()
+				r.unroutable++
+				r.mu.Unlock()
+				return -1, fmt.Errorf("%w (home shard %d is %s)", ErrUnroutable, home, r.cfg.Health.State(home))
+			}
+			r.mu.Lock()
+			r.rerouted++
+			r.mu.Unlock()
+		}
+	}
+	if err := r.pools[target].Submit(ctx, mk(target)); err != nil {
+		return target, err
+	}
+	r.mu.Lock()
+	r.placed[target]++
+	r.mu.Unlock()
+	return target, nil
+}
+
+// awaitRoutable polls shard i's health until it is routable again,
+// bounded by FailoverWait and ctx. It reports whether any waiting
+// happened and whether the shard became routable.
+func (r *Router) awaitRoutable(ctx context.Context, i int) (waited, ok bool) {
+	deadline := time.Now().Add(r.cfg.FailoverWait)
+	for {
+		if r.cfg.Health.State(i).Routable() {
+			return waited, true
+		}
+		if r.cfg.Health.State(i) == Down {
+			return waited, false
+		}
+		if time.Now().After(deadline) {
+			return waited, false
+		}
+		waited = true
+		select {
+		case <-ctx.Done():
+			return waited, false
+		case <-time.After(r.cfg.RetryEvery):
+		}
+	}
+}
+
+// Stats returns a snapshot of the router's disposition counters.
+func (r *Router) Stats() RouterStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return RouterStats{
+		Placed:     append([]int64(nil), r.placed...),
+		Buffered:   r.buffered,
+		Rerouted:   r.rerouted,
+		Unroutable: r.unroutable,
+	}
+}

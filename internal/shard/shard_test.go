@@ -1,0 +1,469 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"wfsql/internal/admit"
+	"wfsql/internal/sched"
+)
+
+// TestRingRemapFraction: the point of consistent hashing — growing the
+// fleet from N to N+1 shards moves roughly 1/(N+1) of the keys, and
+// every moved key lands on the new shard; modulo hashing would move
+// nearly all of them.
+func TestRingRemapFraction(t *testing.T) {
+	const keys = 10000
+	r := NewRing(4, 0)
+	before := make([]int, keys)
+	for i := range before {
+		before[i] = r.Place(fmt.Sprintf("order#%d", i))
+	}
+	r.Add(4)
+	moved := 0
+	for i := range before {
+		after := r.Place(fmt.Sprintf("order#%d", i))
+		if after != before[i] {
+			moved++
+			if after != 4 {
+				t.Fatalf("key %d moved from shard %d to %d, not to the new shard", i, before[i], after)
+			}
+		}
+	}
+	frac := float64(moved) / keys
+	if frac < 0.05 || frac > 0.40 {
+		t.Fatalf("adding 1-of-5 shards remapped %.1f%% of keys, want ~20%%", 100*frac)
+	}
+}
+
+// TestRingRemoveRemapsOnlyOwnedKeys: removing a shard must not disturb
+// placements of keys it did not own.
+func TestRingRemoveRemapsOnlyOwnedKeys(t *testing.T) {
+	const keys = 5000
+	r := NewRing(4, 0)
+	before := make([]int, keys)
+	for i := range before {
+		before[i] = r.Place(fmt.Sprintf("order#%d", i))
+	}
+	r.Remove(2)
+	for i := range before {
+		after := r.Place(fmt.Sprintf("order#%d", i))
+		if before[i] != 2 && after != before[i] {
+			t.Fatalf("key %d on shard %d moved to %d when shard 2 left", i, before[i], after)
+		}
+		if before[i] == 2 && after == 2 {
+			t.Fatalf("key %d still placed on removed shard 2", i)
+		}
+	}
+}
+
+// TestRingBalance: virtual nodes keep arc lengths close enough that no
+// shard owns a wildly disproportionate key share.
+func TestRingBalance(t *testing.T) {
+	const keys = 12000
+	r := NewRing(3, 0)
+	counts := make(map[int]int)
+	for i := 0; i < keys; i++ {
+		counts[r.Place(fmt.Sprintf("order#%d", i))]++
+	}
+	for s, n := range counts {
+		frac := float64(n) / keys
+		if frac < 0.15 || frac > 0.55 {
+			t.Fatalf("shard %d owns %.1f%% of keys, want roughly a third", s, 100*frac)
+		}
+	}
+}
+
+// TestRingSuccessorsOrder: Successors starts at the home shard and
+// enumerates every member exactly once.
+func TestRingSuccessorsOrder(t *testing.T) {
+	r := NewRing(3, 0)
+	succ := r.Successors("order#7")
+	if len(succ) != 3 {
+		t.Fatalf("successors = %v, want all 3 shards", succ)
+	}
+	if succ[0] != r.Place("order#7") {
+		t.Fatalf("successors[0] = %d, want home shard %d", succ[0], r.Place("order#7"))
+	}
+	seen := map[int]bool{}
+	for _, s := range succ {
+		if seen[s] {
+			t.Fatalf("successors %v repeats shard %d", succ, s)
+		}
+		seen[s] = true
+	}
+}
+
+// TestHealthStateMachine drives the full lifecycle Serving → Suspect →
+// FailingOver → ServingOnStandby, checks Beat recovery from Suspect,
+// the fencing latch, and the event log.
+func TestHealthStateMachine(t *testing.T) {
+	var events []Event
+	h := NewHealth(2, 2, func(ev Event) { events = append(events, ev) })
+
+	// One miss is below the suspect threshold; the shard stays Serving.
+	if n := h.Miss(0); n != 1 || h.State(0) != Serving {
+		t.Fatalf("after 1 miss: misses=%d state=%s, want 1/Serving", n, h.State(0))
+	}
+	// A beat wipes the misses; a later single miss is again below it.
+	h.Beat(0)
+	if n := h.Miss(0); n != 1 {
+		t.Fatalf("beat did not reset misses: %d", n)
+	}
+	if h.Miss(0) != 2 || h.State(0) != Suspect {
+		t.Fatalf("after 2 misses state = %s, want Suspect", h.State(0))
+	}
+	// Suspect recovers on a beat.
+	h.Beat(0)
+	if h.State(0) != Serving {
+		t.Fatalf("beat on Suspect: state = %s, want Serving", h.State(0))
+	}
+
+	// Now fail for real.
+	h.Miss(0)
+	h.Miss(0)
+	if !h.StartFailover(0) {
+		t.Fatal("StartFailover refused on a Suspect shard")
+	}
+	if h.State(0) != FailingOver || h.State(0).Routable() {
+		t.Fatalf("state = %s (routable=%v), want unroutable FailingOver", h.State(0), h.State(0).Routable())
+	}
+	// A second failover attempt must lose the race.
+	if h.StartFailover(0) {
+		t.Fatal("StartFailover won twice for one failure")
+	}
+	h.Promoted(0)
+	if h.State(0) != ServingOnStandby || !h.State(0).Routable() {
+		t.Fatalf("state = %s, want routable ServingOnStandby", h.State(0))
+	}
+
+	// Fencing latches are events, not state changes.
+	h.Fenced(0)
+	h.Fenced(0)
+	if h.FencedCount(0) != 2 {
+		t.Fatalf("FencedCount = %d, want 2", h.FencedCount(0))
+	}
+	if h.State(0) != ServingOnStandby {
+		t.Fatalf("fence latch changed state to %s", h.State(0))
+	}
+
+	// Shard 1 was never touched.
+	if h.State(1) != Serving {
+		t.Fatalf("untouched shard state = %s", h.State(1))
+	}
+
+	wantTransitions := []State{Suspect, Serving, Suspect, FailingOver, ServingOnStandby, ServingOnStandby, ServingOnStandby}
+	if len(events) != len(wantTransitions) {
+		t.Fatalf("recorded %d events %v, want %d", len(events), events, len(wantTransitions))
+	}
+	for i, want := range wantTransitions {
+		if events[i].To != want {
+			t.Fatalf("event %d = %+v, want To=%s", i, events[i], want)
+		}
+	}
+	if got := h.Events(); len(got) != len(events) {
+		t.Fatalf("Events() returned %d, callbacks saw %d", len(got), len(events))
+	}
+}
+
+// TestSupervisorDrivesFailover: consecutive probe misses walk a shard
+// through Suspect to FailingOver, the injected takeover runs exactly
+// once, and the shard comes back ServingOnStandby. Healthy shards are
+// beaten, not failed.
+func TestSupervisorDrivesFailover(t *testing.T) {
+	h := NewHealth(3, 1, nil)
+	var dead atomic.Bool
+	var failovers atomic.Int64
+	sup := NewSupervisor(3, SupervisorConfig{
+		Health: h,
+		Probe:  func(i int) bool { return i != 1 || !dead.Load() },
+		Failover: func(i int) error {
+			if i != 1 {
+				return fmt.Errorf("failover on wrong shard %d", i)
+			}
+			if failovers.Add(1) > 1 {
+				return errors.New("no standby left")
+			}
+			return nil
+		},
+		FailAfter: 2,
+	})
+
+	sup.CheckOnce()
+	for i := 0; i < 3; i++ {
+		if h.State(i) != Serving {
+			t.Fatalf("healthy sweep left shard %d %s", i, h.State(i))
+		}
+	}
+
+	dead.Store(true)
+	sup.CheckOnce()
+	if h.State(1) != Suspect {
+		t.Fatalf("after first miss: %s, want Suspect", h.State(1))
+	}
+	sup.CheckOnce()
+	if h.State(1) != ServingOnStandby {
+		t.Fatalf("after second miss: %s, want ServingOnStandby", h.State(1))
+	}
+	if failovers.Load() != 1 {
+		t.Fatalf("failover ran %d times, want 1", failovers.Load())
+	}
+	// Further sweeps leave the promoted shard alone (probe says dead —
+	// it checks the old process — but a promoted shard re-enters the
+	// miss cycle only from ServingOnStandby; with no second standby the
+	// next takeover fails and the shard goes Down).
+	sup.CheckOnce()
+	sup.CheckOnce()
+	if got := h.State(1); got != Down {
+		t.Fatalf("second death: %s, want Down (no standby left)", got)
+	}
+	if failovers.Load() != 2 {
+		t.Fatalf("second failover attempt count = %d, want 2", failovers.Load())
+	}
+}
+
+// TestSupervisorMarksDownOnFailoverError: a failed takeover is terminal
+// and surfaced via OnFailoverError.
+func TestSupervisorMarksDownOnFailoverError(t *testing.T) {
+	h := NewHealth(1, 1, nil)
+	boom := errors.New("promote: lease held")
+	var reported error
+	sup := NewSupervisor(1, SupervisorConfig{
+		Health:          h,
+		Probe:           func(int) bool { return false },
+		Failover:        func(int) error { return boom },
+		FailAfter:       1,
+		OnFailoverError: func(_ int, err error) { reported = err },
+	})
+	sup.CheckOnce()
+	if h.State(0) != Down {
+		t.Fatalf("state = %s, want Down", h.State(0))
+	}
+	if !errors.Is(reported, boom) {
+		t.Fatalf("OnFailoverError got %v, want %v", reported, boom)
+	}
+}
+
+// newTestPools builds n trivial single-worker pools whose jobs record
+// which shard ran them.
+func newTestPools(n int, ran []atomic.Int64) []*sched.Pool {
+	pools := make([]*sched.Pool, n)
+	for i := range pools {
+		pools[i] = sched.NewPool(sched.PoolConfig{Workers: 1, QueueBound: 64})
+	}
+	return pools
+}
+
+func countingJob(ran []atomic.Int64) func(shard int) sched.CtxJob {
+	return func(shard int) sched.CtxJob {
+		return sched.CtxJob{Name: "job", Class: admit.Normal, Run: func(context.Context) error {
+			ran[shard].Add(1)
+			return nil
+		}}
+	}
+}
+
+// TestRouterPlacesOnHomeShard: healthy fleet — every key runs on the
+// shard the ring places it on, and the per-shard placed counters agree.
+func TestRouterPlacesOnHomeShard(t *testing.T) {
+	const n = 3
+	ran := make([]atomic.Int64, n)
+	pools := newTestPools(n, ran)
+	ring := NewRing(n, 0)
+	h := NewHealth(n, 1, nil)
+	r := NewRouter(RouterConfig{Ring: ring, Health: h}, pools)
+
+	want := make([]int64, n)
+	for i := 0; i < 60; i++ {
+		key := fmt.Sprintf("order#%d", i)
+		want[ring.Place(key)]++
+		target, err := r.Submit(context.Background(), key, countingJob(ran))
+		if err != nil {
+			t.Fatalf("submit %s: %v", key, err)
+		}
+		if target != ring.Place(key) {
+			t.Fatalf("key %s routed to %d, home is %d", key, target, ring.Place(key))
+		}
+	}
+	for i := range pools {
+		pools[i].Drain()
+	}
+	stats := r.Stats()
+	for i := 0; i < n; i++ {
+		if ran[i].Load() != want[i] || stats.Placed[i] != want[i] {
+			t.Fatalf("shard %d ran %d placed %d, want %d", i, ran[i].Load(), stats.Placed[i], want[i])
+		}
+	}
+	if stats.Buffered != 0 || stats.Rerouted != 0 || stats.Unroutable != 0 {
+		t.Fatalf("healthy fleet recorded buffering: %+v", stats)
+	}
+}
+
+// TestRouterBuffersAcrossFailover: a submission for a FailingOver shard
+// waits — bounded — and lands on the home shard once it is promoted,
+// instead of erroring.
+func TestRouterBuffersAcrossFailover(t *testing.T) {
+	const n = 2
+	ran := make([]atomic.Int64, n)
+	pools := newTestPools(n, ran)
+	ring := NewRing(n, 0)
+	h := NewHealth(n, 1, nil)
+	r := NewRouter(RouterConfig{Ring: ring, Health: h, FailoverWait: 5 * time.Second}, pools)
+
+	key := "order#0"
+	home := ring.Place(key)
+	h.Miss(home)
+	h.StartFailover(home)
+
+	done := make(chan error, 1)
+	var target int
+	go func() {
+		var err error
+		target, err = r.Submit(context.Background(), key, countingJob(ran))
+		done <- err
+	}()
+
+	select {
+	case err := <-done:
+		t.Fatalf("submit returned %v while the home shard was failing over", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	h.Promoted(home)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("buffered submit failed: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("buffered submit never completed after promotion")
+	}
+	if target != home {
+		t.Fatalf("buffered submit landed on shard %d, want home %d", target, home)
+	}
+	for i := range pools {
+		pools[i].Drain()
+	}
+	if stats := r.Stats(); stats.Buffered != 1 || ran[home].Load() != 1 {
+		t.Fatalf("stats = %+v, ran[home] = %d; want 1 buffered run on home", stats, ran[home].Load())
+	}
+}
+
+// TestRouterReroutesAfterDeadline: with Reroute enabled, a submission
+// whose home shard stays down past FailoverWait falls through to the
+// ring successor; without it, the router refuses with ErrUnroutable.
+func TestRouterReroutesAfterDeadline(t *testing.T) {
+	const n = 2
+	key := "order#0"
+
+	mk := func(reroute bool) (*Router, []*sched.Pool, []atomic.Int64, int) {
+		ran := make([]atomic.Int64, n)
+		pools := newTestPools(n, ran)
+		ring := NewRing(n, 0)
+		h := NewHealth(n, 1, nil)
+		home := ring.Place(key)
+		h.MarkDown(home, "test")
+		r := NewRouter(RouterConfig{Ring: ring, Health: h, FailoverWait: 10 * time.Millisecond, Reroute: reroute}, pools)
+		return r, pools, ran, home
+	}
+
+	r, pools, ran, home := mk(true)
+	target, err := r.Submit(context.Background(), key, countingJob(ran))
+	if err != nil {
+		t.Fatalf("reroute submit: %v", err)
+	}
+	if target == home {
+		t.Fatalf("rerouted submit landed on the down home shard %d", home)
+	}
+	for i := range pools {
+		pools[i].Drain()
+	}
+	if stats := r.Stats(); stats.Rerouted != 1 || ran[target].Load() != 1 {
+		t.Fatalf("stats = %+v, want 1 reroute onto shard %d", stats, target)
+	}
+
+	r2, pools2, ran2, _ := mk(false)
+	if _, err := r2.Submit(context.Background(), key, countingJob(ran2)); !errors.Is(err, ErrUnroutable) {
+		t.Fatalf("no-reroute submit err = %v, want ErrUnroutable", err)
+	}
+	for i := range pools2 {
+		pools2[i].Drain()
+	}
+	if stats := r2.Stats(); stats.Unroutable != 1 {
+		t.Fatalf("stats = %+v, want 1 unroutable", stats)
+	}
+}
+
+// TestRouterIsolatesHotShard: per-shard admission queues — saturating
+// one shard's Shed-policy queue sheds that shard's overflow while the
+// sibling admits everything; the hot shard cannot brown out the fleet.
+func TestRouterIsolatesHotShard(t *testing.T) {
+	const n = 2
+	ran := make([]atomic.Int64, n)
+	ring := NewRing(n, 0)
+	h := NewHealth(n, 1, nil)
+
+	// Find one key per shard.
+	keyFor := func(shard int) string {
+		for i := 0; ; i++ {
+			key := fmt.Sprintf("order#%d", i)
+			if ring.Place(key) == shard {
+				return key
+			}
+		}
+	}
+	hotKey, coldKey := keyFor(0), keyFor(1)
+
+	release := make(chan struct{})
+	// Shard 0 is the hot one: a 1-deep Shed queue behind a blocked
+	// worker. Shard 1 keeps a healthy bound.
+	pools := []*sched.Pool{
+		sched.NewPool(sched.PoolConfig{Workers: 1, QueueBound: 1, Policy: admit.Shed}),
+		sched.NewPool(sched.PoolConfig{Workers: 1, QueueBound: 8, Policy: admit.Shed}),
+	}
+	r := NewRouter(RouterConfig{Ring: ring, Health: h}, pools)
+
+	slowJob := func(shard int) sched.CtxJob {
+		return sched.CtxJob{Name: "hot", Run: func(context.Context) error {
+			<-release
+			ran[shard].Add(1)
+			return nil
+		}}
+	}
+	// Saturate shard 0: one running (blocked), one queued, rest shed.
+	const hotSubmits = 8
+	var shed int
+	for i := 0; i < hotSubmits; i++ {
+		if _, err := r.Submit(context.Background(), hotKey, slowJob); err != nil {
+			var se *admit.ShedError
+			if !errors.As(err, &se) {
+				t.Fatalf("hot submit %d: %v", i, err)
+			}
+			shed++
+		}
+	}
+	if shed == 0 {
+		t.Fatal("saturating a 1-deep Shed queue shed nothing")
+	}
+	// The cold shard still admits and completes everything.
+	for i := 0; i < 4; i++ {
+		if _, err := r.Submit(context.Background(), coldKey, countingJob(ran)); err != nil {
+			t.Fatalf("cold submit %d refused while sibling is hot: %v", i, err)
+		}
+	}
+	close(release)
+	cold := pools[1].Drain()
+	hot := pools[0].Drain()
+	if cold.Shed != 0 || cold.Completed != 4 {
+		t.Fatalf("cold shard report %+v, want 4 completed 0 shed", cold)
+	}
+	if hot.Shed == 0 {
+		t.Fatalf("hot shard report %+v, want sheds", hot)
+	}
+	if hot.Completed+hot.Failed+hot.Shed != hot.Submitted || cold.Completed+cold.Failed+cold.Shed != cold.Submitted {
+		t.Fatal("per-shard conservation violated")
+	}
+}

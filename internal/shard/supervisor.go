@@ -1,0 +1,120 @@
+package shard
+
+import (
+	"sync"
+	"time"
+)
+
+// SupervisorConfig wires the fleet supervisor to its probe and failover
+// closures. The supervisor owns the policy (how many misses before a
+// takeover); the closures own the mechanism (what a probe checks, how a
+// standby is promoted) — injected by the fleet facade so this package
+// stays ignorant of leases and journals.
+type SupervisorConfig struct {
+	Health *Health
+
+	// Probe reports whether shard i looks alive: typically "process
+	// responds and its lease is fresh". Called once per shard per check.
+	Probe func(shard int) bool
+
+	// Failover promotes shard i's standby. Called at most once per
+	// failure (guarded by Health.StartFailover); an error marks the
+	// shard Down.
+	Failover func(shard int) error
+
+	// FailAfter is the consecutive-miss count that triggers a failover
+	// (values < 1 mean 2). Health's suspectAfter should be <= FailAfter
+	// so the Suspect state is observable between the first miss and the
+	// takeover.
+	FailAfter int
+
+	// Interval is the background check cadence for Start (values <= 0
+	// mean 50ms). Deterministic tests skip Start and call CheckOnce.
+	Interval time.Duration
+
+	// OnFailoverError, when non-nil, observes failover failures (the
+	// shard is already marked Down when it runs).
+	OnFailoverError func(shard int, err error)
+}
+
+// Supervisor turns missed probes into failovers: each check sweeps all
+// shards, feeding Beat/Miss into the health table, and drives the
+// FailingOver transition plus the injected takeover once a shard's
+// misses reach FailAfter.
+type Supervisor struct {
+	cfg    SupervisorConfig
+	shards int
+
+	mu      sync.Mutex
+	stopped bool
+}
+
+// NewSupervisor builds a supervisor over n shards.
+func NewSupervisor(n int, cfg SupervisorConfig) *Supervisor {
+	if cfg.FailAfter < 1 {
+		cfg.FailAfter = 2
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = 50 * time.Millisecond
+	}
+	return &Supervisor{cfg: cfg, shards: n}
+}
+
+// CheckOnce performs one synchronous sweep: probe every shard, record
+// beats and misses, and run a failover inline for any shard whose
+// consecutive misses reached FailAfter. Failovers are sequential within
+// a sweep — losing multiple shards at once recovers them one at a time,
+// which keeps the takeover path single-writer per standby.
+func (s *Supervisor) CheckOnce() {
+	h := s.cfg.Health
+	for i := 0; i < s.shards; i++ {
+		switch h.State(i) {
+		case FailingOver, Down:
+			continue
+		}
+		if s.cfg.Probe(i) {
+			h.Beat(i)
+			continue
+		}
+		if h.Miss(i) < s.cfg.FailAfter {
+			continue
+		}
+		if !h.StartFailover(i) {
+			continue
+		}
+		if err := s.cfg.Failover(i); err != nil {
+			h.MarkDown(i, "failover failed: "+err.Error())
+			if s.cfg.OnFailoverError != nil {
+				s.cfg.OnFailoverError(i, err)
+			}
+			continue
+		}
+		h.Promoted(i)
+	}
+}
+
+// Start runs CheckOnce at the configured interval on a background
+// goroutine until the returned stop function is called (stop blocks
+// until the loop exits, so no check is in flight after it returns).
+func (s *Supervisor) Start() (stop func()) {
+	done := make(chan struct{})
+	exited := make(chan struct{})
+	go func() {
+		defer close(exited)
+		t := time.NewTicker(s.cfg.Interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				s.CheckOnce()
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() { close(done) })
+		<-exited
+	}
+}

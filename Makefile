@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race short soak cover bench overload failover fleet fuzz race-parallel race-overload race-failover race-fleet ci clean
+.PHONY: all build vet test race short soak cover bench overload failover fleet mvcc fuzz race-parallel race-overload race-failover race-fleet race-mvcc ci clean
 
 all: build
 
@@ -70,6 +70,15 @@ failover:
 fleet:
 	$(GO) run ./cmd/wfbench -fleet -out BENCH_PR7.json
 
+# MVCC worker series: the Figure 4/6/8 workloads at 1/2/4/8 scheduler
+# workers (instances/sec + sqldb.lock_wait_ms per point, per-table
+# breakdown at 8 workers, BENCH_PR4 8-worker baseline embedded), plus a
+# raw-engine mixed read/write series over disjoint tables vs the same
+# 8-worker load forced onto one table — the old global-write-lock
+# contention floor. Lands in BENCH_PR8.json.
+mvcc:
+	$(GO) run ./cmd/wfbench -mvcc -instances 32 -orders 120 -items 8 -out BENCH_PR8.json
+
 # Fuzz smoke: a bounded run of the WAL-scanner fuzzer (recovery must
 # survive arbitrary bytes). CI-friendly; raise -fuzztime manually for
 # longer campaigns.
@@ -106,10 +115,19 @@ race-fleet:
 	$(GO) test -race ./internal/shard/
 	$(GO) test -race -run 'TestFleet' .
 
+# The MVCC race gate: the §13 concurrency property tests (torn-scan,
+# first-writer-wins, disjoint non-blocking, lock-wait attribution,
+# EXPLAIN/executor agreement), the scoped cache-invalidation and
+# committed-only-dump regressions, and the replica suite (primed
+# bootstrap, dense CDC) under the race detector.
+race-mvcc:
+	$(GO) test -race -run 'TestSnapshot|TestSameRowWriters|TestAutocommitConflict|TestDisjointTable|TestExplainExecutorAgreement|TestDDLInvalidation|TestLockWaitAttributed|TestBootstrapStatePrimed|TestApplierStraddled|TestConcurrent' ./internal/sqldb/
+	$(GO) test -race ./internal/replica/
+
 # The gate: build, vet, the full race-enabled suite (soak included),
 # then the WAL-scanner fuzz smoke.
 ci: build vet race fuzz
 
 clean:
 	$(GO) clean ./...
-	rm -f coverage.out BENCH_PR3.json BENCH_PR4.json BENCH_PR5.json BENCH_PR6.json BENCH_PR7.json
+	rm -f coverage.out BENCH_PR3.json BENCH_PR4.json BENCH_PR5.json BENCH_PR6.json BENCH_PR7.json BENCH_PR8.json

@@ -50,11 +50,12 @@ type modeReport struct {
 
 // cacheReport is the parsed-statement-cache outcome of the parallel run.
 type cacheReport struct {
-	Size    int     `json:"size"`
-	Hits    int64   `json:"hits"`
-	Misses  int64   `json:"misses"`
-	Flushes int64   `json:"flushes"`
-	HitRate float64 `json:"hit_rate"`
+	Size          int     `json:"size"`
+	Hits          int64   `json:"hits"`
+	Misses        int64   `json:"misses"`
+	Flushes       int64   `json:"flushes"`
+	Invalidations int64   `json:"invalidations"`
+	HitRate       float64 `json:"hit_rate"`
 }
 
 // figureReport is the per-stack section of the report.
@@ -95,6 +96,7 @@ func main() {
 	ttl := flag.Duration("ttl", 150*time.Millisecond, "failover/fleet modes: lease TTL (expiry detection dominates downtime; too low false-fences a healthy primary on scheduling hiccups)")
 	fleet := flag.Bool("fleet", false, "run the sharded-fleet chaos series instead of the figure matrix")
 	shards := flag.Int("shards", 3, "fleet mode: shard count")
+	mvcc := flag.Bool("mvcc", false, "run the MVCC worker series (figures at 1/2/4/8 workers + raw-engine mixed read/write) instead of the figure matrix")
 	flag.Parse()
 
 	w := wfsql.Workload{Orders: *orders, Items: *items, ApprovalPercent: *approve, Seed: *seed}
@@ -124,6 +126,14 @@ func main() {
 		// Per-phase burst sized so one shard's lease-TTL downtime is small
 		// against the fleet's work — the blast radius the shards buy.
 		runFleetBench(w, 16**instances, *shards, *svclat, *ttl, o)
+		return
+	}
+	if *mvcc {
+		o := *out
+		if o == "BENCH_PR4.json" { // default not overridden: MVCC series gets its own file
+			o = "BENCH_PR8.json"
+		}
+		runMvccBench(w, *instances, *svclat, o)
 		return
 	}
 	figures := []struct {
@@ -190,7 +200,7 @@ func main() {
 				fr.Parallel = mr
 				fr.Metrics = o.M().Snapshot()
 				cs := env.DB.StmtCacheStats()
-				fr.StmtCache = cacheReport{Size: cs.Size, Hits: cs.Hits, Misses: cs.Misses, Flushes: cs.Flushes}
+				fr.StmtCache = cacheReport{Size: cs.Size, Hits: cs.Hits, Misses: cs.Misses, Flushes: cs.Flushes, Invalidations: cs.Invalidations}
 				if total := cs.Hits + cs.Misses; total > 0 {
 					fr.StmtCache.HitRate = float64(cs.Hits) / float64(total)
 				}

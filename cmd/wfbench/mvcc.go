@@ -1,0 +1,320 @@
+package main
+
+// The -mvcc series measures what the MVCC layer (DESIGN.md §13) buys:
+//
+//  1. The Figure 4/6/8 workloads at 1/2/4/8 scheduler workers — the
+//     PR 4 matrix extended into a worker series — recording
+//     instances/sec and the sqldb.lock_wait_ms distribution per point,
+//     with the per-table lock-wait breakdown at 8 workers and the
+//     BENCH_PR4.json 8-worker numbers embedded as the baseline.
+//  2. A raw-engine mixed read/write series (70 % single-row UPDATE,
+//     30 % aggregate scan) at 1/2/4/8 workers over disjoint tables —
+//     the shape per-table latches parallelize — against the same
+//     8-worker load forced onto ONE table, which is the old global
+//     write lock's contention floor (every writer serializes, same-row
+//     conflicts pay retry backoff). The ratio of the two 8-worker
+//     lock-wait p99s is the headline reduction.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"wfsql"
+	"wfsql/internal/obsv"
+	"wfsql/internal/sched"
+	"wfsql/internal/sqldb"
+)
+
+// lockWaitReport summarizes one sqldb.lock_wait_ms histogram.
+type lockWaitReport struct {
+	Count int64   `json:"count"`
+	P50MS float64 `json:"p50_ms"`
+	P90MS float64 `json:"p90_ms"`
+	P99MS float64 `json:"p99_ms"`
+	MaxMS float64 `json:"max_ms"`
+}
+
+func lockWaitOf(s obsv.HistogramSummary) lockWaitReport {
+	return lockWaitReport{Count: s.Count, P50MS: s.P50, P90MS: s.P90, P99MS: s.P99, MaxMS: s.Max}
+}
+
+// mvccFigureReport is one stack's worker series.
+type mvccFigureReport struct {
+	Stack string `json:"stack"`
+	// Workers and LockWait are keyed by worker count ("1","2","4","8").
+	Workers         map[string]*modeReport    `json:"workers"`
+	LockWait        map[string]lockWaitReport `json:"lock_wait_ms"`
+	LockWaitByTable map[string]lockWaitReport `json:"lock_wait_by_table_8w,omitempty"`
+	Speedup8        float64                   `json:"speedup_8w"` // 8-worker / 1-worker inst/sec
+	BaselinePR4     *pr4Baseline              `json:"baseline_pr4,omitempty"`
+}
+
+// pr4Baseline carries the pre-MVCC 8-worker numbers out of
+// BENCH_PR4.json for side-by-side comparison.
+type pr4Baseline struct {
+	InstancesPerSec float64 `json:"instances_per_sec_8w"`
+	LockWaitP99MS   float64 `json:"lock_wait_p99_ms_8w"`
+}
+
+// mixedPoint is one raw-engine mixed read/write measurement.
+type mixedPoint struct {
+	Workers   int            `json:"workers"`
+	Tables    int            `json:"tables"`
+	Ops       int            `json:"ops"`
+	Failed    int            `json:"failed"`
+	ElapsedMS float64        `json:"elapsed_ms"`
+	OpsPerSec float64        `json:"ops_per_sec"`
+	LockWait  lockWaitReport `json:"lock_wait_ms"`
+}
+
+// mvccReport is the whole BENCH_PR8.json document.
+type mvccReport struct {
+	Generated  string                       `json:"generated"`
+	GoVersion  string                       `json:"go_version"`
+	GOOS       string                       `json:"goos"`
+	GOARCH     string                       `json:"goarch"`
+	CPUs       int                          `json:"cpus"`
+	Workload   wfsql.Workload               `json:"workload"`
+	ServiceLat string                       `json:"service_latency"`
+	Figures    map[string]*mvccFigureReport `json:"figures"`
+	Engine     struct {
+		RowsPerTable int           `json:"rows_per_table"`
+		OpsPerWorker int           `json:"ops_per_worker"`
+		WritePercent int           `json:"write_percent"`
+		Disjoint     []*mixedPoint `json:"disjoint_tables"`
+		SingleTable8 *mixedPoint   `json:"single_table_8w"`
+		// single-table 8-worker p99 / disjoint 8-worker p99: how much
+		// lock wait the per-table latches removed from the same load.
+		LockWaitP99Reduction8W float64 `json:"lock_wait_p99_reduction_8w"`
+	} `json:"engine_mixed"`
+}
+
+var mvccWorkerSeries = []int{1, 2, 4, 8}
+
+func runMvccBench(w wfsql.Workload, instances int, svclat time.Duration, out string) {
+	rep := &mvccReport{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		CPUs:       runtime.NumCPU(),
+		Workload:   w,
+		ServiceLat: svclat.String(),
+		Figures:    map[string]*mvccFigureReport{},
+	}
+	baselines := loadPR4Baselines("BENCH_PR4.json")
+
+	figures := []struct {
+		name  string
+		stack string
+		run   func(env *wfsql.Environment, cfg wfsql.ParallelConfig) (sched.Report, error)
+	}{
+		{"Figure4_BIS", "BIS", func(env *wfsql.Environment, cfg wfsql.ParallelConfig) (sched.Report, error) {
+			return env.RunFigure4BISParallel(cfg)
+		}},
+		{"Figure6_WF", "WF", func(env *wfsql.Environment, cfg wfsql.ParallelConfig) (sched.Report, error) {
+			return env.RunFigure6WFParallel(cfg)
+		}},
+		{"Figure8_Oracle", "Oracle", func(env *wfsql.Environment, cfg wfsql.ParallelConfig) (sched.Report, error) {
+			return env.RunFigure8OracleParallel(cfg)
+		}},
+	}
+
+	for _, fig := range figures {
+		fr := &mvccFigureReport{
+			Stack:       fig.stack,
+			Workers:     map[string]*modeReport{},
+			LockWait:    map[string]lockWaitReport{},
+			BaselinePR4: baselines[fig.name],
+		}
+		for _, workers := range mvccWorkerSeries {
+			env := wfsql.NewEnvironment(w)
+			injectLatency(env, svclat)
+			o := env.EnableObservability(obsv.New())
+			sr, err := fig.run(env, wfsql.ParallelConfig{Instances: instances, Workers: workers})
+			if err != nil {
+				fatal(fmt.Errorf("%s x%d: %w", fig.name, workers, err))
+			}
+			env.DisableObservability()
+			want := instances * env.ApprovedItemTypes()
+			if got := env.ConfirmationCount(); got != want {
+				fatal(fmt.Errorf("%s x%d: %d confirmations, want %d", fig.name, workers, got, want))
+			}
+			key := fmt.Sprintf("%d", workers)
+			fr.Workers[key] = &modeReport{
+				Workers:         sr.Workers,
+				Instances:       sr.Jobs,
+				Failed:          sr.Failed,
+				ElapsedMS:       float64(sr.Elapsed) / float64(time.Millisecond),
+				InstancesPerSec: sr.Throughput,
+				QueueWaitP90MS:  o.M().Histogram("sched.queue_wait_ms").Summary().P90,
+				RunP50MS:        o.M().Histogram("sched.run_ms").Summary().P50,
+				RunP90MS:        o.M().Histogram("sched.run_ms").Summary().P90,
+			}
+			fr.LockWait[key] = lockWaitOf(o.M().Histogram("sqldb.lock_wait_ms").Summary())
+			if workers == 8 {
+				byTable := map[string]lockWaitReport{}
+				for name, h := range o.M().Snapshot().Histograms {
+					if tbl, ok := strings.CutPrefix(name, "sqldb.lock_wait_ms."); ok {
+						byTable[tbl] = lockWaitOf(h)
+					}
+				}
+				if len(byTable) > 0 {
+					fr.LockWaitByTable = byTable
+				}
+			}
+		}
+		if s1 := fr.Workers["1"].InstancesPerSec; s1 > 0 {
+			fr.Speedup8 = fr.Workers["8"].InstancesPerSec / s1
+		}
+		rep.Figures[fig.name] = fr
+		fmt.Fprintf(os.Stderr, "%-14s x1 %.1f  x2 %.1f  x4 %.1f  x8 %.1f inst/s  speedup %.2fx  lock_wait p99@8w %.4f ms\n",
+			fig.name, fr.Workers["1"].InstancesPerSec, fr.Workers["2"].InstancesPerSec,
+			fr.Workers["4"].InstancesPerSec, fr.Workers["8"].InstancesPerSec,
+			fr.Speedup8, fr.LockWait["8"].P99MS)
+	}
+
+	// Raw-engine mixed read/write series.
+	const rowsPerTable, opsPerWorker, writePct = 64, 1500, 70
+	rep.Engine.RowsPerTable = rowsPerTable
+	rep.Engine.OpsPerWorker = opsPerWorker
+	rep.Engine.WritePercent = writePct
+	for _, workers := range mvccWorkerSeries {
+		p := runMixedPoint(workers, workers, rowsPerTable, opsPerWorker, writePct)
+		rep.Engine.Disjoint = append(rep.Engine.Disjoint, p)
+		fmt.Fprintf(os.Stderr, "engine mixed  x%d disjoint  %.0f ops/s  lock_wait p99 %.4f ms\n",
+			workers, p.OpsPerSec, p.LockWait.P99MS)
+	}
+	floor := runMixedPoint(8, 1, rowsPerTable, opsPerWorker, writePct)
+	rep.Engine.SingleTable8 = floor
+	fmt.Fprintf(os.Stderr, "engine mixed  x8 single-table  %.0f ops/s  lock_wait p99 %.4f ms\n",
+		floor.OpsPerSec, floor.LockWait.P99MS)
+	if d8 := rep.Engine.Disjoint[len(rep.Engine.Disjoint)-1]; d8.LockWait.P99MS > 0 {
+		rep.Engine.LockWaitP99Reduction8W = floor.LockWait.P99MS / d8.LockWait.P99MS
+		fmt.Fprintf(os.Stderr, "engine mixed  lock_wait p99 reduction at 8 workers: %.1fx\n",
+			rep.Engine.LockWaitP99Reduction8W)
+	}
+
+	f := os.Stdout
+	if out != "-" {
+		var err error
+		f, err = os.Create(out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fatal(err)
+	}
+	if out != "-" {
+		fmt.Fprintf(os.Stderr, "wrote %s\n", out)
+	}
+}
+
+// runMixedPoint drives `workers` goroutines (one session each) at the
+// engine directly: writePct% single-row UPDATEs, the rest aggregate
+// scans, each worker targeting table `worker % tables` — tables ==
+// workers is the disjoint shape, tables == 1 the contention floor.
+func runMixedPoint(workers, tables, rowsPerTable, opsPerWorker, writePct int) *mixedPoint {
+	db := sqldb.Open("mvccbench")
+	seed := db.Session()
+	for t := 0; t < tables; t++ {
+		if _, err := seed.Exec(fmt.Sprintf("CREATE TABLE t%d (id INTEGER PRIMARY KEY, v INTEGER)", t)); err != nil {
+			fatal(err)
+		}
+		for r := 0; r < rowsPerTable; r++ {
+			if _, err := seed.Exec(fmt.Sprintf("INSERT INTO t%d VALUES (?, 0)", t), sqldb.Int(int64(r))); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	o := obsv.New()
+	db.SetObservability(o)
+
+	var wg sync.WaitGroup
+	var failed int64
+	var mu sync.Mutex
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := db.Session()
+			rng := rand.New(rand.NewSource(int64(w) + 1))
+			tbl := w % tables
+			myFailed := int64(0)
+			for i := 0; i < opsPerWorker; i++ {
+				var err error
+				if rng.Intn(100) < writePct {
+					id := rng.Intn(rowsPerTable)
+					_, err = s.Exec(fmt.Sprintf("UPDATE t%d SET v = v + 1 WHERE id = ?", tbl), sqldb.Int(int64(id)))
+				} else {
+					_, err = s.Exec(fmt.Sprintf("SELECT COUNT(*) FROM t%d WHERE v > ?", tbl), sqldb.Int(0))
+				}
+				if err != nil {
+					// Conflict-retry exhaustion under extreme same-row
+					// contention is the workload's signal, not a bench bug.
+					myFailed++
+				}
+			}
+			mu.Lock()
+			failed += myFailed
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	db.SetObservability(nil)
+
+	ops := workers * opsPerWorker
+	return &mixedPoint{
+		Workers:   workers,
+		Tables:    tables,
+		Ops:       ops,
+		Failed:    int(failed),
+		ElapsedMS: float64(elapsed) / float64(time.Millisecond),
+		OpsPerSec: float64(ops) / elapsed.Seconds(),
+		LockWait:  lockWaitOf(o.M().Histogram("sqldb.lock_wait_ms").Summary()),
+	}
+}
+
+// loadPR4Baselines pulls the 8-worker instances/sec and lock-wait p99
+// per figure out of a committed BENCH_PR4.json, if present.
+func loadPR4Baselines(path string) map[string]*pr4Baseline {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil
+	}
+	var doc struct {
+		Figures map[string]struct {
+			Parallel struct {
+				InstancesPerSec float64 `json:"instances_per_sec"`
+			} `json:"parallel"`
+			Metrics struct {
+				Histograms map[string]struct {
+					P99 float64 `json:"p99"`
+				} `json:"histograms"`
+			} `json:"metrics"`
+		} `json:"figures"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil
+	}
+	out := map[string]*pr4Baseline{}
+	for name, fig := range doc.Figures {
+		out[name] = &pr4Baseline{
+			InstancesPerSec: fig.Parallel.InstancesPerSec,
+			LockWaitP99MS:   fig.Metrics.Histograms["sqldb.lock_wait_ms"].P99,
+		}
+	}
+	return out
+}

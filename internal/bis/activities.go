@@ -2,6 +2,7 @@ package bis
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 	"time"
 
@@ -156,13 +157,13 @@ func (a *SQLActivity) runOnce(ctx *engine.Ctx, st *state, sess *sqldb.Session, s
 	if ref.Kind != ResultSetRef {
 		return fmt.Errorf("%s: %s is not a result set reference", a.ActivityName, a.ResultRef)
 	}
-	gen := fmt.Sprintf("%s_i%d", ref.Name, ctx.Inst.ID)
-	if _, err := sess.Exec(fmt.Sprintf("DROP TABLE IF EXISTS %s", gen)); err != nil {
+	gen := ref.Name + "_i" + strconv.FormatInt(ctx.Inst.ID, 10)
+	if _, err := sess.Exec("DROP TABLE IF EXISTS " + gen); err != nil {
 		return fmt.Errorf("%s: %w", a.ActivityName, err)
 	}
 	trimmed := strings.TrimSpace(strings.ToUpper(sql))
 	if strings.HasPrefix(trimmed, "SELECT") {
-		ctas := fmt.Sprintf("CREATE TABLE %s AS %s", gen, sql)
+		ctas := "CREATE TABLE " + gen + " AS " + sql
 		if _, err := sess.Exec(ctas, params...); err != nil {
 			return fmt.Errorf("%s: %w", a.ActivityName, err)
 		}
@@ -281,7 +282,7 @@ func (a *RetrieveSetActivity) Execute(ctx *engine.Ctx) error {
 		return fmt.Errorf("%s: set reference %s is unbound", a.ActivityName, a.SetRefName)
 	}
 	sess := st.sessionFor(db)
-	res, err := sess.Query(fmt.Sprintf("SELECT * FROM %s", ref.Table))
+	res, err := sess.Query("SELECT * FROM " + ref.Table)
 	if err != nil {
 		return fmt.Errorf("%s: %w", a.ActivityName, err)
 	}

@@ -306,7 +306,11 @@ func (st *state) abort() {
 // substituteSQL rewrites #name# placeholders: set references become their
 // bound table names; scalar process variables become bound parameters.
 func substituteSQL(ctx *engine.Ctx, st *state, sql string) (string, []sqldb.Value, error) {
+	if strings.IndexByte(sql, '#') < 0 {
+		return sql, nil, nil // nothing to substitute; keep the cached text
+	}
 	var out strings.Builder
+	out.Grow(len(sql))
 	var params []sqldb.Value
 	for {
 		i := strings.IndexByte(sql, '#')
@@ -343,7 +347,27 @@ func substituteSQL(ctx *engine.Ctx, st *state, sql string) (string, []sqldb.Valu
 
 // scalarValue converts a process variable's string to the most specific
 // SQL value so comparisons against numeric columns behave naturally.
+// numericLead reports whether s can possibly parse as a number — a
+// cheap gate that keeps the common non-numeric case from allocating
+// strconv syntax errors on every variable substitution.
+func numericLead(s string) bool {
+	if s == "" {
+		return false
+	}
+	c := s[0]
+	return c == '-' || c == '+' || c == '.' || (c >= '0' && c <= '9')
+}
+
 func scalarValue(s string) sqldb.Value {
+	if !numericLead(s) {
+		switch s {
+		case "true", "TRUE":
+			return sqldb.Bool(true)
+		case "false", "FALSE":
+			return sqldb.Bool(false)
+		}
+		return sqldb.Str(s)
+	}
 	if i, err := strconv.ParseInt(s, 10, 64); err == nil {
 		return sqldb.Int(i)
 	}

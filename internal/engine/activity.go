@@ -355,9 +355,11 @@ func (a *Assign) execCopy(ctx *Ctx, cp CopySpec) error {
 		return fmt.Errorf("assign: target %s is not an XML variable", cp.ToVar)
 	}
 	// Evaluate the to-path relative to the target variable's document.
-	tctx := ctx.XPathContext()
+	// Copy the shared instance context before rebasing it on the target
+	// document — the cached one must stay Node-less.
+	tctx := *ctx.XPathContext()
 	tctx.Node = target.Node()
-	tv, err := cp.ToPath.Eval(tctx)
+	tv, err := cp.ToPath.Eval(&tctx)
 	if err != nil {
 		return err
 	}

@@ -78,6 +78,13 @@ type Instance struct {
 	replay     map[string][]journal.Memo
 	occs       map[string]int
 	crashHooks []func()
+
+	// xpctx is the instance's shared XPath evaluation context. Its
+	// resolver/function hooks only reference the instance, and
+	// evaluation never mutates the context, so one allocation serves
+	// every expression the instance ever evaluates (built lazily,
+	// guarded by mu).
+	xpctx *xpath.Context
 }
 
 // InputMessage returns the message the instance was started with.
@@ -363,13 +370,19 @@ func (c *Ctx) journalVar(name, value string) {
 // variables, with the BPEL built-in functions (bpel:getVariableData) and
 // the process's extension functions installed.
 func (c *Ctx) XPathContext() *xpath.Context {
-	return &xpath.Context{
-		Node:     nil,
-		Position: 1,
-		Size:     1,
-		Vars:     instanceVars{c.Inst},
-		Funcs:    &instanceFuncs{inst: c.Inst, next: c.Inst.Process.Funcs},
+	in := c.Inst
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.xpctx == nil {
+		in.xpctx = &xpath.Context{
+			Node:     nil,
+			Position: 1,
+			Size:     1,
+			Vars:     instanceVars{in},
+			Funcs:    &instanceFuncs{inst: in, next: in.Process.Funcs},
+		}
 	}
+	return in.xpctx
 }
 
 // instanceFuncs provides BPEL built-in extension functions that need

@@ -42,11 +42,21 @@ type Variable struct {
 	kind   VarKind
 	node   *xdm.Node
 	scalar string
+
+	// nodeSet caches the single-node node-set XPathValue hands out, so
+	// every XPath read of an XML variable does not allocate a fresh
+	// one-element slice. Maintained wherever node changes; evaluation
+	// never mutates a node-set slice, so sharing it is safe.
+	nodeSet []*xdm.Node
 }
 
 // NewXMLVariable creates an XML variable holding the given document.
 func NewXMLVariable(name string, doc *xdm.Node) *Variable {
-	return &Variable{Name: name, kind: XMLVar, node: doc}
+	v := &Variable{Name: name, kind: XMLVar, node: doc}
+	if doc != nil {
+		v.nodeSet = []*xdm.Node{doc}
+	}
+	return v
 }
 
 // NewScalarVariable creates a scalar variable.
@@ -75,6 +85,11 @@ func (v *Variable) SetNode(n *xdm.Node) {
 	v.kind = XMLVar
 	v.node = n
 	v.scalar = ""
+	if n != nil {
+		v.nodeSet = []*xdm.Node{n}
+	} else {
+		v.nodeSet = nil
+	}
 }
 
 // String returns the variable's string value (text content for XML).
@@ -97,6 +112,7 @@ func (v *Variable) SetString(s string) {
 	v.kind = ScalarVar
 	v.scalar = s
 	v.node = nil
+	v.nodeSet = nil
 }
 
 // Int returns the variable's value as an integer.
@@ -115,10 +131,7 @@ func (v *Variable) XPathValue() xpath.Value {
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	if v.kind == XMLVar {
-		if v.node == nil {
-			return xpath.NodeSet()
-		}
-		return xpath.NodeSet(v.node)
+		return xpath.Value{Kind: xpath.KindNodeSet, Nodes: v.nodeSet}
 	}
 	return xpath.String(v.scalar)
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"wfsql/internal/dataset"
@@ -54,6 +55,13 @@ type SQLDatabaseActivity struct {
 	// execution (autocommit), so a retried attempt never replays inside a
 	// wider transaction. Attempts surface as "Retrying" tracking events.
 	Retry *resilience.Policy
+
+	// The @name→:name statement rewrite depends only on Statement and
+	// Parameters, both frozen once the workflow is deployed, so it is
+	// computed once on first execution rather than per instance.
+	rewriteOnce sync.Once
+	rewritten   string
+	rewriteErr  error
 }
 
 // NewSQLDatabase builds a SQL database activity.
@@ -220,14 +228,24 @@ func (a *SQLDatabaseActivity) trackObserver(c *Context) resilience.Observer {
 // bindParameters rewrites @name parameters to the engine's :name form and
 // collects their values from host variables.
 func (a *SQLDatabaseActivity) bindParameters(c *Context) (string, map[string]sqldb.Value, error) {
-	sql := a.Statement
-	named := map[string]sqldb.Value{}
+	a.rewriteOnce.Do(func() {
+		sql := a.Statement
+		for _, p := range a.Parameters {
+			bare := strings.TrimPrefix(p.Name, "@")
+			if !strings.Contains(sql, "@"+bare) {
+				a.rewriteErr = fmt.Errorf("parameter %s not present in statement", p.Name)
+				return
+			}
+			sql = strings.ReplaceAll(sql, "@"+bare, ":"+bare)
+		}
+		a.rewritten = sql
+	})
+	if a.rewriteErr != nil {
+		return "", nil, a.rewriteErr
+	}
+	named := make(map[string]sqldb.Value, len(a.Parameters))
 	for _, p := range a.Parameters {
 		bare := strings.TrimPrefix(p.Name, "@")
-		if !strings.Contains(sql, "@"+bare) {
-			return "", nil, fmt.Errorf("parameter %s not present in statement", p.Name)
-		}
-		sql = strings.ReplaceAll(sql, "@"+bare, ":"+bare)
 		if p.Value != nil {
 			named[bare] = *p.Value
 			continue
@@ -238,7 +256,7 @@ func (a *SQLDatabaseActivity) bindParameters(c *Context) (string, map[string]sql
 		}
 		named[bare] = toSQLValue(v)
 	}
-	return sql, named, nil
+	return a.rewritten, named, nil
 }
 
 // toSQLValue converts a host variable to a SQL value.

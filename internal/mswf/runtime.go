@@ -48,6 +48,7 @@ type Runtime struct {
 
 	mu        sync.RWMutex
 	databases map[string]registeredDB
+	connCache map[string]*sqldb.DB // memoized openConnection results, keyed by raw connection string
 	handlers  map[string]func(*Context) error
 	rules     map[string]func(*Context) (bool, error)
 	services  map[string]func(map[string]string) (map[string]string, error)
@@ -91,6 +92,7 @@ func NewRuntime() *Runtime {
 	return &Runtime{
 		DeadLetters: resilience.NewDeadLetterLog(),
 		databases:   map[string]registeredDB{},
+		connCache:   map[string]*sqldb.DB{},
 		handlers:    map[string]func(*Context) error{},
 		rules:       map[string]func(*Context) (bool, error){},
 		services:    map[string]func(map[string]string) (map[string]string, error){},
@@ -122,6 +124,11 @@ func (rt *Runtime) RegisterDatabase(name string, provider Provider, db *sqldb.DB
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	rt.databases[strings.ToLower(name)] = registeredDB{provider: provider, db: db}
+	// A re-registration can change what existing connection strings
+	// resolve to; drop the memoized resolutions.
+	for k := range rt.connCache {
+		delete(rt.connCache, k)
+	}
 }
 
 // RegisterHandler installs a named code handler (the code-separation
@@ -161,8 +168,17 @@ func (rt *Runtime) rule(name string) (func(*Context) (bool, error), error) {
 }
 
 // openConnection parses an ADO-style connection string and returns the
-// database, enforcing the provider restriction.
+// database, enforcing the provider restriction. Successful resolutions
+// are memoized per raw string: every SQL activity execution opens its
+// own connection, and re-parsing the same few strings per statement is
+// pure overhead.
 func (rt *Runtime) openConnection(connStr string) (*sqldb.DB, error) {
+	rt.mu.RLock()
+	cached, ok := rt.connCache[connStr]
+	rt.mu.RUnlock()
+	if ok {
+		return cached, nil
+	}
 	provider, source := "", ""
 	for _, part := range strings.Split(connStr, ";") {
 		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
@@ -191,6 +207,9 @@ func (rt *Runtime) openConnection(connStr string) (*sqldb.DB, error) {
 	if reg.provider != SQLServer && reg.provider != OracleDB {
 		return nil, fmt.Errorf("mswf: SQL database activity supports only SqlServer and Oracle providers, not %q", reg.provider)
 	}
+	rt.mu.Lock()
+	rt.connCache[connStr] = reg.db
+	rt.mu.Unlock()
 	return reg.db, nil
 }
 

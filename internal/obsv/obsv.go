@@ -76,7 +76,9 @@ func (s *Span) Set(key, value string) *Span {
 	}
 	s.mu.Lock()
 	if s.Attrs == nil {
-		s.Attrs = map[string]string{}
+		// Pre-size for the typical attribute count (the sqldb statement
+		// spans set up to seven) so the map never rehashes mid-span.
+		s.Attrs = make(map[string]string, 8)
 	}
 	s.Attrs[key] = value
 	s.mu.Unlock()
@@ -147,8 +149,8 @@ type SpanSink interface {
 // Start returns a nil span and every Span method no-ops — so call sites
 // never need to guard on whether observability is attached.
 type Tracer struct {
-	mu      sync.Mutex
-	sinks   []SpanSink
+	mu      sync.Mutex                 // serializes sink-list writers and guards clock
+	sinks   atomic.Pointer[[]SpanSink] // copy-on-write: export reads lock- and alloc-free
 	nextID  atomic.Uint64
 	clock   func() time.Time
 	ambient atomic.Uint64 // fallback parent for context-free layers (orasoa)
@@ -157,7 +159,9 @@ type Tracer struct {
 // NewTracer returns a tracer exporting to the given sinks.
 func NewTracer(sinks ...SpanSink) *Tracer {
 	t := &Tracer{clock: time.Now}
-	t.sinks = append(t.sinks, sinks...)
+	for _, s := range sinks {
+		t.AddSink(s)
+	}
 	return t
 }
 
@@ -167,7 +171,12 @@ func (t *Tracer) AddSink(s SpanSink) {
 		return
 	}
 	t.mu.Lock()
-	t.sinks = append(t.sinks, s)
+	var next []SpanSink
+	if cur := t.sinks.Load(); cur != nil {
+		next = append(next, *cur...)
+	}
+	next = append(next, s)
+	t.sinks.Store(&next)
 	t.mu.Unlock()
 }
 
@@ -243,11 +252,11 @@ func (t *Tracer) Ambient() uint64 {
 }
 
 func (t *Tracer) export(s *Span) {
-	t.mu.Lock()
-	sinks := make([]SpanSink, len(t.sinks))
-	copy(sinks, t.sinks)
-	t.mu.Unlock()
-	for _, sink := range sinks {
+	sinks := t.sinks.Load()
+	if sinks == nil {
+		return
+	}
+	for _, sink := range *sinks {
 		sink.ExportSpan(s)
 	}
 }

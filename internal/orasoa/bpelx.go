@@ -99,9 +99,11 @@ func (a *BpelxAssign) execOp(ctx *engine.Ctx, op BpelxOp) error {
 	if target.Kind() != engine.XMLVar || target.Node() == nil {
 		return fmt.Errorf("bpelx: target %s is not an XML variable", op.ToVar)
 	}
-	tctx := ctx.XPathContext()
+	// Copy the shared instance context before rebasing it on the target
+	// document — the cached one must stay Node-less.
+	tctx := *ctx.XPathContext()
 	tctx.Node = target.Node()
-	sel, err := op.ToPath.Eval(tctx)
+	sel, err := op.ToPath.Eval(&tctx)
 	if err != nil {
 		return err
 	}

@@ -14,6 +14,7 @@ package orasoa
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -389,8 +390,19 @@ func queryResultName(el *xdm.Node) string {
 
 // substitutePageParams replaces {@name} placeholders with SQL-quoted
 // parameter values.
+func leadByte(s string) byte {
+	if s == "" {
+		return 0
+	}
+	return s[0]
+}
+
 func substitutePageParams(sql string, params map[string]string) (string, error) {
+	if !strings.Contains(sql, "{@") {
+		return sql, nil
+	}
 	var b strings.Builder
+	b.Grow(len(sql))
 	for {
 		i := strings.Index(sql, "{@")
 		if i < 0 {
@@ -408,12 +420,19 @@ func substitutePageParams(sql string, params map[string]string) (string, error) 
 		}
 		b.WriteString(sql[:i])
 		// Numeric-looking parameters are substituted unquoted so they
-		// compare naturally against numeric columns.
-		var iv int64
-		var fv float64
-		if _, err := fmt.Sscanf(v, "%d", &iv); err == nil && fmt.Sprint(iv) == v {
-			b.WriteString(v)
-		} else if _, err := fmt.Sscanf(v, "%g", &fv); err == nil && strings.TrimSpace(v) != "" && fmt.Sprint(fv) == v {
+		// compare naturally against numeric columns. The lead-byte gate
+		// keeps the common non-numeric case from allocating strconv
+		// syntax errors; ParseInt/ParseFloat only accept the full string,
+		// so "12abc" stays quoted.
+		numeric := false
+		if c := leadByte(v); c == '-' || c == '+' || c == '.' || (c >= '0' && c <= '9') {
+			if _, err := strconv.ParseInt(v, 10, 64); err == nil {
+				numeric = true
+			} else if _, err := strconv.ParseFloat(v, 64); err == nil {
+				numeric = true
+			}
+		}
+		if numeric {
 			b.WriteString(v)
 		} else {
 			b.WriteString(sqldb.Str(v).SQLLiteral())

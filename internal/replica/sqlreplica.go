@@ -20,9 +20,11 @@ import (
 // bound is therefore one sync-batch flush plus one poll interval; the
 // replica.lag_records and replica.lag_ms gauges report the observed
 // value. Reads on the replica see a prefix of the primary's change
-// stream — never a permutation — because capture happens under the
-// primary engine's exclusive lock (sink order is execution order) and
-// WAL framing preserves append order end to end.
+// stream — never a permutation — because capture happens inside the
+// primary engine's commit critical section while the emitting
+// statement still holds its table latches (sink order is per-table
+// execution order and sequence numbers are dense), and WAL framing
+// preserves append order end to end.
 
 // CaptureStats counts capture failures for one CaptureSQL attachment.
 type CaptureStats struct{ dropped atomic.Int64 }
@@ -41,7 +43,7 @@ func (s *CaptureStats) Dropped() int64 { return s.dropped.Load() }
 // for both workflow lifecycle and SQL state. Pass a nil recorder to
 // stop capturing (the returned stats are nil then).
 //
-// The sink runs under the database's exclusive engine lock, so the
+// The sink runs inside the database's commit critical section, so the
 // append must not re-enter the database — it does not. Append failures
 // split two ways:
 //
@@ -91,26 +93,33 @@ type SQLReplica struct {
 }
 
 // NewSQLReplica wraps an existing database as a replica starting at the
-// given bootstrap floor (see sqldb.DB.DumpWithSeq; 0 replays the stream
-// from its beginning). The database is switched to read-only replica
-// mode: application sessions get ErrReadOnly on mutation, only the
-// replication applier writes.
+// given bootstrap floor (see sqldb.DB.BootstrapState; 0 replays the
+// stream from its beginning). The database is switched to read-only
+// replica mode: application sessions get ErrReadOnly on mutation, only
+// the replication applier writes.
 func NewSQLReplica(db *sqldb.DB, floor int64) *SQLReplica {
 	db.SetReadOnly(true)
 	return &SQLReplica{db: db, ap: sqldb.NewApplier(db, floor)}
 }
 
 // BootstrapSQLReplica builds a replica of primary from a consistent
-// dump: the dump script seeds a fresh database and the paired sequence
-// number becomes the applier floor, so changes already contained in the
-// dump are skipped rather than double-applied.
+// bootstrap point (sqldb.DB.BootstrapState): the committed-only dump
+// script seeds a fresh database, the paired sequence number becomes the
+// applier floor (changes already reflected in the dump are skipped
+// rather than double-applied), and the pending statements of
+// transactions still open at the floor are primed so their eventual
+// COMMIT or ROLLBACK replays cleanly instead of diverging.
 func BootstrapSQLReplica(primary *sqldb.DB, name string) (*SQLReplica, error) {
-	script, seq := primary.DumpWithSeq()
+	script, seq, pending := primary.BootstrapState()
 	db := sqldb.Open(name)
 	if _, err := db.ExecScript(script); err != nil {
 		return nil, fmt.Errorf("replica: bootstrap from dump: %w", err)
 	}
-	return NewSQLReplica(db, seq), nil
+	r := NewSQLReplica(db, seq)
+	if err := r.ap.Prime(pending); err != nil {
+		return nil, fmt.Errorf("replica: prime open transactions: %w", err)
+	}
+	return r, nil
 }
 
 // ApplyEffect replays one decoded SQL-effect record. Malformed encoded

@@ -23,10 +23,12 @@ var ErrReadOnly = errors.New("sqldb: database is read-only (replica mode)")
 // ErrDiverged is wrapped by the error an Applier returns once it has
 // proof the replica can no longer converge with the primary: a gap in
 // the dense change sequence (a captured change never reached the WAL),
-// or a transaction that straddled the bootstrap dump and then rolled
-// back (the dump holds writes the primary undid). The condition is
-// permanent and latches — every subsequent Apply repeats it — and the
-// only recovery is re-bootstrapping the replica from a fresh dump.
+// or the resolution (COMMIT/ROLLBACK) of a transaction the replica
+// never saw open — a transaction that straddled the bootstrap dump on
+// a replica that was not primed with its pending statements
+// (BootstrapState / Prime). The condition is permanent and latches —
+// every subsequent Apply repeats it — and the only recovery is
+// re-bootstrapping the replica from a fresh dump.
 var ErrDiverged = errors.New("sqldb: replica diverged from primary change stream; re-bootstrap required")
 
 // divergedError carries the diagnosis and a permanent classification
@@ -69,11 +71,34 @@ type Applier struct {
 }
 
 // NewApplier returns an applier targeting db, skipping changes with
-// sequence numbers at or below floor (the ChangeSeq half of the
-// DumpWithSeq bootstrap point; pass 0 when the replica starts from the
-// stream's beginning).
+// sequence numbers at or below floor (the floor half of the
+// BootstrapState bootstrap point; pass 0 when the replica starts from
+// the stream's beginning).
 func NewApplier(db *DB, floor int64) *Applier {
 	return &Applier{db: db, floor: floor, sessions: map[int64]*Session{}}
+}
+
+// Prime replays the pending statements of transactions that were open
+// at the bootstrap point (the pending half of DB.BootstrapState). The
+// committed-only bootstrap dump deliberately excludes those
+// transactions' effects, so the replica re-opens them here — BEGIN and
+// all — before consuming the live stream; each resolves when its
+// COMMIT or ROLLBACK arrives with Seq > floor. Priming does not touch
+// the floor-skip accounting: pending changes carry Seq <= floor, and
+// the live stream is still consumed from floor+1.
+func (a *Applier) Prime(pending []Change) error {
+	for _, c := range pending {
+		s := a.session(c.Session)
+		st, fpc, parse, hit, err := a.db.cachedParse(c.SQL)
+		if err != nil {
+			return fmt.Errorf("sqldb: prime seq %d: %w", c.Seq, err)
+		}
+		if _, _, err := s.execStmt(st, fpc, parse, cacheLabel(hit), c.SQL, c.Params, c.Named); err != nil {
+			return fmt.Errorf("sqldb: prime seq %d (%s): %w", c.Seq, c.Kind, err)
+		}
+		a.applied++
+	}
+	return nil
 }
 
 // session returns (minting if needed) the replica session standing in
@@ -88,23 +113,24 @@ func (a *Applier) session(origin int64) *Session {
 	return s
 }
 
-// Apply replays one change. Changes at or below the bootstrap floor are
-// skipped, as is a COMMIT for a transaction the replica never saw open
-// (the tail of a transaction that straddled the bootstrap point — its
-// effects are already in the dump, matching the primary's
-// read-uncommitted isolation). The two conditions a skip CANNOT paper
-// over are divergence, reported as a latching ErrDiverged:
+// Apply replays one change. Changes at or below the bootstrap floor
+// are skipped (their effects are in the committed-only dump, or were
+// re-opened by Prime). Three conditions cannot be papered over and
+// are reported as a latching ErrDiverged:
 //
 //   - A gap in the dense change sequence: a captured change never made
 //     it here (journal append failure, pruned WAL segment), so the
 //     replica is missing a write with no way to recover it.
-//   - A ROLLBACK for a transaction the replica never saw open: the
-//     transaction straddled the bootstrap dump, so the dump contains
-//     its uncommitted writes (read-uncommitted isolation) and the
-//     primary has now undone them — the replica cannot, having already
-//     auto-committed any post-floor statements of that transaction.
-//     (The symmetric BEGIN-while-open case — an uncaptured rollback on
-//     a textless path — is refused the same way rather than guessed at.)
+//   - A COMMIT or ROLLBACK for a transaction the replica never saw
+//     open: the transaction straddled the bootstrap dump and the
+//     replica was not primed with its pending statements
+//     (DB.BootstrapState / Applier.Prime). The committed-only dump
+//     excludes its writes, so a bare COMMIT cannot reproduce them and
+//     a bare ROLLBACK has nothing to undo — either way the replica no
+//     longer matches the primary.
+//   - A BEGIN while the origin session already holds an open
+//     transaction (an uncaptured rollback on a textless path); refused
+//     rather than guessed at.
 func (a *Applier) Apply(c Change) error {
 	if a.fatal != nil {
 		return a.fatal
@@ -126,22 +152,20 @@ func (a *Applier) Apply(c Change) error {
 	s := a.session(c.Session)
 	if !s.InTransaction() {
 		switch c.Kind {
-		case "COMMIT":
-			a.skipped++
-			return nil
-		case "ROLLBACK":
+		case "COMMIT", "ROLLBACK":
 			return a.diverge(fmt.Sprintf(
-				"seq %d: ROLLBACK of a transaction straddling the bootstrap floor (%d); dump holds undone writes", c.Seq, a.floor))
+				"seq %d: %s of a transaction straddling the bootstrap floor (%d); replica was not primed with its pending statements",
+				c.Seq, c.Kind, a.floor))
 		}
 	} else if c.Kind == "BEGIN" {
 		return a.diverge(fmt.Sprintf(
 			"seq %d: BEGIN while origin session %d already holds an open transaction (rollback lost upstream)", c.Seq, c.Session))
 	}
-	st, parse, hit, err := a.db.cachedParse(c.SQL)
+	st, fpc, parse, hit, err := a.db.cachedParse(c.SQL)
 	if err != nil {
 		return fmt.Errorf("sqldb: apply seq %d: %w", c.Seq, err)
 	}
-	if _, _, err := s.execStmt(st, parse, cacheLabel(hit), c.SQL, c.Params, c.Named); err != nil {
+	if _, _, err := s.execStmt(st, fpc, parse, cacheLabel(hit), c.SQL, c.Params, c.Named); err != nil {
 		return fmt.Errorf("sqldb: apply seq %d (%s): %w", c.Seq, c.Kind, err)
 	}
 	a.applied++

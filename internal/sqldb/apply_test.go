@@ -3,6 +3,7 @@ package sqldb
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"testing"
 )
 
@@ -363,14 +364,15 @@ func TestApplierStreamStartPastFloorDiverges(t *testing.T) {
 }
 
 // TestApplierStraddledTransactionRollbackDiverges: a transaction open
-// across the bootstrap dump leaves its uncommitted writes IN the dump
-// (read-uncommitted). If the primary then rolls it back, the replica
-// cannot follow — it already holds the writes and has auto-committed
-// any post-floor statements — so the applier must latch divergence
-// instead of skipping the rollback. The commit twin of the same shape
-// stays a benign skip.
+// across the bootstrap point contributes nothing to the committed-only
+// dump, and its post-floor statements auto-commit on a replica that was
+// not primed (raw DumpWithSeq bootstrap, no BootstrapState/Prime). By
+// the time its COMMIT or ROLLBACK arrives, the replica has no open
+// transaction to resolve — and has already committed writes the
+// primary's COMMIT would make visible atomically (or its ROLLBACK would
+// undo). Either resolution must latch divergence.
 func TestApplierStraddledTransactionRollbackDiverges(t *testing.T) {
-	run := func(t *testing.T, finish func(s *Session)) (*Applier, *DB, *DB, error) {
+	run := func(t *testing.T, finish func(s *Session)) (*Applier, error) {
 		t.Helper()
 		primary := Open("p")
 		changes := captureChanges(primary)
@@ -379,8 +381,12 @@ func TestApplierStraddledTransactionRollbackDiverges(t *testing.T) {
 		s.Exec("BEGIN")
 		s.Exec("INSERT INTO t VALUES (1)")
 
-		// Bootstrap mid-transaction: the dump holds the uncommitted row.
+		// Bootstrap mid-transaction WITHOUT priming: the committed-only
+		// dump excludes the open transaction's row.
 		script, seq := primary.DumpWithSeq()
+		if strings.Contains(script, "INSERT") {
+			t.Fatalf("uncommitted row leaked into the dump:\n%s", script)
+		}
 		s.Exec("INSERT INTO t VALUES (2)")
 		finish(s)
 
@@ -396,11 +402,11 @@ func TestApplierStraddledTransactionRollbackDiverges(t *testing.T) {
 				break
 			}
 		}
-		return ap, primary, replica, firstErr
+		return ap, firstErr
 	}
 
 	t.Run("rollback", func(t *testing.T) {
-		ap, _, _, err := run(t, func(s *Session) { s.Rollback() })
+		ap, err := run(t, func(s *Session) { s.Rollback() })
 		if !errors.Is(err, ErrDiverged) {
 			t.Fatalf("straddled rollback: err = %v, want ErrDiverged", err)
 		}
@@ -409,17 +415,74 @@ func TestApplierStraddledTransactionRollbackDiverges(t *testing.T) {
 		}
 	})
 	t.Run("commit", func(t *testing.T) {
-		ap, primary, replica, err := run(t, func(s *Session) { s.Exec("COMMIT") })
-		if err != nil {
-			t.Fatalf("straddled commit: %v", err)
+		ap, err := run(t, func(s *Session) { s.Exec("COMMIT") })
+		if !errors.Is(err, ErrDiverged) {
+			t.Fatalf("straddled commit: err = %v, want ErrDiverged", err)
 		}
-		if ap.Fatal() != nil {
-			t.Fatalf("straddled commit latched divergence: %v", ap.Fatal())
-		}
-		if pd, rd := primary.Dump(), replica.Dump(); pd != rd {
-			t.Fatalf("replica diverged on straddled commit:\nprimary:\n%s\nreplica:\n%s", pd, rd)
+		if ap.Fatal() == nil {
+			t.Fatal("Fatal() nil after straddled commit")
 		}
 	})
+}
+
+// TestBootstrapStatePrimedStraddleConverges: the supported path for a
+// mid-transaction bootstrap. BootstrapState returns the committed-only
+// dump (no uncommitted rows — the rollback case proves the primary can
+// still undo them), the floor, and the open transaction's pending
+// statements; Prime re-opens the transaction on the replica, so its
+// eventual COMMIT or ROLLBACK replays cleanly and the replica converges
+// on the primary's final state either way.
+func TestBootstrapStatePrimedStraddleConverges(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		finish func(s *Session)
+	}{
+		{"commit", func(s *Session) { s.Exec("COMMIT") }},
+		{"rollback", func(s *Session) { s.Rollback() }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			primary := Open("p")
+			changes := captureChanges(primary)
+			s := primary.Session()
+			s.Exec("CREATE TABLE t (id INTEGER)")
+			s.Exec("BEGIN")
+			s.Exec("INSERT INTO t VALUES (1)")
+
+			script, floor, pending := primary.BootstrapState()
+			if strings.Contains(script, "INSERT") {
+				t.Fatalf("uncommitted row leaked into the bootstrap dump:\n%s", script)
+			}
+			if len(pending) != 2 { // BEGIN + INSERT
+				t.Fatalf("pending = %d changes, want 2 (BEGIN + INSERT)", len(pending))
+			}
+
+			s.Exec("INSERT INTO t VALUES (2)")
+			tc.finish(s)
+
+			replica := Open("r")
+			if _, err := replica.ExecScript(script); err != nil {
+				t.Fatal(err)
+			}
+			ap := NewApplier(replica, floor)
+			if err := ap.Prime(pending); err != nil {
+				t.Fatalf("prime: %v", err)
+			}
+			if got := ap.OpenTransactions(); got != 1 {
+				t.Fatalf("open transactions after prime = %d, want 1", got)
+			}
+			for _, c := range *changes {
+				if err := ap.Apply(c); err != nil {
+					t.Fatalf("apply seq %d (%s): %v", c.Seq, c.Kind, err)
+				}
+			}
+			if ap.Fatal() != nil {
+				t.Fatalf("primed straddle latched divergence: %v", ap.Fatal())
+			}
+			if pd, rd := primary.Dump(), replica.Dump(); pd != rd {
+				t.Fatalf("replica diverged on primed straddled %s:\nprimary:\n%s\nreplica:\n%s", tc.name, pd, rd)
+			}
+		})
+	}
 }
 
 // TestApplierBeginWhileOpenDiverges: a BEGIN for an origin session the

@@ -342,6 +342,16 @@ func (*FuncCall) exprNode()      {}
 func (*CaseExpr) exprNode()      {}
 func (*NextValueExpr) exprNode() {}
 
+// stmtKinds is the closed set of labels StmtKind can return (plus
+// "OTHER"), so metric sinks can precompute per-kind metric names.
+var stmtKinds = []string{
+	"SELECT", "INSERT", "UPDATE", "DELETE",
+	"CREATE TABLE", "CREATE VIEW", "DROP VIEW", "DROP TABLE",
+	"TRUNCATE", "ALTER TABLE", "CREATE INDEX", "DROP INDEX",
+	"CREATE SEQUENCE", "DROP SEQUENCE", "CREATE PROCEDURE", "DROP PROCEDURE",
+	"CALL", "EXPLAIN", "BEGIN", "COMMIT", "ROLLBACK", "OTHER",
+}
+
 // StmtKind returns a coarse statement-kind label ("SELECT", "INSERT",
 // "COMMIT", ...) used by the exec hook (fault injection) and tooling.
 func StmtKind(st Stmt) string {

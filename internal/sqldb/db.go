@@ -11,14 +11,22 @@ import (
 )
 
 // DB is an embeddable in-memory relational database. All operations are
-// safe for concurrent use. Statement execution is serialized by an
-// internal reader/writer lock: read-only statements (SELECT, EXPLAIN)
-// execute concurrently under the shared lock, while IUD and DDL
-// statements take the exclusive lock (single-writer engine). The
-// resulting isolation level is read-uncommitted — readers may observe
-// rows another session's open transaction later rolls back — which
-// matches the weakest level the surveyed products run their SQL
-// activities at.
+// safe for concurrent use. Concurrency control is multi-version with
+// per-table latches:
+//
+//   - SELECT and EXPLAIN read a consistent snapshot taken at statement
+//     start and never block on (or are blocked by) writers.
+//   - INSERT/UPDATE/DELETE and transaction control take per-table
+//     latches over their static footprint, so writers of disjoint
+//     tables run in parallel; DDL and native procedures fall back to
+//     the exclusive engine lock.
+//   - Two writers of the same row resolve first-writer-wins: the loser
+//     fails with a retryable error wrapping ErrWriteConflict.
+//
+// The resulting isolation level is snapshot (per statement): a reader
+// never observes another transaction's uncommitted or rolled-back
+// rows, and a scan never observes a concurrent commit part-way
+// through.
 type DB struct {
 	mu         sync.RWMutex
 	name       string
@@ -27,6 +35,22 @@ type DB struct {
 	sequences  map[string]*Sequence
 	procs      map[string]*Procedure
 	indexOwner map[string]*Table // index name -> owning table
+
+	// MVCC state. commitMu is the commit critical section: stamping a
+	// transaction's versions, advancing commitSeq, assigning change
+	// sequence numbers, delivering to the change sink, and maintaining
+	// the openTxns bootstrap buffers all happen under one hold — which
+	// is what keeps BootstrapState floors exactly paired with the
+	// committed state of a dump. txnIDs mints transaction ids; the
+	// snapshot registry (snapMu/snapActive) tracks in-flight statement
+	// snapshots so vacuum never removes a version a reader can still
+	// see. Lock order: mu → table latches → commitMu; snapMu is a leaf.
+	commitMu   sync.Mutex
+	commitSeq  atomic.Int64
+	txnIDs     atomic.Int64
+	snapMu     sync.Mutex
+	snapActive map[int64]int
+	openTxns   map[int64][]Change // session id -> explicit txn's emitted changes
 
 	// stats counters (observable via Stats) used by benchmarks and the
 	// reproduction's data-volume measurements. Atomics: read-only
@@ -48,10 +72,11 @@ type DB struct {
 	cacheMu        sync.Mutex
 	stmtCache      map[string]*list.Element // SQL text -> lruList element
 	lruList        *list.List               // of *cacheEntry, front = hottest
-	cacheHits      atomic.Int64
-	cacheMisses    atomic.Int64
-	cacheFlushes   atomic.Int64
-	cacheEvictions atomic.Int64
+	cacheHits          atomic.Int64
+	cacheMisses        atomic.Int64
+	cacheFlushes       atomic.Int64
+	cacheEvictions     atomic.Int64
+	cacheInvalidations atomic.Int64
 
 	// hookMu guards execHook and statsSink separately from mu so the hook
 	// can sleep (latency injection) without serializing against statement
@@ -62,8 +87,9 @@ type DB struct {
 
 	// Change-data-capture plumbing (see SetChangeSink): sessionIDs mints
 	// the per-session origin ids the stream is keyed by, changeSeq is the
-	// global change sequence (advanced under the exclusive engine lock,
-	// so it orders exactly like execution), changesMissed counts mutating
+	// global change sequence (advanced under commitMu while the emitting
+	// statement still holds its table latches, so it orders exactly like
+	// execution on every table), changesMissed counts mutating
 	// statements that executed without capturable SQL text, and readOnly
 	// puts the database in replica mode (only applier sessions may
 	// write).
@@ -72,6 +98,13 @@ type DB struct {
 	changeSeq     atomic.Int64
 	changesMissed atomic.Int64
 	readOnly      atomic.Bool
+
+	// footGen versions cached statement footprints (see fpSlot). Only
+	// view and procedure changes bump it: table names re-resolve against
+	// db.tables on every execution, so table DDL cannot stale a cached
+	// footprint, but view/procedure bodies are expanded *into* the
+	// cached name list and must invalidate it.
+	footGen atomic.Int64
 }
 
 // stmtCacheCap bounds the parsed-statement cache. When an insert would
@@ -81,10 +114,28 @@ type DB struct {
 const stmtCacheCap = 1024
 
 // cacheEntry is one LRU slot: the SQL text (to unlink the map entry on
-// eviction) and its parsed statement.
+// eviction), its parsed statement, and the lowercased object names the
+// statement references syntactically — the key DDL-scoped invalidation
+// matches against.
 type cacheEntry struct {
-	sql string
-	st  Stmt
+	sql  string
+	st   Stmt
+	refs map[string]bool
+	fp   fpSlot // lazily computed latch footprint (see stmtFootprint)
+}
+
+// stmtRefSet computes a statement's reference set for cache
+// invalidation: every table, view, sequence, and procedure name its AST
+// mentions, lowercased. Purely syntactic, so it is computed once at
+// parse time and cached with the entry.
+func stmtRefSet(st Stmt) map[string]bool {
+	w := map[string]bool{}
+	r := map[string]bool{}
+	stmtRefs(st, w, r)
+	for n := range r {
+		w[n] = true
+	}
+	return w
 }
 
 // ExecHook intercepts every top-level statement executed against the
@@ -161,11 +212,12 @@ func (db *DB) ResetStats() {
 
 // StmtCacheStats is a snapshot of the parsed-statement cache counters.
 type StmtCacheStats struct {
-	Size      int   // statements currently cached
-	Hits      int64 // Exec/ExecNamed calls served from the cache
-	Misses    int64 // calls that had to parse
-	Flushes   int64 // full invalidations (DDL)
-	Evictions int64 // single LRU evictions (capacity pressure)
+	Size          int   // statements currently cached
+	Hits          int64 // Exec/ExecNamed calls served from the cache
+	Misses        int64 // calls that had to parse
+	Flushes       int64 // whole-cache flushes (none in normal operation)
+	Evictions     int64 // single LRU evictions (capacity pressure)
+	Invalidations int64 // entries dropped by DDL-scoped invalidation
 }
 
 // StmtCacheStats returns a snapshot of the parsed-statement cache.
@@ -174,40 +226,47 @@ func (db *DB) StmtCacheStats() StmtCacheStats {
 	size := len(db.stmtCache)
 	db.cacheMu.Unlock()
 	return StmtCacheStats{
-		Size:      size,
-		Hits:      db.cacheHits.Load(),
-		Misses:    db.cacheMisses.Load(),
-		Flushes:   db.cacheFlushes.Load(),
-		Evictions: db.cacheEvictions.Load(),
+		Size:          size,
+		Hits:          db.cacheHits.Load(),
+		Misses:        db.cacheMisses.Load(),
+		Flushes:       db.cacheFlushes.Load(),
+		Evictions:     db.cacheEvictions.Load(),
+		Invalidations: db.cacheInvalidations.Load(),
 	}
 }
 
 // cachedParse resolves SQL text to a parsed statement through the per-DB
-// statement cache. It returns the statement, the parse duration charged to
-// this call (zero on a hit), and whether the cache served it. Statements
-// that fail to parse are not cached. A hit moves the entry to the front
-// of the LRU order; an insert past capacity evicts the coldest entry.
-func (db *DB) cachedParse(sql string) (Stmt, time.Duration, bool, error) {
+// statement cache. It returns the statement, its footprint-cache slot
+// (nil only when the statement was not cached), the parse duration
+// charged to this call (zero on a hit), and whether the cache served it.
+// Statements that fail to parse are not cached. A hit moves the entry to
+// the front of the LRU order; an insert past capacity evicts the coldest
+// entry.
+func (db *DB) cachedParse(sql string) (Stmt, *fpSlot, time.Duration, bool, error) {
 	db.cacheMu.Lock()
 	if el, ok := db.stmtCache[sql]; ok {
 		db.lruList.MoveToFront(el)
-		st := el.Value.(*cacheEntry).st
+		ce := el.Value.(*cacheEntry)
 		db.cacheMu.Unlock()
 		db.cacheHits.Add(1)
-		return st, 0, true, nil
+		return ce.st, &ce.fp, 0, true, nil
 	}
 	db.cacheMu.Unlock()
 	start := time.Now()
 	st, err := Parse(sql)
 	parse := time.Since(start)
 	if err != nil {
-		return nil, parse, false, err
+		return nil, nil, parse, false, err
 	}
 	db.cacheMisses.Add(1)
+	refs := stmtRefSet(st)
 	db.cacheMu.Lock()
+	var ce *cacheEntry
 	if el, ok := db.stmtCache[sql]; ok {
 		// Raced with another parser of the same text; keep theirs.
 		db.lruList.MoveToFront(el)
+		ce = el.Value.(*cacheEntry)
+		st = ce.st
 	} else {
 		for len(db.stmtCache) >= stmtCacheCap {
 			coldest := db.lruList.Back()
@@ -218,18 +277,113 @@ func (db *DB) cachedParse(sql string) (Stmt, time.Duration, bool, error) {
 			delete(db.stmtCache, coldest.Value.(*cacheEntry).sql)
 			db.cacheEvictions.Add(1)
 		}
-		db.stmtCache[sql] = db.lruList.PushFront(&cacheEntry{sql: sql, st: st})
+		ce = &cacheEntry{sql: sql, st: st, refs: refs}
+		db.stmtCache[sql] = db.lruList.PushFront(ce)
 	}
 	db.cacheMu.Unlock()
-	return st, parse, false, nil
+	return st, &ce.fp, parse, false, nil
 }
 
-// invalidateStmtCache drops every cached statement. Called after a DDL
-// statement commits: cached ASTs bind object names at execution time, so
-// this is defensive rather than required for correctness, but it keeps the
-// cache from pinning parse trees that reference dropped objects. DDL
-// keeps the full-flush semantics; only capacity pressure uses LRU
-// eviction.
+// ddlAffected resolves the lowercased object names a DDL statement
+// invalidates cached statements for: its direct target(s), plus every
+// view that (transitively) references an affected object. Called before
+// the DDL executes, under the exclusive engine lock — DROP INDEX needs
+// the owner table while the index still exists, and the view closure
+// needs the pre-DDL view set.
+func (db *DB) ddlAffected(st Stmt) []string {
+	affected := map[string]bool{}
+	add := func(n string) {
+		if n != "" {
+			affected[strings.ToLower(n)] = true
+		}
+	}
+	switch t := st.(type) {
+	case *CreateTableStmt:
+		add(t.Table)
+	case *DropTableStmt:
+		add(t.Table)
+	case *AlterTableStmt:
+		add(t.Table)
+		add(t.Name) // RENAME: both old and new names are affected
+	case *CreateIndexStmt:
+		add(t.Name)
+		add(t.Table)
+	case *DropIndexStmt:
+		add(t.Name)
+		if owner, ok := db.indexOwner[strings.ToLower(t.Name)]; ok {
+			add(owner.Name)
+		}
+	case *CreateViewStmt:
+		add(t.Name)
+	case *DropViewStmt:
+		add(t.Name)
+	case *CreateSequenceStmt:
+		add(t.Name)
+	case *DropSequenceStmt:
+		add(t.Name)
+	case *CreateProcedureStmt:
+		add(t.Name)
+	case *DropProcedureStmt:
+		add(t.Name)
+	default:
+		return nil
+	}
+	// Close over views: a view whose query references an affected object
+	// is itself affected (statements scanning the view must drop too).
+	for changed := true; changed; {
+		changed = false
+		for name, v := range db.views {
+			if affected[name] {
+				continue
+			}
+			refs := map[string]bool{}
+			selectRefs(v.Query, refs)
+			for n := range refs {
+				if affected[n] {
+					affected[name] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	out := make([]string, 0, len(affected))
+	for n := range affected {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// invalidateStmtCacheFor drops the cached statements whose reference
+// sets intersect the affected object names — the DDL-scoped
+// replacement for the old whole-cache flush, so DDL on one table no
+// longer costs unrelated hot statements their parse. Each dropped entry
+// counts as one Invalidation.
+func (db *DB) invalidateStmtCacheFor(affected []string) {
+	if len(affected) == 0 {
+		return
+	}
+	db.cacheMu.Lock()
+	for el := db.lruList.Front(); el != nil; {
+		next := el.Next()
+		ce := el.Value.(*cacheEntry)
+		for _, n := range affected {
+			if ce.refs[n] {
+				db.lruList.Remove(el)
+				delete(db.stmtCache, ce.sql)
+				db.cacheInvalidations.Add(1)
+				break
+			}
+		}
+		el = next
+	}
+	db.cacheMu.Unlock()
+}
+
+// invalidateStmtCache drops every cached statement — kept for paths
+// that change object resolution wholesale (none in normal operation;
+// scoped DDL invalidation uses invalidateStmtCacheFor).
 func (db *DB) invalidateStmtCache() {
 	db.cacheMu.Lock()
 	if len(db.stmtCache) > 0 {
@@ -288,6 +442,7 @@ func (db *DB) RegisterProcedure(name string, fn NativeProc) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	db.procs[strings.ToLower(name)] = &Procedure{Name: name, Native: fn}
+	db.footGen.Add(1) // CALL footprints may now resolve differently
 }
 
 // Session opens a new session on the database. Sessions are cheap; each
@@ -322,9 +477,10 @@ type Change struct {
 }
 
 // ChangeSink receives every change in execution order. It is called
-// with the exclusive engine lock held — that is what makes the order
-// authoritative — so implementations must be fast and must not call
-// back into the database.
+// under the engine's commit critical section while the emitting
+// statement still holds its table latches — that is what makes the
+// order authoritative per table — so implementations must be fast and
+// must not call back into the database.
 type ChangeSink func(Change)
 
 // SetChangeSink installs (or with nil removes) the change-stream

@@ -32,12 +32,11 @@ func (s *Session) execCreateTable(t *CreateTableStmt, params []Value, named map[
 			return nil, err
 		}
 		for _, row := range qres.Rows {
-			vals := make([]Value, len(row))
-			copy(vals, row)
-			r := &Row{Values: vals}
-			if err := tbl.insertRow(r); err != nil {
+			r, err := tbl.insertVersion(row, s.txn.id)
+			if err != nil {
 				return nil, err
 			}
+			s.txn.ws = append(s.txn.ws, wsEntry{t: tbl, r: r, kind: wsInsert})
 		}
 		s.db.tables[lc] = tbl
 		if tbl.pkIndex != nil {
@@ -91,7 +90,7 @@ func (s *Session) execAlterTable(t *AlterTableStmt, params []Value, named map[st
 				return nil, err
 			}
 		}
-		if t.Column.NotNull && def.IsNull() && len(tbl.rows) > 0 {
+		if t.Column.NotNull && def.IsNull() && tbl.RowCount() > 0 {
 			return nil, fmt.Errorf("sqldb: adding NOT NULL column %s to a non-empty table requires a DEFAULT", t.Column.Name)
 		}
 		tbl.Columns = append(tbl.Columns, Column{

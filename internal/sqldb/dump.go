@@ -11,25 +11,61 @@ import (
 // against an empty database (DB.ExecScript), reproduces its state.
 // Native (Go-registered) procedures cannot be dumped and are emitted as
 // comments.
+//
+// The dump is a committed-only snapshot: it is taken under the
+// exclusive engine lock (no statement is mid-flight, no commit is
+// mid-stamp) and contains exactly the row versions visible at the
+// current commit sequence. Another session's open transaction
+// contributes nothing — its pending rows cannot leak into a dump and
+// then be rolled back on the primary.
 func (db *DB) Dump() string {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	return db.dumpLocked()
 }
 
-// DumpWithSeq returns the dump together with the change sequence number
-// it is consistent with (see ChangeSeq): both are read under one hold of
-// the engine lock, and change capture advances the sequence only under
-// the exclusive lock, so no change can slip between them. The pair is a
-// replica bootstrap point: execute the script, then apply only changes
-// with Seq greater than the returned sequence.
+// DumpWithSeq returns the committed-only dump together with the change
+// sequence number it is consistent with (see ChangeSeq): both are read
+// under one hold of the exclusive engine lock, and change capture
+// advances the sequence only inside statements (which hold the shared
+// lock), so no change can slip between them. The pair is a replica
+// bootstrap point: execute the script, then apply only changes with Seq
+// greater than the returned sequence.
+//
+// If any session holds an open explicit transaction at dump time, its
+// already-streamed statements (Seq <= floor) are NOT in the dump —
+// their rows are uncommitted. A replica bootstrapped from this pair
+// alone would lose those writes when the transaction later commits; use
+// BootstrapState, which also returns the pending statements for
+// priming.
 func (db *DB) DumpWithSeq() (string, int64) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	return db.dumpLocked(), db.changeSeq.Load()
 }
 
+// BootstrapState is the full replica bootstrap point: the committed-only
+// dump script, the change-sequence floor it is consistent with, and the
+// statements of transactions still open at the floor — every change
+// those transactions have already put on the stream (Seq <= floor),
+// whose effects the committed-only dump deliberately excludes. A new
+// replica executes the script, primes the pending statements
+// (Applier.Prime), and then applies the live stream from floor+1; the
+// open transactions resolve when their COMMIT or ROLLBACK arrives.
+func (db *DB) BootstrapState() (script string, floor int64, pending []Change) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	script = db.dumpLocked()
+	floor = db.changeSeq.Load()
+	for _, buf := range db.openTxns {
+		pending = append(pending, buf...)
+	}
+	sort.Slice(pending, func(i, j int) bool { return pending[i].Seq < pending[j].Seq })
+	return script, floor, pending
+}
+
 func (db *DB) dumpLocked() string {
+	snap := db.commitSeq.Load()
 	var b strings.Builder
 
 	tableNames := make([]string, 0, len(db.tables))
@@ -51,6 +87,9 @@ func (db *DB) dumpLocked() string {
 		}
 		fmt.Fprintf(&b, "CREATE TABLE %s (%s);\n", t.Name, strings.Join(cols, ", "))
 		for _, r := range t.rows {
+			if !visibleAt(r, snap, 0) {
+				continue // uncommitted, rolled back, or deleted version
+			}
 			vals := make([]string, len(r.Values))
 			for i, v := range r.Values {
 				vals[i] = v.SQLLiteral()

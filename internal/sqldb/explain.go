@@ -61,7 +61,7 @@ func (s *Session) explainSelect(q *SelectStmt, base *env, depth int, lines *[]st
 				return fmt.Sprintf("derived table %s", alias), nil
 			}
 			if tbl, err := s.db.table(table); err == nil {
-				return fmt.Sprintf("%s (%d rows)", tbl.Name, len(tbl.rows)), nil
+				return fmt.Sprintf("%s (%d rows)", tbl.Name, tbl.RowCount()), nil
 			}
 			if v, ok := s.db.views[strings.ToLower(table)]; ok {
 				return fmt.Sprintf("view %s", v.Name), nil

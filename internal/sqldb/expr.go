@@ -499,10 +499,17 @@ func evalAggregate(t *FuncCall, e *env) (Value, error) {
 	if len(t.Args) != 1 {
 		return Null(), fmt.Errorf("sqldb: aggregate %s requires one argument", t.Name)
 	}
-	var vals []Value
-	seen := map[string]bool{}
+	vals := make([]Value, 0, len(e.groupRows))
+	var seen map[string]bool
+	var kb []byte
+	if t.Distinct {
+		seen = map[string]bool{}
+	}
+	// One scratch row environment serves every group row — eval never
+	// retains its environment past the call.
+	rowEnv := e.child(e.cols, nil)
 	for _, row := range e.groupRows {
-		rowEnv := e.child(e.cols, row)
+		rowEnv.row = row
 		v, err := eval(t.Args[0], rowEnv)
 		if err != nil {
 			return Null(), err
@@ -511,11 +518,11 @@ func evalAggregate(t *FuncCall, e *env) (Value, error) {
 			continue
 		}
 		if t.Distinct {
-			k := fmt.Sprintf("%d:%s", int(v.K), v.String())
-			if seen[k] {
+			kb = appendValueKey(kb[:0], v)
+			if seen[string(kb)] {
 				continue
 			}
-			seen[k] = true
+			seen[string(kb)] = true
 		}
 		vals = append(vals, v)
 	}

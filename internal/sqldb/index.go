@@ -6,7 +6,15 @@ import (
 )
 
 // Index is a hash index over one or more columns. Unique indexes enforce
-// key uniqueness (NULL keys are exempt, as in standard SQL).
+// key uniqueness (NULL keys are exempt, as in standard SQL). Buckets
+// hold every non-aborted version of a key — visibility filtering
+// happens at scan time — so the structure needs no maintenance on
+// commit or rollback, only on vacuum.
+//
+// Structural access is guarded by the owning table's rowsMu: insert and
+// rebuild run under the write half (inside insertVersion/maybeVacuum),
+// lookup copies its bucket under the read half so latch-free snapshot
+// readers never alias a bucket being spliced.
 type Index struct {
 	Name    string
 	Table   *Table
@@ -25,10 +33,23 @@ func newIndex(name string, t *Table, cols []string, unique bool) (*Index, error)
 		}
 		idx.colIdx = append(idx.colIdx, ci)
 	}
-	// Build over existing rows.
+	// Build over existing versions. CREATE INDEX runs under the
+	// exclusive engine lock, but other sessions' open transactions may
+	// have pending versions in the heap; uniqueness is enforced among
+	// versions not already dead or dying, each checked as its own
+	// creator would be.
 	for _, r := range t.rows {
-		if err := idx.checkInsert(r); err != nil {
-			return nil, err
+		if r.xmin.Load() == abortedStamp {
+			continue
+		}
+		if unique && r.xmax.Load() == 0 {
+			tid := int64(0)
+			if x := r.xmin.Load(); x < 0 {
+				tid = -x
+			}
+			if err := idx.checkInsert(r, tid); err != nil {
+				return nil, err
+			}
 		}
 		idx.insert(r)
 	}
@@ -53,7 +74,15 @@ func (idx *Index) key(vals []Value) (key string, hasNull bool) {
 	return b.String(), hasNull
 }
 
-func (idx *Index) checkInsert(r *Row) error {
+// checkInsert decides whether txnID may add a version with r's key.
+// Dead and dying versions don't block the key: aborted and
+// committed-deleted versions are skipped, as are versions this same
+// transaction has claimed (an UPDATE replacing the row). A version
+// another open transaction is still deciding about — its pending insert
+// or its claim — makes the outcome unknowable, which is a retryable
+// write conflict; a committed live version or this transaction's own
+// pending insert is a hard unique violation.
+func (idx *Index) checkInsert(r *Row, txnID int64) error {
 	if !idx.Unique {
 		return nil
 	}
@@ -61,24 +90,27 @@ func (idx *Index) checkInsert(r *Row) error {
 	if hasNull {
 		return nil
 	}
-	if len(idx.buckets[k]) > 0 {
-		return fmt.Errorf("sqldb: unique constraint violation on index %s", idx.Name)
-	}
-	return nil
-}
-
-func (idx *Index) checkUpdate(r *Row, newVals []Value) error {
-	if !idx.Unique {
-		return nil
-	}
-	k, hasNull := idx.key(newVals)
-	if hasNull {
-		return nil
-	}
-	for _, other := range idx.buckets[k] {
-		if other != r {
-			return fmt.Errorf("sqldb: unique constraint violation on index %s", idx.Name)
+	for _, o := range idx.buckets[k] {
+		if o == r {
+			continue
 		}
+		oxmin := o.xmin.Load()
+		if oxmin == abortedStamp {
+			continue
+		}
+		switch ox := o.xmax.Load(); {
+		case ox > 0:
+			continue // committed delete: the key is free
+		case ox < 0:
+			if -ox == txnID {
+				continue // our own claim: we are replacing this version
+			}
+			return &writeConflictError{table: idx.Table.Name}
+		}
+		if oxmin < 0 && -oxmin != txnID {
+			return &writeConflictError{table: idx.Table.Name}
+		}
+		return fmt.Errorf("sqldb: unique constraint violation on index %s", idx.Name)
 	}
 	return nil
 }
@@ -88,21 +120,19 @@ func (idx *Index) insert(r *Row) {
 	idx.buckets[k] = append(idx.buckets[k], r)
 }
 
-func (idx *Index) remove(r *Row) {
-	k, _ := idx.key(r.Values)
-	b := idx.buckets[k]
-	for i, rr := range b {
-		if rr == r {
-			idx.buckets[k] = append(b[:i], b[i+1:]...)
-			if len(idx.buckets[k]) == 0 {
-				delete(idx.buckets, k)
-			}
-			return
-		}
+// rebuild repopulates the buckets from a vacuumed heap. The caller
+// holds the table's rowsMu write lock; the old bucket map is abandoned
+// so in-flight readers holding copied buckets are unaffected.
+func (idx *Index) rebuild(rows []*Row) {
+	idx.buckets = make(map[string][]*Row, len(idx.buckets))
+	for _, r := range rows {
+		idx.insert(r)
 	}
 }
 
-// lookup returns the rows whose indexed columns equal the given values.
+// lookup returns the versions whose indexed columns equal the given
+// values — a copy, safe to filter and iterate after the structural lock
+// is released. Callers apply visibility.
 func (idx *Index) lookup(vals []Value) []*Row {
 	probe := make([]Value, len(idx.Table.Columns))
 	for i, ci := range idx.colIdx {
@@ -112,5 +142,10 @@ func (idx *Index) lookup(vals []Value) []*Row {
 	if hasNull {
 		return nil // NULL never equals anything
 	}
-	return idx.buckets[k]
+	idx.Table.rowsMu.RLock()
+	b := idx.buckets[k]
+	out := make([]*Row, len(b))
+	copy(out, b)
+	idx.Table.rowsMu.RUnlock()
+	return out
 }

@@ -197,7 +197,7 @@ func TestStmtCacheLRUHotStatementSurvives(t *testing.T) {
 	db.MustExec("CREATE TABLE t (a INT, b INT)")
 	s := db.Session()
 
-	baseFlushes := db.StmtCacheStats().Flushes // setup DDL flushed once
+	baseFlushes := db.StmtCacheStats().Flushes // 0: DDL no longer full-flushes
 
 	hot := "SELECT a FROM t WHERE b = ?"
 	if _, err := s.Exec(hot, Int(1)); err != nil {
@@ -237,12 +237,19 @@ func TestStmtCacheLRUHotStatementSurvives(t *testing.T) {
 		t.Fatalf("hot statement was evicted: hits %d -> %d", before, after)
 	}
 
-	// DDL still full-flushes (invalidation semantics kept).
+	// DDL evicts the entries referencing the altered table — here that is
+	// every cached statement, since they all read t — via per-entry
+	// invalidation, never a full flush.
+	preInv := db.StmtCacheStats().Invalidations
 	db.MustExec("CREATE INDEX it ON t (b)")
-	if cs := db.StmtCacheStats(); cs.Flushes <= baseFlushes {
-		t.Fatal("DDL must flush the statement cache")
+	cs = db.StmtCacheStats()
+	if cs.Flushes != baseFlushes {
+		t.Fatalf("DDL full-flushed the cache (flushes %d, base %d)", cs.Flushes, baseFlushes)
 	}
-	if cs := db.StmtCacheStats(); cs.Size != 0 {
-		t.Fatalf("cache size after DDL flush = %d, want 0", cs.Size)
+	if cs.Invalidations <= preInv {
+		t.Fatalf("DDL on t must invalidate cached statements referencing t (invalidations %d, base %d)", cs.Invalidations, preInv)
+	}
+	if cs.Size != 0 {
+		t.Fatalf("cache size after DDL on t = %d, want 0 (every cached statement references t)", cs.Size)
 	}
 }

@@ -2,7 +2,8 @@ package sqldb
 
 import (
 	"fmt"
-	"sort"
+	"slices"
+	"strconv"
 	"strings"
 )
 
@@ -25,12 +26,13 @@ func (s *Session) execSelect(q *SelectStmt, outer *env) (*Result, error) {
 	if !q.UnionAll {
 		seen := map[string]bool{}
 		var rows [][]Value
+		var kb []byte
 		for _, row := range combined.Rows {
-			k := rowKey(row)
-			if seen[k] {
+			kb = appendRowKey(kb[:0], row)
+			if seen[string(kb)] {
 				continue
 			}
-			seen[k] = true
+			seen[string(kb)] = true
 			rows = append(rows, row)
 		}
 		combined.Rows = rows
@@ -45,11 +47,14 @@ func (s *Session) execSelectArm(q *SelectStmt, outer *env) (*Result, error) {
 		return nil, err
 	}
 
-	// WHERE.
+	// WHERE. One scratch environment serves every row — eval never
+	// retains its environment past the call, so mutating .row per
+	// iteration is safe and saves an allocation per candidate row.
 	if q.Where != nil {
 		filtered := rel.rows[:0:0]
+		e := &env{cols: rel.cols, params: outer.params, named: outer.named, session: s, outer: outer}
 		for _, row := range rel.rows {
-			e := &env{cols: rel.cols, row: row, params: outer.params, named: outer.named, session: s, outer: outer}
+			e.row = row
 			v, err := eval(q.Where, e)
 			if err != nil {
 				return nil, err
@@ -110,7 +115,9 @@ func (s *Session) execSelectArm(q *SelectStmt, outer *env) (*Result, error) {
 			outRows = append(outRows, out)
 			rowEnvs = append(rowEnvs, e)
 		}
-	} else {
+	} else if len(q.OrderBy) > 0 {
+		// ORDER BY may evaluate key expressions in each row's input
+		// environment, so every row keeps its own.
 		for _, row := range rel.rows {
 			e := makeEnv(row, nil)
 			out := make([]Value, len(items))
@@ -124,21 +131,40 @@ func (s *Session) execSelectArm(q *SelectStmt, outer *env) (*Result, error) {
 			outRows = append(outRows, out)
 			rowEnvs = append(rowEnvs, e)
 		}
+	} else {
+		// No ORDER BY: project through one scratch environment.
+		e := makeEnv(nil, nil)
+		for _, row := range rel.rows {
+			e.row = row
+			out := make([]Value, len(items))
+			for i, it := range items {
+				v, err := eval(it, e)
+				if err != nil {
+					return nil, err
+				}
+				out[i] = v
+			}
+			outRows = append(outRows, out)
+		}
 	}
 
-	// DISTINCT.
+	// DISTINCT. rowEnvs is populated only when ORDER BY needs per-row
+	// input environments; keep it aligned when present.
 	if q.Distinct {
 		seen := map[string]bool{}
 		var dr [][]Value
 		var de []*env
+		var kb []byte
 		for i, row := range outRows {
-			k := rowKey(row)
-			if seen[k] {
+			kb = appendRowKey(kb[:0], row)
+			if seen[string(kb)] {
 				continue
 			}
-			seen[k] = true
+			seen[string(kb)] = true
 			dr = append(dr, row)
-			de = append(de, rowEnvs[i])
+			if rowEnvs != nil {
+				de = append(de, rowEnvs[i])
+			}
 		}
 		outRows, rowEnvs = dr, de
 	}
@@ -213,11 +239,16 @@ func (s *Session) buildFrom(q *SelectStmt, outer *env) (*relation, error) {
 				}
 				rel := &relation{cols: tableColMeta(tbl, qual)}
 				rel.rows = make([][]Value, 0, len(candidates))
+				n := 0
 				for _, r := range candidates {
+					if !s.rowVisible(r) {
+						continue
+					}
 					rel.rows = append(rel.rows, r.Values)
+					n++
 				}
-				s.db.rowsRead.Add(int64(len(candidates)))
-				s.rowsScanned += int64(len(candidates))
+				s.db.rowsRead.Add(int64(n))
+				s.rowsScanned += int64(n)
 				return rel, nil
 			}
 		}
@@ -250,13 +281,23 @@ func (s *Session) scanBase(table, alias string, outer *env) (*relation, error) {
 		qual = tbl.Name
 	}
 	s.notePlan(tbl, nil)
+	// Latch-free snapshot scan: copy the heap slice header under the
+	// structural lock, then filter versions through the statement's
+	// snapshot — concurrent writers append new versions past the copied
+	// length and never mutate the ones we see.
+	heap := tbl.snapshotRows()
 	rel := &relation{cols: tableColMeta(tbl, qual)}
-	rel.rows = make([][]Value, 0, len(tbl.rows))
-	for _, r := range tbl.rows {
+	rel.rows = make([][]Value, 0, len(heap))
+	n := 0
+	for _, r := range heap {
+		if !s.rowVisible(r) {
+			continue
+		}
 		rel.rows = append(rel.rows, r.Values)
+		n++
 	}
-	s.db.rowsRead.Add(int64(len(tbl.rows)))
-	s.rowsScanned += int64(len(tbl.rows))
+	s.db.rowsRead.Add(int64(n))
+	s.rowsScanned += int64(n)
 	return rel, nil
 }
 
@@ -314,13 +355,14 @@ func (s *Session) joinRelations(l, r *relation, jc JoinClause, outer *env) (*rel
 	if jc.Kind == JoinCross {
 		return crossProduct(l, r), nil
 	}
+	e := &env{cols: out.cols, params: outer.params, named: outer.named, session: s, outer: outer}
 	for _, lr := range l.rows {
 		matched := false
 		for _, rr := range r.rows {
 			row := make([]Value, 0, len(lr)+len(rr))
 			row = append(row, lr...)
 			row = append(row, rr...)
-			e := &env{cols: out.cols, row: row, params: outer.params, named: outer.named, session: s, outer: outer}
+			e.row = row
 			v, err := eval(jc.On, e)
 			if err != nil {
 				return nil, err
@@ -342,8 +384,8 @@ func (s *Session) joinRelations(l, r *relation, jc JoinClause, outer *env) (*rel
 // expandItems resolves * and t.* and returns the projection expressions and
 // output column names.
 func expandItems(q *SelectStmt, rel *relation) ([]Expr, []string, error) {
-	var items []Expr
-	var names []string
+	items := make([]Expr, 0, len(q.Items)+len(rel.cols))
+	names := make([]string, 0, cap(items))
 	for _, it := range q.Items {
 		if it.Star {
 			qual := strings.ToLower(it.StarTable)
@@ -353,7 +395,7 @@ func expandItems(q *SelectStmt, rel *relation) ([]Expr, []string, error) {
 					continue
 				}
 				matched = true
-				items = append(items, &boundCol{idx: i})
+				items = append(items, boundColFor(i))
 				names = append(names, c.name)
 			}
 			if !matched {
@@ -376,6 +418,24 @@ type boundCol struct{ idx int }
 
 func (*boundCol) exprNode() {}
 
+// smallBoundCols interns the low column indexes: boundCol is immutable
+// after construction, so every star expansion can share one node per
+// index instead of allocating a fresh one per execution.
+var smallBoundCols = func() [64]*boundCol {
+	var s [64]*boundCol
+	for i := range s {
+		s[i] = &boundCol{idx: i}
+	}
+	return s
+}()
+
+func boundColFor(i int) Expr {
+	if i < len(smallBoundCols) {
+		return smallBoundCols[i]
+	}
+	return &boundCol{idx: i}
+}
+
 func itemName(it SelectItem) string {
 	if it.Alias != "" {
 		return it.Alias
@@ -396,37 +456,65 @@ func (s *Session) groupRows(q *SelectStmt, rel *relation, outer *env) ([][][]Val
 	if len(q.GroupBy) == 0 {
 		return [][][]Value{rel.rows}, nil
 	}
-	order := []string{}
-	groups := map[string][][]Value{}
+	// bins holds the groups in first-seen order; idx maps a group key to
+	// its bin. Lookups convert the scratch key with string(kb), which the
+	// compiler keeps off the heap — only a newly seen group pays for a
+	// string copy.
+	idx := map[string]int{}
+	var bins [][][]Value
+	e := &env{cols: rel.cols, params: outer.params, named: outer.named, session: s, outer: outer}
+	var kb []byte
 	for _, row := range rel.rows {
-		e := &env{cols: rel.cols, row: row, params: outer.params, named: outer.named, session: s, outer: outer}
-		var kb strings.Builder
+		e.row = row
+		kb = kb[:0]
 		for _, g := range q.GroupBy {
 			v, err := eval(g, e)
 			if err != nil {
 				return nil, err
 			}
-			fmt.Fprintf(&kb, "%d:%s\x00", int(v.K), v.String())
+			kb = appendValueKey(kb, v)
 		}
-		k := kb.String()
-		if _, ok := groups[k]; !ok {
-			order = append(order, k)
+		p, ok := idx[string(kb)]
+		if !ok {
+			p = len(bins)
+			idx[string(kb)] = p
+			bins = append(bins, nil)
 		}
-		groups[k] = append(groups[k], row)
+		bins[p] = append(bins[p], row)
 	}
-	out := make([][][]Value, 0, len(order))
-	for _, k := range order {
-		out = append(out, groups[k])
-	}
-	return out, nil
+	return bins, nil
 }
 
-func rowKey(row []Value) string {
-	var b strings.Builder
-	for _, v := range row {
-		fmt.Fprintf(&b, "%d:%s\x00", int(v.K), v.String())
+// appendValueKey appends one value's collision-free key segment —
+// kind, ':', rendered value, NUL — without intermediate string
+// allocations.
+func appendValueKey(b []byte, v Value) []byte {
+	b = strconv.AppendInt(b, int64(v.K), 10)
+	b = append(b, ':')
+	switch v.K {
+	case KindInt:
+		b = strconv.AppendInt(b, v.I, 10)
+	case KindFloat:
+		b = strconv.AppendFloat(b, v.F, 'g', -1, 64)
+	case KindString:
+		b = append(b, v.S...)
+	case KindBool:
+		if v.B {
+			b = append(b, "TRUE"...)
+		} else {
+			b = append(b, "FALSE"...)
+		}
 	}
-	return b.String()
+	return append(b, 0)
+}
+
+// appendRowKey appends every value's key segment; used by the DISTINCT
+// and UNION dedup loops with one reusable scratch buffer.
+func appendRowKey(b []byte, row []Value) []byte {
+	for _, v := range row {
+		b = appendValueKey(b, v)
+	}
+	return b
 }
 
 // orderRows sorts outRows (and keeps rowEnvs aligned) by the ORDER BY keys.
@@ -438,9 +526,11 @@ func (s *Session) orderRows(q *SelectStmt, items []Expr, colNames []string, outR
 		keys []Value
 		idx  int
 	}
+	nk := len(q.OrderBy)
+	flat := make([]Value, len(outRows)*nk) // one backing array for every row's keys
 	ks := make([]keyed, len(outRows))
 	for i := range outRows {
-		ks[i] = keyed{idx: i, keys: make([]Value, len(q.OrderBy))}
+		ks[i] = keyed{idx: i, keys: flat[i*nk : (i+1)*nk : (i+1)*nk]}
 		for j, oi := range q.OrderBy {
 			v, err := evalOrderKey(oi.Expr, colNames, outRows[i], rowEnvs[i])
 			if err != nil {
@@ -449,18 +539,18 @@ func (s *Session) orderRows(q *SelectStmt, items []Expr, colNames []string, outR
 			ks[i].keys[j] = v
 		}
 	}
-	sort.SliceStable(ks, func(a, b int) bool {
+	slices.SortStableFunc(ks, func(a, b keyed) int {
 		for j, oi := range q.OrderBy {
-			c := sortCompare(ks[a].keys[j], ks[b].keys[j])
+			c := sortCompare(a.keys[j], b.keys[j])
 			if c == 0 {
 				continue
 			}
 			if oi.Desc {
-				return c > 0
+				return -c
 			}
-			return c < 0
+			return c
 		}
-		return false
+		return 0
 	})
 	tmpRows := make([][]Value, len(outRows))
 	tmpEnvs := make([]*env, len(rowEnvs))

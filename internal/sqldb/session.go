@@ -40,6 +40,11 @@ type Session struct {
 	mu  sync.Mutex
 	txn *txn
 
+	// snap is the executing statement's snapshot: the highest commit
+	// sequence whose effects the statement sees (plus its own
+	// transaction's pending versions). Taken at statement start.
+	snap int64
+
 	// locked marks a child session minted by execCall for native
 	// procedures: the enclosing statement already holds the engine lock
 	// and the session mutex, so the child's statements take the
@@ -53,6 +58,12 @@ type Session struct {
 	planTable   string    // primary access-path table of current stmt
 	planIndex   string    // index probed by the current stmt ("" = scan)
 	rowsScanned int64     // candidate rows read by the current stmt
+
+	// ddlAffected is set by runStmt for successful DDL: the lowercased
+	// object names whose cached statements must be invalidated after the
+	// engine lock is released. Computed before execution so DROP INDEX
+	// can still resolve its owner table.
+	ddlAffected []string
 
 	// runCtx, when bound, is the session's execution budget (the owning
 	// workflow instance's deadline). Guarded by mu; checked at every
@@ -90,38 +101,8 @@ func (s *Session) BindContext(ctx context.Context) {
 	s.mu.Unlock()
 }
 
-// txn is an in-flight transaction: an undo log replayed in reverse on
-// rollback.
-type txn struct {
-	undo []undoEntry
-}
-
-type undoEntry interface{ undo() }
-
-type undoInsert struct {
-	t *Table
-	r *Row
-}
-
-func (u undoInsert) undo() { u.t.deleteRow(u.r) }
-
-type undoDelete struct {
-	t *Table
-	r *Row
-}
-
-func (u undoDelete) undo() { u.t.reinsertRow(u.r) }
-
-type undoUpdate struct {
-	t   *Table
-	r   *Row
-	old []Value
-}
-
-func (u undoUpdate) undo() { u.t.restoreRowValues(u.r, u.old) }
-
 // InTransaction reports whether an explicit transaction is open.
-func (s *Session) InTransaction() bool { return s.txn != nil }
+func (s *Session) InTransaction() bool { return s.txn != nil && s.txn.explicit }
 
 // DB returns the database this session is attached to.
 func (s *Session) DB() *DB { return s.db }
@@ -135,11 +116,11 @@ func (s *Session) ID() int64 { return s.id }
 // executions of the same SQL text reuse the cached AST and report zero
 // parse time (StmtStats.Cache records "hit" vs "miss").
 func (s *Session) Exec(sql string, params ...Value) (*Result, error) {
-	st, parse, hit, err := s.db.cachedParse(sql)
+	st, fpc, parse, hit, err := s.db.cachedParse(sql)
 	if err != nil {
 		return nil, err
 	}
-	res, _, err := s.execStmt(st, parse, cacheLabel(hit), sql, params, nil)
+	res, _, err := s.execStmt(st, fpc, parse, cacheLabel(hit), sql, params, nil)
 	return res, err
 }
 
@@ -147,11 +128,11 @@ func (s *Session) Exec(sql string, params ...Value) (*Result, error) {
 // from the given map (keys are case-insensitive). Like Exec, it resolves
 // the SQL text through the statement cache.
 func (s *Session) ExecNamed(sql string, named map[string]Value) (*Result, error) {
-	st, parse, hit, err := s.db.cachedParse(sql)
+	st, fpc, parse, hit, err := s.db.cachedParse(sql)
 	if err != nil {
 		return nil, err
 	}
-	res, _, err := s.execStmt(st, parse, cacheLabel(hit), sql, nil, named)
+	res, _, err := s.execStmt(st, fpc, parse, cacheLabel(hit), sql, nil, named)
 	return res, err
 }
 
@@ -170,6 +151,7 @@ type PreparedStmt struct {
 	s    *Session
 	stmt Stmt
 	src  string // original SQL text, for the change stream
+	fp   fpSlot // cached latch footprint (see stmtFootprint)
 
 	mu       sync.Mutex
 	parse    time.Duration
@@ -217,7 +199,7 @@ func (p *PreparedStmt) restoreParse(parse time.Duration) {
 // Exec runs the prepared statement with positional parameters.
 func (p *PreparedStmt) Exec(params ...Value) (*Result, error) {
 	parse := p.takeParse()
-	res, executed, err := p.s.execStmt(p.stmt, parse, "", p.src, params, nil)
+	res, executed, err := p.s.execStmt(p.stmt, &p.fp, parse, "", p.src, params, nil)
 	if !executed {
 		p.restoreParse(parse)
 	}
@@ -227,7 +209,7 @@ func (p *PreparedStmt) Exec(params ...Value) (*Result, error) {
 // ExecNamed runs the prepared statement with named parameters.
 func (p *PreparedStmt) ExecNamed(named map[string]Value) (*Result, error) {
 	parse := p.takeParse()
-	res, executed, err := p.s.execStmt(p.stmt, parse, "", p.src, nil, named)
+	res, executed, err := p.s.execStmt(p.stmt, &p.fp, parse, "", p.src, nil, named)
 	if !executed {
 		p.restoreParse(parse)
 	}
@@ -258,13 +240,13 @@ func (s *Session) Query(sql string, params ...Value) (*Result, error) {
 // the miss is counted in ChangesMissed. Replication-facing callers use
 // Exec/ExecNamed/Prepare, which capture the text.
 func (s *Session) ExecStmt(st Stmt, params []Value, named map[string]Value) (*Result, error) {
-	res, _, err := s.execStmt(st, 0, "", "", params, named)
+	res, _, err := s.execStmt(st, nil, 0, "", "", params, named)
 	return res, err
 }
 
 // readOnlyStmt reports whether a statement only reads database state and
-// can therefore execute under the shared (read) engine lock. SELECT may
-// still advance sequences via NEXTVAL; Sequence is internally
+// can therefore execute latch-free under the shared engine lock. SELECT
+// may still advance sequences via NEXTVAL; Sequence is internally
 // synchronized for exactly that reason.
 func readOnlyStmt(st Stmt) bool {
 	switch st.(type) {
@@ -275,8 +257,8 @@ func readOnlyStmt(st Stmt) bool {
 }
 
 // isDDL reports whether a statement changes schema objects (tables,
-// indexes, views, sequences, procedures). Successful DDL flushes the
-// parsed-statement cache.
+// indexes, views, sequences, procedures). Successful DDL invalidates the
+// cached statements that reference the affected objects.
 func isDDL(st Stmt) bool {
 	switch st.(type) {
 	case *CreateTableStmt, *DropTableStmt, *AlterTableStmt,
@@ -290,14 +272,22 @@ func isDDL(st Stmt) bool {
 }
 
 // execStmt is the top-level execution path: session mutex, ExecHook,
-// engine lock (shared for read-only statements, exclusive otherwise),
-// statement execution, then stats emission. parse and cache describe how
-// the statement text was resolved (see Exec/cachedParse) and flow into
-// the emitted StmtStats; src is the original SQL text when the caller
-// has it (change-stream capture needs it). executed is false only when
-// the ExecHook refused the statement before any work happened —
-// prepared statements use that to re-arm their one-time parse charge.
-func (s *Session) execStmt(st Stmt, parse time.Duration, cache string, src string, params []Value, named map[string]Value) (res *Result, executed bool, err error) {
+// then one of three locking regimes chosen by runStmt (latch-free
+// shared read, per-table latches, or the exclusive engine lock),
+// statement execution, then stats emission. parse and cache describe
+// how the statement text was resolved (see Exec/cachedParse) and flow
+// into the emitted StmtStats; src is the original SQL text when the
+// caller has it (change-stream capture needs it). executed is false
+// only when the ExecHook refused the statement before any work happened
+// — prepared statements use that to re-arm their one-time parse charge.
+//
+// Autocommit statements that lose a first-writer-wins race are retried
+// here against a fresh snapshot with exponential backoff before the
+// conflict is surfaced; the backoff is charged to StmtStats.LockWait.
+// Statements inside an explicit transaction are not retried — earlier
+// statements of the transaction saw older snapshots, so the decision
+// belongs to the caller.
+func (s *Session) execStmt(st Stmt, fpc *fpSlot, parse time.Duration, cache string, src string, params []Value, named map[string]Value) (res *Result, executed bool, err error) {
 	if s.locked {
 		// Re-entrant execution (native procedure bodies running on a
 		// child session): no hook, no stats — the enclosing statement
@@ -332,87 +322,272 @@ func (s *Session) execStmt(st Stmt, parse time.Duration, cache string, src strin
 	if sink == nil {
 		sink = s.db.currentStatsSink()
 	}
-	shared := readOnlyStmt(st)
-	lockStart := time.Now()
-	if shared {
-		s.db.mu.RLock()
-	} else {
-		s.db.mu.Lock()
-	}
-	lockWait := time.Since(lockStart)
 	var stat *StmtStats
-	func() {
-		defer func() {
-			if shared {
-				s.db.mu.RUnlock()
-			} else {
-				s.db.mu.Unlock()
-			}
-		}()
-		// The change stream is captured while the exclusive lock is
-		// still held, so its order IS the engine's execution order —
-		// the property the replica applier relies on to replay
-		// interleaved transactions.
-		defer func() {
-			if !shared && err == nil {
-				s.emitChangeLocked(st, src, params, named)
-			}
-		}()
-		if sink == nil {
-			res, err = s.execStmtLocked(st, params, named)
-			return
+	var backoff time.Duration
+	var conflictTable string
+	canRetry := s.txn == nil
+	for attempt := 0; ; attempt++ {
+		stat, res, err = s.runStmt(st, fpc, parse, cache, src, params, named, sink != nil)
+		if err == nil || !canRetry || attempt >= conflictRetryLimit {
+			break
 		}
-		s.planTable, s.planIndex, s.rowsScanned = "", "", 0
-		start := time.Now()
-		res, err = s.execStmtLocked(st, params, named)
-		stat = &StmtStats{
-			Start:       start,
-			Kind:        StmtKind(st),
-			Table:       s.planTable,
-			Index:       s.planIndex,
-			Plan:        "",
-			Parse:       parse,
-			Exec:        time.Since(start),
-			LockWait:    lockWait,
-			Cache:       cache,
-			RowsScanned: s.rowsScanned,
+		table, conflict := isWriteConflict(err)
+		if !conflict {
+			break
 		}
-		if s.planTable != "" {
-			if tbl, terr := s.db.table(s.planTable); terr == nil {
-				var idx *Index
-				if s.planIndex != "" {
-					idx = tbl.indexes[strings.ToLower(s.planIndex)]
-				}
-				stat.Plan = planLabel(tbl, idx)
-			}
-		}
-		if res != nil {
-			stat.RowsReturned = int64(len(res.Rows))
-			stat.RowsAffected = res.RowsAffected
-		}
-		if err != nil {
-			stat.Err = err.Error()
-		}
-	}()
+		// All locks are released here (runStmt unwound fully); sleep,
+		// then re-run against a fresh snapshot.
+		d := conflictBackoff(attempt)
+		backoff += d
+		conflictTable = table
+		time.Sleep(d)
+	}
 	if err == nil && isDDL(st) {
-		s.db.invalidateStmtCache()
+		s.db.invalidateStmtCacheFor(s.ddlAffected)
+		s.ddlAffected = nil
 	}
 	if stat != nil {
+		if backoff > 0 {
+			stat.LockWait += backoff
+			if conflictTable != "" {
+				if stat.LockWaitByTable == nil {
+					stat.LockWaitByTable = map[string]time.Duration{}
+				}
+				stat.LockWaitByTable[conflictTable] += backoff
+			}
+		}
 		sink(*stat)
 	}
 	return res, true, err
 }
 
-// emitChangeLocked hands a successfully executed mutating statement to
-// the database's change sink, stamped with the next change sequence
-// number. Caller holds the exclusive engine lock, which is what makes
-// both the sequence and the sink callback order match execution order.
+// runStmt executes one attempt of a statement under the locking regime
+// its shape requires:
+//
+//   - SELECT/EXPLAIN: shared engine lock only — snapshot reads, no
+//     latches, never blocked by writers.
+//   - DML, transaction control, and CALLs of SQL procedures: shared
+//     engine lock plus per-table latches over the statement's static
+//     footprint (exclusive on mutated tables, shared on read tables),
+//     acquired in globally sorted name order — the deadlock-avoidance
+//     rule.
+//   - DDL, native procedures, and statements whose footprint cannot be
+//     computed statically: the exclusive engine lock, which excludes
+//     every other statement.
+//
+// Every attempt registers a snapshot for its lifetime (vacuum safety)
+// and fully releases locks before returning.
+func (s *Session) runStmt(st Stmt, fpc *fpSlot, parse time.Duration, cache, src string, params []Value, named map[string]Value, wantStats bool) (stat *StmtStats, res *Result, err error) {
+	shared := readOnlyStmt(st)
+	exclusive := false
+	var fp []latchTarget
+	// lockWait accumulates only time spent blocked on lock/latch
+	// acquisition — the footprint computation between the engine lock and
+	// the latches is CPU work, not waiting, and is deliberately untimed.
+	// A successful TryLock is by definition a zero wait, so the common
+	// uncontended case records an honest 0 instead of clock-read noise.
+	var lockWait time.Duration
+	if !s.db.mu.TryRLock() {
+		lockStart := time.Now()
+		s.db.mu.RLock()
+		lockWait = time.Since(lockStart)
+	}
+	if !shared {
+		var ok bool
+		fp, ok = s.db.stmtFootprint(st, s.txn, fpc)
+		if !ok {
+			s.db.mu.RUnlock()
+			if !s.db.mu.TryLock() {
+				lockStart := time.Now()
+				s.db.mu.Lock()
+				lockWait += time.Since(lockStart)
+			}
+			exclusive = true
+		}
+	}
+	var waits map[string]time.Duration
+	if len(fp) > 0 {
+		waits = acquireLatches(fp, true)
+		for _, d := range waits {
+			lockWait += d
+		}
+	}
+	snap := s.db.acquireSnapshot()
+	s.snap = snap
+	defer func() {
+		s.db.releaseSnapshot(snap)
+		releaseLatches(fp)
+		if exclusive {
+			s.db.mu.Unlock()
+		} else {
+			s.db.mu.RUnlock()
+		}
+	}()
+	if exclusive && isDDL(st) {
+		// Resolved before execution: DROP INDEX needs the owner table
+		// while the index still exists.
+		s.ddlAffected = s.db.ddlAffected(st)
+	}
+	if !wantStats {
+		res, err = s.execTop(st, src, params, named, fp)
+		return nil, res, err
+	}
+	s.planTable, s.planIndex, s.rowsScanned = "", "", 0
+	start := time.Now()
+	res, err = s.execTop(st, src, params, named, fp)
+	stat = &StmtStats{
+		Start:           start,
+		Kind:            StmtKind(st),
+		Table:           s.planTable,
+		Index:           s.planIndex,
+		Plan:            "",
+		Parse:           parse,
+		Exec:            time.Since(start),
+		LockWait:        lockWait,
+		LockWaitByTable: waits,
+		Cache:           cache,
+		RowsScanned:     s.rowsScanned,
+	}
+	if s.planTable != "" {
+		if tbl, terr := s.db.table(s.planTable); terr == nil {
+			var idx *Index
+			if s.planIndex != "" {
+				idx = tbl.indexes[strings.ToLower(s.planIndex)]
+			}
+			stat.Plan = planLabel(tbl, idx)
+		}
+	}
+	if res != nil {
+		stat.RowsReturned = int64(len(res.Rows))
+		stat.RowsAffected = res.RowsAffected
+	}
+	if err != nil {
+		stat.Err = err.Error()
+	}
+	return stat, res, err
+}
+
+// execTop runs one top-level statement inside runStmt's locks: it
+// handles transaction control, wraps other statements in a
+// statement-local transaction when none is open (statement atomicity),
+// resolves version stamps on completion, and emits the change-stream
+// record. Commit stamping, change-sequence assignment, sink delivery,
+// and open-transaction bookkeeping share one commitMu critical section
+// — the invariant that keeps the change stream dense and exactly paired
+// with BootstrapState floors.
+func (s *Session) execTop(st Stmt, src string, params []Value, named map[string]Value, fp []latchTarget) (*Result, error) {
+	switch st.(type) {
+	case *BeginStmt:
+		s.db.stmtCount.Add(1)
+		if s.txn != nil {
+			return nil, fmt.Errorf("sqldb: transaction already open")
+		}
+		s.txn = &txn{id: s.db.txnIDs.Add(1), explicit: true}
+		s.db.commitMu.Lock()
+		s.emitChange(st, src, params, named) // registers the open-txn buffer
+		s.db.commitMu.Unlock()
+		return &Result{}, nil
+	case *CommitStmt:
+		s.db.stmtCount.Add(1)
+		if s.txn == nil {
+			return nil, fmt.Errorf("sqldb: no transaction open")
+		}
+		tx := s.txn
+		s.txn = nil
+		s.db.commitMu.Lock()
+		s.db.stampCommit(tx)
+		s.emitChange(st, src, params, named)
+		delete(s.db.openTxns, s.id)
+		s.db.commitMu.Unlock()
+		s.vacuumFootprint(fp)
+		return &Result{}, nil
+	case *RollbackStmt:
+		s.db.stmtCount.Add(1)
+		if s.txn == nil {
+			return nil, fmt.Errorf("sqldb: no transaction open")
+		}
+		tx := s.txn
+		s.txn = nil
+		rollbackStamps(tx)
+		s.db.commitMu.Lock()
+		s.emitChange(st, src, params, named)
+		delete(s.db.openTxns, s.id)
+		s.db.commitMu.Unlock()
+		s.vacuumFootprint(fp)
+		return &Result{}, nil
+	}
+
+	local := s.txn == nil
+	if local {
+		s.txn = &txn{id: s.db.txnIDs.Add(1)}
+	}
+	res, err := s.execStmtLocked(st, params, named)
+	tx := s.txn
+	switch {
+	case local && tx != nil:
+		if err != nil {
+			rollbackStamps(tx)
+		} else {
+			s.db.commitMu.Lock()
+			s.db.stampCommit(tx) // no-op if a child session rolled back
+			s.emitChange(st, src, params, named)
+			s.db.commitMu.Unlock()
+		}
+		s.txn = nil
+	case err == nil:
+		// Explicit transaction (or a procedure body closed the local
+		// one): effects stay pending; the statement is still captured.
+		s.db.commitMu.Lock()
+		s.emitChange(st, src, params, named)
+		s.db.commitMu.Unlock()
+		if tx != nil && tx.aborted {
+			s.txn = nil // a child session's Rollback closed it
+		}
+	}
+	if err == nil {
+		s.vacuumFootprint(fp)
+	}
+	return res, err
+}
+
+// vacuumFootprint opportunistically vacuums the statement's
+// write-latched tables while the latches are still held.
+func (s *Session) vacuumFootprint(fp []latchTarget) {
+	var minSnap int64
+	computed := false
+	for _, lt := range fp {
+		if !lt.write || lt.t.dead.Load() < vacuumDeadThreshold {
+			continue
+		}
+		if !computed {
+			minSnap = s.db.minActiveSnapshot()
+			computed = true
+		}
+		lt.t.maybeVacuum(minSnap)
+	}
+}
+
+// emitChange hands a successfully executed statement to the change
+// sink, stamped with the next change sequence number. The caller holds
+// commitMu: sequence assignment, commit stamping, and sink delivery are
+// one critical section, so the stream stays dense and every
+// BootstrapState floor cuts it exactly at a committed boundary. The
+// statement also still holds its table latches (or the exclusive engine
+// lock), so sink order equals execution order on every table — the
+// property the replica applier relies on.
+//
+// Statements of an open explicit transaction are additionally buffered
+// in db.openTxns: a committed-only bootstrap dump excludes their
+// pending rows, so BootstrapState hands the buffer to new replicas for
+// priming. DDL is not buffered — its effects are schema, which the
+// bootstrap script already carries.
+//
 // Applier sessions are skipped — re-capturing the replication stream on
 // a replica would loop it. Mutating statements executed without source
 // text (pre-parsed ExecStmt/ExecScript paths) cannot be captured and
 // are counted in ChangesMissed instead.
-func (s *Session) emitChangeLocked(st Stmt, src string, params []Value, named map[string]Value) {
-	if s.applier {
+func (s *Session) emitChange(st Stmt, src string, params []Value, named map[string]Value) {
+	if s.applier || readOnlyStmt(st) {
 		return
 	}
 	sink := s.db.currentChangeSink()
@@ -438,12 +613,21 @@ func (s *Session) emitChangeLocked(st Stmt, src string, params []Value, named ma
 			c.Named[k] = v
 		}
 	}
+	if s.txn != nil && s.txn.explicit && !s.txn.aborted && !isDDL(st) {
+		if s.db.openTxns == nil {
+			s.db.openTxns = map[int64][]Change{}
+		}
+		s.db.openTxns[s.id] = append(s.db.openTxns[s.id], c)
+	}
 	sink(c)
 }
 
-// execStmtLocked executes one statement with the DB lock held. Unless an
-// explicit transaction is open, the statement runs in a statement-local
-// transaction that rolls back on error (statement atomicity).
+// execStmtLocked executes one statement with the engine locks already
+// held — the dispatch body shared by the top-level path and re-entrant
+// execution (native-procedure child sessions, SQL procedure bodies).
+// When no transaction is open — only possible re-entrantly, after a
+// procedure body closed one — the statement runs in its own local
+// transaction resolved here.
 func (s *Session) execStmtLocked(st Stmt, params []Value, named map[string]Value) (res *Result, err error) {
 	s.db.stmtCount.Add(1)
 	lower := func(m map[string]Value) map[string]Value {
@@ -458,42 +642,50 @@ func (s *Session) execStmtLocked(st Stmt, params []Value, named map[string]Value
 	}
 	named = lower(named)
 
-	switch t := st.(type) {
+	switch st.(type) {
 	case *BeginStmt:
 		if s.txn != nil {
 			return nil, fmt.Errorf("sqldb: transaction already open")
 		}
-		s.txn = &txn{}
+		s.txn = &txn{id: s.db.txnIDs.Add(1), explicit: true}
 		return &Result{}, nil
 	case *CommitStmt:
 		if s.txn == nil {
 			return nil, fmt.Errorf("sqldb: no transaction open")
 		}
+		s.db.commitMu.Lock()
+		s.db.stampCommit(s.txn)
+		delete(s.db.openTxns, s.id)
+		s.db.commitMu.Unlock()
 		s.txn = nil
 		return &Result{}, nil
 	case *RollbackStmt:
 		if s.txn == nil {
 			return nil, fmt.Errorf("sqldb: no transaction open")
 		}
-		s.rollbackLocked()
+		rollbackStamps(s.txn)
+		s.db.commitMu.Lock()
+		delete(s.db.openTxns, s.id)
+		s.db.commitMu.Unlock()
+		s.txn = nil
 		return &Result{}, nil
-	default:
-		_ = t
 	}
 
-	// Statement-local transaction when none is open.
 	local := false
 	if s.txn == nil {
-		s.txn = &txn{}
+		s.txn = &txn{id: s.db.txnIDs.Add(1)}
 		local = true
 	}
 	defer func() {
-		if local {
+		if local && s.txn != nil {
 			if err != nil {
-				s.rollbackLocked()
+				rollbackStamps(s.txn)
 			} else {
-				s.txn = nil
+				s.db.commitMu.Lock()
+				s.db.stampCommit(s.txn)
+				s.db.commitMu.Unlock()
 			}
+			s.txn = nil
 		}
 	}()
 
@@ -529,18 +721,7 @@ func (s *Session) execStmtLocked(st Stmt, params []Value, named map[string]Value
 		delete(s.db.tables, lc)
 		return &Result{}, nil
 	case *TruncateStmt:
-		tbl, err := s.db.table(t.Table)
-		if err != nil {
-			return nil, err
-		}
-		n := len(tbl.rows)
-		for len(tbl.rows) > 0 {
-			r := tbl.rows[len(tbl.rows)-1]
-			tbl.deleteRow(r)
-			s.txn.undo = append(s.txn.undo, undoDelete{tbl, r})
-		}
-		s.db.rowsWritten.Add(int64(n))
-		return &Result{RowsAffected: n}, nil
+		return s.execTruncate(t)
 	case *CreateIndexStmt:
 		tbl, err := s.db.table(t.Table)
 		if err != nil {
@@ -596,6 +777,7 @@ func (s *Session) execStmtLocked(st Stmt, params []Value, named map[string]Value
 			return nil, fmt.Errorf("sqldb: procedure %s already exists", t.Name)
 		}
 		s.db.procs[lc] = &Procedure{Name: t.Name, Params: t.Params, Body: body, src: t.Body}
+		s.db.footGen.Add(1) // CALL footprints expand procedure bodies
 		return &Result{}, nil
 	case *DropProcedureStmt:
 		lc := strings.ToLower(t.Name)
@@ -606,6 +788,7 @@ func (s *Session) execStmtLocked(st Stmt, params []Value, named map[string]Value
 			return nil, fmt.Errorf("sqldb: no such procedure %s", t.Name)
 		}
 		delete(s.db.procs, lc)
+		s.db.footGen.Add(1)
 		return &Result{}, nil
 	case *CallStmt:
 		return s.execCall(t, params, named)
@@ -614,21 +797,19 @@ func (s *Session) execStmtLocked(st Stmt, params []Value, named map[string]Value
 	case *AlterTableStmt:
 		return s.execAlterTable(t, params, named)
 	case *CreateViewStmt:
-		return s.execCreateView(t)
+		res, err = s.execCreateView(t)
+		if err == nil {
+			s.db.footGen.Add(1) // footprints expand view references
+		}
+		return res, err
 	case *DropViewStmt:
-		return s.execDropView(t)
+		res, err = s.execDropView(t)
+		if err == nil {
+			s.db.footGen.Add(1)
+		}
+		return res, err
 	}
 	return nil, fmt.Errorf("sqldb: unsupported statement %T", st)
-}
-
-func (s *Session) rollbackLocked() {
-	if s.txn == nil {
-		return
-	}
-	for i := len(s.txn.undo) - 1; i >= 0; i-- {
-		s.txn.undo[i].undo()
-	}
-	s.txn = nil
 }
 
 // Rollback aborts any open explicit transaction (no-op otherwise). It is
@@ -641,23 +822,37 @@ func (s *Session) rollbackLocked() {
 // would then fail on the replica and wedge replication.
 func (s *Session) Rollback() {
 	if s.locked {
-		// Re-entrant (child session): the engine lock is already held by
-		// the enclosing statement.
-		if s.txn != nil {
-			s.rollbackLocked()
-			s.emitChangeLocked(&RollbackStmt{}, "ROLLBACK", nil, nil)
+		// Re-entrant (child session): the enclosing statement already
+		// holds the engine lock and the write set's latches. Flipping
+		// the stamps marks the shared transaction aborted, which the
+		// parent's statement-finalize observes and skips committing.
+		if s.txn != nil && !s.txn.aborted {
+			rollbackStamps(s.txn)
+			s.db.commitMu.Lock()
+			s.emitChange(&RollbackStmt{}, "ROLLBACK", nil, nil)
+			delete(s.db.openTxns, s.id)
+			s.db.commitMu.Unlock()
 		}
+		s.txn = nil
 		return
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.db.mu.Lock()
-	defer s.db.mu.Unlock()
 	if s.txn == nil {
 		return
 	}
-	s.rollbackLocked()
-	s.emitChangeLocked(&RollbackStmt{}, "ROLLBACK", nil, nil)
+	tx := s.txn
+	s.txn = nil
+	s.db.mu.RLock()
+	fp := s.db.writeSetLatches(tx)
+	acquireLatches(fp, false)
+	rollbackStamps(tx)
+	s.db.commitMu.Lock()
+	s.emitChange(&RollbackStmt{}, "ROLLBACK", nil, nil)
+	delete(s.db.openTxns, s.id)
+	s.db.commitMu.Unlock()
+	releaseLatches(fp)
+	s.db.mu.RUnlock()
 }
 
 func (s *Session) nextSequenceValue(name string) (Value, error) {
@@ -689,39 +884,17 @@ func (s *Session) execInsert(t *InsertStmt, params []Value, named map[string]Val
 		}
 	}
 	base := &env{params: params, named: named, session: s}
-	var sourceRows [][]Value
-	if t.Query != nil {
-		qres, err := s.execSelect(t.Query, base)
-		if err != nil {
-			return nil, err
-		}
-		if len(qres.Columns) != len(targets) {
-			return nil, fmt.Errorf("sqldb: INSERT ... SELECT column count mismatch: %d vs %d", len(targets), len(qres.Columns))
-		}
-		sourceRows = qres.Rows
-	} else {
-		for _, rowExprs := range t.Rows {
-			if len(rowExprs) != len(targets) {
-				return nil, fmt.Errorf("sqldb: INSERT value count mismatch: %d vs %d", len(targets), len(rowExprs))
-			}
-			vals := make([]Value, len(rowExprs))
-			for i, e := range rowExprs {
-				v, err := eval(e, base)
-				if err != nil {
-					return nil, err
-				}
-				vals[i] = v
-			}
-			sourceRows = append(sourceRows, vals)
-		}
+	// assigned marks target positions once — it is identical for every
+	// row — and fullRow completes one source row into table order (the
+	// per-row slice lives on as the row's values, so it cannot be reused).
+	assigned := make([]bool, len(tbl.Columns))
+	for _, ci := range targets {
+		assigned[ci] = true
 	}
-	n := 0
-	for _, src := range sourceRows {
+	fullRow := func(src []Value) ([]Value, error) {
 		full := make([]Value, len(tbl.Columns))
-		assigned := make([]bool, len(tbl.Columns))
 		for i, ci := range targets {
 			full[ci] = src[i]
-			assigned[ci] = true
 		}
 		for ci, col := range tbl.Columns {
 			if !assigned[ci] && col.Default != nil {
@@ -732,12 +905,55 @@ func (s *Session) execInsert(t *InsertStmt, params []Value, named map[string]Val
 				full[ci] = v
 			}
 		}
-		r := &Row{Values: full}
-		if err := tbl.insertRow(r); err != nil {
+		return full, nil
+	}
+	insertOne := func(src []Value) error {
+		full, err := fullRow(src)
+		if err != nil {
+			return err
+		}
+		r, err := tbl.insertVersion(full, s.txn.id)
+		if err != nil {
+			return err
+		}
+		s.txn.ws = append(s.txn.ws, wsEntry{t: tbl, r: r, kind: wsInsert})
+		return nil
+	}
+	n := 0
+	if t.Query != nil {
+		qres, err := s.execSelect(t.Query, base)
+		if err != nil {
 			return nil, err
 		}
-		s.txn.undo = append(s.txn.undo, undoInsert{tbl, r})
-		n++
+		if len(qres.Columns) != len(targets) {
+			return nil, fmt.Errorf("sqldb: INSERT ... SELECT column count mismatch: %d vs %d", len(targets), len(qres.Columns))
+		}
+		for _, src := range qres.Rows {
+			if err := insertOne(src); err != nil {
+				return nil, err
+			}
+			n++
+		}
+	} else {
+		// Evaluate each VALUES row into one reusable scratch slice; the
+		// completed table-order row is the only per-row allocation.
+		vals := make([]Value, len(targets))
+		for _, rowExprs := range t.Rows {
+			if len(rowExprs) != len(targets) {
+				return nil, fmt.Errorf("sqldb: INSERT value count mismatch: %d vs %d", len(targets), len(rowExprs))
+			}
+			for i, e := range rowExprs {
+				v, err := eval(e, base)
+				if err != nil {
+					return nil, err
+				}
+				vals[i] = v
+			}
+			if err := insertOne(vals); err != nil {
+				return nil, err
+			}
+			n++
+		}
 	}
 	s.db.rowsWritten.Add(int64(n))
 	return &Result{RowsAffected: n}, nil
@@ -763,9 +979,13 @@ func (s *Session) execUpdate(t *UpdateStmt, params []Value, named map[string]Val
 	if err != nil {
 		return nil, err
 	}
+	tid := s.txn.id
 	n := 0
+	// One scratch row environment serves every matched row — eval never
+	// retains its environment past the call.
+	rowEnv := base.child(cols, nil)
 	for _, r := range matched {
-		rowEnv := base.child(cols, r.Values)
+		rowEnv.row = r.Values
 		newVals := make([]Value, len(r.Values))
 		copy(newVals, r.Values)
 		for i, sc := range t.Sets {
@@ -775,11 +995,22 @@ func (s *Session) execUpdate(t *UpdateStmt, params []Value, named map[string]Val
 			}
 			newVals[setIdx[i]] = v
 		}
-		old, err := tbl.updateRow(r, newVals)
-		if err != nil {
+		// An update is a claim of the old version plus an insert of the
+		// new one. If the insert fails (constraint, coercion), release
+		// the claim immediately: inside an explicit transaction the
+		// statement's earlier row updates survive, and a dangling claim
+		// would silently become a delete at commit.
+		if err := tbl.claimRow(r, tid); err != nil {
 			return nil, err
 		}
-		s.txn.undo = append(s.txn.undo, undoUpdate{tbl, r, old})
+		nr, err := tbl.insertVersion(newVals, tid)
+		if err != nil {
+			tbl.unclaimRow(r, tid)
+			return nil, err
+		}
+		s.txn.ws = append(s.txn.ws,
+			wsEntry{t: tbl, r: r, kind: wsClaim},
+			wsEntry{t: tbl, r: nr, kind: wsInsert})
 		n++
 	}
 	s.db.rowsWritten.Add(int64(n))
@@ -797,28 +1028,59 @@ func (s *Session) execDelete(t *DeleteStmt, params []Value, named map[string]Val
 	if err != nil {
 		return nil, err
 	}
+	tid := s.txn.id
 	for _, r := range matched {
-		tbl.deleteRow(r)
-		s.txn.undo = append(s.txn.undo, undoDelete{tbl, r})
+		if err := tbl.claimRow(r, tid); err != nil {
+			return nil, err
+		}
+		s.txn.ws = append(s.txn.ws, wsEntry{t: tbl, r: r, kind: wsClaim})
 	}
 	s.db.rowsWritten.Add(int64(len(matched)))
 	return &Result{RowsAffected: len(matched)}, nil
 }
 
-// filterRows returns the rows of tbl matching the predicate, using an index
-// for simple equality predicates when one applies.
+func (s *Session) execTruncate(t *TruncateStmt) (*Result, error) {
+	tbl, err := s.db.table(t.Table)
+	if err != nil {
+		return nil, err
+	}
+	tid := s.txn.id
+	n := 0
+	for _, r := range tbl.snapshotRows() {
+		if !s.rowVisible(r) {
+			continue
+		}
+		if err := tbl.claimRow(r, tid); err != nil {
+			return nil, err
+		}
+		s.txn.ws = append(s.txn.ws, wsEntry{t: tbl, r: r, kind: wsClaim})
+		n++
+	}
+	s.db.rowsWritten.Add(int64(n))
+	return &Result{RowsAffected: n}, nil
+}
+
+// filterRows returns the visible rows of tbl matching the predicate,
+// using an index for simple equality predicates when one applies.
 func (s *Session) filterRows(tbl *Table, cols []colMeta, where Expr, base *env) ([]*Row, error) {
 	candidates := s.indexCandidates(tbl, where, base)
 	if candidates == nil {
 		s.notePlan(tbl, nil)
-		candidates = tbl.rows
+		candidates = tbl.snapshotRows()
 	}
 	var matched []*Row
+	// One scratch row environment serves every candidate — eval never
+	// retains its environment past the call.
+	rowEnv := base.child(cols, nil)
 	for _, r := range candidates {
+		if !s.rowVisible(r) {
+			continue
+		}
 		s.db.rowsRead.Add(1)
 		s.rowsScanned++
 		if where != nil {
-			v, err := eval(where, base.child(cols, r.Values))
+			rowEnv.row = r.Values
+			v, err := eval(where, rowEnv)
 			if err != nil {
 				return nil, err
 			}
@@ -834,7 +1096,8 @@ func (s *Session) filterRows(tbl *Table, cols []colMeta, where Expr, base *env) 
 // indexCandidates inspects an AND-decomposed predicate for equality
 // comparisons against constants/params and probes a matching index (the
 // same choice EXPLAIN reports). It returns nil when no index applies
-// (meaning: scan all rows).
+// (meaning: scan all rows). The returned slice is a private copy;
+// callers still apply visibility filtering.
 func (s *Session) indexCandidates(tbl *Table, where Expr, base *env) []*Row {
 	if where == nil {
 		return nil
@@ -933,7 +1196,7 @@ func (s *Session) execCall(t *CallStmt, params []Value, named map[string]Value) 
 		// with the CALL) but is permanently marked re-entrant, routing
 		// any SQL the procedure issues through the nested path instead
 		// of deadlocking on the session/engine locks.
-		child := &Session{db: s.db, id: s.id, applier: s.applier, txn: s.txn, locked: true, sink: s.sink}
+		child := &Session{db: s.db, id: s.id, applier: s.applier, txn: s.txn, snap: s.snap, locked: true, sink: s.sink}
 		res, err := proc.Native(child, args)
 		// Fold the child's accounting into the enclosing CALL statement.
 		s.rowsScanned += child.rowsScanned
@@ -969,9 +1232,10 @@ func tableColMeta(tbl *Table, qualifier string) []colMeta {
 	if qualifier == "" {
 		qualifier = tbl.Name
 	}
+	q := strings.ToLower(qualifier)
 	cols := make([]colMeta, len(tbl.Columns))
 	for i, c := range tbl.Columns {
-		cols[i] = colMeta{table: strings.ToLower(qualifier), name: c.Name}
+		cols[i] = colMeta{table: q, name: c.Name}
 	}
 	return cols
 }

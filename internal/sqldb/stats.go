@@ -21,12 +21,18 @@ type StmtStats struct {
 	Plan         string        // EXPLAIN-aligned access-path label
 	Parse        time.Duration // time spent in Parse (0 for cache hits and re-used prepared statements)
 	Exec         time.Duration // time spent executing
-	LockWait     time.Duration // time spent waiting for the engine lock
+	LockWait     time.Duration // engine lock + table latches + conflict backoff
 	Cache        string        // statement-cache outcome: CacheHit, CacheMiss, or "" (pre-parsed)
 	RowsScanned  int64         // candidate rows read by this statement
 	RowsReturned int64         // result-set rows
 	RowsAffected int           // DML rows affected
 	Err          string        // non-empty if the statement failed
+
+	// LockWaitByTable attributes the latch-wait portion of LockWait to
+	// the tables whose latches the statement contended on (plus
+	// write-conflict backoff charged to the conflicted table). Nil when
+	// the statement waited on no table latch.
+	LockWaitByTable map[string]time.Duration
 }
 
 // Statement-cache outcomes recorded in StmtStats.Cache.
@@ -67,7 +73,7 @@ func planLabel(tbl *Table, idx *Index) string {
 	if idx != nil {
 		return fmt.Sprintf("INDEX PROBE %s USING %s (%s)", tbl.Name, idx.Name, strings.Join(idx.Columns, ", "))
 	}
-	return fmt.Sprintf("SCAN %s (%d rows)", tbl.Name, len(tbl.rows))
+	return fmt.Sprintf("SCAN %s (%d rows)", tbl.Name, tbl.RowCount())
 }
 
 // notePlan records the primary access path chosen while executing the
@@ -93,14 +99,28 @@ func (db *DB) SetObservability(o *obsv.Observability) {
 		return
 	}
 	name := db.name
+	// Per-kind metric names are precomputed for the closed StmtKind set so
+	// the hot path does not concatenate strings per statement. The map is
+	// read-only after construction, so sharing it across sessions is safe.
+	kindNames := make(map[string][2]string, len(stmtKinds))
+	for _, k := range stmtKinds {
+		kindNames[k] = [2]string{"sqldb.stmt." + k, "sqldb.exec_ms." + k}
+	}
 	db.SetStatsSink(func(st StmtStats) {
+		kn, ok := kindNames[st.Kind]
+		if !ok {
+			kn = [2]string{"sqldb.stmt." + st.Kind, "sqldb.exec_ms." + st.Kind}
+		}
 		m := o.M()
 		m.Counter("sqldb.stmt").Inc()
-		m.Counter("sqldb.stmt." + st.Kind).Inc()
+		m.Counter(kn[0]).Inc()
 		m.Histogram("sqldb.parse_ms").ObserveDuration(st.Parse)
 		m.Histogram("sqldb.exec_ms").ObserveDuration(st.Exec)
-		m.Histogram("sqldb.exec_ms." + st.Kind).ObserveDuration(st.Exec)
+		m.Histogram(kn[1]).ObserveDuration(st.Exec)
 		m.Histogram("sqldb.lock_wait_ms").ObserveDuration(st.LockWait)
+		for tbl, d := range st.LockWaitByTable {
+			m.Histogram("sqldb.lock_wait_ms." + tbl).ObserveDuration(d)
+		}
 		m.Counter("sqldb.rows_scanned").Add(st.RowsScanned)
 		m.Counter("sqldb.rows_returned").Add(st.RowsReturned)
 		switch st.Cache {

@@ -361,16 +361,25 @@ func TestStmtCacheHitStats(t *testing.T) {
 		t.Fatalf("cache counters: hits+%d misses+%d, want +2/+1", cs.Hits-base.Hits, cs.Misses-base.Misses)
 	}
 
-	// DDL flushes the cache; the same text parses again afterwards.
+	// DDL on an unrelated table must NOT evict the cached Orders
+	// statement: invalidation is scoped to entries referencing the
+	// altered table.
 	db.MustExec("CREATE TABLE flush_probe (x INTEGER)")
-	if db.StmtCacheStats().Size != 0 {
-		t.Fatalf("DDL did not flush the statement cache: size = %d", db.StmtCacheStats().Size)
+	stats = nil
+	if _, err := s.Exec(q, Int(1)); err != nil {
+		t.Fatal(err)
 	}
+	if stats[0].Cache != CacheHit {
+		t.Fatalf("DDL on an unrelated table evicted the cached statement: %q", stats[0].Cache)
+	}
+
+	// DDL on Orders itself evicts it; the same text parses again.
+	db.MustExec("CREATE INDEX probe_idx ON Orders (Quantity)")
 	stats = nil
 	if _, err := s.Exec(q, Int(1)); err != nil {
 		t.Fatal(err)
 	}
 	if stats[0].Cache != CacheMiss {
-		t.Fatalf("post-DDL execution served from a flushed cache: %q", stats[0].Cache)
+		t.Fatalf("DDL on Orders left a stale plan cached: %q", stats[0].Cache)
 	}
 }

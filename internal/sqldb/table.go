@@ -3,6 +3,8 @@ package sqldb
 import (
 	"fmt"
 	"strings"
+	"sync"
+	"sync/atomic"
 )
 
 // Column describes one column of a table.
@@ -14,20 +16,41 @@ type Column struct {
 	Default    Expr // nil if no default
 }
 
-// Row is a stored tuple. Row identity (the pointer) is stable for the life
-// of the row, which the transaction undo log and indexes rely on.
+// Row is one stored version of a tuple. Row identity (the pointer) is
+// stable for the life of the version, which indexes and transaction
+// write sets rely on. Values is immutable after insert except under the
+// exclusive engine lock (ALTER TABLE); concurrent statements never
+// mutate it — an UPDATE claims the old version and inserts a new one.
+// xmin/xmax carry the MVCC stamps documented in mvcc.go.
 type Row struct {
 	Values []Value
+
+	xmin atomic.Int64
+	xmax atomic.Int64
 }
 
-// Table is an in-memory heap of rows plus its schema and secondary indexes.
-// All access is serialized by the owning DB's lock.
+// Table is an in-memory heap of row versions plus its schema and
+// secondary indexes.
+//
+// Concurrency: `latch` is the per-table statement latch — mutating
+// statements hold it exclusively for their whole execution, readers of
+// a mutating statement's footprint hold it shared, and snapshot SELECTs
+// do not take it at all. `rowsMu` is a short-hold structural lock
+// guarding the rows slice header and the index buckets so those
+// latch-free readers can copy them safely; writers hold it only for the
+// append/rebuild itself. Schema fields (Name, Columns, indexes) change
+// only under the exclusive engine lock.
 type Table struct {
 	Name    string
 	Columns []Column
 	rows    []*Row
 	indexes map[string]*Index // by lowercased index name
 	pkIndex *Index            // non-nil if the table has a primary key
+
+	latch  sync.RWMutex
+	rowsMu sync.RWMutex
+	live   atomic.Int64 // versions visible to at least their creator
+	dead   atomic.Int64 // aborted or committed-deleted versions awaiting vacuum
 }
 
 func newTable(name string, cols []Column) (*Table, error) {
@@ -76,99 +99,121 @@ func (t *Table) ColumnNames() []string {
 	return names
 }
 
-// RowCount returns the number of live rows.
-func (t *Table) RowCount() int { return len(t.rows) }
+// RowCount returns the number of live rows: committed versions not yet
+// committed-deleted, plus the creators' own uncommitted inserts. It is
+// a heap statistic (planner labels, EXPLAIN), not a snapshot count.
+func (t *Table) RowCount() int { return int(t.live.Load()) }
 
-// insertRow validates constraints, appends the row, and maintains indexes.
-func (t *Table) insertRow(r *Row) error {
-	if len(r.Values) != len(t.Columns) {
-		return fmt.Errorf("sqldb: table %s expects %d values, got %d", t.Name, len(t.Columns), len(r.Values))
-	}
-	for i, c := range t.Columns {
-		v, err := coerce(r.Values[i], c.Type)
-		if err != nil {
-			return fmt.Errorf("sqldb: column %s.%s: %w", t.Name, c.Name, err)
-		}
-		if c.NotNull && v.IsNull() {
-			return fmt.Errorf("sqldb: column %s.%s may not be NULL", t.Name, c.Name)
-		}
-		r.Values[i] = v
-	}
-	for _, idx := range t.indexes {
-		if err := idx.checkInsert(r); err != nil {
-			return err
-		}
-	}
-	t.rows = append(t.rows, r)
-	for _, idx := range t.indexes {
-		idx.insert(r)
-	}
-	return nil
+// snapshotRows returns the heap to scan: a copy of the slice header
+// taken under the structural lock. Concurrent inserts append past the
+// copied length and vacuum replaces the slice wholesale, so the copy is
+// stable; callers filter versions through visibleAt.
+func (t *Table) snapshotRows() []*Row {
+	t.rowsMu.RLock()
+	rows := t.rows
+	t.rowsMu.RUnlock()
+	return rows
 }
 
-// deleteRow removes the row (by identity) and maintains indexes.
-func (t *Table) deleteRow(r *Row) bool {
-	for i, rr := range t.rows {
-		if rr == r {
-			t.rows = append(t.rows[:i], t.rows[i+1:]...)
-			for _, idx := range t.indexes {
-				idx.remove(r)
-			}
-			return true
-		}
+// insertVersion validates constraints and appends a new version stamped
+// as created by txnID (uncommitted). The caller holds the table's
+// exclusive latch; the structural lock is taken only around the
+// append so latch-free readers stay safe.
+func (t *Table) insertVersion(vals []Value, txnID int64) (*Row, error) {
+	if len(vals) != len(t.Columns) {
+		return nil, fmt.Errorf("sqldb: table %s expects %d values, got %d", t.Name, len(t.Columns), len(vals))
 	}
-	return false
-}
-
-// updateRow replaces the row's values in place, revalidating constraints
-// and maintaining indexes. It returns the old values for undo logging.
-func (t *Table) updateRow(r *Row, newVals []Value) ([]Value, error) {
-	if len(newVals) != len(t.Columns) {
-		return nil, fmt.Errorf("sqldb: table %s expects %d values, got %d", t.Name, len(t.Columns), len(newVals))
-	}
-	coerced := make([]Value, len(newVals))
+	r := &Row{Values: make([]Value, len(vals))}
 	for i, c := range t.Columns {
-		v, err := coerce(newVals[i], c.Type)
+		v, err := coerce(vals[i], c.Type)
 		if err != nil {
 			return nil, fmt.Errorf("sqldb: column %s.%s: %w", t.Name, c.Name, err)
 		}
 		if c.NotNull && v.IsNull() {
 			return nil, fmt.Errorf("sqldb: column %s.%s may not be NULL", t.Name, c.Name)
 		}
-		coerced[i] = v
+		r.Values[i] = v
 	}
+	r.xmin.Store(-txnID)
+	t.rowsMu.Lock()
 	for _, idx := range t.indexes {
-		if err := idx.checkUpdate(r, coerced); err != nil {
+		if err := idx.checkInsert(r, txnID); err != nil {
+			t.rowsMu.Unlock()
 			return nil, err
 		}
 	}
-	old := r.Values
-	for _, idx := range t.indexes {
-		idx.remove(r)
-	}
-	r.Values = coerced
-	for _, idx := range t.indexes {
-		idx.insert(r)
-	}
-	return old, nil
-}
-
-// restoreRowValues puts old values back without constraint checks (used by
-// rollback, which by construction restores a previously valid state).
-func (t *Table) restoreRowValues(r *Row, old []Value) {
-	for _, idx := range t.indexes {
-		idx.remove(r)
-	}
-	r.Values = old
-	for _, idx := range t.indexes {
-		idx.insert(r)
-	}
-}
-
-// reinsertRow re-adds a row removed by deleteRow (used by rollback).
-func (t *Table) reinsertRow(r *Row) {
 	t.rows = append(t.rows, r)
 	for _, idx := range t.indexes {
 		idx.insert(r)
 	}
+	t.rowsMu.Unlock()
+	t.live.Add(1)
+	return r, nil
+}
+
+// claimRow marks the version as deleted (or superseded) by txnID — the
+// row-level write lock. The caller holds the table's exclusive latch
+// and only ever claims versions visible to its snapshot, so any
+// existing death stamp means another transaction got there first:
+// first writer wins.
+func (t *Table) claimRow(r *Row, txnID int64) error {
+	switch x := r.xmax.Load(); {
+	case x == 0:
+		r.xmax.Store(-txnID)
+		return nil
+	case x == -txnID:
+		return nil // already claimed by this transaction
+	default:
+		// Claimed by another open transaction, or deleted by one that
+		// committed after this statement's snapshot.
+		return &writeConflictError{table: t.Name}
+	}
+}
+
+// unclaimRow releases a claim this transaction just took, used when the
+// second half of an UPDATE (the replacement insert) fails and the
+// statement must not leave a dangling pending delete.
+func (t *Table) unclaimRow(r *Row, txnID int64) {
+	if r.xmax.Load() == -txnID {
+		r.xmax.Store(0)
+	}
+}
+
+// vacuumDeadThreshold is how many dead versions a table accumulates
+// before a mutating statement rebuilds its heap in passing.
+const vacuumDeadThreshold = 64
+
+// maybeVacuum drops versions no present or future snapshot can see:
+// aborted inserts and deletes committed at or before the oldest active
+// snapshot. The caller holds the table's exclusive latch. The heap and
+// every index bucket map are rebuilt fresh — latch-free readers keep
+// scanning the slices they already copied.
+func (t *Table) maybeVacuum(minSnap int64) {
+	if t.dead.Load() < vacuumDeadThreshold {
+		return
+	}
+	t.rowsMu.Lock()
+	fresh := make([]*Row, 0, len(t.rows))
+	removed := 0
+	for _, r := range t.rows {
+		if r.xmin.Load() == abortedStamp {
+			removed++
+			continue
+		}
+		if x := r.xmax.Load(); x > 0 && x <= minSnap {
+			removed++
+			continue
+		}
+		fresh = append(fresh, r)
+	}
+	if removed == 0 {
+		t.rowsMu.Unlock()
+		return
+	}
+	t.rows = fresh
+	for _, idx := range t.indexes {
+		idx.rebuild(fresh)
+	}
+	t.rowsMu.Unlock()
+	t.dead.Add(int64(-removed))
 }

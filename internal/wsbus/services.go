@@ -38,10 +38,10 @@ func (s *OrderFromSupplierService) Handle(req Message) (Message, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.Capacity > 0 && qty > s.Capacity {
-		return Message{"OrderConfirmation": fmt.Sprintf("REJECTED:%s:%d", item, qty)}, nil
+		return Message{"OrderConfirmation": "REJECTED:" + item + ":" + strconv.FormatInt(qty, 10)}, nil
 	}
 	s.ordered[item] += qty
-	return Message{"OrderConfirmation": fmt.Sprintf("CONFIRMED:%s:%d", item, qty)}, nil
+	return Message{"OrderConfirmation": "CONFIRMED:" + item + ":" + strconv.FormatInt(qty, 10)}, nil
 }
 
 // Ordered returns the total quantity ordered for an item so far.

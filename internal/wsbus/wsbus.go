@@ -113,6 +113,7 @@ func Classified(err error) (transient, ok bool) {
 type Bus struct {
 	mu        sync.RWMutex
 	services  map[string]Handler
+	counters  map[string]string // per-service "bus.calls.<name>" counter names, built at Register time
 	latency   time.Duration
 	attempts  int64
 	successes int64
@@ -138,7 +139,7 @@ func (b *Bus) observability() *obsv.Observability {
 
 // New creates an empty bus.
 func New() *Bus {
-	return &Bus{services: map[string]Handler{}}
+	return &Bus{services: map[string]Handler{}, counters: map[string]string{}}
 }
 
 // Register installs a service under a name. Re-registering replaces the
@@ -147,6 +148,7 @@ func (b *Bus) Register(name string, h Handler) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.services[name] = h
+	b.counters[name] = "bus.calls." + name
 }
 
 // Decorate wraps the registered handler of a service with a middleware
@@ -223,12 +225,16 @@ func (b *Bus) InvokeCtx(ctx context.Context, service string, req Message) (Messa
 	}
 	b.mu.RLock()
 	h, ok := b.services[service]
+	callCounter := b.counters[service]
 	lat := b.latency
 	obs := b.obs
 	b.mu.RUnlock()
+	if callCounter == "" { // unregistered service: still counted, off the cached path
+		callCounter = "bus.calls." + service
+	}
 	span := obs.T().Start(obs.T().Ambient(), obsv.KindBus, service)
 	obs.M().Counter("bus.calls").Inc()
-	obs.M().Counter("bus.calls." + service).Inc()
+	obs.M().Counter(callCounter).Inc()
 	if !ok {
 		err := Permanent(fmt.Errorf("wsbus: no such service %s", service))
 		obs.M().Counter("bus.errors").Inc()

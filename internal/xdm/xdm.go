@@ -129,6 +129,11 @@ func (n *Node) TextContent() string {
 	if n.Kind == TextNode {
 		return n.Text
 	}
+	// Single-text-child elements (the overwhelmingly common shape) need
+	// no builder.
+	if len(n.Children) == 1 && n.Children[0].Kind == TextNode {
+		return n.Children[0].Text
+	}
 	var b strings.Builder
 	var walk func(*Node)
 	walk = func(m *Node) {
@@ -193,6 +198,9 @@ func (n *Node) ChildText(name string) string {
 func (n *Node) Clone() *Node {
 	out := &Node{Kind: n.Kind, Name: n.Name, Text: n.Text}
 	out.Attrs = append([]Attr(nil), n.Attrs...)
+	if len(n.Children) > 0 {
+		out.Children = make([]*Node, 0, len(n.Children))
+	}
 	for _, c := range n.Children {
 		out.AppendChild(c.Clone())
 	}
@@ -256,8 +264,25 @@ func (n *Node) significantChildren() []*Node {
 // String serializes the node as compact XML.
 func (n *Node) String() string {
 	var b strings.Builder
+	b.Grow(n.sizeHint())
 	n.write(&b, -1, 0)
 	return b.String()
+}
+
+// sizeHint estimates the serialized length so String can allocate its
+// buffer once instead of growing through it.
+func (n *Node) sizeHint() int {
+	if n.Kind == TextNode {
+		return len(n.Text) + 8
+	}
+	sz := 2*len(n.Name) + 5 // <name></name>
+	for _, a := range n.Attrs {
+		sz += len(a.Name) + len(a.Value) + 4
+	}
+	for _, c := range n.Children {
+		sz += c.sizeHint()
+	}
+	return sz
 }
 
 // Indent serializes the node as indented XML.
@@ -318,20 +343,29 @@ func (n *Node) write(b *strings.Builder, indent, depth int) {
 }
 
 func xmlEscape(b *strings.Builder, s string) {
-	for _, r := range s {
-		switch r {
+	// Copy unescaped spans in bulk; all escapable characters are ASCII,
+	// so a byte scan is UTF-8-safe and the common no-escape case is a
+	// single WriteString.
+	start := 0
+	for i := 0; i < len(s); i++ {
+		var esc string
+		switch s[i] {
 		case '&':
-			b.WriteString("&amp;")
+			esc = "&amp;"
 		case '<':
-			b.WriteString("&lt;")
+			esc = "&lt;"
 		case '>':
-			b.WriteString("&gt;")
+			esc = "&gt;"
 		case '"':
-			b.WriteString("&quot;")
+			esc = "&quot;"
 		default:
-			b.WriteRune(r)
+			continue
 		}
+		b.WriteString(s[start:i])
+		b.WriteString(esc)
+		start = i + 1
 	}
+	b.WriteString(s[start:])
 }
 
 // Parse parses an XML document into a Node tree and returns the root

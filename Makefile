@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race short soak cover bench overload failover fleet mvcc fuzz race-parallel race-overload race-failover race-fleet race-mvcc ci clean
+.PHONY: all build vet test race short soak cover bench overload failover fleet mvcc plancache fuzz race-parallel race-overload race-failover race-fleet race-mvcc race-plancache ci clean
 
 all: build
 
@@ -79,6 +79,15 @@ fleet:
 mvcc:
 	$(GO) run ./cmd/wfbench -mvcc -instances 32 -orders 120 -items 8 -out BENCH_PR8.json
 
+# Plan-cache series: the Figure 4/6/8 workloads at 1/8 workers, with
+# the 8-worker statement-cache outcome (hit rate, evictions, the
+# sqldb.stmtcache.size gauge), the parse-vs-exec time breakdown, and
+# instances/sec vs the PR 8 baselines. Parse-time literal
+# normalization takes all three stacks above 95% hits. Lands in
+# BENCH_PR9.json.
+plancache:
+	$(GO) run ./cmd/wfbench -plancache -instances 32 -orders 120 -items 8 -out BENCH_PR9.json
+
 # Fuzz smoke: a bounded run of the WAL-scanner fuzzer (recovery must
 # survive arbitrary bytes). CI-friendly; raise -fuzztime manually for
 # longer campaigns.
@@ -124,10 +133,19 @@ race-mvcc:
 	$(GO) test -race -run 'TestSnapshot|TestSameRowWriters|TestAutocommitConflict|TestDisjointTable|TestExplainExecutorAgreement|TestDDLInvalidation|TestLockWaitAttributed|TestBootstrapStatePrimed|TestApplierStraddled|TestConcurrent' ./internal/sqldb/
 	$(GO) test -race ./internal/replica/
 
+# The plan-cache race gate: the §14 property tests (normalized-plan
+# reuse ≡ unparameterized results, DDL invalidation of parameterized
+# plans, named-vs-positional agreement, CDC round-trip, the prepared
+# parse-charge protocol, the two-goroutine parse race) plus the LRU /
+# invalidation suites under the race detector.
+race-plancache:
+	$(GO) test -race -run 'TestNormaliz|TestNamedVsPositional|TestDDLScoped|TestOrderByLiterals|TestBatchedInsert|TestUndersupplied|TestChangeStreamRoundTrip|TestPreparedParse|TestCachedParseRace|TestStmtCacheLRU|TestDDLInvalidation' ./internal/sqldb/
+	$(GO) test -race ./internal/bis/ ./internal/orasoa/
+
 # The gate: build, vet, the full race-enabled suite (soak included),
 # then the WAL-scanner fuzz smoke.
 ci: build vet race fuzz
 
 clean:
 	$(GO) clean ./...
-	rm -f coverage.out BENCH_PR3.json BENCH_PR4.json BENCH_PR5.json BENCH_PR6.json BENCH_PR7.json BENCH_PR8.json
+	rm -f coverage.out BENCH_PR3.json BENCH_PR4.json BENCH_PR5.json BENCH_PR6.json BENCH_PR7.json BENCH_PR8.json BENCH_PR9.json

@@ -97,6 +97,7 @@ func main() {
 	fleet := flag.Bool("fleet", false, "run the sharded-fleet chaos series instead of the figure matrix")
 	shards := flag.Int("shards", 3, "fleet mode: shard count")
 	mvcc := flag.Bool("mvcc", false, "run the MVCC worker series (figures at 1/2/4/8 workers + raw-engine mixed read/write) instead of the figure matrix")
+	plancache := flag.Bool("plancache", false, "run the plan-cache series (figures at 1/8 workers, cache hit rate + parse-vs-exec breakdown) instead of the figure matrix")
 	flag.Parse()
 
 	w := wfsql.Workload{Orders: *orders, Items: *items, ApprovalPercent: *approve, Seed: *seed}
@@ -134,6 +135,14 @@ func main() {
 			o = "BENCH_PR8.json"
 		}
 		runMvccBench(w, *instances, *svclat, o)
+		return
+	}
+	if *plancache {
+		o := *out
+		if o == "BENCH_PR4.json" { // default not overridden: plan-cache series gets its own file
+			o = "BENCH_PR9.json"
+		}
+		runPlanCacheBench(w, *instances, *svclat, o)
 		return
 	}
 	figures := []struct {

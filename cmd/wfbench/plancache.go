@@ -1,0 +1,240 @@
+package main
+
+// The -plancache mode: the PR 9 statement-cache series. Parse-time
+// literal normalization keys the plan cache on parameterized text, so a
+// workflow's literal-bearing DML (one INSERT per instance, per item) now
+// collapses onto shared plans. This series runs the Figure 4/6/8
+// workloads serially and at 8 workers, and reports per figure:
+//
+//   - the plan-cache outcome of the 8-worker run (hits/misses/hit rate,
+//     evictions never counted here, plus the sqldb.stmtcache.size gauge)
+//   - the parse-vs-exec breakdown (sqldb.parse_ms / sqldb.exec_ms
+//     histogram summaries and parse's share of the statement time)
+//   - instances/sec at both worker counts against the committed PR 8
+//     8-worker baseline (BENCH_PR8.json when present, embedded numbers
+//     otherwise)
+//
+// Lands in BENCH_PR9.json.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"wfsql"
+	"wfsql/internal/obsv"
+	"wfsql/internal/sched"
+)
+
+// planCacheStats extends the figure-matrix cacheReport with the
+// eviction counter and the final sqldb.stmtcache.size gauge reading.
+type planCacheStats struct {
+	Size          int     `json:"size"`
+	SizeGauge     float64 `json:"size_gauge"`      // sqldb.stmtcache.size at run end
+	SizeGaugeHigh float64 `json:"size_gauge_high"` // high-water mark of the gauge
+	Hits          int64   `json:"hits"`
+	Misses        int64   `json:"misses"`
+	Evictions     int64   `json:"evictions"`
+	Flushes       int64   `json:"flushes"`
+	Invalidations int64   `json:"invalidations"`
+	HitRate       float64 `json:"hit_rate"`
+}
+
+// parseExecReport is the parse-vs-exec time breakdown of one run.
+type parseExecReport struct {
+	Parse obsv.HistogramSummary `json:"parse_ms"`
+	Exec  obsv.HistogramSummary `json:"exec_ms"`
+	// ParseShare is parse-sum / (parse-sum + exec-sum): the fraction of
+	// total statement time spent parsing. Cache hits observe parse=0,
+	// so a high hit rate drives this toward zero.
+	ParseShare float64 `json:"parse_share"`
+}
+
+// pr8Baseline carries the 8-worker instances/sec out of the MVCC series
+// (PR 8) for before/after comparison.
+type pr8Baseline struct {
+	InstancesPerSec float64 `json:"instances_per_sec_x8"`
+	Source          string  `json:"source"` // BENCH_PR8.json or "embedded"
+}
+
+// planCacheFigure is the per-stack section of the report.
+type planCacheFigure struct {
+	Stack       string                 `json:"stack"`
+	Workers     map[string]*modeReport `json:"workers"` // keyed "1", "8"
+	Speedup8    float64                `json:"speedup_8"`
+	StmtCache   planCacheStats         `json:"stmt_cache"` // 8-worker run
+	ParseExec   parseExecReport        `json:"parse_exec"` // 8-worker run
+	BaselinePR8 *pr8Baseline           `json:"baseline_pr8,omitempty"`
+	// VsPR8 is this run's 8-worker instances/sec over the PR 8 baseline
+	// (>= 1.0 means no regression).
+	VsPR8 float64 `json:"vs_pr8,omitempty"`
+}
+
+// planCacheReport is the whole BENCH_PR9.json document.
+type planCacheReport struct {
+	Generated  string                      `json:"generated"`
+	GoVersion  string                      `json:"go_version"`
+	GOOS       string                      `json:"goos"`
+	GOARCH     string                      `json:"goarch"`
+	CPUs       int                         `json:"cpus"`
+	Workload   wfsql.Workload              `json:"workload"`
+	ServiceLat string                      `json:"service_latency"`
+	Figures    map[string]*planCacheFigure `json:"figures"`
+}
+
+// Embedded PR 8 8-worker baselines (from the committed BENCH_PR8.json
+// run), used when the file itself is not on disk.
+var embeddedPR8 = map[string]float64{
+	"Figure4_BIS":    709.0,
+	"Figure6_WF":     764.2,
+	"Figure8_Oracle": 771.3,
+}
+
+func runPlanCacheBench(w wfsql.Workload, instances int, svclat time.Duration, out string) {
+	rep := &planCacheReport{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		CPUs:       runtime.NumCPU(),
+		Workload:   w,
+		ServiceLat: svclat.String(),
+		Figures:    map[string]*planCacheFigure{},
+	}
+	baselines := loadPR8Baselines("BENCH_PR8.json")
+
+	figures := []struct {
+		name  string
+		stack string
+		run   func(env *wfsql.Environment, cfg wfsql.ParallelConfig) (sched.Report, error)
+	}{
+		{"Figure4_BIS", "BIS", func(env *wfsql.Environment, cfg wfsql.ParallelConfig) (sched.Report, error) {
+			return env.RunFigure4BISParallel(cfg)
+		}},
+		{"Figure6_WF", "WF", func(env *wfsql.Environment, cfg wfsql.ParallelConfig) (sched.Report, error) {
+			return env.RunFigure6WFParallel(cfg)
+		}},
+		{"Figure8_Oracle", "Oracle", func(env *wfsql.Environment, cfg wfsql.ParallelConfig) (sched.Report, error) {
+			return env.RunFigure8OracleParallel(cfg)
+		}},
+	}
+
+	for _, fig := range figures {
+		fr := &planCacheFigure{
+			Stack:       fig.stack,
+			Workers:     map[string]*modeReport{},
+			BaselinePR8: baselines[fig.name],
+		}
+		for _, workers := range []int{1, 8} {
+			env := wfsql.NewEnvironment(w)
+			injectLatency(env, svclat)
+			o := env.EnableObservability(obsv.New())
+			sr, err := fig.run(env, wfsql.ParallelConfig{Instances: instances, Workers: workers})
+			if err != nil {
+				fatal(fmt.Errorf("%s x%d: %w", fig.name, workers, err))
+			}
+			env.DisableObservability()
+			want := instances * env.ApprovedItemTypes()
+			if got := env.ConfirmationCount(); got != want {
+				fatal(fmt.Errorf("%s x%d: %d confirmations, want %d", fig.name, workers, got, want))
+			}
+			key := fmt.Sprintf("%d", workers)
+			fr.Workers[key] = &modeReport{
+				Workers:         sr.Workers,
+				Instances:       sr.Jobs,
+				Failed:          sr.Failed,
+				ElapsedMS:       float64(sr.Elapsed) / float64(time.Millisecond),
+				InstancesPerSec: sr.Throughput,
+				QueueWaitP90MS:  o.M().Histogram("sched.queue_wait_ms").Summary().P90,
+				RunP50MS:        o.M().Histogram("sched.run_ms").Summary().P50,
+				RunP90MS:        o.M().Histogram("sched.run_ms").Summary().P90,
+			}
+			if workers == 8 {
+				cs := env.DB.StmtCacheStats()
+				g := o.M().Gauge("sqldb.stmtcache.size")
+				fr.StmtCache = planCacheStats{
+					Size:          cs.Size,
+					SizeGauge:     g.Value(),
+					SizeGaugeHigh: g.High(),
+					Hits:          cs.Hits,
+					Misses:        cs.Misses,
+					Evictions:     cs.Evictions,
+					Flushes:       cs.Flushes,
+					Invalidations: cs.Invalidations,
+				}
+				// Guarded: an all-prepared run observes neither hits nor
+				// misses and must report 0, not NaN.
+				if total := cs.Hits + cs.Misses; total > 0 {
+					fr.StmtCache.HitRate = float64(cs.Hits) / float64(total)
+				}
+				parse := o.M().Histogram("sqldb.parse_ms").Summary()
+				exec := o.M().Histogram("sqldb.exec_ms").Summary()
+				fr.ParseExec = parseExecReport{Parse: parse, Exec: exec}
+				if total := parse.Sum + exec.Sum; total > 0 {
+					fr.ParseExec.ParseShare = parse.Sum / total
+				}
+			}
+		}
+		if s1 := fr.Workers["1"].InstancesPerSec; s1 > 0 {
+			fr.Speedup8 = fr.Workers["8"].InstancesPerSec / s1
+		}
+		if b := fr.BaselinePR8; b != nil && b.InstancesPerSec > 0 {
+			fr.VsPR8 = fr.Workers["8"].InstancesPerSec / b.InstancesPerSec
+		}
+		rep.Figures[fig.name] = fr
+		fmt.Fprintf(os.Stderr,
+			"%-14s x1 %.1f  x8 %.1f inst/s  cache hit %.1f%% (%d/%d)  parse share %.2f%%  vs PR8 %.2fx\n",
+			fig.name, fr.Workers["1"].InstancesPerSec, fr.Workers["8"].InstancesPerSec,
+			100*fr.StmtCache.HitRate, fr.StmtCache.Hits, fr.StmtCache.Hits+fr.StmtCache.Misses,
+			100*fr.ParseExec.ParseShare, fr.VsPR8)
+	}
+
+	f := os.Stdout
+	if out != "-" {
+		var err error
+		f, err = os.Create(out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fatal(err)
+	}
+	if out != "-" {
+		fmt.Fprintf(os.Stderr, "wrote %s\n", out)
+	}
+}
+
+// loadPR8Baselines pulls the 8-worker instances/sec per figure out of a
+// committed BENCH_PR8.json; absent that, the embedded numbers stand in.
+func loadPR8Baselines(path string) map[string]*pr8Baseline {
+	out := map[string]*pr8Baseline{}
+	for name, ips := range embeddedPR8 {
+		out[name] = &pr8Baseline{InstancesPerSec: ips, Source: "embedded"}
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return out
+	}
+	var doc struct {
+		Figures map[string]struct {
+			Workers map[string]struct {
+				InstancesPerSec float64 `json:"instances_per_sec"`
+			} `json:"workers"`
+		} `json:"figures"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return out
+	}
+	for name, fig := range doc.Figures {
+		if w8, ok := fig.Workers["8"]; ok && w8.InstancesPerSec > 0 {
+			out[name] = &pr8Baseline{InstancesPerSec: w8.InstancesPerSec, Source: path}
+		}
+	}
+	return out
+}

@@ -157,14 +157,18 @@ func (a *SQLActivity) runOnce(ctx *engine.Ctx, st *state, sess *sqldb.Session, s
 	if ref.Kind != ResultSetRef {
 		return fmt.Errorf("%s: %s is not a result set reference", a.ActivityName, a.ResultRef)
 	}
+	// The generated table's name is instance-unique, so its statements
+	// can never hit the shared plan cache — run them as one-shot
+	// prepared statements, which bypass the cache (and its LRU churn)
+	// while still carrying text to the change stream.
 	gen := ref.Name + "_i" + strconv.FormatInt(ctx.Inst.ID, 10)
-	if _, err := sess.Exec("DROP TABLE IF EXISTS " + gen); err != nil {
+	if err := execPrepared(sess, "DROP TABLE IF EXISTS "+gen); err != nil {
 		return fmt.Errorf("%s: %w", a.ActivityName, err)
 	}
 	trimmed := strings.TrimSpace(strings.ToUpper(sql))
 	if strings.HasPrefix(trimmed, "SELECT") {
 		ctas := "CREATE TABLE " + gen + " AS " + sql
-		if _, err := sess.Exec(ctas, params...); err != nil {
+		if err := execPrepared(sess, ctas, params...); err != nil {
 			return fmt.Errorf("%s: %w", a.ActivityName, err)
 		}
 	} else if strings.HasPrefix(trimmed, "CALL") {
@@ -206,8 +210,24 @@ func sqlObserver(ctx *engine.Ctx, name string, p *resilience.Policy) resilience.
 	}
 }
 
+// execPrepared runs one statement as a throwaway prepared statement:
+// the path for instance-unique SQL text that would only pollute the
+// shared plan cache. Change-stream capture still works — prepared
+// statements carry their source text.
+func execPrepared(sess *sqldb.Session, sql string, params ...sqldb.Value) error {
+	ps, err := sess.Prepare(sql)
+	if err != nil {
+		return err
+	}
+	_, err = ps.Exec(params...)
+	return err
+}
+
 // materializeAsTable stores an in-engine result set as a new table in the
 // same database (used for stored procedure results bound to result refs).
+// All rows load through ONE multi-row INSERT — the batch-exec path the
+// engine's InsertStmt.Rows supports — instead of a per-row statement
+// loop.
 func materializeAsTable(sess *sqldb.Session, table string, res *sqldb.Result) error {
 	if !res.IsQuery() {
 		return fmt.Errorf("bis: statement produced no result set")
@@ -232,17 +252,26 @@ func materializeAsTable(sess *sqldb.Session, table string, res *sqldb.Result) er
 		}
 		cols = append(cols, fmt.Sprintf("%s %s", c, typ))
 	}
-	if _, err := sess.Exec(fmt.Sprintf("CREATE TABLE %s (%s)", table, strings.Join(cols, ", "))); err != nil {
+	if err := execPrepared(sess, fmt.Sprintf("CREATE TABLE %s (%s)", table, strings.Join(cols, ", "))); err != nil {
 		return err
 	}
-	ph := strings.TrimRight(strings.Repeat("?, ", len(res.Columns)), ", ")
-	ins := fmt.Sprintf("INSERT INTO %s VALUES (%s)", table, ph)
-	for _, row := range res.Rows {
-		if _, err := sess.Exec(ins, row...); err != nil {
-			return err
-		}
+	if len(res.Rows) == 0 {
+		return nil
 	}
-	return nil
+	rowPh := "(" + strings.TrimRight(strings.Repeat("?, ", len(res.Columns)), ", ") + ")"
+	var b strings.Builder
+	b.WriteString("INSERT INTO ")
+	b.WriteString(table)
+	b.WriteString(" VALUES ")
+	flat := make([]sqldb.Value, 0, len(res.Rows)*len(res.Columns))
+	for i, row := range res.Rows {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(rowPh)
+		flat = append(flat, row...)
+	}
+	return execPrepared(sess, b.String(), flat...)
 }
 
 // RetrieveSetActivity bridges external and internal data processing by
@@ -282,9 +311,18 @@ func (a *RetrieveSetActivity) Execute(ctx *engine.Ctx) error {
 		return fmt.Errorf("%s: set reference %s is unbound", a.ActivityName, a.SetRefName)
 	}
 	sess := st.sessionFor(db)
-	res, err := sess.Query("SELECT * FROM " + ref.Table)
+	// The bound table is instance-unique (see runOnce): a prepared
+	// one-shot keeps this retrieval out of the shared plan cache.
+	ps, err := sess.Prepare("SELECT * FROM " + ref.Table)
 	if err != nil {
 		return fmt.Errorf("%s: %w", a.ActivityName, err)
+	}
+	res, err := ps.Exec()
+	if err != nil {
+		return fmt.Errorf("%s: %w", a.ActivityName, err)
+	}
+	if !res.IsQuery() {
+		return fmt.Errorf("%s: statement did not return rows", a.ActivityName)
 	}
 	doc, err := rowset.FromResult(res)
 	if err != nil {

@@ -253,7 +253,14 @@ func runLifecycleStatement(ctx *engine.Ctx, st *state, stmt dsStatement, ref *Se
 	// (state.sessionFor): entity management must be independent of the
 	// process transaction, so each runs on a fresh single-statement
 	// session that never holds transaction state. Everything else the
-	// stack executes goes through the instance session.
-	_, err = db.Session().Exec(sql)
+	// stack executes goes through the instance session. They also bypass
+	// the shared plan cache: the substituted {TABLE} name is unique to
+	// this instance, so the text can never hit — a one-shot prepared
+	// statement avoids churning the LRU with dead entries.
+	ps, err := db.Session().Prepare(sql)
+	if err != nil {
+		return err
+	}
+	_, err = ps.Exec()
 	return err
 }

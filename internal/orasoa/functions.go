@@ -300,12 +300,12 @@ func (x *XSQLFramework) Retries() int {
 }
 
 // exec runs one page statement through the configured retry policy.
-func (x *XSQLFramework) exec(sess *sqldb.Session, sql string) (*sqldb.Result, error) {
+func (x *XSQLFramework) exec(sess *sqldb.Session, sql string, params ...sqldb.Value) (*sqldb.Result, error) {
 	x.mu.RLock()
 	p := x.retry
 	x.mu.RUnlock()
 	if p == nil {
-		return sess.Exec(sql)
+		return sess.Exec(sql, params...)
 	}
 	obs := resilience.Observer{OnAttempt: func(n, _ int) {
 		if n > 1 {
@@ -315,7 +315,7 @@ func (x *XSQLFramework) exec(sess *sqldb.Session, sql string) (*sqldb.Result, er
 		}
 	}}
 	return resilience.Do(p, obs, func(int) (*sqldb.Result, error) {
-		return sess.Exec(sql)
+		return sess.Exec(sql, params...)
 	})
 }
 
@@ -349,13 +349,13 @@ func (x *XSQLFramework) Execute(page string, params map[string]string) (*xdm.Nod
 	sess := x.pool.Acquire()
 	defer x.pool.Release(sess)
 	for _, el := range doc.ChildElements() {
-		sql, err := substitutePageParams(el.TextContent(), params)
+		sql, binds, err := substitutePageParams(el.TextContent(), params)
 		if err != nil {
 			return nil, fmt.Errorf("orasoa: xsql page %s: %w", page, err)
 		}
 		switch localName(el.Name) {
 		case "query":
-			res, err := x.exec(sess, sql)
+			res, err := x.exec(sess, sql, binds...)
 			if err != nil {
 				return nil, fmt.Errorf("orasoa: xsql page %s: %w", page, err)
 			}
@@ -369,7 +369,7 @@ func (x *XSQLFramework) Execute(page string, params map[string]string) (*xdm.Nod
 			wrapper := out.Element(queryResultName(el))
 			wrapper.AppendChild(rs)
 		case "dml":
-			res, err := x.exec(sess, sql)
+			res, err := x.exec(sess, sql, binds...)
 			if err != nil {
 				return nil, fmt.Errorf("orasoa: xsql page %s: %w", page, err)
 			}
@@ -388,8 +388,12 @@ func queryResultName(el *xdm.Node) string {
 	return "result"
 }
 
-// substitutePageParams replaces {@name} placeholders with SQL-quoted
-// parameter values.
+// substitutePageParams replaces {@name} placeholders with ? bind slots
+// and returns the bound values in placeholder order. Binding instead of
+// inlining SQL-quoted literals keeps one plan-cache entry per page
+// statement regardless of parameter values (it also removes the quoting
+// path entirely). The same page parameter may appear more than once; each
+// occurrence gets its own slot.
 func leadByte(s string) byte {
 	if s == "" {
 		return 0
@@ -397,45 +401,47 @@ func leadByte(s string) byte {
 	return s[0]
 }
 
-func substitutePageParams(sql string, params map[string]string) (string, error) {
+func substitutePageParams(sql string, params map[string]string) (string, []sqldb.Value, error) {
 	if !strings.Contains(sql, "{@") {
-		return sql, nil
+		return sql, nil, nil
 	}
 	var b strings.Builder
 	b.Grow(len(sql))
+	var binds []sqldb.Value
 	for {
 		i := strings.Index(sql, "{@")
 		if i < 0 {
 			b.WriteString(sql)
-			return b.String(), nil
+			return b.String(), binds, nil
 		}
 		j := strings.Index(sql[i:], "}")
 		if j < 0 {
-			return "", fmt.Errorf("unterminated {@param}")
+			return "", nil, fmt.Errorf("unterminated {@param}")
 		}
 		name := sql[i+2 : i+j]
 		v, ok := params[name]
 		if !ok {
-			return "", fmt.Errorf("unbound page parameter %q", name)
+			return "", nil, fmt.Errorf("unbound page parameter %q", name)
 		}
 		b.WriteString(sql[:i])
-		// Numeric-looking parameters are substituted unquoted so they
-		// compare naturally against numeric columns. The lead-byte gate
-		// keeps the common non-numeric case from allocating strconv
-		// syntax errors; ParseInt/ParseFloat only accept the full string,
-		// so "12abc" stays quoted.
-		numeric := false
+		b.WriteByte('?')
+		// Numeric-looking parameters bind as numbers so they compare
+		// naturally against numeric columns. The lead-byte gate keeps the
+		// common non-numeric case from allocating strconv syntax errors;
+		// ParseInt/ParseFloat only accept the full string, so "12abc"
+		// stays a string.
+		bound := false
 		if c := leadByte(v); c == '-' || c == '+' || c == '.' || (c >= '0' && c <= '9') {
-			if _, err := strconv.ParseInt(v, 10, 64); err == nil {
-				numeric = true
-			} else if _, err := strconv.ParseFloat(v, 64); err == nil {
-				numeric = true
+			if n, err := strconv.ParseInt(v, 10, 64); err == nil {
+				binds = append(binds, sqldb.Int(n))
+				bound = true
+			} else if fv, err := strconv.ParseFloat(v, 64); err == nil {
+				binds = append(binds, sqldb.Float(fv))
+				bound = true
 			}
 		}
-		if numeric {
-			b.WriteString(v)
-		} else {
-			b.WriteString(sqldb.Str(v).SQLLiteral())
+		if !bound {
+			binds = append(binds, sqldb.Str(v))
 		}
 		sql = sql[i+j+1:]
 	}

@@ -89,11 +89,7 @@ func NewApplier(db *DB, floor int64) *Applier {
 func (a *Applier) Prime(pending []Change) error {
 	for _, c := range pending {
 		s := a.session(c.Session)
-		st, fpc, parse, hit, err := a.db.cachedParse(c.SQL)
-		if err != nil {
-			return fmt.Errorf("sqldb: prime seq %d: %w", c.Seq, err)
-		}
-		if _, _, err := s.execStmt(st, fpc, parse, cacheLabel(hit), c.SQL, c.Params, c.Named); err != nil {
+		if _, err := s.execSQL(c.SQL, c.Params, c.Named); err != nil {
 			return fmt.Errorf("sqldb: prime seq %d (%s): %w", c.Seq, c.Kind, err)
 		}
 		a.applied++
@@ -161,11 +157,12 @@ func (a *Applier) Apply(c Change) error {
 		return a.diverge(fmt.Sprintf(
 			"seq %d: BEGIN while origin session %d already holds an open transaction (rollback lost upstream)", c.Seq, c.Session))
 	}
-	st, fpc, parse, hit, err := a.db.cachedParse(c.SQL)
-	if err != nil {
-		return fmt.Errorf("sqldb: apply seq %d: %w", c.Seq, err)
-	}
-	if _, _, err := s.execStmt(st, fpc, parse, cacheLabel(hit), c.SQL, c.Params, c.Named); err != nil {
+	// execSQL re-resolves the change text through the replica's own plan
+	// cache: a PR 9 primary streams NORMALIZED text with merged
+	// parameters, which re-normalizes to itself (the rendering is
+	// idempotent, extracting nothing), while legacy journals with inline
+	// literals re-extract them here and merge identically.
+	if _, err := s.execSQL(c.SQL, c.Params, c.Named); err != nil {
 		return fmt.Errorf("sqldb: apply seq %d (%s): %w", c.Seq, c.Kind, err)
 	}
 	a.applied++

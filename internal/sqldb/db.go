@@ -61,17 +61,27 @@ type DB struct {
 	bytesReturned    atomic.Int64
 	deadlineRefusals atomic.Int64
 
-	// parsed-statement cache: SQL text -> parsed AST, so hot statements
-	// executed through Exec/ExecNamed are parsed once per database
-	// instead of once per call. ASTs are immutable after parsing, so a
-	// cached statement may execute concurrently on many sessions. The
-	// cache is an LRU: lruList is ordered most- to least-recently used,
-	// and an insert past stmtCacheCap evicts the coldest entry — a hot
-	// statement survives pressure from a churn of one-off SQL text,
-	// unlike the previous full-flush-on-overflow design.
+	// parsed-statement cache, two levels under one cacheMu:
+	//
+	//   - stmtCache keys plans by NORMALIZED text (literals extracted
+	//     into bind slots, see normalizeStmt), so a per-item INSERT loop
+	//     with fresh literals resolves to one cached plan. Statements
+	//     the normalizer declines (DDL, scripts) cache under raw text on
+	//     the same level. ASTs are immutable after parsing, so a cached
+	//     statement may execute concurrently on many sessions. The level
+	//     is an LRU: lruList is ordered most- to least-recently used,
+	//     and an insert past stmtCacheCap evicts the coldest entry.
+	//   - rawCache is a front cache from exact raw text to the plan
+	//     entry plus that text's extracted constants, so a literal-
+	//     identical repeat skips even the lexer. Raw entries hold no
+	//     plan of their own; one whose plan entry died (eviction,
+	//     DDL-scoped invalidation, flush) is dropped lazily on lookup.
 	cacheMu        sync.Mutex
-	stmtCache      map[string]*list.Element // SQL text -> lruList element
+	stmtCache      map[string]*list.Element // normalized text -> lruList element
 	lruList        *list.List               // of *cacheEntry, front = hottest
+	rawCache       map[string]*list.Element // raw text -> rawList element
+	rawList        *list.List               // of *rawEntry, front = hottest
+	cacheSize      atomic.Int64             // len(stmtCache) mirror for the gauge
 	cacheHits          atomic.Int64
 	cacheMisses        atomic.Int64
 	cacheFlushes       atomic.Int64
@@ -113,16 +123,55 @@ type DB struct {
 // text.
 const stmtCacheCap = 1024
 
-// cacheEntry is one LRU slot: the SQL text (to unlink the map entry on
-// eviction), its parsed statement, and the lowercased object names the
-// statement references syntactically — the key DDL-scoped invalidation
-// matches against.
+// rawCacheCap bounds the raw-text front cache. Raw entries are cheap
+// (no plan of their own), so the cap is generous; eviction here never
+// touches plans.
+const rawCacheCap = 4096
+
+// cacheEntry is one plan-cache LRU slot: the normalized SQL text (the
+// map key, to unlink on eviction), its parsed statement, and the
+// lowercased object names the statement references syntactically — the
+// key DDL-scoped invalidation matches against. dead marks an entry
+// removed from the plan cache while raw front-cache entries may still
+// point at it; those drop lazily (all under cacheMu).
 type cacheEntry struct {
 	sql  string
 	st   Stmt
 	refs map[string]bool
 	fp   fpSlot // lazily computed latch footprint (see stmtFootprint)
+	el   *list.Element
+	dead bool
 }
+
+// rawEntry is one front-cache slot: the exact raw text, the plan entry
+// its normalized form resolves to, and the literal values extracted
+// from this particular text (the plan is shared; the constants are
+// what distinguish raw texts under it).
+type rawEntry struct {
+	sql     string
+	ce      *cacheEntry
+	consts  []Value
+	pattern []uint8
+}
+
+// parsedStmt is a cachedParse resolution: the plan, its footprint slot,
+// the normalized text it is cached under (== the input when the
+// normalizer declined), the constants extracted from this exact text
+// with their slot pattern, and the parse accounting for StmtStats.
+type parsedStmt struct {
+	st      Stmt
+	fp      *fpSlot
+	norm    string
+	consts  []Value
+	pattern []uint8
+	parse   time.Duration
+	hit     bool
+}
+
+// parseRaceHook, when set (tests only), runs after a cache-missed parse
+// completes and before the cache is re-locked — the window in which a
+// concurrent parser of the same plan can win the insert race.
+var parseRaceHook func()
 
 // stmtRefSet computes a statement's reference set for cache
 // invalidation: every table, view, sequence, and procedure name its AST
@@ -182,6 +231,8 @@ func Open(name string) *DB {
 		indexOwner: map[string]*Table{},
 		stmtCache:  map[string]*list.Element{},
 		lruList:    list.New(),
+		rawCache:   map[string]*list.Element{},
+		rawList:    list.New(),
 	}
 }
 
@@ -235,38 +286,79 @@ func (db *DB) StmtCacheStats() StmtCacheStats {
 	}
 }
 
-// cachedParse resolves SQL text to a parsed statement through the per-DB
-// statement cache. It returns the statement, its footprint-cache slot
-// (nil only when the statement was not cached), the parse duration
-// charged to this call (zero on a hit), and whether the cache served it.
-// Statements that fail to parse are not cached. A hit moves the entry to
-// the front of the LRU order; an insert past capacity evicts the coldest
-// entry.
-func (db *DB) cachedParse(sql string) (Stmt, *fpSlot, time.Duration, bool, error) {
+// cachedParse resolves SQL text to a parsed statement through the
+// two-level per-DB statement cache. A literal-identical repeat is
+// served by the raw front cache without lexing; otherwise the text is
+// normalized (literals extracted into bind slots) and the plan is
+// looked up — or parsed and inserted — under the normalized text.
+// Statements the normalizer declines parse and cache under raw text.
+// Statements that fail to parse are not cached. A hit moves the plan
+// entry to the front of the LRU order; an insert past capacity evicts
+// the coldest entry.
+//
+// A parser that loses the insert race to a concurrent parser of the
+// same plan adopts the winner's entry and reports a HIT with zero
+// parse time: the cached plan is what executes, so charging the loser's
+// discarded parse (and a miss) to its caller's StmtStats would be a
+// lie about the statement that actually ran.
+func (db *DB) cachedParse(sql string) (parsedStmt, error) {
 	db.cacheMu.Lock()
-	if el, ok := db.stmtCache[sql]; ok {
-		db.lruList.MoveToFront(el)
-		ce := el.Value.(*cacheEntry)
-		db.cacheMu.Unlock()
-		db.cacheHits.Add(1)
-		return ce.st, &ce.fp, 0, true, nil
+	if el, ok := db.rawCache[sql]; ok {
+		re := el.Value.(*rawEntry)
+		if !re.ce.dead {
+			db.rawList.MoveToFront(el)
+			db.lruList.MoveToFront(re.ce.el)
+			db.cacheMu.Unlock()
+			db.cacheHits.Add(1)
+			return parsedStmt{st: re.ce.st, fp: &re.ce.fp, norm: re.ce.sql, consts: re.consts, pattern: re.pattern, hit: true}, nil
+		}
+		db.rawList.Remove(el)
+		delete(db.rawCache, sql)
 	}
 	db.cacheMu.Unlock()
+
 	start := time.Now()
-	st, err := Parse(sql)
+	n, normalized := normalizeStmt(sql)
+	key := sql
+	if normalized {
+		key = n.text
+	}
+	db.cacheMu.Lock()
+	if el, ok := db.stmtCache[key]; ok {
+		db.lruList.MoveToFront(el)
+		ce := el.Value.(*cacheEntry)
+		db.insertRawLocked(sql, ce, n.consts, n.pattern)
+		db.cacheMu.Unlock()
+		db.cacheHits.Add(1)
+		return parsedStmt{st: ce.st, fp: &ce.fp, norm: key, consts: n.consts, pattern: n.pattern, hit: true}, nil
+	}
+	db.cacheMu.Unlock()
+
+	var st Stmt
+	var err error
+	if normalized {
+		st, err = parseTokens(sql, n.toks)
+	} else {
+		st, err = Parse(sql)
+	}
 	parse := time.Since(start)
 	if err != nil {
-		return nil, nil, parse, false, err
+		return parsedStmt{}, err
 	}
-	db.cacheMisses.Add(1)
+	if parseRaceHook != nil {
+		parseRaceHook()
+	}
 	refs := stmtRefSet(st)
 	db.cacheMu.Lock()
 	var ce *cacheEntry
-	if el, ok := db.stmtCache[sql]; ok {
-		// Raced with another parser of the same text; keep theirs.
+	hit := false
+	if el, ok := db.stmtCache[key]; ok {
+		// Lost the race to another parser of the same plan: adopt the
+		// winner's entry, report a hit, charge no parse time.
 		db.lruList.MoveToFront(el)
 		ce = el.Value.(*cacheEntry)
-		st = ce.st
+		hit = true
+		parse = 0
 	} else {
 		for len(db.stmtCache) >= stmtCacheCap {
 			coldest := db.lruList.Back()
@@ -274,14 +366,45 @@ func (db *DB) cachedParse(sql string) (Stmt, *fpSlot, time.Duration, bool, error
 				break
 			}
 			db.lruList.Remove(coldest)
-			delete(db.stmtCache, coldest.Value.(*cacheEntry).sql)
+			dead := coldest.Value.(*cacheEntry)
+			dead.dead = true
+			delete(db.stmtCache, dead.sql)
 			db.cacheEvictions.Add(1)
 		}
-		ce = &cacheEntry{sql: sql, st: st, refs: refs}
-		db.stmtCache[sql] = db.lruList.PushFront(ce)
+		ce = &cacheEntry{sql: key, st: st, refs: refs}
+		ce.el = db.lruList.PushFront(ce)
+		db.stmtCache[key] = ce.el
+		db.cacheSize.Store(int64(len(db.stmtCache)))
 	}
+	db.insertRawLocked(sql, ce, n.consts, n.pattern)
 	db.cacheMu.Unlock()
-	return st, &ce.fp, parse, false, nil
+	if hit {
+		db.cacheHits.Add(1)
+	} else {
+		db.cacheMisses.Add(1)
+	}
+	return parsedStmt{st: ce.st, fp: &ce.fp, norm: key, consts: n.consts, pattern: n.pattern, parse: parse, hit: hit}, nil
+}
+
+// insertRawLocked records (or refreshes) the raw-text front-cache entry
+// mapping this exact text to its plan entry. Caller holds cacheMu.
+// Front-cache eviction is not counted in Evictions — no plan is lost.
+func (db *DB) insertRawLocked(sql string, ce *cacheEntry, consts []Value, pattern []uint8) {
+	if el, ok := db.rawCache[sql]; ok {
+		re := el.Value.(*rawEntry)
+		re.ce, re.consts, re.pattern = ce, consts, pattern
+		db.rawList.MoveToFront(el)
+		return
+	}
+	for len(db.rawCache) >= rawCacheCap {
+		coldest := db.rawList.Back()
+		if coldest == nil {
+			break
+		}
+		db.rawList.Remove(coldest)
+		delete(db.rawCache, coldest.Value.(*rawEntry).sql)
+	}
+	db.rawCache[sql] = db.rawList.PushFront(&rawEntry{sql: sql, ce: ce, consts: consts, pattern: pattern})
 }
 
 // ddlAffected resolves the lowercased object names a DDL statement
@@ -371,6 +494,7 @@ func (db *DB) invalidateStmtCacheFor(affected []string) {
 		for _, n := range affected {
 			if ce.refs[n] {
 				db.lruList.Remove(el)
+				ce.dead = true // raw front-cache entries drop lazily
 				delete(db.stmtCache, ce.sql)
 				db.cacheInvalidations.Add(1)
 				break
@@ -378,6 +502,7 @@ func (db *DB) invalidateStmtCacheFor(affected []string) {
 		}
 		el = next
 	}
+	db.cacheSize.Store(int64(len(db.stmtCache)))
 	db.cacheMu.Unlock()
 }
 
@@ -387,8 +512,14 @@ func (db *DB) invalidateStmtCacheFor(affected []string) {
 func (db *DB) invalidateStmtCache() {
 	db.cacheMu.Lock()
 	if len(db.stmtCache) > 0 {
+		for el := db.lruList.Front(); el != nil; el = el.Next() {
+			el.Value.(*cacheEntry).dead = true
+		}
 		db.stmtCache = map[string]*list.Element{}
 		db.lruList.Init()
+		db.rawCache = map[string]*list.Element{}
+		db.rawList.Init()
+		db.cacheSize.Store(0)
 		db.cacheFlushes.Add(1)
 	}
 	db.cacheMu.Unlock()

@@ -505,12 +505,14 @@ func evalAggregate(t *FuncCall, e *env) (Value, error) {
 	if t.Distinct {
 		seen = map[string]bool{}
 	}
-	// One scratch row environment serves every group row — eval never
-	// retains its environment past the call.
+	// One scratch row environment serves every group row, and the
+	// argument compiles once per aggregate invocation — the per-row
+	// work inside a large group is a closure call, not an AST walk.
 	rowEnv := e.child(e.cols, nil)
+	argFn := compileExpr(t.Args[0])
 	for _, row := range e.groupRows {
 		rowEnv.row = row
-		v, err := eval(t.Args[0], rowEnv)
+		v, err := argFn(rowEnv)
 		if err != nil {
 			return Null(), err
 		}

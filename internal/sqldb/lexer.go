@@ -25,6 +25,7 @@ type token struct {
 	text string // keyword/ident text (uppercased for keywords), symbol text
 	num  Value  // for tokNumber
 	pos  int    // byte offset in input (for error messages)
+	end  int    // byte offset just past the token (for source spans)
 }
 
 // keywords recognized by the lexer. Identifiers matching these (case
@@ -68,6 +69,7 @@ func (l *lexer) lexAll() ([]token, error) {
 		if err != nil {
 			return nil, err
 		}
+		t.end = l.pos // next() stops right past the token, before any trailing space
 		toks = append(toks, t)
 		if t.kind == tokEOF {
 			return toks, nil

@@ -205,9 +205,12 @@ func TestStmtCacheLRUHotStatementSurvives(t *testing.T) {
 	}
 
 	// Interleave cold one-off statements with hot reuse, overflowing the
-	// cache several times over.
+	// cache several times over. The cold text must differ STRUCTURALLY
+	// (a distinct alias), not just in literal values — literal-only
+	// variants normalize to one shared plan and would never fill the
+	// cache.
 	for i := 0; i < 3*stmtCacheCap; i++ {
-		cold := fmt.Sprintf("SELECT a FROM t WHERE a = %d", i)
+		cold := fmt.Sprintf("SELECT a AS a%d FROM t WHERE a = %d", i, i)
 		if _, err := s.Exec(cold); err != nil {
 			t.Fatal(err)
 		}

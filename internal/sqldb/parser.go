@@ -55,6 +55,27 @@ func ParseScript(sql string) ([]Stmt, error) {
 	return stmts, nil
 }
 
+// parseTokens parses a single statement from a pre-lexed token stream —
+// the normalizer's slotted output (see normalizeStmt). src is the
+// original text, kept for error offsets. Positional placeholder indexes
+// are assigned in token order, so a stream whose literals were replaced
+// by `?` tokens parses into a plan whose parameter numbering matches
+// the normalizer's slot pattern exactly.
+func parseTokens(src string, toks []token) (Stmt, error) {
+	p := &parser{src: src, toks: toks}
+	st, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	for p.peekSym(";") {
+		p.pos++
+	}
+	if p.peek().kind != tokEOF {
+		return nil, p.errorf("expected ';' or end of input")
+	}
+	return st, nil
+}
+
 func (p *parser) peek() token { return p.toks[p.pos] }
 
 func (p *parser) peekAt(n int) token {

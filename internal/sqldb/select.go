@@ -47,15 +47,17 @@ func (s *Session) execSelectArm(q *SelectStmt, outer *env) (*Result, error) {
 		return nil, err
 	}
 
-	// WHERE. One scratch environment serves every row — eval never
-	// retains its environment past the call, so mutating .row per
-	// iteration is safe and saves an allocation per candidate row.
+	// WHERE. One scratch environment serves every row, and the predicate
+	// is compiled once into a closure tree instead of AST-walked per row
+	// (see compileExpr); mutating .row per iteration is safe because
+	// compiled closures, like eval, never retain the environment.
 	if q.Where != nil {
 		filtered := rel.rows[:0:0]
+		pred := compileExpr(q.Where)
 		e := &env{cols: rel.cols, params: outer.params, named: outer.named, session: s, outer: outer}
 		for _, row := range rel.rows {
 			e.row = row
-			v, err := eval(q.Where, e)
+			v, err := pred(e)
 			if err != nil {
 				return nil, err
 			}
@@ -81,10 +83,19 @@ func (s *Session) execSelectArm(q *SelectStmt, outer *env) (*Result, error) {
 		return nil, err
 	}
 
+	// Projection items compile once per execution; aggregates inside
+	// them fall back to eval (compileExpr), so group semantics are
+	// untouched.
+	itemFns := compileExprs(items)
+
 	if grouped {
 		groups, err := s.groupRows(q, rel, outer)
 		if err != nil {
 			return nil, err
+		}
+		var havingFn evalFn
+		if q.Having != nil {
+			havingFn = compileExpr(q.Having)
 		}
 		for _, g := range groups {
 			if g == nil {
@@ -95,8 +106,8 @@ func (s *Session) execSelectArm(q *SelectStmt, outer *env) (*Result, error) {
 				first = g[0]
 			}
 			e := makeEnv(first, g)
-			if q.Having != nil {
-				hv, err := eval(q.Having, e)
+			if havingFn != nil {
+				hv, err := havingFn(e)
 				if err != nil {
 					return nil, err
 				}
@@ -105,8 +116,8 @@ func (s *Session) execSelectArm(q *SelectStmt, outer *env) (*Result, error) {
 				}
 			}
 			out := make([]Value, len(items))
-			for i, it := range items {
-				v, err := eval(it, e)
+			for i, fn := range itemFns {
+				v, err := fn(e)
 				if err != nil {
 					return nil, err
 				}
@@ -121,8 +132,8 @@ func (s *Session) execSelectArm(q *SelectStmt, outer *env) (*Result, error) {
 		for _, row := range rel.rows {
 			e := makeEnv(row, nil)
 			out := make([]Value, len(items))
-			for i, it := range items {
-				v, err := eval(it, e)
+			for i, fn := range itemFns {
+				v, err := fn(e)
 				if err != nil {
 					return nil, err
 				}
@@ -137,8 +148,8 @@ func (s *Session) execSelectArm(q *SelectStmt, outer *env) (*Result, error) {
 		for _, row := range rel.rows {
 			e.row = row
 			out := make([]Value, len(items))
-			for i, it := range items {
-				v, err := eval(it, e)
+			for i, fn := range itemFns {
+				v, err := fn(e)
 				if err != nil {
 					return nil, err
 				}
@@ -356,6 +367,7 @@ func (s *Session) joinRelations(l, r *relation, jc JoinClause, outer *env) (*rel
 		return crossProduct(l, r), nil
 	}
 	e := &env{cols: out.cols, params: outer.params, named: outer.named, session: s, outer: outer}
+	onFn := compileExpr(jc.On)
 	for _, lr := range l.rows {
 		matched := false
 		for _, rr := range r.rows {
@@ -363,7 +375,7 @@ func (s *Session) joinRelations(l, r *relation, jc JoinClause, outer *env) (*rel
 			row = append(row, lr...)
 			row = append(row, rr...)
 			e.row = row
-			v, err := eval(jc.On, e)
+			v, err := onFn(e)
 			if err != nil {
 				return nil, err
 			}
@@ -463,12 +475,13 @@ func (s *Session) groupRows(q *SelectStmt, rel *relation, outer *env) ([][][]Val
 	idx := map[string]int{}
 	var bins [][][]Value
 	e := &env{cols: rel.cols, params: outer.params, named: outer.named, session: s, outer: outer}
+	keyFns := compileExprs(q.GroupBy)
 	var kb []byte
 	for _, row := range rel.rows {
 		e.row = row
 		kb = kb[:0]
-		for _, g := range q.GroupBy {
-			v, err := eval(g, e)
+		for _, fn := range keyFns {
+			v, err := fn(e)
 			if err != nil {
 				return nil, err
 			}

@@ -112,27 +112,49 @@ func (s *Session) DB() *DB { return s.db }
 func (s *Session) ID() int64 { return s.id }
 
 // Exec parses and executes one SQL statement with positional parameters.
-// The parse goes through the database's statement cache: repeated
-// executions of the same SQL text reuse the cached AST and report zero
-// parse time (StmtStats.Cache records "hit" vs "miss").
+// The parse goes through the database's statement cache, which keys
+// plans by NORMALIZED text — literals extracted into bind slots — so
+// repeated executions that differ only in literal values reuse one
+// cached plan and report zero parse time (StmtStats.Cache records
+// "hit" vs "miss").
 func (s *Session) Exec(sql string, params ...Value) (*Result, error) {
-	st, fpc, parse, hit, err := s.db.cachedParse(sql)
-	if err != nil {
-		return nil, err
-	}
-	res, _, err := s.execStmt(st, fpc, parse, cacheLabel(hit), sql, params, nil)
-	return res, err
+	return s.execSQL(sql, params, nil)
 }
 
 // ExecNamed parses and executes one SQL statement binding :name parameters
 // from the given map (keys are case-insensitive). Like Exec, it resolves
 // the SQL text through the statement cache.
 func (s *Session) ExecNamed(sql string, named map[string]Value) (*Result, error) {
-	st, fpc, parse, hit, err := s.db.cachedParse(sql)
+	return s.execSQL(sql, nil, named)
+}
+
+// execSQL is the shared text-execution path behind Exec, ExecNamed, and
+// the replication Applier: resolve through the plan cache, fold the
+// text's extracted literals into the positional vector, and execute.
+// The NORMALIZED text and the MERGED parameters are what flow to the
+// change stream — a replica re-normalizing that text extracts nothing
+// (the rendering is idempotent) and binds the same merged vector, so
+// primary and replica execute the identical plan with identical inputs.
+func (s *Session) execSQL(sql string, params []Value, named map[string]Value) (*Result, error) {
+	ps, err := s.db.cachedParse(sql)
 	if err != nil {
 		return nil, err
 	}
-	res, _, err := s.execStmt(st, fpc, parse, cacheLabel(hit), sql, nil, named)
+	merged, ok := mergeParams(params, ps.consts, ps.pattern)
+	if !ok {
+		// Fewer caller values than user slots: only an uncached parse of
+		// the raw text can report the missing parameter by the caller's
+		// own placeholder numbering (the error is raised lazily, and only
+		// if the slot is actually referenced).
+		start := time.Now()
+		st, perr := Parse(sql)
+		if perr != nil {
+			return nil, perr
+		}
+		res, _, eerr := s.execStmt(st, nil, time.Since(start), CacheMiss, sql, params, named)
+		return res, eerr
+	}
+	res, _, err := s.execStmt(ps.st, ps.fp, ps.parse, cacheLabel(ps.hit), ps.norm, merged, named)
 	return res, err
 }
 
@@ -153,9 +175,17 @@ type PreparedStmt struct {
 	src  string // original SQL text, for the change stream
 	fp   fpSlot // cached latch footprint (see stmtFootprint)
 
-	mu       sync.Mutex
-	parse    time.Duration
-	reported bool
+	// One-time parse-charge handoff: pending marks the charge handed to
+	// an in-flight execution (outcome unknown), charged marks it
+	// consumed by an execution that ran. The split is what makes a
+	// stale restoreParse after the charge was consumed a no-op —
+	// a single "reported" flag re-armed unconditionally, letting a
+	// hook-refused attempt resurrect a charge a concurrent successful
+	// attempt had already reported, double-counting parse time.
+	mu      sync.Mutex
+	parse   time.Duration
+	pending bool
+	charged bool
 }
 
 // Prepare parses a statement once for repeated execution.
@@ -168,17 +198,31 @@ func (s *Session) Prepare(sql string) (*PreparedStmt, error) {
 	return &PreparedStmt{s: s, stmt: st, src: sql, parse: time.Since(start)}, nil
 }
 
-// takeParse returns the one-time parse cost if no execution has carried it
-// yet, marking it charged (later executions report zero parse time — the
-// point of preparing).
+// takeParse returns the one-time parse cost if no execution has carried
+// or consumed it yet, marking it in-flight (later executions report zero
+// parse time — the point of preparing).
 func (p *PreparedStmt) takeParse() time.Duration {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if p.reported {
+	if p.pending || p.charged {
 		return 0
 	}
-	p.reported = true
+	p.pending = true
 	return p.parse
+}
+
+// consumeParse settles an in-flight charge after its execution actually
+// ran: the parse cost is now in some StmtStats, permanently. parse is
+// the value takeParse handed this execution — zero means it carried no
+// charge and there is nothing to settle.
+func (p *PreparedStmt) consumeParse(parse time.Duration) {
+	if parse == 0 {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.pending = false
+	p.charged = true
 }
 
 // restoreParse re-arms the parse charge when the execution it was handed
@@ -186,21 +230,25 @@ func (p *PreparedStmt) takeParse() time.Duration {
 // execution that actually runs must still account for the parse.
 // Without this, a statement whose first attempt was chaos-refused would
 // lose its parse cost forever and every StmtStats it ever emitted would
-// claim Parse == 0.
+// claim Parse == 0. A restore arriving after the charge was consumed
+// does nothing — charged stays set, so no later execution reports the
+// parse a second time.
 func (p *PreparedStmt) restoreParse(parse time.Duration) {
 	if parse == 0 {
 		return
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	p.reported = false
+	p.pending = false
 }
 
 // Exec runs the prepared statement with positional parameters.
 func (p *PreparedStmt) Exec(params ...Value) (*Result, error) {
 	parse := p.takeParse()
 	res, executed, err := p.s.execStmt(p.stmt, &p.fp, parse, "", p.src, params, nil)
-	if !executed {
+	if executed {
+		p.consumeParse(parse)
+	} else {
 		p.restoreParse(parse)
 	}
 	return res, err
@@ -210,7 +258,9 @@ func (p *PreparedStmt) Exec(params ...Value) (*Result, error) {
 func (p *PreparedStmt) ExecNamed(named map[string]Value) (*Result, error) {
 	parse := p.takeParse()
 	res, executed, err := p.s.execStmt(p.stmt, &p.fp, parse, "", p.src, nil, named)
-	if !executed {
+	if executed {
+		p.consumeParse(parse)
+	} else {
 		p.restoreParse(parse)
 	}
 	return res, err
@@ -1069,18 +1119,23 @@ func (s *Session) filterRows(tbl *Table, cols []colMeta, where Expr, base *env) 
 		candidates = tbl.snapshotRows()
 	}
 	var matched []*Row
-	// One scratch row environment serves every candidate — eval never
-	// retains its environment past the call.
+	// One scratch row environment serves every candidate, and the
+	// predicate is compiled once into a closure tree instead of being
+	// AST-walked per row (see compileExpr).
 	rowEnv := base.child(cols, nil)
+	var pred evalFn
+	if where != nil {
+		pred = compileExpr(where)
+	}
 	for _, r := range candidates {
 		if !s.rowVisible(r) {
 			continue
 		}
 		s.db.rowsRead.Add(1)
 		s.rowsScanned++
-		if where != nil {
+		if pred != nil {
 			rowEnv.row = r.Values
-			v, err := eval(where, rowEnv)
+			v, err := pred(rowEnv)
 			if err != nil {
 				return nil, err
 			}

@@ -129,6 +129,9 @@ func (db *DB) SetObservability(o *obsv.Observability) {
 		case CacheMiss:
 			m.Counter("sqldb.stmtcache.misses").Inc()
 		}
+		// Plan-cache occupancy, mirrored through an atomic so the sink
+		// never takes cacheMu on the statement path.
+		m.Gauge("sqldb.stmtcache.size").SetInt(db.cacheSize.Load())
 		if st.Table != "" {
 			if st.Index != "" {
 				m.Counter("sqldb.index_hits").Inc()
